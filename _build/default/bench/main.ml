@@ -1,0 +1,719 @@
+(* Reproduction harness: one section per evaluation result in the paper
+   (E1..E7) plus the ablations DESIGN.md calls out (E8..E10).  Each
+   section prints the paper's reported numbers next to ours.
+
+   Usage:
+     dune exec bench/main.exe             # all experiments
+     dune exec bench/main.exe -- E1 E6    # a subset
+     dune exec bench/main.exe -- micro    # Bechamel host-time microbenches
+     dune exec bench/main.exe -- all micro
+
+   Absolute numbers come from the simulator's calibrated cost model
+   (lib/ksim/cost_model.ml); the claims under reproduction are the
+   *shapes*: who wins, by what rough factor, and the orderings. *)
+
+let pf = Printf.printf
+
+let sec cycles = Ksim.Sim_clock.cycles_to_seconds cycles
+
+let header id title paper =
+  pf "\n=== %s: %s ===\n    paper: %s\n" id title paper
+
+let pct_faster base new_ = 100. *. (1. -. (float_of_int new_ /. float_of_int base))
+let pct_over base new_ = 100. *. ((float_of_int new_ /. float_of_int base) -. 1.)
+let ratio base new_ = float_of_int new_ /. float_of_int (max 1 base)
+
+(* ----------------------------------------------------------------- E1 *)
+
+let e1 () =
+  header "E1" "readdirplus vs readdir+stat (system-call consolidation)"
+    "elapsed -60.6..63.8%, system -55.7..59.3%, user -82.8..84.0%, \
+     consistent from 10 to 100,000 files";
+  pf "%8s %12s %12s %10s %10s %10s\n" "files" "plain(s)" "rdplus(s)"
+    "elapsed%" "system%" "user%";
+  List.iter
+    (fun n ->
+      let plain =
+        let t = Core.boot () in
+        Workloads.Lsdir.setup (Core.sys t) ~dir:"/big" ~n;
+        Workloads.Lsdir.run_plain (Core.sys t) ~dir:"/big"
+      in
+      let merged =
+        let t = Core.boot () in
+        Workloads.Lsdir.setup (Core.sys t) ~dir:"/big" ~n;
+        Workloads.Lsdir.run_readdirplus (Core.sys t) ~dir:"/big"
+      in
+      let p = plain.Workloads.Lsdir.times and m = merged.Workloads.Lsdir.times in
+      pf "%8d %12.6f %12.6f %9.1f%% %9.1f%% %9.1f%%\n" n
+        (sec p.Ksim.Kernel.elapsed) (sec m.Ksim.Kernel.elapsed)
+        (pct_faster p.Ksim.Kernel.elapsed m.Ksim.Kernel.elapsed)
+        (pct_faster p.Ksim.Kernel.stime m.Ksim.Kernel.stime)
+        (pct_faster p.Ksim.Kernel.utime m.Ksim.Kernel.utime))
+    [ 10; 100; 1_000; 10_000; 100_000 ]
+
+(* ----------------------------------------------------------------- E2 *)
+
+let e2 () =
+  header "E2" "interactive-workload savings estimate"
+    "171,975 -> 17,251 syscalls; 51,807,520 -> 32,250,041 bytes; ~28.15 s/hour";
+  let t = Core.boot () in
+  let sys = Core.sys t in
+  Workloads.Interactive.setup sys;
+  let rec_ = Core.trace t in
+  (* a longer session than the smoke tests: the paper logged ~15 min *)
+  let cfg = { Workloads.Interactive.default_config with duration_events = 3_000 } in
+  let s = Workloads.Interactive.run ~config:cfg sys in
+  let est =
+    Ktrace.Savings.estimate
+      ~trace_duration_cycles:s.Workloads.Interactive.duration_cycles rec_
+  in
+  pf "  trace duration     : %.2f simulated seconds (%d user actions)\n"
+    (sec s.Workloads.Interactive.duration_cycles) s.Workloads.Interactive.actions;
+  pf "  syscalls           : %d -> %d (%.1f%% fewer)\n"
+    est.Ktrace.Savings.syscalls_before est.Ktrace.Savings.syscalls_after
+    (pct_faster est.Ktrace.Savings.syscalls_before est.Ktrace.Savings.syscalls_after);
+  pf "  bytes user<->kernel: %d -> %d (%.1f%% fewer)\n"
+    est.Ktrace.Savings.bytes_before est.Ktrace.Savings.bytes_after
+    (pct_faster est.Ktrace.Savings.bytes_before est.Ktrace.Savings.bytes_after);
+  pf "  estimated saving   : %.2f s/hour\n" est.Ktrace.Savings.seconds_saved_per_hour;
+  (* show the mined patterns that justify the new syscalls *)
+  let g = Ktrace.Syscall_graph.of_recorder rec_ in
+  pf "  heaviest syscall-graph edges:\n";
+  List.iteri
+    (fun i (s, d, w) -> if i < 5 then pf "    %-10s -> %-10s %d\n" s d w)
+    (Ktrace.Syscall_graph.edges g)
+
+(* ----------------------------------------------------------------- E3 *)
+
+let e3 () =
+  header "E3" "Cosy micro-benchmarks (syscall sequences in one compound)"
+    "individual system calls sped up by 40-90% for common CPU-bound \
+     user applications";
+  let iterations = 2_000 in
+  pf "%-24s %12s %12s %10s\n" "sequence" "plain(s)" "cosy(s)" "speedup";
+  let bench name ?(setup = fun _ -> ()) ~plain ~compound () =
+    let t1 = Core.boot () in
+    setup t1;
+    let (), p = Ksim.Kernel.timed (Core.kernel t1) (fun () -> plain t1) in
+    let t2 = Core.boot () in
+    setup t2;
+    let exec = Core.cosy t2 in
+    let (), c =
+      Ksim.Kernel.timed (Core.kernel t2) (fun () ->
+          ignore (Cosy.Cosy_exec.submit exec (compound t2)))
+    in
+    pf "%-24s %12.6f %12.6f %9.1f%%\n" name
+      (sec p.Ksim.Kernel.elapsed) (sec c.Ksim.Kernel.elapsed)
+      (pct_faster p.Ksim.Kernel.elapsed c.Ksim.Kernel.elapsed)
+  in
+  (* getpid in a loop: pure boundary-crossing cost *)
+  bench "getpid xN"
+    ~plain:(fun t ->
+      for _ = 1 to iterations do
+        ignore (Core.Syscall.sys_getpid (Core.sys t))
+      done)
+    ~compound:(fun _t ->
+      let c = Cosy.Cosy_lib.create () in
+      let i = Cosy.Cosy_lib.set_fresh c (Cosy.Cosy_op.Const 0) in
+      let top = Cosy.Cosy_lib.next_index c in
+      let cond =
+        Cosy.Cosy_lib.arith_fresh c Cosy.Cosy_op.Alt (Cosy.Cosy_op.Slot i)
+          (Cosy.Cosy_op.Const iterations)
+      in
+      let jz = Cosy.Cosy_lib.next_index c in
+      Cosy.Cosy_lib.jz c (Cosy.Cosy_op.Slot cond) 0;
+      ignore (Cosy.Cosy_lib.syscall c "getpid" []);
+      Cosy.Cosy_lib.arith c ~dst:i Cosy.Cosy_op.Aadd (Cosy.Cosy_op.Slot i)
+        (Cosy.Cosy_op.Const 1);
+      Cosy.Cosy_lib.jmp c top;
+      Cosy.Cosy_lib.patch_jump c ~at:jz ~target:(Cosy.Cosy_lib.next_index c);
+      Cosy.Cosy_lib.finish c)
+    ();
+  (* lseek+read loop over a file *)
+  let file_setup t =
+    ignore
+      (Core.ok
+         (Core.Syscall.sys_open_write_close (Core.sys t) ~path:"/seq"
+            ~data:(Bytes.make 65536 's') ~flags:Core.o_create))
+  in
+  bench "lseek+read xN" ~setup:file_setup
+    ~plain:(fun t ->
+      let fd = Core.ok (Core.Syscall.sys_open (Core.sys t) ~path:"/seq" ~flags:Core.o_rdonly) in
+      for k = 0 to (iterations / 2) - 1 do
+        ignore
+          (Core.ok
+             (Core.Syscall.sys_lseek (Core.sys t) ~fd
+                ~off:(k * 64 mod 65536) ~whence:Kvfs.Vfs.SEEK_SET));
+        ignore (Core.ok (Core.Syscall.sys_read (Core.sys t) ~fd ~len:64))
+      done;
+      ignore (Core.ok (Core.Syscall.sys_close (Core.sys t) ~fd)))
+    ~compound:(fun _t ->
+      let c = Cosy.Cosy_lib.create () in
+      let buf = Cosy.Cosy_lib.alloc_shared c 64 in
+      let fd = Cosy.Cosy_lib.syscall c "open" [ Cosy.Cosy_op.Str "/seq"; Cosy.Cosy_op.Const 0 ] in
+      let i = Cosy.Cosy_lib.set_fresh c (Cosy.Cosy_op.Const 0) in
+      let top = Cosy.Cosy_lib.next_index c in
+      let cond =
+        Cosy.Cosy_lib.arith_fresh c Cosy.Cosy_op.Alt (Cosy.Cosy_op.Slot i)
+          (Cosy.Cosy_op.Const (iterations / 2))
+      in
+      let jz = Cosy.Cosy_lib.next_index c in
+      Cosy.Cosy_lib.jz c (Cosy.Cosy_op.Slot cond) 0;
+      let o1 = Cosy.Cosy_lib.arith_fresh c Cosy.Cosy_op.Amul (Cosy.Cosy_op.Slot i) (Cosy.Cosy_op.Const 64) in
+      let off = Cosy.Cosy_lib.arith_fresh c Cosy.Cosy_op.Amod (Cosy.Cosy_op.Slot o1) (Cosy.Cosy_op.Const 65536) in
+      ignore
+        (Cosy.Cosy_lib.syscall c "lseek"
+           [ Cosy.Cosy_op.Slot fd; Cosy.Cosy_op.Slot off; Cosy.Cosy_op.Const 0 ]);
+      ignore
+        (Cosy.Cosy_lib.syscall c "read"
+           [ Cosy.Cosy_op.Slot fd; Cosy.Cosy_op.Shared buf; Cosy.Cosy_op.Const 64 ]);
+      Cosy.Cosy_lib.arith c ~dst:i Cosy.Cosy_op.Aadd (Cosy.Cosy_op.Slot i) (Cosy.Cosy_op.Const 1);
+      Cosy.Cosy_lib.jmp c top;
+      Cosy.Cosy_lib.patch_jump c ~at:jz ~target:(Cosy.Cosy_lib.next_index c);
+      ignore (Cosy.Cosy_lib.syscall c "close" [ Cosy.Cosy_op.Slot fd ]);
+      Cosy.Cosy_lib.finish c)
+    ();
+  (* open-read-close of many small files *)
+  let many_setup t =
+    ignore (Core.Syscall.sys_mkdir (Core.sys t) ~path:"/m");
+    for i = 0 to 99 do
+      ignore
+        (Core.ok
+           (Core.Syscall.sys_open_write_close (Core.sys t)
+              ~path:(Printf.sprintf "/m/f%02d" i)
+              ~data:(Bytes.make 256 'x') ~flags:Core.o_create))
+    done
+  in
+  bench "open-read-close x100" ~setup:many_setup
+    ~plain:(fun t ->
+      for i = 0 to 99 do
+        let path = Printf.sprintf "/m/f%02d" i in
+        let fd = Core.ok (Core.Syscall.sys_open (Core.sys t) ~path ~flags:Core.o_rdonly) in
+        ignore (Core.ok (Core.Syscall.sys_read (Core.sys t) ~fd ~len:256));
+        ignore (Core.ok (Core.Syscall.sys_close (Core.sys t) ~fd))
+      done)
+    ~compound:(fun _t ->
+      let c = Cosy.Cosy_lib.create () in
+      let buf = Cosy.Cosy_lib.alloc_shared c 256 in
+      for i = 0 to 99 do
+        let path = Printf.sprintf "/m/f%02d" i in
+        let fd = Cosy.Cosy_lib.syscall c "open" [ Cosy.Cosy_op.Str path; Cosy.Cosy_op.Const 0 ] in
+        ignore
+          (Cosy.Cosy_lib.syscall c "read"
+             [ Cosy.Cosy_op.Slot fd; Cosy.Cosy_op.Shared buf; Cosy.Cosy_op.Const 256 ]);
+        ignore (Cosy.Cosy_lib.syscall c "close" [ Cosy.Cosy_op.Slot fd ])
+      done;
+      Cosy.Cosy_lib.finish c)
+    ()
+
+(* ----------------------------------------------------------------- E4 *)
+
+let e4 () =
+  header "E4" "Cosy applications (database patterns, static web server)"
+    "20-80% speedup for CPU-bound applications with minimal code changes \
+     (the sendfile precedent the paper cites reports 92-116%)";
+  pf "%-24s %12s %12s %10s\n" "application" "plain(s)" "cosy(s)" "speedup";
+  let db () =
+    let t1 = Core.boot () in
+    Workloads.Database.setup (Core.sys t1);
+    let p = Workloads.Database.run_plain (Core.sys t1) in
+    let t2 = Core.boot () in
+    Workloads.Database.setup (Core.sys t2);
+    let c, _ = Workloads.Database.run_cosy (Core.sys t2) in
+    pf "%-24s %12.6f %12.6f %9.1f%%\n" "database (rand+seq)"
+      (sec p.Workloads.Database.times.Ksim.Kernel.elapsed)
+      (sec c.Workloads.Database.times.Ksim.Kernel.elapsed)
+      (pct_faster p.Workloads.Database.times.Ksim.Kernel.elapsed
+         c.Workloads.Database.times.Ksim.Kernel.elapsed)
+  in
+  let ws () =
+    let t1 = Core.boot () in
+    Workloads.Webserver.setup (Core.sys t1);
+    let p = Workloads.Webserver.run_plain (Core.sys t1) in
+    let t2 = Core.boot () in
+    Workloads.Webserver.setup (Core.sys t2);
+    let c, _ = Workloads.Webserver.run_cosy (Core.sys t2) in
+    let t3 = Core.boot () in
+    Workloads.Webserver.setup (Core.sys t3);
+    let sf = Workloads.Webserver.run_sendfile (Core.sys t3) in
+    pf "%-24s %12.6f %12.6f %9.1f%%\n" "web server (cosy)"
+      (sec p.Workloads.Webserver.times.Ksim.Kernel.elapsed)
+      (sec c.Workloads.Webserver.times.Ksim.Kernel.elapsed)
+      (pct_faster p.Workloads.Webserver.times.Ksim.Kernel.elapsed
+         c.Workloads.Webserver.times.Ksim.Kernel.elapsed);
+    pf "%-24s %12.6f %12.6f %9.1f%%\n" "web server (sendfile)"
+      (sec p.Workloads.Webserver.times.Ksim.Kernel.elapsed)
+      (sec sf.Workloads.Webserver.times.Ksim.Kernel.elapsed)
+      (pct_faster p.Workloads.Webserver.times.Ksim.Kernel.elapsed
+         sf.Workloads.Webserver.times.Ksim.Kernel.elapsed)
+  in
+  db ();
+  ws ();
+  (* sensitivity: the win shrinks as records grow (copies amortize) *)
+  pf "  record-size sensitivity (database):\n";
+  List.iter
+    (fun record_size ->
+      let cfg = { Workloads.Database.default_config with record_size; lookups = 1_000 } in
+      let t1 = Core.boot () in
+      Workloads.Database.setup ~config:cfg (Core.sys t1);
+      let p = Workloads.Database.run_plain ~config:cfg (Core.sys t1) in
+      let t2 = Core.boot () in
+      Workloads.Database.setup ~config:cfg (Core.sys t2);
+      let c, _ = Workloads.Database.run_cosy ~config:cfg (Core.sys t2) in
+      pf "    %6d B records: %5.1f%% faster\n" record_size
+        (pct_faster p.Workloads.Database.times.Ksim.Kernel.elapsed
+           c.Workloads.Database.times.Ksim.Kernel.elapsed))
+    [ 64; 256; 1024; 4096 ]
+
+(* ----------------------------------------------------------------- E5 *)
+
+let e5 () =
+  header "E5" "Kefence on Wrapfs (Am-utils build)"
+    "+1.4% elapsed; max 2,085 outstanding pages; mean allocation 80 bytes";
+  let cfg = { Workloads.Amutils.default_config with source_files = 1_000; prime_objects = false } in
+  let t1 = Core.boot ~fs:Core.Wrapfs_kmalloc () in
+  Workloads.Amutils.setup ~config:cfg (Core.sys t1);
+  let a = Workloads.Amutils.run ~config:cfg (Core.sys t1) in
+  let t2 = Core.boot ~fs:(Core.Wrapfs_kefence Kefence.Crash) () in
+  Workloads.Amutils.setup ~config:cfg (Core.sys t2);
+  let b = Workloads.Amutils.run ~config:cfg (Core.sys t2) in
+  pf "  vanilla wrapfs (kmalloc) : %.4f s elapsed\n" (sec a.Workloads.Amutils.times.Ksim.Kernel.elapsed);
+  pf "  kefence wrapfs (vmalloc) : %.4f s elapsed\n" (sec b.Workloads.Amutils.times.Ksim.Kernel.elapsed);
+  pf "  overhead                 : %.2f%% elapsed (paper: 1.4%%)\n"
+    (pct_over a.Workloads.Amutils.times.Ksim.Kernel.elapsed
+       b.Workloads.Amutils.times.Ksim.Kernel.elapsed);
+  let stats = Ksim.Kalloc.stats (Ksim.Kernel.alloc (Core.kernel t2)) in
+  pf "  max outstanding pages    : %d (paper: 2,085)\n" stats.Ksim.Kalloc.pages_high_water;
+  pf "  mean allocation size     : %.0f B (paper: 80 B)\n" stats.Ksim.Kalloc.mean_alloc_bytes;
+  (match Core.kefence t2 with
+  | Some kf -> pf "  overflows detected       : %d (expected: 0)\n" (Kefence.overflows_detected kf)
+  | None -> ());
+  let tlb = Ksim.Address_space.tlb (Ksim.Kernel.kspace (Core.kernel t2)) in
+  let tlb1 = Ksim.Address_space.tlb (Ksim.Kernel.kspace (Core.kernel t1)) in
+  pf "  kernel TLB misses        : %d (kmalloc) vs %d (kefence)\n"
+    (Ksim.Tlb.misses tlb1) (Ksim.Tlb.misses tlb)
+
+(* ----------------------------------------------------------------- E6 *)
+
+let e6 () =
+  header "E6" "event monitoring under PostMark (dcache_lock)"
+    "+3.9% dispatcher+ring; +61% polling user logger (no disk); +103% \
+     logger writing to disk; system time effectively constant";
+  let cfg = { Workloads.Postmark.default_config with files = 200; transactions = 1_000 } in
+  let run ?(mon = `None) () =
+    let t = Core.boot () in
+    let sys = Core.sys t in
+    match mon with
+    | `None ->
+        let s = Workloads.Postmark.run ~config:cfg sys in
+        (s.Workloads.Postmark.times, 0, 0)
+    | `Ring ->
+        let d = Core.enable_monitoring t in
+        let s = Workloads.Postmark.run ~config:cfg sys in
+        Core.disable_monitoring t;
+        (s.Workloads.Postmark.times, Kmonitor.Dispatcher.events d, 0)
+    | `Logger write_to_disk ->
+        let d = Core.enable_monitoring t in
+        let cd = Kmonitor.Chardev.create (Core.kernel t) d in
+        let lib = Kmonitor.Libkernevents.create ~strategy:Kmonitor.Libkernevents.Polling cd in
+        let lg = Kmonitor.Disk_logger.create ~write_to_disk (Core.kernel t) lib in
+        let cfg = { cfg with Workloads.Postmark.pump = (fun () -> Kmonitor.Disk_logger.pump lg) } in
+        let s = Workloads.Postmark.run ~config:cfg sys in
+        Kmonitor.Disk_logger.drain lg;
+        Core.disable_monitoring t;
+        (s.Workloads.Postmark.times, Kmonitor.Dispatcher.events d,
+         Kmonitor.Disk_logger.records_written lg)
+  in
+  let base, _, _ = run () in
+  let ring, ev_ring, _ = run ~mon:`Ring () in
+  let nolog, _, _ = run ~mon:(`Logger false) () in
+  let wlog, _, logged = run ~mon:(`Logger true) () in
+  let line name (t : Ksim.Kernel.times) extra =
+    pf "  %-28s elapsed %9.4f s (%+6.1f%%)  system %9.4f s%s\n" name
+      (sec t.Ksim.Kernel.elapsed)
+      (pct_over base.Ksim.Kernel.elapsed t.Ksim.Kernel.elapsed)
+      (sec t.Ksim.Kernel.stime) extra
+  in
+  line "vanilla" base "";
+  line "dispatcher + ring" ring (Printf.sprintf "  (%d events)" ev_ring);
+  line "+ polling logger (no disk)" nolog "";
+  line "+ logger writing to disk" wlog (Printf.sprintf "  (%d records)" logged);
+  let rate =
+    float_of_int ev_ring /. 2. /. sec ring.Ksim.Kernel.elapsed
+  in
+  pf "  dcache_lock rate: %.0f acquisitions/s of simulated time (paper: 8,805/s)\n" rate
+
+(* ----------------------------------------------------------------- E7 *)
+
+let e7 () =
+  header "E7" "KGCC-compiled journalfs (Reiserfs stand-in)"
+    "Am-utils compile: system +33%, elapsed +20%.  PostMark: system x14, \
+     elapsed x3";
+  let am fs =
+    let t = Core.boot ~fs () in
+    Workloads.Amutils.setup (Core.sys t);
+    (Workloads.Amutils.run (Core.sys t)).Workloads.Amutils.times
+  in
+  let pm fs =
+    let t = Core.boot ~fs () in
+    let cfg = { Workloads.Postmark.default_config with files = 200; transactions = 800 } in
+    (Workloads.Postmark.run ~config:cfg (Core.sys t)).Workloads.Postmark.times
+  in
+  let show name (g : Ksim.Kernel.times) (k : Ksim.Kernel.times) =
+    pf "  %-18s system %8.4f -> %8.4f s (x%.1f / %+.0f%%)   elapsed %8.4f -> %8.4f s (x%.1f / %+.0f%%)\n"
+      name (sec g.Ksim.Kernel.stime) (sec k.Ksim.Kernel.stime)
+      (ratio g.Ksim.Kernel.stime k.Ksim.Kernel.stime)
+      (pct_over g.Ksim.Kernel.stime k.Ksim.Kernel.stime)
+      (sec g.Ksim.Kernel.elapsed) (sec k.Ksim.Kernel.elapsed)
+      (ratio g.Ksim.Kernel.elapsed k.Ksim.Kernel.elapsed)
+      (pct_over g.Ksim.Kernel.elapsed k.Ksim.Kernel.elapsed)
+  in
+  show "am-utils compile" (am Core.Journalfs) (am Core.Journalfs_kgcc);
+  show "postmark" (pm Core.Journalfs) (pm Core.Journalfs_kgcc)
+
+(* ----------------------------------------------------------------- E8 *)
+
+(* a small corpus of kernel-flavoured mini-C for compile-time statistics *)
+let corpus =
+  [
+    ("journalfs", Kvfs.Journalfs.source);
+    ( "string-utils",
+      {|
+int kstrlen(char *s) { int n = 0; while (s[n] != 0) n++; return n; }
+int kstrcmp(char *a, char *b) {
+  int i = 0;
+  while (a[i] != 0 && b[i] != 0 && a[i] == b[i]) i++;
+  return a[i] - b[i];
+}
+int khash(char *s, int len) {
+  int h = 5381;
+  int i;
+  for (i = 0; i < len; i++) h = h * 33 + s[i];
+  return h;
+}
+|} );
+    ( "inode-ops",
+      {|
+int inode_update(int *inode, int now) {
+  /* repeated field access through the same pointer: the common kernel
+     idiom check-CSE exists for */
+  int dirty = 0;
+  if (inode[2] < now) { inode[2] = now; dirty = dirty + inode[2]; }
+  if (inode[3] < inode[2]) { inode[3] = inode[2]; dirty = dirty + inode[3]; }
+  inode[4] = inode[4] + 1;
+  inode[5] = inode[4] + inode[2] + inode[3];
+  return dirty + inode[5] + inode[5] + inode[4];
+}
+int quota_charge(int *q, int blocks) {
+  q[0] = q[0] + blocks;
+  q[1] = q[1] + blocks;
+  if (q[0] > q[2]) return 0 - (q[0] - q[2]);
+  if (q[1] > q[3]) return 0 - (q[1] - q[3]);
+  return q[0] + q[1];
+}
+|} );
+    ( "list-walk",
+      {|
+int sum_table(int *table, int n) {
+  int s = 0;
+  int i;
+  for (i = 0; i < n; i++) {
+    s = s + table[i] + table[i];    /* repeated access: CSE fodder */
+    if (table[i] > 100) s = s - table[i];
+  }
+  return s;
+}
+int copy_table(int *dst, int *src, int n) {
+  int i;
+  for (i = 0; i < n; i++) dst[i] = src[i];
+  return n;
+}
+|} );
+  ]
+
+let e8 () =
+  header "E8" "KGCC compile-time statistics (ablation)"
+    "BCC-instrumented code 15-20x larger; check-CSE removes more than \
+     half the checks for typical kernel code; splay map nearly optimal \
+     under locality";
+  pf "%-14s %10s %10s %10s %12s\n" "module" "checks" "CSE-cut" "remaining" "size growth";
+  List.iter
+    (fun (name, src) ->
+      let p = Minic.Parser.parse_program ~file:(name ^ ".c") src in
+      let r = Kgcc.Compile.compile ~optimize:true p in
+      pf "%-14s %10d %10d %10d %11.1fx\n" name r.Kgcc.Compile.checks_inserted
+        r.Kgcc.Compile.checks_removed
+        (Kgcc.Compile.checks_remaining r)
+        (float_of_int r.Kgcc.Compile.size_after
+        /. float_of_int (max 1 r.Kgcc.Compile.size_before)))
+    corpus;
+  (* splay locality: rotations per lookup, local vs scattered pattern *)
+  let splay_probe pattern =
+    let t = Kgcc.Splay.create () in
+    for i = 0 to 255 do
+      Kgcc.Splay.insert t ~base:(i * 64) ~size:64 ~meta:i
+    done;
+    Kgcc.Splay.reset_stats t;
+    for i = 0 to 9_999 do
+      let addr = match pattern with
+        | `Local -> 4_096 + (i mod 3)
+        | `Scattered -> i * 2_654_435 mod (256 * 64)
+      in
+      ignore (Kgcc.Splay.find_containing t addr)
+    done;
+    float_of_int (Kgcc.Splay.rotations t) /. 10_000.
+  in
+  pf "  splay rotations/lookup: %.2f under locality, %.2f scattered\n"
+    (splay_probe `Local) (splay_probe `Scattered)
+
+(* ----------------------------------------------------------------- E9 *)
+
+let e9 () =
+  header "E9" "dynamic deinstrumentation (ablation of the §3.5 plan)"
+    "checks deactivate after executing a sufficient number of times, \
+     reclaiming performance for hot paths";
+  let hot =
+    {|
+int main(void) {
+  int a[16];
+  int i;
+  int s = 0;
+  for (i = 0; i < 16; i++) a[i] = i;
+  for (i = 0; i < 20000; i++) s = s + a[i % 16];
+  return s;
+}
+|}
+  in
+  let run threshold =
+    let clock = Ksim.Sim_clock.create () in
+    let mem = Ksim.Phys_mem.create ~page_size:4096 in
+    let space =
+      Ksim.Address_space.create ~name:"e9" ~mem ~clock ~cost:Ksim.Cost_model.default
+    in
+    let interp =
+      Minic.Interp.create ~space ~clock ~cost:Ksim.Cost_model.default
+        ~base_vpn:16 ~pages:64
+    in
+    let instrumented = threshold <> Some (-1) in
+    let stats = ref None in
+    (if instrumented then begin
+       let rt =
+         Kgcc.Kgcc_runtime.create ?deinstrument_after:threshold ~clock
+           ~cost:Ksim.Cost_model.default ()
+       in
+       Kgcc.Kgcc_runtime.attach rt interp;
+       let p = Minic.Parser.parse_program hot in
+       let r = Kgcc.Compile.compile p in
+       ignore (Minic.Interp.load_program interp r.Kgcc.Compile.program);
+       stats := Some rt
+     end
+     else ignore (Minic.Interp.parse_and_load interp hot));
+    let t0 = Ksim.Sim_clock.now clock in
+    ignore (Minic.Interp.run interp "main");
+    let cycles = Ksim.Sim_clock.now clock - t0 in
+    (cycles, Option.map Kgcc.Kgcc_runtime.stats !stats)
+  in
+  let baseline, _ = run (Some (-1)) in
+  pf "  %-22s %12s %10s %10s %10s\n" "configuration" "cycles" "overhead"
+    "executed" "skipped";
+  pf "  %-22s %12d %10s %10s %10s\n" "uninstrumented" baseline "-" "-" "-";
+  List.iter
+    (fun threshold ->
+      let cycles, stats = run threshold in
+      let executed, skipped =
+        match stats with
+        | Some s -> (s.Kgcc.Kgcc_runtime.checks_executed, s.Kgcc.Kgcc_runtime.checks_skipped)
+        | None -> (0, 0)
+      in
+      let name =
+        match threshold with
+        | None -> "checks always on"
+        | Some n -> Printf.sprintf "deinstrument after %d" n
+
+      in
+      pf "  %-22s %12d %9.0f%% %10d %10d\n" name cycles
+        (pct_over baseline cycles) executed skipped)
+    [ None; Some 10_000; Some 1_000; Some 100; Some 10 ]
+
+(* ---------------------------------------------------------------- E10 *)
+
+let e10 () =
+  header "E10" "Cosy user-function protection modes (ablation)"
+    "isolated segment: maximum security but per-call overhead; data-only \
+     segment: no additional runtime overhead; heuristic authentication \
+     turns checks off after enough safe runs (§2.3-2.4)";
+  let user_program = "int work(int x) { int i; int s = 0; for (i = 0; i < 50; i++) s += x; return s; }" in
+  let calls = 500 in
+  let run ~mode ~trust_after =
+    let t = Core.boot () in
+    let exec =
+      Core.cosy
+        ~policy:{ Cosy.Cosy_safety.mode; watchdog_budget = max_int; trust_after }
+        ~user_program t
+    in
+    let c = Cosy.Cosy_lib.create () in
+    let i = Cosy.Cosy_lib.set_fresh c (Cosy.Cosy_op.Const 0) in
+    let top = Cosy.Cosy_lib.next_index c in
+    let cond =
+      Cosy.Cosy_lib.arith_fresh c Cosy.Cosy_op.Alt (Cosy.Cosy_op.Slot i)
+        (Cosy.Cosy_op.Const calls)
+    in
+    let jz = Cosy.Cosy_lib.next_index c in
+    Cosy.Cosy_lib.jz c (Cosy.Cosy_op.Slot cond) 0;
+    ignore (Cosy.Cosy_lib.call_user c "work" [ Cosy.Cosy_op.Slot i ]);
+    Cosy.Cosy_lib.arith c ~dst:i Cosy.Cosy_op.Aadd (Cosy.Cosy_op.Slot i) (Cosy.Cosy_op.Const 1);
+    Cosy.Cosy_lib.jmp c top;
+    Cosy.Cosy_lib.patch_jump c ~at:jz ~target:(Cosy.Cosy_lib.next_index c);
+    let (), times =
+      Ksim.Kernel.timed (Core.kernel t) (fun () ->
+          ignore (Cosy.Cosy_exec.submit exec (Cosy.Cosy_lib.finish c)))
+    in
+    (times.Ksim.Kernel.elapsed, (Cosy.Cosy_exec.stats exec).Cosy.Cosy_exec.segment_loads)
+  in
+  let trusted, _ = run ~mode:Cosy.Cosy_safety.Trusted ~trust_after:None in
+  pf "  %-34s %12s %10s %14s\n" "mode" "cycles" "overhead" "segment loads";
+  List.iter
+    (fun (name, mode, trust_after) ->
+      let cycles, loads = run ~mode ~trust_after in
+      pf "  %-34s %12d %9.1f%% %14d\n" name cycles (pct_over trusted cycles) loads)
+    [
+      ("trusted (no protection)", Cosy.Cosy_safety.Trusted, None);
+      ("data-only segment", Cosy.Cosy_safety.Data_segment, None);
+      ("isolated segment", Cosy.Cosy_safety.Isolated_segment, None);
+      ( "isolated, authenticate after 50",
+        Cosy.Cosy_safety.Isolated_segment,
+        Some 50 );
+    ]
+
+(* ---------------------------------------------------------------- E11 *)
+
+let e11 () =
+  header "E11" "cost-model sensitivity (ablation)"
+    "the paper's wins are ratios of boundary costs saved; DESIGN.md calls \
+     for sweeping them.  Cosy's advantage should grow with the trap cost \
+     and shrink toward zero as crossings become free";
+  pf "  %14s %18s %18s\n" "trap cost" "database speedup" "lsdir rdplus gain";
+  List.iter
+    (fun scale ->
+      let cost =
+        {
+          Ksim.Cost_model.default with
+          Ksim.Cost_model.syscall_entry =
+            Ksim.Cost_model.default.Ksim.Cost_model.syscall_entry * scale / 4;
+          syscall_exit =
+            Ksim.Cost_model.default.Ksim.Cost_model.syscall_exit * scale / 4;
+          user_stub =
+            Ksim.Cost_model.default.Ksim.Cost_model.user_stub * scale / 4;
+        }
+      in
+      let config = { Ksim.Kernel.default_config with cost } in
+      let db =
+        let t1 = Core.boot ~config () in
+        Workloads.Database.setup (Core.sys t1);
+        let p = Workloads.Database.run_plain (Core.sys t1) in
+        let t2 = Core.boot ~config () in
+        Workloads.Database.setup (Core.sys t2);
+        let c, _ = Workloads.Database.run_cosy (Core.sys t2) in
+        pct_faster p.Workloads.Database.times.Ksim.Kernel.elapsed
+          c.Workloads.Database.times.Ksim.Kernel.elapsed
+      in
+      let ls =
+        let t1 = Core.boot ~config () in
+        Workloads.Lsdir.setup (Core.sys t1) ~dir:"/d" ~n:1000;
+        let p = Workloads.Lsdir.run_plain (Core.sys t1) ~dir:"/d" in
+        let t2 = Core.boot ~config () in
+        Workloads.Lsdir.setup (Core.sys t2) ~dir:"/d" ~n:1000;
+        let m = Workloads.Lsdir.run_readdirplus (Core.sys t2) ~dir:"/d" in
+        pct_faster p.Workloads.Lsdir.times.Ksim.Kernel.elapsed
+          m.Workloads.Lsdir.times.Ksim.Kernel.elapsed
+      in
+      pf "  %12.2fx %17.1f%% %17.1f%%\n" (float_of_int scale /. 4.) db ls)
+    [ 1; 2; 4; 8; 16 ]
+
+(* ------------------------------------------------- Bechamel microbench *)
+
+let micro () =
+  pf "\n=== host-time microbenchmarks (Bechamel) ===\n";
+  let open Bechamel in
+  let ring = Kmonitor.Ring.create 1024 in
+  let splay =
+    let t = Kgcc.Splay.create () in
+    for i = 0 to 511 do
+      Kgcc.Splay.insert t ~base:(i * 64) ~size:64 ~meta:i
+    done;
+    t
+  in
+  let compound =
+    let c = Cosy.Cosy_lib.create () in
+    for _ = 1 to 16 do
+      ignore (Cosy.Cosy_lib.syscall c "getpid" [])
+    done;
+    Cosy.Cosy_lib.finish c
+  in
+  let interp =
+    let clock = Ksim.Sim_clock.create () in
+    let mem = Ksim.Phys_mem.create ~page_size:4096 in
+    let space =
+      Ksim.Address_space.create ~name:"b" ~mem ~clock ~cost:Ksim.Cost_model.zero
+    in
+    let i =
+      Minic.Interp.create ~space ~clock ~cost:Ksim.Cost_model.zero ~base_vpn:8
+        ~pages:32
+    in
+    ignore
+      (Minic.Interp.parse_and_load i
+         "int f(int n) { int s = 0; int i; for (i = 0; i < n; i++) s += i; return s; }");
+    i
+  in
+  let test =
+    Test.make_grouped ~name:"primitives"
+      [
+        Test.make ~name:"ring-push-pop"
+          (Staged.stage (fun () ->
+               ignore (Kmonitor.Ring.push ring 1);
+               ignore (Kmonitor.Ring.pop ring)));
+        Test.make ~name:"splay-find-hot"
+          (Staged.stage (fun () -> ignore (Kgcc.Splay.find_containing splay 4096)));
+        Test.make ~name:"compound-decode-16ops"
+          (Staged.stage (fun () -> ignore (Cosy.Compound.decode compound)));
+        Test.make ~name:"minic-100-iter-loop"
+          (Staged.stage (fun () -> ignore (Minic.Interp.run interp ~args:[ 100 ] "f")));
+      ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.3) () in
+  let raw = Benchmark.all cfg instances test in
+  let results = Analyze.all ols (List.hd instances) raw in
+  Hashtbl.iter
+    (fun name v ->
+      match Analyze.OLS.estimates v with
+      | Some [ est ] -> pf "  %-36s %12.1f ns/op\n" name est
+      | Some _ | None -> pf "  %-36s (no estimate)\n" name)
+    results
+
+(* ------------------------------------------------------------- driver *)
+
+let all_experiments =
+  [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
+    ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11) ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let want_micro = List.mem "micro" args in
+  let selected =
+    List.filter (fun a -> a <> "micro" && a <> "all") args
+  in
+  let to_run =
+    if selected = [] then all_experiments
+    else
+      List.filter (fun (id, _) -> List.mem id selected) all_experiments
+  in
+  pf "Reproduction of \"Efficient and Safe Execution of User-Level Code in \
+      the Kernel\" (Zadok et al., 2005)\n";
+  pf "Simulated substrate; see DESIGN.md for the substitution table and \
+      EXPERIMENTS.md for analysis.\n";
+  List.iter (fun (_, f) -> f ()) to_run;
+  if want_micro then micro ()

@@ -1,0 +1,1 @@
+bin/cosy_run.ml: Arg Array Bytes Cmd Cmdliner Core Cosy Fmt In_channel Ksim Ksyscall Kvfs List Minic Option Printf String Term

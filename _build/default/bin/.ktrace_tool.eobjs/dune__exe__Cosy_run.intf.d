@@ -1,0 +1,1 @@
+bin/cosy_run.mli:

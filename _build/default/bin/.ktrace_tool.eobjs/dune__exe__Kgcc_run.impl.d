@@ -1,0 +1,1 @@
+bin/kgcc_run.ml: Arg Cmd Cmdliner Fmt In_channel Kgcc Ksim Minic Option Printf Term

@@ -1,0 +1,1 @@
+bin/kgcc_run.mli:

@@ -1,0 +1,1 @@
+bin/ktrace_tool.ml: Arg Cmd Cmdliner Core Fmt Ksim Ktrace List Printf String Term Workloads

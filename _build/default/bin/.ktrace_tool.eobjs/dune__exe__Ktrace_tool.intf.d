@@ -1,0 +1,1 @@
+bin/ktrace_tool.mli:

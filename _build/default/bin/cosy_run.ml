@@ -1,0 +1,166 @@
+(* cosy_run: take a mini-C file containing a COSY_START/COSY_END region,
+   run the function both as plain user-space code (every syscall crossing
+   the boundary) and as a Cosy compound, and compare.
+
+   Usage: dune exec bin/cosy_run.exe -- --file prog.c --function main
+   With no --file, a built-in demo program is used. *)
+
+open Cmdliner
+
+let demo =
+  {|
+int pump(void) {
+  int total = 0;
+  COSY_START;
+  int fd = open("/demo/data", 0);
+  char buf[256];
+  int i = 0;
+  while (i < 100) {
+    int n = read(fd, buf, 256);
+    total = total + n;
+    i = i + 1;
+  }
+  close(fd);
+  COSY_END;
+  return total;
+}
+|}
+
+(* user-space run: interpret the whole function with syscall externs that
+   go through the boundary-crossing wrappers *)
+let register_usyscalls interp sys =
+  let str_of interp addr =
+    Minic.Interp.read_c_string interp ~loc:Minic.Ast.no_loc ~addr
+  in
+  let reg name f = Minic.Interp.register_extern interp name f in
+  reg "open" (fun i args ->
+      match args with
+      | [ path; flags ] ->
+          let flags =
+            (if flags land 1 <> 0 then [ Kvfs.Vfs.O_RDWR ] else [ Kvfs.Vfs.O_RDONLY ])
+            @ (if flags land 2 <> 0 then [ Kvfs.Vfs.O_CREAT ] else [])
+            @ (if flags land 4 <> 0 then [ Kvfs.Vfs.O_TRUNC ] else [])
+          in
+          (match Ksyscall.Usyscall.sys_open sys ~path:(str_of i path) ~flags with
+          | Ok fd -> fd
+          | Error e -> -Kvfs.Vtypes.errno_code e)
+      | _ -> -1);
+  reg "close" (fun _ args ->
+      match args with
+      | [ fd ] -> (
+          match Ksyscall.Usyscall.sys_close sys ~fd with
+          | Ok () -> 0
+          | Error e -> -Kvfs.Vtypes.errno_code e)
+      | _ -> -1);
+  reg "read" (fun i args ->
+      match args with
+      | [ fd; buf; len ] -> (
+          match Ksyscall.Usyscall.sys_read sys ~fd ~len with
+          | Ok data ->
+              Ksim.Address_space.write_bytes (Minic.Interp.space i) ~addr:buf data;
+              Bytes.length data
+          | Error e -> -Kvfs.Vtypes.errno_code e)
+      | _ -> -1);
+  reg "write" (fun i args ->
+      match args with
+      | [ fd; buf; len ] -> (
+          let data =
+            Ksim.Address_space.read_bytes (Minic.Interp.space i) ~addr:buf ~len
+          in
+          match Ksyscall.Usyscall.sys_write sys ~fd ~data with
+          | Ok n -> n
+          | Error e -> -Kvfs.Vtypes.errno_code e)
+      | _ -> -1);
+  reg "getpid" (fun _ _ -> Ksyscall.Usyscall.sys_getpid sys);
+  reg "lseek" (fun _ args ->
+      match args with
+      | [ fd; off; whence ] -> (
+          let whence =
+            match whence with
+            | 0 -> Kvfs.Vfs.SEEK_SET
+            | 1 -> Kvfs.Vfs.SEEK_CUR
+            | _ -> Kvfs.Vfs.SEEK_END
+          in
+          match Ksyscall.Usyscall.sys_lseek sys ~fd ~off ~whence with
+          | Ok p -> p
+          | Error e -> -Kvfs.Vtypes.errno_code e)
+      | _ -> -1)
+
+let main file fname =
+  let src =
+    match file with
+    | None -> demo
+    | Some f -> In_channel.with_open_text f In_channel.input_all
+  in
+  let program =
+    Minic.Parser.parse_program ~file:(Option.value ~default:"<demo>" file) src
+  in
+  (* setup shared by both runs *)
+  let prepare () =
+    let t = Core.boot () in
+    ignore (Core.Syscall.sys_mkdir (Core.sys t) ~path:"/demo");
+    ignore
+      (Core.Syscall.sys_open_write_close (Core.sys t) ~path:"/demo/data"
+         ~data:(Bytes.make 25600 'd') ~flags:Core.o_create);
+    t
+  in
+  (* 1. plain user-space interpretation *)
+  let t1 = prepare () in
+  let interp =
+    Minic.Interp.create
+      ~space:(Ksim.Kernel.uspace (Core.kernel t1))
+      ~clock:(Ksim.Kernel.clock (Core.kernel t1))
+      ~cost:(Ksim.Kernel.cost (Core.kernel t1))
+      ~base_vpn:0x2000 ~pages:64
+  in
+  register_usyscalls interp (Core.sys t1);
+  ignore (Minic.Interp.load_program interp program);
+  let r1, times1 =
+    Ksim.Kernel.timed (Core.kernel t1) (fun () -> Minic.Interp.run interp fname)
+  in
+  Printf.printf "user-space run : result=%d  crossings=%d  %s\n" r1
+    (Ksim.Kernel.crossings (Core.kernel t1))
+    (Fmt.str "%a" Core.pp_times times1);
+
+  (* 2. Cosy-GCC + kernel extension *)
+  let t2 = prepare () in
+  let compiled = Cosy.Cosy_gcc.compile program ~fname in
+  Printf.printf "cosy-gcc       : %d compound ops, %d B encoded, buffers: %s\n"
+    compiled.Cosy.Cosy_gcc.op_count
+    (Cosy.Compound.size compiled.Cosy.Cosy_gcc.compound)
+    (String.concat "," (List.map fst compiled.Cosy.Cosy_gcc.shared_of_bufs));
+  let exec = Core.cosy t2 in
+  let c0 = Ksim.Kernel.crossings (Core.kernel t2) in
+  let slots, times2 =
+    Ksim.Kernel.timed (Core.kernel t2) (fun () ->
+        Cosy.Cosy_exec.submit exec compiled.Cosy.Cosy_gcc.compound)
+  in
+  let result_slot =
+    match compiled.Cosy.Cosy_gcc.slots_of_vars with
+    | (_, s) :: _ as all ->
+        (* prefer a variable named like a result; else the first *)
+        (try List.assoc "total" all with Not_found -> s)
+    | [] -> 0
+  in
+  Printf.printf "cosy run       : result=%d  crossings=%d  %s\n"
+    slots.(result_slot)
+    (Ksim.Kernel.crossings (Core.kernel t2) - c0)
+    (Fmt.str "%a" Core.pp_times times2);
+  Printf.printf "speedup        : %.1f%%\n"
+    (100.
+    *. (1.
+        -. float_of_int times2.Ksim.Kernel.elapsed
+           /. float_of_int (max 1 times1.Ksim.Kernel.elapsed)))
+
+let file_arg =
+  Arg.(value & opt (some string) None & info [ "f"; "file" ] ~doc:"mini-C source file")
+
+let fn_arg =
+  Arg.(value & opt string "pump" & info [ "function" ] ~doc:"function with the Cosy region")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "cosy_run" ~doc:"Run a marked mini-C region as a Cosy compound")
+    Term.(const main $ file_arg $ fn_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/cosy_database.ml: Array Bytes Core Cosy Fmt Ksim List Minic Printf String

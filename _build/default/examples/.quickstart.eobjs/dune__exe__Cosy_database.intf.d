@@ -1,0 +1,1 @@
+examples/cosy_database.mli:

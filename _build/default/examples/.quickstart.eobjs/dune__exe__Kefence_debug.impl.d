@@ -1,0 +1,1 @@
+examples/kefence_debug.ml: Core Fmt Kefence Ksim Kvfs List Printf Workloads

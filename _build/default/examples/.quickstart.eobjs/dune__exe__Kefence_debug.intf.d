@@ -1,0 +1,1 @@
+examples/kefence_debug.mli:

@@ -1,0 +1,1 @@
+examples/kgcc_boundscheck.ml: Fmt Kgcc Ksim Minic Printf

@@ -1,0 +1,1 @@
+examples/monitor_refcounts.ml: Core Fmt Kmonitor Ksim List Printf

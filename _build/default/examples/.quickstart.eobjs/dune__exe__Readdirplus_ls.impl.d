@@ -1,0 +1,1 @@
+examples/readdirplus_ls.ml: Array Core Fmt Ksim Ktrace List Printf Sys Workloads

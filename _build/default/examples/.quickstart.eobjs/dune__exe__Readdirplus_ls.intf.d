@@ -1,0 +1,1 @@
+examples/readdirplus_ls.mli:

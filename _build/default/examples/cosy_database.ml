@@ -1,0 +1,92 @@
+(* A database-style application accelerated with Cosy, the way the paper
+   describes (§2.3): mark the bottleneck loop with COSY_START/COSY_END,
+   let Cosy-GCC compile the region to a compound, and submit it to the
+   kernel extension — one boundary crossing instead of thousands.
+
+   Run with:  dune exec examples/cosy_database.exe *)
+
+(* The application, in mini-C.  The marked region scans the first 200
+   records of an index file and sums a field from each. *)
+let app_source =
+  {|
+int scan_index(void) {
+  int total = 0;
+  COSY_START;
+  int fd = open("/db/index", 0);
+  int i = 0;
+  char rec[64];
+  while (i < 200) {
+    int n = read(fd, rec, 64);
+    if (n < 64) break;
+    total = total + n;
+    i = i + 1;
+  }
+  close(fd);
+  COSY_END;
+  return total;
+}
+|}
+
+let () =
+  let t = Core.boot () in
+  let sys = Core.sys t in
+  (* create the index file *)
+  ignore (Core.ok (Core.Syscall.sys_mkdir sys ~path:"/db"));
+  ignore
+    (Core.ok
+       (Core.Syscall.sys_open_write_close sys ~path:"/db/index"
+          ~data:(Bytes.make (200 * 64) 'r') ~flags:Core.o_create));
+
+  (* Cosy-GCC: parse the C, extract the marked region, build a compound *)
+  let program = Minic.Parser.parse_program ~file:"app.c" app_source in
+  let compiled = Cosy.Cosy_gcc.compile program ~fname:"scan_index" in
+  Printf.printf "Cosy-GCC compiled the marked region into %d compound ops\n"
+    compiled.Cosy.Cosy_gcc.op_count;
+  Printf.printf "zero-copy buffers detected: %s\n"
+    (String.concat ", " (List.map fst compiled.Cosy.Cosy_gcc.shared_of_bufs));
+
+  (* submit to the Cosy kernel extension *)
+  let exec = Core.cosy t in
+  let kernel = Core.kernel t in
+  let before_crossings = Ksim.Kernel.crossings kernel in
+  let (), times =
+    Ksim.Kernel.timed kernel (fun () ->
+        let slots = Cosy.Cosy_exec.submit exec compiled.Cosy.Cosy_gcc.compound in
+        let total = slots.(List.assoc "total" compiled.Cosy.Cosy_gcc.slots_of_vars) in
+        Printf.printf "compound result: total = %d bytes scanned\n" total)
+  in
+  Printf.printf "cosy   : %d crossing(s), %s\n"
+    (Ksim.Kernel.crossings kernel - before_crossings)
+    (Fmt.str "%a" Core.pp_times times);
+
+  (* the same loop with plain syscalls, for comparison *)
+  let t2 = Core.boot () in
+  let sys2 = Core.sys t2 in
+  ignore (Core.ok (Core.Syscall.sys_mkdir sys2 ~path:"/db"));
+  ignore
+    (Core.ok
+       (Core.Syscall.sys_open_write_close sys2 ~path:"/db/index"
+          ~data:(Bytes.make (200 * 64) 'r') ~flags:Core.o_create));
+  let kernel2 = Core.kernel t2 in
+  let before = Ksim.Kernel.crossings kernel2 in
+  let (), plain_times =
+    Ksim.Kernel.timed kernel2 (fun () ->
+        let fd = Core.ok (Core.Syscall.sys_open sys2 ~path:"/db/index" ~flags:Core.o_rdonly) in
+        let total = ref 0 in
+        (try
+           for _ = 1 to 200 do
+             let data = Core.ok (Core.Syscall.sys_read sys2 ~fd ~len:64) in
+             if Bytes.length data < 64 then raise Exit;
+             total := !total + Bytes.length data
+           done
+         with Exit -> ());
+        ignore (Core.ok (Core.Syscall.sys_close sys2 ~fd)))
+  in
+  Printf.printf "plain  : %d crossing(s), %s\n"
+    (Ksim.Kernel.crossings kernel2 - before)
+    (Fmt.str "%a" Core.pp_times plain_times);
+  Printf.printf "speedup: %.1f%% (paper reports 20-80%% for such loops)\n"
+    (100.
+    *. (1.
+        -. float_of_int times.Ksim.Kernel.elapsed
+           /. float_of_int plain_times.Ksim.Kernel.elapsed))

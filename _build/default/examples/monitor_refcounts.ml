@@ -1,0 +1,57 @@
+(* Watching kernel invariants with the event-monitoring framework (§3.3):
+   reference counters, spinlocks, and interrupt balance, both through
+   in-kernel on-line monitors and a user-space logger fed by the
+   lock-free ring buffer.
+
+   Run with:  dune exec examples/monitor_refcounts.exe *)
+
+let () =
+  let t = Core.boot () in
+  let dispatcher = Core.enable_monitoring t in
+  let monitors = Kmonitor.Monitors.register_standard dispatcher in
+
+  (* a user-space logger on the character device *)
+  let chardev = Kmonitor.Chardev.create (Core.kernel t) dispatcher in
+  let lib =
+    Kmonitor.Libkernevents.create
+      ~strategy:(Kmonitor.Libkernevents.Blocking { low_water = 1 }) chardev
+  in
+  let log_lines = ref [] in
+  Kmonitor.Libkernevents.add_sink lib ~name:"printer" (fun ev ->
+      log_lines := Fmt.str "%a" Ksim.Instrument.pp_event ev :: !log_lines);
+
+  (* healthy kernel activity: balanced lock/unlock, get/put *)
+  let lock = Ksim.Spinlock.create "inode_lock" in
+  let count = Ksim.Refcount.create "inode-42" in
+  for _ = 1 to 3 do
+    Ksim.Spinlock.lock ~file:"example.ml" ~line:28 lock;
+    Ksim.Refcount.get ~file:"example.ml" ~line:29 count;
+    ignore (Ksim.Refcount.put ~file:"example.ml" ~line:30 count);
+    Ksim.Spinlock.unlock ~file:"example.ml" ~line:31 lock
+  done;
+
+  (* ...and a buggy path: a refcount that leaks and irqs left disabled *)
+  Ksim.Refcount.get ~file:"buggy.c" ~line:101 count;
+  Ksim.Kernel.irq_disable ~file:"buggy.c" ~line:102 (Core.kernel t);
+
+  Kmonitor.Libkernevents.drain lib;
+  Core.disable_monitoring t;
+
+  Printf.printf "events dispatched : %d\n" (Kmonitor.Dispatcher.events dispatcher);
+  Printf.printf "events logged     : %d\n" (Kmonitor.Libkernevents.consumed lib);
+  Printf.printf "\nuser-space log (newest first, truncated):\n";
+  List.iteri (fun i l -> if i < 6 then Printf.printf "  %s\n" l) !log_lines;
+
+  Printf.printf "\non-line monitor findings:\n";
+  let leaks = Kmonitor.Monitors.refcount_leaks monitors.Kmonitor.Monitors.refcounts ~resting:1 in
+  List.iter
+    (fun (obj, c) -> Printf.printf "  refcount obj=%d leaked (resting count %d)\n" obj c)
+    leaks;
+  let violations = Kmonitor.Monitors.all_violations monitors in
+  if violations = [] then Printf.printf "  no hard violations (the leak shows at teardown)\n"
+  else
+    List.iter
+      (fun v -> Printf.printf "  VIOLATION: %s\n" (Fmt.str "%a" Kmonitor.Monitors.pp_violation v))
+      violations;
+  Printf.printf "  interrupts still disabled at depth %d (buggy.c:102 never re-enabled)\n"
+    (Ksim.Kernel.irq_depth (Core.kernel t))

@@ -1,0 +1,44 @@
+(* Quickstart: boot a simulated kernel, do some file I/O through the
+   syscall layer, and look at what it cost.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  (* Boot a kernel with the default memfs root filesystem. *)
+  let t = Core.boot () in
+  let sys = Core.sys t in
+
+  (* Ordinary POSIX-flavoured syscalls.  Each one crosses the simulated
+     user/kernel boundary and is charged virtual cycles. *)
+  ignore (Core.ok (Core.Syscall.sys_mkdir sys ~path:"/home"));
+  let fd = Core.ok (Core.Syscall.sys_open sys ~path:"/home/hello.txt" ~flags:Core.o_create) in
+  ignore (Core.ok (Core.Syscall.sys_write sys ~fd ~data:(Bytes.of_string "hello, kernel!\n")));
+  ignore (Core.ok (Core.Syscall.sys_close sys ~fd));
+
+  let contents =
+    Core.ok (Core.Syscall.sys_open_read_close sys ~path:"/home/hello.txt" ~maxlen:4096)
+  in
+  Printf.printf "file contents: %S\n" (Bytes.to_string contents);
+
+  (* What did that cost?  The kernel tracks boundary crossings, data
+     copies, and virtual time. *)
+  let kernel = Core.kernel t in
+  Printf.printf "syscalls issued      : %d\n" (Core.Systable.total_syscalls sys);
+  Printf.printf "boundary crossings   : %d\n" (Ksim.Kernel.crossings kernel);
+  Printf.printf "bytes copied in      : %d\n" (Ksim.Kernel.bytes_from_user kernel);
+  Printf.printf "bytes copied out     : %d\n" (Ksim.Kernel.bytes_to_user kernel);
+  Printf.printf "virtual time elapsed : %d cycles (%.6f s at 1.7 GHz)\n"
+    (Ksim.Kernel.now kernel)
+    (Ksim.Sim_clock.cycles_to_seconds (Ksim.Kernel.now kernel));
+
+  (* The same work as a single Cosy compound: one crossing total. *)
+  let exec = Core.cosy t in
+  let c = Cosy.Cosy_lib.create () in
+  let buf = Cosy.Cosy_lib.alloc_shared c 4096 in
+  let fd = Cosy.Cosy_lib.syscall c "open" [ Cosy.Cosy_op.Str "/home/hello.txt"; Cosy.Cosy_op.Const 0 ] in
+  let n = Cosy.Cosy_lib.syscall c "read" [ Cosy.Cosy_op.Slot fd; Cosy.Cosy_op.Shared buf; Cosy.Cosy_op.Const 4096 ] in
+  ignore (Cosy.Cosy_lib.syscall c "close" [ Cosy.Cosy_op.Slot fd ]);
+  let before = Ksim.Kernel.crossings kernel in
+  let slots = Cosy.Cosy_exec.submit exec (Cosy.Cosy_lib.finish c) in
+  Printf.printf "cosy: read %d bytes in %d boundary crossing(s)\n" slots.(n)
+    (Ksim.Kernel.crossings kernel - before)

@@ -1,0 +1,42 @@
+(* ls -l two ways: the readdir + stat-per-entry sequence every shell
+   runs, and the consolidated readdirplus syscall (§2.2 / E1).
+
+   Run with:  dune exec examples/readdirplus_ls.exe -- [nfiles] *)
+
+let () =
+  let n = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 1_000 in
+
+  (* Plain ls -l *)
+  let t1 = Core.boot () in
+  Workloads.Lsdir.setup (Core.sys t1) ~dir:"/dir" ~n;
+  let plain = Workloads.Lsdir.run_plain (Core.sys t1) ~dir:"/dir" in
+
+  (* readdirplus ls -l *)
+  let t2 = Core.boot () in
+  Workloads.Lsdir.setup (Core.sys t2) ~dir:"/dir" ~n;
+  let merged = Workloads.Lsdir.run_readdirplus (Core.sys t2) ~dir:"/dir" in
+
+  Printf.printf "ls -l over %d files:\n" n;
+  Printf.printf "  readdir + stat : %d syscalls, %s\n" plain.Workloads.Lsdir.syscalls
+    (Fmt.str "%a" Core.pp_times plain.Workloads.Lsdir.times);
+  Printf.printf "  readdirplus    : %d syscalls, %s\n" merged.Workloads.Lsdir.syscalls
+    (Fmt.str "%a" Core.pp_times merged.Workloads.Lsdir.times);
+  let faster =
+    100.
+    *. (1.
+        -. float_of_int merged.Workloads.Lsdir.times.Ksim.Kernel.elapsed
+           /. float_of_int plain.Workloads.Lsdir.times.Ksim.Kernel.elapsed)
+  in
+  Printf.printf "  => %.1f%% faster elapsed (paper: 60.6-63.8%%)\n" faster;
+
+  (* Mining a real trace for consolidation candidates, like §2.2 *)
+  let t3 = Core.boot () in
+  Workloads.Lsdir.setup (Core.sys t3) ~dir:"/dir" ~n:50;
+  let recorder = Core.trace t3 in
+  ignore (Workloads.Lsdir.run_plain (Core.sys t3) ~dir:"/dir");
+  let mined = Ktrace.Patterns.mine recorder in
+  Printf.printf "\ntop syscall patterns in the traced ls run:\n";
+  List.iter
+    (fun (pattern, count) ->
+      Printf.printf "  %-30s x%d\n" (Fmt.str "%a" Ktrace.Patterns.pp_ngram pattern) count)
+    (List.filteri (fun i _ -> i < 5) (Ktrace.Patterns.top mined ~n:5))

@@ -1,0 +1,156 @@
+(* Public facade: boot a simulated kernel with a chosen filesystem stack
+   and the paper's subsystems attached.  Examples and downstream users
+   start here; the individual libraries (Ksim, Kvfs, Ksyscall, Ktrace,
+   Minic, Cosy, Kefence, Kgcc, Kmonitor) remain usable directly for
+   anything this facade does not cover.
+
+   Typical use:
+
+     let t = Core.boot () in
+     let fd = Core.ok (Core.Syscall.sys_open (Core.sys t) ~path:"/x"
+                         ~flags:Core.o_create) in
+     ...
+*)
+
+(* Re-exported aliases so downstream code can reach every subsystem
+   through one module. *)
+module Kernel = Ksim.Kernel
+module Cost_model = Ksim.Cost_model
+module Vfs = Kvfs.Vfs
+module Vtypes = Kvfs.Vtypes
+module Syscall = Ksyscall.Usyscall
+module Systable = Ksyscall.Systable
+
+type fs_choice =
+  | Memfs                          (* plain in-memory Ext2 stand-in *)
+  | Wrapfs_kmalloc                 (* stackable wrapfs, slab allocations *)
+  | Wrapfs_kefence of Kefence.mode (* wrapfs with guarded vmalloc (E5) *)
+  | Journalfs                      (* journaling Reiserfs stand-in *)
+  | Journalfs_kgcc                 (* ... compiled with KGCC (E7) *)
+
+type t = {
+  kernel : Ksim.Kernel.t;
+  sys : Ksyscall.Systable.t;
+  kefence : Kefence.t option;
+  wrapfs : Kvfs.Wrapfs.t option;
+  journalfs : Kvfs.Journalfs.t option;
+  kgcc_runtime : Kgcc.Kgcc_runtime.t option;
+  mutable dispatcher : Kmonitor.Dispatcher.t option;
+}
+
+let kernel t = t.kernel
+let sys t = t.sys
+let kefence t = t.kefence
+let wrapfs t = t.wrapfs
+let journalfs t = t.journalfs
+let kgcc_runtime t = t.kgcc_runtime
+let dispatcher t = t.dispatcher
+
+(* Common flag sets *)
+let o_rdonly = [ Kvfs.Vfs.O_RDONLY ]
+let o_create = [ Kvfs.Vfs.O_RDWR; Kvfs.Vfs.O_CREAT; Kvfs.Vfs.O_TRUNC ]
+let o_rdwr = [ Kvfs.Vfs.O_RDWR ]
+let o_append = [ Kvfs.Vfs.O_RDWR; Kvfs.Vfs.O_APPEND ]
+
+exception Sys_error of Kvfs.Vtypes.errno
+
+let ok = function Ok v -> v | Error e -> raise (Sys_error e)
+
+let boot ?(config = Ksim.Kernel.default_config) ?(fs = Memfs) () =
+  let kernel = Ksim.Kernel.create ~config () in
+  let kefence_ref = ref None in
+  let wrapfs_ref = ref None in
+  let journalfs_ref = ref None in
+  let kgcc_ref = ref None in
+  let root_fs =
+    match fs with
+    | Memfs -> Kvfs.Memfs.ops (Kvfs.Memfs.create kernel)
+    | Wrapfs_kmalloc ->
+        let lower = Kvfs.Memfs.ops (Kvfs.Memfs.create kernel) in
+        let w =
+          Kvfs.Wrapfs.create ~allocator:(Kvfs.Wrapfs.kmalloc_allocator kernel)
+            lower
+        in
+        wrapfs_ref := Some w;
+        Kvfs.Wrapfs.ops w
+    | Wrapfs_kefence mode ->
+        let kf = Kefence.create ~mode kernel in
+        kefence_ref := Some kf;
+        let allocator =
+          {
+            Kvfs.Wrapfs.alloc_name = "kefence-vmalloc";
+            space = Ksim.Kernel.kspace kernel;
+            alloc = (fun size -> Kefence.alloc kf size);
+            free = (fun addr -> Kefence.free kf addr);
+          }
+        in
+        let lower = Kvfs.Memfs.ops (Kvfs.Memfs.create kernel) in
+        let w = Kvfs.Wrapfs.create ~allocator lower in
+        wrapfs_ref := Some w;
+        Kvfs.Wrapfs.ops w
+    | Journalfs ->
+        let j = Kvfs.Journalfs.create kernel in
+        journalfs_ref := Some j;
+        Kvfs.Journalfs.ops j
+    | Journalfs_kgcc ->
+        (* the KGCC runtime tracks the module's objects and serves its
+           check calls; it must attach before the module loads so it sees
+           every allocation from the first one *)
+        let runtime =
+          Kgcc.Kgcc_runtime.create
+            ~clock:(Ksim.Kernel.clock kernel)
+            ~cost:(Ksim.Kernel.cost kernel)
+            ()
+        in
+        kgcc_ref := Some runtime;
+        let j =
+          Kvfs.Journalfs.create ~transform:Kgcc.Compile.transform
+            ~attach:(Kgcc.Kgcc_runtime.attach runtime)
+            kernel
+        in
+        journalfs_ref := Some j;
+        Kvfs.Journalfs.ops j
+  in
+  let sys = Ksyscall.Systable.create ~root_fs kernel in
+  {
+    kernel;
+    sys;
+    kefence = !kefence_ref;
+    wrapfs = !wrapfs_ref;
+    journalfs = !journalfs_ref;
+    kgcc_runtime = !kgcc_ref;
+    dispatcher = None;
+  }
+
+(* Attach the event-monitoring stack (dispatcher installed into the
+   kernel's log_event indirection). *)
+let enable_monitoring ?(ring = true) t =
+  let d = Kmonitor.Dispatcher.create t.kernel in
+  if ring then Kmonitor.Dispatcher.enable_ring d;
+  Kmonitor.Dispatcher.install d;
+  t.dispatcher <- Some d;
+  d
+
+let disable_monitoring t =
+  match t.dispatcher with
+  | Some d ->
+      Kmonitor.Dispatcher.uninstall d;
+      t.dispatcher <- None
+  | None -> ()
+
+(* A Cosy kernel extension bound to this system. *)
+let cosy ?shared_size ?policy ?user_program t =
+  Cosy.Cosy_exec.create ?shared_size ?policy ?user_program t.sys
+
+(* Attach an strace-style recorder. *)
+let trace t =
+  let r = Ktrace.Recorder.create () in
+  Ktrace.Recorder.attach r t.sys;
+  r
+
+(* Human-readable time report matching what time(1) prints. *)
+let pp_times ppf (times : Ksim.Kernel.times) =
+  Fmt.pf ppf "elapsed %.4fs user %.4fs system %.4fs"
+    (Ksim.Sim_clock.cycles_to_seconds times.Ksim.Kernel.elapsed)
+    (Ksim.Sim_clock.cycles_to_seconds times.Ksim.Kernel.utime)
+    (Ksim.Sim_clock.cycles_to_seconds times.Ksim.Kernel.stime)

@@ -1,0 +1,76 @@
+(** Public facade: boot a simulated kernel with a chosen filesystem
+    stack and the paper's subsystems attached.
+
+    Examples and downstream users start here; the individual libraries
+    ([Ksim], [Kvfs], [Ksyscall], [Ktrace], [Minic], [Cosy], [Kefence],
+    [Kgcc], [Kmonitor]) remain usable directly for anything the facade
+    does not cover.
+
+    {[
+      let t = Core.boot () in
+      let fd = Core.ok (Core.Syscall.sys_open (Core.sys t) ~path:"/x"
+                          ~flags:Core.o_create) in
+      ...
+    ]} *)
+
+module Kernel = Ksim.Kernel
+module Cost_model = Ksim.Cost_model
+module Vfs = Kvfs.Vfs
+module Vtypes = Kvfs.Vtypes
+module Syscall = Ksyscall.Usyscall
+module Systable = Ksyscall.Systable
+
+(** The filesystem stack to boot with. *)
+type fs_choice =
+  | Memfs                           (** plain in-memory Ext2 stand-in *)
+  | Wrapfs_kmalloc                  (** stackable wrapfs, slab allocations *)
+  | Wrapfs_kefence of Kefence.mode  (** wrapfs over guarded vmalloc (E5) *)
+  | Journalfs                       (** journaling Reiserfs stand-in *)
+  | Journalfs_kgcc                  (** ... compiled with KGCC (E7) *)
+
+type t
+
+val kernel : t -> Ksim.Kernel.t
+val sys : t -> Ksyscall.Systable.t
+
+(** The optional subsystems the chosen stack instantiated. *)
+val kefence : t -> Kefence.t option
+
+val wrapfs : t -> Kvfs.Wrapfs.t option
+val journalfs : t -> Kvfs.Journalfs.t option
+val kgcc_runtime : t -> Kgcc.Kgcc_runtime.t option
+val dispatcher : t -> Kmonitor.Dispatcher.t option
+
+(** Common open-flag sets. *)
+val o_rdonly : Kvfs.Vfs.open_flag list
+
+val o_create : Kvfs.Vfs.open_flag list
+val o_rdwr : Kvfs.Vfs.open_flag list
+val o_append : Kvfs.Vfs.open_flag list
+
+exception Sys_error of Kvfs.Vtypes.errno
+
+(** Unwrap a syscall result.  @raise Sys_error on errno. *)
+val ok : ('a, Kvfs.Vtypes.errno) result -> 'a
+
+val boot : ?config:Ksim.Kernel.config -> ?fs:fs_choice -> unit -> t
+
+(** Attach the event-monitoring stack (installs a dispatcher into the
+    kernel's log_event indirection; [ring] enables the user-space feed). *)
+val enable_monitoring : ?ring:bool -> t -> Kmonitor.Dispatcher.t
+
+val disable_monitoring : t -> unit
+
+(** A Cosy kernel extension bound to this system. *)
+val cosy :
+  ?shared_size:int ->
+  ?policy:Cosy.Cosy_safety.policy ->
+  ?user_program:string ->
+  t ->
+  Cosy.Cosy_exec.t
+
+(** Attach an strace-style recorder. *)
+val trace : t -> Ktrace.Recorder.t
+
+(** Render elapsed/user/system like time(1). *)
+val pp_times : Format.formatter -> Ksim.Kernel.times -> unit

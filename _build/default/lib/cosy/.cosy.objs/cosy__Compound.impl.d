@@ -1,0 +1,1 @@
+lib/cosy/compound.ml: Array Buffer Bytes Char Cosy_op Int32 Int64 Ksim List Printf String

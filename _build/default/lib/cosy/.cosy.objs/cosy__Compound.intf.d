@@ -1,0 +1,1 @@
+lib/cosy/compound.mli: Bytes Cosy_op Ksim

@@ -1,0 +1,1 @@
+lib/cosy/cosy_exec.ml: Array Bytes Compound Cosy_op Cosy_safety Fmt Ksim Ksyscall Kvfs List Minic Printf Shared_buffer String

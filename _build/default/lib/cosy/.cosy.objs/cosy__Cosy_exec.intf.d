@@ -1,0 +1,1 @@
+lib/cosy/cosy_exec.mli: Compound Cosy_safety Ksyscall Shared_buffer

@@ -1,0 +1,1 @@
+lib/cosy/cosy_gcc.ml: Char Compound Cosy_lib Cosy_op Fmt Hashtbl List Minic Printf

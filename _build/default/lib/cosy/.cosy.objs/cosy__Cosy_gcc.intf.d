@@ -1,0 +1,1 @@
+lib/cosy/cosy_gcc.mli: Compound Minic

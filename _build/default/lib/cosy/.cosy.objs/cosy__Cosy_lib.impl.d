@@ -1,0 +1,1 @@
+lib/cosy/cosy_lib.ml: Compound Cosy_op List

@@ -1,0 +1,1 @@
+lib/cosy/cosy_lib.mli: Compound Cosy_op

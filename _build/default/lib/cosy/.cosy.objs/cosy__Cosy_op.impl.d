@@ -1,0 +1,1 @@
+lib/cosy/cosy_op.ml: Array Fmt Option

@@ -1,0 +1,1 @@
+lib/cosy/cosy_profile.ml: Cosy_gcc Cosy_op Fmt Hashtbl List Minic Printf

@@ -1,0 +1,1 @@
+lib/cosy/cosy_profile.mli: Format Hashtbl Minic

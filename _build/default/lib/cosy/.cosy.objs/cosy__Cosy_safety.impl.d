@@ -1,0 +1,1 @@
+lib/cosy/cosy_safety.ml: Fmt Hashtbl Ksim Option

@@ -1,0 +1,1 @@
+lib/cosy/cosy_safety.mli: Format Ksim

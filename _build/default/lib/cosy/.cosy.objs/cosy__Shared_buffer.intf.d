@@ -1,0 +1,1 @@
+lib/cosy/shared_buffer.mli: Bytes

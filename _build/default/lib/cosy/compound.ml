@@ -1,0 +1,203 @@
+(* Binary encoding of compounds.  The compound buffer is shared between
+   user and kernel space, so encoding it once in user space makes it
+   available to the kernel extension without any copy (§2.3).  We encode
+   to real bytes so the decode cost the paper worries about is a genuine
+   per-op activity, charged by the kernel extension at decode time. *)
+
+(* wire format:
+   header: magic "COSY" | op count (u32) | slot count (u32)
+   op:     tag (u8) | fields
+   arg:    tag (u8) | i64, or u32 length + bytes for strings        *)
+
+let magic = "COSY"
+
+exception Decode_error of string
+
+module Writer = struct
+  let u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+  let u32 b v =
+    let bs = Bytes.create 4 in
+    Bytes.set_int32_le bs 0 (Int32.of_int v);
+    Buffer.add_bytes b bs
+
+  let i64 b v =
+    let bs = Bytes.create 8 in
+    Bytes.set_int64_le bs 0 (Int64.of_int v);
+    Buffer.add_bytes b bs
+
+  let str b s =
+    u32 b (String.length s);
+    Buffer.add_string b s
+end
+
+module Reader = struct
+  type t = { buf : Bytes.t; mutable pos : int }
+
+  let create buf = { buf; pos = 0 }
+
+  let need r n =
+    if r.pos + n > Bytes.length r.buf then raise (Decode_error "truncated")
+
+  let u8 r =
+    need r 1;
+    let v = Char.code (Bytes.get r.buf r.pos) in
+    r.pos <- r.pos + 1;
+    v
+
+  let u32 r =
+    need r 4;
+    let v = Int32.to_int (Bytes.get_int32_le r.buf r.pos) in
+    r.pos <- r.pos + 4;
+    v
+
+  let i64 r =
+    need r 8;
+    let v = Int64.to_int (Bytes.get_int64_le r.buf r.pos) in
+    r.pos <- r.pos + 8;
+    v
+
+  let str r =
+    let len = u32 r in
+    need r len;
+    let s = Bytes.sub_string r.buf r.pos len in
+    r.pos <- r.pos + len;
+    s
+end
+
+let encode_arg b = function
+  | Cosy_op.Const v ->
+      Writer.u8 b 0;
+      Writer.i64 b v
+  | Cosy_op.Slot i ->
+      Writer.u8 b 1;
+      Writer.i64 b i
+  | Cosy_op.Shared off ->
+      Writer.u8 b 2;
+      Writer.i64 b off
+  | Cosy_op.Str s ->
+      Writer.u8 b 3;
+      Writer.str b s
+
+let decode_arg r =
+  match Reader.u8 r with
+  | 0 -> Cosy_op.Const (Reader.i64 r)
+  | 1 -> Cosy_op.Slot (Reader.i64 r)
+  | 2 -> Cosy_op.Shared (Reader.i64 r)
+  | 3 -> Cosy_op.Str (Reader.str r)
+  | n -> raise (Decode_error (Printf.sprintf "bad arg tag %d" n))
+
+let arith_code = function
+  | Cosy_op.Aadd -> 0 | Cosy_op.Asub -> 1 | Cosy_op.Amul -> 2
+  | Cosy_op.Adiv -> 3 | Cosy_op.Amod -> 4 | Cosy_op.Aeq -> 5
+  | Cosy_op.Ane -> 6 | Cosy_op.Alt -> 7 | Cosy_op.Ale -> 8
+  | Cosy_op.Agt -> 9 | Cosy_op.Age -> 10
+
+let arith_of_code = function
+  | 0 -> Cosy_op.Aadd | 1 -> Cosy_op.Asub | 2 -> Cosy_op.Amul
+  | 3 -> Cosy_op.Adiv | 4 -> Cosy_op.Amod | 5 -> Cosy_op.Aeq
+  | 6 -> Cosy_op.Ane | 7 -> Cosy_op.Alt | 8 -> Cosy_op.Ale
+  | 9 -> Cosy_op.Agt | 10 -> Cosy_op.Age
+  | n -> raise (Decode_error (Printf.sprintf "bad arith code %d" n))
+
+let encode_op b = function
+  | Cosy_op.Set { dst; src } ->
+      Writer.u8 b 1;
+      Writer.u32 b dst;
+      encode_arg b src
+  | Cosy_op.Arith { dst; op; a; b = rhs } ->
+      Writer.u8 b 2;
+      Writer.u32 b dst;
+      Writer.u8 b (arith_code op);
+      encode_arg b a;
+      encode_arg b rhs
+  | Cosy_op.Syscall { dst; sysno; args } ->
+      Writer.u8 b 3;
+      Writer.u32 b dst;
+      Writer.u32 b sysno;
+      Writer.u8 b (List.length args);
+      List.iter (encode_arg b) args
+  | Cosy_op.Jmp target ->
+      Writer.u8 b 4;
+      Writer.u32 b target
+  | Cosy_op.Jz { cond; target } ->
+      Writer.u8 b 5;
+      Writer.u32 b target;
+      encode_arg b cond
+  | Cosy_op.Call_user { dst; fname; args } ->
+      Writer.u8 b 6;
+      Writer.u32 b dst;
+      Writer.str b fname;
+      Writer.u8 b (List.length args);
+      List.iter (encode_arg b) args
+  | Cosy_op.Halt -> Writer.u8 b 7
+
+let decode_op r =
+  match Reader.u8 r with
+  | 1 ->
+      let dst = Reader.u32 r in
+      let src = decode_arg r in
+      Cosy_op.Set { dst; src }
+  | 2 ->
+      let dst = Reader.u32 r in
+      let op = arith_of_code (Reader.u8 r) in
+      let a = decode_arg r in
+      let b = decode_arg r in
+      Cosy_op.Arith { dst; op; a; b }
+  | 3 ->
+      let dst = Reader.u32 r in
+      let sysno = Reader.u32 r in
+      let n = Reader.u8 r in
+      let args = List.init n (fun _ -> decode_arg r) in
+      Cosy_op.Syscall { dst; sysno; args }
+  | 4 -> Cosy_op.Jmp (Reader.u32 r)
+  | 5 ->
+      let target = Reader.u32 r in
+      let cond = decode_arg r in
+      Cosy_op.Jz { cond; target }
+  | 6 ->
+      let dst = Reader.u32 r in
+      let fname = Reader.str r in
+      let n = Reader.u8 r in
+      let args = List.init n (fun _ -> decode_arg r) in
+      Cosy_op.Call_user { dst; fname; args }
+  | 7 -> Cosy_op.Halt
+  | n -> raise (Decode_error (Printf.sprintf "bad op tag %d" n))
+
+type t = {
+  buf : Bytes.t;          (* the encoded compound buffer *)
+  op_count : int;
+  slot_count : int;
+}
+
+let encode ~slot_count ops =
+  let b = Buffer.create 256 in
+  Buffer.add_string b magic;
+  Writer.u32 b (List.length ops);
+  Writer.u32 b slot_count;
+  List.iter (encode_op b) ops;
+  { buf = Buffer.to_bytes b; op_count = List.length ops; slot_count }
+
+let size t = Bytes.length t.buf
+
+(* Decode, charging [per_op] cycles per decoded operation on [clock] —
+   the kernel extension's decode cost. *)
+let decode ?(clock : Ksim.Sim_clock.t option) ?(per_op = 0) t =
+  let r = Reader.create t.buf in
+  let m = Bytes.create 4 in
+  Bytes.blit t.buf 0 m 0 4;
+  r.Reader.pos <- 4;
+  if Bytes.to_string m <> magic then raise (Decode_error "bad magic");
+  let op_count = Reader.u32 r in
+  let slot_count = Reader.u32 r in
+  let charge () =
+    match clock with
+    | Some c -> Ksim.Sim_clock.advance c per_op
+    | None -> ()
+  in
+  let ops =
+    Array.init op_count (fun _ ->
+        charge ();
+        decode_op r)
+  in
+  (ops, slot_count)

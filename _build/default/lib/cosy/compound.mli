@@ -1,0 +1,28 @@
+(** Binary encoding of compounds.
+
+    The compound buffer is shared between user and kernel space, so
+    encoding it once in user space makes it available to the kernel
+    extension without any copy (§2.3).  Compounds encode to real bytes so
+    the decode cost the paper worries about ("the overhead to decode a
+    compound increases with the complexity of the language") is a genuine
+    per-op activity, charged by the kernel extension at decode time. *)
+
+exception Decode_error of string
+
+(** An encoded compound. *)
+type t = {
+  buf : Bytes.t;       (** the shared compound buffer's contents *)
+  op_count : int;
+  slot_count : int;    (** size of the register file the ops use *)
+}
+
+(** Serialize an op sequence. *)
+val encode : slot_count:int -> Cosy_op.op list -> t
+
+(** Encoded size in bytes. *)
+val size : t -> int
+
+(** Decode back to ops, charging [per_op] cycles per decoded operation on
+    [clock] when given.  @raise Decode_error on malformed buffers. *)
+val decode :
+  ?clock:Ksim.Sim_clock.t -> ?per_op:int -> t -> Cosy_op.op array * int

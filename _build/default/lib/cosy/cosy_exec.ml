@@ -1,0 +1,359 @@
+(* The Cosy kernel extension (§2.3): receives a compound through the
+   shared compound buffer, decodes it (charging per-op decode cost), and
+   executes the operations in turn in kernel mode.  Syscall operations
+   dispatch to the same in-kernel service routines ordinary syscalls use,
+   so all permission/validity checks still run — only the boundary
+   crossings and data copies disappear. *)
+
+exception Exec_error of string
+
+type t = {
+  sys : Ksyscall.Systable.t;
+  shared : Shared_buffer.t;
+  safety : Cosy_safety.t;
+  interp : Minic.Interp.t option;   (* loaded user functions *)
+  interp_region : (int * int) option; (* base, len of interp memory *)
+  mutable submits : int;
+  mutable ops_executed : int;
+  mutable backedges : int;
+  mutable user_calls : int;
+}
+
+let create ?(shared_size = 65536) ?policy ?user_program sys =
+  let kernel = Ksyscall.Systable.kernel sys in
+  let cost = Ksim.Kernel.cost kernel in
+  let clock = Ksim.Kernel.clock kernel in
+  let policy =
+    match policy with Some p -> p | None -> Cosy_safety.default_policy cost
+  in
+  let interp, interp_region =
+    match user_program with
+    | None -> (None, None)
+    | Some src ->
+        let base_vpn = 0x80000 and pages = 64 in
+        let interp =
+          Minic.Interp.create
+            ~space:(Ksim.Kernel.kspace kernel)
+            ~clock ~cost ~base_vpn ~pages
+        in
+        ignore (Minic.Interp.parse_and_load interp ~file:"cosy_user.c" src);
+        let page_size = Ksim.Kernel.page_size kernel in
+        (Some interp, Some (base_vpn * page_size, pages * page_size))
+  in
+  {
+    sys;
+    shared = Shared_buffer.create shared_size;
+    safety = Cosy_safety.create ~policy ~clock ~cost;
+    interp;
+    interp_region;
+    submits = 0;
+    ops_executed = 0;
+    backedges = 0;
+    user_calls = 0;
+  }
+
+let shared t = t.shared
+let safety t = t.safety
+
+let errno_ret = function
+  | Ok v -> v
+  | Error e -> -Kvfs.Vtypes.errno_code e
+
+let errno_unit = function
+  | Ok () -> 0
+  | Error e -> -Kvfs.Vtypes.errno_code e
+
+(* Read a NUL-terminated string argument: immediate or from the shared
+   buffer. *)
+let string_arg t slots = function
+  | Cosy_op.Str s -> s
+  | Cosy_op.Shared off ->
+      let rec find i =
+        if off + i >= Shared_buffer.size t.shared then i
+        else if Bytes.get (Shared_buffer.read t.shared ~off:(off + i) ~len:1) 0
+                = '\000'
+        then i
+        else find (i + 1)
+      in
+      Shared_buffer.read_string t.shared ~off ~len:(find 0)
+  | Cosy_op.Const _ | Cosy_op.Slot _ as a ->
+      ignore slots;
+      raise (Exec_error (Fmt.str "expected string argument, got %a" Cosy_op.pp_arg a))
+
+let int_arg slots = function
+  | Cosy_op.Const v -> v
+  | Cosy_op.Slot i ->
+      if i < 0 || i >= Array.length slots then
+        raise (Exec_error (Printf.sprintf "slot %d out of range" i));
+      slots.(i)
+  | Cosy_op.Shared off -> off
+  | Cosy_op.Str _ -> raise (Exec_error "expected integer argument, got string")
+
+let open_flags_of_int v =
+  (* bit 0: write, bit 1: create, bit 2: trunc, bit 3: append *)
+  let flags = if v land 1 <> 0 then [ Kvfs.Vfs.O_RDWR ] else [ Kvfs.Vfs.O_RDONLY ] in
+  let flags = if v land 2 <> 0 then Kvfs.Vfs.O_CREAT :: flags else flags in
+  let flags = if v land 4 <> 0 then Kvfs.Vfs.O_TRUNC :: flags else flags in
+  if v land 8 <> 0 then Kvfs.Vfs.O_APPEND :: flags else flags
+
+(* Execute one syscall op against the in-kernel service routines. *)
+let do_syscall t slots sysno args =
+  let name =
+    match Cosy_op.name_of_sysno sysno with
+    | Some n -> n
+    | None -> raise (Exec_error (Printf.sprintf "bad syscall number %d" sysno))
+  in
+  let sys = t.sys in
+  match (name, args) with
+  | "open", [ path; flags ] ->
+      errno_ret
+        (Ksyscall.Sys_file.service_open sys
+           ~path:(string_arg t slots path)
+           ~flags:(open_flags_of_int (int_arg slots flags)))
+  | "close", [ fd ] ->
+      errno_unit (Ksyscall.Sys_file.service_close sys ~fd:(int_arg slots fd))
+  | "read", [ fd; buf; len ] -> (
+      let r =
+        Ksyscall.Sys_file.service_read sys ~fd:(int_arg slots fd)
+          ~len:(int_arg slots len)
+      in
+      match r with
+      | Error e -> -Kvfs.Vtypes.errno_code e
+      | Ok data ->
+          (match buf with
+          | Cosy_op.Shared off -> Shared_buffer.write t.shared ~off data
+          | Cosy_op.Const 0 -> () (* discard *)
+          | _ -> raise (Exec_error "read: buffer must be shared or null"));
+          Bytes.length data)
+  | "write", [ fd; buf; len ] -> (
+      let n = int_arg slots len in
+      let data =
+        match buf with
+        | Cosy_op.Shared off -> Shared_buffer.read t.shared ~off ~len:n
+        | Cosy_op.Str s -> Bytes.of_string s
+        | _ -> raise (Exec_error "write: buffer must be shared or immediate")
+      in
+      match Ksyscall.Sys_file.service_write sys ~fd:(int_arg slots fd) ~data with
+      | Error e -> -Kvfs.Vtypes.errno_code e
+      | Ok n -> n)
+  | "pread", [ fd; buf; len; off ] -> (
+      let r =
+        Ksyscall.Sys_file.service_pread sys ~fd:(int_arg slots fd)
+          ~off:(int_arg slots off) ~len:(int_arg slots len)
+      in
+      match r with
+      | Error e -> -Kvfs.Vtypes.errno_code e
+      | Ok data ->
+          (match buf with
+          | Cosy_op.Shared boff -> Shared_buffer.write t.shared ~off:boff data
+          | Cosy_op.Const 0 -> ()
+          | _ -> raise (Exec_error "pread: buffer must be shared or null"));
+          Bytes.length data)
+  | "pwrite", [ fd; buf; len; off ] -> (
+      let n = int_arg slots len in
+      let data =
+        match buf with
+        | Cosy_op.Shared boff -> Shared_buffer.read t.shared ~off:boff ~len:n
+        | Cosy_op.Str s -> Bytes.of_string s
+        | _ -> raise (Exec_error "pwrite: buffer must be shared or immediate")
+      in
+      match
+        Ksyscall.Sys_file.service_pwrite sys ~fd:(int_arg slots fd)
+          ~off:(int_arg slots off) ~data
+      with
+      | Error e -> -Kvfs.Vtypes.errno_code e
+      | Ok n -> n)
+  | "lseek", [ fd; off; whence ] ->
+      let whence =
+        match int_arg slots whence with
+        | 0 -> Kvfs.Vfs.SEEK_SET
+        | 1 -> Kvfs.Vfs.SEEK_CUR
+        | _ -> Kvfs.Vfs.SEEK_END
+      in
+      errno_ret
+        (Ksyscall.Sys_file.service_lseek sys ~fd:(int_arg slots fd)
+           ~off:(int_arg slots off) ~whence)
+  | "stat", [ path ] -> (
+      match
+        Ksyscall.Sys_file.service_stat sys ~path:(string_arg t slots path)
+      with
+      | Error e -> -Kvfs.Vtypes.errno_code e
+      | Ok st -> st.Kvfs.Vtypes.st_size)
+  | "fstat", [ fd ] -> (
+      match Ksyscall.Sys_file.service_fstat sys ~fd:(int_arg slots fd) with
+      | Error e -> -Kvfs.Vtypes.errno_code e
+      | Ok st -> st.Kvfs.Vtypes.st_size)
+  | "readdir", [ path; buf ] -> (
+      match
+        Ksyscall.Sys_file.service_readdir sys ~path:(string_arg t slots path)
+      with
+      | Error e -> -Kvfs.Vtypes.errno_code e
+      | Ok entries ->
+          (match buf with
+          | Cosy_op.Shared off ->
+              let names =
+                String.concat "\000"
+                  (List.map (fun d -> d.Kvfs.Vtypes.d_name) entries)
+                ^ "\000"
+              in
+              Shared_buffer.write_string t.shared ~off names
+          | Cosy_op.Const 0 -> ()
+          | _ -> raise (Exec_error "readdir: buffer must be shared or null"));
+          List.length entries)
+  | "mkdir", [ path ] ->
+      errno_ret
+        (Ksyscall.Sys_file.service_mkdir sys ~path:(string_arg t slots path))
+  | "unlink", [ path ] ->
+      errno_unit
+        (Ksyscall.Sys_file.service_unlink sys ~path:(string_arg t slots path))
+  | "rename", [ src; dst ] ->
+      errno_unit
+        (Ksyscall.Sys_file.service_rename sys
+           ~src:(string_arg t slots src)
+           ~dst:(string_arg t slots dst))
+  | "fsync", [ fd ] ->
+      errno_unit (Ksyscall.Sys_file.service_fsync sys ~fd:(int_arg slots fd))
+  | "getpid", [] -> Ksyscall.Sys_file.service_getpid sys
+  | _ ->
+      raise
+        (Exec_error (Printf.sprintf "%s: bad argument count (%d)" name
+                       (List.length args)))
+
+(* Execute a user-supplied function inside the kernel under the active
+   protection mode. *)
+let do_call_user t slots fname args =
+  match (t.interp, t.interp_region) with
+  | None, _ | _, None ->
+      raise (Exec_error "no user program loaded into the Cosy extension")
+  | Some interp, Some (base, len) ->
+      t.user_calls <- t.user_calls + 1;
+      let mode = Cosy_safety.effective_mode t.safety fname in
+      Cosy_safety.charge_call_overhead t.safety mode;
+      let space = Minic.Interp.space interp in
+      let saved_segment = Ksim.Address_space.segment space in
+      (match Cosy_safety.segment_for ~base ~len mode with
+      | Some seg -> Ksim.Address_space.set_segment space seg
+      | None -> ());
+      Minic.Interp.set_on_backedge interp (fun () ->
+          Cosy_safety.watchdog_check t.safety);
+      let restore () = Ksim.Address_space.set_segment space saved_segment in
+      let result =
+        try Minic.Interp.run interp ~args:(List.map (int_arg slots) args) fname
+        with e ->
+          restore ();
+          raise e
+      in
+      restore ();
+      Cosy_safety.record_safe_run t.safety fname;
+      result
+
+(* Submit a compound for execution: the single boundary crossing that
+   replaces the whole marked code segment's worth of syscalls. *)
+let submit t compound =
+  let kernel = Ksyscall.Systable.kernel t.sys in
+  let cost = Ksim.Kernel.cost kernel in
+  let clock = Ksim.Kernel.clock kernel in
+  t.submits <- t.submits + 1;
+  Ksim.Kernel.enter_kernel kernel;
+  Ksim.Sim_clock.advance clock cost.Ksim.Cost_model.cosy_submit;
+  Cosy_safety.arm t.safety;
+  let finish_exn e =
+    Ksim.Kernel.exit_kernel kernel;
+    raise e
+  in
+  let result =
+    try
+      let ops, slot_count =
+        Compound.decode ~clock ~per_op:cost.Ksim.Cost_model.cosy_decode_op
+          compound
+      in
+      let slots = Array.make slot_count 0 in
+      let pc = ref 0 in
+      let running = ref true in
+      while !running && !pc < Array.length ops do
+        let cur = !pc in
+        t.ops_executed <- t.ops_executed + 1;
+        Ksim.Sim_clock.advance clock cost.Ksim.Cost_model.cosy_exec_op;
+        (match ops.(cur) with
+        | Cosy_op.Set { dst; src } ->
+            slots.(dst) <- int_arg slots src;
+            incr pc
+        | Cosy_op.Arith { dst; op; a; b } ->
+            let va = int_arg slots a and vb = int_arg slots b in
+            let v =
+              match op with
+              | Cosy_op.Aadd -> va + vb
+              | Cosy_op.Asub -> va - vb
+              | Cosy_op.Amul -> va * vb
+              | Cosy_op.Adiv ->
+                  if vb = 0 then raise (Exec_error "division by zero")
+                  else va / vb
+              | Cosy_op.Amod ->
+                  if vb = 0 then raise (Exec_error "modulo by zero")
+                  else va mod vb
+              | Cosy_op.Aeq -> if va = vb then 1 else 0
+              | Cosy_op.Ane -> if va <> vb then 1 else 0
+              | Cosy_op.Alt -> if va < vb then 1 else 0
+              | Cosy_op.Ale -> if va <= vb then 1 else 0
+              | Cosy_op.Agt -> if va > vb then 1 else 0
+              | Cosy_op.Age -> if va >= vb then 1 else 0
+            in
+            slots.(dst) <- v;
+            incr pc
+        | Cosy_op.Syscall { dst; sysno; args } ->
+            slots.(dst) <- do_syscall t slots sysno args;
+            incr pc
+        | Cosy_op.Jmp target ->
+            if target <= cur then begin
+              t.backedges <- t.backedges + 1;
+              Ksim.Scheduler.checkpoint (Ksim.Kernel.sched kernel);
+              Cosy_safety.watchdog_check t.safety
+            end;
+            pc := target
+        | Cosy_op.Jz { cond; target } ->
+            if int_arg slots cond = 0 then begin
+              if target <= cur then begin
+                t.backedges <- t.backedges + 1;
+                Ksim.Scheduler.checkpoint (Ksim.Kernel.sched kernel);
+                Cosy_safety.watchdog_check t.safety
+              end;
+              pc := target
+            end
+            else incr pc
+        | Cosy_op.Call_user { dst; fname; args } ->
+            slots.(dst) <- do_call_user t slots fname args;
+            incr pc
+        | Cosy_op.Halt -> running := false)
+      done;
+      slots
+    with
+    | Cosy_safety.Watchdog_expired _ as e ->
+        (* the watchdog terminates the offending process (2.3); account
+           the boundary exit first, then kill *)
+        let offender = Ksim.Kernel.current kernel in
+        Ksim.Kernel.exit_kernel kernel;
+        Ksim.Scheduler.kill (Ksim.Kernel.sched kernel) offender;
+        raise e
+    | e -> finish_exn e
+  in
+  Ksim.Kernel.exit_kernel kernel;
+  result
+
+type stats = {
+  submits : int;
+  ops_executed : int;
+  backedges : int;
+  user_calls : int;
+  watchdog_kills : int;
+  segment_loads : int;
+}
+
+let stats (t : t) =
+  {
+    submits = t.submits;
+    ops_executed = t.ops_executed;
+    backedges = t.backedges;
+    user_calls = t.user_calls;
+    watchdog_kills = Cosy_safety.watchdog_kills t.safety;
+    segment_loads = Cosy_safety.segment_loads t.safety;
+  }

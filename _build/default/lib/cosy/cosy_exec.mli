@@ -1,0 +1,47 @@
+(** The Cosy kernel extension (§2.3).
+
+    [submit] crosses the boundary once, decodes the compound (charging
+    per-op decode cost), and executes the operations in kernel mode.
+    Syscall ops dispatch to the same in-kernel service routines ordinary
+    syscalls use, so every permission check still runs — only crossings
+    and copies disappear.  Loop back-edges hit the scheduler's preemption
+    checkpoint and the watchdog; [Call_user] ops run mini-C functions
+    under the active {!Cosy_safety} protection mode. *)
+
+exception Exec_error of string
+
+type t
+
+(** [create ?shared_size ?policy ?user_program sys] builds an extension
+    bound to [sys].  [user_program] is mini-C source providing the
+    functions [Call_user] ops may invoke. *)
+val create :
+  ?shared_size:int ->
+  ?policy:Cosy_safety.policy ->
+  ?user_program:string ->
+  Ksyscall.Systable.t ->
+  t
+
+(** The zero-copy shared buffer (visible to both "sides"). *)
+val shared : t -> Shared_buffer.t
+
+val safety : t -> Cosy_safety.t
+
+(** Execute a compound; returns the final register file.
+    @raise Exec_error on malformed compounds,
+    @raise Cosy_safety.Watchdog_expired when the kernel-time budget is
+    exhausted (the offending process is killed first),
+    @raise Ksim.Fault.Fault when an isolated user function escapes its
+    segment.  Kernel mode is always exited before raising. *)
+val submit : t -> Compound.t -> int array
+
+type stats = {
+  submits : int;
+  ops_executed : int;
+  backedges : int;
+  user_calls : int;
+  watchdog_kills : int;
+  segment_loads : int;
+}
+
+val stats : t -> stats

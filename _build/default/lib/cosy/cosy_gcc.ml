@@ -1,0 +1,239 @@
+(* Cosy-GCC (§2.3): "automates the tedious task of extracting Cosy
+   operations out of a marked C-code segment and packing them into a
+   compound, so the translation of marked C-code to an intermediate
+   representation is entirely transparent to the user."
+
+   Given a mini-C function containing COSY_START; ... COSY_END; markers,
+   this pass compiles the statements between the markers into a compound:
+
+   - int locals map to compound slots (dependency resolution: an op
+     whose input is another op's output simply references its slot);
+   - char arrays map to ranges of the zero-copy shared buffer, so a
+     read() whose buffer later feeds a write() moves no data across the
+     boundary — the automatic zero-copy detection the paper describes;
+   - calls whose name is a known syscall become Syscall ops; any other
+     call becomes a Call_user op (a user function executed in the kernel
+     under the active protection mode);
+   - while/if/break lower to conditional jumps over the op sequence.
+
+   Code outside the subset (pointers beyond char arrays, nested
+   functions' address-of, etc.) is rejected with [Unsupported] — the
+   paper's Cosy likewise limits the language "to a subset of C in the
+   kernel ... One of the main reasons is safety." *)
+
+exception Unsupported of string * Minic.Ast.loc
+
+let fail loc fmt = Fmt.kstr (fun m -> raise (Unsupported (m, loc))) fmt
+
+type binding =
+  | Islot of int       (* int variable -> register slot *)
+  | Ibuf of int * int  (* char array -> (shared offset, size) *)
+
+type ctx = {
+  lib : Cosy_lib.t;
+  vars : (string, binding) Hashtbl.t;
+  mutable breaks : int list;  (* op indices of pending break jumps *)
+}
+
+let lookup ctx loc name =
+  match Hashtbl.find_opt ctx.vars name with
+  | Some b -> b
+  | None -> fail loc "variable %s not declared inside the Cosy region" name
+
+let arith_of_binop loc = function
+  | Minic.Ast.Add -> Cosy_op.Aadd
+  | Minic.Ast.Sub -> Cosy_op.Asub
+  | Minic.Ast.Mul -> Cosy_op.Amul
+  | Minic.Ast.Div -> Cosy_op.Adiv
+  | Minic.Ast.Mod -> Cosy_op.Amod
+  | Minic.Ast.Eq -> Cosy_op.Aeq
+  | Minic.Ast.Ne -> Cosy_op.Ane
+  | Minic.Ast.Lt -> Cosy_op.Alt
+  | Minic.Ast.Le -> Cosy_op.Ale
+  | Minic.Ast.Gt -> Cosy_op.Agt
+  | Minic.Ast.Ge -> Cosy_op.Age
+  | (Minic.Ast.Logand | Minic.Ast.Logor | Minic.Ast.Bitand | Minic.Ast.Bitor
+    | Minic.Ast.Bitxor | Minic.Ast.Shl | Minic.Ast.Shr) as op ->
+      fail loc "operator %a not in the Cosy subset" Minic.Ast.pp_binop op
+
+(* Compile an expression to an argument, emitting ops for subterms. *)
+let rec compile_expr ctx (e : Minic.Ast.expr) : Cosy_op.arg =
+  let loc = e.Minic.Ast.eloc in
+  match e.Minic.Ast.e with
+  | Minic.Ast.Int_lit n -> Cosy_op.Const n
+  | Minic.Ast.Char_lit c -> Cosy_op.Const (Char.code c)
+  | Minic.Ast.Str_lit s -> Cosy_op.Str s
+  | Minic.Ast.Var name -> (
+      match lookup ctx loc name with
+      | Islot s -> Cosy_op.Slot s
+      | Ibuf (off, _) -> Cosy_op.Shared off)
+  | Minic.Ast.Unop (Minic.Ast.Neg, a) ->
+      let va = compile_expr ctx a in
+      Cosy_op.Slot (Cosy_lib.arith_fresh ctx.lib Cosy_op.Asub (Cosy_op.Const 0) va)
+  | Minic.Ast.Unop (Minic.Ast.Lognot, a) ->
+      let va = compile_expr ctx a in
+      Cosy_op.Slot (Cosy_lib.arith_fresh ctx.lib Cosy_op.Aeq va (Cosy_op.Const 0))
+  | Minic.Ast.Binop (op, a, b) ->
+      let va = compile_expr ctx a in
+      let vb = compile_expr ctx b in
+      Cosy_op.Slot (Cosy_lib.arith_fresh ctx.lib (arith_of_binop loc op) va vb)
+  | Minic.Ast.Call (name, args) ->
+      let vargs = List.map (compile_expr ctx) args in
+      if Cosy_op.sysno_of_name name <> None then
+        Cosy_op.Slot (Cosy_lib.syscall ctx.lib name vargs)
+      else Cosy_op.Slot (Cosy_lib.call_user ctx.lib name vargs)
+  | Minic.Ast.Assign ({ Minic.Ast.e = Minic.Ast.Var name; _ }, rhs) -> (
+      let v = compile_expr ctx rhs in
+      match lookup ctx loc name with
+      | Islot dst ->
+          Cosy_lib.set ctx.lib ~dst v;
+          Cosy_op.Slot dst
+      | Ibuf _ -> fail loc "cannot assign to a buffer variable")
+  | Minic.Ast.Assign _ -> fail loc "only simple variables are assignable in a Cosy region"
+  | Minic.Ast.Cond (c, a, b) ->
+      (* lower ?: by computing both sides: c*a + (1-c)*b on normalized c *)
+      let vc = compile_expr ctx c in
+      let norm = Cosy_lib.arith_fresh ctx.lib Cosy_op.Ane vc (Cosy_op.Const 0) in
+      let va = compile_expr ctx a in
+      let vb = compile_expr ctx b in
+      let ta = Cosy_lib.arith_fresh ctx.lib Cosy_op.Amul (Cosy_op.Slot norm) va in
+      let inv =
+        Cosy_lib.arith_fresh ctx.lib Cosy_op.Asub (Cosy_op.Const 1)
+          (Cosy_op.Slot norm)
+      in
+      let tb = Cosy_lib.arith_fresh ctx.lib Cosy_op.Amul (Cosy_op.Slot inv) vb in
+      Cosy_op.Slot
+        (Cosy_lib.arith_fresh ctx.lib Cosy_op.Aadd (Cosy_op.Slot ta)
+           (Cosy_op.Slot tb))
+  | Minic.Ast.Unop (Minic.Ast.Bitnot, _) -> fail loc "~ not in the Cosy subset"
+  | Minic.Ast.Deref _ | Minic.Ast.Addr_of _ | Minic.Ast.Index _ ->
+      fail loc "pointer operations are not in the Cosy subset"
+  | Minic.Ast.Cast (_, a) -> compile_expr ctx a
+  | Minic.Ast.Sizeof_ty ty -> Cosy_op.Const (Minic.Ast.sizeof ty)
+
+let rec compile_stmt ctx (s : Minic.Ast.stmt) =
+  let loc = s.Minic.Ast.sloc in
+  match s.Minic.Ast.s with
+  | Minic.Ast.Sexpr e -> ignore (compile_expr ctx e)
+  | Minic.Ast.Sdecl (ty, name, init) -> (
+      match ty with
+      | Minic.Ast.Tint | Minic.Ast.Tchar ->
+          let slot = Cosy_lib.fresh_slot ctx.lib in
+          Hashtbl.replace ctx.vars name (Islot slot);
+          let v =
+            match init with
+            | Some e -> compile_expr ctx e
+            | None -> Cosy_op.Const 0
+          in
+          Cosy_lib.set ctx.lib ~dst:slot v
+      | Minic.Ast.Tarray (Minic.Ast.Tchar, n) ->
+          (* a char buffer becomes zero-copy shared space *)
+          let off = Cosy_lib.alloc_shared ctx.lib n in
+          Hashtbl.replace ctx.vars name (Ibuf (off, n))
+      | _ ->
+          fail loc "only int scalars and char buffers may be declared in a Cosy region")
+  | Minic.Ast.Swhile (cond, body) -> compile_loop ctx cond body []
+  | Minic.Ast.Sfor (cond, body, step) -> compile_loop ctx cond body step
+  | Minic.Ast.Sif (cond, then_, else_) ->
+      let c = compile_expr ctx cond in
+      let jz_at = Cosy_lib.next_index ctx.lib in
+      Cosy_lib.jz ctx.lib c 0;
+      List.iter (compile_stmt ctx) then_;
+      if else_ = [] then
+        Cosy_lib.patch_jump ctx.lib ~at:jz_at
+          ~target:(Cosy_lib.next_index ctx.lib)
+      else begin
+        let jmp_at = Cosy_lib.next_index ctx.lib in
+        Cosy_lib.jmp ctx.lib 0;
+        Cosy_lib.patch_jump ctx.lib ~at:jz_at
+          ~target:(Cosy_lib.next_index ctx.lib);
+        List.iter (compile_stmt ctx) else_;
+        Cosy_lib.patch_jump ctx.lib ~at:jmp_at
+          ~target:(Cosy_lib.next_index ctx.lib)
+      end
+  | Minic.Ast.Sbreak ->
+      let at = Cosy_lib.next_index ctx.lib in
+      Cosy_lib.jmp ctx.lib 0;
+      ctx.breaks <- at :: ctx.breaks
+  | Minic.Ast.Sblock body -> List.iter (compile_stmt ctx) body
+  | Minic.Ast.Scontinue -> fail loc "continue not in the Cosy subset"
+  | Minic.Ast.Sreturn _ -> fail loc "return inside a Cosy region"
+  | Minic.Ast.Scosy_start | Minic.Ast.Scosy_end ->
+      fail loc "nested Cosy markers"
+
+and compile_loop ctx cond body step =
+  let saved_breaks = ctx.breaks in
+  ctx.breaks <- [];
+  let l_cond = Cosy_lib.next_index ctx.lib in
+  let c = compile_expr ctx cond in
+  let jz_at = Cosy_lib.next_index ctx.lib in
+  Cosy_lib.jz ctx.lib c 0 (* patched below *);
+  List.iter (compile_stmt ctx) body;
+  List.iter (compile_stmt ctx) step;
+  Cosy_lib.jmp ctx.lib l_cond;
+  let l_end = Cosy_lib.next_index ctx.lib in
+  Cosy_lib.patch_jump ctx.lib ~at:jz_at ~target:l_end;
+  List.iter
+    (fun at -> Cosy_lib.patch_jump ctx.lib ~at ~target:l_end)
+    ctx.breaks;
+  ctx.breaks <- saved_breaks
+
+(* Extract the marked statements of [fname]'s body, plus the int-scalar
+   declarations that precede COSY_START: those locals are visible inside
+   the region, so Cosy-GCC binds them to slots (their initializers must
+   themselves be within the Cosy subset). *)
+let marked_region (f : Minic.Ast.func) =
+  let rec split before = function
+    | { Minic.Ast.s = Minic.Ast.Scosy_start; _ } :: rest ->
+        let rec until acc = function
+          | { Minic.Ast.s = Minic.Ast.Scosy_end; _ } :: _ -> List.rev acc
+          | s :: rest -> until (s :: acc) rest
+          | [] ->
+              raise
+                (Unsupported ("COSY_START without COSY_END", f.Minic.Ast.floc))
+        in
+        Some (List.rev before, until [] rest)
+    | ({ Minic.Ast.s = Minic.Ast.Sdecl ((Minic.Ast.Tint | Minic.Ast.Tchar), _, _); _ } as d)
+      :: rest ->
+        split (d :: before) rest
+    | _ :: rest -> split before rest
+    | [] -> None
+  in
+  split [] f.Minic.Ast.body
+
+type compiled = {
+  compound : Compound.t;
+  slots_of_vars : (string * int) list;  (* int locals -> result slots *)
+  shared_of_bufs : (string * (int * int)) list;
+  op_count : int;
+}
+
+(* Compile the marked region of function [fname] in [program]. *)
+let compile ?(shared_size = 65536) (program : Minic.Ast.program) ~fname =
+  match Minic.Ast.find_func program fname with
+  | None -> invalid_arg (Printf.sprintf "Cosy_gcc.compile: no function %s" fname)
+  | Some f -> (
+      match marked_region f with
+      | None ->
+          raise (Unsupported ("no COSY_START region in " ^ fname, f.Minic.Ast.floc))
+      | Some (pre_decls, stmts) ->
+          let ctx =
+            {
+              lib = Cosy_lib.create ~shared_size ();
+              vars = Hashtbl.create 16;
+              breaks = [];
+            }
+          in
+          List.iter (compile_stmt ctx) pre_decls;
+          List.iter (compile_stmt ctx) stmts;
+          let op_count = Cosy_lib.op_count ctx.lib in
+          let compound = Cosy_lib.finish ctx.lib in
+          let slots, bufs =
+            Hashtbl.fold
+              (fun name b (slots, bufs) ->
+                match b with
+                | Islot s -> ((name, s) :: slots, bufs)
+                | Ibuf (off, size) -> (slots, (name, (off, size)) :: bufs))
+              ctx.vars ([], [])
+          in
+          { compound; slots_of_vars = slots; shared_of_bufs = bufs; op_count })

@@ -1,0 +1,33 @@
+(** Cosy-GCC (§2.3): compile the COSY_START/COSY_END region of a mini-C
+    function into a compound.
+
+    Translation, transparent to the user:
+    - int locals (including those declared before COSY_START) map to
+      compound slots, so parameter dependencies between ops resolve by
+      slot reference;
+    - char arrays map to ranges of the zero-copy shared buffer, so a
+      read() whose buffer later feeds a write() moves no data across the
+      boundary — the automatic zero-copy detection the paper describes;
+    - calls to known syscalls become [Syscall] ops; other calls become
+      [Call_user] ops (run in the kernel under the protection mode);
+    - while/for/if/break lower to conditional jumps.
+
+    Code outside the subset is rejected with {!Unsupported} — the paper's
+    Cosy likewise limits the language "to a subset of C in the kernel". *)
+
+exception Unsupported of string * Minic.Ast.loc
+
+type compiled = {
+  compound : Compound.t;
+  slots_of_vars : (string * int) list;
+      (** int locals -> result slots, for reading outputs after submit *)
+  shared_of_bufs : (string * (int * int)) list;
+      (** char buffers -> (shared-buffer offset, size) *)
+  op_count : int;
+}
+
+(** Compile the marked region of [fname].
+    @raise Invalid_argument when the function does not exist,
+    @raise Unsupported when there is no marked region or it uses
+    constructs outside the Cosy subset. *)
+val compile : ?shared_size:int -> Minic.Ast.program -> fname:string -> compiled

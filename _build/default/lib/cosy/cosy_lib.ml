@@ -1,0 +1,87 @@
+(* Cosy-Lib: the utility layer that builds compounds.  Cosy-GCC rewrites
+   marked C code into calls to these builders; applications may also use
+   them directly.  The builder hands out result slots, which is how
+   parameter dependencies between operations are expressed. *)
+
+type t = {
+  mutable ops_rev : Cosy_op.op list;
+  mutable next_slot : int;
+  mutable next_shared : int;    (* bump allocator over the shared buffer *)
+  shared_size : int;
+}
+
+let create ?(shared_size = 65536) () =
+  { ops_rev = []; next_slot = 0; next_shared = 0; shared_size }
+
+let op_count t = List.length t.ops_rev
+let next_index t = op_count t
+
+let fresh_slot t =
+  let s = t.next_slot in
+  t.next_slot <- t.next_slot + 1;
+  s
+
+(* Reserve [len] bytes of the shared buffer (zero-copy staging space). *)
+let alloc_shared t len =
+  let len = (len + 7) land lnot 7 in
+  if t.next_shared + len > t.shared_size then
+    invalid_arg "Cosy_lib.alloc_shared: shared buffer exhausted";
+  let off = t.next_shared in
+  t.next_shared <- t.next_shared + len;
+  off
+
+let push t op = t.ops_rev <- op :: t.ops_rev
+
+let set t ~dst src = push t (Cosy_op.Set { dst; src })
+
+let set_fresh t src =
+  let dst = fresh_slot t in
+  set t ~dst src;
+  dst
+
+let arith t ~dst op a b = push t (Cosy_op.Arith { dst; op; a; b })
+
+let arith_fresh t op a b =
+  let dst = fresh_slot t in
+  arith t ~dst op a b;
+  dst
+
+exception Unknown_syscall of string
+
+let syscall t name args =
+  match Cosy_op.sysno_of_name name with
+  | None -> raise (Unknown_syscall name)
+  | Some sysno ->
+      let dst = fresh_slot t in
+      push t (Cosy_op.Syscall { dst; sysno; args });
+      dst
+
+let call_user t fname args =
+  let dst = fresh_slot t in
+  push t (Cosy_op.Call_user { dst; fname; args });
+  dst
+
+(* Control flow.  Targets are op indices; [patch_jump] supports the
+   emit-then-backpatch style the Cosy-GCC lowering uses. *)
+let jmp t target = push t (Cosy_op.Jmp target)
+let jz t cond target = push t (Cosy_op.Jz { cond; target })
+
+let patch_jump t ~at ~target =
+  let n = op_count t in
+  if at < 0 || at >= n then invalid_arg "Cosy_lib.patch_jump";
+  t.ops_rev <-
+    List.mapi
+      (fun i op ->
+        if n - 1 - i = at then
+          match op with
+          | Cosy_op.Jmp _ -> Cosy_op.Jmp target
+          | Cosy_op.Jz { cond; _ } -> Cosy_op.Jz { cond; target }
+          | _ -> invalid_arg "Cosy_lib.patch_jump: not a jump"
+        else op)
+      t.ops_rev
+
+let finish t =
+  push t Cosy_op.Halt;
+  Compound.encode ~slot_count:(max 1 t.next_slot) (List.rev t.ops_rev)
+
+let shared_bytes_used t = t.next_shared

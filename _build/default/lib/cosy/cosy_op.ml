@@ -1,0 +1,75 @@
+(* The Cosy intermediate language: the operations a compound may contain.
+   Deliberately a small subset of C (§2.3: "We limited Cosy to the
+   execution of only a subset of C in the kernel ... extending the
+   language further ... may not increase performance because the overhead
+   to decode a compound increases with the complexity of the language.")
+
+   A compound is a sequence of ops over a register file of integer
+   slots.  Slot values flow between ops, which is how Cosy-GCC "resolves
+   dependencies among parameters of the Cosy operations". *)
+
+type arg =
+  | Const of int
+  | Str of string              (* immediate string, e.g. a path *)
+  | Slot of int                (* result of an earlier op *)
+  | Shared of int              (* offset into the zero-copy shared buffer *)
+
+let pp_arg ppf = function
+  | Const n -> Fmt.pf ppf "$%d" n
+  | Str s -> Fmt.pf ppf "%S" s
+  | Slot i -> Fmt.pf ppf "r%d" i
+  | Shared off -> Fmt.pf ppf "shared+%d" off
+
+type arith = Aadd | Asub | Amul | Adiv | Amod | Aeq | Ane | Alt | Ale | Agt | Age
+
+let pp_arith ppf a =
+  Fmt.string ppf
+    (match a with
+    | Aadd -> "+" | Asub -> "-" | Amul -> "*" | Adiv -> "/" | Amod -> "%"
+    | Aeq -> "==" | Ane -> "!=" | Alt -> "<" | Ale -> "<=" | Agt -> ">"
+    | Age -> ">=")
+
+type op =
+  | Set of { dst : int; src : arg }
+  | Arith of { dst : int; op : arith; a : arg; b : arg }
+  | Syscall of { dst : int; sysno : int; args : arg list }
+  | Jmp of int                  (* absolute op index *)
+  | Jz of { cond : arg; target : int }
+  | Call_user of { dst : int; fname : string; args : arg list }
+  | Halt
+
+(* Fixed syscall numbering shared by encoder and kernel extension. *)
+let syscall_table =
+  [|
+    "open"; "close"; "read"; "write"; "pread"; "pwrite"; "lseek"; "stat";
+    "fstat"; "readdir"; "mkdir"; "unlink"; "rename"; "fsync"; "getpid";
+  |]
+
+let sysno_of_name name =
+  let rec go i =
+    if i >= Array.length syscall_table then None
+    else if syscall_table.(i) = name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let name_of_sysno n =
+  if n >= 0 && n < Array.length syscall_table then Some syscall_table.(n)
+  else None
+
+let pp_op ppf = function
+  | Set { dst; src } -> Fmt.pf ppf "r%d := %a" dst pp_arg src
+  | Arith { dst; op; a; b } ->
+      Fmt.pf ppf "r%d := %a %a %a" dst pp_arg a pp_arith op pp_arg b
+  | Syscall { dst; sysno; args } ->
+      Fmt.pf ppf "r%d := sys_%s(%a)" dst
+        (Option.value ~default:"?" (name_of_sysno sysno))
+        Fmt.(list ~sep:(any ", ") pp_arg)
+        args
+  | Jmp target -> Fmt.pf ppf "jmp %d" target
+  | Jz { cond; target } -> Fmt.pf ppf "jz %a -> %d" pp_arg cond target
+  | Call_user { dst; fname; args } ->
+      Fmt.pf ppf "r%d := user %s(%a)" dst fname
+        Fmt.(list ~sep:(any ", ") pp_arg)
+        args
+  | Halt -> Fmt.string ppf "halt"

@@ -1,0 +1,35 @@
+(* The zero-copy shared buffer (§2.3): a region mapped into both the user
+   and kernel address spaces, so data produced by one syscall inside a
+   compound can be consumed by the next without crossing the boundary.
+   Both sides see the same bytes; neither pays a copy_{to,from}_user. *)
+
+type t = {
+  data : Bytes.t;
+  mutable high_water : int;    (* bytes actually used, for reporting *)
+}
+
+let create size =
+  if size <= 0 then invalid_arg "Shared_buffer.create";
+  { data = Bytes.make size '\000'; high_water = 0 }
+
+let size t = Bytes.length t.data
+
+let check t ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length t.data then
+    invalid_arg
+      (Printf.sprintf "Shared_buffer: range [%d,+%d) outside buffer of %d" off
+         len (Bytes.length t.data))
+
+let write t ~off data =
+  let len = Bytes.length data in
+  check t ~off ~len;
+  Bytes.blit data 0 t.data off len;
+  if off + len > t.high_water then t.high_water <- off + len
+
+let read t ~off ~len =
+  check t ~off ~len;
+  Bytes.sub t.data off len
+
+let write_string t ~off s = write t ~off (Bytes.of_string s)
+let read_string t ~off ~len = Bytes.to_string (read t ~off ~len)
+let high_water t = t.high_water

@@ -1,0 +1,23 @@
+(** The zero-copy shared buffer (§2.3): a region mapped into both the
+    user and kernel address spaces, so data produced by one syscall
+    inside a compound is consumed by the next without crossing the
+    boundary.  Both sides see the same bytes; neither pays a
+    [copy_{to,from}_user]. *)
+
+type t
+
+(** @raise Invalid_argument on non-positive size. *)
+val create : int -> t
+
+val size : t -> int
+
+(** All accessors raise [Invalid_argument] when the range leaves the
+    buffer. *)
+
+val write : t -> off:int -> Bytes.t -> unit
+val read : t -> off:int -> len:int -> Bytes.t
+val write_string : t -> off:int -> string -> unit
+val read_string : t -> off:int -> len:int -> string
+
+(** Highest byte offset ever written (for reporting). *)
+val high_water : t -> int

@@ -1,0 +1,75 @@
+(** Kefence (§3.2): hardware-assisted detection of kernel buffer
+    overflows.
+
+    Allocations are page-aligned vmalloc areas with an adjacent guardian
+    PTE whose permissions are disabled; the buffer is placed flush
+    against the guardian so the first out-of-bounds byte faults.  A
+    handler pushed onto the kernel address space's fault stack reports
+    each overflow (with the faulting source location, like the paper's
+    syslog lines) and then reacts according to the configured mode. *)
+
+(** Reaction to a detected overflow. *)
+type mode =
+  | Crash        (** kill the module at the overflow (security-critical) *)
+  | Log_only     (** suppress the access and continue *)
+  | Auto_map_ro  (** auto-map a read-only page: oob reads proceed,
+                     writes still kill (debugging reads) *)
+  | Auto_map_rw  (** auto-map a writable page: run to completion with
+                     everything logged (debugging writes) *)
+
+val pp_mode : Format.formatter -> mode -> unit
+
+(** One syslog-style overflow report. *)
+type report = {
+  fault_addr : int;
+  access : Ksim.Fault.access;
+  pc : string;               (** source file:line of the overflowing code *)
+  buffer : int option;       (** base address of the overflowed buffer *)
+  buffer_size : int option;
+  time : int;                (** virtual cycles at detection *)
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+(** Which end of the buffer is guarded; page-multiple allocations are
+    effectively protected on both ends with [Overflow]. *)
+type protect = Overflow | Underflow
+
+(** Dynamic protection decision (§3.5 future work, implemented): after
+    [trust_site_after] clean allocations, an allocation site falls back
+    to plain kmalloc, reclaiming the page and vmalloc costs.  A site
+    blamed for an overflow via {!distrust_site} is guarded forever. *)
+type dynamic_policy = { trust_site_after : int }
+
+type t
+
+(** Install Kefence on a kernel: pushes the overflow handler onto the
+    kernel address space's fault stack. *)
+val create :
+  ?mode:mode -> ?protect:protect -> ?dynamic:dynamic_policy -> Ksim.Kernel.t -> t
+
+val set_mode : t -> mode -> unit
+val mode : t -> mode
+
+(** Allocate a guarded buffer; [site] identifies the allocation site for
+    the dynamic policy (no site = always guarded). *)
+val alloc : ?site:string -> t -> int -> int
+
+(** Free a buffer allocated by {!alloc} (guarded or not).
+    @raise Invalid_argument on unknown addresses. *)
+val free : t -> int -> unit
+
+(** Mark an allocation site as overflow-prone: guarded again from now on. *)
+val distrust_site : t -> string -> unit
+
+(** Allocations that skipped the guard under the dynamic policy. *)
+val unguarded_allocs : t -> int
+
+(** Reports, oldest first. *)
+val reports : t -> report list
+
+val overflows_detected : t -> int
+val live_buffers : t -> int
+
+(** Rendered reports, oldest first. *)
+val syslog : t -> string list

@@ -1,0 +1,1 @@
+lib/kgcc/check_opt.ml: Ast Fmt Hashtbl Instrument List Minic Option Pretty String

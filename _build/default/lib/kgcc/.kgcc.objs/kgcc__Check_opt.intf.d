@@ -1,0 +1,1 @@
+lib/kgcc/check_opt.mli: Minic

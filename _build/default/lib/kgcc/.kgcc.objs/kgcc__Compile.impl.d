@@ -1,0 +1,1 @@
+lib/kgcc/compile.ml: Check_opt Fmt Instrument Minic

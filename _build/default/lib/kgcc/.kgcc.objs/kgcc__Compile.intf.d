@@ -1,0 +1,1 @@
+lib/kgcc/compile.mli: Format Instrument Minic

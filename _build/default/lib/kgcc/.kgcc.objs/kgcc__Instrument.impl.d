@@ -1,0 +1,1 @@
+lib/kgcc/instrument.ml: Ast List Minic Option Typecheck

@@ -1,0 +1,1 @@
+lib/kgcc/instrument.mli: Minic

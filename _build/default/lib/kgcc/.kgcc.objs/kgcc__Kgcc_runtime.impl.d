@@ -1,0 +1,1 @@
+lib/kgcc/kgcc_runtime.ml: Hashtbl Ksim Minic Objmap Option Printf Splay String

@@ -1,0 +1,1 @@
+lib/kgcc/kgcc_runtime.mli: Ksim Minic Objmap

@@ -1,0 +1,1 @@
+lib/kgcc/objmap.ml: Fmt Hashtbl Splay

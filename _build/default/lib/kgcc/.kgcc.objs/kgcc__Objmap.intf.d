@@ -1,0 +1,1 @@
+lib/kgcc/objmap.mli: Format Splay

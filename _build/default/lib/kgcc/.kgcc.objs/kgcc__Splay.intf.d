@@ -1,0 +1,1 @@
+lib/kgcc/splay.mli:

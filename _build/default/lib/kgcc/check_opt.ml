@@ -1,0 +1,209 @@
+(* Check-elimination optimization (§3.4): "common subexpression
+   elimination allowed us to reduce the number of checks inserted by more
+   than half for typical kernel code."
+
+   This pass walks instrumented code and removes a check whose
+   fingerprint (checked address expression + size, ignoring the source
+   line) has already been established on the same straight-line path.
+   A bounds check's validity depends only on object *extents*, never on
+   stored values, so ordinary stores cannot invalidate an available
+   check.  Invalidations are conservative:
+
+   - a call to any function other than the check functions and the pure
+     builtins may allocate or free objects: all checks are invalidated;
+   - 'free' in particular definitely invalidates;
+   - conditional/loop sub-blocks are optimized with their own entry state
+     (empty for loop bodies, the current state for if branches) and the
+     state is rejoined conservatively afterwards. *)
+
+open Minic
+
+(* Builtins that cannot change the object map. *)
+let pure_fns =
+  [ "strlen"; "strcmp"; "print_int"; "print_str"; "putchar"; "memcpy";
+    "memset"; "strcpy"; "__kgcc_strcpy" ]
+
+let invalidating_call fn =
+  (not (Instrument.is_check_fn fn)) && not (List.mem fn pure_fns)
+
+type state = {
+  mutable available : (string, unit) Hashtbl.t;
+  mutable removed : int;
+}
+
+let fingerprint args =
+  (* drop the trailing line-number argument *)
+  let rec drop_last = function
+    | [] | [ _ ] -> []
+    | x :: rest -> x :: drop_last rest
+  in
+  String.concat "#" (List.map (Fmt.str "%a" Pretty.pp_expr) (drop_last args))
+
+let clear st = Hashtbl.reset st.available
+
+(* Does this expression contain a call that can change the object map? *)
+let rec has_invalidating_call (e : Ast.expr) =
+  match e.Ast.e with
+  | Ast.Call (fn, args) ->
+      invalidating_call fn || List.exists has_invalidating_call args
+  | Ast.Int_lit _ | Ast.Char_lit _ | Ast.Str_lit _ | Ast.Var _
+  | Ast.Sizeof_ty _ ->
+      false
+  | Ast.Unop (_, a) | Ast.Deref a | Ast.Addr_of a | Ast.Cast (_, a) ->
+      has_invalidating_call a
+  | Ast.Binop (_, a, b) | Ast.Assign (a, b) | Ast.Index (a, b) ->
+      has_invalidating_call a || has_invalidating_call b
+  | Ast.Cond (a, b, c) ->
+      has_invalidating_call a || has_invalidating_call b
+      || has_invalidating_call c
+
+let rec opt_expr st (e : Ast.expr) : Ast.expr =
+  let mk n = { e with Ast.e = n } in
+  match e.Ast.e with
+  | Ast.Call (fn, args) when Instrument.is_check_fn fn -> (
+      let args = List.map (opt_expr st) args in
+      let fp = fn ^ ":" ^ fingerprint args in
+      if Hashtbl.mem st.available fp then begin
+        (* redundant: the checked value is the first argument *)
+        st.removed <- st.removed + 1;
+        match args with p :: _ -> p | [] -> mk (Ast.Call (fn, args))
+      end
+      else begin
+        Hashtbl.replace st.available fp ();
+        mk (Ast.Call (fn, args))
+      end)
+  | Ast.Call (fn, args) ->
+      let args = List.map (opt_expr st) args in
+      if invalidating_call fn then clear st;
+      mk (Ast.Call (fn, args))
+  | Ast.Assign (lhs, rhs) ->
+      (* evaluate rhs first (it may contain checks), then lhs *)
+      let rhs = opt_expr st rhs in
+      let lhs = opt_expr st lhs in
+      (* an assignment to a variable that appears in available
+         fingerprints changes what those addresses mean *)
+      (match lhs.Ast.e with
+      | Ast.Var v | Ast.Deref { Ast.e = Ast.Var v; _ } ->
+          let stale =
+            Hashtbl.fold
+              (fun fp () acc ->
+                (* cheap containment test on the fingerprint string *)
+                let re = v in
+                let contains s sub =
+                  let n = String.length s and m = String.length sub in
+                  let rec go i =
+                    i + m <= n && (String.sub s i m = sub || go (i + 1))
+                  in
+                  m > 0 && go 0
+                in
+                if contains fp re then fp :: acc else acc)
+              st.available []
+          in
+          List.iter (Hashtbl.remove st.available) stale
+      | _ -> clear st);
+      mk (Ast.Assign (lhs, rhs))
+  | Ast.Int_lit _ | Ast.Char_lit _ | Ast.Str_lit _ | Ast.Var _
+  | Ast.Sizeof_ty _ ->
+      e
+  | Ast.Unop (op, a) -> mk (Ast.Unop (op, opt_expr st a))
+  | Ast.Deref a -> mk (Ast.Deref (opt_expr st a))
+  | Ast.Addr_of a -> mk (Ast.Addr_of (opt_expr st a))
+  | Ast.Cast (ty, a) -> mk (Ast.Cast (ty, opt_expr st a))
+  | Ast.Binop (op, a, b) ->
+      let a = opt_expr st a in
+      let b = opt_expr st b in
+      mk (Ast.Binop (op, a, b))
+  | Ast.Index (a, b) ->
+      let a = opt_expr st a in
+      let b = opt_expr st b in
+      mk (Ast.Index (a, b))
+  | Ast.Cond (a, b, c) ->
+      let a = opt_expr st a in
+      (* branches may or may not execute: give them throwaway copies *)
+      let b = opt_branch st b in
+      let c = opt_branch st c in
+      mk (Ast.Cond (a, b, c))
+
+and opt_branch st e =
+  let saved = Hashtbl.copy st.available in
+  let e = opt_expr st e in
+  st.available <- saved;
+  e
+
+and opt_stmt st (s : Ast.stmt) : Ast.stmt =
+  let mk n = { s with Ast.s = n } in
+  match s.Ast.s with
+  | Ast.Sexpr e -> mk (Ast.Sexpr (opt_expr st e))
+  | Ast.Sdecl (ty, name, init) ->
+      mk (Ast.Sdecl (ty, name, Option.map (opt_expr st) init))
+  | Ast.Sif (cond, a, b) ->
+      let cond = opt_expr st cond in
+      let saved = Hashtbl.copy st.available in
+      let a = List.map (opt_stmt st) a in
+      st.available <- Hashtbl.copy saved;
+      let b = List.map (opt_stmt st) b in
+      (* join: keep only what held before the branches *)
+      st.available <- saved;
+      if List.exists stmt_invalidates a || List.exists stmt_invalidates b then
+        clear st;
+      mk (Ast.Sif (cond, a, b))
+  | Ast.Swhile (cond, body) ->
+      (* loop entry state is unknown at the back edge: start empty *)
+      let saved = Hashtbl.copy st.available in
+      st.available <- Hashtbl.create 16;
+      let cond = opt_expr st cond in
+      let body = List.map (opt_stmt st) body in
+      st.available <- saved;
+      if
+        has_invalidating_call cond || List.exists stmt_invalidates body
+      then clear st;
+      mk (Ast.Swhile (cond, body))
+  | Ast.Sfor (cond, body, step) ->
+      let saved = Hashtbl.copy st.available in
+      st.available <- Hashtbl.create 16;
+      let cond = opt_expr st cond in
+      let body = List.map (opt_stmt st) body in
+      let step = List.map (opt_stmt st) step in
+      st.available <- saved;
+      if
+        has_invalidating_call cond
+        || List.exists stmt_invalidates body
+        || List.exists stmt_invalidates step
+      then clear st;
+      mk (Ast.Sfor (cond, body, step))
+  | Ast.Sreturn e -> mk (Ast.Sreturn (Option.map (opt_expr st) e))
+  | Ast.Sblock body -> mk (Ast.Sblock (List.map (opt_stmt st) body))
+  | Ast.Sbreak | Ast.Scontinue | Ast.Scosy_start | Ast.Scosy_end -> s
+
+and stmt_invalidates (s : Ast.stmt) =
+  match s.Ast.s with
+  | Ast.Sexpr e | Ast.Sdecl (_, _, Some e) | Ast.Sreturn (Some e) ->
+      has_invalidating_call e
+  | Ast.Sdecl (_, _, None) | Ast.Sreturn None | Ast.Sbreak | Ast.Scontinue
+  | Ast.Scosy_start | Ast.Scosy_end ->
+      false
+  | Ast.Sif (c, a, b) ->
+      has_invalidating_call c || List.exists stmt_invalidates a
+      || List.exists stmt_invalidates b
+  | Ast.Swhile (c, body) ->
+      has_invalidating_call c || List.exists stmt_invalidates body
+  | Ast.Sfor (c, body, step) ->
+      has_invalidating_call c
+      || List.exists stmt_invalidates body
+      || List.exists stmt_invalidates step
+  | Ast.Sblock body -> List.exists stmt_invalidates body
+
+(* Run check-CSE over a program; returns the optimized program and the
+   number of checks removed. *)
+let program (p : Ast.program) : Ast.program * int =
+  let removed = ref 0 in
+  let funcs =
+    List.map
+      (fun f ->
+        let st = { available = Hashtbl.create 16; removed = 0 } in
+        let body = List.map (opt_stmt st) f.Ast.body in
+        removed := !removed + st.removed;
+        { f with Ast.body })
+      p.Ast.funcs
+  in
+  (({ p with Ast.funcs } : Ast.program), !removed)

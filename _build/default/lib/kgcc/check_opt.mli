@@ -1,0 +1,15 @@
+(** Check-elimination optimization (§3.4): "common subexpression
+    elimination allowed us to reduce the number of checks inserted by
+    more than half for typical kernel code."
+
+    Removes a check whose fingerprint (checked address expression + size,
+    ignoring the source line) is already established on the same
+    straight-line path.  A bounds check's validity depends only on object
+    extents, never on stored values, so plain stores cannot invalidate an
+    available check; calls that may allocate or free (anything beyond the
+    check functions and pure builtins) conservatively invalidate
+    everything, loop bodies start from an empty state, and branch states
+    rejoin conservatively. *)
+
+(** Returns the optimized program and the number of checks removed. *)
+val program : Minic.Ast.program -> Minic.Ast.program * int

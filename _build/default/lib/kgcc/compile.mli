@@ -1,0 +1,24 @@
+(** KGCC driver: instrumentation plus check-CSE, with the size/check
+    accounting the paper reports (code growth; "common subexpression
+    elimination allowed us to reduce the number of checks inserted by
+    more than half"). *)
+
+type result = {
+  program : Minic.Ast.program;  (** the instrumented, optimized program *)
+  checks_inserted : int;
+  checks_removed : int;         (** by check-CSE *)
+  size_before : int;            (** AST nodes, a code-size proxy *)
+  size_after : int;
+}
+
+val checks_remaining : result -> int
+
+(** Instrument [p]; [optimize] (default true) runs check-CSE after. *)
+val compile : ?optimize:bool -> ?opts:Instrument.options -> Minic.Ast.program -> result
+
+(** Program-to-program convenience for consumers that take a compiler
+    (e.g. {!Kvfs.Journalfs.create}'s [transform]). *)
+val transform :
+  ?optimize:bool -> ?opts:Instrument.options -> Minic.Ast.program -> Minic.Ast.program
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,178 @@
+(* The KGCC instrumentation pass: "All operations that can potentially
+   cause bounds violations, like pointer arithmetic, string operations,
+   memory copying, etc. are preceded by checks.  The checks are simply
+   function calls to the BCC runtime environment" (§3.4).
+
+   Inserted calls, writing [cast] for the cast back to pointer type:
+     deref p     ->  deref of cast __kgcc_check_deref(p, elem size, line)
+     a[i]        ->  deref of cast __kgcc_check_deref(a + i, elem size, line)
+     p + i       ->  cast __kgcc_check_arith(p, p + i, line)
+     memcpy/...  ->  arguments wrapped in __kgcc_check_range
+     strcpy      ->  __kgcc_strcpy(dst, src, line) in the runtime
+
+   Stack objects whose addresses are never taken live in registers, so no
+   pointer to them can exist and they need no checks — KGCC's first
+   check-elimination heuristic falls out of the representation.
+
+   The arithmetic check duplicates the base-pointer expression, so it is
+   only inserted when that expression is pure (variables, constants,
+   casts of pure expressions); this matches BCC, which likewise
+   instruments simple pointer expressions. *)
+
+type options = {
+  check_deref : bool;
+  check_arith : bool;
+  check_ranges : bool;
+}
+
+let all_checks = { check_deref = true; check_arith = true; check_ranges = true }
+
+type counters = {
+  mutable deref_checks : int;
+  mutable arith_checks : int;
+  mutable range_checks : int;
+}
+
+let total c = c.deref_checks + c.arith_checks + c.range_checks
+
+let check_fns = [ "__kgcc_check_deref"; "__kgcc_check_arith"; "__kgcc_check_range" ]
+
+let is_check_fn name = List.mem name check_fns
+
+open Minic
+
+let rec is_pure (e : Ast.expr) =
+  match e.Ast.e with
+  | Ast.Int_lit _ | Ast.Char_lit _ | Ast.Var _ | Ast.Sizeof_ty _ -> true
+  | Ast.Cast (_, a) -> is_pure a
+  | Ast.Str_lit _ | Ast.Unop _ | Ast.Binop _ | Ast.Assign _ | Ast.Deref _
+  | Ast.Addr_of _ | Ast.Index _ | Ast.Call _ | Ast.Cond _ ->
+      false
+
+let is_ptr = function
+  | Some (Ast.Tptr _) | Some (Ast.Tarray _) -> true
+  | Some (Ast.Tvoid | Ast.Tint | Ast.Tchar) | None -> false
+
+let ptr_elem = function
+  | Some (Ast.Tptr t) | Some (Ast.Tarray (t, _)) -> t
+  | _ -> Ast.Tchar
+
+let line_of (e : Ast.expr) = Ast.mk_expr ~loc:e.Ast.eloc (Ast.Int_lit e.Ast.eloc.Ast.line)
+
+let call_check ~loc name args = Ast.mk_expr ~loc (Ast.Call (name, args))
+
+(* wrap [addr_expr] (pointing at an element of type [elem]) in a deref
+   check and give the result back pointer type via a cast *)
+let checked_addr c ~loc ~elem addr_expr =
+  c.deref_checks <- c.deref_checks + 1;
+  let size = Ast.mk_expr ~loc (Ast.Sizeof_ty elem) in
+  let line = Ast.mk_expr ~loc (Ast.Int_lit loc.Ast.line) in
+  Ast.mk_expr ~loc
+    (Ast.Cast
+       ( Ast.Tptr elem,
+         call_check ~loc "__kgcc_check_deref" [ addr_expr; size; line ] ))
+
+let rec instr_expr opts c (e : Ast.expr) : Ast.expr =
+  let loc = e.Ast.eloc in
+  let mk n = { e with Ast.e = n } in
+  match e.Ast.e with
+  | Ast.Int_lit _ | Ast.Char_lit _ | Ast.Str_lit _ | Ast.Var _
+  | Ast.Sizeof_ty _ ->
+      e
+  | Ast.Unop (op, a) -> mk (Ast.Unop (op, instr_expr opts c a))
+  | Ast.Deref a ->
+      let a' = instr_expr opts c a in
+      if opts.check_deref then
+        mk (Ast.Deref (checked_addr c ~loc ~elem:(ptr_elem a.Ast.ety) a'))
+      else mk (Ast.Deref a')
+  | Ast.Index (a, i) ->
+      let a' = instr_expr opts c a in
+      let i' = instr_expr opts c i in
+      if opts.check_deref then begin
+        let elem = ptr_elem a.Ast.ety in
+        let addr = Ast.mk_expr ~loc (Ast.Binop (Ast.Add, a', i')) in
+        mk (Ast.Deref (checked_addr c ~loc ~elem addr))
+      end
+      else mk (Ast.Index (a', i'))
+  | Ast.Binop ((Ast.Add | Ast.Sub) as op, a, b)
+    when opts.check_arith && is_ptr a.Ast.ety
+         && (not (is_ptr b.Ast.ety))
+         && is_pure a ->
+      c.arith_checks <- c.arith_checks + 1;
+      let a' = instr_expr opts c a in
+      let b' = instr_expr opts c b in
+      let raw = Ast.mk_expr ~loc (Ast.Binop (op, a', b')) in
+      let line = line_of e in
+      Ast.mk_expr ~loc
+        (Ast.Cast
+           ( Ast.Tptr (ptr_elem a.Ast.ety),
+             call_check ~loc "__kgcc_check_arith" [ a'; raw; line ] ))
+  | Ast.Binop (op, a, b) ->
+      mk (Ast.Binop (op, instr_expr opts c a, instr_expr opts c b))
+  | Ast.Assign (lhs, rhs) ->
+      mk (Ast.Assign (instr_expr opts c lhs, instr_expr opts c rhs))
+  | Ast.Addr_of a -> mk (Ast.Addr_of a) (* taking the address needs no check *)
+  | Ast.Call (("memcpy" | "memset") as fn, args) when opts.check_ranges -> (
+      let args = List.map (instr_expr opts c) args in
+      match (fn, args) with
+      | "memcpy", [ d; s; n ] when is_pure n ->
+          c.range_checks <- c.range_checks + 2;
+          let line = line_of e in
+          let wrap p =
+            call_check ~loc "__kgcc_check_range" [ p; n; line ]
+          in
+          mk (Ast.Call (fn, [ wrap d; wrap s; n ]))
+      | "memset", [ d; v; n ] when is_pure n ->
+          c.range_checks <- c.range_checks + 1;
+          let line = line_of e in
+          mk
+            (Ast.Call
+               (fn, [ call_check ~loc "__kgcc_check_range" [ d; n; line ]; v; n ]))
+      | _ -> mk (Ast.Call (fn, args)))
+  | Ast.Call ("strcpy", [ d; s ]) when opts.check_ranges ->
+      (* string operations move into the KGCC runtime, where the copy
+         length is known when the check runs *)
+      let d' = instr_expr opts c d in
+      let s' = instr_expr opts c s in
+      c.range_checks <- c.range_checks + 1;
+      mk (Ast.Call ("__kgcc_strcpy", [ d'; s'; line_of e ]))
+  | Ast.Call (fn, args) -> mk (Ast.Call (fn, List.map (instr_expr opts c) args))
+  | Ast.Cast (ty, a) -> mk (Ast.Cast (ty, instr_expr opts c a))
+  | Ast.Cond (a, b, d) ->
+      mk (Ast.Cond (instr_expr opts c a, instr_expr opts c b, instr_expr opts c d))
+
+let rec instr_stmt opts c (s : Ast.stmt) : Ast.stmt =
+  let mk n = { s with Ast.s = n } in
+  match s.Ast.s with
+  | Ast.Sexpr e -> mk (Ast.Sexpr (instr_expr opts c e))
+  | Ast.Sdecl (ty, name, init) ->
+      mk (Ast.Sdecl (ty, name, Option.map (instr_expr opts c) init))
+  | Ast.Sif (cond, a, b) ->
+      mk
+        (Ast.Sif
+           ( instr_expr opts c cond,
+             List.map (instr_stmt opts c) a,
+             List.map (instr_stmt opts c) b ))
+  | Ast.Swhile (cond, body) ->
+      mk (Ast.Swhile (instr_expr opts c cond, List.map (instr_stmt opts c) body))
+  | Ast.Sfor (cond, body, step) ->
+      mk
+        (Ast.Sfor
+           ( instr_expr opts c cond,
+             List.map (instr_stmt opts c) body,
+             List.map (instr_stmt opts c) step ))
+  | Ast.Sreturn e -> mk (Ast.Sreturn (Option.map (instr_expr opts c) e))
+  | Ast.Sblock body -> mk (Ast.Sblock (List.map (instr_stmt opts c) body))
+  | Ast.Sbreak | Ast.Scontinue | Ast.Scosy_start | Ast.Scosy_end -> s
+
+(* Instrument a whole program.  Typechecks first (the pass needs the
+   pointer-type annotations); the caller re-typechecks on load. *)
+let program ?(opts = all_checks) (p : Ast.program) : Ast.program * counters =
+  ignore (Typecheck.check p);
+  let c = { deref_checks = 0; arith_checks = 0; range_checks = 0 } in
+  let funcs =
+    List.map
+      (fun f -> { f with Ast.body = List.map (instr_stmt opts c) f.Ast.body })
+      p.Ast.funcs
+  in
+  ({ p with Ast.funcs }, c)

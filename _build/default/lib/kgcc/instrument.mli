@@ -1,0 +1,40 @@
+(** The KGCC instrumentation pass (§3.4): "All operations that can
+    potentially cause bounds violations, like pointer arithmetic, string
+    operations, memory copying, etc. are preceded by checks.  The checks
+    are simply function calls to the BCC runtime environment."
+
+    Inserted calls (see {!Kgcc_runtime} for their semantics):
+    - dereferences and indexing -> [__kgcc_check_deref];
+    - pointer arithmetic on pure base expressions -> [__kgcc_check_arith];
+    - memcpy/memset -> [__kgcc_check_range]; strcpy -> [__kgcc_strcpy].
+
+    Stack objects whose addresses are never taken live in registers, so
+    no pointer to them can exist and they need no checks — KGCC's first
+    check-elimination heuristic falls out of the representation. *)
+
+(** Which check classes to insert. *)
+type options = {
+  check_deref : bool;
+  check_arith : bool;
+  check_ranges : bool;
+}
+
+val all_checks : options
+
+(** Counts of inserted checks, by class. *)
+type counters = {
+  mutable deref_checks : int;
+  mutable arith_checks : int;
+  mutable range_checks : int;
+}
+
+val total : counters -> int
+
+(** Names of the pure check functions (consulted by the CSE pass). *)
+val check_fns : string list
+
+val is_check_fn : string -> bool
+
+(** Instrument a whole program (typechecks it first for the pointer-type
+    annotations). *)
+val program : ?opts:options -> Minic.Ast.program -> Minic.Ast.program * counters

@@ -1,0 +1,209 @@
+(* The KGCC runtime: the check functions that instrumented code calls,
+   and the glue that keeps the object map synchronized with the
+   interpreter's allocations.
+
+   Dynamic deinstrumentation (§3.5, implemented here as E9's ablation):
+   each check site carries an execution counter; once a site has executed
+   safely [deinstrument_after] times, its checks short-circuit — "as code
+   paths execute safely more times and more often, one can state with
+   greater confidence that they are correct ... reclaiming performance
+   quickly as the confidence level for frequently-executed code becomes
+   acceptable." *)
+
+exception Bounds_violation of { addr : int; line : int; detail : string }
+
+type t = {
+  objmap : Objmap.t;
+  clock : Ksim.Sim_clock.t;
+  cost : Ksim.Cost_model.t;
+  mutable checks_executed : int;
+  mutable checks_skipped : int;     (* by dynamic deinstrumentation *)
+  mutable violations : int;
+  mutable deinstrument_after : int option;
+  site_counts : (int, int) Hashtbl.t;  (* line -> executions *)
+  mutable rotations_before : int;
+}
+
+let create ?deinstrument_after ~clock ~cost () =
+  {
+    objmap = Objmap.create ();
+    clock;
+    cost;
+    checks_executed = 0;
+    checks_skipped = 0;
+    violations = 0;
+    deinstrument_after;
+    site_counts = Hashtbl.create 64;
+    rotations_before = 0;
+  }
+
+let objmap t = t.objmap
+
+let set_deinstrument_after t n = t.deinstrument_after <- n
+
+
+(* Decide whether this site's check still runs; counts the execution
+   either way. *)
+let site_active t line =
+  match t.deinstrument_after with
+  | None -> true
+  | Some threshold ->
+      let n = 1 + Option.value ~default:0 (Hashtbl.find_opt t.site_counts line) in
+      Hashtbl.replace t.site_counts line n;
+      n <= threshold
+
+let charge_check t =
+  t.checks_executed <- t.checks_executed + 1;
+  let before = Splay.rotations (Objmap.splay t.objmap) in
+  Ksim.Sim_clock.advance t.clock t.cost.Ksim.Cost_model.bounds_check;
+  t.rotations_before <- before
+
+let charge_rotations t =
+  let after = Splay.rotations (Objmap.splay t.objmap) in
+  let delta = after - t.rotations_before in
+  if delta > 0 then
+    Ksim.Sim_clock.advance t.clock (delta * t.cost.Ksim.Cost_model.splay_rotate)
+
+let violation t ~addr ~line ~detail =
+  t.violations <- t.violations + 1;
+  raise (Bounds_violation { addr; line; detail })
+
+(* __kgcc_check_deref(p, size, line): p must point into a live object and
+   the [size]-byte access must stay inside it.  OOB peers may not be
+   dereferenced. *)
+let check_deref t p size line =
+  if not (site_active t line) then begin
+    t.checks_skipped <- t.checks_skipped + 1;
+    p
+  end
+  else begin
+    charge_check t;
+    let r =
+      match Objmap.classify t.objmap p with
+      | Objmap.In_bounds { base; size = osize; _ } ->
+          if p + size > base + osize then
+            violation t ~addr:p ~line
+              ~detail:
+                (Printf.sprintf "access of %d bytes overruns object [0x%x,+%d)"
+                   size base osize)
+          else p
+      | Objmap.Oob _ ->
+          violation t ~addr:p ~line ~detail:"dereference of out-of-bounds pointer"
+      | Objmap.Unknown ->
+          violation t ~addr:p ~line ~detail:"dereference of unknown address"
+    in
+    charge_rotations t;
+    r
+  end
+
+(* __kgcc_check_arith(p, result, line): pointer arithmetic must stay
+   within the object p belongs to; otherwise the result becomes an OOB
+   peer (not an error — C allows transient OOB values). *)
+let check_arith t p result line =
+  if not (site_active t line) then begin
+    t.checks_skipped <- t.checks_skipped + 1;
+    result
+  end
+  else begin
+    charge_check t;
+    (match Objmap.owner t.objmap p with
+    | Some (base, size, _) ->
+        (* one-past-the-end is legal C and stays a non-dereferenceable edge *)
+        if result < base || result > base + size then
+          Objmap.make_peer t.objmap ~obj_base:base ~addr:result
+        else if result = base + size && size > 0 then
+          Objmap.make_peer t.objmap ~obj_base:base ~addr:result
+        else Objmap.drop_peer t.objmap ~addr:result
+    | None ->
+        violation t ~addr:p ~line ~detail:"pointer arithmetic on unknown address");
+    charge_rotations t;
+    result
+  end
+
+(* __kgcc_check_range(p, len, line): a [len]-byte operation (memcpy,
+   memset) must lie inside one object. *)
+let check_range t p len line =
+  if not (site_active t line) then begin
+    t.checks_skipped <- t.checks_skipped + 1;
+    p
+  end
+  else begin
+    charge_check t;
+    let r =
+      match Objmap.classify t.objmap p with
+      | Objmap.In_bounds { base; size; _ } ->
+          if p + len > base + size then
+            violation t ~addr:p ~line
+              ~detail:
+                (Printf.sprintf "range of %d bytes overruns object [0x%x,+%d)"
+                   len base size)
+          else p
+      | Objmap.Oob _ | Objmap.Unknown ->
+          violation t ~addr:p ~line ~detail:"range check on invalid pointer"
+    in
+    charge_rotations t;
+    r
+  end
+
+
+(* __kgcc_strcpy(dst, src, line): BCC moves string operations into its
+   runtime so the copy length is known when the check runs. *)
+let checked_strcpy t interp dst src line =
+  let s = Minic.Interp.read_c_string interp ~loc:Minic.Ast.no_loc ~addr:src in
+  let needed = String.length s + 1 in
+  ignore (check_range t dst needed line);
+  Minic.Interp.write_c_string interp ~loc:Minic.Ast.no_loc ~addr:dst s;
+  dst
+
+(* Synchronize the object map with an interpreter's allocation events and
+   register the check externs. *)
+let attach t (interp : Minic.Interp.t) =
+  Minic.Interp.set_on_obj interp (fun ev ->
+      match ev with
+      | Minic.Interp.Obj_alloc { base; size; kind; name } ->
+          let kind =
+            match kind with
+            | Minic.Interp.Stack -> Objmap.Stack
+            | Minic.Interp.Heap -> Objmap.Heap
+            | Minic.Interp.Global -> Objmap.Global
+            | Minic.Interp.Literal -> Objmap.Literal
+          in
+          Objmap.register t.objmap ~base ~size ~kind ~name
+      | Minic.Interp.Obj_free { base; _ } -> Objmap.unregister t.objmap ~base);
+  let arg3 f = fun _interp args ->
+    match args with
+    | [ a; b; c ] -> f a b c
+    | _ -> invalid_arg "kgcc check: bad arity"
+  in
+  Minic.Interp.register_extern interp "__kgcc_check_deref"
+    (arg3 (fun p size line -> check_deref t p size line));
+  Minic.Interp.register_extern interp "__kgcc_check_arith"
+    (arg3 (fun p result line -> check_arith t p result line));
+  Minic.Interp.register_extern interp "__kgcc_check_range"
+    (arg3 (fun p len line -> check_range t p len line));
+  Minic.Interp.register_extern interp "__kgcc_strcpy"
+    (fun interp args ->
+      match args with
+      | [ dst; src; line ] -> checked_strcpy t interp dst src line
+      | _ -> invalid_arg "__kgcc_strcpy: bad arity")
+
+type stats = {
+  checks_executed : int;
+  checks_skipped : int;
+  violations : int;
+  live_objects : int;
+  oob_peers_created : int;
+  splay_rotations : int;
+  splay_lookups : int;
+}
+
+let stats (t : t) =
+  {
+    checks_executed = t.checks_executed;
+    checks_skipped = t.checks_skipped;
+    violations = t.violations;
+    live_objects = Objmap.live_objects t.objmap;
+    oob_peers_created = Objmap.oob_created t.objmap;
+    splay_rotations = Splay.rotations (Objmap.splay t.objmap);
+    splay_lookups = Splay.lookups (Objmap.splay t.objmap);
+  }

@@ -1,0 +1,63 @@
+(** The KGCC runtime: the check functions instrumented code calls, and
+    the glue that keeps the object map synchronized with a mini-C
+    interpreter's allocations.
+
+    Checks follow the paper's §3.4 semantics: dereferences must land
+    inside a live object; pointer arithmetic may wander out of bounds
+    but the result becomes an out-of-bounds peer object that cannot be
+    dereferenced until arithmetic brings it back; range operations
+    (memcpy/memset) must fit in one object; string copies move into the
+    runtime where the length is known.
+
+    Dynamic deinstrumentation (§3.5, the E9 ablation): each check site
+    carries an execution counter; once a site has run cleanly
+    [deinstrument_after] times its checks short-circuit. *)
+
+exception Bounds_violation of { addr : int; line : int; detail : string }
+
+type t
+
+val create :
+  ?deinstrument_after:int ->
+  clock:Ksim.Sim_clock.t ->
+  cost:Ksim.Cost_model.t ->
+  unit ->
+  t
+
+val objmap : t -> Objmap.t
+val set_deinstrument_after : t -> int option -> unit
+
+(** [check_deref t p size line]: [p] must point into a live object with
+    [size] bytes of room.  Returns [p].  @raise Bounds_violation. *)
+val check_deref : t -> int -> int -> int -> int
+
+(** [check_arith t p result line]: arithmetic on [p] produced [result];
+    in-bounds results pass, out-of-bounds ones become OOB peers.
+    Returns [result].
+    @raise Bounds_violation for arithmetic on unknown pointers. *)
+val check_arith : t -> int -> int -> int -> int
+
+(** [check_range t p len line]: a [len]-byte operation starting at [p]
+    must stay inside one object.  Returns [p].  @raise Bounds_violation. *)
+val check_range : t -> int -> int -> int -> int
+
+(** [checked_strcpy t interp dst src line]: length-aware strcpy in the
+    runtime; checks then performs the copy.  Returns [dst]. *)
+val checked_strcpy : t -> Minic.Interp.t -> int -> int -> int -> int
+
+(** Subscribe to the interpreter's allocation events and register the
+    [__kgcc_*] check externs.  Attach before loading the program so the
+    object map sees every allocation. *)
+val attach : t -> Minic.Interp.t -> unit
+
+type stats = {
+  checks_executed : int;
+  checks_skipped : int;     (** by dynamic deinstrumentation *)
+  violations : int;
+  live_objects : int;
+  oob_peers_created : int;
+  splay_rotations : int;
+  splay_lookups : int;
+}
+
+val stats : t -> stats

@@ -1,0 +1,80 @@
+(* The KGCC object map: every live memory object (global, heap, literal,
+   and addressable stack object), plus the paper's out-of-bounds *peer*
+   objects.
+
+   §3.4: "Whenever an out-of-bounds address is created by arithmetic on
+   an object O, we insert a special out-of-bounds (OOB) object at the new
+   address into the address map, and make it a peer of object O.  Our
+   KGCC runtime permits only pointer arithmetic on OOB objects, which can
+   either generate another peer or return to O's bounds." *)
+
+type kind = Stack | Heap | Global | Literal | Oob_peer
+
+let pp_kind ppf k =
+  Fmt.string ppf
+    (match k with
+    | Stack -> "stack"
+    | Heap -> "heap"
+    | Global -> "global"
+    | Literal -> "literal"
+    | Oob_peer -> "oob-peer")
+
+type obj = { kind : kind; name : string; peer_base : int option }
+
+type t = {
+  map : obj Splay.t;
+  (* OOB peers are zero-sized, so they live beside the range map *)
+  peers : (int, obj) Hashtbl.t;   (* oob address -> peer object *)
+  mutable registered : int;
+  mutable oob_created : int;
+}
+
+let create () =
+  { map = Splay.create (); peers = Hashtbl.create 64; registered = 0; oob_created = 0 }
+
+let splay t = t.map
+
+let register t ~base ~size ~kind ~name =
+  t.registered <- t.registered + 1;
+  Splay.insert t.map ~base ~size ~meta:{ kind; name; peer_base = None }
+
+let unregister t ~base = ignore (Splay.remove t.map ~base)
+
+type status =
+  | In_bounds of { base : int; size : int; obj : obj }
+  | Oob of { peer_base : int }
+  | Unknown
+
+(* Classify an address. *)
+let classify t addr =
+  match Splay.find_containing t.map addr with
+  | Some (base, size, obj) -> In_bounds { base; size; obj }
+  | None -> (
+      match Hashtbl.find_opt t.peers addr with
+      | Some { peer_base = Some b; _ } -> Oob { peer_base = b }
+      | Some _ | None -> Unknown)
+
+(* Record that pointer arithmetic on the object at [obj_base] produced
+   the out-of-bounds address [addr]. *)
+let make_peer t ~obj_base ~addr =
+  t.oob_created <- t.oob_created + 1;
+  Hashtbl.replace t.peers addr
+    { kind = Oob_peer; name = "<oob>"; peer_base = Some obj_base }
+
+let drop_peer t ~addr = Hashtbl.remove t.peers addr
+
+(* The base object a (possibly OOB) pointer is associated with; pointer
+   arithmetic is legal only relative to this object. *)
+let owner t addr =
+  match classify t addr with
+  | In_bounds { base; size; obj } -> Some (base, size, obj)
+  | Oob { peer_base } -> (
+      match Splay.find_exact t.map peer_base with
+      | Some (size, obj) -> Some (peer_base, size, obj)
+      | None -> None)
+  | Unknown -> None
+
+let live_objects t = Splay.size t.map
+let live_peers t = Hashtbl.length t.peers
+let registered t = t.registered
+let oob_created t = t.oob_created

@@ -1,0 +1,45 @@
+(** The KGCC object map: every live memory object plus the paper's
+    out-of-bounds peer objects.
+
+    §3.4: "Whenever an out-of-bounds address is created by arithmetic on
+    an object O, we insert a special out-of-bounds (OOB) object at the
+    new address into the address map, and make it a peer of object O.
+    Our KGCC runtime permits only pointer arithmetic on OOB objects,
+    which can either generate another peer or return to O's bounds." *)
+
+type kind = Stack | Heap | Global | Literal | Oob_peer
+
+val pp_kind : Format.formatter -> kind -> unit
+
+type obj = { kind : kind; name : string; peer_base : int option }
+
+type t
+
+val create : unit -> t
+
+(** The underlying splay-tree address map (for statistics). *)
+val splay : t -> obj Splay.t
+
+val register : t -> base:int -> size:int -> kind:kind -> name:string -> unit
+val unregister : t -> base:int -> unit
+
+type status =
+  | In_bounds of { base : int; size : int; obj : obj }
+  | Oob of { peer_base : int }
+  | Unknown
+
+val classify : t -> int -> status
+
+(** Record that arithmetic on the object at [obj_base] produced the
+    out-of-bounds address [addr]. *)
+val make_peer : t -> obj_base:int -> addr:int -> unit
+
+val drop_peer : t -> addr:int -> unit
+
+(** The base object a (possibly OOB) pointer belongs to. *)
+val owner : t -> int -> (int * int * obj) option
+
+val live_objects : t -> int
+val live_peers : t -> int
+val registered : t -> int
+val oob_created : t -> int

@@ -1,0 +1,169 @@
+(* Splay tree mapping address ranges to object metadata — the BCC/KGCC
+   runtime's "map of currently allocated memory in a splay tree; the tree
+   is consulted before any memory operation" (§3.4).  Splaying brings the
+   most recently touched object to the root, which is why the structure
+   is nearly optimal under reference locality; the [rotations] counter
+   lets benchmarks expose that behaviour (E8). *)
+
+type 'a tree =
+  | Leaf
+  | Node of 'a tree * entry * 'a meta_box * 'a tree
+
+and entry = { base : int; size : int }
+and 'a meta_box = { mutable meta : 'a }
+
+type 'a t = {
+  mutable root : 'a tree;
+  mutable count : int;
+  mutable rotations : int;
+  mutable lookups : int;
+}
+
+let create () = { root = Leaf; count = 0; rotations = 0; lookups = 0 }
+
+let size t = t.count
+let rotations t = t.rotations
+let lookups t = t.lookups
+
+(* Textbook functional splay: brings the node with key [key] — or the
+   last node on its search path — to the root. *)
+let rec splay t key tree =
+  match tree with
+  | Leaf -> Leaf
+  | Node (l, x, xm, r) ->
+      if key = x.base then tree
+      else if key < x.base then (
+        match l with
+        | Leaf -> tree
+        | Node (ll, y, ym, lr) ->
+            if key = y.base then begin
+              t.rotations <- t.rotations + 1;
+              Node (ll, y, ym, Node (lr, x, xm, r))
+            end
+            else if key < y.base then (
+              match splay t key ll with
+              | Leaf ->
+                  t.rotations <- t.rotations + 1;
+                  Node (ll, y, ym, Node (lr, x, xm, r))
+              | Node (lll, z, zm, llr) ->
+                  t.rotations <- t.rotations + 2;
+                  Node (lll, z, zm, Node (llr, y, ym, Node (lr, x, xm, r))))
+            else
+              match splay t key lr with
+              | Leaf ->
+                  t.rotations <- t.rotations + 1;
+                  Node (ll, y, ym, Node (lr, x, xm, r))
+              | Node (lrl, z, zm, lrr) ->
+                  t.rotations <- t.rotations + 2;
+                  Node (Node (ll, y, ym, lrl), z, zm, Node (lrr, x, xm, r)))
+      else
+        match r with
+        | Leaf -> tree
+        | Node (rl, y, ym, rr) ->
+            if key = y.base then begin
+              t.rotations <- t.rotations + 1;
+              Node (Node (l, x, xm, rl), y, ym, rr)
+            end
+            else if key > y.base then (
+              match splay t key rr with
+              | Leaf ->
+                  t.rotations <- t.rotations + 1;
+                  Node (Node (l, x, xm, rl), y, ym, rr)
+              | Node (rrl, z, zm, rrr) ->
+                  t.rotations <- t.rotations + 2;
+                  Node (Node (Node (l, x, xm, rl), y, ym, rrl), z, zm, rrr))
+            else
+              match splay t key rl with
+              | Leaf ->
+                  t.rotations <- t.rotations + 1;
+                  Node (Node (l, x, xm, rl), y, ym, rr)
+              | Node (rll, z, zm, rlr) ->
+                  t.rotations <- t.rotations + 2;
+                  Node (Node (l, x, xm, rll), z, zm, Node (rlr, y, ym, rr))
+
+let do_splay t key = t.root <- splay t key t.root
+
+let insert t ~base ~size ~meta =
+  do_splay t base;
+  match t.root with
+  | Leaf ->
+      t.root <- Node (Leaf, { base; size }, { meta }, Leaf);
+      t.count <- t.count + 1
+  | Node (l, x, xm, r) ->
+      if x.base = base then begin
+        (* same base re-registered (stack slot reuse): replace in place *)
+        xm.meta <- meta;
+        t.root <- Node (l, { base; size }, xm, r)
+      end
+      else begin
+        t.count <- t.count + 1;
+        if base < x.base then
+          t.root <-
+            Node (l, { base; size }, { meta }, Node (Leaf, x, xm, r))
+        else
+          t.root <-
+            Node (Node (l, x, xm, Leaf), { base; size }, { meta }, r)
+      end
+
+let rec max_entry = function
+  | Leaf -> None
+  | Node (_, x, xm, Leaf) -> Some (x, xm)
+  | Node (_, _, _, r) -> max_entry r
+
+let remove t ~base =
+  do_splay t base;
+  match t.root with
+  | Node (l, x, _, r) when x.base = base ->
+      t.count <- t.count - 1;
+      (match l with
+      | Leaf -> t.root <- r
+      | _ -> (
+          match max_entry l with
+          | None -> t.root <- r
+          | Some (m, _) -> (
+              match splay t m.base l with
+              | Node (l', x', xm', Leaf) -> t.root <- Node (l', x', xm', r)
+              | Node (_, _, _, Node _) | Leaf -> assert false)));
+      true
+  | Node _ | Leaf -> false
+
+let rec pred_in addr = function
+  | Leaf -> None
+  | Node (l, x, xm, r) ->
+      if x.base <= addr then (
+        match pred_in addr r with
+        | Some _ as res -> res
+        | None -> Some (x, xm))
+      else pred_in addr l
+
+(* Find the object whose range contains [addr], splaying on success. *)
+let find_containing t addr =
+  t.lookups <- t.lookups + 1;
+  do_splay t addr;
+  match t.root with
+  | Node (_, x, xm, _) when x.base <= addr && addr < x.base + x.size ->
+      Some (x.base, x.size, xm.meta)
+  | root -> (
+      match pred_in addr root with
+      | Some (x, xm) when x.base <= addr && addr < x.base + x.size ->
+          do_splay t x.base;
+          Some (x.base, x.size, xm.meta)
+      | Some _ | None -> None)
+
+let find_exact t base =
+  t.lookups <- t.lookups + 1;
+  do_splay t base;
+  match t.root with
+  | Node (_, x, xm, _) when x.base = base -> Some (x.size, xm.meta)
+  | Node _ | Leaf -> None
+
+let rec fold_tree f acc = function
+  | Leaf -> acc
+  | Node (l, x, xm, r) ->
+      fold_tree f (f (fold_tree f acc l) (x.base, x.size, xm.meta)) r
+
+let fold f acc t = fold_tree f acc t.root
+
+let reset_stats t =
+  t.rotations <- 0;
+  t.lookups <- 0

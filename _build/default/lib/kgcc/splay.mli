@@ -1,0 +1,38 @@
+(** Splay tree mapping address ranges to object metadata — the BCC/KGCC
+    runtime's "map of currently allocated memory in a splay tree; the
+    tree is consulted before any memory operation" (§3.4).
+
+    Splaying brings the most recently touched object to the root, so the
+    structure is nearly optimal under reference locality; the rotation
+    counter lets the E8 ablation expose exactly that. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** Live entries. *)
+val size : 'a t -> int
+
+(** Total single rotations performed (a work metric). *)
+val rotations : 'a t -> int
+
+(** Total containing/exact queries. *)
+val lookups : 'a t -> int
+
+(** Insert (or replace, when [base] is already present) a range. *)
+val insert : 'a t -> base:int -> size:int -> meta:'a -> unit
+
+(** Remove by base address; [false] if absent. *)
+val remove : 'a t -> base:int -> bool
+
+(** The entry whose range [[base, base+size)] contains the address,
+    splayed to the root on success. *)
+val find_containing : 'a t -> int -> (int * int * 'a) option
+
+(** Exact lookup by base address. *)
+val find_exact : 'a t -> int -> (int * 'a) option
+
+(** In-order fold over [(base, size, meta)]. *)
+val fold : ('b -> int * int * 'a -> 'b) -> 'b -> 'a t -> 'b
+
+val reset_stats : 'a t -> unit

@@ -1,0 +1,1 @@
+lib/kmonitor/chardev.ml: Dispatcher Ksim List Ring

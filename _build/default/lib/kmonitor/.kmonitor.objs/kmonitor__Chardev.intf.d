@@ -1,0 +1,1 @@
+lib/kmonitor/chardev.mli: Dispatcher Ksim

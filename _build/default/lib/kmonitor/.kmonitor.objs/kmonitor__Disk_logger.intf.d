@@ -1,0 +1,1 @@
+lib/kmonitor/disk_logger.mli: Ksim Libkernevents

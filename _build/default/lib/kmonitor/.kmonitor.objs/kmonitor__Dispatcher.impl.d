@@ -1,0 +1,1 @@
+lib/kmonitor/dispatcher.ml: Ksim List Ring

@@ -1,0 +1,1 @@
+lib/kmonitor/dispatcher.mli: Ksim Ring

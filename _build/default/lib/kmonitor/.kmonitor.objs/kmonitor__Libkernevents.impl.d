@@ -1,0 +1,1 @@
+lib/kmonitor/libkernevents.ml: Chardev Hashtbl Ksim List

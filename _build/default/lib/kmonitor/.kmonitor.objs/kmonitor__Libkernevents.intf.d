@@ -1,0 +1,1 @@
+lib/kmonitor/libkernevents.mli: Chardev Ksim

@@ -1,0 +1,1 @@
+lib/kmonitor/mfilter.ml: Dispatcher Fmt Ksim List Printf String

@@ -1,0 +1,1 @@
+lib/kmonitor/mfilter.mli: Dispatcher Format Ksim

@@ -1,0 +1,1 @@
+lib/kmonitor/monitors.ml: Dispatcher Fmt Hashtbl Ksim

@@ -1,0 +1,1 @@
+lib/kmonitor/monitors.mli: Dispatcher Format Hashtbl Ksim

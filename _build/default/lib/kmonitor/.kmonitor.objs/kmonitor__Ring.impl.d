@@ -1,0 +1,1 @@
+lib/kmonitor/ring.ml: Array Atomic List

@@ -1,0 +1,1 @@
+lib/kmonitor/ring.mli:

@@ -1,0 +1,22 @@
+(** The character-device interface between the kernel ring buffer and
+    user space (§3.3).
+
+    A read copies a batch of log entries across the boundary (charged
+    per event); a poll that finds nothing still costs a boundary round
+    trip plus wasted spin time — which is why the paper's polling
+    prototype was so much slower than it needed to be (E6's +61%). *)
+
+type t
+
+val create : Ksim.Kernel.t -> Dispatcher.t -> t
+
+(** One read(2): up to [max] events.  Charges the boundary trip and the
+    per-event copy, or the empty-poll cost when nothing is pending. *)
+val read : t -> max:int -> Ksim.Instrument.event list
+
+(** Events currently buffered kernel-side. *)
+val pending : t -> int
+
+val reads : t -> int
+val empty_polls : t -> int
+val events_delivered : t -> int

@@ -1,0 +1,18 @@
+(** A user-space logger writing every event record to a log disk — the
+    paper's "+103%" configuration of E6.  With [write_to_disk:false] it
+    is the control that "acts like the logger but does not write to
+    disk" (+61%). *)
+
+type t
+
+(** Serialized size of one log record (the §3.3 event structure). *)
+val record_size : int
+
+val create : ?write_to_disk:bool -> Ksim.Kernel.t -> Libkernevents.t -> t
+
+(** Pump the underlying libkernevents once. *)
+val pump : t -> unit
+
+val drain : t -> unit
+val records_written : t -> int
+val bytes_written : t -> int

@@ -1,0 +1,27 @@
+(** libkernevents: the user-space side (§3.3) — "copy log entries in bulk
+    from the kernel and then read them one by one".
+
+    Two consumption strategies: [Polling] reads the character device
+    continuously until it runs dry (the prototype behaviour behind E6's
+    +61%); [Blocking] only reads once the kernel holds at least
+    [low_water] events (the fix the paper says it intends). *)
+
+type strategy = Polling | Blocking of { low_water : int }
+
+type sink = Ksim.Instrument.event -> unit
+
+type t
+
+val create : ?strategy:strategy -> ?batch:int -> Chardev.t -> t
+
+(** Register a per-event consumer (e.g. a logger). *)
+val add_sink : t -> name:string -> sink -> unit
+
+(** Pump once from user context: read the device per the strategy and
+    deliver queued events to every sink. *)
+val pump : t -> unit
+
+(** Read until the kernel side is empty. *)
+val drain : t -> unit
+
+val consumed : t -> int

@@ -1,0 +1,147 @@
+(* In-kernel on-line monitors (§3.3/§3.5): verify higher-level kernel
+   invariants from the event stream — "spinlocks that are locked are
+   later unlocked, reference counters are incremented and decremented
+   symmetrically, interrupts that are disabled are later re-enabled". *)
+
+type violation = {
+  what : string;
+  obj : int;
+  file : string;
+  line : int;
+  time_seen : int;   (* event count when flagged *)
+}
+
+let pp_violation ppf v =
+  Fmt.pf ppf "%s (obj=%d at %s:%d)" v.what v.obj v.file v.line
+
+(* --- reference counter monitor ----------------------------------------- *)
+
+type refcount_monitor = {
+  rc_state : (int, int) Hashtbl.t;   (* obj -> last observed count *)
+  mutable rc_events : int;
+  mutable rc_violations : violation list;
+}
+
+let refcount_monitor () =
+  { rc_state = Hashtbl.create 128; rc_events = 0; rc_violations = [] }
+
+let refcount_callback m (ev : Ksim.Instrument.event) =
+  match ev.Ksim.Instrument.kind with
+  | Ksim.Instrument.Ref_inc | Ksim.Instrument.Ref_dec ->
+      m.rc_events <- m.rc_events + 1;
+      if ev.Ksim.Instrument.value < 0 then
+        m.rc_violations <-
+          {
+            what = "reference count went negative";
+            obj = ev.Ksim.Instrument.obj;
+            file = ev.Ksim.Instrument.file;
+            line = ev.Ksim.Instrument.line;
+            time_seen = m.rc_events;
+          }
+          :: m.rc_violations;
+      Hashtbl.replace m.rc_state ev.Ksim.Instrument.obj ev.Ksim.Instrument.value
+  | _ -> ()
+
+(* Objects whose counts never returned to their resting value: leak
+   candidates, reported at teardown. *)
+let refcount_leaks m ~resting =
+  Hashtbl.fold
+    (fun obj count acc -> if count > resting then (obj, count) :: acc else acc)
+    m.rc_state []
+
+(* --- spinlock monitor --------------------------------------------------- *)
+
+type spinlock_monitor = {
+  sl_held : (int, string * int) Hashtbl.t; (* obj -> acquire site *)
+  mutable sl_events : int;
+  mutable sl_acquisitions : int;
+  mutable sl_violations : violation list;
+}
+
+let spinlock_monitor () =
+  { sl_held = Hashtbl.create 32; sl_events = 0; sl_acquisitions = 0;
+    sl_violations = [] }
+
+let spinlock_callback m (ev : Ksim.Instrument.event) =
+  match ev.Ksim.Instrument.kind with
+  | Ksim.Instrument.Lock ->
+      m.sl_events <- m.sl_events + 1;
+      m.sl_acquisitions <- m.sl_acquisitions + 1;
+      if Hashtbl.mem m.sl_held ev.Ksim.Instrument.obj then
+        m.sl_violations <-
+          {
+            what = "lock acquired while already held";
+            obj = ev.Ksim.Instrument.obj;
+            file = ev.Ksim.Instrument.file;
+            line = ev.Ksim.Instrument.line;
+            time_seen = m.sl_events;
+          }
+          :: m.sl_violations;
+      Hashtbl.replace m.sl_held ev.Ksim.Instrument.obj
+        (ev.Ksim.Instrument.file, ev.Ksim.Instrument.line)
+  | Ksim.Instrument.Unlock ->
+      m.sl_events <- m.sl_events + 1;
+      if not (Hashtbl.mem m.sl_held ev.Ksim.Instrument.obj) then
+        m.sl_violations <-
+          {
+            what = "unlock of lock not held";
+            obj = ev.Ksim.Instrument.obj;
+            file = ev.Ksim.Instrument.file;
+            line = ev.Ksim.Instrument.line;
+            time_seen = m.sl_events;
+          }
+          :: m.sl_violations
+      else Hashtbl.remove m.sl_held ev.Ksim.Instrument.obj
+  | _ -> ()
+
+let spinlocks_still_held m =
+  Hashtbl.fold (fun obj site acc -> (obj, site) :: acc) m.sl_held []
+
+(* --- interrupt balance monitor ------------------------------------------ *)
+
+type irq_monitor = {
+  mutable irq_depth : int;
+  mutable irq_events : int;
+  mutable irq_violations : violation list;
+}
+
+let irq_monitor () = { irq_depth = 0; irq_events = 0; irq_violations = [] }
+
+let irq_callback m (ev : Ksim.Instrument.event) =
+  match ev.Ksim.Instrument.kind with
+  | Ksim.Instrument.Irq_disable ->
+      m.irq_events <- m.irq_events + 1;
+      m.irq_depth <- m.irq_depth + 1
+  | Ksim.Instrument.Irq_enable ->
+      m.irq_events <- m.irq_events + 1;
+      if m.irq_depth = 0 then
+        m.irq_violations <-
+          {
+            what = "interrupts enabled while not disabled";
+            obj = ev.Ksim.Instrument.obj;
+            file = ev.Ksim.Instrument.file;
+            line = ev.Ksim.Instrument.line;
+            time_seen = m.irq_events;
+          }
+          :: m.irq_violations
+      else m.irq_depth <- m.irq_depth - 1
+  | _ -> ()
+
+(* Convenience: register the three standard monitors on a dispatcher. *)
+type standard = {
+  refcounts : refcount_monitor;
+  spinlocks : spinlock_monitor;
+  irqs : irq_monitor;
+}
+
+let register_standard dispatcher =
+  let refcounts = refcount_monitor () in
+  let spinlocks = spinlock_monitor () in
+  let irqs = irq_monitor () in
+  Dispatcher.register dispatcher ~name:"refcounts" (refcount_callback refcounts);
+  Dispatcher.register dispatcher ~name:"spinlocks" (spinlock_callback spinlocks);
+  Dispatcher.register dispatcher ~name:"irqs" (irq_callback irqs);
+  { refcounts; spinlocks; irqs }
+
+let all_violations s =
+  s.refcounts.rc_violations @ s.spinlocks.sl_violations @ s.irqs.irq_violations

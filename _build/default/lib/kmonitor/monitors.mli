@@ -1,0 +1,65 @@
+(** In-kernel on-line monitors (§3.3/§3.5): verify higher-level kernel
+    invariants from the event stream — "spinlocks that are locked are
+    later unlocked, reference counters are incremented and decremented
+    symmetrically, interrupts that are disabled are later re-enabled". *)
+
+type violation = {
+  what : string;
+  obj : int;
+  file : string;
+  line : int;
+  time_seen : int;  (** event ordinal when flagged *)
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** {2 Reference counters} *)
+
+type refcount_monitor = {
+  rc_state : (int, int) Hashtbl.t;  (** obj -> last observed count *)
+  mutable rc_events : int;
+  mutable rc_violations : violation list;
+}
+
+val refcount_monitor : unit -> refcount_monitor
+val refcount_callback : refcount_monitor -> Ksim.Instrument.event -> unit
+
+(** Objects whose count never returned to [resting]: leak candidates. *)
+val refcount_leaks : refcount_monitor -> resting:int -> (int * int) list
+
+(** {2 Spinlocks} *)
+
+type spinlock_monitor = {
+  sl_held : (int, string * int) Hashtbl.t;  (** obj -> acquire site *)
+  mutable sl_events : int;
+  mutable sl_acquisitions : int;
+  mutable sl_violations : violation list;
+}
+
+val spinlock_monitor : unit -> spinlock_monitor
+val spinlock_callback : spinlock_monitor -> Ksim.Instrument.event -> unit
+val spinlocks_still_held : spinlock_monitor -> (int * (string * int)) list
+
+(** {2 Interrupt balance} *)
+
+type irq_monitor = {
+  mutable irq_depth : int;
+  mutable irq_events : int;
+  mutable irq_violations : violation list;
+}
+
+val irq_monitor : unit -> irq_monitor
+val irq_callback : irq_monitor -> Ksim.Instrument.event -> unit
+
+(** {2 Bundles} *)
+
+type standard = {
+  refcounts : refcount_monitor;
+  spinlocks : spinlock_monitor;
+  irqs : irq_monitor;
+}
+
+(** Register the three standard monitors on a dispatcher. *)
+val register_standard : Dispatcher.t -> standard
+
+val all_violations : standard -> violation list

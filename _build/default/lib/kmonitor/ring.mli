@@ -1,0 +1,32 @@
+(** Lock-free single-producer/single-consumer ring buffer (§3.3).
+
+    "Because the ring buffer is lock-free, we can instrument code that is
+    invoked during interrupt handlers without fear that the interrupt
+    handler will block."  The producer only writes the tail index, the
+    consumer only the head, both through OCaml 5 atomics, so producer and
+    consumer may live on different domains (the test suite runs them so).
+
+    On overflow the event is dropped and counted — an interrupt handler
+    can never block. *)
+
+type 'a t
+
+(** @raise Invalid_argument if capacity is not positive. *)
+val create : int -> 'a t
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val is_full : 'a t -> bool
+
+(** Producer side.  Returns [false] (and counts a drop) when full. *)
+val push : 'a t -> 'a -> bool
+
+(** Consumer side. *)
+val pop : 'a t -> 'a option
+
+(** Consume up to [max] entries — libkernevents' bulk-copy path. *)
+val pop_batch : 'a t -> max:int -> 'a list
+
+(** Producer-side overflow count. *)
+val dropped : 'a t -> int

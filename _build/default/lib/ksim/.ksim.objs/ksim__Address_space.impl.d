@@ -1,0 +1,1 @@
+lib/ksim/address_space.ml: Bytes Char Cost_model Fault Int64 Page_table Phys_mem Pte Segment Sim_clock Tlb

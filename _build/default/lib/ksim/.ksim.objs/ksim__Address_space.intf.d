@@ -1,0 +1,1 @@
+lib/ksim/address_space.mli: Bytes Cost_model Fault Page_table Phys_mem Segment Sim_clock Tlb

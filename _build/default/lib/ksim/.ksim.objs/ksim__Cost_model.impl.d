@@ -1,0 +1,1 @@
+lib/ksim/cost_model.ml:

@@ -1,0 +1,1 @@
+lib/ksim/instrument.ml: Fmt Printf

@@ -1,0 +1,1 @@
+lib/ksim/kalloc.ml: Address_space Cost_model Hashtbl Page_table Sim_clock Tlb

@@ -1,0 +1,1 @@
+lib/ksim/kalloc.mli: Address_space Cost_model Sim_clock

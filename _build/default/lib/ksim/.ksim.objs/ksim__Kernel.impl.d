@@ -1,0 +1,1 @@
+lib/ksim/kernel.ml: Address_space Bytes Cost_model Instrument Kalloc Kproc Phys_mem Scheduler Sim_clock

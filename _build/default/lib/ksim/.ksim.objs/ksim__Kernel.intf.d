@@ -1,0 +1,1 @@
+lib/ksim/kernel.mli: Address_space Bytes Cost_model Kalloc Kproc Scheduler Sim_clock

@@ -1,0 +1,1 @@
+lib/ksim/kproc.ml: Fmt Hashtbl

@@ -1,0 +1,1 @@
+lib/ksim/page_table.ml: Hashtbl Printf Pte

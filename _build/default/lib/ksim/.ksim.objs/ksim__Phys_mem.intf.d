@@ -1,0 +1,1 @@
+lib/ksim/phys_mem.mli: Bytes

@@ -1,0 +1,1 @@
+lib/ksim/pte.ml: Fault Fmt

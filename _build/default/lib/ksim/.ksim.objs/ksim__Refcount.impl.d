@@ -1,0 +1,1 @@
+lib/ksim/refcount.ml: Instrument Printf

@@ -1,0 +1,1 @@
+lib/ksim/scheduler.ml: Cost_model Kproc List Sim_clock

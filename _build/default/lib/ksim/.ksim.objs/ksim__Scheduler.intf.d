@@ -1,0 +1,1 @@
+lib/ksim/scheduler.mli: Cost_model Kproc Sim_clock

@@ -1,0 +1,1 @@
+lib/ksim/segment.ml: Fault Fmt

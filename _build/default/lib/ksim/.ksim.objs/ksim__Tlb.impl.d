@@ -1,0 +1,1 @@
+lib/ksim/tlb.ml: Array

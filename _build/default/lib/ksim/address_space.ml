@@ -1,0 +1,172 @@
+(* A virtual address space: page table + TLB + fault handling over
+   physical memory.  Both kernel space and each simulated process's user
+   space are instances of this module. *)
+
+type resolution =
+  | Retry        (* handler repaired the mapping; re-execute the access *)
+  | Emulated     (* handler satisfied the access itself; skip it *)
+  | Kill         (* unresolvable: raise Fault.Fault *)
+
+type handler = Fault.t -> resolution
+
+type t = {
+  name : string;
+  page_size : int;
+  mem : Phys_mem.t;
+  pt : Page_table.t;
+  tlb : Tlb.t;
+  clock : Sim_clock.t;
+  cost : Cost_model.t;
+  mutable handlers : handler list;   (* consulted innermost-first *)
+  mutable segment : Segment.t;       (* active segment for checked access *)
+  mutable faults : int;
+}
+
+let create ~name ~mem ~clock ~cost =
+  {
+    name;
+    page_size = Phys_mem.page_size mem;
+    mem;
+    pt = Page_table.create ();
+    tlb = Tlb.create ();
+    clock;
+    cost;
+    handlers = [];
+    segment = Segment.flat;
+    faults = 0;
+  }
+
+let name t = t.name
+let page_size t = t.page_size
+let page_table t = t.pt
+let phys_mem t = t.mem
+let tlb t = t.tlb
+let fault_count t = t.faults
+
+let vpn_of t addr = addr / t.page_size
+let offset_of t addr = addr mod t.page_size
+
+(* Fault-handler stack: Kefence pushes its handler on top of the default
+   one, exactly like hooking the page-fault handler in the paper. *)
+let push_handler t h = t.handlers <- h :: t.handlers
+let pop_handler t =
+  match t.handlers with
+  | [] -> invalid_arg "Address_space.pop_handler: empty"
+  | _ :: rest -> t.handlers <- rest
+
+let set_segment t seg = t.segment <- seg
+let segment t = t.segment
+
+(* Map [npages] fresh frames starting at virtual page [vpn]. *)
+let map_fresh t ~vpn ~npages ~writable =
+  for i = 0 to npages - 1 do
+    let frame = Phys_mem.alloc_frame t.mem in
+    Page_table.map t.pt ~vpn:(vpn + i) (Pte.normal ~frame ~writable)
+  done
+
+let map_guardian t ~vpn = Page_table.map t.pt ~vpn (Pte.guardian ())
+
+let unmap t ~vpn ~npages =
+  for i = 0 to npages - 1 do
+    (match Page_table.lookup t.pt ~vpn:(vpn + i) with
+    | Some { Pte.frame = Some f; _ } -> Phys_mem.free_frame t.mem f
+    | Some _ | None -> ());
+    Page_table.unmap t.pt ~vpn:(vpn + i);
+    Tlb.invalidate t.tlb ~vpn:(vpn + i)
+  done
+
+let dispatch_fault t fault =
+  t.faults <- t.faults + 1;
+  Sim_clock.advance t.clock t.cost.Cost_model.page_fault;
+  let rec try_handlers = function
+    | [] -> Kill
+    | h :: rest -> (
+        match h fault with
+        | Kill -> try_handlers rest
+        | (Retry | Emulated) as r -> r)
+  in
+  match try_handlers t.handlers with
+  | Kill -> raise (Fault.Fault fault)
+  | r -> r
+
+(* Translate one page-aligned access; returns the PTE to use. *)
+let rec translate t ~addr ~access ~pc =
+  let vpn = vpn_of t addr in
+  if not (Tlb.access t.tlb ~vpn) then
+    Sim_clock.advance t.clock t.cost.Cost_model.tlb_miss;
+  match Page_table.lookup t.pt ~vpn with
+  | None -> (
+      let fault = { Fault.addr; access; reason = Fault.Not_present; pc } in
+      match dispatch_fault t fault with
+      | Retry -> translate t ~addr ~access ~pc
+      | Emulated -> None
+      | Kill -> assert false)
+  | Some pte ->
+      if Pte.permits pte access then Some pte
+      else
+        let reason =
+          if pte.Pte.guardian then Fault.Guardian else Fault.Protection
+        in
+        let fault = { Fault.addr; access; reason; pc } in
+        (match dispatch_fault t fault with
+        | Retry -> translate t ~addr ~access ~pc
+        | Emulated -> None
+        | Kill -> assert false)
+
+(* Iterate an access over page-sized chunks, applying [f frame off len
+   src_off] per chunk.  Charges one mem_access per chunk. *)
+let chunked t ~addr ~len ~access ~pc f =
+  Segment.check t.segment ~addr ~len ~access ~pc;
+  let rec go addr remaining src_off =
+    if remaining > 0 then begin
+      let off = offset_of t addr in
+      let chunk = min remaining (t.page_size - off) in
+      Sim_clock.advance t.clock t.cost.Cost_model.mem_access;
+      (match translate t ~addr ~access ~pc with
+      | Some pte -> (
+          match pte.Pte.frame with
+          | Some frame -> f ~frame ~off ~len:chunk ~src_off
+          | None ->
+              (* guardian PTE that a handler chose to tolerate: emulate as
+                 zero-filled / discarded access *)
+              ())
+      | None -> ());
+      go (addr + chunk) (remaining - chunk) (src_off + chunk)
+    end
+  in
+  if len < 0 then invalid_arg "Address_space: negative length";
+  go addr len 0
+
+let read_bytes ?(pc = "<none>") t ~addr ~len =
+  let out = Bytes.make len '\000' in
+  chunked t ~addr ~len ~access:Fault.Read ~pc (fun ~frame ~off ~len ~src_off ->
+      let chunk = Phys_mem.read t.mem ~frame ~off ~len in
+      Bytes.blit chunk 0 out src_off len);
+  out
+
+let write_bytes ?(pc = "<none>") t ~addr src =
+  let len = Bytes.length src in
+  chunked t ~addr ~len ~access:Fault.Write ~pc
+    (fun ~frame ~off ~len ~src_off ->
+      Phys_mem.write t.mem ~frame ~off (Bytes.sub src src_off len))
+
+let read_string ?pc t ~addr ~len =
+  Bytes.to_string (read_bytes ?pc t ~addr ~len)
+
+let write_string ?pc t ~addr s = write_bytes ?pc t ~addr (Bytes.of_string s)
+
+let read_u8 ?pc t ~addr =
+  Char.code (Bytes.get (read_bytes ?pc t ~addr ~len:1) 0)
+
+let write_u8 ?pc t ~addr v =
+  write_bytes ?pc t ~addr (Bytes.make 1 (Char.chr (v land 0xff)))
+
+(* 63-bit little-endian integers; enough for mini-C word values. *)
+let read_int ?pc t ~addr =
+  let b = read_bytes ?pc t ~addr ~len:8 in
+  Int64.to_int (Bytes.get_int64_le b 0)
+
+let write_int ?pc t ~addr v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int v);
+  write_bytes ?pc t ~addr b

@@ -1,0 +1,130 @@
+(* Central table of virtual-cycle costs.  The paper's performance numbers
+   are ratios of boundary-crossing and copy costs saved; reproducing the
+   shape of its results requires only that these relative magnitudes are
+   plausible for a ~2005 P4-class machine.  Values are calibrated from
+   published measurements: a Linux 2.6 syscall round trip costs on the
+   order of 1,000 cycles on a P4; copies cost roughly one cycle per byte
+   plus setup; a page fault costs a few thousand cycles. *)
+
+type t = {
+  (* user/kernel boundary *)
+  syscall_entry : int;       (* trap into the kernel *)
+  syscall_exit : int;        (* return to user mode *)
+  context_switch : int;      (* full process switch *)
+  copy_base : int;           (* fixed cost of copy_{to,from}_user *)
+  copy_per_byte : int;       (* numerator of a per-byte cost ... *)
+  copy_byte_div : int;       (* ... divided by this (allows <1 cycle/B) *)
+  user_stub : int;           (* user-mode libc stub + marshalling per call *)
+  vfs_op : int;              (* in-kernel CPU per VFS metadata operation *)
+  (* memory system *)
+  page_fault : int;
+  tlb_miss : int;
+  mem_access : int;          (* charged per simulated load/store batch *)
+  segment_load : int;        (* far call / segment-register reload *)
+  (* allocators *)
+  kmalloc_cost : int;
+  kfree_cost : int;
+  vmalloc_cost : int;        (* vmalloc is considerably slower: PTE setup *)
+  vfree_cost : int;
+  vfree_lookup_cost : int;   (* per-probe cost of finding the area *)
+  (* interpreter / compiler runtimes *)
+  cpu_op : int;              (* one mini-C operation *)
+  cosy_decode_op : int;      (* decoding one compound operation *)
+  cosy_exec_op : int;        (* interpreting one decoded operation *)
+  cosy_submit : int;         (* submitting a compound (one boundary trip) *)
+  bounds_check : int;        (* one KGCC bounds check (splay hit) *)
+  splay_rotate : int;        (* extra cost per splay rotation *)
+  (* event monitoring *)
+  event_dispatch : int;
+  ring_push : int;
+  chardev_poll : int;        (* one empty poll of the character device *)
+  chardev_copy_per_event : int;
+  (* storage *)
+  disk_seek : int;
+  disk_read_block : int;
+  disk_write_block : int;
+  log_write_per_event : int; (* writing one event record to the log disk *)
+  (* scheduling *)
+  timeslice : int;           (* preemption quantum *)
+  max_kernel_cycles : int;   (* Cosy watchdog budget *)
+}
+
+let default =
+  {
+    syscall_entry = 700;
+    syscall_exit = 400;
+    context_switch = 3_000;
+    copy_base = 120;
+    copy_per_byte = 1;
+    copy_byte_div = 1;
+    user_stub = 320;
+    vfs_op = 830;
+    page_fault = 2_500;
+    tlb_miss = 60;
+    mem_access = 2;
+    segment_load = 180;
+    kmalloc_cost = 90;
+    kfree_cost = 70;
+    vmalloc_cost = 3_900;
+    vfree_cost = 2_200;
+    vfree_lookup_cost = 25;
+    cpu_op = 4;
+    cosy_decode_op = 40;
+    cosy_exec_op = 60;
+    cosy_submit = 1_100;
+    bounds_check = 820;
+    splay_rotate = 16;
+    event_dispatch = 940;
+    ring_push = 300;
+    chardev_poll = 235_000;
+    chardev_copy_per_event = 30;
+    disk_seek = 14_000_000;     (* ~8 ms on a 7200rpm IDE disk *)
+    disk_read_block = 200_000;
+    disk_write_block = 220_000;
+    log_write_per_event = 15_000;
+    timeslice = 1_000_000;
+    max_kernel_cycles = 500_000_000;
+  }
+
+(* A free cost model: every action costs zero cycles.  Used by unit tests
+   that check functional behaviour rather than performance. *)
+let zero =
+  {
+    syscall_entry = 0;
+    syscall_exit = 0;
+    context_switch = 0;
+    copy_base = 0;
+    copy_per_byte = 0;
+    copy_byte_div = 1;
+    user_stub = 0;
+    vfs_op = 0;
+    page_fault = 0;
+    tlb_miss = 0;
+    mem_access = 0;
+    segment_load = 0;
+    kmalloc_cost = 0;
+    kfree_cost = 0;
+    vmalloc_cost = 0;
+    vfree_cost = 0;
+    vfree_lookup_cost = 0;
+    cpu_op = 0;
+    cosy_decode_op = 0;
+    cosy_exec_op = 0;
+    cosy_submit = 0;
+    bounds_check = 0;
+    splay_rotate = 0;
+    event_dispatch = 0;
+    ring_push = 0;
+    chardev_poll = 0;
+    chardev_copy_per_event = 0;
+    disk_seek = 0;
+    disk_read_block = 0;
+    disk_write_block = 0;
+    log_write_per_event = 0;
+    timeslice = max_int;
+    max_kernel_cycles = max_int;
+  }
+
+let copy_cost t nbytes =
+  if nbytes <= 0 then 0
+  else t.copy_base + (nbytes * t.copy_per_byte) / t.copy_byte_div

@@ -1,0 +1,38 @@
+(* Hardware-fault model: page faults and segmentation violations. *)
+
+type access = Read | Write | Execute
+
+let pp_access ppf = function
+  | Read -> Fmt.string ppf "read"
+  | Write -> Fmt.string ppf "write"
+  | Execute -> Fmt.string ppf "execute"
+
+type reason =
+  | Not_present          (* no PTE for the address *)
+  | Protection           (* PTE present, permission denied *)
+  | Guardian             (* access hit a Kefence guardian page *)
+  | Segment_violation    (* access outside the active segment *)
+
+let pp_reason ppf = function
+  | Not_present -> Fmt.string ppf "not-present"
+  | Protection -> Fmt.string ppf "protection"
+  | Guardian -> Fmt.string ppf "guardian"
+  | Segment_violation -> Fmt.string ppf "segment-violation"
+
+type t = {
+  addr : int;            (* faulting virtual address *)
+  access : access;
+  reason : reason;
+  pc : string;           (* source location of the faulting "instruction" *)
+}
+
+let pp ppf f =
+  Fmt.pf ppf "%a fault: %a at 0x%x (pc=%s)" pp_reason f.reason pp_access
+    f.access f.addr f.pc
+
+(* Raised when no fault handler resolves the fault: the simulated machine
+   equivalent of an oops. *)
+exception Fault of t
+
+let raise_fault ~addr ~access ~reason ~pc =
+  raise (Fault { addr; access; reason; pc })

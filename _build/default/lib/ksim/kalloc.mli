@@ -1,0 +1,55 @@
+(** Kernel allocators.
+
+    [kmalloc] models the slab allocator: fast, byte-granular carving from
+    slab pages, no per-allocation page-table work — and therefore no way
+    to guard an individual allocation.
+
+    [vmalloc] models Linux's vmalloc: every allocation gets its own
+    page-aligned virtually-mapped area, slower but with private PTEs —
+    the property Kefence builds on (§3.2).  As in the paper, a hash table
+    maps addresses to areas so vfree does not scan a list. *)
+
+(** One vmalloc'd area. *)
+type area = {
+  addr : int;                (** user-visible start address *)
+  size : int;                (** requested size in bytes *)
+  npages : int;              (** data pages (excluding any guardian) *)
+  guardian_vpn : int option; (** Kefence guardian page, if requested *)
+  align_end : bool;          (** data flush against the end of last page *)
+}
+
+type t
+
+val create : space:Address_space.t -> clock:Sim_clock.t -> cost:Cost_model.t -> t
+
+exception Out_of_memory of string
+
+(** Slab allocation; 8-byte aligned.  @raise Invalid_argument on
+    non-positive size, {!Out_of_memory} when the region is exhausted. *)
+val kmalloc : t -> int -> int
+
+(** @raise Invalid_argument if the address is not a live kmalloc. *)
+val kfree : t -> int -> unit
+
+(** Page-granular allocation.  With [guard] a no-access guardian PTE is
+    mapped adjacent to the data; with [align_end] (default) the buffer
+    ends exactly at the guardian so the first out-of-bounds byte traps,
+    otherwise it starts right after it (underflow detection). *)
+val vmalloc : ?guard:bool -> ?align_end:bool -> t -> int -> area
+
+(** O(1) area lookup via the vfree hash table; charges the probe cost. *)
+val find_area : t -> int -> area option
+
+(** @raise Invalid_argument if the address is not a live vmalloc. *)
+val vfree : t -> int -> unit
+
+type stats = {
+  live_areas : int;
+  pages_live : int;
+  pages_high_water : int;    (** the paper's "outstanding pages" metric *)
+  allocs : int;
+  mean_alloc_bytes : float;  (** the paper's "average allocation size" *)
+}
+
+val stats : t -> stats
+val kmalloc_live_count : t -> int

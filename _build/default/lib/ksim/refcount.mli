@@ -1,0 +1,26 @@
+(** Reference counter with instrumentation and underflow detection — the
+    "incremented and decremented symmetrically" invariant the paper's
+    monitors check (§3.3). *)
+
+type t
+
+(** [create ~initial name] ([initial] defaults to 1).
+    @raise Invalid_argument if [initial < 0]. *)
+val create : ?initial:int -> string -> t
+
+exception Underflow of string
+
+(** Increment; emits a [Ref_inc] instrumentation event. *)
+val get : ?file:string -> ?line:int -> t -> unit
+
+(** Decrement; emits a [Ref_dec] event.  Returns [true] when the count
+    reached zero (time to free the object).
+    @raise Underflow on put of a zero count. *)
+val put : ?file:string -> ?line:int -> t -> bool
+
+val count : t -> int
+
+(** Instrumentation identity (the [obj] field of its events). *)
+val id : t -> int
+
+val name : t -> string

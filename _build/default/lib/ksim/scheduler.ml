@@ -1,0 +1,98 @@
+(* Round-robin preemptive scheduler.
+
+   The simulation executes workloads as OCaml code, so preemption is
+   realized at explicit checkpoints: long-running kernel paths (notably
+   the Cosy interpreter's loop back-edges) call [checkpoint].  When the
+   current process has run past its timeslice, a context switch is
+   charged and the next runnable process notionally runs — this is what
+   gives Cosy's watchdog its teeth: a compound stuck in an infinite loop
+   keeps hitting checkpoints, keeps being charged, and is killed once it
+   exhausts its kernel-time budget (paper §2.3). *)
+
+type t = {
+  clock : Sim_clock.t;
+  cost : Cost_model.t;
+  mutable procs : Kproc.t list;
+  mutable current : Kproc.t option;
+  mutable next_pid : int;
+  mutable slice_start : int;          (* clock value at slice start *)
+  mutable context_switches : int;
+  mutable preemptions : int;
+}
+
+let create ~clock ~cost =
+  {
+    clock;
+    cost;
+    procs = [];
+    current = None;
+    next_pid = 1;
+    slice_start = 0;
+    context_switches = 0;
+    preemptions = 0;
+  }
+
+let spawn t ~name =
+  let p = Kproc.create ~pid:t.next_pid ~name in
+  t.next_pid <- t.next_pid + 1;
+  t.procs <- t.procs @ [ p ];
+  if t.current = None then begin
+    p.Kproc.state <- Kproc.Running;
+    t.current <- Some p;
+    t.slice_start <- Sim_clock.now t.clock
+  end;
+  p
+
+exception No_current_process
+
+let current t =
+  match t.current with Some p -> p | None -> raise No_current_process
+
+let context_switch t =
+  Sim_clock.advance t.clock t.cost.Cost_model.context_switch;
+  t.context_switches <- t.context_switches + 1;
+  t.slice_start <- Sim_clock.now t.clock;
+  (* rotate the runqueue *)
+  match t.procs with
+  | [] | [ _ ] -> ()
+  | p :: rest ->
+      t.procs <- rest @ [ p ];
+      (match t.current with
+      | Some c when c.Kproc.state = Kproc.Running ->
+          c.Kproc.state <- Kproc.Ready
+      | Some _ | None -> ());
+      let next =
+        List.find_opt (fun q -> q.Kproc.state = Kproc.Ready) t.procs
+      in
+      (match next with
+      | Some n ->
+          n.Kproc.state <- Kproc.Running;
+          t.current <- Some n
+      | None -> ())
+
+(* Exceeded-timeslice check; long kernel paths call this at back-edges. *)
+let checkpoint t =
+  let elapsed = Sim_clock.now t.clock - t.slice_start in
+  if elapsed >= t.cost.Cost_model.timeslice then begin
+    t.preemptions <- t.preemptions + 1;
+    (match t.current with
+    | Some p -> p.Kproc.kernel_budget_used <- p.Kproc.kernel_budget_used + elapsed
+    | None -> ());
+    context_switch t
+  end
+
+let kill t p =
+  p.Kproc.state <- Kproc.Dead;
+  t.procs <- List.filter (fun q -> q != p) t.procs;
+  (match t.current with
+  | Some c when c == p ->
+      t.current <-
+        List.find_opt (fun q -> q.Kproc.state <> Kproc.Dead) t.procs
+  | Some _ | None -> ());
+  (* the machine always runs something; killing the last process hands
+     the CPU to a fresh idle/init task *)
+  if t.current = None then ignore (spawn t ~name:"init")
+
+let context_switches t = t.context_switches
+let preemptions t = t.preemptions
+let process_count t = List.length t.procs

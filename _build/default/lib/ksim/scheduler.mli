@@ -1,0 +1,38 @@
+(** Round-robin preemptive scheduler.
+
+    The simulation executes workloads as OCaml code, so preemption is
+    realized at explicit checkpoints: long-running kernel paths (notably
+    the Cosy interpreter's loop back-edges) call {!checkpoint}.  When the
+    current process has run past its timeslice, a context switch is
+    charged and the runqueue rotates — this is what gives Cosy's watchdog
+    its teeth (paper §2.3). *)
+
+type t
+
+val create : clock:Sim_clock.t -> cost:Cost_model.t -> t
+
+(** Create a process and append it to the runqueue; the first process
+    spawned becomes current. *)
+val spawn : t -> name:string -> Kproc.t
+
+exception No_current_process
+
+(** The running process.  @raise No_current_process when none exists
+    (never the case for a kernel created through {!Kernel.create}). *)
+val current : t -> Kproc.t
+
+(** Force a context switch: charges the switch cost and rotates the
+    runqueue. *)
+val context_switch : t -> unit
+
+(** Preemption point: if the current timeslice is exhausted, count a
+    preemption and switch. *)
+val checkpoint : t -> unit
+
+(** Terminate a process.  If it was the last one, a fresh [init] is
+    spawned so the machine always runs something. *)
+val kill : t -> Kproc.t -> unit
+
+val context_switches : t -> int
+val preemptions : t -> int
+val process_count : t -> int

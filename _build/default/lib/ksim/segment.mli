@@ -1,0 +1,43 @@
+(** x86-style segmentation: a descriptor with base, limit and
+    permissions.
+
+    Cosy's strong isolation mode places a user-supplied function (or just
+    its data) in a segment of its own; any reference outside the segment
+    raises a protection fault — the property the paper's §2.3 safety
+    argument relies on. *)
+
+type t = {
+  name : string;
+  base : int;
+  limit : int;  (** size in bytes; valid range is [[base, base+limit)] *)
+  readable : bool;
+  writable : bool;
+  executable : bool;
+}
+
+(** Build a descriptor.  Permissions default to read/write, no execute.
+    @raise Invalid_argument on negative base or limit. *)
+val make :
+  name:string ->
+  base:int ->
+  limit:int ->
+  ?readable:bool ->
+  ?writable:bool ->
+  ?executable:bool ->
+  unit ->
+  t
+
+(** The flat kernel segment: every address, all permissions. *)
+val flat : t
+
+(** Is the byte range [[addr, addr+len)] inside the segment? *)
+val contains : t -> addr:int -> len:int -> bool
+
+(** Does the segment allow this kind of access at all? *)
+val permits : t -> Fault.access -> bool
+
+(** Enforce the segment on an access.
+    @raise Fault.Fault with reason [Segment_violation] on escape. *)
+val check : t -> addr:int -> len:int -> access:Fault.access -> pc:string -> unit
+
+val pp : Format.formatter -> t -> unit

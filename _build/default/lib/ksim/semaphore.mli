@@ -1,0 +1,26 @@
+(** Counting semaphore.
+
+    In the single-threaded simulation a [down] on an empty semaphore can
+    never be satisfied by another runner, so it raises {!Would_block};
+    the monitors treat that as the deadlock signal. *)
+
+type t
+
+(** [create ~initial name] ([initial] defaults to 1).
+    @raise Invalid_argument if [initial < 0]. *)
+val create : ?initial:int -> string -> t
+
+exception Would_block of string
+
+(** P operation; emits a [Sem_down] event.
+    @raise Would_block when the count is zero. *)
+val down : ?file:string -> ?line:int -> t -> unit
+
+(** V operation; emits a [Sem_up] event. *)
+val up : ?file:string -> ?line:int -> t -> unit
+
+(** Non-raising P: [false] when the count is zero. *)
+val try_down : t -> bool
+
+val count : t -> int
+val id : t -> int

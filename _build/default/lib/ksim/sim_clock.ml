@@ -1,0 +1,21 @@
+(* Virtual cycle counter. All simulated costs are charged here so every
+   experiment is deterministic and independent of host speed. *)
+
+type t = { mutable cycles : int }
+
+let create () = { cycles = 0 }
+let now t = t.cycles
+
+let advance t n =
+  if n < 0 then invalid_arg "Sim_clock.advance: negative cost";
+  t.cycles <- t.cycles + n
+
+let reset t = t.cycles <- 0
+
+(* Convert cycles to seconds under a nominal clock rate; used only for
+   human-readable reports (the paper's testbed was a 1.7GHz P4). *)
+let hz = 1_700_000_000.
+let to_seconds t = float_of_int t.cycles /. hz
+let cycles_to_seconds c = float_of_int c /. hz
+
+let pp ppf t = Fmt.pf ppf "%d cycles (%.6f s)" t.cycles (to_seconds t)

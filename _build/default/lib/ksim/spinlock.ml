@@ -1,0 +1,52 @@
+(* Spinlock with instrumentation hooks.  The simulation is single-
+   threaded, so a contended lock indicates a locking bug rather than a
+   wait; recursive acquisition raises.  Every acquire/release emits an
+   Instrument event, which is how the paper's dcache_lock experiment
+   (E6) counts 8,805 hits per second. *)
+
+type t = {
+  id : int;
+  name : string;
+  mutable locked : bool;
+  mutable holder : int;        (* pid, or -1 *)
+  mutable acquisitions : int;
+}
+
+let next_id = ref 0
+
+let create name =
+  incr next_id;
+  { id = !next_id; name; locked = false; holder = -1; acquisitions = 0 }
+
+exception Deadlock of string
+
+let lock ?(file = "<unknown>") ?(line = 0) ?(pid = 0) t =
+  if t.locked && t.holder = pid then
+    raise (Deadlock (Printf.sprintf "%s: recursive lock by pid %d" t.name pid));
+  (* single-threaded simulation: the lock is always free here *)
+  t.locked <- true;
+  t.holder <- pid;
+  t.acquisitions <- t.acquisitions + 1;
+  Instrument.emit ~obj:t.id ~value:1 ~kind:Instrument.Lock ~file ~line
+
+let unlock ?(file = "<unknown>") ?(line = 0) t =
+  if not t.locked then
+    raise (Deadlock (Printf.sprintf "%s: unlock of free lock" t.name));
+  t.locked <- false;
+  t.holder <- -1;
+  Instrument.emit ~obj:t.id ~value:0 ~kind:Instrument.Unlock ~file ~line
+
+let with_lock ?file ?line ?pid t f =
+  lock ?file ?line ?pid t;
+  match f () with
+  | v ->
+      unlock ?file ?line t;
+      v
+  | exception e ->
+      unlock ?file ?line t;
+      raise e
+
+let is_locked t = t.locked
+let acquisitions t = t.acquisitions
+let id t = t.id
+let name t = t.name

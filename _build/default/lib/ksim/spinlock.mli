@@ -1,0 +1,34 @@
+(** Spinlock with instrumentation hooks.
+
+    The simulation is single-threaded, so a contended lock indicates a
+    locking bug rather than a wait: recursive acquisition and unlocking a
+    free lock raise {!Deadlock}.  Every acquire/release emits an
+    {!Ksim.Instrument.event}, which is how experiment E6 counts
+    [dcache_lock] acquisitions. *)
+
+type t
+
+val create : string -> t
+
+exception Deadlock of string
+
+(** Acquire.  [file]/[line] flow into the instrumentation event; [pid]
+    identifies the holder for recursion detection.
+    @raise Deadlock on recursive acquisition by the same [pid]. *)
+val lock : ?file:string -> ?line:int -> ?pid:int -> t -> unit
+
+(** Release.  @raise Deadlock if the lock is not held. *)
+val unlock : ?file:string -> ?line:int -> t -> unit
+
+(** [with_lock t f] runs [f] under the lock, releasing on exception. *)
+val with_lock : ?file:string -> ?line:int -> ?pid:int -> t -> (unit -> 'a) -> 'a
+
+val is_locked : t -> bool
+
+(** Total acquisitions over the lock's lifetime. *)
+val acquisitions : t -> int
+
+(** Instrumentation identity of this lock (the [obj] field of its events). *)
+val id : t -> int
+
+val name : t -> string

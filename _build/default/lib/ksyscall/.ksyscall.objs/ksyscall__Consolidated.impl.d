@@ -1,0 +1,1 @@
+lib/ksyscall/consolidated.ml: Bytes Ksim Kvfs List Sys_file Systable Vfs Vtypes

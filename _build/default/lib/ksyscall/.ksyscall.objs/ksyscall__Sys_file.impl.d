@@ -1,0 +1,1 @@
+lib/ksyscall/sys_file.ml: Ksim Kvfs Systable Vfs Vtypes

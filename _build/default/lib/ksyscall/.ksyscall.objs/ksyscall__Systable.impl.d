@@ -1,0 +1,1 @@
+lib/ksyscall/systable.ml: Hashtbl Ksim Kvfs List Option

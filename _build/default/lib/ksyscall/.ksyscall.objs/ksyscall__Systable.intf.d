@@ -1,0 +1,1 @@
+lib/ksyscall/systable.mli: Ksim Kvfs

@@ -1,0 +1,1 @@
+lib/ksyscall/usyscall.ml: Bytes Consolidated Ksim Kvfs List String Sys_file Systable Vtypes

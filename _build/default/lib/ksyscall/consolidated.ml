@@ -1,0 +1,73 @@
+(* Consolidated system calls (§2.2): each replaces a frequently-observed
+   sequence with a single kernel entry, saving context switches and, for
+   readdirplus, redundant data copies (names need not round-trip through
+   user space before the stat calls). *)
+
+open Kvfs
+
+(* readdir + per-entry stat, as introduced by NFSv3 and measured in E1. *)
+let service_readdirplus sys ~path =
+  Sys_file.check_kernel_mode sys;
+  match Vfs.readdir (Systable.vfs sys) path with
+  | Error e -> Error e
+  | Ok entries ->
+      let stat_one d =
+        let full =
+          if path = "/" then "/" ^ d.Vtypes.d_name
+          else path ^ "/" ^ d.Vtypes.d_name
+        in
+        match Vfs.stat (Systable.vfs sys) full with
+        | Ok st -> Some (d, st)
+        | Error _ -> None
+      in
+      Ok (List.filter_map stat_one entries)
+
+(* open + read-to-eof + close in one crossing. *)
+let service_open_read_close sys ~path ~maxlen =
+  Sys_file.check_kernel_mode sys;
+  match Sys_file.service_open sys ~path ~flags:[ Vfs.O_RDONLY ] with
+  | Error e -> Error e
+  | Ok fd -> (
+      let result = Sys_file.service_read sys ~fd ~len:maxlen in
+      let _ = Sys_file.service_close sys ~fd in
+      result)
+
+(* open + write + close in one crossing. *)
+let service_open_write_close sys ~path ~data ~flags =
+  Sys_file.check_kernel_mode sys;
+  match Sys_file.service_open sys ~path ~flags with
+  | Error e -> Error e
+  | Ok fd -> (
+      let result = Sys_file.service_write sys ~fd ~data in
+      let _ = Sys_file.service_close sys ~fd in
+      result)
+
+(* sendfile(fd, off, len): stream file data straight from the page cache
+   to the (simulated) network interface — the kernel-resident data path
+   that AIX/Linux sendfile and IIS TransmitFile provide, cited by the
+   paper as the motivating precedent (§2.1).  The payload never crosses
+   into user space; the NIC transfer is charged as I/O wait. *)
+let service_sendfile sys ~fd ~off ~len =
+  Sys_file.check_kernel_mode sys;
+  match Sys_file.service_pread sys ~fd ~off ~len with
+  | Error e -> Error e
+  | Ok data ->
+      let kernel = Systable.kernel sys in
+      let cost = Ksim.Kernel.cost kernel in
+      (* DMA to the NIC: cheap CPU-side, charged as device time *)
+      Ksim.Kernel.charge_io kernel
+        (Bytes.length data * cost.Ksim.Cost_model.copy_per_byte
+         / (4 * max 1 cost.Ksim.Cost_model.copy_byte_div));
+      Ok (Bytes.length data)
+
+(* open + fstat in one crossing; returns the open descriptor. *)
+let service_open_fstat sys ~path ~flags =
+  Sys_file.check_kernel_mode sys;
+  match Sys_file.service_open sys ~path ~flags with
+  | Error e -> Error e
+  | Ok fd -> (
+      match Sys_file.service_fstat sys ~fd with
+      | Error e ->
+          let _ = Sys_file.service_close sys ~fd in
+          Error e
+      | Ok st -> Ok (fd, st))

@@ -1,0 +1,59 @@
+(* The system: a kernel plus a VFS plus syscall bookkeeping.  User
+   wrappers (Usyscall) cross the boundary and call the in-kernel service
+   routines (Sys_file); the Cosy kernel extension calls the service
+   routines directly, skipping the crossing — which is the entire point
+   of the paper's §2. *)
+
+type trace_record = {
+  pid : int;
+  name : string;            (* syscall name *)
+  arg : string;             (* human-readable principal argument *)
+  bytes_in : int;           (* user -> kernel *)
+  bytes_out : int;          (* kernel -> user *)
+  ok : bool;
+  timestamp : int;          (* virtual cycles at completion *)
+}
+
+type t = {
+  kernel : Ksim.Kernel.t;
+  vfs : Kvfs.Vfs.t;
+  mutable tracer : (trace_record -> unit) option;
+  counts : (string, int) Hashtbl.t;
+  mutable total_syscalls : int;
+}
+
+let create ?root_fs kernel =
+  let vfs = Kvfs.Vfs.create ?root_fs kernel in
+  { kernel; vfs; tracer = None; counts = Hashtbl.create 64; total_syscalls = 0 }
+
+let kernel t = t.kernel
+let vfs t = t.vfs
+
+let set_tracer t f = t.tracer <- Some f
+let clear_tracer t = t.tracer <- None
+
+let record t ~name ~arg ~bytes_in ~bytes_out ~ok =
+  t.total_syscalls <- t.total_syscalls + 1;
+  Hashtbl.replace t.counts name
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts name));
+  match t.tracer with
+  | None -> ()
+  | Some f ->
+      let p = Ksim.Kernel.current t.kernel in
+      f
+        {
+          pid = p.Ksim.Kproc.pid;
+          name;
+          arg;
+          bytes_in;
+          bytes_out;
+          ok;
+          timestamp = Ksim.Kernel.now t.kernel;
+        }
+
+let count t name = Option.value ~default:0 (Hashtbl.find_opt t.counts name)
+let total_syscalls t = t.total_syscalls
+
+let counts t =
+  Hashtbl.fold (fun name n acc -> (name, n) :: acc) t.counts []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)

@@ -1,0 +1,41 @@
+(** The system: a kernel plus a VFS plus syscall bookkeeping.
+
+    User wrappers ({!Usyscall}) cross the boundary and call the in-kernel
+    service routines ({!Sys_file}); the Cosy kernel extension calls the
+    service routines directly, skipping the crossing — which is the
+    entire point of the paper's §2. *)
+
+(** One syscall's trace record, as delivered to an attached tracer. *)
+type trace_record = {
+  pid : int;
+  name : string;      (** syscall name *)
+  arg : string;       (** human-readable principal argument *)
+  bytes_in : int;     (** user -> kernel copy volume *)
+  bytes_out : int;    (** kernel -> user copy volume *)
+  ok : bool;
+  timestamp : int;    (** virtual cycles at completion *)
+}
+
+type t
+
+val create : ?root_fs:Kvfs.Vtypes.ops -> Ksim.Kernel.t -> t
+
+val kernel : t -> Ksim.Kernel.t
+val vfs : t -> Kvfs.Vfs.t
+
+(** Install/remove the (single) tracer. *)
+val set_tracer : t -> (trace_record -> unit) -> unit
+
+val clear_tracer : t -> unit
+
+(** Used by the wrappers to account and publish one completed syscall. *)
+val record :
+  t -> name:string -> arg:string -> bytes_in:int -> bytes_out:int -> ok:bool -> unit
+
+(** Invocations of one syscall so far. *)
+val count : t -> string -> int
+
+val total_syscalls : t -> int
+
+(** All per-syscall counts, most frequent first. *)
+val counts : t -> (string * int) list

@@ -1,0 +1,176 @@
+(* User-level syscall wrappers.  Each wrapper crosses the user/kernel
+   boundary (charging entry/exit), copies arguments and results across
+   (charging per-byte costs), bumps the calling process's syscall count,
+   and reports a trace record to any attached tracer.
+
+   These are the "expensive" calls whose overhead the paper's both
+   techniques — consolidation (§2.2) and Cosy (§2.3) — exist to avoid. *)
+
+open Kvfs
+
+let enter sys =
+  let k = Systable.kernel sys in
+  (* the libc stub, argument marshalling and errno handling run in user
+     mode before and after the trap *)
+  Ksim.Kernel.charge_user k (Ksim.Kernel.cost k).Ksim.Cost_model.user_stub;
+  Ksim.Kernel.enter_kernel k;
+  (Ksim.Kernel.current k).Ksim.Kproc.syscalls <-
+    (Ksim.Kernel.current k).Ksim.Kproc.syscalls + 1
+
+let exit sys = Ksim.Kernel.exit_kernel (Systable.kernel sys)
+
+let path_bytes path = String.length path + 1
+
+(* Wrap a service invocation with the boundary protocol.  [bytes_in] and
+   [bytes_out] may depend on the result, so they are functions. *)
+let wrap sys ~name ~arg ~bytes_in ~bytes_out f =
+  let k = Systable.kernel sys in
+  enter sys;
+  let result =
+    match f () with
+    | r -> r
+    | exception e ->
+        exit sys;
+        raise e
+  in
+  let bin = bytes_in result and bout = bytes_out result in
+  if bin > 0 then Ksim.Kernel.charge_copy_from_user k bin;
+  if bout > 0 then Ksim.Kernel.charge_copy_to_user k bout;
+  Systable.record sys ~name ~arg ~bytes_in:bin ~bytes_out:bout
+    ~ok:(match result with Ok _ -> true | Error _ -> false);
+  exit sys;
+  result
+
+let some_bytes f = function Ok v -> f v | Error _ -> 0
+
+let sys_open sys ~path ~flags =
+  wrap sys ~name:"open" ~arg:path
+    ~bytes_in:(fun _ -> path_bytes path)
+    ~bytes_out:(fun _ -> 0)
+    (fun () -> Sys_file.service_open sys ~path ~flags)
+
+let sys_close sys ~fd =
+  wrap sys ~name:"close" ~arg:(string_of_int fd)
+    ~bytes_in:(fun _ -> 0)
+    ~bytes_out:(fun _ -> 0)
+    (fun () -> Sys_file.service_close sys ~fd)
+
+let sys_read sys ~fd ~len =
+  wrap sys ~name:"read" ~arg:(string_of_int fd)
+    ~bytes_in:(fun _ -> 0)
+    ~bytes_out:(some_bytes Bytes.length)
+    (fun () -> Sys_file.service_read sys ~fd ~len)
+
+let sys_write sys ~fd ~data =
+  wrap sys ~name:"write" ~arg:(string_of_int fd)
+    ~bytes_in:(fun _ -> Bytes.length data)
+    ~bytes_out:(fun _ -> 0)
+    (fun () -> Sys_file.service_write sys ~fd ~data)
+
+let sys_pread sys ~fd ~off ~len =
+  wrap sys ~name:"pread" ~arg:(string_of_int fd)
+    ~bytes_in:(fun _ -> 0)
+    ~bytes_out:(some_bytes Bytes.length)
+    (fun () -> Sys_file.service_pread sys ~fd ~off ~len)
+
+let sys_pwrite sys ~fd ~off ~data =
+  wrap sys ~name:"pwrite" ~arg:(string_of_int fd)
+    ~bytes_in:(fun _ -> Bytes.length data)
+    ~bytes_out:(fun _ -> 0)
+    (fun () -> Sys_file.service_pwrite sys ~fd ~off ~data)
+
+let sys_lseek sys ~fd ~off ~whence =
+  wrap sys ~name:"lseek" ~arg:(string_of_int fd)
+    ~bytes_in:(fun _ -> 0)
+    ~bytes_out:(fun _ -> 0)
+    (fun () -> Sys_file.service_lseek sys ~fd ~off ~whence)
+
+let sys_stat sys ~path =
+  wrap sys ~name:"stat" ~arg:path
+    ~bytes_in:(fun _ -> path_bytes path)
+    ~bytes_out:(some_bytes (fun _ -> Vtypes.stat_wire_size))
+    (fun () -> Sys_file.service_stat sys ~path)
+
+let sys_fstat sys ~fd =
+  wrap sys ~name:"fstat" ~arg:(string_of_int fd)
+    ~bytes_in:(fun _ -> 0)
+    ~bytes_out:(some_bytes (fun _ -> Vtypes.stat_wire_size))
+    (fun () -> Sys_file.service_fstat sys ~fd)
+
+let dirents_bytes entries =
+  List.fold_left (fun n d -> n + Vtypes.dirent_wire_size d) 0 entries
+
+let sys_readdir sys ~path =
+  wrap sys ~name:"readdir" ~arg:path
+    ~bytes_in:(fun _ -> path_bytes path)
+    ~bytes_out:(some_bytes dirents_bytes)
+    (fun () -> Sys_file.service_readdir sys ~path)
+
+let sys_mkdir sys ~path =
+  wrap sys ~name:"mkdir" ~arg:path
+    ~bytes_in:(fun _ -> path_bytes path)
+    ~bytes_out:(fun _ -> 0)
+    (fun () -> Sys_file.service_mkdir sys ~path)
+
+let sys_unlink sys ~path =
+  wrap sys ~name:"unlink" ~arg:path
+    ~bytes_in:(fun _ -> path_bytes path)
+    ~bytes_out:(fun _ -> 0)
+    (fun () -> Sys_file.service_unlink sys ~path)
+
+let sys_rename sys ~src ~dst =
+  wrap sys ~name:"rename" ~arg:(src ^ "->" ^ dst)
+    ~bytes_in:(fun _ -> path_bytes src + path_bytes dst)
+    ~bytes_out:(fun _ -> 0)
+    (fun () -> Sys_file.service_rename sys ~src ~dst)
+
+let sys_fsync sys ~fd =
+  wrap sys ~name:"fsync" ~arg:(string_of_int fd)
+    ~bytes_in:(fun _ -> 0)
+    ~bytes_out:(fun _ -> 0)
+    (fun () -> Sys_file.service_fsync sys ~fd)
+
+let sys_getpid sys =
+  let k = Systable.kernel sys in
+  enter sys;
+  let pid = Sys_file.service_getpid sys in
+  Systable.record sys ~name:"getpid" ~arg:"" ~bytes_in:0 ~bytes_out:0 ~ok:true;
+  Ksim.Kernel.exit_kernel k;
+  pid
+
+(* --- consolidated wrappers (E1/E2) ------------------------------------- *)
+
+let sys_readdirplus sys ~path =
+  wrap sys ~name:"readdirplus" ~arg:path
+    ~bytes_in:(fun _ -> path_bytes path)
+    ~bytes_out:
+      (some_bytes
+         (List.fold_left
+            (fun n (d, _st) ->
+              n + Vtypes.dirent_wire_size d + Vtypes.stat_wire_size)
+            0))
+    (fun () -> Consolidated.service_readdirplus sys ~path)
+
+let sys_open_read_close sys ~path ~maxlen =
+  wrap sys ~name:"open_read_close" ~arg:path
+    ~bytes_in:(fun _ -> path_bytes path)
+    ~bytes_out:(some_bytes Bytes.length)
+    (fun () -> Consolidated.service_open_read_close sys ~path ~maxlen)
+
+let sys_open_write_close sys ~path ~data ~flags =
+  wrap sys ~name:"open_write_close" ~arg:path
+    ~bytes_in:(fun _ -> path_bytes path + Bytes.length data)
+    ~bytes_out:(fun _ -> 0)
+    (fun () -> Consolidated.service_open_write_close sys ~path ~data ~flags)
+
+let sys_sendfile sys ~fd ~off ~len =
+  wrap sys ~name:"sendfile" ~arg:(string_of_int fd)
+    ~bytes_in:(fun _ -> 0)
+    ~bytes_out:(fun _ -> 0) (* the point: data never crosses the boundary *)
+    (fun () -> Consolidated.service_sendfile sys ~fd ~off ~len)
+
+let sys_open_fstat sys ~path ~flags =
+  wrap sys ~name:"open_fstat" ~arg:path
+    ~bytes_in:(fun _ -> path_bytes path)
+    ~bytes_out:(some_bytes (fun _ -> Vtypes.stat_wire_size))
+    (fun () -> Consolidated.service_open_fstat sys ~path ~flags)

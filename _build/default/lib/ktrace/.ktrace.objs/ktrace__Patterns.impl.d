@@ -1,0 +1,1 @@
+lib/ktrace/patterns.ml: Array Fmt Hashtbl List Option Recorder

@@ -1,0 +1,1 @@
+lib/ktrace/patterns.mli: Format Recorder

@@ -1,0 +1,1 @@
+lib/ktrace/recorder.ml: Hashtbl Ksyscall List Option

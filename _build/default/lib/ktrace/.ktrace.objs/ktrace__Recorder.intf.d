@@ -1,0 +1,1 @@
+lib/ktrace/recorder.mli: Ksyscall

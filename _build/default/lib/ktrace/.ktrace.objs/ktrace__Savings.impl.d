@@ -1,0 +1,1 @@
+lib/ktrace/savings.ml: Fmt Hashtbl Ksim Ksyscall List Option Recorder

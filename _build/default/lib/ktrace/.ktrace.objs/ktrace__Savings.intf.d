@@ -1,0 +1,1 @@
+lib/ktrace/savings.mli: Format Ksim Recorder

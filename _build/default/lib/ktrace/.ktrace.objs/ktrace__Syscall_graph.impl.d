@@ -1,0 +1,1 @@
+lib/ktrace/syscall_graph.ml: Fmt Hashtbl List Option Recorder

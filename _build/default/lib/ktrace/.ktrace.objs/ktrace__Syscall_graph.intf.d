@@ -1,0 +1,1 @@
+lib/ktrace/syscall_graph.mli: Format Recorder

@@ -1,0 +1,46 @@
+(* strace-style recorder: attaches to a Systable and accumulates every
+   syscall's record, per pid, in order. *)
+
+type t = {
+  mutable records : Ksyscall.Systable.trace_record list; (* reversed *)
+  mutable count : int;
+  mutable attached : Ksyscall.Systable.t option;
+}
+
+let create () = { records = []; count = 0; attached = None }
+
+let attach t sys =
+  t.attached <- Some sys;
+  Ksyscall.Systable.set_tracer sys (fun r ->
+      t.records <- r :: t.records;
+      t.count <- t.count + 1)
+
+let detach t =
+  (match t.attached with
+  | Some sys -> Ksyscall.Systable.clear_tracer sys
+  | None -> ());
+  t.attached <- None
+
+let records t = List.rev t.records
+let count t = t.count
+
+let clear t =
+  t.records <- [];
+  t.count <- 0
+
+(* Per-pid sequences of syscall names, in invocation order. *)
+let sequences t =
+  let by_pid = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Ksyscall.Systable.trace_record) ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt by_pid r.pid) in
+      Hashtbl.replace by_pid r.pid (r.name :: prev))
+    t.records (* reversed input -> reversed accumulation = in order *)
+  |> ignore;
+  Hashtbl.fold (fun pid names acc -> (pid, names) :: acc) by_pid []
+
+let total_bytes t =
+  List.fold_left
+    (fun (bin, bout) (r : Ksyscall.Systable.trace_record) ->
+      (bin + r.bytes_in, bout + r.bytes_out))
+    (0, 0) t.records

@@ -1,0 +1,24 @@
+(** strace-style recorder: attaches to a {!Ksyscall.Systable} and
+    accumulates every syscall's trace record in order. *)
+
+type t
+
+val create : unit -> t
+
+(** Start receiving this system's syscall records (replaces any tracer
+    already installed on it). *)
+val attach : t -> Ksyscall.Systable.t -> unit
+
+val detach : t -> unit
+
+(** Records, oldest first. *)
+val records : t -> Ksyscall.Systable.trace_record list
+
+val count : t -> int
+val clear : t -> unit
+
+(** Per-pid syscall-name sequences, in invocation order. *)
+val sequences : t -> (int * string list) list
+
+(** Total (bytes in, bytes out) across the trace. *)
+val total_bytes : t -> int * int

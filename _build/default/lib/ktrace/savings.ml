@@ -1,0 +1,124 @@
+(* Estimate what a trace would have cost had consolidated syscalls been
+   used: the calculation behind E2's "171,975 -> 17,251 calls,
+   51,807,520 -> 32,250,041 bytes, ~28.15 s/hour".
+
+   The model: every readdir followed by k stat calls collapses into one
+   readdirplus; the k stat calls and their path-name copies disappear,
+   and the dirent names need not cross into user space a second time to
+   come back as stat arguments.  open-read-close / open-write-close /
+   open-fstat runs collapse 3 (resp. 2) crossings into one. *)
+
+type estimate = {
+  syscalls_before : int;
+  syscalls_after : int;
+  bytes_before : int;
+  bytes_after : int;
+  crossings_saved : int;
+  cycles_saved : int;
+  seconds_saved_per_hour : float;
+}
+
+let pp_estimate ppf e =
+  Fmt.pf ppf
+    "syscalls %d -> %d; bytes %d -> %d; crossings saved %d; ~%.2f s/hour"
+    e.syscalls_before e.syscalls_after e.bytes_before e.bytes_after
+    e.crossings_saved e.seconds_saved_per_hour
+
+(* Walk one pid's records, simulating the collapse. *)
+let collapse_pid (records : Ksyscall.Systable.trace_record list) =
+  let syscalls = ref 0 in
+  let bytes = ref 0 in
+  let crossings_saved = ref 0 in
+  let bytes_saved = ref 0 in
+  let count (r : Ksyscall.Systable.trace_record) =
+    incr syscalls;
+    bytes := !bytes + r.bytes_in + r.bytes_out
+  in
+  let rec scan (rs : Ksyscall.Systable.trace_record list) =
+    match rs with
+    | ({ name = "readdir"; _ } as rd) :: rest ->
+        count rd;
+        (* a run of stats following a readdir merges into readdirplus *)
+        let rec eat n saved = function
+          | ({ Ksyscall.Systable.name = "stat"; _ } as st) :: more ->
+              count st;
+              (* the merged call keeps the stat payload (bytes_out) but
+                 drops the path-name copy-in and the crossing *)
+              eat (n + 1) (saved + st.Ksyscall.Systable.bytes_in) more
+          | tail -> (n, saved, tail)
+        in
+        let n, saved, tail = eat 0 0 rest in
+        if n > 0 then begin
+          crossings_saved := !crossings_saved + n;
+          bytes_saved := !bytes_saved + saved
+        end;
+        scan tail
+    | ({ name = "open"; _ } as o)
+      :: ({ name = "read"; _ } as r)
+      :: ({ name = "close"; _ } as c)
+      :: rest ->
+        count o;
+        count r;
+        count c;
+        crossings_saved := !crossings_saved + 2;
+        scan rest
+    | ({ name = "open"; _ } as o)
+      :: ({ name = "write"; _ } as w)
+      :: ({ name = "close"; _ } as c)
+      :: rest ->
+        count o;
+        count w;
+        count c;
+        crossings_saved := !crossings_saved + 2;
+        scan rest
+    | ({ name = "open"; _ } as o) :: ({ name = "fstat"; _ } as f) :: rest ->
+        count o;
+        count f;
+        crossings_saved := !crossings_saved + 1;
+        scan rest
+    | r :: rest ->
+        count r;
+        scan rest
+    | [] -> ()
+  in
+  scan records;
+  (!syscalls, !bytes, !crossings_saved, !bytes_saved)
+
+let estimate ?(cost = Ksim.Cost_model.default) ?(trace_duration_cycles = 0)
+    recorder =
+  let by_pid = Hashtbl.create 8 in
+  (* records are oldest-first; per-pid consing reverses, so flip back *)
+  List.iter
+    (fun (r : Ksyscall.Systable.trace_record) ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt by_pid r.pid) in
+      Hashtbl.replace by_pid r.pid (r :: prev))
+    (Recorder.records recorder);
+  let totals = Hashtbl.fold (fun _ rs acc -> List.rev rs :: acc) by_pid [] in
+  let syscalls, bytes, crossings, bytes_saved =
+    List.fold_left
+      (fun (s, b, c, bs) rs ->
+        let s', b', c', bs' = collapse_pid rs in
+        (s + s', b + b', c + c', bs + bs'))
+      (0, 0, 0, 0) totals
+  in
+  let per_crossing =
+    cost.Ksim.Cost_model.syscall_entry + cost.Ksim.Cost_model.syscall_exit
+  in
+  let cycles_saved =
+    (crossings * per_crossing) + Ksim.Cost_model.copy_cost cost bytes_saved
+  in
+  let seconds_saved = Ksim.Sim_clock.cycles_to_seconds cycles_saved in
+  let duration_s =
+    Ksim.Sim_clock.cycles_to_seconds (max 1 trace_duration_cycles)
+  in
+  {
+    syscalls_before = syscalls;
+    syscalls_after = syscalls - crossings;
+    bytes_before = bytes;
+    bytes_after = bytes - bytes_saved;
+    crossings_saved = crossings;
+    cycles_saved;
+    seconds_saved_per_hour =
+      (if trace_duration_cycles = 0 then 0.
+       else seconds_saved /. duration_s *. 3600.);
+  }

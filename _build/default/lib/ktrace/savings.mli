@@ -1,0 +1,24 @@
+(** Estimate what a trace would have cost with consolidated syscalls —
+    the calculation behind E2's "171,975 -> 17,251 calls ... ~28.15
+    s/hour".
+
+    The model: every readdir followed by k stats collapses into one
+    readdirplus (the k crossings and their path-name copy-ins vanish);
+    open-read-close / open-write-close / open-fstat runs collapse into
+    single calls. *)
+
+type estimate = {
+  syscalls_before : int;
+  syscalls_after : int;
+  bytes_before : int;
+  bytes_after : int;
+  crossings_saved : int;
+  cycles_saved : int;
+  seconds_saved_per_hour : float;
+      (** 0 when no [trace_duration_cycles] was supplied *)
+}
+
+val pp_estimate : Format.formatter -> estimate -> unit
+
+val estimate :
+  ?cost:Ksim.Cost_model.t -> ?trace_duration_cycles:int -> Recorder.t -> estimate

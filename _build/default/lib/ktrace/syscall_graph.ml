@@ -1,0 +1,79 @@
+(* The weighted directed syscall graph of §2.2 / Cassyopia: vertices are
+   syscall names, an edge (v1, v2) has weight equal to the number of
+   times v2 directly followed v1 in the same process's trace. *)
+
+type t = {
+  edges : (string * string, int) Hashtbl.t;
+  vertices : (string, int) Hashtbl.t;   (* name -> total invocations *)
+}
+
+let create () = { edges = Hashtbl.create 256; vertices = Hashtbl.create 64 }
+
+let bump tbl key =
+  Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let add_transition t ~src ~dst = bump t.edges (src, dst)
+let add_vertex t name = bump t.vertices name
+
+(* Build from a recorder: one pass per pid sequence. *)
+let of_recorder recorder =
+  let t = create () in
+  List.iter
+    (fun (_pid, names) ->
+      List.iter (add_vertex t) names;
+      let rec pairs = function
+        | a :: (b :: _ as rest) ->
+            add_transition t ~src:a ~dst:b;
+            pairs rest
+        | [ _ ] | [] -> ()
+      in
+      pairs names)
+    (Recorder.sequences recorder);
+  t
+
+let weight t ~src ~dst =
+  Option.value ~default:0 (Hashtbl.find_opt t.edges (src, dst))
+
+let invocations t name =
+  Option.value ~default:0 (Hashtbl.find_opt t.vertices name)
+
+let edges t =
+  Hashtbl.fold (fun (s, d) w acc -> (s, d, w) :: acc) t.edges []
+  |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
+
+(* Heaviest paths of the given length: greedy extension from each heavy
+   edge, the heuristic the paper uses to pick consolidation candidates. *)
+let heavy_paths t ~length ~top =
+  let next_of src =
+    Hashtbl.fold
+      (fun (s, d) w acc -> if s = src then (d, w) :: acc else acc)
+      t.edges []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  let extend (path, w) =
+    match path with
+    | [] -> (path, w)
+    | last :: _ -> (
+        match next_of last with
+        | (d, w') :: _ -> (d :: path, min w w')
+        | [] -> (path, w))
+  in
+  let start_edges = edges t in
+  let candidates =
+    List.map
+      (fun (s, d, w) ->
+        let rec grow acc n = if n <= 0 then acc else grow (extend acc) (n - 1) in
+        let path, weight = grow ([ d; s ], w) (length - 2) in
+        (List.rev path, weight))
+      start_edges
+  in
+  let dedup =
+    List.sort_uniq (fun (p1, _) (p2, _) -> compare p1 p2) candidates
+  in
+  List.sort (fun (_, a) (_, b) -> compare b a) dedup
+  |> List.filteri (fun i _ -> i < top)
+
+let pp ppf t =
+  List.iter
+    (fun (s, d, w) -> Fmt.pf ppf "%s -> %s : %d@\n" s d w)
+    (edges t)

@@ -1,0 +1,1 @@
+lib/kvfs/block_dev.ml: Hashtbl Ksim Queue

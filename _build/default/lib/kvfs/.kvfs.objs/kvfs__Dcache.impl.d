@@ -1,0 +1,1 @@
+lib/kvfs/dcache.ml: Hashtbl Ksim

@@ -1,0 +1,1 @@
+lib/kvfs/dcache.mli: Ksim

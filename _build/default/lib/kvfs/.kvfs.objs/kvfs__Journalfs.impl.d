@@ -1,0 +1,1 @@
+lib/kvfs/journalfs.ml: Block_dev Bytes Ksim List Memfs Minic Printf String Vtypes

@@ -1,0 +1,1 @@
+lib/kvfs/journalfs.mli: Ksim Minic Vtypes

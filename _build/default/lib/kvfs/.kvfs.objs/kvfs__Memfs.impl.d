@@ -1,0 +1,1 @@
+lib/kvfs/memfs.ml: Block_dev Bytes Hashtbl Ksim List Option Printf Vtypes

@@ -1,0 +1,1 @@
+lib/kvfs/memfs.mli: Block_dev Bytes Ksim Vtypes

@@ -1,0 +1,1 @@
+lib/kvfs/vfs.ml: Bytes Dcache Hashtbl Ksim List Memfs String Vtypes

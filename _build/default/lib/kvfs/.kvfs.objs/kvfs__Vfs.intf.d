@@ -1,0 +1,1 @@
+lib/kvfs/vfs.mli: Bytes Dcache Ksim Vtypes

@@ -1,0 +1,1 @@
+lib/kvfs/vtypes.ml: Fmt String

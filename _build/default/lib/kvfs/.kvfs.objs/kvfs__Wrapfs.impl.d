@@ -1,0 +1,1 @@
+lib/kvfs/wrapfs.ml: Bytes Hashtbl Ksim String Vtypes

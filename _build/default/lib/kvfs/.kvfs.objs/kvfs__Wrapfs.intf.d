@@ -1,0 +1,1 @@
+lib/kvfs/wrapfs.mli: Ksim Vtypes

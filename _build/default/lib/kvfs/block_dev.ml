@@ -1,0 +1,80 @@
+(* Simulated block device with a buffer cache.  Filesystems charge disk
+   costs through here; the cache means repeated access to hot metadata is
+   cheap, which is what makes PostMark metadata-rate-bound rather than
+   seek-bound in E6/E7. *)
+
+type t = {
+  kernel : Ksim.Kernel.t;
+  block_size : int;
+  cache_blocks : int;
+  cache : (int, unit) Hashtbl.t;   (* resident block numbers *)
+  arrival : int Queue.t;           (* FIFO eviction order *)
+  mutable reads : int;
+  mutable writes : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable last_block : int;        (* for seek-distance modelling *)
+}
+
+let create ?(block_size = 4096) ?(cache_blocks = 150_000) kernel =
+  {
+    kernel;
+    block_size;
+    cache_blocks;
+    cache = Hashtbl.create (2 * cache_blocks);
+    arrival = Queue.create ();
+    reads = 0;
+    writes = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    last_block = 0;
+  }
+
+let block_size t = t.block_size
+
+(* Disk transfers are I/O wait: they advance elapsed time but do not
+   count as system (CPU) time, like a process blocked in the elevator. *)
+let charge t cycles = Ksim.Kernel.charge_io t.kernel cycles
+
+let seek_cost t blk =
+  let cost = Ksim.Kernel.cost t.kernel in
+  let distance = abs (blk - t.last_block) in
+  t.last_block <- blk;
+  if distance = 0 then 0
+  else if distance <= 8 then cost.Ksim.Cost_model.disk_seek / 100
+  else cost.Ksim.Cost_model.disk_seek
+
+let touch t blk =
+  if not (Hashtbl.mem t.cache blk) then begin
+    Hashtbl.replace t.cache blk ();
+    Queue.push blk t.arrival;
+    (* FIFO eviction: O(1), close enough to the page cache's clock *)
+    if Hashtbl.length t.cache > t.cache_blocks then
+      match Queue.take_opt t.arrival with
+      | Some victim -> Hashtbl.remove t.cache victim
+      | None -> ()
+  end
+
+(* Read one block: free on cache hit, seek+transfer on miss. *)
+let read_block t blk =
+  t.reads <- t.reads + 1;
+  if Hashtbl.mem t.cache blk then t.cache_hits <- t.cache_hits + 1
+  else begin
+    t.cache_misses <- t.cache_misses + 1;
+    let cost = Ksim.Kernel.cost t.kernel in
+    charge t (seek_cost t blk + cost.Ksim.Cost_model.disk_read_block);
+    touch t blk
+  end
+
+(* Write one block: write-back model — the block enters the cache and a
+   fraction of the transfer cost is charged to model the flusher. *)
+let write_block t blk =
+  t.writes <- t.writes + 1;
+  let cost = Ksim.Kernel.cost t.kernel in
+  charge t (cost.Ksim.Cost_model.disk_write_block / 10);
+  touch t blk
+
+type stats = { reads : int; writes : int; hits : int; misses : int }
+
+let stats (t : t) =
+  { reads = t.reads; writes = t.writes; hits = t.cache_hits; misses = t.cache_misses }

@@ -1,0 +1,23 @@
+(** Simulated block device with a buffer cache.
+
+    Filesystems charge disk costs through here; cache hits are free, so
+    repeated access to hot metadata costs nothing — which is what makes
+    PostMark metadata-rate-bound rather than seek-bound in E6/E7.  Reads
+    miss with a seek (full cost for far seeks, discounted for
+    sequential); writes are write-back with an amortized flusher charge.
+    All disk time is charged as I/O wait: it counts toward elapsed time
+    but not system time. *)
+
+type t
+
+(** [cache_blocks] defaults to ~150k blocks (≈600 MB, the page cache of
+    the paper's 884 MB testbed). *)
+val create : ?block_size:int -> ?cache_blocks:int -> Ksim.Kernel.t -> t
+
+val block_size : t -> int
+val read_block : t -> int -> unit
+val write_block : t -> int -> unit
+
+type stats = { reads : int; writes : int; hits : int; misses : int }
+
+val stats : t -> stats

@@ -1,0 +1,32 @@
+(** Dentry cache: [(parent inode, name) -> inode], guarded by the global
+    [dcache_lock].
+
+    Path resolution hits the lock once per component and namespace
+    operations hit it on insert/invalidate, which is how experiment E6
+    reproduces the paper's dcache_lock acquisition counts under
+    PostMark. *)
+
+type t
+
+val create : unit -> t
+
+(** The global dcache_lock itself (its instrumentation events carry this
+    lock's object id). *)
+val lock : t -> Ksim.Spinlock.t
+
+val lookup : t -> dir:int -> name:string -> int option
+val insert : t -> dir:int -> name:string -> ino:int -> unit
+val invalidate : t -> dir:int -> name:string -> unit
+val clear : t -> unit
+
+(** Acquisitions of the dcache_lock so far. *)
+val acquisitions : t -> int
+
+type stats = {
+  hits : int;
+  misses : int;
+  invalidations : int;
+  lock_acquisitions : int;
+}
+
+val stats : t -> stats

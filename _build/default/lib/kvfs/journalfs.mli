@@ -1,0 +1,45 @@
+(** Journalfs: the Reiserfs stand-in for experiment E7.
+
+    A journaling filesystem layered on the memfs engine whose CPU-bound
+    hot paths — journal-header checksumming, directory-entry scanning and
+    block-bitmap search — are mini-C routines run through an embedded
+    interpreter.  "Compiling the module with KGCC" means passing that
+    mini-C source through the KGCC instrumentation pass; the instrumented
+    code executes more work per byte, reproducing the paper's system-time
+    blow-up under metadata-heavy workloads. *)
+
+(** The module's mini-C source (exported for the E8 compile-statistics
+    corpus). *)
+val source : string
+
+type t
+
+(** [create ?transform ?attach ?data_journal kernel]:
+    [transform] is the "compiler" — identity models GCC, the KGCC pass
+    models KGCC; [attach] runs on the embedded interpreter before the
+    module loads (KGCC hooks its runtime there so it sees every
+    allocation); [data_journal] additionally checksums data heads
+    (most journaling filesystems do metadata-only, the default). *)
+val create :
+  ?transform:(Minic.Ast.program -> Minic.Ast.program) ->
+  ?attach:(Minic.Interp.t -> unit) ->
+  ?data_journal:bool ->
+  ?interp_base_vpn:int ->
+  ?interp_pages:int ->
+  Ksim.Kernel.t ->
+  t
+
+(** The embedded interpreter running the module's hot paths. *)
+val interp : t -> Minic.Interp.t
+
+(** The operations vector (pass to {!Vfs.create}). *)
+val ops : t -> Vtypes.ops
+
+type stats = {
+  journal_records : int;
+  hot_calls : int;       (** mini-C hot-path invocations *)
+  interp_steps : int;
+  checksum_acc : int;    (** running checksum (keeps the work honest) *)
+}
+
+val stats : t -> stats

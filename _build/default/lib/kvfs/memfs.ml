@@ -1,0 +1,324 @@
+(* The base in-memory filesystem (the Ext2/Ext3 stand-in).  File data
+   lives in growable byte buffers; every data access charges the block
+   device so the workloads see realistic I/O costs. *)
+
+type inode = {
+  ino : int;
+  mutable kind : Vtypes.kind;
+  mutable data : Bytes.t;          (* regular files *)
+  mutable size : int;
+  (* directory entries: name -> (ino, arrival sequence); the sequence
+     preserves insertion order for readdir without making create O(n) *)
+  children : (string, int * int) Hashtbl.t;
+  mutable child_seq : int;
+  mutable nlink : int;
+  mutable mtime : int;
+  refcount : Ksim.Refcount.t;
+}
+
+let dir_entries d =
+  Hashtbl.fold (fun name (ino, seq) acc -> (seq, name, ino) :: acc) d.children []
+  |> List.sort compare
+  |> List.map (fun (_, name, ino) -> (name, ino))
+
+let dir_add d name ino =
+  Hashtbl.replace d.children name (ino, d.child_seq);
+  d.child_seq <- d.child_seq + 1
+
+let dir_find d name = Option.map fst (Hashtbl.find_opt d.children name)
+let dir_remove d name = Hashtbl.remove d.children name
+let dir_count d = Hashtbl.length d.children
+
+type t = {
+  kernel : Ksim.Kernel.t;
+  dev : Block_dev.t;
+  inodes : (int, inode) Hashtbl.t;
+  mutable next_ino : int;
+  mutable next_block : int;        (* naive block placement cursor *)
+  block_of_ino : (int * int, int) Hashtbl.t; (* (ino, file block) -> disk block *)
+}
+
+let root_ino = 1
+
+let create kernel =
+  let dev = Block_dev.create kernel in
+  let t =
+    {
+      kernel;
+      dev;
+      inodes = Hashtbl.create 1024;
+      next_ino = root_ino + 1;
+      next_block = 64;
+      block_of_ino = Hashtbl.create 4096;
+    }
+  in
+  Hashtbl.replace t.inodes root_ino
+    {
+      ino = root_ino;
+      kind = Vtypes.Directory;
+      data = Bytes.create 0;
+      size = 0;
+      children = Hashtbl.create 8;
+      child_seq = 0;
+      nlink = 2;
+      mtime = 0;
+      refcount = Ksim.Refcount.create "memfs-root";
+    };
+  t
+
+let block_size t = Block_dev.block_size t.dev
+let dev t = t.dev
+
+let find t ino = Hashtbl.find_opt t.inodes ino
+
+(* Map a file-relative block to a stable disk block, allocating lazily;
+   sequential files thus get (mostly) sequential blocks. *)
+let disk_block t ino fblock =
+  match Hashtbl.find_opt t.block_of_ino (ino, fblock) with
+  | Some b -> b
+  | None ->
+      let b = t.next_block in
+      t.next_block <- t.next_block + 1;
+      Hashtbl.replace t.block_of_ino (ino, fblock) b;
+      b
+
+let charge_data_io t ~ino ~off ~len ~write =
+  let bs = block_size t in
+  let first = off / bs and last = (off + max 0 (len - 1)) / bs in
+  for fb = first to last do
+    let blk = disk_block t ino fb in
+    if write then Block_dev.write_block t.dev blk
+    else Block_dev.read_block t.dev blk
+  done
+
+(* Metadata reads charge the block holding the inode; inodes pack 32 to
+   a block as in Ext2/3, so hot inode tables stay cache-resident even
+   for very large directories. *)
+let charge_meta_io t ~ino =
+  Block_dev.read_block t.dev (disk_block t (ino lsr 5) (-1))
+
+let blocks_of_size t size = (size + block_size t - 1) / block_size t
+
+(* In-kernel CPU for a metadata operation: hash lookups, permission
+   checks, inode locking. *)
+let charge_cpu ?(scale = 1) t =
+  let cost = Ksim.Kernel.cost t.kernel in
+  Ksim.Sim_clock.advance
+    (Ksim.Kernel.clock t.kernel)
+    (scale * cost.Ksim.Cost_model.vfs_op)
+
+let stat_of t inode =
+  {
+    Vtypes.st_ino = inode.ino;
+    st_kind = inode.kind;
+    st_size = inode.size;
+    st_nlink = inode.nlink;
+    st_blocks = blocks_of_size t inode.size;
+    st_mtime = inode.mtime;
+  }
+
+let new_inode t kind =
+  let ino = t.next_ino in
+  t.next_ino <- t.next_ino + 1;
+  let inode =
+    {
+      ino;
+      kind;
+      data = Bytes.create 0;
+      size = 0;
+      children = Hashtbl.create 8;
+      child_seq = 0;
+      nlink = (match kind with Vtypes.Directory -> 2 | Vtypes.Regular -> 1);
+      mtime = Ksim.Kernel.now t.kernel;
+      refcount = Ksim.Refcount.create (Printf.sprintf "memfs-ino-%d" ino);
+    }
+  in
+  Hashtbl.replace t.inodes ino inode;
+  inode
+
+let as_dir t ino =
+  match find t ino with
+  | None -> Error Vtypes.ENOENT
+  | Some i when i.kind <> Vtypes.Directory -> Error Vtypes.ENOTDIR
+  | Some i -> Ok i
+
+(* --- Vtypes.ops implementation ---------------------------------------- *)
+
+let lookup t ~dir name =
+  match as_dir t dir with
+  | Error e -> Error e
+  | Ok d -> (
+      charge_cpu t;
+      charge_meta_io t ~ino:dir;
+      match dir_find d name with
+      | Some ino -> Ok ino
+      | None -> Error Vtypes.ENOENT)
+
+let create_node t ~dir ~name kind =
+  if not (Vtypes.valid_name name) then Error Vtypes.EINVAL
+  else
+    match as_dir t dir with
+    | Error e -> Error e
+    | Ok d ->
+        if dir_find d name <> None then Error Vtypes.EEXIST
+        else begin
+          charge_cpu t ~scale:2;
+          let inode = new_inode t kind in
+          dir_add d name inode.ino;
+          d.mtime <- Ksim.Kernel.now t.kernel;
+          if kind = Vtypes.Directory then d.nlink <- d.nlink + 1;
+          Block_dev.write_block t.dev (disk_block t (dir lsr 5) (-1));
+          Ok inode.ino
+        end
+
+let unlink t ~dir ~name =
+  match as_dir t dir with
+  | Error e -> Error e
+  | Ok d -> (
+      match dir_find d name with
+      | None -> Error Vtypes.ENOENT
+      | Some ino -> (
+          match find t ino with
+          | None -> Error Vtypes.ENOENT
+          | Some inode ->
+              if inode.kind = Vtypes.Directory && dir_count inode > 0 then
+                Error Vtypes.ENOTEMPTY
+              else begin
+                charge_cpu t ~scale:2;
+                dir_remove d name;
+                d.mtime <- Ksim.Kernel.now t.kernel;
+                inode.nlink <- inode.nlink - 1;
+                if inode.kind = Vtypes.Directory then d.nlink <- d.nlink - 1;
+                if inode.nlink <= (match inode.kind with
+                                   | Vtypes.Directory -> 1
+                                   | Vtypes.Regular -> 0)
+                then Hashtbl.remove t.inodes ino;
+                Block_dev.write_block t.dev (disk_block t (dir lsr 5) (-1));
+                Ok ()
+              end))
+
+let readdir t ~dir =
+  match as_dir t dir with
+  | Error e -> Error e
+  | Ok d ->
+      charge_cpu t ~scale:(1 + (dir_count d / 16));
+      charge_meta_io t ~ino:dir;
+      let entry (name, ino) =
+        let kind =
+          match find t ino with
+          | Some i -> i.kind
+          | None -> Vtypes.Regular
+        in
+        { Vtypes.d_ino = ino; d_name = name; d_kind = kind }
+      in
+      Ok (List.map entry (dir_entries d))
+
+let getattr t ~ino =
+  match find t ino with
+  | None -> Error Vtypes.ENOENT
+  | Some inode ->
+      charge_cpu t;
+      charge_meta_io t ~ino;
+      Ok (stat_of t inode)
+
+let read t ~ino ~off ~len =
+  match find t ino with
+  | None -> Error Vtypes.ENOENT
+  | Some inode ->
+      if inode.kind = Vtypes.Directory then Error Vtypes.EISDIR
+      else if off < 0 || len < 0 then Error Vtypes.EINVAL
+      else begin
+        let avail = max 0 (inode.size - off) in
+        let n = min len avail in
+        if n > 0 then charge_data_io t ~ino ~off ~len:n ~write:false;
+        Ok (Bytes.sub inode.data off n)
+      end
+
+let ensure_capacity inode size =
+  if Bytes.length inode.data < size then begin
+    let grown = Bytes.make (max size (2 * Bytes.length inode.data)) '\000' in
+    Bytes.blit inode.data 0 grown 0 inode.size;
+    inode.data <- grown
+  end
+
+let write t ~ino ~off ~data =
+  match find t ino with
+  | None -> Error Vtypes.ENOENT
+  | Some inode ->
+      if inode.kind = Vtypes.Directory then Error Vtypes.EISDIR
+      else if off < 0 then Error Vtypes.EINVAL
+      else begin
+        let len = Bytes.length data in
+        ensure_capacity inode (off + len);
+        Bytes.blit data 0 inode.data off len;
+        if off + len > inode.size then inode.size <- off + len;
+        inode.mtime <- Ksim.Kernel.now t.kernel;
+        if len > 0 then charge_data_io t ~ino ~off ~len ~write:true;
+        Ok len
+      end
+
+let truncate t ~ino ~size =
+  match find t ino with
+  | None -> Error Vtypes.ENOENT
+  | Some inode ->
+      if inode.kind = Vtypes.Directory then Error Vtypes.EISDIR
+      else if size < 0 then Error Vtypes.EINVAL
+      else begin
+        ensure_capacity inode size;
+        if size < inode.size then
+          Bytes.fill inode.data size (inode.size - size) '\000';
+        inode.size <- size;
+        inode.mtime <- Ksim.Kernel.now t.kernel;
+        Ok ()
+      end
+
+let rename t ~src_dir ~src ~dst_dir ~dst =
+  if not (Vtypes.valid_name dst) then Error Vtypes.EINVAL
+  else
+    match (as_dir t src_dir, as_dir t dst_dir) with
+    | Error e, _ | _, Error e -> Error e
+    | Ok sd, Ok dd -> (
+        match dir_find sd src with
+        | None -> Error Vtypes.ENOENT
+        | Some ino ->
+            if dir_find dd dst <> None then Error Vtypes.EEXIST
+            else begin
+              dir_remove sd src;
+              dir_add dd dst ino;
+              sd.mtime <- Ksim.Kernel.now t.kernel;
+              dd.mtime <- sd.mtime;
+              Block_dev.write_block t.dev (disk_block t (src_dir lsr 5) (-1));
+              Block_dev.write_block t.dev (disk_block t (dst_dir lsr 5) (-1));
+              Ok ()
+            end)
+
+let fsync t ~ino =
+  match find t ino with
+  | None -> Error Vtypes.ENOENT
+  | Some inode ->
+      (* flush: charge full write cost for each dirty block *)
+      let cost = Ksim.Kernel.cost t.kernel in
+      let blocks = blocks_of_size t inode.size in
+      Ksim.Kernel.charge_io t.kernel
+        (blocks * cost.Ksim.Cost_model.disk_write_block / 20);
+      Ok ()
+
+let ops t =
+  {
+    Vtypes.fs_name = "memfs";
+    root = root_ino;
+    lookup = (fun ~dir name -> lookup t ~dir name);
+    create = (fun ~dir ~name kind -> create_node t ~dir ~name kind);
+    unlink = (fun ~dir ~name -> unlink t ~dir ~name);
+    readdir = (fun ~dir -> readdir t ~dir);
+    getattr = (fun ~ino -> getattr t ~ino);
+    read = (fun ~ino ~off ~len -> read t ~ino ~off ~len);
+    write = (fun ~ino ~off ~data -> write t ~ino ~off ~data);
+    truncate = (fun ~ino ~size -> truncate t ~ino ~size);
+    rename =
+      (fun ~src_dir ~src ~dst_dir ~dst -> rename t ~src_dir ~src ~dst_dir ~dst);
+    fsync = (fun ~ino -> fsync t ~ino);
+    destroy_private = (fun () -> ());
+  }
+
+let inode_count t = Hashtbl.length t.inodes

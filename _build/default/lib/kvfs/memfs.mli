@@ -1,0 +1,34 @@
+(** The base in-memory filesystem (the Ext2/Ext3 stand-in).
+
+    File data lives in growable byte buffers; every data and metadata
+    access charges the block device (inodes pack 32 to a metadata block,
+    as in Ext2).  Directories are hash tables with insertion-order
+    readdir, so 100,000-entry directories behave. *)
+
+type t
+
+val root_ino : int
+val create : Ksim.Kernel.t -> t
+val block_size : t -> int
+val dev : t -> Block_dev.t
+
+(** The operations vector (pass to {!Vfs.create} or stack wrapfs over). *)
+val ops : t -> Vtypes.ops
+
+(** Direct (non-VFS) access, used by journalfs and tests. *)
+
+val lookup : t -> dir:int -> string -> (int, Vtypes.errno) result
+val create_node : t -> dir:int -> name:string -> Vtypes.kind -> (int, Vtypes.errno) result
+val unlink : t -> dir:int -> name:string -> (unit, Vtypes.errno) result
+val readdir : t -> dir:int -> (Vtypes.dirent list, Vtypes.errno) result
+val getattr : t -> ino:int -> (Vtypes.stat, Vtypes.errno) result
+val read : t -> ino:int -> off:int -> len:int -> (Bytes.t, Vtypes.errno) result
+val write : t -> ino:int -> off:int -> data:Bytes.t -> (int, Vtypes.errno) result
+val truncate : t -> ino:int -> size:int -> (unit, Vtypes.errno) result
+
+val rename :
+  t -> src_dir:int -> src:string -> dst_dir:int -> dst:string ->
+  (unit, Vtypes.errno) result
+
+val fsync : t -> ino:int -> (unit, Vtypes.errno) result
+val inode_count : t -> int

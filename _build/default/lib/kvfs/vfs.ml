@@ -1,0 +1,302 @@
+(* The VFS layer: a mount table, path resolution through the dentry
+   cache, and per-process open-file handles.  The syscall layer calls
+   only into this module. *)
+
+type file = {
+  handle : int;
+  ino : int;
+  fs : Vtypes.ops;
+  mutable pos : int;
+  mutable closed : bool;
+}
+
+type mount = { prefix : string; fs : Vtypes.ops }
+
+type t = {
+  kernel : Ksim.Kernel.t;
+  dcache : Dcache.t;
+  mutable mounts : mount list;    (* longest prefix first *)
+  files : (int, file) Hashtbl.t;  (* handle -> open file *)
+  mutable next_handle : int;
+  mutable opens : int;
+  mutable path_components_resolved : int;
+}
+
+let create ?(root_fs : Vtypes.ops option) kernel =
+  let root_fs =
+    match root_fs with
+    | Some fs -> fs
+    | None -> Memfs.ops (Memfs.create kernel)
+  in
+  {
+    kernel;
+    dcache = Dcache.create ();
+    mounts = [ { prefix = "/"; fs = root_fs } ];
+    files = Hashtbl.create 256;
+    next_handle = 1;
+    opens = 0;
+    path_components_resolved = 0;
+  }
+
+let dcache t = t.dcache
+
+let mount t ~prefix ~fs =
+  if prefix = "" || prefix.[0] <> '/' then invalid_arg "Vfs.mount: prefix";
+  t.mounts <- { prefix; fs } :: t.mounts;
+  (* keep longest prefixes first so resolution picks the innermost mount *)
+  t.mounts <-
+    List.sort
+      (fun a b -> compare (String.length b.prefix) (String.length a.prefix))
+      t.mounts;
+  Dcache.clear t.dcache
+
+let umount t ~prefix =
+  match List.find_opt (fun m -> m.prefix = prefix) t.mounts with
+  | None -> Error Vtypes.ENOENT
+  | Some m ->
+      m.fs.Vtypes.destroy_private ();
+      t.mounts <- List.filter (fun m' -> m' != m) t.mounts;
+      Dcache.clear t.dcache;
+      Ok ()
+
+let split_path path =
+  String.split_on_char '/' path |> List.filter (fun c -> c <> "" && c <> ".")
+
+(* Find the mount governing [path] and the path relative to it. *)
+let resolve_mount t path =
+  let matches m =
+    let p = m.prefix in
+    p = "/"
+    || String.length path >= String.length p
+       && String.sub path 0 (String.length p) = p
+       && (String.length path = String.length p
+          || path.[String.length p] = '/')
+  in
+  match List.find_opt matches t.mounts with
+  | None -> Error Vtypes.ENOENT
+  | Some m ->
+      let rel =
+        if m.prefix = "/" then path
+        else String.sub path (String.length m.prefix)
+               (String.length path - String.length m.prefix)
+      in
+      Ok (m.fs, rel)
+
+(* Walk [rel] from the filesystem root, one dcache-guarded component at a
+   time.  Returns the inode of the final component. *)
+let walk t (fs : Vtypes.ops) rel =
+  let rec go dir = function
+    | [] -> Ok dir
+    | name :: rest -> (
+        t.path_components_resolved <- t.path_components_resolved + 1;
+        match Dcache.lookup t.dcache ~dir ~name with
+        | Some ino -> go ino rest
+        | None -> (
+            match fs.Vtypes.lookup ~dir name with
+            | Error e -> Error e
+            | Ok ino ->
+                Dcache.insert t.dcache ~dir ~name ~ino;
+                go ino rest))
+  in
+  go fs.Vtypes.root (split_path rel)
+
+let resolve t path =
+  match resolve_mount t path with
+  | Error e -> Error e
+  | Ok (fs, rel) -> (
+      match walk t fs rel with
+      | Error e -> Error e
+      | Ok ino -> Ok (fs, ino))
+
+(* Resolve the parent directory of [path]; returns (fs, dir ino, name). *)
+let resolve_parent t path =
+  match resolve_mount t path with
+  | Error e -> Error e
+  | Ok (fs, rel) -> (
+      match List.rev (split_path rel) with
+      | [] -> Error Vtypes.EINVAL
+      | name :: rev_parents -> (
+          let parent_components = List.rev rev_parents in
+          let rec go dir = function
+            | [] -> Ok dir
+            | c :: rest -> (
+                match Dcache.lookup t.dcache ~dir ~name:c with
+                | Some ino -> go ino rest
+                | None -> (
+                    match fs.Vtypes.lookup ~dir c with
+                    | Error e -> Error e
+                    | Ok ino ->
+                        Dcache.insert t.dcache ~dir ~name:c ~ino;
+                        go ino rest))
+          in
+          match go fs.Vtypes.root parent_components with
+          | Error e -> Error e
+          | Ok dir -> Ok (fs, dir, name)))
+
+(* --- file-handle operations ------------------------------------------- *)
+
+type open_flag = O_RDONLY | O_WRONLY | O_RDWR | O_CREAT | O_TRUNC | O_APPEND
+
+let open_file t path flags =
+  t.opens <- t.opens + 1;
+  let creating = List.mem O_CREAT flags in
+  let get_ino () =
+    match resolve t path with
+    | Ok (fs, ino) -> Ok (fs, ino)
+    | Error Vtypes.ENOENT when creating -> (
+        match resolve_parent t path with
+        | Error e -> Error e
+        | Ok (fs, dir, name) -> (
+            match fs.Vtypes.create ~dir ~name Vtypes.Regular with
+            | Error e -> Error e
+            | Ok ino ->
+                Dcache.insert t.dcache ~dir ~name ~ino;
+                Ok (fs, ino)))
+    | Error e -> Error e
+  in
+  match get_ino () with
+  | Error e -> Error e
+  | Ok (fs, ino) -> (
+      match fs.Vtypes.getattr ~ino with
+      | Error e -> Error e
+      | Ok st ->
+          if st.Vtypes.st_kind = Vtypes.Directory
+             && List.exists (fun f -> f = O_WRONLY || f = O_RDWR) flags
+          then Error Vtypes.EISDIR
+          else begin
+            if List.mem O_TRUNC flags then
+              ignore (fs.Vtypes.truncate ~ino ~size:0);
+            let handle = t.next_handle in
+            t.next_handle <- t.next_handle + 1;
+            let pos =
+              if List.mem O_APPEND flags then st.Vtypes.st_size else 0
+            in
+            Hashtbl.replace t.files handle
+              { handle; ino; fs; pos; closed = false };
+            Ok handle
+          end)
+
+let file t handle =
+  match Hashtbl.find_opt t.files handle with
+  | Some f when not f.closed -> Ok f
+  | Some _ | None -> Error Vtypes.EBADF
+
+let close t handle =
+  match file t handle with
+  | Error e -> Error e
+  | Ok f ->
+      f.closed <- true;
+      Hashtbl.remove t.files handle;
+      Ok ()
+
+let read t handle len =
+  match file t handle with
+  | Error e -> Error e
+  | Ok f -> (
+      match f.fs.Vtypes.read ~ino:f.ino ~off:f.pos ~len with
+      | Error e -> Error e
+      | Ok data ->
+          f.pos <- f.pos + Bytes.length data;
+          Ok data)
+
+let write t handle data =
+  match file t handle with
+  | Error e -> Error e
+  | Ok f -> (
+      match f.fs.Vtypes.write ~ino:f.ino ~off:f.pos ~data with
+      | Error e -> Error e
+      | Ok n ->
+          f.pos <- f.pos + n;
+          Ok n)
+
+let pread t handle ~off ~len =
+  match file t handle with
+  | Error e -> Error e
+  | Ok f -> f.fs.Vtypes.read ~ino:f.ino ~off ~len
+
+let pwrite t handle ~off ~data =
+  match file t handle with
+  | Error e -> Error e
+  | Ok f -> f.fs.Vtypes.write ~ino:f.ino ~off ~data
+
+type whence = SEEK_SET | SEEK_CUR | SEEK_END
+
+let lseek t handle ~off ~whence =
+  match file t handle with
+  | Error e -> Error e
+  | Ok f -> (
+      let base =
+        match whence with
+        | SEEK_SET -> Ok 0
+        | SEEK_CUR -> Ok f.pos
+        | SEEK_END -> (
+            match f.fs.Vtypes.getattr ~ino:f.ino with
+            | Error e -> Error e
+            | Ok st -> Ok st.Vtypes.st_size)
+      in
+      match base with
+      | Error e -> Error e
+      | Ok b ->
+          let pos = b + off in
+          if pos < 0 then Error Vtypes.EINVAL
+          else begin
+            f.pos <- pos;
+            Ok pos
+          end)
+
+let fstat t handle =
+  match file t handle with
+  | Error e -> Error e
+  | Ok f -> f.fs.Vtypes.getattr ~ino:f.ino
+
+let stat t path =
+  match resolve t path with
+  | Error e -> Error e
+  | Ok (fs, ino) -> fs.Vtypes.getattr ~ino
+
+let readdir t path =
+  match resolve t path with
+  | Error e -> Error e
+  | Ok (fs, ino) -> fs.Vtypes.readdir ~dir:ino
+
+let mkdir t path =
+  match resolve_parent t path with
+  | Error e -> Error e
+  | Ok (fs, dir, name) -> (
+      match fs.Vtypes.create ~dir ~name Vtypes.Directory with
+      | Error e -> Error e
+      | Ok ino ->
+          Dcache.insert t.dcache ~dir ~name ~ino;
+          Ok ino)
+
+let unlink t path =
+  match resolve_parent t path with
+  | Error e -> Error e
+  | Ok (fs, dir, name) -> (
+      match fs.Vtypes.unlink ~dir ~name with
+      | Error e -> Error e
+      | Ok () ->
+          Dcache.invalidate t.dcache ~dir ~name;
+          Ok ())
+
+let rename t ~src ~dst =
+  match (resolve_parent t src, resolve_parent t dst) with
+  | Error e, _ | _, Error e -> Error e
+  | Ok (fs1, sdir, sname), Ok (fs2, ddir, dname) ->
+      if fs1 != fs2 then Error Vtypes.EINVAL
+      else begin
+        match fs1.Vtypes.rename ~src_dir:sdir ~src:sname ~dst_dir:ddir ~dst:dname with
+        | Error e -> Error e
+        | Ok () ->
+            Dcache.invalidate t.dcache ~dir:sdir ~name:sname;
+            Dcache.invalidate t.dcache ~dir:ddir ~name:dname;
+            Ok ()
+      end
+
+let fsync t handle =
+  match file t handle with
+  | Error e -> Error e
+  | Ok f -> f.fs.Vtypes.fsync ~ino:f.ino
+
+let open_file_count t = Hashtbl.length t.files
+let path_components_resolved t = t.path_components_resolved

@@ -1,0 +1,1 @@
+lib/minic/interp.ml: Ast Buffer Bytes Char Fmt Hashtbl Ksim List Parser Printf String Typecheck

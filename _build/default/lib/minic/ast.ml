@@ -1,0 +1,141 @@
+(* Abstract syntax for mini-C, the C subset that Cosy-GCC marks up and
+   KGCC instruments.  Every node carries a source location so faults and
+   bounds violations report file:line like the paper's tools do. *)
+
+type loc = { file : string; line : int }
+
+let no_loc = { file = "<builtin>"; line = 0 }
+let pp_loc ppf l = Fmt.pf ppf "%s:%d" l.file l.line
+
+type ty =
+  | Tvoid
+  | Tint
+  | Tchar
+  | Tptr of ty
+  | Tarray of ty * int
+
+let rec pp_ty ppf = function
+  | Tvoid -> Fmt.string ppf "void"
+  | Tint -> Fmt.string ppf "int"
+  | Tchar -> Fmt.string ppf "char"
+  | Tptr t -> Fmt.pf ppf "%a*" pp_ty t
+  | Tarray (t, n) -> Fmt.pf ppf "%a[%d]" pp_ty t n
+
+let rec sizeof = function
+  | Tvoid -> 1
+  | Tint -> 8
+  | Tchar -> 1
+  | Tptr _ -> 8
+  | Tarray (t, n) -> n * sizeof t
+
+let rec ty_equal a b =
+  match (a, b) with
+  | Tvoid, Tvoid | Tint, Tint | Tchar, Tchar -> true
+  | Tptr a, Tptr b -> ty_equal a b
+  | Tarray (a, n), Tarray (b, m) -> n = m && ty_equal a b
+  | (Tvoid | Tint | Tchar | Tptr _ | Tarray _), _ -> false
+
+type unop = Neg | Lognot | Bitnot
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Logand | Logor
+  | Bitand | Bitor | Bitxor | Shl | Shr
+
+let pp_binop ppf op =
+  Fmt.string ppf
+    (match op with
+    | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+    | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+    | Logand -> "&&" | Logor -> "||"
+    | Bitand -> "&" | Bitor -> "|" | Bitxor -> "^" | Shl -> "<<" | Shr -> ">>")
+
+type expr = {
+  e : expr_node;
+  eloc : loc;
+  mutable ety : ty option;      (* filled by the typechecker *)
+}
+
+and expr_node =
+  | Int_lit of int
+  | Char_lit of char
+  | Str_lit of string
+  | Var of string
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Assign of expr * expr        (* lhs must be an lvalue *)
+  | Deref of expr
+  | Addr_of of expr
+  | Index of expr * expr         (* a[i] *)
+  | Call of string * expr list
+  | Cast of ty * expr
+  | Sizeof_ty of ty
+  | Cond of expr * expr * expr   (* ?: *)
+
+type stmt = { s : stmt_node; sloc : loc }
+
+and stmt_node =
+  | Sexpr of expr
+  | Sdecl of ty * string * expr option
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sfor of expr * stmt list * stmt list
+      (* cond, body, step: step runs after the body, also on continue *)
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sblock of stmt list
+  | Scosy_start                  (* COSY_START; marker *)
+  | Scosy_end                    (* COSY_END; marker *)
+
+type func = {
+  fname : string;
+  ret : ty;
+  params : (ty * string) list;
+  body : stmt list;
+  floc : loc;
+}
+
+type program = {
+  globals : (ty * string * expr option) list;
+  funcs : func list;
+}
+
+let mk_expr ?(loc = no_loc) e = { e; eloc = loc; ety = None }
+let mk_stmt ?(loc = no_loc) s = { s; sloc = loc }
+
+let find_func program name =
+  List.find_opt (fun f -> f.fname = name) program.funcs
+
+(* Structural fold counting expression nodes; used to size programs and
+   by the E8 check-count report. *)
+let rec expr_size e =
+  1
+  +
+  match e.e with
+  | Int_lit _ | Char_lit _ | Str_lit _ | Var _ | Sizeof_ty _ -> 0
+  | Unop (_, a) | Deref a | Addr_of a | Cast (_, a) -> expr_size a
+  | Binop (_, a, b) | Assign (a, b) | Index (a, b) ->
+      expr_size a + expr_size b
+  | Cond (a, b, c) -> expr_size a + expr_size b + expr_size c
+  | Call (_, args) -> List.fold_left (fun n a -> n + expr_size a) 0 args
+
+let rec stmt_size s =
+  1
+  +
+  match s.s with
+  | Sexpr e -> expr_size e
+  | Sdecl (_, _, Some e) -> expr_size e
+  | Sdecl (_, _, None) | Sbreak | Scontinue | Scosy_start | Scosy_end -> 0
+  | Sif (c, a, b) -> expr_size c + stmts_size a + stmts_size b
+  | Swhile (c, b) -> expr_size c + stmts_size b
+  | Sfor (c, b, st) -> expr_size c + stmts_size b + stmts_size st
+  | Sreturn (Some e) -> expr_size e
+  | Sreturn None -> 0
+  | Sblock b -> stmts_size b
+
+and stmts_size l = List.fold_left (fun n s -> n + stmt_size s) 0 l
+
+let program_size p =
+  List.fold_left (fun n f -> n + stmts_size f.body) 0 p.funcs

@@ -1,0 +1,549 @@
+(* Mini-C interpreter over simulated memory.
+
+   All addressable data (globals, arrays, address-taken locals, the heap,
+   string literals) lives in a region of a [Ksim.Address_space.t], so a
+   stray pointer produces a real simulated-hardware fault, KGCC's object
+   map can track genuine addresses, and Kefence guardian pages work
+   unmodified.  Scalar locals whose address is never taken live in
+   registers (OCaml refs) — the same distinction KGCC's stack-object
+   heuristic exploits.
+
+   Every evaluated node charges [cpu_op] virtual cycles, so instrumented
+   code (which executes more nodes) is slower in simulated time exactly
+   as it would be on hardware. *)
+
+exception Runtime_error of string * Ast.loc
+exception Step_limit
+
+let rt_err loc fmt = Fmt.kstr (fun m -> raise (Runtime_error (m, loc))) fmt
+
+type obj_kind = Stack | Heap | Global | Literal
+
+let pp_obj_kind ppf k =
+  Fmt.string ppf
+    (match k with
+    | Stack -> "stack"
+    | Heap -> "heap"
+    | Global -> "global"
+    | Literal -> "literal")
+
+type obj_event =
+  | Obj_alloc of { base : int; size : int; kind : obj_kind; name : string }
+  | Obj_free of { base : int; kind : obj_kind }
+
+type cell = Reg of int ref | Mem of int  (* address *)
+
+type extern_fn = t -> int list -> int
+
+and t = {
+  space : Ksim.Address_space.t;
+  clock : Ksim.Sim_clock.t;
+  cost : Ksim.Cost_model.t;
+  base : int;
+  limit : int;
+  mutable brk : int;                    (* heap grows up from base *)
+  mutable sp : int;                     (* stack grows down from limit *)
+  literals : (string, int) Hashtbl.t;
+  externs : (string, extern_fn) Hashtbl.t;
+  mutable program : Ast.program;
+  mutable info : Typecheck.info;
+  globals : (string, cell * Ast.ty) Hashtbl.t;
+  heap_live : (int, int) Hashtbl.t;     (* addr -> size *)
+  mutable on_obj : obj_event -> unit;
+  mutable on_backedge : unit -> unit;
+  output : Buffer.t;
+  mutable steps : int;
+  mutable max_steps : int;
+  mutable depth : int;
+}
+
+type frame = {
+  fname : string;
+  mutable scopes : (string, cell * Ast.ty) Hashtbl.t list;
+}
+
+exception Return_exc of int
+exception Break_exc
+exception Continue_exc
+
+let empty_program = { Ast.globals = []; funcs = [] }
+
+let create ~space ~clock ~cost ~base_vpn ~pages =
+  let page_size = Ksim.Address_space.page_size space in
+  Ksim.Address_space.map_fresh space ~vpn:base_vpn ~npages:pages ~writable:true;
+  let base = base_vpn * page_size in
+  let limit = base + (pages * page_size) in
+  {
+    space;
+    clock;
+    cost;
+    base;
+    limit;
+    brk = base;
+    sp = limit;
+    literals = Hashtbl.create 32;
+    externs = Hashtbl.create 32;
+    program = empty_program;
+    info = Typecheck.check empty_program;
+    globals = Hashtbl.create 32;
+    heap_live = Hashtbl.create 64;
+    on_obj = (fun _ -> ());
+    on_backedge = (fun () -> ());
+    output = Buffer.create 256;
+    steps = 0;
+    max_steps = max_int;
+    depth = 0;
+  }
+
+let space t = t.space
+let output t = Buffer.contents t.output
+let clear_output t = Buffer.clear t.output
+let steps t = t.steps
+let set_max_steps t n = t.max_steps <- n
+let set_on_obj t f = t.on_obj <- f
+let set_on_backedge t f = t.on_backedge <- f
+
+let register_extern t name f = Hashtbl.replace t.externs name f
+let has_extern t name = Hashtbl.mem t.externs name
+
+let charge t =
+  t.steps <- t.steps + 1;
+  if t.steps > t.max_steps then raise Step_limit;
+  Ksim.Sim_clock.advance t.clock t.cost.Ksim.Cost_model.cpu_op
+
+let align8 n = (n + 7) land lnot 7
+
+exception Out_of_interp_memory
+
+let alloc_heap t size =
+  let size = align8 (max 1 size) in
+  if t.brk + size > t.sp then raise Out_of_interp_memory;
+  let addr = t.brk in
+  t.brk <- t.brk + size;
+  addr
+
+let alloc_stack t size =
+  let size = align8 (max 1 size) in
+  if t.sp - size < t.brk then raise Out_of_interp_memory;
+  t.sp <- t.sp - size;
+  t.sp
+
+(* Allocate a named long-lived buffer on the interpreter heap, visible to
+   object-map observers (KGCC) like any malloc'd object.  Host-side
+   embedders (e.g. the journalfs module) use this for their work buffers. *)
+let alloc_buffer t ~name size =
+  let addr = alloc_heap t size in
+  Hashtbl.replace t.heap_live addr size;
+  t.on_obj (Obj_alloc { base = addr; size; kind = Heap; name });
+  addr
+
+(* --- memory accessors (all through the simulated MMU) ----------------- *)
+
+let loc_pc (loc : Ast.loc) = Printf.sprintf "%s:%d" loc.Ast.file loc.Ast.line
+
+let load t ~loc ~addr ~ty =
+  let pc = loc_pc loc in
+  match ty with
+  | Ast.Tchar -> Ksim.Address_space.read_u8 ~pc t.space ~addr
+  | Ast.Tarray _ -> addr (* arrays decay to their base address *)
+  | Ast.Tvoid | Ast.Tint | Ast.Tptr _ ->
+      Ksim.Address_space.read_int ~pc t.space ~addr
+
+let store t ~loc ~addr ~ty v =
+  let pc = loc_pc loc in
+  match ty with
+  | Ast.Tchar -> Ksim.Address_space.write_u8 ~pc t.space ~addr v
+  | Ast.Tvoid | Ast.Tint | Ast.Tptr _ | Ast.Tarray _ ->
+      Ksim.Address_space.write_int ~pc t.space ~addr v
+
+let read_c_string t ~loc ~addr =
+  let buf = Buffer.create 16 in
+  let rec go a =
+    let c = Ksim.Address_space.read_u8 ~pc:(loc_pc loc) t.space ~addr:a in
+    if c <> 0 then begin
+      Buffer.add_char buf (Char.chr c);
+      go (a + 1)
+    end
+  in
+  go addr;
+  Buffer.contents buf
+
+let write_c_string t ~loc ~addr s =
+  Ksim.Address_space.write_string ~pc:(loc_pc loc) t.space ~addr (s ^ "\000")
+
+let intern_literal t s =
+  match Hashtbl.find_opt t.literals s with
+  | Some addr -> addr
+  | None ->
+      let addr = alloc_heap t (String.length s + 1) in
+      write_c_string t ~loc:Ast.no_loc ~addr s;
+      Hashtbl.replace t.literals s addr;
+      t.on_obj
+        (Obj_alloc
+           { base = addr; size = String.length s + 1; kind = Literal; name = "<literal>" });
+      addr
+
+(* --- program loading --------------------------------------------------- *)
+
+let elem_ty loc = function
+  | Ast.Tptr ty | Ast.Tarray (ty, _) -> ty
+  | ty -> rt_err loc "expected pointer type, got %a" Ast.pp_ty ty
+
+let ety (e : Ast.expr) =
+  match e.Ast.ety with Some ty -> ty | None -> Ast.Tint
+
+let load_program t (p : Ast.program) =
+  let info = Typecheck.check p in
+  t.program <- p;
+  t.info <- info;
+  Hashtbl.reset t.globals;
+  List.iter
+    (fun (ty, name, _init) ->
+      let size = Ast.sizeof ty in
+      let addr = alloc_heap t size in
+      t.on_obj (Obj_alloc { base = addr; size; kind = Global; name });
+      Hashtbl.replace t.globals name (Mem addr, ty))
+    p.Ast.globals;
+  p
+
+let parse_and_load t ?(file = "<string>") src =
+  load_program t (Parser.parse_program ~file src)
+
+(* --- scopes ------------------------------------------------------------ *)
+
+let lookup t frame name =
+  let rec go = function
+    | [] -> Hashtbl.find_opt t.globals name
+    | scope :: rest -> (
+        match Hashtbl.find_opt scope name with
+        | Some c -> Some c
+        | None -> go rest)
+  in
+  go frame.scopes
+
+(* --- evaluation --------------------------------------------------------- *)
+
+type lval = Lreg of int ref * Ast.ty | Lmem of int * Ast.ty
+
+let truthy v = v <> 0
+let of_bool b = if b then 1 else 0
+
+let rec eval t frame (e : Ast.expr) : int =
+  charge t;
+  let loc = e.Ast.eloc in
+  match e.Ast.e with
+  | Ast.Int_lit n -> n
+  | Ast.Char_lit c -> Char.code c
+  | Ast.Str_lit s -> intern_literal t s
+  | Ast.Sizeof_ty ty -> Ast.sizeof ty
+  | Ast.Var name -> (
+      match lookup t frame name with
+      | Some (Reg r, _) -> !r
+      | Some (Mem addr, ty) -> load t ~loc ~addr ~ty
+      | None -> rt_err loc "unbound variable %s" name)
+  | Ast.Unop (op, a) -> (
+      let v = eval t frame a in
+      match op with
+      | Ast.Neg -> -v
+      | Ast.Lognot -> of_bool (v = 0)
+      | Ast.Bitnot -> lnot v)
+  | Ast.Deref a ->
+      let addr = eval t frame a in
+      load t ~loc ~addr ~ty:(elem_ty loc (ety a))
+  | Ast.Addr_of a -> (
+      match eval_lval t frame a with
+      | Lmem (addr, _) -> addr
+      | Lreg _ -> rt_err loc "address of register variable")
+  | Ast.Index (a, i) ->
+      let base = eval t frame a in
+      let idx = eval t frame i in
+      let ty = elem_ty loc (ety a) in
+      load t ~loc ~addr:(base + (idx * Ast.sizeof ty)) ~ty
+  | Ast.Binop (op, a, b) -> eval_binop t frame loc op a b
+  | Ast.Assign (lhs, rhs) -> (
+      let v = eval t frame rhs in
+      match eval_lval t frame lhs with
+      | Lreg (r, ty) ->
+          let v = if ty = Ast.Tchar then v land 0xff else v in
+          r := v;
+          v
+      | Lmem (addr, ty) ->
+          store t ~loc ~addr ~ty v;
+          v)
+  | Ast.Call (name, args) -> eval_call t frame loc name args
+  | Ast.Cast (ty, a) ->
+      let v = eval t frame a in
+      if ty = Ast.Tchar then v land 0xff else v
+  | Ast.Cond (c, a, b) ->
+      if truthy (eval t frame c) then eval t frame a else eval t frame b
+
+and eval_binop t frame loc op a b =
+  match op with
+  | Ast.Logand ->
+      if truthy (eval t frame a) then of_bool (truthy (eval t frame b)) else 0
+  | Ast.Logor ->
+      if truthy (eval t frame a) then 1 else of_bool (truthy (eval t frame b))
+  | _ -> (
+      let va = eval t frame a in
+      let vb = eval t frame b in
+      let ta = ety a and tb = ety b in
+      let scale_of ty = Ast.sizeof (elem_ty loc ty) in
+      match op with
+      | Ast.Add -> (
+          match (ta, tb) with
+          | (Ast.Tptr _ | Ast.Tarray _), _ -> va + (vb * scale_of ta)
+          | _, (Ast.Tptr _ | Ast.Tarray _) -> (va * scale_of tb) + vb
+          | _ -> va + vb)
+      | Ast.Sub -> (
+          match (ta, tb) with
+          | (Ast.Tptr _ | Ast.Tarray _), (Ast.Tptr _ | Ast.Tarray _) ->
+              (va - vb) / scale_of ta
+          | (Ast.Tptr _ | Ast.Tarray _), _ -> va - (vb * scale_of ta)
+          | _ -> va - vb)
+      | Ast.Mul -> va * vb
+      | Ast.Div ->
+          if vb = 0 then rt_err loc "division by zero";
+          va / vb
+      | Ast.Mod ->
+          if vb = 0 then rt_err loc "modulo by zero";
+          va mod vb
+      | Ast.Eq -> of_bool (va = vb)
+      | Ast.Ne -> of_bool (va <> vb)
+      | Ast.Lt -> of_bool (va < vb)
+      | Ast.Le -> of_bool (va <= vb)
+      | Ast.Gt -> of_bool (va > vb)
+      | Ast.Ge -> of_bool (va >= vb)
+      | Ast.Bitand -> va land vb
+      | Ast.Bitor -> va lor vb
+      | Ast.Bitxor -> va lxor vb
+      | Ast.Shl -> va lsl vb
+      | Ast.Shr -> va asr vb
+      | Ast.Logand | Ast.Logor -> assert false)
+
+and eval_lval t frame (e : Ast.expr) : lval =
+  let loc = e.Ast.eloc in
+  match e.Ast.e with
+  | Ast.Var name -> (
+      match lookup t frame name with
+      | Some (Reg r, ty) -> Lreg (r, ty)
+      | Some (Mem addr, ty) -> Lmem (addr, ty)
+      | None -> rt_err loc "unbound variable %s" name)
+  | Ast.Deref a ->
+      let addr = eval t frame a in
+      Lmem (addr, elem_ty loc (ety a))
+  | Ast.Index (a, i) ->
+      let base = eval t frame a in
+      let idx = eval t frame i in
+      let ty = elem_ty loc (ety a) in
+      Lmem (base + (idx * Ast.sizeof ty), ty)
+  | Ast.Cast (ty, inner) -> (
+      match eval_lval t frame inner with
+      | Lreg (r, _) -> Lreg (r, ty)
+      | Lmem (addr, _) -> Lmem (addr, ty))
+  | _ -> rt_err loc "not an lvalue"
+
+(* --- builtins ----------------------------------------------------------- *)
+
+and builtin t _frame loc name args =
+  let charge_bytes n =
+    Ksim.Sim_clock.advance t.clock (n * t.cost.Ksim.Cost_model.cpu_op / 4)
+  in
+  match (name, args) with
+  | "malloc", [ size ] ->
+      let addr = alloc_heap t size in
+      Hashtbl.replace t.heap_live addr size;
+      t.on_obj (Obj_alloc { base = addr; size; kind = Heap; name = "<malloc>" });
+      Some addr
+  | "free", [ addr ] ->
+      if not (Hashtbl.mem t.heap_live addr) then
+        rt_err loc "free of non-heap address 0x%x" addr;
+      Hashtbl.remove t.heap_live addr;
+      t.on_obj (Obj_free { base = addr; kind = Heap });
+      Some 0
+  | "strlen", [ addr ] ->
+      let s = read_c_string t ~loc ~addr in
+      charge_bytes (String.length s);
+      Some (String.length s)
+  | "strcpy", [ dst; src ] ->
+      let s = read_c_string t ~loc ~addr:src in
+      charge_bytes (String.length s);
+      write_c_string t ~loc ~addr:dst s;
+      Some dst
+  | "strcmp", [ a; b ] ->
+      let sa = read_c_string t ~loc ~addr:a in
+      let sb = read_c_string t ~loc ~addr:b in
+      charge_bytes (min (String.length sa) (String.length sb));
+      Some (compare sa sb)
+  | "memcpy", [ dst; src; n ] ->
+      if n > 0 then begin
+        let data =
+          Ksim.Address_space.read_bytes ~pc:(loc_pc loc) t.space ~addr:src
+            ~len:n
+        in
+        Ksim.Address_space.write_bytes ~pc:(loc_pc loc) t.space ~addr:dst data;
+        charge_bytes n
+      end;
+      Some dst
+  | "memset", [ dst; c; n ] ->
+      if n > 0 then begin
+        Ksim.Address_space.write_bytes ~pc:(loc_pc loc) t.space ~addr:dst
+          (Bytes.make n (Char.chr (c land 0xff)));
+        charge_bytes n
+      end;
+      Some dst
+  | "putchar", [ c ] ->
+      Buffer.add_char t.output (Char.chr (c land 0xff));
+      Some c
+  | "print_int", [ v ] ->
+      Buffer.add_string t.output (string_of_int v);
+      Some 0
+  | "print_str", [ addr ] ->
+      Buffer.add_string t.output (read_c_string t ~loc ~addr);
+      Some 0
+  | ( ( "malloc" | "free" | "strlen" | "strcpy" | "strcmp" | "memcpy"
+      | "memset" | "putchar" | "print_int" | "print_str" ),
+      _ ) ->
+      rt_err loc "bad arity for builtin %s" name
+  | _ -> None
+
+and eval_call t frame loc name args =
+  let vals = List.map (eval t frame) args in
+  match Ast.find_func t.program name with
+  | Some f -> call_func t f vals
+  | None -> (
+      (* builtins may be overridden by registered externs *)
+      match Hashtbl.find_opt t.externs name with
+      | Some f -> f t vals
+      | None -> (
+          match builtin t frame loc name vals with
+          | Some v -> v
+          | None -> rt_err loc "unknown function %s" name))
+
+(* --- statements --------------------------------------------------------- *)
+
+and exec_block t frame stmts =
+  let scope = Hashtbl.create 8 in
+  frame.scopes <- scope :: frame.scopes;
+  let stack_objs = ref [] in
+  let cleanup () =
+    frame.scopes <- List.tl frame.scopes;
+    List.iter
+      (fun (addr, size) ->
+        t.on_obj (Obj_free { base = addr; kind = Stack });
+        (* stack frees are LIFO: restore sp *)
+        if addr = t.sp then t.sp <- t.sp + align8 size)
+      !stack_objs
+  in
+  (try List.iter (exec_stmt t frame scope stack_objs) stmts
+   with e ->
+     cleanup ();
+     raise e);
+  cleanup ()
+
+and exec_stmt t frame scope stack_objs (s : Ast.stmt) =
+  charge t;
+  match s.Ast.s with
+  | Ast.Sexpr e -> ignore (eval t frame e)
+  | Ast.Sdecl (ty, name, init) ->
+      let addressable =
+        Typecheck.is_addressable t.info ~fname:frame.fname ~var:name
+        || (match ty with Ast.Tarray _ -> true | _ -> false)
+      in
+      let cell =
+        if addressable then begin
+          let size = Ast.sizeof ty in
+          let addr = alloc_stack t size in
+          stack_objs := (addr, size) :: !stack_objs;
+          t.on_obj (Obj_alloc { base = addr; size; kind = Stack; name });
+          Mem addr
+        end
+        else Reg (ref 0)
+      in
+      Hashtbl.replace scope name (cell, ty);
+      (match init with
+      | Some e -> (
+          let v = eval t frame e in
+          match cell with
+          | Reg r -> r := v
+          | Mem addr -> store t ~loc:s.Ast.sloc ~addr ~ty v)
+      | None -> ())
+  | Ast.Sif (c, a, b) ->
+      if truthy (eval t frame c) then exec_block t frame a
+      else exec_block t frame b
+  | Ast.Swhile (c, body) -> (
+      try
+        while truthy (eval t frame c) do
+          (try exec_block t frame body with Continue_exc -> ());
+          t.on_backedge ()
+        done
+      with Break_exc -> ())
+  | Ast.Sfor (c, body, step) -> (
+      try
+        while truthy (eval t frame c) do
+          (try exec_block t frame body with Continue_exc -> ());
+          exec_block t frame step;
+          t.on_backedge ()
+        done
+      with Break_exc -> ())
+  | Ast.Sreturn (Some e) -> raise (Return_exc (eval t frame e))
+  | Ast.Sreturn None -> raise (Return_exc 0)
+  | Ast.Sbreak -> raise Break_exc
+  | Ast.Scontinue -> raise Continue_exc
+  | Ast.Sblock body -> exec_block t frame body
+  | Ast.Scosy_start | Ast.Scosy_end -> ()
+
+and call_func t (f : Ast.func) (vals : int list) : int =
+  if t.depth > 2_000 then
+    rt_err f.Ast.floc "call depth limit exceeded in %s" f.Ast.fname;
+  if List.length vals <> List.length f.Ast.params then
+    rt_err f.Ast.floc "%s: arity mismatch" f.Ast.fname;
+  t.depth <- t.depth + 1;
+  let scope = Hashtbl.create 8 in
+  let frame = { fname = f.Ast.fname; scopes = [ scope ] } in
+  let param_objs = ref [] in
+  List.iter2
+    (fun (ty, name) v ->
+      let addressable =
+        Typecheck.is_addressable t.info ~fname:f.Ast.fname ~var:name
+      in
+      let cell =
+        if addressable then begin
+          let size = Ast.sizeof ty in
+          let addr = alloc_stack t size in
+          param_objs := (addr, size) :: !param_objs;
+          t.on_obj (Obj_alloc { base = addr; size; kind = Stack; name });
+          store t ~loc:f.Ast.floc ~addr ~ty v;
+          Mem addr
+        end
+        else Reg (ref v)
+      in
+      Hashtbl.replace scope name (cell, ty))
+    f.Ast.params vals;
+  let cleanup () =
+    t.depth <- t.depth - 1;
+    List.iter
+      (fun (addr, size) ->
+        t.on_obj (Obj_free { base = addr; kind = Stack });
+        if addr = t.sp then t.sp <- t.sp + align8 size)
+      !param_objs
+  in
+  let result =
+    try
+      exec_block t frame f.Ast.body;
+      0
+    with
+    | Return_exc v -> v
+    | e ->
+        cleanup ();
+        raise e
+  in
+  cleanup ();
+  result
+
+(* Run a named function of the loaded program. *)
+let run t ?(args = []) name =
+  match Ast.find_func t.program name with
+  | Some f -> call_func t f args
+  | None -> rt_err Ast.no_loc "no such function %s" name
+
+let heap_live_count t = Hashtbl.length t.heap_live

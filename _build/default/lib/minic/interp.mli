@@ -1,0 +1,95 @@
+(** Mini-C interpreter over simulated memory.
+
+    All addressable data (globals, arrays, address-taken locals, the
+    heap, string literals) lives in a region of a
+    {!Ksim.Address_space.t}, so a stray pointer produces a real
+    simulated-hardware fault, KGCC's object map tracks genuine addresses,
+    and Kefence guardian pages work unmodified.  Scalar locals whose
+    address is never taken live in registers — the same distinction
+    KGCC's stack-object heuristic exploits.
+
+    Every evaluated node charges [cpu_op] virtual cycles, so instrumented
+    code (more nodes) is slower in simulated time exactly as on
+    hardware. *)
+
+exception Runtime_error of string * Ast.loc
+
+(** The configurable step budget was exhausted (runaway loop). *)
+exception Step_limit
+
+exception Out_of_interp_memory
+
+type obj_kind = Stack | Heap | Global | Literal
+
+val pp_obj_kind : Format.formatter -> obj_kind -> unit
+
+(** Allocation lifecycle events, consumed by KGCC's object map. *)
+type obj_event =
+  | Obj_alloc of { base : int; size : int; kind : obj_kind; name : string }
+  | Obj_free of { base : int; kind : obj_kind }
+
+type t
+
+(** External functions callable from mini-C (e.g. the [__kgcc_*] checks,
+    or syscall bridges).  Arguments and result are machine words. *)
+type extern_fn = t -> int list -> int
+
+(** [create ~space ~clock ~cost ~base_vpn ~pages] maps a fresh region of
+    [pages] pages at [base_vpn] in [space] and lays out literals/heap
+    (growing up) and stack (growing down) inside it. *)
+val create :
+  space:Ksim.Address_space.t ->
+  clock:Ksim.Sim_clock.t ->
+  cost:Ksim.Cost_model.t ->
+  base_vpn:int ->
+  pages:int ->
+  t
+
+val space : t -> Ksim.Address_space.t
+
+(** Accumulated output of [print_int]/[print_str]/[putchar]. *)
+val output : t -> string
+
+val clear_output : t -> unit
+
+(** Evaluation steps executed so far. *)
+val steps : t -> int
+
+(** Bound the number of steps; exceeding raises {!Step_limit}. *)
+val set_max_steps : t -> int -> unit
+
+(** Observe allocations/frees (KGCC attaches here). *)
+val set_on_obj : t -> (obj_event -> unit) -> unit
+
+(** Called on every loop back-edge (watchdogs attach here). *)
+val set_on_backedge : t -> (unit -> unit) -> unit
+
+val register_extern : t -> string -> extern_fn -> unit
+val has_extern : t -> string -> bool
+
+(** Typecheck and load a program; allocates and registers its globals.
+    Returns the program unchanged. *)
+val load_program : t -> Ast.program -> Ast.program
+
+(** Parse then load.  @raise Parser.Parse_error, Typecheck.Type_error. *)
+val parse_and_load : t -> ?file:string -> string -> Ast.program
+
+(** Allocate a named long-lived buffer on the interpreter heap, visible
+    to object-map observers like any malloc'd object (host-side
+    embedders use this for work buffers). *)
+val alloc_buffer : t -> name:string -> int -> int
+
+(** Raw heap allocation without an object event (internal embedders). *)
+val alloc_heap : t -> int -> int
+
+(** Read/write NUL-terminated strings in interpreter memory. *)
+val read_c_string : t -> loc:Ast.loc -> addr:int -> string
+
+val write_c_string : t -> loc:Ast.loc -> addr:int -> string -> unit
+
+(** Run a loaded function.  @raise Runtime_error for dynamic errors,
+    {!Step_limit}, {!Ksim.Fault.Fault} for wild memory access, and
+    whatever registered externs raise. *)
+val run : t -> ?args:int list -> string -> int
+
+val heap_live_count : t -> int

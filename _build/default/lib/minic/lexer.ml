@@ -1,0 +1,189 @@
+(* Hand-written lexer producing (token, line) pairs. *)
+
+exception Lex_error of string * int   (* message, line *)
+
+type t = {
+  src : string;
+  file : string;
+  mutable pos : int;
+  mutable line : int;
+}
+
+let create ?(file = "<string>") src = { src; file; pos = 0; line = 1 }
+
+let peek_char t = if t.pos < String.length t.src then Some t.src.[t.pos] else None
+
+let peek2_char t =
+  if t.pos + 1 < String.length t.src then Some t.src.[t.pos + 1] else None
+
+let advance t =
+  (match peek_char t with Some '\n' -> t.line <- t.line + 1 | _ -> ());
+  t.pos <- t.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+let rec skip_ws_and_comments t =
+  match peek_char t with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance t;
+      skip_ws_and_comments t
+  | Some '/' when peek2_char t = Some '/' ->
+      while peek_char t <> None && peek_char t <> Some '\n' do
+        advance t
+      done;
+      skip_ws_and_comments t
+  | Some '/' when peek2_char t = Some '*' ->
+      advance t;
+      advance t;
+      let rec close () =
+        match (peek_char t, peek2_char t) with
+        | Some '*', Some '/' ->
+            advance t;
+            advance t
+        | Some _, _ ->
+            advance t;
+            close ()
+        | None, _ -> raise (Lex_error ("unterminated comment", t.line))
+      in
+      close ();
+      skip_ws_and_comments t
+  | Some _ | None -> ()
+
+let lex_number t =
+  let start = t.pos in
+  while (match peek_char t with Some c -> is_digit c | None -> false) do
+    advance t
+  done;
+  int_of_string (String.sub t.src start (t.pos - start))
+
+let lex_ident t =
+  let start = t.pos in
+  while (match peek_char t with Some c -> is_alnum c | None -> false) do
+    advance t
+  done;
+  String.sub t.src start (t.pos - start)
+
+let escape t = function
+  | 'n' -> '\n'
+  | 't' -> '\t'
+  | 'r' -> '\r'
+  | '0' -> '\000'
+  | '\\' -> '\\'
+  | '\'' -> '\''
+  | '"' -> '"'
+  | c -> raise (Lex_error (Printf.sprintf "bad escape \\%c" c, t.line))
+
+let lex_string t =
+  advance t;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek_char t with
+    | None -> raise (Lex_error ("unterminated string", t.line))
+    | Some '"' -> advance t
+    | Some '\\' ->
+        advance t;
+        (match peek_char t with
+        | None -> raise (Lex_error ("unterminated string", t.line))
+        | Some c ->
+            Buffer.add_char buf (escape t c);
+            advance t);
+        go ()
+    | Some c ->
+        Buffer.add_char buf c;
+        advance t;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let lex_char t =
+  advance t;
+  let c =
+    match peek_char t with
+    | None -> raise (Lex_error ("unterminated char literal", t.line))
+    | Some '\\' ->
+        advance t;
+        (match peek_char t with
+        | None -> raise (Lex_error ("unterminated char literal", t.line))
+        | Some e ->
+            advance t;
+            escape t e)
+    | Some c ->
+        advance t;
+        c
+  in
+  (match peek_char t with
+  | Some '\'' -> advance t
+  | _ -> raise (Lex_error ("unterminated char literal", t.line)));
+  c
+
+let next t : Token.t * int =
+  skip_ws_and_comments t;
+  let line = t.line in
+  let two tok =
+    advance t;
+    advance t;
+    (tok, line)
+  in
+  let one tok =
+    advance t;
+    (tok, line)
+  in
+  match peek_char t with
+  | None -> (Token.EOF, line)
+  | Some c when is_digit c -> (Token.INT (lex_number t), line)
+  | Some c when is_alpha c -> (
+      let id = lex_ident t in
+      match Token.keyword_of_ident id with
+      | Some kw -> (kw, line)
+      | None -> (Token.IDENT id, line))
+  | Some '"' -> (Token.STRING (lex_string t), line)
+  | Some '\'' -> (Token.CHAR (lex_char t), line)
+  | Some '=' when peek2_char t = Some '=' -> two Token.EQ
+  | Some '=' -> one Token.ASSIGN
+  | Some '!' when peek2_char t = Some '=' -> two Token.NE
+  | Some '!' -> one Token.BANG
+  | Some '<' when peek2_char t = Some '=' -> two Token.LE
+  | Some '<' when peek2_char t = Some '<' -> two Token.SHL
+  | Some '<' -> one Token.LT
+  | Some '>' when peek2_char t = Some '=' -> two Token.GE
+  | Some '>' when peek2_char t = Some '>' -> two Token.SHR
+  | Some '>' -> one Token.GT
+  | Some '&' when peek2_char t = Some '&' -> two Token.AMPAMP
+  | Some '&' -> one Token.AMP
+  | Some '|' when peek2_char t = Some '|' -> two Token.PIPEPIPE
+  | Some '|' -> one Token.PIPE
+  | Some '+' when peek2_char t = Some '+' -> two Token.PLUSPLUS
+  | Some '+' when peek2_char t = Some '=' -> two Token.PLUSEQ
+  | Some '+' -> one Token.PLUS
+  | Some '-' when peek2_char t = Some '-' -> two Token.MINUSMINUS
+  | Some '-' when peek2_char t = Some '=' -> two Token.MINUSEQ
+  | Some '-' -> one Token.MINUS
+  | Some '*' -> one Token.STAR
+  | Some '/' -> one Token.SLASH
+  | Some '%' -> one Token.PERCENT
+  | Some '^' -> one Token.CARET
+  | Some '~' -> one Token.TILDE
+  | Some '(' -> one Token.LPAREN
+  | Some ')' -> one Token.RPAREN
+  | Some '{' -> one Token.LBRACE
+  | Some '}' -> one Token.RBRACE
+  | Some '[' -> one Token.LBRACKET
+  | Some ']' -> one Token.RBRACKET
+  | Some ';' -> one Token.SEMI
+  | Some ',' -> one Token.COMMA
+  | Some '?' -> one Token.QUESTION
+  | Some ':' -> one Token.COLON
+  | Some c -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, line))
+
+(* Tokenize the whole input. *)
+let tokens ?file src =
+  let t = create ?file src in
+  let rec go acc =
+    match next t with
+    | (Token.EOF, _) as last -> List.rev (last :: acc)
+    | tok -> go (tok :: acc)
+  in
+  go []

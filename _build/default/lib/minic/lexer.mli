@@ -1,0 +1,15 @@
+(** Hand-written lexer for mini-C: produces [(token, line)] pairs,
+    handling //- and /*-style comments, character/string escapes, and the
+    COSY_START/COSY_END marker keywords. *)
+
+exception Lex_error of string * int  (** message, line *)
+
+type t
+
+val create : ?file:string -> string -> t
+
+(** Next token (the stream ends with [EOF] at the final line). *)
+val next : t -> Token.t * int
+
+(** Tokenize an entire input.  @raise Lex_error. *)
+val tokens : ?file:string -> string -> (Token.t * int) list

@@ -1,0 +1,422 @@
+(* Recursive-descent parser for mini-C.
+
+   Deviations from C, documented for users of the library:
+   - [x++]/[x--]/[x+=e]/[x-=e] desugar to assignments that evaluate to the
+     *new* value (pre-increment semantics); all corpus code uses them in
+     statement position where the difference is invisible.
+   - Declarations use the form [ty name] / [ty name[N]] / [ty *name]. *)
+
+exception Parse_error of string * int
+
+type t = {
+  toks : (Token.t * int) array;
+  file : string;
+  mutable pos : int;
+}
+
+let create ?(file = "<string>") src =
+  { toks = Array.of_list (Lexer.tokens ~file src); file; pos = 0 }
+
+let peek t = fst t.toks.(t.pos)
+let peek_line t = snd t.toks.(t.pos)
+let peek2 t = if t.pos + 1 < Array.length t.toks then fst t.toks.(t.pos + 1) else Token.EOF
+
+let loc t = { Ast.file = t.file; line = peek_line t }
+
+let advance t = if t.pos < Array.length t.toks - 1 then t.pos <- t.pos + 1
+
+let error t msg =
+  raise (Parse_error (Printf.sprintf "%s (got %s)" msg (Token.to_string (peek t)), peek_line t))
+
+let expect t tok =
+  if peek t = tok then advance t
+  else error t (Printf.sprintf "expected %s" (Token.to_string tok))
+
+let expect_ident t =
+  match peek t with
+  | Token.IDENT s ->
+      advance t;
+      s
+  | _ -> error t "expected identifier"
+
+let is_type_start = function
+  | Token.KW_INT | Token.KW_CHAR | Token.KW_VOID -> true
+  | _ -> false
+
+(* base type followed by any number of '*' *)
+let parse_type t =
+  let base =
+    match peek t with
+    | Token.KW_INT -> Ast.Tint
+    | Token.KW_CHAR -> Ast.Tchar
+    | Token.KW_VOID -> Ast.Tvoid
+    | _ -> error t "expected type"
+  in
+  advance t;
+  let rec stars ty =
+    if peek t = Token.STAR then begin
+      advance t;
+      stars (Ast.Tptr ty)
+    end
+    else ty
+  in
+  stars base
+
+(* --- expressions ------------------------------------------------------ *)
+
+let rec parse_expr t = parse_assign t
+
+and parse_assign t =
+  let lhs = parse_cond t in
+  match peek t with
+  | Token.ASSIGN ->
+      advance t;
+      let rhs = parse_assign t in
+      Ast.mk_expr ~loc:lhs.Ast.eloc (Ast.Assign (lhs, rhs))
+  | Token.PLUSEQ | Token.MINUSEQ ->
+      let op = if peek t = Token.PLUSEQ then Ast.Add else Ast.Sub in
+      advance t;
+      let rhs = parse_assign t in
+      let sum = Ast.mk_expr ~loc:lhs.Ast.eloc (Ast.Binop (op, lhs, rhs)) in
+      Ast.mk_expr ~loc:lhs.Ast.eloc (Ast.Assign (lhs, sum))
+  | _ -> lhs
+
+and parse_cond t =
+  let c = parse_logor t in
+  if peek t = Token.QUESTION then begin
+    advance t;
+    let a = parse_expr t in
+    expect t Token.COLON;
+    let b = parse_cond t in
+    Ast.mk_expr ~loc:c.Ast.eloc (Ast.Cond (c, a, b))
+  end
+  else c
+
+and binlevel t next table =
+  let lhs = next t in
+  let rec go lhs =
+    match List.assoc_opt (peek t) table with
+    | Some op ->
+        advance t;
+        let rhs = next t in
+        go (Ast.mk_expr ~loc:lhs.Ast.eloc (Ast.Binop (op, lhs, rhs)))
+    | None -> lhs
+  in
+  go lhs
+
+and parse_logor t = binlevel t parse_logand [ (Token.PIPEPIPE, Ast.Logor) ]
+and parse_logand t = binlevel t parse_bitor [ (Token.AMPAMP, Ast.Logand) ]
+and parse_bitor t = binlevel t parse_bitxor [ (Token.PIPE, Ast.Bitor) ]
+and parse_bitxor t = binlevel t parse_bitand [ (Token.CARET, Ast.Bitxor) ]
+and parse_bitand t = binlevel t parse_equality [ (Token.AMP, Ast.Bitand) ]
+
+and parse_equality t =
+  binlevel t parse_relational [ (Token.EQ, Ast.Eq); (Token.NE, Ast.Ne) ]
+
+and parse_relational t =
+  binlevel t parse_shift
+    [ (Token.LT, Ast.Lt); (Token.LE, Ast.Le); (Token.GT, Ast.Gt); (Token.GE, Ast.Ge) ]
+
+and parse_shift t =
+  binlevel t parse_additive [ (Token.SHL, Ast.Shl); (Token.SHR, Ast.Shr) ]
+
+and parse_additive t =
+  binlevel t parse_multiplicative [ (Token.PLUS, Ast.Add); (Token.MINUS, Ast.Sub) ]
+
+and parse_multiplicative t =
+  binlevel t parse_unary
+    [ (Token.STAR, Ast.Mul); (Token.SLASH, Ast.Div); (Token.PERCENT, Ast.Mod) ]
+
+and parse_unary t =
+  let l = loc t in
+  match peek t with
+  | Token.MINUS ->
+      advance t;
+      Ast.mk_expr ~loc:l (Ast.Unop (Ast.Neg, parse_unary t))
+  | Token.BANG ->
+      advance t;
+      Ast.mk_expr ~loc:l (Ast.Unop (Ast.Lognot, parse_unary t))
+  | Token.TILDE ->
+      advance t;
+      Ast.mk_expr ~loc:l (Ast.Unop (Ast.Bitnot, parse_unary t))
+  | Token.STAR ->
+      advance t;
+      Ast.mk_expr ~loc:l (Ast.Deref (parse_unary t))
+  | Token.AMP ->
+      advance t;
+      Ast.mk_expr ~loc:l (Ast.Addr_of (parse_unary t))
+  | Token.PLUSPLUS | Token.MINUSMINUS ->
+      let op = if peek t = Token.PLUSPLUS then Ast.Add else Ast.Sub in
+      advance t;
+      let e = parse_unary t in
+      let one = Ast.mk_expr ~loc:l (Ast.Int_lit 1) in
+      Ast.mk_expr ~loc:l (Ast.Assign (e, Ast.mk_expr ~loc:l (Ast.Binop (op, e, one))))
+  | Token.KW_SIZEOF ->
+      advance t;
+      expect t Token.LPAREN;
+      let ty = parse_type t in
+      expect t Token.RPAREN;
+      Ast.mk_expr ~loc:l (Ast.Sizeof_ty ty)
+  | Token.LPAREN when is_type_start (peek2 t) ->
+      advance t;
+      let ty = parse_type t in
+      expect t Token.RPAREN;
+      Ast.mk_expr ~loc:l (Ast.Cast (ty, parse_unary t))
+  | _ -> parse_postfix t
+
+and parse_postfix t =
+  let e = parse_primary t in
+  let rec go e =
+    match peek t with
+    | Token.LBRACKET ->
+        advance t;
+        let idx = parse_expr t in
+        expect t Token.RBRACKET;
+        go (Ast.mk_expr ~loc:e.Ast.eloc (Ast.Index (e, idx)))
+    | Token.PLUSPLUS | Token.MINUSMINUS ->
+        let op = if peek t = Token.PLUSPLUS then Ast.Add else Ast.Sub in
+        advance t;
+        let one = Ast.mk_expr ~loc:e.Ast.eloc (Ast.Int_lit 1) in
+        go
+          (Ast.mk_expr ~loc:e.Ast.eloc
+             (Ast.Assign (e, Ast.mk_expr ~loc:e.Ast.eloc (Ast.Binop (op, e, one)))))
+    | _ -> e
+  in
+  go e
+
+and parse_primary t =
+  let l = loc t in
+  match peek t with
+  | Token.INT n ->
+      advance t;
+      Ast.mk_expr ~loc:l (Ast.Int_lit n)
+  | Token.CHAR c ->
+      advance t;
+      Ast.mk_expr ~loc:l (Ast.Char_lit c)
+  | Token.STRING s ->
+      advance t;
+      Ast.mk_expr ~loc:l (Ast.Str_lit s)
+  | Token.IDENT name -> (
+      advance t;
+      match peek t with
+      | Token.LPAREN ->
+          advance t;
+          let args =
+            if peek t = Token.RPAREN then []
+            else
+              let rec go acc =
+                let a = parse_expr t in
+                if peek t = Token.COMMA then begin
+                  advance t;
+                  go (a :: acc)
+                end
+                else List.rev (a :: acc)
+              in
+              go []
+          in
+          expect t Token.RPAREN;
+          Ast.mk_expr ~loc:l (Ast.Call (name, args))
+      | _ -> Ast.mk_expr ~loc:l (Ast.Var name))
+  | Token.LPAREN ->
+      advance t;
+      let e = parse_expr t in
+      expect t Token.RPAREN;
+      e
+  | _ -> error t "expected expression"
+
+(* --- statements ------------------------------------------------------- *)
+
+let rec parse_stmt t : Ast.stmt =
+  let l = loc t in
+  match peek t with
+  | tok when is_type_start tok ->
+      let ty = parse_type t in
+      let name = expect_ident t in
+      let ty =
+        if peek t = Token.LBRACKET then begin
+          advance t;
+          let n =
+            match peek t with
+            | Token.INT n ->
+                advance t;
+                n
+            | _ -> error t "expected array size"
+          in
+          expect t Token.RBRACKET;
+          Ast.Tarray (ty, n)
+        end
+        else ty
+      in
+      let init =
+        if peek t = Token.ASSIGN then begin
+          advance t;
+          Some (parse_expr t)
+        end
+        else None
+      in
+      expect t Token.SEMI;
+      Ast.mk_stmt ~loc:l (Ast.Sdecl (ty, name, init))
+  | Token.KW_IF ->
+      advance t;
+      expect t Token.LPAREN;
+      let c = parse_expr t in
+      expect t Token.RPAREN;
+      let then_ = parse_block_or_stmt t in
+      let else_ =
+        if peek t = Token.KW_ELSE then begin
+          advance t;
+          parse_block_or_stmt t
+        end
+        else []
+      in
+      Ast.mk_stmt ~loc:l (Ast.Sif (c, then_, else_))
+  | Token.KW_WHILE ->
+      advance t;
+      expect t Token.LPAREN;
+      let c = parse_expr t in
+      expect t Token.RPAREN;
+      let body = parse_block_or_stmt t in
+      Ast.mk_stmt ~loc:l (Ast.Swhile (c, body))
+  | Token.KW_FOR ->
+      (* desugar: for (init; cond; step) body => { init; while (cond) { body; step; } } *)
+      advance t;
+      expect t Token.LPAREN;
+      let init =
+        if peek t = Token.SEMI then begin
+          advance t;
+          []
+        end
+        else if is_type_start (peek t) then [ parse_stmt t ]
+        else begin
+          let e = parse_expr t in
+          expect t Token.SEMI;
+          [ Ast.mk_stmt ~loc:l (Ast.Sexpr e) ]
+        end
+      in
+      let cond =
+        if peek t = Token.SEMI then Ast.mk_expr ~loc:l (Ast.Int_lit 1)
+        else parse_expr t
+      in
+      expect t Token.SEMI;
+      let step =
+        if peek t = Token.RPAREN then []
+        else [ Ast.mk_stmt ~loc:l (Ast.Sexpr (parse_expr t)) ]
+      in
+      expect t Token.RPAREN;
+      let body = parse_block_or_stmt t in
+      let for_stmt = Ast.mk_stmt ~loc:l (Ast.Sfor (cond, body, step)) in
+      if init = [] then for_stmt
+      else Ast.mk_stmt ~loc:l (Ast.Sblock (init @ [ for_stmt ]))
+  | Token.KW_RETURN ->
+      advance t;
+      let e = if peek t = Token.SEMI then None else Some (parse_expr t) in
+      expect t Token.SEMI;
+      Ast.mk_stmt ~loc:l (Ast.Sreturn e)
+  | Token.KW_BREAK ->
+      advance t;
+      expect t Token.SEMI;
+      Ast.mk_stmt ~loc:l Ast.Sbreak
+  | Token.KW_CONTINUE ->
+      advance t;
+      expect t Token.SEMI;
+      Ast.mk_stmt ~loc:l Ast.Scontinue
+  | Token.KW_COSY_START ->
+      advance t;
+      expect t Token.SEMI;
+      Ast.mk_stmt ~loc:l Ast.Scosy_start
+  | Token.KW_COSY_END ->
+      advance t;
+      expect t Token.SEMI;
+      Ast.mk_stmt ~loc:l Ast.Scosy_end
+  | Token.LBRACE -> Ast.mk_stmt ~loc:l (Ast.Sblock (parse_block t))
+  | _ ->
+      let e = parse_expr t in
+      expect t Token.SEMI;
+      Ast.mk_stmt ~loc:l (Ast.Sexpr e)
+
+and parse_block t =
+  expect t Token.LBRACE;
+  let rec go acc =
+    if peek t = Token.RBRACE then begin
+      advance t;
+      List.rev acc
+    end
+    else go (parse_stmt t :: acc)
+  in
+  go []
+
+and parse_block_or_stmt t =
+  if peek t = Token.LBRACE then parse_block t else [ parse_stmt t ]
+
+(* --- top level -------------------------------------------------------- *)
+
+let parse_params t =
+  expect t Token.LPAREN;
+  if peek t = Token.RPAREN then begin
+    advance t;
+    []
+  end
+  else if peek t = Token.KW_VOID && peek2 t = Token.RPAREN then begin
+    advance t;
+    advance t;
+    []
+  end
+  else begin
+    let rec go acc =
+      let ty = parse_type t in
+      let name = expect_ident t in
+      if peek t = Token.COMMA then begin
+        advance t;
+        go ((ty, name) :: acc)
+      end
+      else begin
+        expect t Token.RPAREN;
+        List.rev ((ty, name) :: acc)
+      end
+    in
+    go []
+  end
+
+let parse_program ?(file = "<string>") src : Ast.program =
+  let t = create ~file src in
+  let rec go globals funcs =
+    if peek t = Token.EOF then
+      { Ast.globals = List.rev globals; funcs = List.rev funcs }
+    else begin
+      let l = loc t in
+      let ty = parse_type t in
+      let name = expect_ident t in
+      if peek t = Token.LPAREN then begin
+        let params = parse_params t in
+        let body = parse_block t in
+        go globals ({ Ast.fname = name; ret = ty; params; body; floc = l } :: funcs)
+      end
+      else begin
+        let ty =
+          if peek t = Token.LBRACKET then begin
+            advance t;
+            let n =
+              match peek t with
+              | Token.INT n ->
+                  advance t;
+                  n
+              | _ -> error t "expected array size"
+            in
+            expect t Token.RBRACKET;
+            Ast.Tarray (ty, n)
+          end
+          else ty
+        in
+        let init =
+          if peek t = Token.ASSIGN then begin
+            advance t;
+            Some (parse_expr t)
+          end
+          else None
+        in
+        expect t Token.SEMI;
+        go ((ty, name, init) :: globals) funcs
+      end
+    end
+  in
+  go [] []

@@ -1,0 +1,13 @@
+(** Recursive-descent parser for mini-C.
+
+    Documented deviations from C:
+    - [x++]/[x--]/[x+=e]/[x-=e] desugar to assignments that evaluate to
+      the new value (pre-increment semantics); corpus code uses them in
+      statement position where the difference is invisible;
+    - declarations are [ty name], [ty name[N]] or [ty *name];
+    - no prototypes, structs, typedefs or varargs. *)
+
+exception Parse_error of string * int  (** message, line *)
+
+(** Parse a full translation unit.  @raise Parse_error. *)
+val parse_program : ?file:string -> string -> Ast.program

@@ -1,0 +1,84 @@
+(* Pretty-printer for mini-C ASTs; used by the KGCC tooling to show
+   instrumented code and by tests to check transformations. *)
+
+let rec pp_expr ppf (e : Ast.expr) =
+  match e.Ast.e with
+  | Ast.Int_lit n -> Fmt.int ppf n
+  | Ast.Char_lit c -> Fmt.pf ppf "%C" c
+  | Ast.Str_lit s -> Fmt.pf ppf "%S" s
+  | Ast.Var name -> Fmt.string ppf name
+  | Ast.Unop (op, a) ->
+      let s = match op with Ast.Neg -> "-" | Ast.Lognot -> "!" | Ast.Bitnot -> "~" in
+      Fmt.pf ppf "%s(%a)" s pp_expr a
+  | Ast.Binop (op, a, b) ->
+      Fmt.pf ppf "(%a %a %a)" pp_expr a Ast.pp_binop op pp_expr b
+  | Ast.Assign (l, r) -> Fmt.pf ppf "%a = %a" pp_expr l pp_expr r
+  | Ast.Deref a -> Fmt.pf ppf "*(%a)" pp_expr a
+  | Ast.Addr_of a -> Fmt.pf ppf "&(%a)" pp_expr a
+  | Ast.Index (a, i) -> Fmt.pf ppf "%a[%a]" pp_expr a pp_expr i
+  | Ast.Call (f, args) ->
+      Fmt.pf ppf "%s(%a)" f Fmt.(list ~sep:(any ", ") pp_expr) args
+  | Ast.Cast (ty, a) -> Fmt.pf ppf "(%a)(%a)" Ast.pp_ty ty pp_expr a
+  | Ast.Sizeof_ty ty -> Fmt.pf ppf "sizeof(%a)" Ast.pp_ty ty
+  | Ast.Cond (c, a, b) ->
+      Fmt.pf ppf "(%a ? %a : %a)" pp_expr c pp_expr a pp_expr b
+
+let rec pp_stmt ?(indent = 0) ppf (s : Ast.stmt) =
+  let pad = String.make indent ' ' in
+  match s.Ast.s with
+  | Ast.Sexpr e -> Fmt.pf ppf "%s%a;" pad pp_expr e
+  | Ast.Sdecl (ty, name, init) -> (
+      match (ty, init) with
+      | Ast.Tarray (elem, n), None ->
+          Fmt.pf ppf "%s%a %s[%d];" pad Ast.pp_ty elem name n
+      | _, None -> Fmt.pf ppf "%s%a %s;" pad Ast.pp_ty ty name
+      | _, Some e -> Fmt.pf ppf "%s%a %s = %a;" pad Ast.pp_ty ty name pp_expr e)
+  | Ast.Sif (c, a, []) ->
+      Fmt.pf ppf "%sif (%a) {@\n%a@\n%s}" pad pp_expr c
+        (pp_stmts ~indent:(indent + 2)) a pad
+  | Ast.Sif (c, a, b) ->
+      Fmt.pf ppf "%sif (%a) {@\n%a@\n%s} else {@\n%a@\n%s}" pad pp_expr c
+        (pp_stmts ~indent:(indent + 2)) a pad
+        (pp_stmts ~indent:(indent + 2)) b pad
+  | Ast.Swhile (c, body) ->
+      Fmt.pf ppf "%swhile (%a) {@\n%a@\n%s}" pad pp_expr c
+        (pp_stmts ~indent:(indent + 2)) body pad
+  | Ast.Sfor (c, body, step) ->
+      (* print the canonical source form: body then step inside a while
+         is not equivalent under continue, so keep the for shape *)
+      let pp_step ppf = function
+        | [ { Ast.s = Ast.Sexpr e; _ } ] -> pp_expr ppf e
+        | _ -> Fmt.string ppf ""
+      in
+      Fmt.pf ppf "%sfor (; %a; %a) {@\n%a@\n%s}" pad pp_expr c pp_step step
+        (pp_stmts ~indent:(indent + 2)) body pad
+  | Ast.Sreturn (Some e) -> Fmt.pf ppf "%sreturn %a;" pad pp_expr e
+  | Ast.Sreturn None -> Fmt.pf ppf "%sreturn;" pad
+  | Ast.Sbreak -> Fmt.pf ppf "%sbreak;" pad
+  | Ast.Scontinue -> Fmt.pf ppf "%scontinue;" pad
+  | Ast.Sblock body ->
+      Fmt.pf ppf "%s{@\n%a@\n%s}" pad (pp_stmts ~indent:(indent + 2)) body pad
+  | Ast.Scosy_start -> Fmt.pf ppf "%sCOSY_START;" pad
+  | Ast.Scosy_end -> Fmt.pf ppf "%sCOSY_END;" pad
+
+and pp_stmts ?(indent = 0) ppf stmts =
+  Fmt.pf ppf "%a" Fmt.(list ~sep:(any "@\n") (pp_stmt ~indent)) stmts
+
+let pp_func ppf (f : Ast.func) =
+  let pp_param ppf (ty, name) = Fmt.pf ppf "%a %s" Ast.pp_ty ty name in
+  Fmt.pf ppf "%a %s(%a) {@\n%a@\n}" Ast.pp_ty f.Ast.ret f.Ast.fname
+    Fmt.(list ~sep:(any ", ") pp_param)
+    f.Ast.params
+    (pp_stmts ~indent:2)
+    f.Ast.body
+
+let pp_program ppf (p : Ast.program) =
+  List.iter
+    (fun (ty, name, init) ->
+      match init with
+      | None -> Fmt.pf ppf "%a %s;@\n" Ast.pp_ty ty name
+      | Some e -> Fmt.pf ppf "%a %s = %a;@\n" Ast.pp_ty ty name pp_expr e)
+    p.Ast.globals;
+  Fmt.pf ppf "%a" Fmt.(list ~sep:(any "@\n@\n") pp_func) p.Ast.funcs
+
+let program_to_string p = Fmt.str "%a" pp_program p

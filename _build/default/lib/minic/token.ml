@@ -1,0 +1,62 @@
+(* Token stream for the mini-C lexer. *)
+
+type t =
+  | INT of int
+  | CHAR of char
+  | STRING of string
+  | IDENT of string
+  | KW_INT | KW_CHAR | KW_VOID
+  | KW_IF | KW_ELSE | KW_WHILE | KW_FOR
+  | KW_RETURN | KW_BREAK | KW_CONTINUE | KW_SIZEOF
+  | KW_COSY_START | KW_COSY_END
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | ASSIGN                       (* = *)
+  | EQ | NE | LT | LE | GT | GE
+  | AMPAMP | PIPEPIPE | BANG
+  | AMP | PIPE | CARET | TILDE | SHL | SHR
+  | QUESTION | COLON
+  | PLUSPLUS | MINUSMINUS
+  | PLUSEQ | MINUSEQ
+  | EOF
+
+let to_string = function
+  | INT n -> string_of_int n
+  | CHAR c -> Printf.sprintf "'%c'" c
+  | STRING s -> Printf.sprintf "%S" s
+  | IDENT s -> s
+  | KW_INT -> "int" | KW_CHAR -> "char" | KW_VOID -> "void"
+  | KW_IF -> "if" | KW_ELSE -> "else" | KW_WHILE -> "while" | KW_FOR -> "for"
+  | KW_RETURN -> "return" | KW_BREAK -> "break" | KW_CONTINUE -> "continue"
+  | KW_SIZEOF -> "sizeof"
+  | KW_COSY_START -> "COSY_START" | KW_COSY_END -> "COSY_END"
+  | LPAREN -> "(" | RPAREN -> ")" | LBRACE -> "{" | RBRACE -> "}"
+  | LBRACKET -> "[" | RBRACKET -> "]"
+  | SEMI -> ";" | COMMA -> ","
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | PERCENT -> "%"
+  | ASSIGN -> "="
+  | EQ -> "==" | NE -> "!=" | LT -> "<" | LE -> "<=" | GT -> ">" | GE -> ">="
+  | AMPAMP -> "&&" | PIPEPIPE -> "||" | BANG -> "!"
+  | AMP -> "&" | PIPE -> "|" | CARET -> "^" | TILDE -> "~"
+  | SHL -> "<<" | SHR -> ">>"
+  | QUESTION -> "?" | COLON -> ":"
+  | PLUSPLUS -> "++" | MINUSMINUS -> "--"
+  | PLUSEQ -> "+=" | MINUSEQ -> "-="
+  | EOF -> "<eof>"
+
+let keyword_of_ident = function
+  | "int" -> Some KW_INT
+  | "char" -> Some KW_CHAR
+  | "void" -> Some KW_VOID
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "while" -> Some KW_WHILE
+  | "for" -> Some KW_FOR
+  | "return" -> Some KW_RETURN
+  | "break" -> Some KW_BREAK
+  | "continue" -> Some KW_CONTINUE
+  | "sizeof" -> Some KW_SIZEOF
+  | "COSY_START" -> Some KW_COSY_START
+  | "COSY_END" -> Some KW_COSY_END
+  | _ -> None

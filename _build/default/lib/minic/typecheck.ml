@@ -1,0 +1,218 @@
+(* Type annotation pass.  Mini-C follows permissive pre-ANSI rules:
+   int/char/pointers interconvert freely; unknown functions are assumed
+   to return int (so externs registered at run time need no prototypes).
+   The pass fills in [ety] on every expression — the interpreter uses it
+   for pointer-arithmetic scaling, and KGCC's instrumentation pass uses
+   it to find pointer operations.
+
+   It also computes, per function, the set of locals whose address is
+   taken.  KGCC's "don't check stack objects whose addresses are never
+   taken" heuristic (paper §3.4) falls straight out of this analysis, and
+   the interpreter uses the same set to decide which locals need real
+   stack memory. *)
+
+exception Type_error of string * Ast.loc
+
+let err loc fmt = Fmt.kstr (fun m -> raise (Type_error (m, loc))) fmt
+
+type env = {
+  vars : (string, Ast.ty) Hashtbl.t list;      (* innermost scope first *)
+  funcs : (string, Ast.ty * Ast.ty list) Hashtbl.t;
+  addr_taken : (string, unit) Hashtbl.t;       (* locals of current fn *)
+}
+
+type info = {
+  (* fname -> names of locals (incl. params) whose address is taken or
+     that are arrays, i.e. need addressable stack storage *)
+  addressable : (string, (string, unit) Hashtbl.t) Hashtbl.t;
+}
+
+let lookup_var env name =
+  let rec go = function
+    | [] -> None
+    | scope :: rest -> (
+        match Hashtbl.find_opt scope name with
+        | Some ty -> Some ty
+        | None -> go rest)
+  in
+  go env.vars
+
+let scalar = function
+  | Ast.Tint | Ast.Tchar -> true
+  | Ast.Tvoid | Ast.Tptr _ | Ast.Tarray _ -> false
+
+(* The type a value of type [ty] has when read: arrays decay. *)
+let decay = function Ast.Tarray (t, _) -> Ast.Tptr t | t -> t
+
+let rec is_lvalue (e : Ast.expr) =
+  match e.Ast.e with
+  | Ast.Var _ | Ast.Deref _ | Ast.Index _ -> true
+  | Ast.Cast (_, inner) -> is_lvalue inner
+  | Ast.Int_lit _ | Ast.Char_lit _ | Ast.Str_lit _ | Ast.Unop _ | Ast.Binop _
+  | Ast.Assign _ | Ast.Addr_of _ | Ast.Call _ | Ast.Sizeof_ty _ | Ast.Cond _ ->
+      false
+
+let rec check_expr env (e : Ast.expr) : Ast.ty =
+  let ty = infer env e in
+  e.Ast.ety <- Some ty;
+  ty
+
+and infer env (e : Ast.expr) : Ast.ty =
+  match e.Ast.e with
+  | Ast.Int_lit _ -> Ast.Tint
+  | Ast.Char_lit _ -> Ast.Tchar
+  | Ast.Str_lit _ -> Ast.Tptr Ast.Tchar
+  | Ast.Sizeof_ty _ -> Ast.Tint
+  | Ast.Var name -> (
+      match lookup_var env name with
+      | Some ty -> decay ty
+      | None -> err e.Ast.eloc "undeclared variable %s" name)
+  | Ast.Unop (_, a) ->
+      let ta = check_expr env a in
+      if not (scalar ta || (match ta with Ast.Tptr _ -> true | _ -> false))
+      then err e.Ast.eloc "unary operator on non-scalar";
+      Ast.Tint
+  | Ast.Deref a -> (
+      match check_expr env a with
+      | Ast.Tptr t -> decay t
+      | ty -> err e.Ast.eloc "dereference of non-pointer (%a)" Ast.pp_ty ty)
+  | Ast.Addr_of a -> (
+      if not (is_lvalue a) then err e.Ast.eloc "address-of non-lvalue";
+      (match a.Ast.e with
+      | Ast.Var name when lookup_var env name <> None ->
+          Hashtbl.replace env.addr_taken name ()
+      | _ -> ());
+      (* note: &a where a is an array yields pointer to element, as the
+         interpreter represents arrays by their base address *)
+      match check_expr env a with
+      | Ast.Tarray (t, _) -> Ast.Tptr t
+      | ty -> Ast.Tptr ty)
+  | Ast.Index (a, i) -> (
+      let ta = check_expr env a in
+      let ti = check_expr env i in
+      if not (scalar ti) then err e.Ast.eloc "array index must be integral";
+      match ta with
+      | Ast.Tptr t | Ast.Tarray (t, _) -> decay t
+      | ty -> err e.Ast.eloc "indexing non-pointer (%a)" Ast.pp_ty ty)
+  | Ast.Binop (op, a, b) -> (
+      let ta = check_expr env a in
+      let tb = check_expr env b in
+      match op with
+      | Ast.Add -> (
+          match (ta, tb) with
+          | Ast.Tptr t, _ when scalar tb -> Ast.Tptr t
+          | _, Ast.Tptr t when scalar ta -> Ast.Tptr t
+          | _ when scalar ta && scalar tb -> Ast.Tint
+          | _ -> err e.Ast.eloc "invalid operands to +")
+      | Ast.Sub -> (
+          match (ta, tb) with
+          | Ast.Tptr t, _ when scalar tb -> Ast.Tptr t
+          | Ast.Tptr _, Ast.Tptr _ -> Ast.Tint (* pointer difference *)
+          | _ when scalar ta && scalar tb -> Ast.Tint
+          | _ -> err e.Ast.eloc "invalid operands to -")
+      | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Logand
+      | Ast.Logor ->
+          Ast.Tint
+      | Ast.Mul | Ast.Div | Ast.Mod | Ast.Bitand | Ast.Bitor | Ast.Bitxor
+      | Ast.Shl | Ast.Shr ->
+          if not (scalar ta && scalar tb) then
+            err e.Ast.eloc "arithmetic on non-scalar";
+          Ast.Tint)
+  | Ast.Assign (lhs, rhs) ->
+      if not (is_lvalue lhs) then err e.Ast.eloc "assignment to non-lvalue";
+      let tl = check_expr env lhs in
+      let _tr = check_expr env rhs in
+      tl
+  | Ast.Call (name, args) -> (
+      List.iter (fun a -> ignore (check_expr env a)) args;
+      match Hashtbl.find_opt env.funcs name with
+      | Some (ret, params) ->
+          if List.length params <> List.length args then
+            err e.Ast.eloc "%s expects %d arguments, got %d" name
+              (List.length params) (List.length args);
+          decay ret
+      | None -> Ast.Tint (* unknown extern: assume int *))
+  | Ast.Cast (ty, a) ->
+      ignore (check_expr env a);
+      decay ty
+  | Ast.Cond (c, a, b) ->
+      ignore (check_expr env c);
+      let ta = check_expr env a in
+      ignore (check_expr env b);
+      ta
+
+let rec check_stmt env (s : Ast.stmt) =
+  match s.Ast.s with
+  | Ast.Sexpr e -> ignore (check_expr env e)
+  | Ast.Sdecl (ty, name, init) ->
+      (match env.vars with
+      | scope :: _ ->
+          if Hashtbl.mem scope name then
+            err s.Ast.sloc "redeclaration of %s" name;
+          Hashtbl.replace scope name ty
+      | [] -> assert false);
+      (match ty with
+      | Ast.Tarray _ -> Hashtbl.replace env.addr_taken name ()
+      | _ -> ());
+      (match init with Some e -> ignore (check_expr env e) | None -> ())
+  | Ast.Sif (c, a, b) ->
+      ignore (check_expr env c);
+      check_block env a;
+      check_block env b
+  | Ast.Swhile (c, body) ->
+      ignore (check_expr env c);
+      check_block env body
+  | Ast.Sfor (c, body, step) ->
+      ignore (check_expr env c);
+      check_block env body;
+      check_block env step
+  | Ast.Sreturn (Some e) -> ignore (check_expr env e)
+  | Ast.Sreturn None | Ast.Sbreak | Ast.Scontinue | Ast.Scosy_start
+  | Ast.Scosy_end ->
+      ()
+  | Ast.Sblock body -> check_block env body
+
+and check_block env body =
+  let env = { env with vars = Hashtbl.create 8 :: env.vars } in
+  List.iter (check_stmt env) body
+
+(* Typecheck the whole program in place; returns the addressable-locals
+   analysis. *)
+let check (p : Ast.program) : info =
+  let funcs = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      Hashtbl.replace funcs f.Ast.fname (f.Ast.ret, List.map fst f.Ast.params))
+    p.Ast.funcs;
+  let globals_scope = Hashtbl.create 16 in
+  let global_addr_taken = Hashtbl.create 16 in
+  List.iter
+    (fun (ty, name, init) ->
+      Hashtbl.replace globals_scope name ty;
+      match init with
+      | Some e ->
+          let env =
+            { vars = [ globals_scope ]; funcs; addr_taken = global_addr_taken }
+          in
+          ignore (check_expr env e)
+      | None -> ())
+    p.Ast.globals;
+  let info = { addressable = Hashtbl.create 16 } in
+  List.iter
+    (fun f ->
+      let addr_taken = Hashtbl.create 8 in
+      let param_scope = Hashtbl.create 8 in
+      List.iter (fun (ty, name) -> Hashtbl.replace param_scope name ty)
+        f.Ast.params;
+      let env =
+        { vars = [ param_scope; globals_scope ]; funcs; addr_taken }
+      in
+      check_block env f.Ast.body;
+      Hashtbl.replace info.addressable f.Ast.fname addr_taken)
+    p.Ast.funcs;
+  info
+
+let is_addressable info ~fname ~var =
+  match Hashtbl.find_opt info.addressable fname with
+  | Some set -> Hashtbl.mem set var
+  | None -> false

@@ -1,0 +1,27 @@
+(** Type annotation pass for mini-C.
+
+    Permissive pre-ANSI rules: int/char/pointers interconvert freely and
+    unknown functions are assumed to return [int] (so externs registered
+    at run time need no prototypes).  The pass fills in [ety] on every
+    expression — the interpreter uses it for pointer-arithmetic scaling
+    and KGCC's instrumentation uses it to find pointer operations.
+
+    It also computes, per function, which locals need addressable stack
+    storage (arrays, and scalars whose address is taken).  KGCC's "don't
+    check stack objects whose addresses are never taken" heuristic and
+    the interpreter's register/memory split both come from this
+    analysis. *)
+
+exception Type_error of string * Ast.loc
+
+type info
+
+(** Typecheck in place (fills [ety]); returns the addressable-locals
+    analysis.  @raise Type_error. *)
+val check : Ast.program -> info
+
+(** Does [var] of function [fname] need addressable stack storage? *)
+val is_addressable : info -> fname:string -> var:string -> bool
+
+(** Is this expression a valid assignment/address-of target? *)
+val is_lvalue : Ast.expr -> bool

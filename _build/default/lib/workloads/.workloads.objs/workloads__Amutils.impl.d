@@ -1,0 +1,1 @@
+lib/workloads/amutils.ml: Bytes Ksim Ksyscall Kvfs Printf Wutil

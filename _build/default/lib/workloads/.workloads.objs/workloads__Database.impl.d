@@ -1,0 +1,1 @@
+lib/workloads/database.ml: Bytes Cosy Ksim Ksyscall Kvfs Wutil

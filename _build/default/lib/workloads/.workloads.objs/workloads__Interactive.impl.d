@@ -1,0 +1,1 @@
+lib/workloads/interactive.ml: Ksim Ksyscall Kvfs List Printf Wutil

@@ -1,0 +1,1 @@
+lib/workloads/lsdir.ml: Ksim Ksyscall Kvfs List Printf Wutil

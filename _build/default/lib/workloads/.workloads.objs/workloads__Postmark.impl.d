@@ -1,0 +1,1 @@
+lib/workloads/postmark.ml: Bytes Hashtbl Ksim Ksyscall Kvfs List Printf Wutil

@@ -1,0 +1,1 @@
+lib/workloads/webserver.ml: Array Bytes Cosy Ksim Ksyscall Kvfs Printf Wutil

@@ -1,0 +1,1 @@
+lib/workloads/wutil.ml: Bytes Int64 Ksim Kvfs

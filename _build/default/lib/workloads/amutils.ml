@@ -1,0 +1,114 @@
+(* The Am-utils-compile stand-in: a CPU-intensive build over many small
+   source files (the paper's standard CPU-bound benchmark for E5/E7).
+   Per translation unit: stat the source, open-read-close it, burn user
+   CPU "compiling" (dominant cost, as in a real build), then create the
+   object file; with periodic directory scans like make does. *)
+
+type config = {
+  source_files : int;
+  avg_source_size : int;
+  compile_cycles_per_byte : int;   (* user-mode CPU per source byte *)
+  fork_exec_cycles : int;          (* kernel CPU to spawn one cc1 process *)
+  files_per_module : int;          (* sources per subdirectory *)
+  prime_objects : bool;            (* true = setup pre-builds the .o files,
+                                      so the timed run is an incremental
+                                      rebuild; false = full clean build *)
+  seed : int;
+  dir : string;
+}
+
+let default_config =
+  {
+    source_files = 200;
+    avg_source_size = 8_192;
+    compile_cycles_per_byte = 60;
+    fork_exec_cycles = 240_000;
+    files_per_module = 10;
+    prime_objects = true;
+    seed = 7;
+    dir = "/amutils";
+  }
+
+type stats = {
+  compiled : int;
+  source_bytes : int;
+  object_bytes : int;
+  times : Ksim.Kernel.times;
+}
+
+let module_dir cfg i = Printf.sprintf "%s/mod%03d" cfg.dir (i / cfg.files_per_module)
+let src_name cfg i = Printf.sprintf "%s/src%04d.c" (module_dir cfg i) i
+let obj_name cfg i = Printf.sprintf "%s/src%04d.o" (module_dir cfg i) i
+
+(* Populate the source tree (not timed as part of the build). *)
+let setup ?(config = default_config) sys =
+  let cfg = config in
+  let rng = Wutil.rng cfg.seed in
+  ignore (Ksyscall.Usyscall.sys_mkdir sys ~path:cfg.dir);
+  for i = 0 to cfg.source_files - 1 do
+    if i mod cfg.files_per_module = 0 then
+      ignore (Ksyscall.Usyscall.sys_mkdir sys ~path:(module_dir cfg i));
+    let size =
+      Wutil.rand_range rng (cfg.avg_source_size / 2) (3 * cfg.avg_source_size / 2)
+    in
+    ignore
+      (Wutil.ok
+         (Ksyscall.Usyscall.sys_open_write_close sys ~path:(src_name cfg i)
+            ~data:(Wutil.payload size)
+            ~flags:[ Kvfs.Vfs.O_RDWR; Kvfs.Vfs.O_CREAT; Kvfs.Vfs.O_TRUNC ]));
+    (* optionally prime the object files: the timed run is then an
+       incremental rebuild that overwrites them, like timing `make` twice *)
+    if cfg.prime_objects then
+      ignore
+        (Wutil.ok
+           (Ksyscall.Usyscall.sys_open_write_close sys ~path:(obj_name cfg i)
+              ~data:(Wutil.payload (size / 2))
+              ~flags:[ Kvfs.Vfs.O_RDWR; Kvfs.Vfs.O_CREAT; Kvfs.Vfs.O_TRUNC ]))
+  done
+
+let run ?(config = default_config) sys =
+  let cfg = config in
+  let kernel = Ksyscall.Systable.kernel sys in
+  let source_bytes = ref 0 and object_bytes = ref 0 in
+  let body () =
+    for i = 0 to cfg.source_files - 1 do
+      (* make stats the tree every few files *)
+      if i mod 16 = 0 then
+        ignore (Ksyscall.Usyscall.sys_readdir sys ~path:(module_dir cfg i));
+      (* make forks a cc1 process per translation unit *)
+      Ksim.Kernel.enter_kernel kernel;
+      Ksim.Kernel.charge_kernel kernel cfg.fork_exec_cycles;
+      Ksim.Kernel.exit_kernel kernel;
+      let path = src_name cfg i in
+      let st = Wutil.ok (Ksyscall.Usyscall.sys_stat sys ~path) in
+      let fd = Wutil.ok (Ksyscall.Usyscall.sys_open sys ~path ~flags:[ Kvfs.Vfs.O_RDONLY ]) in
+      let src = Wutil.ok (Ksyscall.Usyscall.sys_read sys ~fd ~len:st.Kvfs.Vtypes.st_size) in
+      ignore (Wutil.ok (Ksyscall.Usyscall.sys_close sys ~fd));
+      source_bytes := !source_bytes + Bytes.length src;
+      (* the compile itself: user-mode CPU proportional to input *)
+      Wutil.think kernel (Bytes.length src * cfg.compile_cycles_per_byte);
+      let obj = Wutil.payload (Bytes.length src / 2) in
+      object_bytes := !object_bytes + Bytes.length obj;
+      let ofd =
+        Wutil.ok
+          (Ksyscall.Usyscall.sys_open sys ~path:(obj_name cfg i)
+             ~flags:[ Kvfs.Vfs.O_RDWR; Kvfs.Vfs.O_CREAT; Kvfs.Vfs.O_TRUNC ])
+      in
+      ignore (Wutil.ok (Ksyscall.Usyscall.sys_write sys ~fd:ofd ~data:obj));
+      ignore (Wutil.ok (Ksyscall.Usyscall.sys_close sys ~fd:ofd))
+    done;
+    (* link step: read all objects back (plain syscalls; the consolidated
+       variants are benchmarked separately in E1/E2) *)
+    for i = 0 to cfg.source_files - 1 do
+      let fd =
+        Wutil.ok
+          (Ksyscall.Usyscall.sys_open sys ~path:(obj_name cfg i)
+             ~flags:[ Kvfs.Vfs.O_RDONLY ])
+      in
+      ignore (Wutil.ok (Ksyscall.Usyscall.sys_read sys ~fd ~len:max_int));
+      ignore (Wutil.ok (Ksyscall.Usyscall.sys_close sys ~fd))
+    done
+  in
+  let (), times = Ksim.Kernel.timed kernel body in
+  { compiled = cfg.source_files; source_bytes = !source_bytes;
+    object_bytes = !object_bytes; times }

@@ -1,0 +1,193 @@
+(* The database workload of E4: a keyed record store over one large file
+   exhibiting the sequential and random access patterns the paper
+   modified "popular user applications" to exercise.
+
+   [run_plain] issues one lseek+read (or write) syscall pair per record —
+   two boundary crossings each.  [run_cosy] performs the same access
+   pattern as a single compound whose loop runs inside the kernel, with
+   record data staged through the zero-copy shared buffer.  Both variants
+   walk the identical deterministic LCG probe sequence, so they do the
+   same I/O work and differ only in boundary costs — the quantity E4
+   measures. *)
+
+type config = {
+  records : int;
+  record_size : int;
+  lookups : int;            (* random-pattern operations *)
+  scans : int;              (* sequential full passes *)
+  update_ratio : int;       (* percent of lookups that write *)
+  seed : int;
+  path : string;
+}
+
+let default_config =
+  {
+    records = 1_000;
+    record_size = 256;
+    lookups = 2_000;
+    scans = 2;
+    update_ratio = 10;
+    seed = 11;
+    path = "/db.dat";
+  }
+
+type stats = {
+  reads : int;
+  writes : int;
+  bytes_moved : int;
+  times : Ksim.Kernel.times;
+}
+
+(* LCG over record indices; must match the compound's arithmetic. *)
+let lcg_a = 1103515245
+let lcg_c = 12345
+let lcg_m = 1 lsl 31
+
+let next_probe state records = ((lcg_a * state) + lcg_c) mod lcg_m mod records |> abs
+
+(* Build the store (untimed). *)
+let setup ?(config = default_config) sys =
+  let cfg = config in
+  let fd =
+    Wutil.ok
+      (Ksyscall.Usyscall.sys_open sys ~path:cfg.path
+         ~flags:[ Kvfs.Vfs.O_RDWR; Kvfs.Vfs.O_CREAT; Kvfs.Vfs.O_TRUNC ])
+  in
+  let record = Wutil.payload cfg.record_size in
+  for _ = 1 to cfg.records do
+    ignore (Wutil.ok (Ksyscall.Usyscall.sys_write sys ~fd ~data:record))
+  done;
+  ignore (Wutil.ok (Ksyscall.Usyscall.sys_close sys ~fd))
+
+let run_plain ?(config = default_config) sys =
+  let cfg = config in
+  let kernel = Ksyscall.Systable.kernel sys in
+  let reads = ref 0 and writes = ref 0 and bytes = ref 0 in
+  let body () =
+    let fd =
+      Wutil.ok (Ksyscall.Usyscall.sys_open sys ~path:cfg.path ~flags:[ Kvfs.Vfs.O_RDWR ])
+    in
+    (* random lookups/updates *)
+    let state = ref cfg.seed in
+    for i = 1 to cfg.lookups do
+      state := (lcg_a * !state + lcg_c) mod lcg_m;
+      let idx = abs !state mod cfg.records in
+      let off = idx * cfg.record_size in
+      if i mod 100 < cfg.update_ratio then begin
+        incr writes;
+        bytes := !bytes + cfg.record_size;
+        ignore
+          (Wutil.ok
+             (Ksyscall.Usyscall.sys_pwrite sys ~fd ~off
+                ~data:(Wutil.payload cfg.record_size)))
+      end
+      else begin
+        incr reads;
+        let data =
+          Wutil.ok (Ksyscall.Usyscall.sys_pread sys ~fd ~off ~len:cfg.record_size)
+        in
+        bytes := !bytes + Bytes.length data
+      end
+    done;
+    (* sequential scans *)
+    for _ = 1 to cfg.scans do
+      ignore (Wutil.ok (Ksyscall.Usyscall.sys_lseek sys ~fd ~off:0 ~whence:Kvfs.Vfs.SEEK_SET));
+      for _ = 1 to cfg.records do
+        incr reads;
+        let data = Wutil.ok (Ksyscall.Usyscall.sys_read sys ~fd ~len:cfg.record_size) in
+        bytes := !bytes + Bytes.length data
+      done
+    done;
+    ignore (Wutil.ok (Ksyscall.Usyscall.sys_close sys ~fd))
+  in
+  let (), times = Ksim.Kernel.timed kernel body in
+  { reads = !reads; writes = !writes; bytes_moved = !bytes; times }
+
+(* The same workload as one compound per phase. *)
+let run_cosy ?(config = default_config) sys =
+  let cfg = config in
+  let kernel = Ksyscall.Systable.kernel sys in
+  let exec = Cosy.Cosy_exec.create ~shared_size:(cfg.record_size * 4) sys in
+  let reads = ref 0 and writes = ref 0 and bytes = ref 0 in
+  let body () =
+    (* compound 1: open + random lookups/updates loop + close *)
+    let c = Cosy.Cosy_lib.create ~shared_size:(cfg.record_size * 4) () in
+    let buf = Cosy.Cosy_lib.alloc_shared c cfg.record_size in
+    let fd = Cosy.Cosy_lib.syscall c "open" [ Cosy.Cosy_op.Str cfg.path; Cosy.Cosy_op.Const 1 ] in
+    let state = Cosy.Cosy_lib.set_fresh c (Cosy.Cosy_op.Const cfg.seed) in
+    let i = Cosy.Cosy_lib.set_fresh c (Cosy.Cosy_op.Const 0) in
+    let loop_start = Cosy.Cosy_lib.next_index c in
+    let cond =
+      Cosy.Cosy_lib.arith_fresh c Cosy.Cosy_op.Alt (Cosy.Cosy_op.Slot i)
+        (Cosy.Cosy_op.Const cfg.lookups)
+    in
+    let jz_at = Cosy.Cosy_lib.next_index c in
+    Cosy.Cosy_lib.jz c (Cosy.Cosy_op.Slot cond) 0;
+    (* state = (a*state + c) mod m *)
+    let t1 = Cosy.Cosy_lib.arith_fresh c Cosy.Cosy_op.Amul (Cosy.Cosy_op.Slot state) (Cosy.Cosy_op.Const lcg_a) in
+    let t2 = Cosy.Cosy_lib.arith_fresh c Cosy.Cosy_op.Aadd (Cosy.Cosy_op.Slot t1) (Cosy.Cosy_op.Const lcg_c) in
+    Cosy.Cosy_lib.arith c ~dst:state Cosy.Cosy_op.Amod (Cosy.Cosy_op.Slot t2) (Cosy.Cosy_op.Const lcg_m);
+    (* idx = abs(state) mod records ; abs via (state % m + m) % m is
+       unnecessary: slots mirror the OCaml arithmetic which can go
+       negative; normalize with ((state mod records) + records) mod records *)
+    let m1 = Cosy.Cosy_lib.arith_fresh c Cosy.Cosy_op.Amod (Cosy.Cosy_op.Slot state) (Cosy.Cosy_op.Const cfg.records) in
+    let m2 = Cosy.Cosy_lib.arith_fresh c Cosy.Cosy_op.Aadd (Cosy.Cosy_op.Slot m1) (Cosy.Cosy_op.Const cfg.records) in
+    let idx = Cosy.Cosy_lib.arith_fresh c Cosy.Cosy_op.Amod (Cosy.Cosy_op.Slot m2) (Cosy.Cosy_op.Const cfg.records) in
+    let off = Cosy.Cosy_lib.arith_fresh c Cosy.Cosy_op.Amul (Cosy.Cosy_op.Slot idx) (Cosy.Cosy_op.Const cfg.record_size) in
+    (* mod-100 update decision *)
+    let imod = Cosy.Cosy_lib.arith_fresh c Cosy.Cosy_op.Amod (Cosy.Cosy_op.Slot i) (Cosy.Cosy_op.Const 100) in
+    let is_read =
+      Cosy.Cosy_lib.arith_fresh c Cosy.Cosy_op.Age (Cosy.Cosy_op.Slot imod)
+        (Cosy.Cosy_op.Const cfg.update_ratio)
+    in
+    let jz_read = Cosy.Cosy_lib.next_index c in
+    Cosy.Cosy_lib.jz c (Cosy.Cosy_op.Slot is_read) 0;
+    (* read branch *)
+    ignore
+      (Cosy.Cosy_lib.syscall c "pread"
+         [ Cosy.Cosy_op.Slot fd; Cosy.Cosy_op.Shared buf;
+           Cosy.Cosy_op.Const cfg.record_size; Cosy.Cosy_op.Slot off ]);
+    let jmp_join = Cosy.Cosy_lib.next_index c in
+    Cosy.Cosy_lib.jmp c 0;
+    Cosy.Cosy_lib.patch_jump c ~at:jz_read ~target:(Cosy.Cosy_lib.next_index c);
+    (* write branch *)
+    ignore
+      (Cosy.Cosy_lib.syscall c "pwrite"
+         [ Cosy.Cosy_op.Slot fd; Cosy.Cosy_op.Shared buf;
+           Cosy.Cosy_op.Const cfg.record_size; Cosy.Cosy_op.Slot off ]);
+    Cosy.Cosy_lib.patch_jump c ~at:jmp_join ~target:(Cosy.Cosy_lib.next_index c);
+    (* i++ ; loop *)
+    Cosy.Cosy_lib.arith c ~dst:i Cosy.Cosy_op.Aadd (Cosy.Cosy_op.Slot i) (Cosy.Cosy_op.Const 1);
+    Cosy.Cosy_lib.jmp c loop_start;
+    Cosy.Cosy_lib.patch_jump c ~at:jz_at ~target:(Cosy.Cosy_lib.next_index c);
+    (* sequential scans *)
+    let s = Cosy.Cosy_lib.set_fresh c (Cosy.Cosy_op.Const 0) in
+    let total = cfg.scans * cfg.records in
+    let scan_start = Cosy.Cosy_lib.next_index c in
+    let scond =
+      Cosy.Cosy_lib.arith_fresh c Cosy.Cosy_op.Alt (Cosy.Cosy_op.Slot s)
+        (Cosy.Cosy_op.Const total)
+    in
+    let sjz = Cosy.Cosy_lib.next_index c in
+    Cosy.Cosy_lib.jz c (Cosy.Cosy_op.Slot scond) 0;
+    let soff0 = Cosy.Cosy_lib.arith_fresh c Cosy.Cosy_op.Amod (Cosy.Cosy_op.Slot s) (Cosy.Cosy_op.Const cfg.records) in
+    let soff = Cosy.Cosy_lib.arith_fresh c Cosy.Cosy_op.Amul (Cosy.Cosy_op.Slot soff0) (Cosy.Cosy_op.Const cfg.record_size) in
+    ignore
+      (Cosy.Cosy_lib.syscall c "pread"
+         [ Cosy.Cosy_op.Slot fd; Cosy.Cosy_op.Shared buf;
+           Cosy.Cosy_op.Const cfg.record_size; Cosy.Cosy_op.Slot soff ]);
+    Cosy.Cosy_lib.arith c ~dst:s Cosy.Cosy_op.Aadd (Cosy.Cosy_op.Slot s) (Cosy.Cosy_op.Const 1);
+    Cosy.Cosy_lib.jmp c scan_start;
+    Cosy.Cosy_lib.patch_jump c ~at:sjz ~target:(Cosy.Cosy_lib.next_index c);
+    ignore (Cosy.Cosy_lib.syscall c "close" [ Cosy.Cosy_op.Slot fd ]);
+    let compound = Cosy.Cosy_lib.finish c in
+    ignore (Cosy.Cosy_exec.submit exec compound);
+    (* mirror the op counts for reporting *)
+    let upd = cfg.lookups * cfg.update_ratio / 100 in
+    writes := upd;
+    reads := cfg.lookups - upd + (cfg.scans * cfg.records);
+    bytes := (!reads + !writes) * cfg.record_size
+  in
+  let (), times = Ksim.Kernel.timed kernel body in
+  ({ reads = !reads; writes = !writes; bytes_moved = !bytes; times },
+   Cosy.Cosy_exec.stats exec)

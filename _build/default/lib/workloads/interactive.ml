@@ -1,0 +1,113 @@
+(* Synthetic interactive desktop session for E2: the paper logged ~15
+   minutes of "average interactive user load" and computed what
+   readdirplus (and friends) would have saved.  The mix below models a
+   user alternating between shell work (ls -l bursts = readdir + stat
+   runs), editing (open-read-close then open-write-close), launching
+   programs (a storm of stats and opens over library paths), and idle
+   time (pure clock advance). *)
+
+type config = {
+  duration_events : int;      (* number of user actions *)
+  ls_dir_size : int;
+  seed : int;
+  root : string;
+}
+
+let default_config =
+  { duration_events = 400; ls_dir_size = 40; seed = 99; root = "/home" }
+
+type stats = {
+  actions : int;
+  syscalls : int;
+  duration_cycles : int;
+  times : Ksim.Kernel.times;
+}
+
+let setup ?(config = default_config) sys =
+  let cfg = config in
+  ignore (Ksyscall.Usyscall.sys_mkdir sys ~path:cfg.root);
+  ignore (Ksyscall.Usyscall.sys_mkdir sys ~path:(cfg.root ^ "/docs"));
+  ignore (Ksyscall.Usyscall.sys_mkdir sys ~path:"/lib");
+  for i = 0 to cfg.ls_dir_size - 1 do
+    ignore
+      (Ksyscall.Usyscall.sys_open_write_close sys
+         ~path:(Printf.sprintf "%s/docs/note%03d.txt" cfg.root i)
+         ~data:(Wutil.payload 2048)
+         ~flags:[ Kvfs.Vfs.O_RDWR; Kvfs.Vfs.O_CREAT ])
+  done;
+  for i = 0 to 29 do
+    ignore
+      (Ksyscall.Usyscall.sys_open_write_close sys
+         ~path:(Printf.sprintf "/lib/lib%02d.so" i)
+         ~data:(Wutil.payload 4096)
+         ~flags:[ Kvfs.Vfs.O_RDWR; Kvfs.Vfs.O_CREAT ])
+  done
+
+let run ?(config = default_config) sys =
+  let cfg = config in
+  let kernel = Ksyscall.Systable.kernel sys in
+  let rng = Wutil.rng cfg.seed in
+  let p = Ksim.Kernel.current kernel in
+  let sys0 = p.Ksim.Kproc.syscalls in
+  let t0 = Ksim.Kernel.now kernel in
+  let docs = cfg.root ^ "/docs" in
+  let ls_burst () =
+    (* shell ls -l: readdir then stat every entry *)
+    match Ksyscall.Usyscall.sys_readdir sys ~path:docs with
+    | Error _ -> ()
+    | Ok entries ->
+        List.iter
+          (fun d ->
+            ignore (Ksyscall.Usyscall.sys_stat sys ~path:(docs ^ "/" ^ d.Kvfs.Vtypes.d_name)))
+          entries;
+        Wutil.think kernel (200 * List.length entries)
+  in
+  let edit_file () =
+    let i = Wutil.rand_int rng cfg.ls_dir_size in
+    let path = Printf.sprintf "%s/note%03d.txt" docs i in
+    (* open-read-close, think, open-write-close: the editor pattern *)
+    (match Ksyscall.Usyscall.sys_open sys ~path ~flags:[ Kvfs.Vfs.O_RDONLY ] with
+    | Error _ -> ()
+    | Ok fd ->
+        ignore (Ksyscall.Usyscall.sys_read sys ~fd ~len:max_int);
+        ignore (Ksyscall.Usyscall.sys_close sys ~fd));
+    Wutil.think kernel 50_000;
+    match
+      Ksyscall.Usyscall.sys_open sys ~path ~flags:[ Kvfs.Vfs.O_RDWR; Kvfs.Vfs.O_TRUNC ]
+    with
+    | Error _ -> ()
+    | Ok fd ->
+        ignore (Ksyscall.Usyscall.sys_write sys ~fd ~data:(Wutil.payload 2048));
+        ignore (Ksyscall.Usyscall.sys_close sys ~fd)
+  in
+  let launch_app () =
+    (* dynamic linker: stat candidate paths, open the hits *)
+    for i = 0 to 9 do
+      let path = Printf.sprintf "/lib/lib%02d.so" (Wutil.rand_int rng 30) in
+      ignore i;
+      match Ksyscall.Usyscall.sys_open sys ~path ~flags:[ Kvfs.Vfs.O_RDONLY ] with
+      | Error _ -> ()
+      | Ok fd ->
+          ignore (Ksyscall.Usyscall.sys_fstat sys ~fd);
+          ignore (Ksyscall.Usyscall.sys_read sys ~fd ~len:4096);
+          ignore (Ksyscall.Usyscall.sys_close sys ~fd)
+    done;
+    Wutil.think kernel 500_000
+  in
+  let idle () = Wutil.think kernel 2_000_000 in
+  let body () =
+    for _ = 1 to cfg.duration_events do
+      match Wutil.rand_int rng 10 with
+      | 0 | 1 | 2 -> ls_burst ()
+      | 3 | 4 | 5 -> edit_file ()
+      | 6 | 7 -> launch_app ()
+      | _ -> idle ()
+    done
+  in
+  let (), times = Ksim.Kernel.timed kernel body in
+  {
+    actions = cfg.duration_events;
+    syscalls = p.Ksim.Kproc.syscalls - sys0;
+    duration_cycles = Ksim.Kernel.now kernel - t0;
+    times;
+  }

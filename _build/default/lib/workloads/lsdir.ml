@@ -1,0 +1,57 @@
+(* ls -l: the readdir + per-entry stat pattern of E1, with its
+   consolidated readdirplus counterpart. *)
+
+type stats = {
+  entries : int;
+  syscalls : int;
+  times : Ksim.Kernel.times;
+}
+
+(* Create a directory with [n] files (untimed setup). *)
+let setup sys ~dir ~n =
+  ignore (Ksyscall.Usyscall.sys_mkdir sys ~path:dir);
+  for i = 0 to n - 1 do
+    let path = Printf.sprintf "%s/file%06d" dir i in
+    ignore
+      (Wutil.ok
+         (Ksyscall.Usyscall.sys_open_write_close sys ~path
+            ~data:(Wutil.payload 64)
+            ~flags:[ Kvfs.Vfs.O_RDWR; Kvfs.Vfs.O_CREAT ]))
+  done
+
+(* Plain: one readdir, then one stat per entry. *)
+let run_plain sys ~dir =
+  let kernel = Ksyscall.Systable.kernel sys in
+  let p = Ksim.Kernel.current kernel in
+  let sys0 = p.Ksim.Kproc.syscalls in
+  let count = ref 0 in
+  let body () =
+    let entries = Wutil.ok (Ksyscall.Usyscall.sys_readdir sys ~path:dir) in
+    List.iter
+      (fun d ->
+        let path = dir ^ "/" ^ d.Kvfs.Vtypes.d_name in
+        let st = Wutil.ok (Ksyscall.Usyscall.sys_stat sys ~path) in
+        (* format one ls -l line: a little user CPU per entry *)
+        Wutil.think kernel (70 + (st.Kvfs.Vtypes.st_size land 0));
+        incr count)
+      entries
+  in
+  let (), times = Ksim.Kernel.timed kernel body in
+  { entries = !count; syscalls = p.Ksim.Kproc.syscalls - sys0; times }
+
+(* Consolidated: one readdirplus. *)
+let run_readdirplus sys ~dir =
+  let kernel = Ksyscall.Systable.kernel sys in
+  let p = Ksim.Kernel.current kernel in
+  let sys0 = p.Ksim.Kproc.syscalls in
+  let count = ref 0 in
+  let body () =
+    let entries = Wutil.ok (Ksyscall.Usyscall.sys_readdirplus sys ~path:dir) in
+    List.iter
+      (fun (_d, st) ->
+        Wutil.think kernel (70 + (st.Kvfs.Vtypes.st_size land 0));
+        incr count)
+      entries
+  in
+  let (), times = Ksim.Kernel.timed kernel body in
+  { entries = !count; syscalls = p.Ksim.Kproc.syscalls - sys0; times }

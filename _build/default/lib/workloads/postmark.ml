@@ -1,0 +1,143 @@
+(* PostMark (Katcher, TR3022): the small-file/metadata benchmark used by
+   the paper for E6 and E7.  Create an initial pool of files with sizes
+   uniform in [min_size, max_size]; run [transactions] transactions, each
+   pairing a create-or-delete with a read-or-append; then delete the
+   remaining pool. *)
+
+type config = {
+  files : int;
+  transactions : int;
+  min_size : int;
+  max_size : int;
+  seed : int;
+  dir : string;
+  (* called between transactions; E6 hangs the user-space logger here *)
+  pump : unit -> unit;
+}
+
+let default_config =
+  {
+    files = 500;
+    transactions = 2_000;
+    min_size = 512;
+    max_size = 10_240;
+    seed = 42;
+    dir = "/postmark";
+    pump = (fun () -> ());
+  }
+
+type stats = {
+  created : int;
+  deleted : int;
+  read : int;
+  appended : int;
+  data_read : int;
+  data_written : int;
+  times : Ksim.Kernel.times;
+}
+
+let file_name cfg i = Printf.sprintf "%s/pm%06d" cfg.dir i
+
+let create_file sys cfg rng i =
+  let path = file_name cfg i in
+  let size = Wutil.rand_range rng cfg.min_size cfg.max_size in
+  let fd =
+    Wutil.ok
+      (Ksyscall.Usyscall.sys_open sys ~path
+         ~flags:[ Kvfs.Vfs.O_RDWR; Kvfs.Vfs.O_CREAT; Kvfs.Vfs.O_TRUNC ])
+  in
+  let written = Wutil.ok (Ksyscall.Usyscall.sys_write sys ~fd ~data:(Wutil.payload size)) in
+  ignore (Wutil.ok (Ksyscall.Usyscall.sys_close sys ~fd));
+  written
+
+let run ?(config = default_config) sys =
+  let cfg = config in
+  let kernel = Ksyscall.Systable.kernel sys in
+  let rng = Wutil.rng cfg.seed in
+  ignore (Ksyscall.Usyscall.sys_mkdir sys ~path:cfg.dir);
+  let live = Hashtbl.create cfg.files in
+  let next_id = ref 0 in
+  let created = ref 0
+  and deleted = ref 0
+  and read = ref 0
+  and appended = ref 0
+  and data_read = ref 0
+  and data_written = ref 0 in
+  let pick_live () =
+    (* deterministic pick: nth of the current live set *)
+    let n = Hashtbl.length live in
+    if n = 0 then None
+    else begin
+      let k = Wutil.rand_int rng n in
+      let i = ref 0 in
+      let found = ref None in
+      Hashtbl.iter
+        (fun id () ->
+          if !i = k && !found = None then found := Some id;
+          incr i)
+        live;
+      !found
+    end
+  in
+  let create_one () =
+    let id = !next_id in
+    incr next_id;
+    data_written := !data_written + create_file sys cfg rng id;
+    Hashtbl.replace live id ();
+    incr created
+  in
+  let delete_one id =
+    ignore (Wutil.ok (Ksyscall.Usyscall.sys_unlink sys ~path:(file_name cfg id)));
+    Hashtbl.remove live id;
+    incr deleted
+  in
+  let read_one id =
+    let path = file_name cfg id in
+    let fd = Wutil.ok (Ksyscall.Usyscall.sys_open sys ~path ~flags:[ Kvfs.Vfs.O_RDONLY ]) in
+    let st = Wutil.ok (Ksyscall.Usyscall.sys_fstat sys ~fd) in
+    let data =
+      Wutil.ok (Ksyscall.Usyscall.sys_read sys ~fd ~len:st.Kvfs.Vtypes.st_size)
+    in
+    data_read := !data_read + Bytes.length data;
+    ignore (Wutil.ok (Ksyscall.Usyscall.sys_close sys ~fd));
+    incr read
+  in
+  let append_one id =
+    let path = file_name cfg id in
+    let fd =
+      Wutil.ok (Ksyscall.Usyscall.sys_open sys ~path ~flags:[ Kvfs.Vfs.O_RDWR; Kvfs.Vfs.O_APPEND ])
+    in
+    let n = Wutil.rand_range rng cfg.min_size (max cfg.min_size (cfg.max_size / 4)) in
+    data_written :=
+      !data_written + Wutil.ok (Ksyscall.Usyscall.sys_write sys ~fd ~data:(Wutil.payload n));
+    ignore (Wutil.ok (Ksyscall.Usyscall.sys_close sys ~fd));
+    incr appended
+  in
+  let body () =
+    (* phase 1: initial pool *)
+    for _ = 1 to cfg.files do
+      create_one ()
+    done;
+    (* phase 2: transactions *)
+    for _ = 1 to cfg.transactions do
+      (if Wutil.rand_bool rng then create_one ()
+       else match pick_live () with Some id -> delete_one id | None -> create_one ());
+      (match pick_live () with
+      | Some id -> if Wutil.rand_bool rng then read_one id else append_one id
+      | None -> ());
+      cfg.pump ()
+    done;
+    (* phase 3: delete the remainder *)
+    let remaining = Hashtbl.fold (fun id () acc -> id :: acc) live [] in
+    List.iter delete_one (List.sort compare remaining)
+  in
+  let (), times = Ksim.Kernel.timed kernel body in
+  {
+    created = !created;
+    deleted = !deleted;
+    read = !read;
+    appended = !appended;
+    data_read = !data_read;
+    data_written = !data_written;
+    times;
+  }

@@ -1,0 +1,106 @@
+(* A static-file web server loop: per request, resolve + open + read the
+   document and "send" it (modelled as a copy back across the boundary,
+   exactly the data movement sendfile/Cosy eliminate).  The Cosy variant
+   runs open-read-close inside one compound per request with the document
+   staged through the shared buffer. *)
+
+type config = {
+  documents : int;
+  doc_size : int;
+  requests : int;
+  seed : int;
+  dir : string;
+}
+
+let default_config =
+  { documents = 50; doc_size = 16_384; requests = 500; seed = 3; dir = "/www" }
+
+type stats = {
+  served : int;
+  bytes_served : int;
+  times : Ksim.Kernel.times;
+}
+
+let doc_name cfg i = Printf.sprintf "%s/doc%04d.html" cfg.dir i
+
+let setup ?(config = default_config) sys =
+  let cfg = config in
+  ignore (Ksyscall.Usyscall.sys_mkdir sys ~path:cfg.dir);
+  for i = 0 to cfg.documents - 1 do
+    ignore
+      (Wutil.ok
+         (Ksyscall.Usyscall.sys_open_write_close sys ~path:(doc_name cfg i)
+            ~data:(Wutil.payload cfg.doc_size)
+            ~flags:[ Kvfs.Vfs.O_RDWR; Kvfs.Vfs.O_CREAT ]))
+  done
+
+let run_plain ?(config = default_config) sys =
+  let cfg = config in
+  let kernel = Ksyscall.Systable.kernel sys in
+  let rng = Wutil.rng cfg.seed in
+  let served = ref 0 and bytes = ref 0 in
+  let body () =
+    for _ = 1 to cfg.requests do
+      let path = doc_name cfg (Wutil.rand_int rng cfg.documents) in
+      let fd = Wutil.ok (Ksyscall.Usyscall.sys_open sys ~path ~flags:[ Kvfs.Vfs.O_RDONLY ]) in
+      let data = Wutil.ok (Ksyscall.Usyscall.sys_read sys ~fd ~len:max_int) in
+      ignore (Wutil.ok (Ksyscall.Usyscall.sys_close sys ~fd));
+      (* "send": the payload crosses back into the kernel for the NIC *)
+      Ksim.Kernel.enter_kernel kernel;
+      Ksim.Kernel.charge_copy_from_user kernel (Bytes.length data);
+      Ksim.Kernel.exit_kernel kernel;
+      served := !served + 1;
+      bytes := !bytes + Bytes.length data
+    done
+  in
+  let (), times = Ksim.Kernel.timed kernel body in
+  { served = !served; bytes_served = !bytes; times }
+
+(* the sendfile syscall itself: open + sendfile + close per request. *)
+let run_sendfile ?(config = default_config) sys =
+  let cfg = config in
+  let kernel = Ksyscall.Systable.kernel sys in
+  let rng = Wutil.rng cfg.seed in
+  let served = ref 0 and bytes = ref 0 in
+  let body () =
+    for _ = 1 to cfg.requests do
+      let path = doc_name cfg (Wutil.rand_int rng cfg.documents) in
+      let fd = Wutil.ok (Ksyscall.Usyscall.sys_open sys ~path ~flags:[ Kvfs.Vfs.O_RDONLY ]) in
+      let n =
+        Wutil.ok (Ksyscall.Usyscall.sys_sendfile sys ~fd ~off:0 ~len:max_int)
+      in
+      ignore (Wutil.ok (Ksyscall.Usyscall.sys_close sys ~fd));
+      served := !served + 1;
+      bytes := !bytes + n
+    done
+  in
+  let (), times = Ksim.Kernel.timed kernel body in
+  { served = !served; bytes_served = !bytes; times }
+
+(* Cosy: one compound per request; the document never visits user
+   space. *)
+let run_cosy ?(config = default_config) sys =
+  let cfg = config in
+  let kernel = Ksyscall.Systable.kernel sys in
+  let exec = Cosy.Cosy_exec.create ~shared_size:(cfg.doc_size * 2) sys in
+  let rng = Wutil.rng cfg.seed in
+  let served = ref 0 and bytes = ref 0 in
+  let body () =
+    for _ = 1 to cfg.requests do
+      let path = doc_name cfg (Wutil.rand_int rng cfg.documents) in
+      let c = Cosy.Cosy_lib.create ~shared_size:(cfg.doc_size * 2) () in
+      let buf = Cosy.Cosy_lib.alloc_shared c cfg.doc_size in
+      let fd = Cosy.Cosy_lib.syscall c "open" [ Cosy.Cosy_op.Str path; Cosy.Cosy_op.Const 0 ] in
+      let n =
+        Cosy.Cosy_lib.syscall c "read"
+          [ Cosy.Cosy_op.Slot fd; Cosy.Cosy_op.Shared buf; Cosy.Cosy_op.Const cfg.doc_size ]
+      in
+      ignore (Cosy.Cosy_lib.syscall c "close" [ Cosy.Cosy_op.Slot fd ]);
+      let compound = Cosy.Cosy_lib.finish c in
+      let slots = Cosy.Cosy_exec.submit exec compound in
+      served := !served + 1;
+      bytes := !bytes + slots.(n)
+    done
+  in
+  let (), times = Ksim.Kernel.timed kernel body in
+  ({ served = !served; bytes_served = !bytes; times }, Cosy.Cosy_exec.stats exec)

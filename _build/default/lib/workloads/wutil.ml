@@ -1,0 +1,39 @@
+(* Shared helpers for the workload drivers: a deterministic PRNG (so
+   every experiment replays bit-for-bit) and convenience wrappers that
+   fail loudly on unexpected errno. *)
+
+type rng = { mutable state : int64 }
+
+let rng seed = { state = Int64.of_int (seed lxor 0x9E3779B9) }
+
+(* xorshift64* : deterministic, fast, good enough for workload mixes *)
+let rand_int64 r =
+  let x = r.state in
+  let x = Int64.logxor x (Int64.shift_left x 13) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+  let x = Int64.logxor x (Int64.shift_left x 17) in
+  r.state <- x;
+  Int64.mul x 0x2545F4914F6CDD1DL
+
+let rand_int r bound =
+  if bound <= 0 then invalid_arg "rand_int";
+  Int64.to_int (Int64.rem (Int64.logand (rand_int64 r) Int64.max_int)
+                  (Int64.of_int bound))
+
+let rand_range r lo hi =
+  if hi < lo then invalid_arg "rand_range";
+  lo + rand_int r (hi - lo + 1)
+
+let rand_bool r = rand_int r 2 = 0
+
+exception Workload_error of string
+
+let ok = function
+  | Ok v -> v
+  | Error e ->
+      raise (Workload_error ("unexpected errno " ^ Kvfs.Vtypes.errno_to_string e))
+
+let payload n = Bytes.make n 'd'
+
+(* Charge user-mode CPU think time: parsing, formatting, compiling... *)
+let think kernel cycles = Ksim.Kernel.charge_user kernel cycles

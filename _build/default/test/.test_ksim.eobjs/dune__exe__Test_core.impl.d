@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Bytes Core Cosy Kefence Kmonitor Ksim Ktrace Kvfs List String

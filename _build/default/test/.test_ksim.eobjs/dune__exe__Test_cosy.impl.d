@@ -1,0 +1,1 @@
+test/test_cosy.ml: Alcotest Array Bytes Compound Cosy Cosy_exec Cosy_gcc Cosy_lib Cosy_op Cosy_profile Cosy_safety Hashtbl Ksim Ksyscall Kvfs List Minic QCheck QCheck_alcotest Shared_buffer

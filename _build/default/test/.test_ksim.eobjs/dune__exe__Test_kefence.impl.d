@@ -1,0 +1,1 @@
+test/test_kefence.ml: Alcotest Core Kefence Ksim Kvfs List QCheck QCheck_alcotest String Workloads

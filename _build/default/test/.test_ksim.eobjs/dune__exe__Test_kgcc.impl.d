@@ -1,0 +1,1 @@
+test/test_kgcc.ml: Alcotest Int Kgcc Ksim List Map Minic QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_kmonitor.ml: Alcotest Domain Fun Kmonitor Ksim List QCheck QCheck_alcotest Queue

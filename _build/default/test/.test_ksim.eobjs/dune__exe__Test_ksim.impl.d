@@ -1,0 +1,1 @@
+test/test_ksim.ml: Alcotest Bytes Gen Ksim List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_ksyscall.ml: Alcotest Bytes Ksim Ksyscall Kvfs List Printf

@@ -1,0 +1,1 @@
+test/test_ktrace.ml: Alcotest Bytes Ksim Ksyscall Ktrace Kvfs List Printf

@@ -1,0 +1,1 @@
+test/test_kvfs.ml: Alcotest Bytes Kgcc Ksim Kvfs List Printf

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Core Cosy Kefence Kmonitor Ksim Ktrace List Workloads

@@ -1,0 +1,108 @@
+(* Tests for the Core facade: booting each filesystem stack and the
+   attach/detach helpers. *)
+
+let test_boot_memfs () =
+  let t = Core.boot () in
+  let sys = Core.sys t in
+  let fd = Core.ok (Core.Syscall.sys_open sys ~path:"/hello" ~flags:Core.o_create) in
+  ignore (Core.ok (Core.Syscall.sys_write sys ~fd ~data:(Bytes.of_string "world")));
+  ignore (Core.ok (Core.Syscall.sys_close sys ~fd));
+  Alcotest.(check string) "round trip" "world"
+    (Bytes.to_string
+       (Core.ok (Core.Syscall.sys_open_read_close sys ~path:"/hello" ~maxlen:100)));
+  Alcotest.(check bool) "no optional subsystems" true
+    (Core.kefence t = None && Core.wrapfs t = None && Core.journalfs t = None)
+
+let test_boot_each_fs () =
+  let stacks =
+    [
+      ("wrapfs-kmalloc", Core.Wrapfs_kmalloc);
+      ("wrapfs-kefence", Core.Wrapfs_kefence Kefence.Crash);
+      ("journalfs", Core.Journalfs);
+      ("journalfs-kgcc", Core.Journalfs_kgcc);
+    ]
+  in
+  List.iter
+    (fun (name, fs) ->
+      let t = Core.boot ~fs () in
+      let sys = Core.sys t in
+      let fd =
+        Core.ok (Core.Syscall.sys_open sys ~path:"/f" ~flags:Core.o_create)
+      in
+      ignore (Core.ok (Core.Syscall.sys_write sys ~fd ~data:(Bytes.of_string name)));
+      ignore (Core.ok (Core.Syscall.sys_close sys ~fd));
+      let st = Core.ok (Core.Syscall.sys_stat sys ~path:"/f") in
+      Alcotest.(check int) (name ^ " size") (String.length name)
+        st.Kvfs.Vtypes.st_size)
+    stacks
+
+let test_boot_flags_expose_subsystems () =
+  let t = Core.boot ~fs:(Core.Wrapfs_kefence Kefence.Log_only) () in
+  (match Core.kefence t with
+  | Some kf -> Alcotest.(check bool) "mode respected" true (Kefence.mode kf = Kefence.Log_only)
+  | None -> Alcotest.fail "kefence expected");
+  Alcotest.(check bool) "wrapfs exposed" true (Core.wrapfs t <> None);
+  let t2 = Core.boot ~fs:Core.Journalfs_kgcc () in
+  Alcotest.(check bool) "kgcc runtime exposed" true (Core.kgcc_runtime t2 <> None)
+
+let test_monitoring_lifecycle () =
+  let t = Core.boot () in
+  Alcotest.(check bool) "off initially" true (Core.dispatcher t = None);
+  let d = Core.enable_monitoring t in
+  let l = Ksim.Spinlock.create "probe" in
+  Ksim.Spinlock.lock l;
+  Ksim.Spinlock.unlock l;
+  Alcotest.(check int) "events flow" 2 (Kmonitor.Dispatcher.events d);
+  Core.disable_monitoring t;
+  Ksim.Spinlock.lock l;
+  Ksim.Spinlock.unlock l;
+  Alcotest.(check int) "events stop" 2 (Kmonitor.Dispatcher.events d)
+
+let test_trace_helper () =
+  let t = Core.boot () in
+  let r = Core.trace t in
+  ignore (Core.Syscall.sys_getpid (Core.sys t));
+  Alcotest.(check int) "recorded" 1 (Ktrace.Recorder.count r)
+
+let test_cosy_helper () =
+  let t = Core.boot () in
+  let exec = Core.cosy t in
+  let c = Cosy.Cosy_lib.create () in
+  let r = Cosy.Cosy_lib.syscall c "getpid" [] in
+  let slots = Cosy.Cosy_exec.submit exec (Cosy.Cosy_lib.finish c) in
+  Alcotest.(check int) "getpid via compound" 1 slots.(r)
+
+let test_sys_error_exception () =
+  let t = Core.boot () in
+  try
+    ignore (Core.ok (Core.Syscall.sys_stat (Core.sys t) ~path:"/absent"));
+    Alcotest.fail "expected Sys_error"
+  with Core.Sys_error e ->
+    Alcotest.(check string) "errno" "ENOENT" (Kvfs.Vtypes.errno_to_string e)
+
+let test_custom_cost_model () =
+  let config =
+    { Ksim.Kernel.default_config with cost = Ksim.Cost_model.zero }
+  in
+  let t = Core.boot ~config () in
+  ignore (Core.Syscall.sys_getpid (Core.sys t));
+  Alcotest.(check int) "free under zero model" 0 (Ksim.Kernel.now (Core.kernel t))
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "boot",
+        [
+          Alcotest.test_case "memfs" `Quick test_boot_memfs;
+          Alcotest.test_case "each fs" `Quick test_boot_each_fs;
+          Alcotest.test_case "subsystems" `Quick test_boot_flags_expose_subsystems;
+          Alcotest.test_case "cost model" `Quick test_custom_cost_model;
+        ] );
+      ( "helpers",
+        [
+          Alcotest.test_case "monitoring" `Quick test_monitoring_lifecycle;
+          Alcotest.test_case "trace" `Quick test_trace_helper;
+          Alcotest.test_case "cosy" `Quick test_cosy_helper;
+          Alcotest.test_case "sys error" `Quick test_sys_error_exception;
+        ] );
+    ]

@@ -1,0 +1,234 @@
+(* Tests for Kefence: guard-page allocation, overflow/underflow
+   detection, the four reaction modes, and reporting. *)
+
+let mk () =
+  let kernel = Ksim.Kernel.create () in
+  (kernel, Ksim.Kernel.kspace kernel)
+
+let write space addr s =
+  Ksim.Address_space.write_string ~pc:"test_kefence.ml:write" space ~addr s
+
+let read space addr len =
+  Ksim.Address_space.read_string ~pc:"test_kefence.ml:read" space ~addr ~len
+
+let test_alloc_free () =
+  let kernel, space = mk () in
+  let kf = Kefence.create kernel in
+  let a = Kefence.alloc kf 100 in
+  write space a (String.make 100 'x');
+  Alcotest.(check string) "full buffer usable" (String.make 100 'x')
+    (read space a 100);
+  Alcotest.(check int) "one live" 1 (Kefence.live_buffers kf);
+  Kefence.free kf a;
+  Alcotest.(check int) "freed" 0 (Kefence.live_buffers kf);
+  Alcotest.check_raises "double free"
+    (Invalid_argument "Kefence.free: not a kefence buffer") (fun () ->
+      Kefence.free kf a)
+
+let test_overflow_crash_mode () =
+  let kernel, space = mk () in
+  let kf = Kefence.create ~mode:Kefence.Crash kernel in
+  let a = Kefence.alloc kf 64 in
+  (* one byte past the end lands on the guardian *)
+  (try
+     write space (a + 64) "!";
+     Alcotest.fail "expected guardian fault"
+   with Ksim.Fault.Fault f ->
+     Alcotest.(check bool) "guardian" true
+       (f.Ksim.Fault.reason = Ksim.Fault.Guardian));
+  Alcotest.(check int) "detected" 1 (Kefence.overflows_detected kf);
+  match Kefence.reports kf with
+  | [ r ] ->
+      Alcotest.(check (option int)) "buffer identified" (Some a) r.Kefence.buffer;
+      Alcotest.(check (option int)) "size recorded" (Some 64) r.Kefence.buffer_size;
+      Alcotest.(check string) "pc recorded" "test_kefence.ml:write" r.Kefence.pc
+  | _ -> Alcotest.fail "expected one report"
+
+let test_first_oob_byte_faults () =
+  (* the buffer is placed flush against the guardian so even a 1-byte
+     allocation traps on the very first out-of-bounds byte *)
+  let kernel, space = mk () in
+  let kf = Kefence.create kernel in
+  let a = Kefence.alloc kf 1 in
+  write space a "x";
+  try
+    write space (a + 1) "y";
+    Alcotest.fail "expected fault"
+  with Ksim.Fault.Fault _ -> ()
+
+let test_log_only_mode () =
+  let kernel, space = mk () in
+  let kf = Kefence.create ~mode:Kefence.Log_only kernel in
+  let a = Kefence.alloc kf 32 in
+  (* overflow suppressed, execution continues *)
+  write space (a + 32) "!";
+  write space (a + 33) "!";
+  Alcotest.(check int) "both logged" 2 (Kefence.overflows_detected kf);
+  Alcotest.(check int) "syslog lines" 2 (List.length (Kefence.syslog kf))
+
+let test_auto_map_rw_mode () =
+  let kernel, space = mk () in
+  let kf = Kefence.create ~mode:Kefence.Auto_map_rw kernel in
+  let a = Kefence.alloc kf 16 in
+  write space (a + 16) "Z";
+  (* the auto-mapped page is real memory now: value readable, and only
+     the first access reported *)
+  Alcotest.(check string) "oob value readable" "Z" (read space (a + 16) 1);
+  write space (a + 17) "Y";
+  Alcotest.(check int) "single report per page" 1 (Kefence.overflows_detected kf)
+
+let test_auto_map_ro_mode () =
+  let kernel, space = mk () in
+  let kf = Kefence.create ~mode:Kefence.Auto_map_ro kernel in
+  let a = Kefence.alloc kf 16 in
+  (* reads succeed (zero-filled page) *)
+  Alcotest.(check string) "oob read ok" "\000" (read space (a + 16) 1);
+  (* writes still kill *)
+  try
+    write space (a + 16) "!";
+    Alcotest.fail "expected fault"
+  with Ksim.Fault.Fault _ -> ()
+
+let test_underflow_protection () =
+  let kernel, space = mk () in
+  let kf = Kefence.create ~protect:Kefence.Underflow kernel in
+  let a = Kefence.alloc kf 64 in
+  write space a (String.make 64 'v');
+  (* one byte before the buffer traps *)
+  try
+    write space (a - 1) "!";
+    Alcotest.fail "expected underflow fault"
+  with Ksim.Fault.Fault f ->
+    Alcotest.(check bool) "guardian" true
+      (f.Ksim.Fault.reason = Ksim.Fault.Guardian)
+
+let test_page_multiple_both_guarded () =
+  (* allocations that are a multiple of the page size are end-aligned
+     AND start page-aligned, detecting overflow; underflow detection for
+     them needs the other mode, as the paper notes *)
+  let kernel, space = mk () in
+  let kf = Kefence.create kernel in
+  let a = Kefence.alloc kf 4096 in
+  Alcotest.(check int) "page aligned" 0 (a mod 4096);
+  write space a (String.make 4096 'p');
+  try
+    write space (a + 4096) "!";
+    Alcotest.fail "expected fault"
+  with Ksim.Fault.Fault _ -> ()
+
+let test_non_kefence_faults_pass_through () =
+  let kernel, space = mk () in
+  let _kf = Kefence.create ~mode:Kefence.Auto_map_rw kernel in
+  (* a plain not-present fault is not swallowed by the kefence handler *)
+  try
+    ignore (read space 0x7777_0000 1);
+    Alcotest.fail "expected fault"
+  with Ksim.Fault.Fault f ->
+    Alcotest.(check bool) "not-present preserved" true
+      (f.Ksim.Fault.reason = Ksim.Fault.Not_present)
+
+let test_wrapfs_with_kefence_catches_injected_bug () =
+  let t = Core.boot ~fs:(Core.Wrapfs_kefence Kefence.Crash) () in
+  (match Core.wrapfs t with
+  | Some w -> Kvfs.Wrapfs.inject_overflow w 4200
+  | None -> Alcotest.fail "no wrapfs");
+  (try
+     ignore
+       (Core.Syscall.sys_open (Core.sys t) ~path:"/boom" ~flags:Core.o_create);
+     Alcotest.fail "expected fault"
+   with Ksim.Fault.Fault f ->
+     Alcotest.(check bool) "guardian" true
+       (f.Ksim.Fault.reason = Ksim.Fault.Guardian));
+  match Core.kefence t with
+  | Some kf -> Alcotest.(check int) "reported" 1 (Kefence.overflows_detected kf)
+  | None -> Alcotest.fail "no kefence"
+
+let test_wrapfs_with_kefence_clean_run () =
+  (* with no injected bug, a full workload triggers zero reports *)
+  let t = Core.boot ~fs:(Core.Wrapfs_kefence Kefence.Crash) () in
+  let sys = Core.sys t in
+  Workloads.Lsdir.setup sys ~dir:"/d" ~n:50;
+  ignore (Workloads.Lsdir.run_plain sys ~dir:"/d");
+  match Core.kefence t with
+  | Some kf -> Alcotest.(check int) "no false positives" 0 (Kefence.overflows_detected kf)
+  | None -> Alcotest.fail "no kefence"
+
+let test_dynamic_policy_trusts_sites () =
+  let kernel, space = mk () in
+  ignore space;
+  let kf =
+    Kefence.create ~dynamic:{ Kefence.trust_site_after = 3 } kernel
+  in
+  (* first three allocations from a site are guarded; later ones are not *)
+  let addrs = List.init 6 (fun _ -> Kefence.alloc ~site:"wrapfs.c:42" kf 64) in
+  Alcotest.(check int) "three unguarded" 3 (Kefence.unguarded_allocs kf);
+  Alcotest.(check int) "three guarded live" 3 (Kefence.live_buffers kf);
+  (* frees route to the right allocator *)
+  List.iter (Kefence.free kf) addrs;
+  Alcotest.(check int) "all guarded freed" 0 (Kefence.live_buffers kf)
+
+let test_dynamic_policy_distrust () =
+  let kernel, _ = mk () in
+  let kf = Kefence.create ~dynamic:{ Kefence.trust_site_after = 1 } kernel in
+  ignore (Kefence.alloc ~site:"s" kf 8);
+  ignore (Kefence.alloc ~site:"s" kf 8);
+  Alcotest.(check int) "second alloc unguarded" 1 (Kefence.unguarded_allocs kf);
+  (* after an overflow is blamed on the site, it is guarded again *)
+  Kefence.distrust_site kf "s";
+  ignore (Kefence.alloc ~site:"s" kf 8);
+  Alcotest.(check int) "guarded once more" 1 (Kefence.unguarded_allocs kf)
+
+let test_dynamic_policy_anonymous_sites_always_guarded () =
+  let kernel, _ = mk () in
+  let kf = Kefence.create ~dynamic:{ Kefence.trust_site_after = 1 } kernel in
+  for _ = 1 to 5 do
+    ignore (Kefence.alloc kf 16)
+  done;
+  Alcotest.(check int) "no site, no trust" 0 (Kefence.unguarded_allocs kf)
+
+let qcheck_no_false_positives =
+  QCheck.Test.make ~name:"in-bounds access never faults" ~count:100
+    QCheck.(pair (int_range 1 5000) (int_range 0 99))
+    (fun (size, seed) ->
+      let kernel, space = mk () in
+      ignore kernel;
+      let kf = Kefence.create kernel in
+      let a = Kefence.alloc kf size in
+      let off = seed * (max 1 (size - 1)) / 99 in
+      let off = min off (size - 1) in
+      write space (a + off) "x";
+      read space (a + off) 1 = "x")
+
+let () =
+  Alcotest.run "kefence"
+    [
+      ( "alloc",
+        [
+          Alcotest.test_case "alloc/free" `Quick test_alloc_free;
+          Alcotest.test_case "first oob byte" `Quick test_first_oob_byte_faults;
+          Alcotest.test_case "page multiple" `Quick test_page_multiple_both_guarded;
+          QCheck_alcotest.to_alcotest qcheck_no_false_positives;
+        ] );
+      ( "modes",
+        [
+          Alcotest.test_case "crash" `Quick test_overflow_crash_mode;
+          Alcotest.test_case "log only" `Quick test_log_only_mode;
+          Alcotest.test_case "auto-map rw" `Quick test_auto_map_rw_mode;
+          Alcotest.test_case "auto-map ro" `Quick test_auto_map_ro_mode;
+          Alcotest.test_case "underflow" `Quick test_underflow_protection;
+          Alcotest.test_case "pass-through" `Quick test_non_kefence_faults_pass_through;
+        ] );
+      ( "dynamic-policy",
+        [
+          Alcotest.test_case "trusts sites" `Quick test_dynamic_policy_trusts_sites;
+          Alcotest.test_case "distrust" `Quick test_dynamic_policy_distrust;
+          Alcotest.test_case "anonymous guarded" `Quick
+            test_dynamic_policy_anonymous_sites_always_guarded;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "catches injected wrapfs bug" `Quick
+            test_wrapfs_with_kefence_catches_injected_bug;
+          Alcotest.test_case "clean workload" `Quick test_wrapfs_with_kefence_clean_run;
+        ] );
+    ]

@@ -1,0 +1,438 @@
+(* Tests for KGCC: the splay-tree address map, the object map with OOB
+   peers, the runtime checks, the instrumentation pass, check-CSE, and
+   dynamic deinstrumentation. *)
+
+(* --- splay tree ------------------------------------------------------------ *)
+
+let test_splay_basic () =
+  let t = Kgcc.Splay.create () in
+  Kgcc.Splay.insert t ~base:100 ~size:10 ~meta:"a";
+  Kgcc.Splay.insert t ~base:200 ~size:20 ~meta:"b";
+  Kgcc.Splay.insert t ~base:50 ~size:5 ~meta:"c";
+  Alcotest.(check int) "count" 3 (Kgcc.Splay.size t);
+  (match Kgcc.Splay.find_containing t 105 with
+  | Some (100, 10, "a") -> ()
+  | _ -> Alcotest.fail "find 105");
+  (match Kgcc.Splay.find_containing t 219 with
+  | Some (200, 20, "b") -> ()
+  | _ -> Alcotest.fail "find 219");
+  Alcotest.(check bool) "boundary excluded" true
+    (Kgcc.Splay.find_containing t 110 = None);
+  Alcotest.(check bool) "gap" true (Kgcc.Splay.find_containing t 70 = None);
+  Alcotest.(check bool) "remove" true (Kgcc.Splay.remove t ~base:100);
+  Alcotest.(check bool) "gone" true (Kgcc.Splay.find_containing t 105 = None);
+  Alcotest.(check bool) "remove missing" false (Kgcc.Splay.remove t ~base:100)
+
+let test_splay_locality () =
+  (* repeated access to the same object costs fewer rotations than
+     round-robin access over many objects: the paper's rationale *)
+  let mk n =
+    let t = Kgcc.Splay.create () in
+    for i = 0 to n - 1 do
+      Kgcc.Splay.insert t ~base:(i * 100) ~size:50 ~meta:i
+    done;
+    t
+  in
+  let t1 = mk 100 in
+  Kgcc.Splay.reset_stats t1;
+  for _ = 1 to 1000 do
+    ignore (Kgcc.Splay.find_containing t1 4210)
+  done;
+  let local = Kgcc.Splay.rotations t1 in
+  let t2 = mk 100 in
+  Kgcc.Splay.reset_stats t2;
+  for i = 1 to 1000 do
+    ignore (Kgcc.Splay.find_containing t2 (i * 97 mod 100 * 100))
+  done;
+  let scattered = Kgcc.Splay.rotations t2 in
+  Alcotest.(check bool) "locality cheaper" true (local < scattered)
+
+let qcheck_splay_vs_reference =
+  (* random interleaving of inserts/removes/queries matches a naive
+     association-list implementation *)
+  let module M = Map.Make (Int) in
+  QCheck.Test.make ~name:"splay matches reference map" ~count:200
+    QCheck.(list (pair (int_bound 2) (int_bound 50)))
+    (fun ops ->
+      let t = Kgcc.Splay.create () in
+      let reference = ref M.empty in
+      List.for_all
+        (fun (op, k) ->
+          let base = k * 10 in
+          match op with
+          | 0 ->
+              Kgcc.Splay.insert t ~base ~size:10 ~meta:k;
+              reference := M.add base (10, k) !reference;
+              true
+          | 1 ->
+              let expected = M.mem base !reference in
+              reference := M.remove base !reference;
+              Kgcc.Splay.remove t ~base = expected
+          | _ ->
+              let addr = base + 5 in
+              let expected =
+                M.fold
+                  (fun b (s, m) acc ->
+                    if b <= addr && addr < b + s then Some (b, s, m) else acc)
+                  !reference None
+              in
+              Kgcc.Splay.find_containing t addr = expected)
+        ops)
+
+(* --- object map ------------------------------------------------------------- *)
+
+let test_objmap_oob_peers () =
+  let m = Kgcc.Objmap.create () in
+  Kgcc.Objmap.register m ~base:1000 ~size:100 ~kind:Kgcc.Objmap.Heap ~name:"buf";
+  (match Kgcc.Objmap.classify m 1050 with
+  | Kgcc.Objmap.In_bounds { base = 1000; _ } -> ()
+  | _ -> Alcotest.fail "in bounds");
+  Alcotest.(check bool) "outside unknown" true
+    (Kgcc.Objmap.classify m 1200 = Kgcc.Objmap.Unknown);
+  Kgcc.Objmap.make_peer m ~obj_base:1000 ~addr:1200;
+  (match Kgcc.Objmap.classify m 1200 with
+  | Kgcc.Objmap.Oob { peer_base = 1000 } -> ()
+  | _ -> Alcotest.fail "peer classified");
+  (* the peer's owner is the original object *)
+  (match Kgcc.Objmap.owner m 1200 with
+  | Some (1000, 100, _) -> ()
+  | _ -> Alcotest.fail "owner via peer");
+  Kgcc.Objmap.drop_peer m ~addr:1200;
+  Alcotest.(check bool) "peer dropped" true
+    (Kgcc.Objmap.classify m 1200 = Kgcc.Objmap.Unknown)
+
+(* --- runtime checks ---------------------------------------------------------- *)
+
+let mk_rt ?deinstrument_after () =
+  let clock = Ksim.Sim_clock.create () in
+  Kgcc.Kgcc_runtime.create ?deinstrument_after ~clock ~cost:Ksim.Cost_model.default ()
+
+let test_check_deref () =
+  let rt = mk_rt () in
+  Kgcc.Objmap.register (Kgcc.Kgcc_runtime.objmap rt) ~base:500 ~size:64
+    ~kind:Kgcc.Objmap.Heap ~name:"b";
+  Alcotest.(check int) "in bounds returns pointer" 500
+    (Kgcc.Kgcc_runtime.check_deref rt 500 8 1);
+  Alcotest.(check int) "last byte ok" 563
+    (Kgcc.Kgcc_runtime.check_deref rt 563 1 2);
+  (try
+     ignore (Kgcc.Kgcc_runtime.check_deref rt 560 8 3);
+     Alcotest.fail "expected straddling violation"
+   with Kgcc.Kgcc_runtime.Bounds_violation { line; _ } ->
+     Alcotest.(check int) "line" 3 line);
+  try
+    ignore (Kgcc.Kgcc_runtime.check_deref rt 9999 1 4);
+    Alcotest.fail "expected unknown violation"
+  with Kgcc.Kgcc_runtime.Bounds_violation _ -> ()
+
+let test_check_arith_oob_cycle () =
+  let rt = mk_rt () in
+  let m = Kgcc.Kgcc_runtime.objmap rt in
+  Kgcc.Objmap.register m ~base:500 ~size:64 ~kind:Kgcc.Objmap.Heap ~name:"b";
+  (* ptr+i beyond the end: allowed, creates a peer *)
+  let oob = Kgcc.Kgcc_runtime.check_arith rt 500 600 1 in
+  Alcotest.(check int) "value passes through" 600 oob;
+  (* dereferencing the peer is a violation *)
+  (try
+     ignore (Kgcc.Kgcc_runtime.check_deref rt 600 1 2);
+     Alcotest.fail "expected oob deref violation"
+   with Kgcc.Kgcc_runtime.Bounds_violation _ -> ());
+  (* arithmetic on the peer returning into bounds is fine again *)
+  let back = Kgcc.Kgcc_runtime.check_arith rt 600 520 3 in
+  Alcotest.(check int) "back in bounds" 520
+    (Kgcc.Kgcc_runtime.check_deref rt back 1 4);
+  (* arithmetic on a completely unknown pointer is a violation *)
+  try
+    ignore (Kgcc.Kgcc_runtime.check_arith rt 123456 123457 5);
+    Alcotest.fail "expected unknown arith violation"
+  with Kgcc.Kgcc_runtime.Bounds_violation _ -> ()
+
+let test_one_past_end_is_legal_edge () =
+  let rt = mk_rt () in
+  Kgcc.Objmap.register (Kgcc.Kgcc_runtime.objmap rt) ~base:500 ~size:64
+    ~kind:Kgcc.Objmap.Heap ~name:"b";
+  (* &b[64] is legal C to form but not to dereference *)
+  let e = Kgcc.Kgcc_runtime.check_arith rt 500 564 1 in
+  Alcotest.(check int) "formed" 564 e;
+  try
+    ignore (Kgcc.Kgcc_runtime.check_deref rt 564 1 2);
+    Alcotest.fail "expected violation"
+  with Kgcc.Kgcc_runtime.Bounds_violation _ -> ()
+
+let test_check_range () =
+  let rt = mk_rt () in
+  Kgcc.Objmap.register (Kgcc.Kgcc_runtime.objmap rt) ~base:0x1000 ~size:128
+    ~kind:Kgcc.Objmap.Heap ~name:"r";
+  Alcotest.(check int) "whole object" 0x1000
+    (Kgcc.Kgcc_runtime.check_range rt 0x1000 128 1);
+  try
+    ignore (Kgcc.Kgcc_runtime.check_range rt 0x1000 129 2);
+    Alcotest.fail "expected range violation"
+  with Kgcc.Kgcc_runtime.Bounds_violation _ -> ()
+
+(* --- instrumentation --------------------------------------------------------- *)
+
+let mk_interp () =
+  let clock = Ksim.Sim_clock.create () in
+  let mem = Ksim.Phys_mem.create ~page_size:4096 in
+  let space =
+    Ksim.Address_space.create ~name:"i" ~mem ~clock ~cost:Ksim.Cost_model.zero
+  in
+  ( clock,
+    Minic.Interp.create ~space ~clock ~cost:Ksim.Cost_model.zero ~base_vpn:16
+      ~pages:64 )
+
+(* run [src] under KGCC instrumentation; returns (result, runtime stats) *)
+let run_instrumented ?deinstrument_after ?(optimize = true) ?(fn = "main") src =
+  let clock, interp = mk_interp () in
+  let rt =
+    Kgcc.Kgcc_runtime.create ?deinstrument_after ~clock
+      ~cost:Ksim.Cost_model.zero ()
+  in
+  Kgcc.Kgcc_runtime.attach rt interp;
+  let p = Minic.Parser.parse_program src in
+  let result = Kgcc.Compile.compile ~optimize p in
+  ignore (Minic.Interp.load_program interp result.Kgcc.Compile.program);
+  let v = Minic.Interp.run interp fn in
+  (v, Kgcc.Kgcc_runtime.stats rt, result)
+
+let sum_prog =
+  {|
+int main(void) {
+  int a[10];
+  int i;
+  int s = 0;
+  for (i = 0; i < 10; i++) a[i] = i;
+  for (i = 0; i < 10; i++) s += a[i];
+  return s;
+}
+|}
+
+let test_instrumented_same_result () =
+  let v, stats, _ = run_instrumented sum_prog in
+  Alcotest.(check int) "sum preserved" 45 v;
+  Alcotest.(check bool) "checks ran" true (stats.Kgcc.Kgcc_runtime.checks_executed > 10);
+  Alcotest.(check int) "no violations" 0 stats.Kgcc.Kgcc_runtime.violations
+
+let test_instrumented_catches_overflow () =
+  let src =
+    {|
+int main(void) {
+  int a[10];
+  int i;
+  for (i = 0; i <= 10; i++) a[i] = i;  /* classic off-by-one */
+  return 0;
+}
+|}
+  in
+  try
+    ignore (run_instrumented src);
+    Alcotest.fail "expected bounds violation"
+  with Kgcc.Kgcc_runtime.Bounds_violation { line; _ } ->
+    Alcotest.(check int) "flagged the write" 5 line
+
+let test_instrumented_catches_heap_overflow () =
+  let src =
+    {|
+int main(void) {
+  char *p = malloc(8);
+  p[8] = 1;
+  return 0;
+}
+|}
+  in
+  try
+    ignore (run_instrumented src);
+    Alcotest.fail "expected heap violation"
+  with Kgcc.Kgcc_runtime.Bounds_violation _ -> ()
+
+let test_instrumented_catches_use_after_free () =
+  let src =
+    {|
+int main(void) {
+  char *p = malloc(8);
+  free(p);
+  return p[0];
+}
+|}
+  in
+  try
+    ignore (run_instrumented src);
+    Alcotest.fail "expected use-after-free"
+  with Kgcc.Kgcc_runtime.Bounds_violation _ -> ()
+
+let test_strcpy_checked () =
+  let src =
+    {|
+int main(void) {
+  char *p = malloc(4);
+  strcpy(p, "way too long for four bytes");
+  return 0;
+}
+|}
+  in
+  try
+    ignore (run_instrumented src);
+    Alcotest.fail "expected strcpy overflow"
+  with
+  | Kgcc.Kgcc_runtime.Bounds_violation _ -> ()
+  | Ksim.Fault.Fault _ -> Alcotest.fail "hardware fault instead of check"
+
+let test_register_locals_unchecked () =
+  (* scalars whose address is never taken produce no checks at all *)
+  let src = "int main(void) { int x = 1; int y = 2; return x + y; }" in
+  let v, stats, result = run_instrumented src in
+  Alcotest.(check int) "result" 3 v;
+  Alcotest.(check int) "no checks inserted" 0
+    (result.Kgcc.Compile.checks_inserted - result.Kgcc.Compile.checks_removed);
+  Alcotest.(check int) "none executed" 0 stats.Kgcc.Kgcc_runtime.checks_executed
+
+let test_code_size_growth () =
+  let p = Minic.Parser.parse_program sum_prog in
+  let r = Kgcc.Compile.compile ~optimize:false p in
+  Alcotest.(check bool) "instrumented code is larger" true
+    (r.Kgcc.Compile.size_after > r.Kgcc.Compile.size_before);
+  Alcotest.(check bool) "checks inserted" true (r.Kgcc.Compile.checks_inserted > 0)
+
+(* --- check-CSE ---------------------------------------------------------------- *)
+
+let test_cse_removes_repeated_checks () =
+  let src =
+    {|
+int get(int *p) {
+  return *p + *p + *p;
+}
+|}
+  in
+  let p = Minic.Parser.parse_program src in
+  let no_opt = Kgcc.Compile.compile ~optimize:false p in
+  let p2 = Minic.Parser.parse_program src in
+  let opt = Kgcc.Compile.compile ~optimize:true p2 in
+  Alcotest.(check int) "three checks without CSE" 3
+    no_opt.Kgcc.Compile.checks_inserted;
+  Alcotest.(check int) "two removed by CSE" 2 opt.Kgcc.Compile.checks_removed
+
+let test_cse_respects_reassignment () =
+  let src =
+    {|
+int get(int *p, int *q) {
+  int a = *p;
+  p = q;
+  int b = *p;
+  return a + b;
+}
+|}
+  in
+  let p = Minic.Parser.parse_program src in
+  let opt = Kgcc.Compile.compile ~optimize:true p in
+  (* the second deref is through a different pointer value: not removable *)
+  Alcotest.(check int) "nothing removed" 0 opt.Kgcc.Compile.checks_removed
+
+let test_cse_invalidated_by_free () =
+  let src =
+    {|
+int main(void) {
+  char *p = malloc(4);
+  p[0] = 1;
+  free(p);
+  p[0] = 2;
+  return 0;
+}
+|}
+  in
+  (* CSE must NOT remove the second check: free invalidates *)
+  try
+    ignore (run_instrumented ~optimize:true src);
+    Alcotest.fail "expected use-after-free caught"
+  with Kgcc.Kgcc_runtime.Bounds_violation _ -> ()
+
+let test_cse_preserves_semantics () =
+  let v_opt, _, _ = run_instrumented ~optimize:true sum_prog in
+  let v_raw, _, _ = run_instrumented ~optimize:false sum_prog in
+  Alcotest.(check int) "same answer" v_raw v_opt
+
+(* --- dynamic deinstrumentation -------------------------------------------------- *)
+
+let hot_loop =
+  {|
+int main(void) {
+  int a[4];
+  int i;
+  int s = 0;
+  a[0] = 1; a[1] = 2; a[2] = 3; a[3] = 4;
+  for (i = 0; i < 1000; i++) s += a[i % 4];
+  return s;
+}
+|}
+
+let test_deinstrumentation_skips_hot_checks () =
+  let v, stats, _ = run_instrumented ~deinstrument_after:50 hot_loop in
+  Alcotest.(check int) "result preserved" 2500 v;
+  Alcotest.(check bool) "checks skipped" true
+    (stats.Kgcc.Kgcc_runtime.checks_skipped > 500);
+  Alcotest.(check bool) "early checks still ran" true
+    (stats.Kgcc.Kgcc_runtime.checks_executed > 0)
+
+let test_deinstrumentation_off_by_default () =
+  let _, stats, _ = run_instrumented hot_loop in
+  Alcotest.(check int) "nothing skipped" 0 stats.Kgcc.Kgcc_runtime.checks_skipped
+
+let test_deinstrumentation_reclaims_time () =
+  let run deinstrument =
+    let clock, interp = mk_interp () in
+    let rt =
+      Kgcc.Kgcc_runtime.create
+        ?deinstrument_after:(if deinstrument then Some 50 else None)
+        ~clock ~cost:Ksim.Cost_model.default ()
+    in
+    Kgcc.Kgcc_runtime.attach rt interp;
+    let p = Minic.Parser.parse_program hot_loop in
+    let r = Kgcc.Compile.compile p in
+    ignore (Minic.Interp.load_program interp r.Kgcc.Compile.program);
+    let t0 = Ksim.Sim_clock.now clock in
+    ignore (Minic.Interp.run interp "main");
+    Ksim.Sim_clock.now clock - t0
+  in
+  Alcotest.(check bool) "deinstrumented run cheaper" true (run true < run false)
+
+let () =
+  Alcotest.run "kgcc"
+    [
+      ( "splay",
+        [
+          Alcotest.test_case "basic" `Quick test_splay_basic;
+          Alcotest.test_case "locality" `Quick test_splay_locality;
+          QCheck_alcotest.to_alcotest qcheck_splay_vs_reference;
+        ] );
+      ("objmap", [ Alcotest.test_case "oob peers" `Quick test_objmap_oob_peers ]);
+      ( "checks",
+        [
+          Alcotest.test_case "deref" `Quick test_check_deref;
+          Alcotest.test_case "arith oob cycle" `Quick test_check_arith_oob_cycle;
+          Alcotest.test_case "one past end" `Quick test_one_past_end_is_legal_edge;
+          Alcotest.test_case "range" `Quick test_check_range;
+        ] );
+      ( "instrument",
+        [
+          Alcotest.test_case "same result" `Quick test_instrumented_same_result;
+          Alcotest.test_case "stack overflow caught" `Quick test_instrumented_catches_overflow;
+          Alcotest.test_case "heap overflow caught" `Quick test_instrumented_catches_heap_overflow;
+          Alcotest.test_case "use after free" `Quick test_instrumented_catches_use_after_free;
+          Alcotest.test_case "strcpy checked" `Quick test_strcpy_checked;
+          Alcotest.test_case "register locals skipped" `Quick test_register_locals_unchecked;
+          Alcotest.test_case "code size growth" `Quick test_code_size_growth;
+        ] );
+      ( "check-cse",
+        [
+          Alcotest.test_case "removes repeats" `Quick test_cse_removes_repeated_checks;
+          Alcotest.test_case "respects reassignment" `Quick test_cse_respects_reassignment;
+          Alcotest.test_case "free invalidates" `Quick test_cse_invalidated_by_free;
+          Alcotest.test_case "semantics preserved" `Quick test_cse_preserves_semantics;
+        ] );
+      ( "deinstrumentation",
+        [
+          Alcotest.test_case "skips hot checks" `Quick test_deinstrumentation_skips_hot_checks;
+          Alcotest.test_case "off by default" `Quick test_deinstrumentation_off_by_default;
+          Alcotest.test_case "reclaims time" `Quick test_deinstrumentation_reclaims_time;
+        ] );
+    ]

@@ -1,0 +1,218 @@
+(* Tests for the syscall layer: boundary accounting, service routines,
+   consolidated calls. *)
+
+let mk_sys () =
+  let kernel = Ksim.Kernel.create () in
+  (kernel, Ksyscall.Systable.create kernel)
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected %a" Kvfs.Vtypes.pp_errno e
+
+let test_open_read_write_close () =
+  let _, sys = mk_sys () in
+  let fd = ok (Ksyscall.Usyscall.sys_open sys ~path:"/f"
+                 ~flags:[ Kvfs.Vfs.O_RDWR; Kvfs.Vfs.O_CREAT ]) in
+  Alcotest.(check bool) "fd >= 3" true (fd >= 3);
+  let n = ok (Ksyscall.Usyscall.sys_write sys ~fd ~data:(Bytes.of_string "payload")) in
+  Alcotest.(check int) "wrote" 7 n;
+  ignore (ok (Ksyscall.Usyscall.sys_lseek sys ~fd ~off:0 ~whence:Kvfs.Vfs.SEEK_SET));
+  Alcotest.(check string) "read back" "payload"
+    (Bytes.to_string (ok (Ksyscall.Usyscall.sys_read sys ~fd ~len:100)));
+  ignore (ok (Ksyscall.Usyscall.sys_close sys ~fd));
+  match Ksyscall.Usyscall.sys_read sys ~fd ~len:1 with
+  | Error Kvfs.Vtypes.EBADF -> ()
+  | _ -> Alcotest.fail "expected EBADF"
+
+let test_boundary_accounting () =
+  let kernel, sys = mk_sys () in
+  let c0 = Ksim.Kernel.crossings kernel in
+  let b0 = Ksim.Kernel.bytes_from_user kernel in
+  let fd = ok (Ksyscall.Usyscall.sys_open sys ~path:"/file"
+                 ~flags:[ Kvfs.Vfs.O_RDWR; Kvfs.Vfs.O_CREAT ]) in
+  ignore (ok (Ksyscall.Usyscall.sys_write sys ~fd ~data:(Bytes.make 1000 'x')));
+  ignore (ok (Ksyscall.Usyscall.sys_close sys ~fd));
+  Alcotest.(check int) "three crossings" 3 (Ksim.Kernel.crossings kernel - c0);
+  (* path copied for open, data for write *)
+  Alcotest.(check int) "bytes in" (6 + 1000)
+    (Ksim.Kernel.bytes_from_user kernel - b0);
+  (* reads copy out *)
+  let fd = ok (Ksyscall.Usyscall.sys_open sys ~path:"/file" ~flags:[ Kvfs.Vfs.O_RDONLY ]) in
+  let o0 = Ksim.Kernel.bytes_to_user kernel in
+  ignore (ok (Ksyscall.Usyscall.sys_read sys ~fd ~len:400));
+  Alcotest.(check int) "bytes out" 400 (Ksim.Kernel.bytes_to_user kernel - o0)
+
+let test_mode_restored_on_error () =
+  let kernel, sys = mk_sys () in
+  (match Ksyscall.Usyscall.sys_open sys ~path:"/missing" ~flags:[ Kvfs.Vfs.O_RDONLY ] with
+  | Error Kvfs.Vtypes.ENOENT -> ()
+  | _ -> Alcotest.fail "expected ENOENT");
+  Alcotest.(check bool) "back in user mode" true
+    (Ksim.Kernel.mode kernel = Ksim.Kernel.User)
+
+let test_service_requires_kernel_mode () =
+  let _, sys = mk_sys () in
+  try
+    ignore (Ksyscall.Sys_file.service_getpid sys);
+    Alcotest.fail "expected mode violation"
+  with Ksim.Kernel.Kernel_mode_violation _ -> ()
+
+let test_getpid_and_counts () =
+  let kernel, sys = mk_sys () in
+  let pid = Ksyscall.Usyscall.sys_getpid sys in
+  Alcotest.(check int) "init pid" 1 pid;
+  let p = Ksim.Kernel.current kernel in
+  Alcotest.(check bool) "syscall counted" true (p.Ksim.Kproc.syscalls >= 1);
+  Alcotest.(check int) "table count" 1 (Ksyscall.Systable.count sys "getpid")
+
+let test_readdirplus_equivalence () =
+  let _, sys = mk_sys () in
+  ignore (ok (Ksyscall.Usyscall.sys_mkdir sys ~path:"/d"));
+  for i = 0 to 4 do
+    let path = Printf.sprintf "/d/f%d" i in
+    ignore (ok (Ksyscall.Usyscall.sys_open_write_close sys ~path
+                  ~data:(Bytes.make (10 * (i + 1)) 'a')
+                  ~flags:[ Kvfs.Vfs.O_RDWR; Kvfs.Vfs.O_CREAT ]))
+  done;
+  (* plain sequence *)
+  let entries = ok (Ksyscall.Usyscall.sys_readdir sys ~path:"/d") in
+  let plain =
+    List.map
+      (fun d ->
+        let st = ok (Ksyscall.Usyscall.sys_stat sys ~path:("/d/" ^ d.Kvfs.Vtypes.d_name)) in
+        (d.Kvfs.Vtypes.d_name, st.Kvfs.Vtypes.st_size))
+      entries
+  in
+  (* consolidated *)
+  let merged =
+    List.map
+      (fun (d, st) -> (d.Kvfs.Vtypes.d_name, st.Kvfs.Vtypes.st_size))
+      (ok (Ksyscall.Usyscall.sys_readdirplus sys ~path:"/d"))
+  in
+  Alcotest.(check (list (pair string int))) "identical results" plain merged
+
+let test_readdirplus_fewer_crossings () =
+  let kernel, sys = mk_sys () in
+  ignore (ok (Ksyscall.Usyscall.sys_mkdir sys ~path:"/d"));
+  for i = 0 to 9 do
+    ignore (ok (Ksyscall.Usyscall.sys_open_write_close sys
+                  ~path:(Printf.sprintf "/d/f%d" i)
+                  ~data:(Bytes.make 1 'x')
+                  ~flags:[ Kvfs.Vfs.O_RDWR; Kvfs.Vfs.O_CREAT ]))
+  done;
+  let c0 = Ksim.Kernel.crossings kernel in
+  let entries = ok (Ksyscall.Usyscall.sys_readdir sys ~path:"/d") in
+  List.iter
+    (fun d -> ignore (ok (Ksyscall.Usyscall.sys_stat sys ~path:("/d/" ^ d.Kvfs.Vtypes.d_name))))
+    entries;
+  let plain_crossings = Ksim.Kernel.crossings kernel - c0 in
+  let c1 = Ksim.Kernel.crossings kernel in
+  ignore (ok (Ksyscall.Usyscall.sys_readdirplus sys ~path:"/d"));
+  let merged_crossings = Ksim.Kernel.crossings kernel - c1 in
+  Alcotest.(check int) "plain" 11 plain_crossings;
+  Alcotest.(check int) "merged" 1 merged_crossings
+
+let test_open_read_close () =
+  let _, sys = mk_sys () in
+  ignore (ok (Ksyscall.Usyscall.sys_open_write_close sys ~path:"/x"
+                ~data:(Bytes.of_string "contents")
+                ~flags:[ Kvfs.Vfs.O_RDWR; Kvfs.Vfs.O_CREAT ]));
+  Alcotest.(check string) "read whole file" "contents"
+    (Bytes.to_string (ok (Ksyscall.Usyscall.sys_open_read_close sys ~path:"/x" ~maxlen:1000)));
+  (* no descriptor leaks *)
+  let kernel = Ksyscall.Systable.kernel sys in
+  Alcotest.(check int) "no fds leaked" 0
+    (Ksim.Kproc.open_fd_count (Ksim.Kernel.current kernel));
+  match Ksyscall.Usyscall.sys_open_read_close sys ~path:"/none" ~maxlen:10 with
+  | Error Kvfs.Vtypes.ENOENT -> ()
+  | _ -> Alcotest.fail "expected ENOENT"
+
+let test_open_fstat () =
+  let _, sys = mk_sys () in
+  ignore (ok (Ksyscall.Usyscall.sys_open_write_close sys ~path:"/y"
+                ~data:(Bytes.make 123 'b')
+                ~flags:[ Kvfs.Vfs.O_RDWR; Kvfs.Vfs.O_CREAT ]));
+  let fd, st = ok (Ksyscall.Usyscall.sys_open_fstat sys ~path:"/y" ~flags:[ Kvfs.Vfs.O_RDONLY ]) in
+  Alcotest.(check int) "size" 123 st.Kvfs.Vtypes.st_size;
+  (* the fd stays open and usable *)
+  Alcotest.(check int) "readable" 123
+    (Bytes.length (ok (Ksyscall.Usyscall.sys_read sys ~fd ~len:1000)));
+  ignore (ok (Ksyscall.Usyscall.sys_close sys ~fd))
+
+let test_pread_pwrite () =
+  let _, sys = mk_sys () in
+  let fd = ok (Ksyscall.Usyscall.sys_open sys ~path:"/p"
+                 ~flags:[ Kvfs.Vfs.O_RDWR; Kvfs.Vfs.O_CREAT ]) in
+  ignore (ok (Ksyscall.Usyscall.sys_write sys ~fd ~data:(Bytes.of_string "0123456789")));
+  ignore (ok (Ksyscall.Usyscall.sys_pwrite sys ~fd ~off:4 ~data:(Bytes.of_string "XY")));
+  Alcotest.(check string) "pread" "3XY6"
+    (Bytes.to_string (ok (Ksyscall.Usyscall.sys_pread sys ~fd ~off:3 ~len:4)));
+  (* position unaffected by pread/pwrite *)
+  Alcotest.(check int) "pos at end" 10
+    (ok (Ksyscall.Usyscall.sys_lseek sys ~fd ~off:0 ~whence:Kvfs.Vfs.SEEK_CUR))
+
+let test_rename_fsync () =
+  let _, sys = mk_sys () in
+  ignore (ok (Ksyscall.Usyscall.sys_open_write_close sys ~path:"/old"
+                ~data:(Bytes.of_string "v") ~flags:[ Kvfs.Vfs.O_RDWR; Kvfs.Vfs.O_CREAT ]));
+  ignore (ok (Ksyscall.Usyscall.sys_rename sys ~src:"/old" ~dst:"/new"));
+  (match Ksyscall.Usyscall.sys_stat sys ~path:"/old" with
+  | Error Kvfs.Vtypes.ENOENT -> ()
+  | _ -> Alcotest.fail "old still there");
+  let fd = ok (Ksyscall.Usyscall.sys_open sys ~path:"/new" ~flags:[ Kvfs.Vfs.O_RDWR ]) in
+  ignore (ok (Ksyscall.Usyscall.sys_fsync sys ~fd));
+  ignore (ok (Ksyscall.Usyscall.sys_close sys ~fd))
+
+let test_sendfile () =
+  let kernel, sys = mk_sys () in
+  ignore (ok (Ksyscall.Usyscall.sys_open_write_close sys ~path:"/doc"
+                ~data:(Bytes.make 10_000 'w')
+                ~flags:[ Kvfs.Vfs.O_RDWR; Kvfs.Vfs.O_CREAT ]));
+  let fd = ok (Ksyscall.Usyscall.sys_open sys ~path:"/doc" ~flags:[ Kvfs.Vfs.O_RDONLY ]) in
+  let out0 = Ksim.Kernel.bytes_to_user kernel in
+  let n = ok (Ksyscall.Usyscall.sys_sendfile sys ~fd ~off:0 ~len:max_int) in
+  Alcotest.(check int) "whole file sent" 10_000 n;
+  (* the entire point: no data crossed into user space *)
+  Alcotest.(check int) "zero copies out" 0 (Ksim.Kernel.bytes_to_user kernel - out0);
+  (* partial range *)
+  let n = ok (Ksyscall.Usyscall.sys_sendfile sys ~fd ~off:9_000 ~len:5_000) in
+  Alcotest.(check int) "tail clamped" 1_000 n;
+  ignore (ok (Ksyscall.Usyscall.sys_close sys ~fd));
+  match Ksyscall.Usyscall.sys_sendfile sys ~fd ~off:0 ~len:1 with
+  | Error Kvfs.Vtypes.EBADF -> ()
+  | _ -> Alcotest.fail "expected EBADF"
+
+let test_tracer () =
+  let _, sys = mk_sys () in
+  let seen = ref [] in
+  Ksyscall.Systable.set_tracer sys (fun r -> seen := r :: !seen);
+  ignore (Ksyscall.Usyscall.sys_getpid sys);
+  ignore (ok (Ksyscall.Usyscall.sys_mkdir sys ~path:"/t"));
+  Ksyscall.Systable.clear_tracer sys;
+  ignore (ok (Ksyscall.Usyscall.sys_stat sys ~path:"/t"));
+  let names = List.rev_map (fun r -> r.Ksyscall.Systable.name) !seen in
+  Alcotest.(check (list string)) "traced while attached" [ "getpid"; "mkdir" ] names
+
+let () =
+  Alcotest.run "ksyscall"
+    [
+      ( "basic",
+        [
+          Alcotest.test_case "open/read/write/close" `Quick test_open_read_write_close;
+          Alcotest.test_case "boundary accounting" `Quick test_boundary_accounting;
+          Alcotest.test_case "mode restored on error" `Quick test_mode_restored_on_error;
+          Alcotest.test_case "service mode check" `Quick test_service_requires_kernel_mode;
+          Alcotest.test_case "getpid/counts" `Quick test_getpid_and_counts;
+          Alcotest.test_case "pread/pwrite" `Quick test_pread_pwrite;
+          Alcotest.test_case "rename/fsync" `Quick test_rename_fsync;
+          Alcotest.test_case "tracer" `Quick test_tracer;
+        ] );
+      ( "consolidated",
+        [
+          Alcotest.test_case "readdirplus equivalence" `Quick test_readdirplus_equivalence;
+          Alcotest.test_case "readdirplus crossings" `Quick test_readdirplus_fewer_crossings;
+          Alcotest.test_case "open_read_close" `Quick test_open_read_close;
+          Alcotest.test_case "open_fstat" `Quick test_open_fstat;
+          Alcotest.test_case "sendfile" `Quick test_sendfile;
+        ] );
+    ]

@@ -1,0 +1,139 @@
+(* Tests for trace recording, the syscall graph, pattern mining, and the
+   savings estimator. *)
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected %a" Kvfs.Vtypes.pp_errno e
+
+let mk_traced () =
+  let kernel = Ksim.Kernel.create () in
+  let sys = Ksyscall.Systable.create kernel in
+  let rec_ = Ktrace.Recorder.create () in
+  Ktrace.Recorder.attach rec_ sys;
+  (kernel, sys, rec_)
+
+let do_ls sys dir =
+  let entries = ok (Ksyscall.Usyscall.sys_readdir sys ~path:dir) in
+  List.iter
+    (fun d -> ignore (ok (Ksyscall.Usyscall.sys_stat sys ~path:(dir ^ "/" ^ d.Kvfs.Vtypes.d_name))))
+    entries
+
+let populate sys dir n =
+  ignore (ok (Ksyscall.Usyscall.sys_mkdir sys ~path:dir));
+  for i = 0 to n - 1 do
+    ignore
+      (ok
+         (Ksyscall.Usyscall.sys_open_write_close sys
+            ~path:(Printf.sprintf "%s/f%d" dir i)
+            ~data:(Bytes.make 8 'x')
+            ~flags:[ Kvfs.Vfs.O_RDWR; Kvfs.Vfs.O_CREAT ]))
+  done
+
+let test_recorder () =
+  let _, sys, rec_ = mk_traced () in
+  ignore (Ksyscall.Usyscall.sys_getpid sys);
+  ignore (ok (Ksyscall.Usyscall.sys_mkdir sys ~path:"/d"));
+  Alcotest.(check int) "two records" 2 (Ktrace.Recorder.count rec_);
+  let records = Ktrace.Recorder.records rec_ in
+  Alcotest.(check (list string)) "order preserved" [ "getpid"; "mkdir" ]
+    (List.map (fun r -> r.Ksyscall.Systable.name) records);
+  Alcotest.(check bool) "timestamps monotone" true
+    (match records with
+    | [ a; b ] -> a.Ksyscall.Systable.timestamp <= b.Ksyscall.Systable.timestamp
+    | _ -> false);
+  Ktrace.Recorder.clear rec_;
+  Alcotest.(check int) "cleared" 0 (Ktrace.Recorder.count rec_)
+
+let test_graph () =
+  let _, sys, rec_ = mk_traced () in
+  populate sys "/d" 3;
+  Ktrace.Recorder.clear rec_;
+  do_ls sys "/d";
+  let g = Ktrace.Syscall_graph.of_recorder rec_ in
+  Alcotest.(check int) "readdir->stat edge" 1
+    (Ktrace.Syscall_graph.weight g ~src:"readdir" ~dst:"stat");
+  Alcotest.(check int) "stat->stat edges" 2
+    (Ktrace.Syscall_graph.weight g ~src:"stat" ~dst:"stat");
+  Alcotest.(check int) "stat invocations" 3
+    (Ktrace.Syscall_graph.invocations g "stat");
+  (* heavy paths surface the readdir-stat chain *)
+  let paths = Ktrace.Syscall_graph.heavy_paths g ~length:2 ~top:5 in
+  Alcotest.(check bool) "stat-stat is a heavy path" true
+    (List.exists (fun (p, _) -> p = [ "stat"; "stat" ]) paths)
+
+let test_patterns () =
+  let _, sys, rec_ = mk_traced () in
+  populate sys "/d" 4;
+  Ktrace.Recorder.clear rec_;
+  (* three open-read-close editor rounds *)
+  for _ = 1 to 3 do
+    let fd = ok (Ksyscall.Usyscall.sys_open sys ~path:"/d/f0" ~flags:[ Kvfs.Vfs.O_RDONLY ]) in
+    ignore (ok (Ksyscall.Usyscall.sys_read sys ~fd ~len:100));
+    ignore (ok (Ksyscall.Usyscall.sys_close sys ~fd))
+  done;
+  do_ls sys "/d";
+  let mined = Ktrace.Patterns.mine rec_ in
+  Alcotest.(check int) "open-read-close count" 3
+    (Ktrace.Patterns.count mined [ "open"; "read"; "close" ]);
+  let runs = Ktrace.Patterns.readdir_stat_runs rec_ ~min_stats:2 in
+  Alcotest.(check (list int)) "one readdir followed by 4 stats" [ 4 ] runs;
+  (* top patterns include the triple *)
+  let top = Ktrace.Patterns.top mined ~n:50 in
+  Alcotest.(check bool) "orc in top" true
+    (List.exists (fun (p, _) -> p = [ "open"; "read"; "close" ]) top)
+
+let test_savings () =
+  let _, sys, rec_ = mk_traced () in
+  populate sys "/d" 10;
+  Ktrace.Recorder.clear rec_;
+  do_ls sys "/d";
+  let est = Ktrace.Savings.estimate rec_ in
+  (* 1 readdir + 10 stats -> 1 readdirplus: 10 crossings saved *)
+  Alcotest.(check int) "before" 11 est.Ktrace.Savings.syscalls_before;
+  Alcotest.(check int) "after" 1 est.Ktrace.Savings.syscalls_after;
+  Alcotest.(check int) "crossings saved" 10 est.Ktrace.Savings.crossings_saved;
+  Alcotest.(check bool) "bytes shrink" true
+    (est.Ktrace.Savings.bytes_after < est.Ktrace.Savings.bytes_before);
+  Alcotest.(check bool) "cycles saved" true (est.Ktrace.Savings.cycles_saved > 0)
+
+let test_savings_orc () =
+  let _, sys, rec_ = mk_traced () in
+  populate sys "/d" 2;
+  Ktrace.Recorder.clear rec_;
+  for _ = 1 to 5 do
+    let fd = ok (Ksyscall.Usyscall.sys_open sys ~path:"/d/f0" ~flags:[ Kvfs.Vfs.O_RDONLY ]) in
+    ignore (ok (Ksyscall.Usyscall.sys_read sys ~fd ~len:8));
+    ignore (ok (Ksyscall.Usyscall.sys_close sys ~fd))
+  done;
+  let est = Ktrace.Savings.estimate rec_ in
+  Alcotest.(check int) "15 calls before" 15 est.Ktrace.Savings.syscalls_before;
+  Alcotest.(check int) "5 after" 5 est.Ktrace.Savings.syscalls_after
+
+let test_savings_rate () =
+  let _, sys, rec_ = mk_traced () in
+  populate sys "/d" 5;
+  Ktrace.Recorder.clear rec_;
+  do_ls sys "/d";
+  let est =
+    Ktrace.Savings.estimate ~trace_duration_cycles:1_700_000_000 rec_
+  in
+  (* with a 1s trace the saved seconds/hour must be positive and finite *)
+  Alcotest.(check bool) "seconds/hour positive" true
+    (est.Ktrace.Savings.seconds_saved_per_hour > 0.);
+  Alcotest.(check bool) "seconds/hour sane" true
+    (est.Ktrace.Savings.seconds_saved_per_hour < 3600.)
+
+let () =
+  Alcotest.run "ktrace"
+    [
+      ( "recorder",
+        [ Alcotest.test_case "records" `Quick test_recorder ] );
+      ("graph", [ Alcotest.test_case "weights+paths" `Quick test_graph ]);
+      ("patterns", [ Alcotest.test_case "mining" `Quick test_patterns ]);
+      ( "savings",
+        [
+          Alcotest.test_case "readdirplus" `Quick test_savings;
+          Alcotest.test_case "open-read-close" `Quick test_savings_orc;
+          Alcotest.test_case "per hour" `Quick test_savings_rate;
+        ] );
+    ]

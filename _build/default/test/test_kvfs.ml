@@ -1,0 +1,315 @@
+(* Tests for the VFS substrate: memfs, block device, dcache, vfs layer,
+   wrapfs, journalfs. *)
+
+let zero_config =
+  { Ksim.Kernel.default_config with cost = Ksim.Cost_model.zero }
+
+let mk_kernel () = Ksim.Kernel.create ~config:zero_config ()
+
+let errno = Alcotest.testable Kvfs.Vtypes.pp_errno ( = )
+
+let check_ok msg = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: unexpected %a" msg Kvfs.Vtypes.pp_errno e
+
+let check_err msg expected = function
+  | Ok _ -> Alcotest.failf "%s: expected error" msg
+  | Error e -> Alcotest.check errno msg expected e
+
+(* --- memfs --------------------------------------------------------------- *)
+
+let test_memfs_create_lookup () =
+  let fs = Kvfs.Memfs.create (mk_kernel ()) in
+  let root = Kvfs.Memfs.root_ino in
+  let ino = check_ok "create" (Kvfs.Memfs.create_node fs ~dir:root ~name:"a" Kvfs.Vtypes.Regular) in
+  Alcotest.(check int) "lookup finds it" ino
+    (check_ok "lookup" (Kvfs.Memfs.lookup fs ~dir:root "a"));
+  check_err "missing" Kvfs.Vtypes.ENOENT (Kvfs.Memfs.lookup fs ~dir:root "b");
+  check_err "duplicate" Kvfs.Vtypes.EEXIST
+    (Kvfs.Memfs.create_node fs ~dir:root ~name:"a" Kvfs.Vtypes.Regular);
+  check_err "bad name" Kvfs.Vtypes.EINVAL
+    (Kvfs.Memfs.create_node fs ~dir:root ~name:"x/y" Kvfs.Vtypes.Regular);
+  check_err "lookup in file" Kvfs.Vtypes.ENOTDIR (Kvfs.Memfs.lookup fs ~dir:ino "z")
+
+let test_memfs_rw () =
+  let fs = Kvfs.Memfs.create (mk_kernel ()) in
+  let root = Kvfs.Memfs.root_ino in
+  let ino = check_ok "create" (Kvfs.Memfs.create_node fs ~dir:root ~name:"f" Kvfs.Vtypes.Regular) in
+  let n = check_ok "write" (Kvfs.Memfs.write fs ~ino ~off:0 ~data:(Bytes.of_string "hello world")) in
+  Alcotest.(check int) "wrote 11" 11 n;
+  Alcotest.(check string) "read middle" "lo wo"
+    (Bytes.to_string (check_ok "read" (Kvfs.Memfs.read fs ~ino ~off:3 ~len:5)));
+  Alcotest.(check string) "read past eof truncated" "world"
+    (Bytes.to_string (check_ok "read" (Kvfs.Memfs.read fs ~ino ~off:6 ~len:100)));
+  (* sparse write *)
+  ignore (check_ok "sparse" (Kvfs.Memfs.write fs ~ino ~off:20 ~data:(Bytes.of_string "end")));
+  let st = check_ok "stat" (Kvfs.Memfs.getattr fs ~ino) in
+  Alcotest.(check int) "size" 23 st.Kvfs.Vtypes.st_size;
+  (* truncate down then up *)
+  ignore (check_ok "trunc" (Kvfs.Memfs.truncate fs ~ino ~size:5));
+  let st = check_ok "stat" (Kvfs.Memfs.getattr fs ~ino) in
+  Alcotest.(check int) "shrunk" 5 st.Kvfs.Vtypes.st_size;
+  ignore (check_ok "trunc up" (Kvfs.Memfs.truncate fs ~ino ~size:10));
+  Alcotest.(check string) "zero filled" "\000\000"
+    (Bytes.to_string (check_ok "read" (Kvfs.Memfs.read fs ~ino ~off:8 ~len:2)))
+
+let test_memfs_unlink_rename () =
+  let fs = Kvfs.Memfs.create (mk_kernel ()) in
+  let root = Kvfs.Memfs.root_ino in
+  let sub = check_ok "mkdir" (Kvfs.Memfs.create_node fs ~dir:root ~name:"d" Kvfs.Vtypes.Directory) in
+  ignore (check_ok "create" (Kvfs.Memfs.create_node fs ~dir:sub ~name:"f" Kvfs.Vtypes.Regular));
+  check_err "rmdir nonempty" Kvfs.Vtypes.ENOTEMPTY
+    (Kvfs.Memfs.unlink fs ~dir:root ~name:"d");
+  ignore (check_ok "rename" (Kvfs.Memfs.rename fs ~src_dir:sub ~src:"f" ~dst_dir:root ~dst:"g"));
+  check_ok "rmdir now empty" (Kvfs.Memfs.unlink fs ~dir:root ~name:"d");
+  ignore (check_ok "unlink g" (Kvfs.Memfs.unlink fs ~dir:root ~name:"g"));
+  let entries = check_ok "readdir" (Kvfs.Memfs.readdir fs ~dir:root) in
+  Alcotest.(check int) "root empty" 0 (List.length entries)
+
+let test_memfs_readdir_order () =
+  let fs = Kvfs.Memfs.create (mk_kernel ()) in
+  let root = Kvfs.Memfs.root_ino in
+  List.iter
+    (fun n -> ignore (check_ok "create" (Kvfs.Memfs.create_node fs ~dir:root ~name:n Kvfs.Vtypes.Regular)))
+    [ "c"; "a"; "b" ];
+  let names = List.map (fun d -> d.Kvfs.Vtypes.d_name)
+      (check_ok "readdir" (Kvfs.Memfs.readdir fs ~dir:root)) in
+  Alcotest.(check (list string)) "insertion order" [ "c"; "a"; "b" ] names
+
+(* --- block device --------------------------------------------------------- *)
+
+let test_block_dev_cache () =
+  let kernel = Ksim.Kernel.create () in
+  let dev = Kvfs.Block_dev.create ~cache_blocks:8 kernel in
+  let t0 = Ksim.Kernel.now kernel in
+  Kvfs.Block_dev.read_block dev 5;
+  let cold = Ksim.Kernel.now kernel - t0 in
+  Alcotest.(check bool) "cold read costs" true (cold > 0);
+  let t1 = Ksim.Kernel.now kernel in
+  Kvfs.Block_dev.read_block dev 5;
+  Alcotest.(check int) "hot read free" 0 (Ksim.Kernel.now kernel - t1);
+  let s = Kvfs.Block_dev.stats dev in
+  Alcotest.(check int) "one miss" 1 s.Kvfs.Block_dev.misses;
+  Alcotest.(check int) "one hit" 1 s.Kvfs.Block_dev.hits
+
+(* --- dcache ---------------------------------------------------------------- *)
+
+let test_dcache () =
+  (* dcache locking requires the instrument hook not to explode *)
+  let d = Kvfs.Dcache.create () in
+  Alcotest.(check (option int)) "miss" None (Kvfs.Dcache.lookup d ~dir:1 ~name:"x");
+  Kvfs.Dcache.insert d ~dir:1 ~name:"x" ~ino:42;
+  Alcotest.(check (option int)) "hit" (Some 42) (Kvfs.Dcache.lookup d ~dir:1 ~name:"x");
+  Kvfs.Dcache.invalidate d ~dir:1 ~name:"x";
+  Alcotest.(check (option int)) "invalidated" None (Kvfs.Dcache.lookup d ~dir:1 ~name:"x");
+  let s = Kvfs.Dcache.stats d in
+  Alcotest.(check int) "hits" 1 s.Kvfs.Dcache.hits;
+  Alcotest.(check int) "misses" 2 s.Kvfs.Dcache.misses;
+  Alcotest.(check bool) "lock was taken" true (s.Kvfs.Dcache.lock_acquisitions >= 4)
+
+(* --- vfs -------------------------------------------------------------------- *)
+
+let mk_vfs () =
+  let kernel = mk_kernel () in
+  (kernel, Kvfs.Vfs.create kernel)
+
+let test_vfs_paths () =
+  let _, vfs = mk_vfs () in
+  ignore (check_ok "mkdir a" (Kvfs.Vfs.mkdir vfs "/a"));
+  ignore (check_ok "mkdir a/b" (Kvfs.Vfs.mkdir vfs "/a/b"));
+  let h = check_ok "create deep" (Kvfs.Vfs.open_file vfs "/a/b/f.txt" [ Kvfs.Vfs.O_RDWR; Kvfs.Vfs.O_CREAT ]) in
+  ignore (check_ok "write" (Kvfs.Vfs.write vfs h (Bytes.of_string "data")));
+  ignore (check_ok "close" (Kvfs.Vfs.close vfs h));
+  let st = check_ok "stat" (Kvfs.Vfs.stat vfs "/a/b/f.txt") in
+  Alcotest.(check int) "size" 4 st.Kvfs.Vtypes.st_size;
+  check_err "missing path" Kvfs.Vtypes.ENOENT (Kvfs.Vfs.stat vfs "/a/zz/f");
+  (* trailing and duplicate slashes *)
+  ignore (check_ok "odd path" (Kvfs.Vfs.stat vfs "//a//b//f.txt"))
+
+let test_vfs_fd_semantics () =
+  let _, vfs = mk_vfs () in
+  let h = check_ok "create" (Kvfs.Vfs.open_file vfs "/f" [ Kvfs.Vfs.O_RDWR; Kvfs.Vfs.O_CREAT ]) in
+  ignore (check_ok "write" (Kvfs.Vfs.write vfs h (Bytes.of_string "0123456789")));
+  (* lseek *)
+  let pos = check_ok "seek set" (Kvfs.Vfs.lseek vfs h ~off:2 ~whence:Kvfs.Vfs.SEEK_SET) in
+  Alcotest.(check int) "pos" 2 pos;
+  Alcotest.(check string) "read from 2" "234"
+    (Bytes.to_string (check_ok "read" (Kvfs.Vfs.read vfs h 3)));
+  let pos = check_ok "seek cur" (Kvfs.Vfs.lseek vfs h ~off:(-1) ~whence:Kvfs.Vfs.SEEK_CUR) in
+  Alcotest.(check int) "cur" 4 pos;
+  let pos = check_ok "seek end" (Kvfs.Vfs.lseek vfs h ~off:(-2) ~whence:Kvfs.Vfs.SEEK_END) in
+  Alcotest.(check int) "end" 8 pos;
+  check_err "negative seek" Kvfs.Vtypes.EINVAL
+    (Kvfs.Vfs.lseek vfs h ~off:(-100) ~whence:Kvfs.Vfs.SEEK_SET);
+  ignore (check_ok "close" (Kvfs.Vfs.close vfs h));
+  check_err "read after close" Kvfs.Vtypes.EBADF (Kvfs.Vfs.read vfs h 1);
+  check_err "double close" Kvfs.Vtypes.EBADF (Kvfs.Vfs.close vfs h)
+
+let test_vfs_open_flags () =
+  let _, vfs = mk_vfs () in
+  check_err "no O_CREAT" Kvfs.Vtypes.ENOENT
+    (Kvfs.Vfs.open_file vfs "/nope" [ Kvfs.Vfs.O_RDONLY ]);
+  let h = check_ok "create" (Kvfs.Vfs.open_file vfs "/f" [ Kvfs.Vfs.O_RDWR; Kvfs.Vfs.O_CREAT ]) in
+  ignore (check_ok "write" (Kvfs.Vfs.write vfs h (Bytes.of_string "abcdef")));
+  ignore (check_ok "close" (Kvfs.Vfs.close vfs h));
+  (* O_TRUNC empties *)
+  let h = check_ok "trunc" (Kvfs.Vfs.open_file vfs "/f" [ Kvfs.Vfs.O_RDWR; Kvfs.Vfs.O_TRUNC ]) in
+  let st = check_ok "fstat" (Kvfs.Vfs.fstat vfs h) in
+  Alcotest.(check int) "truncated" 0 st.Kvfs.Vtypes.st_size;
+  ignore (check_ok "close" (Kvfs.Vfs.close vfs h));
+  (* O_APPEND positions at end *)
+  let h = check_ok "w" (Kvfs.Vfs.open_file vfs "/f" [ Kvfs.Vfs.O_RDWR ]) in
+  ignore (check_ok "write" (Kvfs.Vfs.write vfs h (Bytes.of_string "xy")));
+  ignore (check_ok "close" (Kvfs.Vfs.close vfs h));
+  let h = check_ok "a" (Kvfs.Vfs.open_file vfs "/f" [ Kvfs.Vfs.O_RDWR; Kvfs.Vfs.O_APPEND ]) in
+  ignore (check_ok "append" (Kvfs.Vfs.write vfs h (Bytes.of_string "z")));
+  ignore (check_ok "close" (Kvfs.Vfs.close vfs h));
+  let st = check_ok "stat" (Kvfs.Vfs.stat vfs "/f") in
+  Alcotest.(check int) "appended" 3 st.Kvfs.Vtypes.st_size;
+  (* opening a directory for writing fails *)
+  ignore (check_ok "mkdir" (Kvfs.Vfs.mkdir vfs "/d"));
+  check_err "dir write" Kvfs.Vtypes.EISDIR
+    (Kvfs.Vfs.open_file vfs "/d" [ Kvfs.Vfs.O_RDWR ])
+
+let test_vfs_mounts () =
+  let kernel, vfs = mk_vfs () in
+  ignore (check_ok "mkdir" (Kvfs.Vfs.mkdir vfs "/mnt"));
+  let sub = Kvfs.Memfs.ops (Kvfs.Memfs.create kernel) in
+  Kvfs.Vfs.mount vfs ~prefix:"/mnt" ~fs:sub;
+  let h = check_ok "create on mount" (Kvfs.Vfs.open_file vfs "/mnt/x" [ Kvfs.Vfs.O_RDWR; Kvfs.Vfs.O_CREAT ]) in
+  ignore (check_ok "write" (Kvfs.Vfs.write vfs h (Bytes.of_string "inner")));
+  ignore (check_ok "close" (Kvfs.Vfs.close vfs h));
+  (* the file lives on the mounted fs, not the root fs *)
+  let entries = check_ok "readdir" (Kvfs.Vfs.readdir vfs "/mnt") in
+  Alcotest.(check (list string)) "on mount" [ "x" ]
+    (List.map (fun d -> d.Kvfs.Vtypes.d_name) entries);
+  ignore (check_ok "umount" (Kvfs.Vfs.umount vfs ~prefix:"/mnt"));
+  let entries = check_ok "readdir root /mnt" (Kvfs.Vfs.readdir vfs "/mnt") in
+  Alcotest.(check int) "root mnt empty" 0 (List.length entries)
+
+let test_vfs_dcache_integration () =
+  let _, vfs = mk_vfs () in
+  ignore (check_ok "mkdir" (Kvfs.Vfs.mkdir vfs "/a"));
+  let h = check_ok "create" (Kvfs.Vfs.open_file vfs "/a/f" [ Kvfs.Vfs.O_RDWR; Kvfs.Vfs.O_CREAT ]) in
+  ignore (check_ok "close" (Kvfs.Vfs.close vfs h));
+  let d = Kvfs.Vfs.dcache vfs in
+  let before = (Kvfs.Dcache.stats d).Kvfs.Dcache.hits in
+  ignore (check_ok "stat 1" (Kvfs.Vfs.stat vfs "/a/f"));
+  ignore (check_ok "stat 2" (Kvfs.Vfs.stat vfs "/a/f"));
+  let after = (Kvfs.Dcache.stats d).Kvfs.Dcache.hits in
+  Alcotest.(check bool) "cached lookups" true (after > before);
+  (* unlink invalidates *)
+  ignore (check_ok "unlink" (Kvfs.Vfs.unlink vfs "/a/f"));
+  check_err "gone" Kvfs.Vtypes.ENOENT (Kvfs.Vfs.stat vfs "/a/f")
+
+(* --- wrapfs ------------------------------------------------------------------ *)
+
+let mk_wrapfs ?(kernel = Ksim.Kernel.create ~config:zero_config ()) () =
+  let lower = Kvfs.Memfs.ops (Kvfs.Memfs.create kernel) in
+  let w = Kvfs.Wrapfs.create ~allocator:(Kvfs.Wrapfs.kmalloc_allocator kernel) lower in
+  (kernel, w, Kvfs.Vfs.create ~root_fs:(Kvfs.Wrapfs.ops w) kernel)
+
+let test_wrapfs_passthrough () =
+  let _, w, vfs = mk_wrapfs () in
+  ignore (check_ok "mkdir" (Kvfs.Vfs.mkdir vfs "/d"));
+  let h = check_ok "create" (Kvfs.Vfs.open_file vfs "/d/f" [ Kvfs.Vfs.O_RDWR; Kvfs.Vfs.O_CREAT ]) in
+  ignore (check_ok "write" (Kvfs.Vfs.write vfs h (Bytes.of_string "through the layers")));
+  ignore (check_ok "close" (Kvfs.Vfs.close vfs h));
+  let h = check_ok "open" (Kvfs.Vfs.open_file vfs "/d/f" [ Kvfs.Vfs.O_RDONLY ]) in
+  Alcotest.(check string) "data intact" "through the layers"
+    (Bytes.to_string (check_ok "read" (Kvfs.Vfs.read vfs h 100)));
+  ignore (check_ok "close" (Kvfs.Vfs.close vfs h));
+  let s = Kvfs.Wrapfs.stats w in
+  Alcotest.(check bool) "allocated private data" true (s.Kvfs.Wrapfs.live_private > 0);
+  Alcotest.(check bool) "copied names" true (s.Kvfs.Wrapfs.name_copies > 0);
+  Alcotest.(check bool) "staged pages" true (s.Kvfs.Wrapfs.page_copies > 0)
+
+let test_wrapfs_private_freed_on_unlink () =
+  let _, w, vfs = mk_wrapfs () in
+  let h = check_ok "create" (Kvfs.Vfs.open_file vfs "/f" [ Kvfs.Vfs.O_RDWR; Kvfs.Vfs.O_CREAT ]) in
+  ignore (check_ok "close" (Kvfs.Vfs.close vfs h));
+  let before = (Kvfs.Wrapfs.stats w).Kvfs.Wrapfs.live_private in
+  ignore (check_ok "unlink" (Kvfs.Vfs.unlink vfs "/f"));
+  let after = (Kvfs.Wrapfs.stats w).Kvfs.Wrapfs.live_private in
+  Alcotest.(check bool) "private data dropped" true (after < before)
+
+(* --- journalfs ---------------------------------------------------------------- *)
+
+let test_journalfs_ops () =
+  let kernel = mk_kernel () in
+  let j = Kvfs.Journalfs.create kernel in
+  let vfs = Kvfs.Vfs.create ~root_fs:(Kvfs.Journalfs.ops j) kernel in
+  let h = check_ok "create" (Kvfs.Vfs.open_file vfs "/f" [ Kvfs.Vfs.O_RDWR; Kvfs.Vfs.O_CREAT ]) in
+  ignore (check_ok "write" (Kvfs.Vfs.write vfs h (Bytes.of_string "journaled")));
+  ignore (check_ok "close" (Kvfs.Vfs.close vfs h));
+  let h = check_ok "open" (Kvfs.Vfs.open_file vfs "/f" [ Kvfs.Vfs.O_RDONLY ]) in
+  Alcotest.(check string) "data" "journaled"
+    (Bytes.to_string (check_ok "read" (Kvfs.Vfs.read vfs h 100)));
+  ignore (check_ok "close" (Kvfs.Vfs.close vfs h));
+  ignore (check_ok "unlink" (Kvfs.Vfs.unlink vfs "/f"));
+  let s = Kvfs.Journalfs.stats j in
+  Alcotest.(check bool) "journal records written" true (s.Kvfs.Journalfs.journal_records >= 2);
+  Alcotest.(check bool) "mini-C hot paths ran" true (s.Kvfs.Journalfs.hot_calls > 0);
+  Alcotest.(check bool) "interp did work" true (s.Kvfs.Journalfs.interp_steps > 0)
+
+let test_journalfs_kgcc_equivalence () =
+  (* the same workload through GCC- and KGCC-compiled journalfs must
+     produce identical filesystem contents *)
+  let go transform =
+    let kernel = mk_kernel () in
+    let j =
+      match transform with
+      | None -> Kvfs.Journalfs.create kernel
+      | Some tr ->
+          let rt =
+            Kgcc.Kgcc_runtime.create ~clock:(Ksim.Kernel.clock kernel)
+              ~cost:Ksim.Cost_model.zero ()
+          in
+          Kvfs.Journalfs.create ~transform:tr
+            ~attach:(Kgcc.Kgcc_runtime.attach rt) kernel
+    in
+    let vfs = Kvfs.Vfs.create ~root_fs:(Kvfs.Journalfs.ops j) kernel in
+    for i = 0 to 9 do
+      let p = Printf.sprintf "/f%d" i in
+      let h = check_ok "create" (Kvfs.Vfs.open_file vfs p [ Kvfs.Vfs.O_RDWR; Kvfs.Vfs.O_CREAT ]) in
+      ignore (check_ok "write" (Kvfs.Vfs.write vfs h (Bytes.of_string (string_of_int (i * i)))));
+      ignore (check_ok "close" (Kvfs.Vfs.close vfs h))
+    done;
+    ignore (check_ok "unlink" (Kvfs.Vfs.unlink vfs "/f3"));
+    List.map (fun d -> d.Kvfs.Vtypes.d_name) (check_ok "readdir" (Kvfs.Vfs.readdir vfs "/"))
+  in
+  Alcotest.(check (list string)) "same directory contents"
+    (go None)
+    (go (Some Kgcc.Compile.transform))
+
+let () =
+  Alcotest.run "kvfs"
+    [
+      ( "memfs",
+        [
+          Alcotest.test_case "create/lookup" `Quick test_memfs_create_lookup;
+          Alcotest.test_case "read/write/truncate" `Quick test_memfs_rw;
+          Alcotest.test_case "unlink/rename" `Quick test_memfs_unlink_rename;
+          Alcotest.test_case "readdir order" `Quick test_memfs_readdir_order;
+        ] );
+      ("block-dev", [ Alcotest.test_case "cache" `Quick test_block_dev_cache ]);
+      ("dcache", [ Alcotest.test_case "basic" `Quick test_dcache ]);
+      ( "vfs",
+        [
+          Alcotest.test_case "paths" `Quick test_vfs_paths;
+          Alcotest.test_case "fd semantics" `Quick test_vfs_fd_semantics;
+          Alcotest.test_case "open flags" `Quick test_vfs_open_flags;
+          Alcotest.test_case "mounts" `Quick test_vfs_mounts;
+          Alcotest.test_case "dcache integration" `Quick test_vfs_dcache_integration;
+        ] );
+      ( "wrapfs",
+        [
+          Alcotest.test_case "passthrough" `Quick test_wrapfs_passthrough;
+          Alcotest.test_case "private freed" `Quick test_wrapfs_private_freed_on_unlink;
+        ] );
+      ( "journalfs",
+        [
+          Alcotest.test_case "ops" `Quick test_journalfs_ops;
+          Alcotest.test_case "kgcc equivalence" `Quick test_journalfs_kgcc_equivalence;
+        ] );
+    ]

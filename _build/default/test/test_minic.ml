@@ -1,0 +1,475 @@
+(* Tests for the mini-C frontend and interpreter. *)
+
+let mk_interp ?(pages = 64) () =
+  let clock = Ksim.Sim_clock.create () in
+  let mem = Ksim.Phys_mem.create ~page_size:4096 in
+  let space =
+    Ksim.Address_space.create ~name:"i" ~mem ~clock ~cost:Ksim.Cost_model.zero
+  in
+  Minic.Interp.create ~space ~clock ~cost:Ksim.Cost_model.zero ~base_vpn:16
+    ~pages
+
+let run_src ?(fn = "main") ?(args = []) src =
+  let i = mk_interp () in
+  ignore (Minic.Interp.parse_and_load i src);
+  Minic.Interp.run i ~args fn
+
+let check_run msg expected ?fn ?args src =
+  Alcotest.(check int) msg expected (run_src ?fn ?args src)
+
+(* --- lexer -------------------------------------------------------------- *)
+
+let test_lexer_basic () =
+  let toks = Minic.Lexer.tokens "int x = 42; // comment\nx += 'a';" in
+  let names = List.map (fun (t, _) -> Minic.Token.to_string t) toks in
+  Alcotest.(check (list string)) "tokens"
+    [ "int"; "x"; "="; "42"; ";"; "x"; "+="; "'a'"; ";"; "<eof>" ]
+    names
+
+let test_lexer_string_escapes () =
+  match Minic.Lexer.tokens {|"a\nb\0"|} with
+  | [ (Minic.Token.STRING s, _); (Minic.Token.EOF, _) ] ->
+      Alcotest.(check string) "escapes" "a\nb\000" s
+  | _ -> Alcotest.fail "bad tokens"
+
+let test_lexer_line_numbers () =
+  let toks = Minic.Lexer.tokens "int\nx\n=\n1;" in
+  let lines = List.map snd toks in
+  Alcotest.(check (list int)) "lines" [ 1; 2; 3; 4; 4; 4 ] lines
+
+let test_lexer_comments () =
+  let toks = Minic.Lexer.tokens "/* multi\nline */ 7" in
+  match toks with
+  | [ (Minic.Token.INT 7, line); _ ] -> Alcotest.(check int) "line" 2 line
+  | _ -> Alcotest.fail "bad tokens"
+
+let test_lexer_errors () =
+  (try
+     ignore (Minic.Lexer.tokens "int x = @;");
+     Alcotest.fail "expected lex error"
+   with Minic.Lexer.Lex_error _ -> ());
+  try
+    ignore (Minic.Lexer.tokens "\"unterminated");
+    Alcotest.fail "expected lex error"
+  with Minic.Lexer.Lex_error _ -> ()
+
+(* --- parser ------------------------------------------------------------- *)
+
+let test_parser_precedence () =
+  check_run "mul binds tighter" 14 "int main(void) { return 2 + 3 * 4; }";
+  check_run "parens" 20 "int main(void) { return (2 + 3) * 4; }";
+  check_run "comparison" 1 "int main(void) { return 1 + 1 == 2; }";
+  check_run "logical" 1 "int main(void) { return 1 && 2 || 0; }";
+  check_run "unary minus" (-6) "int main(void) { return -2 * 3; }";
+  check_run "shift" 16 "int main(void) { return 1 << 4; }";
+  check_run "bitops" 6 "int main(void) { return (12 & 7) | 2; }"
+
+let test_parser_errors () =
+  (try
+     ignore (Minic.Parser.parse_program "int main(void) { return 1 }");
+     Alcotest.fail "expected parse error"
+   with Minic.Parser.Parse_error (_, line) ->
+     Alcotest.(check int) "error line" 1 line);
+  try
+    ignore (Minic.Parser.parse_program "int f(int) { return 1; }");
+    Alcotest.fail "expected parse error"
+  with Minic.Parser.Parse_error _ -> ()
+
+let test_parser_for_desugar () =
+  check_run "for loop" 45
+    "int main(void) { int s = 0; int i; for (i = 0; i < 10; i++) s += i; return s; }"
+
+let test_parser_cosy_markers () =
+  let p =
+    Minic.Parser.parse_program
+      "int f(void) { COSY_START; int x = 1; COSY_END; return x; }"
+  in
+  match p.Minic.Ast.funcs with
+  | [ f ] ->
+      let kinds = List.map (fun s -> s.Minic.Ast.s) f.Minic.Ast.body in
+      Alcotest.(check bool) "starts with marker" true
+        (match kinds with Minic.Ast.Scosy_start :: _ -> true | _ -> false)
+  | _ -> Alcotest.fail "expected one function"
+
+(* --- typechecker -------------------------------------------------------- *)
+
+let tc src = Minic.Typecheck.check (Minic.Parser.parse_program src)
+
+let test_typecheck_errors () =
+  let expect_error src =
+    try
+      ignore (tc src);
+      Alcotest.fail ("expected type error: " ^ src)
+    with Minic.Typecheck.Type_error _ -> ()
+  in
+  expect_error "int main(void) { return y; }";
+  expect_error "int main(void) { int x; int x; return 0; }";
+  expect_error "int main(void) { return *4; }" |> ignore;
+  expect_error "int main(void) { 4 = 5; return 0; }";
+  expect_error "int main(void) { int x; return x[0]; }"
+
+let test_addressable_analysis () =
+  let info =
+    tc
+      {|
+int f(void) {
+  int plain = 1;
+  int taken = 2;
+  int arr[4];
+  int *p = &taken;
+  return plain + *p + arr[0];
+}
+|}
+  in
+  Alcotest.(check bool) "taken is addressable" true
+    (Minic.Typecheck.is_addressable info ~fname:"f" ~var:"taken");
+  Alcotest.(check bool) "arr is addressable" true
+    (Minic.Typecheck.is_addressable info ~fname:"f" ~var:"arr");
+  Alcotest.(check bool) "plain is not" false
+    (Minic.Typecheck.is_addressable info ~fname:"f" ~var:"plain")
+
+(* --- interpreter -------------------------------------------------------- *)
+
+let test_interp_control_flow () =
+  check_run "if/else" 1 "int main(void) { if (2 > 1) return 1; else return 2; }";
+  check_run "while" 10
+    "int main(void) { int i = 0; while (i < 10) i = i + 1; return i; }";
+  check_run "break" 5
+    "int main(void) { int i = 0; while (1) { if (i == 5) break; i++; } return i; }";
+  check_run "continue" 25
+    {|int main(void) {
+       int s = 0; int i;
+       for (i = 0; i < 10; i++) { if (i % 2 == 0) continue; s += i; }
+       return s;
+     }|};
+  check_run "ternary" 7 "int main(void) { return 1 ? 7 : 9; }";
+  check_run "nested calls" 21
+    "int add(int a, int b) { return a + b; } int main(void) { return add(add(1,2), add(8,10)); }"
+
+let test_for_continue_regression () =
+  (* continue in a for loop must still run the step (a naive while
+     desugaring loops forever here) *)
+  check_run "continue runs the step" 20
+    {|int main(void) {
+       int n = 0; int i;
+       for (i = 0; i < 10; i++) {
+         if (i % 2 == 1) continue;
+         n += 4;
+       }
+       return n;
+     }|};
+  check_run "break skips the step" 3
+    {|int main(void) {
+       int i;
+       for (i = 0; i < 10; i++) {
+         if (i == 3) break;
+       }
+       return i;
+     }|};
+  check_run "nested for with continue" 30
+    {|int main(void) {
+       int s = 0; int i; int j;
+       for (i = 0; i < 3; i++)
+         for (j = 0; j < 10; j++) {
+           if (j >= 5) continue;
+           s += 2;
+         }
+       return s;
+     }|}
+
+let test_interp_recursion () =
+  check_run "fib" 55
+    "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }"
+    ~fn:"fib" ~args:[ 10 ];
+  check_run "mutual" 1
+    {|int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+      int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+      int main(void) { return is_even(10); }|}
+
+let test_interp_pointers () =
+  check_run "deref assign" 43
+    "int main(void) { int x = 42; int *p = &x; *p = *p + 1; return x; }";
+  check_run "pointer arith" 30
+    {|int main(void) {
+       int a[3];
+       a[0] = 10; a[1] = 20; a[2] = 30;
+       int *p = a;
+       p = p + 2;
+       return *p;
+     }|};
+  check_run "pointer diff" 2
+    {|int main(void) {
+       int a[5];
+       int *p = a;
+       int *q = p + 2;
+       return q - p;
+     }|};
+  check_run "char pointer walk" 3
+    {|int main(void) {
+       char *s = malloc(8);
+       strcpy(s, "abc");
+       int n = 0;
+       while (s[n] != 0) n++;
+       free(s);
+       return n;
+     }|}
+
+let test_interp_globals () =
+  check_run "global state" 3
+    {|int counter;
+      int bump(void) { counter = counter + 1; return counter; }
+      int main(void) { bump(); bump(); return bump(); }|}
+
+let test_interp_arrays_memfuncs () =
+  check_run "memset/memcpy" 0
+    {|int main(void) {
+       char a[16];
+       char b[16];
+       memset(a, 7, 16);
+       memcpy(b, a, 16);
+       int i;
+       for (i = 0; i < 16; i++) if (b[i] != 7) return 1;
+       return 0;
+     }|};
+  check_run "strcmp" 0
+    {|int main(void) { return strcmp("same", "same"); }|}
+
+let test_interp_output () =
+  let i = mk_interp () in
+  ignore
+    (Minic.Interp.parse_and_load i
+       {|int main(void) { print_str("n="); print_int(42); putchar(10); return 0; }|});
+  ignore (Minic.Interp.run i "main");
+  Alcotest.(check string) "output" "n=42\n" (Minic.Interp.output i)
+
+let test_interp_runtime_errors () =
+  (try
+     ignore (run_src "int main(void) { return 1 / 0; }");
+     Alcotest.fail "expected div by zero"
+   with Minic.Interp.Runtime_error (m, _) ->
+     Alcotest.(check bool) "message" true
+       (m = "division by zero"));
+  (try
+     ignore (run_src "int main(void) { return nosuch(); }");
+     Alcotest.fail "expected unknown function"
+   with Minic.Interp.Runtime_error _ -> ());
+  try
+    ignore (run_src "int main(void) { free(1234); return 0; }");
+    Alcotest.fail "expected bad free"
+  with Minic.Interp.Runtime_error _ -> ()
+
+let test_interp_step_limit () =
+  let i = mk_interp () in
+  ignore (Minic.Interp.parse_and_load i "int main(void) { while (1) {} return 0; }");
+  Minic.Interp.set_max_steps i 10_000;
+  try
+    ignore (Minic.Interp.run i "main");
+    Alcotest.fail "expected step limit"
+  with Minic.Interp.Step_limit -> ()
+
+let test_interp_wild_pointer_faults () =
+  let i = mk_interp () in
+  ignore
+    (Minic.Interp.parse_and_load i
+       "int main(void) { int *p = (int*)99999999; return *p; }");
+  try
+    ignore (Minic.Interp.run i "main");
+    Alcotest.fail "expected hardware fault"
+  with Ksim.Fault.Fault _ -> ()
+
+let test_interp_externs () =
+  let i = mk_interp () in
+  Minic.Interp.register_extern i "host_mul" (fun _ args ->
+      match args with [ a; b ] -> a * b | _ -> -1);
+  ignore (Minic.Interp.parse_and_load i "int main(void) { return host_mul(6, 7); }");
+  Alcotest.(check int) "extern" 42 (Minic.Interp.run i "main")
+
+let test_interp_obj_events () =
+  let i = mk_interp () in
+  let allocs = ref [] in
+  let frees = ref 0 in
+  Minic.Interp.set_on_obj i (fun ev ->
+      match ev with
+      | Minic.Interp.Obj_alloc { name; kind; size; _ } ->
+          allocs := (name, kind, size) :: !allocs
+      | Minic.Interp.Obj_free _ -> incr frees);
+  ignore
+    (Minic.Interp.parse_and_load i
+       {|int g;
+         int main(void) {
+           int arr[4];
+           char *h = malloc(10);
+           free(h);
+           return arr[0] + g;
+         }|});
+  ignore (Minic.Interp.run i "main");
+  let kinds = List.map (fun (_, k, _) -> k) !allocs in
+  Alcotest.(check bool) "global registered" true
+    (List.mem Minic.Interp.Global kinds);
+  Alcotest.(check bool) "stack registered" true
+    (List.mem Minic.Interp.Stack kinds);
+  Alcotest.(check bool) "heap registered" true (List.mem Minic.Interp.Heap kinds);
+  (* heap free + stack array free at scope exit *)
+  Alcotest.(check bool) "frees happened" true (!frees >= 2)
+
+let test_interp_backedge_hook () =
+  let i = mk_interp () in
+  let edges = ref 0 in
+  Minic.Interp.set_on_backedge i (fun () -> incr edges);
+  ignore
+    (Minic.Interp.parse_and_load i
+       "int main(void) { int i; for (i = 0; i < 7; i++) {} return 0; }");
+  ignore (Minic.Interp.run i "main");
+  Alcotest.(check int) "backedges" 7 !edges
+
+let test_interp_charges_cycles () =
+  let clock = Ksim.Sim_clock.create () in
+  let mem = Ksim.Phys_mem.create ~page_size:4096 in
+  let space =
+    Ksim.Address_space.create ~name:"i" ~mem ~clock ~cost:Ksim.Cost_model.default
+  in
+  let i =
+    Minic.Interp.create ~space ~clock ~cost:Ksim.Cost_model.default ~base_vpn:16
+      ~pages:16
+  in
+  ignore
+    (Minic.Interp.parse_and_load i
+       "int main(void) { int s = 0; int j; for (j = 0; j < 100; j++) s += j; return s; }");
+  let t0 = Ksim.Sim_clock.now clock in
+  ignore (Minic.Interp.run i "main");
+  Alcotest.(check bool) "work charged" true (Ksim.Sim_clock.now clock > t0 + 1000)
+
+let test_sizeof_and_casts () =
+  check_run "sizeof int" 8 "int main(void) { return sizeof(int); }";
+  check_run "sizeof char" 1 "int main(void) { return sizeof(char); }";
+  check_run "sizeof ptr" 8 "int main(void) { return sizeof(int*); }";
+  check_run "char cast masks" 1 "int main(void) { return (char)257; }"
+
+(* --- pretty printer round trip ------------------------------------------ *)
+
+let strip_locs_program (p : Minic.Ast.program) = Minic.Pretty.program_to_string p
+
+let test_pretty_roundtrip () =
+  let src =
+    {|int g = 5;
+int helper(int a, char *s) {
+  int total = a;
+  int i;
+  for (i = 0; i < 3; i++) {
+    if (s[i] != 0) total += s[i]; else break;
+  }
+  while (total > 100) total -= 7;
+  return total;
+}
+int main(void) {
+  char buf[16];
+  strcpy(buf, "hey");
+  return helper(g, buf);
+}|}
+  in
+  let p1 = Minic.Parser.parse_program src in
+  let printed = strip_locs_program p1 in
+  let p2 = Minic.Parser.parse_program printed in
+  Alcotest.(check string) "pretty fixpoint" printed (strip_locs_program p2);
+  (* and both versions compute the same thing *)
+  let i1 = mk_interp () in
+  ignore (Minic.Interp.load_program i1 p1);
+  let i2 = mk_interp () in
+  ignore (Minic.Interp.load_program i2 p2);
+  Alcotest.(check int) "same result" (Minic.Interp.run i1 "main")
+    (Minic.Interp.run i2 "main")
+
+(* --- qcheck: random arithmetic matches OCaml ----------------------------- *)
+
+let qcheck_arith =
+  (* generate random arithmetic over three int variables and compare the
+     interpreter against native evaluation *)
+  let gen =
+    let open QCheck.Gen in
+    let leaf () =
+      oneof
+        [
+          map (fun n -> (string_of_int n, fun _ -> n)) (int_range 0 50);
+          oneofl
+            [
+              ("a", fun (a, _, _) -> a);
+              ("b", fun (_, b, _) -> b);
+              ("c", fun (_, _, c) -> c);
+            ];
+        ]
+    in
+    let rec expr depth =
+      if depth = 0 then leaf ()
+      else
+        frequency
+          [ (1, leaf ());
+            ( 3,
+              let* op, f =
+                oneofl
+                  [ ("+", ( + )); ("-", ( - )); ("*", ( fun x y -> x * y)) ]
+              in
+              let* l = expr (depth - 1) in
+              let* r = expr (depth - 1) in
+              let ls, lf = l and rs, rf = r in
+              return
+                ( Printf.sprintf "(%s %s %s)" ls op rs,
+                  fun env -> f (lf env) (rf env) ) ) ]
+    in
+    let* e = expr 4 in
+    let* a = int_range (-100) 100 in
+    let* b = int_range (-100) 100 in
+    let* c = int_range (-100) 100 in
+    return (e, (a, b, c))
+  in
+  QCheck.Test.make ~name:"interp arithmetic matches OCaml" ~count:60
+    (QCheck.make gen) (fun ((src, eval), (a, b, c)) ->
+      let prog =
+        Printf.sprintf "int main(int a, int b, int c) { return %s; }" src
+      in
+      run_src ~args:[ a; b; c ] prog = eval (a, b, c))
+
+let () =
+  Alcotest.run "minic"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basic" `Quick test_lexer_basic;
+          Alcotest.test_case "escapes" `Quick test_lexer_string_escapes;
+          Alcotest.test_case "lines" `Quick test_lexer_line_numbers;
+          Alcotest.test_case "comments" `Quick test_lexer_comments;
+          Alcotest.test_case "errors" `Quick test_lexer_errors;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "precedence" `Quick test_parser_precedence;
+          Alcotest.test_case "errors" `Quick test_parser_errors;
+          Alcotest.test_case "for desugar" `Quick test_parser_for_desugar;
+          Alcotest.test_case "cosy markers" `Quick test_parser_cosy_markers;
+        ] );
+      ( "typecheck",
+        [
+          Alcotest.test_case "errors" `Quick test_typecheck_errors;
+          Alcotest.test_case "addressable" `Quick test_addressable_analysis;
+        ] );
+      ( "interp",
+        [
+          Alcotest.test_case "control flow" `Quick test_interp_control_flow;
+          Alcotest.test_case "for/continue regression" `Quick test_for_continue_regression;
+          Alcotest.test_case "recursion" `Quick test_interp_recursion;
+          Alcotest.test_case "pointers" `Quick test_interp_pointers;
+          Alcotest.test_case "globals" `Quick test_interp_globals;
+          Alcotest.test_case "mem funcs" `Quick test_interp_arrays_memfuncs;
+          Alcotest.test_case "output" `Quick test_interp_output;
+          Alcotest.test_case "runtime errors" `Quick test_interp_runtime_errors;
+          Alcotest.test_case "step limit" `Quick test_interp_step_limit;
+          Alcotest.test_case "wild pointer faults" `Quick test_interp_wild_pointer_faults;
+          Alcotest.test_case "externs" `Quick test_interp_externs;
+          Alcotest.test_case "obj events" `Quick test_interp_obj_events;
+          Alcotest.test_case "backedge hook" `Quick test_interp_backedge_hook;
+          Alcotest.test_case "cycle charging" `Quick test_interp_charges_cycles;
+          Alcotest.test_case "sizeof/casts" `Quick test_sizeof_and_casts;
+          QCheck_alcotest.to_alcotest qcheck_arith;
+        ] );
+      ( "pretty",
+        [ Alcotest.test_case "roundtrip" `Quick test_pretty_roundtrip ] );
+    ]

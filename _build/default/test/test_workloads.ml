@@ -1,0 +1,242 @@
+(* Workload-level tests: determinism, plain/Cosy equivalence, and the
+   directional claims behind each experiment (small configurations so
+   the suite stays fast; the full-size runs live in bench/). *)
+
+let pm_small =
+  { Workloads.Postmark.default_config with files = 40; transactions = 120 }
+
+let am_small =
+  { Workloads.Amutils.default_config with source_files = 30 }
+
+(* full clean build (creates files while timed): the Kefence testbed *)
+let am_small_full = { am_small with Workloads.Amutils.prime_objects = false }
+
+let db_small =
+  { Workloads.Database.default_config with records = 100; lookups = 200; scans = 1 }
+
+let ws_small =
+  { Workloads.Webserver.default_config with documents = 10; requests = 50; doc_size = 4096 }
+
+let test_postmark_runs_and_balances () =
+  let t = Core.boot () in
+  let s = Workloads.Postmark.run ~config:pm_small (Core.sys t) in
+  Alcotest.(check bool) "created >= files" true
+    (s.Workloads.Postmark.created >= pm_small.Workloads.Postmark.files);
+  (* every created file was eventually deleted *)
+  Alcotest.(check int) "created = deleted" s.Workloads.Postmark.created
+    s.Workloads.Postmark.deleted;
+  Alcotest.(check bool) "did transactions" true
+    (s.Workloads.Postmark.read + s.Workloads.Postmark.appended > 0);
+  Alcotest.(check bool) "time advanced" true
+    (s.Workloads.Postmark.times.Ksim.Kernel.elapsed > 0)
+
+let test_postmark_deterministic () =
+  let run () =
+    let t = Core.boot () in
+    let s = Workloads.Postmark.run ~config:pm_small (Core.sys t) in
+    (s.Workloads.Postmark.created, s.Workloads.Postmark.data_written,
+     s.Workloads.Postmark.times.Ksim.Kernel.elapsed)
+  in
+  Alcotest.(check bool) "bit-for-bit repeatable" true (run () = run ())
+
+let test_amutils_user_dominated () =
+  let t = Core.boot () in
+  Workloads.Amutils.setup ~config:am_small (Core.sys t);
+  let s = Workloads.Amutils.run ~config:am_small (Core.sys t) in
+  Alcotest.(check int) "all compiled" 30 s.Workloads.Amutils.compiled;
+  (* a compile workload burns more user time than system time *)
+  Alcotest.(check bool) "user > system" true
+    (s.Workloads.Amutils.times.Ksim.Kernel.utime
+     > s.Workloads.Amutils.times.Ksim.Kernel.stime)
+
+let test_database_plain_vs_cosy_same_io () =
+  let t1 = Core.boot () in
+  Workloads.Database.setup ~config:db_small (Core.sys t1);
+  let p = Workloads.Database.run_plain ~config:db_small (Core.sys t1) in
+  let t2 = Core.boot () in
+  Workloads.Database.setup ~config:db_small (Core.sys t2);
+  let c, cosy_stats = Workloads.Database.run_cosy ~config:db_small (Core.sys t2) in
+  Alcotest.(check int) "same reads" p.Workloads.Database.reads c.Workloads.Database.reads;
+  Alcotest.(check int) "same writes" p.Workloads.Database.writes c.Workloads.Database.writes;
+  Alcotest.(check int) "one compound submitted" 1 cosy_stats.Cosy.Cosy_exec.submits;
+  (* E4's direction: Cosy is faster *)
+  Alcotest.(check bool) "cosy faster" true
+    (c.Workloads.Database.times.Ksim.Kernel.elapsed
+     < p.Workloads.Database.times.Ksim.Kernel.elapsed)
+
+let test_webserver_plain_vs_cosy () =
+  let t1 = Core.boot () in
+  Workloads.Webserver.setup ~config:ws_small (Core.sys t1);
+  let p = Workloads.Webserver.run_plain ~config:ws_small (Core.sys t1) in
+  let t2 = Core.boot () in
+  Workloads.Webserver.setup ~config:ws_small (Core.sys t2);
+  let c, _ = Workloads.Webserver.run_cosy ~config:ws_small (Core.sys t2) in
+  Alcotest.(check int) "same bytes served" p.Workloads.Webserver.bytes_served
+    c.Workloads.Webserver.bytes_served;
+  Alcotest.(check bool) "cosy faster" true
+    (c.Workloads.Webserver.times.Ksim.Kernel.elapsed
+     < p.Workloads.Webserver.times.Ksim.Kernel.elapsed)
+
+let test_webserver_sendfile () =
+  let t1 = Core.boot () in
+  Workloads.Webserver.setup ~config:ws_small (Core.sys t1);
+  let p = Workloads.Webserver.run_plain ~config:ws_small (Core.sys t1) in
+  let t2 = Core.boot () in
+  Workloads.Webserver.setup ~config:ws_small (Core.sys t2);
+  let sf = Workloads.Webserver.run_sendfile ~config:ws_small (Core.sys t2) in
+  Alcotest.(check int) "same bytes" p.Workloads.Webserver.bytes_served
+    sf.Workloads.Webserver.bytes_served;
+  Alcotest.(check bool) "sendfile faster" true
+    (sf.Workloads.Webserver.times.Ksim.Kernel.elapsed
+     < p.Workloads.Webserver.times.Ksim.Kernel.elapsed)
+
+let test_lsdir_equivalence_and_direction () =
+  let t1 = Core.boot () in
+  Workloads.Lsdir.setup (Core.sys t1) ~dir:"/d" ~n:100;
+  let p = Workloads.Lsdir.run_plain (Core.sys t1) ~dir:"/d" in
+  let t2 = Core.boot () in
+  Workloads.Lsdir.setup (Core.sys t2) ~dir:"/d" ~n:100;
+  let r = Workloads.Lsdir.run_readdirplus (Core.sys t2) ~dir:"/d" in
+  Alcotest.(check int) "same entries" p.Workloads.Lsdir.entries r.Workloads.Lsdir.entries;
+  Alcotest.(check int) "plain: 1 + n syscalls" 101 p.Workloads.Lsdir.syscalls;
+  Alcotest.(check int) "merged: 1 syscall" 1 r.Workloads.Lsdir.syscalls;
+  Alcotest.(check bool) "E1 direction" true
+    (r.Workloads.Lsdir.times.Ksim.Kernel.elapsed
+     < p.Workloads.Lsdir.times.Ksim.Kernel.elapsed)
+
+let test_interactive_trace_mines_patterns () =
+  let t = Core.boot () in
+  let sys = Core.sys t in
+  Workloads.Interactive.setup sys;
+  let rec_ = Core.trace t in
+  let cfg = { Workloads.Interactive.default_config with duration_events = 60 } in
+  let s = Workloads.Interactive.run ~config:cfg sys in
+  Alcotest.(check bool) "syscalls happened" true (s.Workloads.Interactive.syscalls > 50);
+  (* the trace contains readdirplus opportunities *)
+  let runs = Ktrace.Patterns.readdir_stat_runs rec_ ~min_stats:2 in
+  Alcotest.(check bool) "readdir-stat runs found" true (List.length runs > 0);
+  let est = Ktrace.Savings.estimate ~trace_duration_cycles:s.Workloads.Interactive.duration_cycles rec_ in
+  Alcotest.(check bool) "E2 direction: fewer syscalls" true
+    (est.Ktrace.Savings.syscalls_after < est.Ktrace.Savings.syscalls_before);
+  Alcotest.(check bool) "E2 direction: fewer bytes" true
+    (est.Ktrace.Savings.bytes_after < est.Ktrace.Savings.bytes_before)
+
+let test_kefence_overhead_small () =
+  (* E5's direction: instrumented wrapfs is slower, but only slightly *)
+  let t1 = Core.boot ~fs:Core.Wrapfs_kmalloc () in
+  Workloads.Amutils.setup ~config:am_small_full (Core.sys t1);
+  let a = Workloads.Amutils.run ~config:am_small_full (Core.sys t1) in
+  let t2 = Core.boot ~fs:(Core.Wrapfs_kefence Kefence.Crash) () in
+  Workloads.Amutils.setup ~config:am_small_full (Core.sys t2);
+  let b = Workloads.Amutils.run ~config:am_small_full (Core.sys t2) in
+  let ratio =
+    float_of_int b.Workloads.Amutils.times.Ksim.Kernel.elapsed
+    /. float_of_int a.Workloads.Amutils.times.Ksim.Kernel.elapsed
+  in
+  Alcotest.(check bool) "kefence costs something" true (ratio > 1.0);
+  Alcotest.(check bool) "kefence under 10%" true (ratio < 1.10);
+  match Core.kefence t2 with
+  | Some kf -> Alcotest.(check int) "no overflow reports" 0 (Kefence.overflows_detected kf)
+  | None -> Alcotest.fail "kefence missing"
+
+let test_kgcc_journalfs_overhead_direction () =
+  (* E7's direction at test scale: KGCC costs system time, and PostMark
+     suffers far more than the compile workload *)
+  let pm fs =
+    let t = Core.boot ~fs () in
+    (Workloads.Postmark.run ~config:pm_small (Core.sys t)).Workloads.Postmark.times
+  in
+  let am fs =
+    let t = Core.boot ~fs () in
+    Workloads.Amutils.setup ~config:am_small (Core.sys t);
+    (Workloads.Amutils.run ~config:am_small (Core.sys t)).Workloads.Amutils.times
+  in
+  let pm_gcc = pm Core.Journalfs and pm_kgcc = pm Core.Journalfs_kgcc in
+  let am_gcc = am Core.Journalfs and am_kgcc = am Core.Journalfs_kgcc in
+  let ratio a b = float_of_int b /. float_of_int (max 1 a) in
+  let pm_ratio = ratio pm_gcc.Ksim.Kernel.stime pm_kgcc.Ksim.Kernel.stime in
+  let am_ratio = ratio am_gcc.Ksim.Kernel.stime am_kgcc.Ksim.Kernel.stime in
+  Alcotest.(check bool) "postmark blows up" true (pm_ratio > 3.0);
+  Alcotest.(check bool) "amutils modest" true (am_ratio < 2.0);
+  Alcotest.(check bool) "contrast" true (pm_ratio > am_ratio)
+
+let test_monitoring_overhead_ordering () =
+  (* E6's ordering: plain < dispatcher+ring < polling logger < disk logger *)
+  let cfg = { pm_small with transactions = 150 } in
+  let base =
+    let t = Core.boot () in
+    (Workloads.Postmark.run ~config:cfg (Core.sys t)).Workloads.Postmark.times.Ksim.Kernel.elapsed
+  in
+  let ring =
+    let t = Core.boot () in
+    ignore (Core.enable_monitoring t);
+    let e = (Workloads.Postmark.run ~config:cfg (Core.sys t)).Workloads.Postmark.times.Ksim.Kernel.elapsed in
+    Core.disable_monitoring t;
+    e
+  in
+  let logger write_to_disk =
+    let t = Core.boot () in
+    let d = Core.enable_monitoring t in
+    let cd = Kmonitor.Chardev.create (Core.kernel t) d in
+    let lib = Kmonitor.Libkernevents.create cd in
+    let lg = Kmonitor.Disk_logger.create ~write_to_disk (Core.kernel t) lib in
+    let cfg = { cfg with Workloads.Postmark.pump = (fun () -> Kmonitor.Disk_logger.pump lg) } in
+    let e = (Workloads.Postmark.run ~config:cfg (Core.sys t)).Workloads.Postmark.times.Ksim.Kernel.elapsed in
+    Core.disable_monitoring t;
+    e
+  in
+  let nodisk = logger false in
+  let disk = logger true in
+  Alcotest.(check bool) "ring adds overhead" true (ring > base);
+  Alcotest.(check bool) "polling logger adds more" true (nodisk > ring);
+  Alcotest.(check bool) "disk logger most" true (disk > nodisk)
+
+let test_watchdog_protects_runaway_compound () =
+  (* a hostile compound cannot hang the simulated kernel *)
+  let t = Core.boot () in
+  let exec =
+    Core.cosy
+      ~policy:
+        {
+          Cosy.Cosy_safety.mode = Cosy.Cosy_safety.Data_segment;
+          watchdog_budget = 2_000_000;
+          trust_after = None;
+        }
+      t
+  in
+  let c = Cosy.Cosy_lib.create () in
+  let top = Cosy.Cosy_lib.next_index c in
+  ignore (Cosy.Cosy_lib.syscall c "getpid" []);
+  Cosy.Cosy_lib.jmp c top;
+  try
+    ignore (Cosy.Cosy_exec.submit exec (Cosy.Cosy_lib.finish c));
+    Alcotest.fail "expected watchdog"
+  with Cosy.Cosy_safety.Watchdog_expired _ ->
+    Alcotest.(check bool) "kernel usable afterwards" true
+      (Core.Syscall.sys_getpid (Core.sys t) >= 0)
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "postmark",
+        [
+          Alcotest.test_case "runs+balances" `Quick test_postmark_runs_and_balances;
+          Alcotest.test_case "deterministic" `Quick test_postmark_deterministic;
+        ] );
+      ("amutils", [ Alcotest.test_case "user dominated" `Quick test_amutils_user_dominated ]);
+      ( "cosy-apps",
+        [
+          Alcotest.test_case "database equivalence" `Quick test_database_plain_vs_cosy_same_io;
+          Alcotest.test_case "webserver" `Quick test_webserver_plain_vs_cosy;
+          Alcotest.test_case "webserver sendfile" `Quick test_webserver_sendfile;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "E1 lsdir" `Quick test_lsdir_equivalence_and_direction;
+          Alcotest.test_case "E2 interactive" `Quick test_interactive_trace_mines_patterns;
+          Alcotest.test_case "E5 kefence overhead" `Quick test_kefence_overhead_small;
+          Alcotest.test_case "E7 kgcc contrast" `Quick test_kgcc_journalfs_overhead_direction;
+          Alcotest.test_case "E6 monitoring order" `Quick test_monitoring_overhead_ordering;
+          Alcotest.test_case "watchdog" `Quick test_watchdog_protects_runaway_compound;
+        ] );
+    ]
