@@ -1,0 +1,19 @@
+.PHONY: all build test bench-smoke check clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# One experiment end to end, including the BENCH_kstats.json artifact.
+bench-smoke:
+	dune exec bench/main.exe -- E1
+
+check: build test bench-smoke
+
+clean:
+	dune clean
+	rm -f BENCH_kstats.json

@@ -488,7 +488,7 @@ int main(void) {
     let clock = Ksim.Sim_clock.create () in
     let mem = Ksim.Phys_mem.create ~page_size:4096 in
     let space =
-      Ksim.Address_space.create ~name:"e9" ~mem ~clock ~cost:Ksim.Cost_model.default
+      Ksim.Address_space.create ~name:"e9" ~mem ~clock ~cost:Ksim.Cost_model.default ()
     in
     let interp =
       Minic.Interp.create ~space ~clock ~cost:Ksim.Cost_model.default
@@ -654,7 +654,7 @@ let micro () =
     let clock = Ksim.Sim_clock.create () in
     let mem = Ksim.Phys_mem.create ~page_size:4096 in
     let space =
-      Ksim.Address_space.create ~name:"b" ~mem ~clock ~cost:Ksim.Cost_model.zero
+      Ksim.Address_space.create ~name:"b" ~mem ~clock ~cost:Ksim.Cost_model.zero ()
     in
     let i =
       Minic.Interp.create ~space ~clock ~cost:Ksim.Cost_model.zero ~base_vpn:8
@@ -700,6 +700,97 @@ let all_experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11) ]
 
+(* --- machine-readable kstats output (BENCH_kstats.json) --------------- *)
+
+(* Every system booted while an experiment runs is captured through the
+   Core.on_boot hook, so its metrics registry can be merged into the
+   experiment's aggregate afterwards. *)
+let booted : Core.t list ref = ref []
+
+type exp_summary = {
+  xid : string;
+  boots : int;
+  elapsed : int;        (* simulated cycles, summed over boots *)
+  utime : int;
+  stime : int;
+  agg : Kstats.t;       (* merged registries of every boot *)
+}
+
+let summarize xid boots =
+  let agg = Kstats.create ~enabled:true () in
+  let elapsed = ref 0 and utime = ref 0 and stime = ref 0 in
+  List.iter
+    (fun t ->
+      let k = Core.kernel t in
+      elapsed := !elapsed + Ksim.Kernel.now k;
+      let p = Ksim.Kernel.current k in
+      utime := !utime + p.Ksim.Kproc.utime;
+      stime := !stime + p.Ksim.Kproc.stime;
+      Kstats.merge_into ~into:agg (Core.stats t))
+    boots;
+  {
+    xid;
+    boots = List.length boots;
+    elapsed = !elapsed;
+    utime = !utime;
+    stime = !stime;
+    agg;
+  }
+
+let find_counter stats name =
+  match Kstats.find stats name with Some (Kstats.Counter_v v) -> v | _ -> 0
+
+(* Per-syscall [(name, count, p50, p99)], from the merged registry. *)
+let syscall_latencies stats =
+  List.filter_map
+    (fun metric ->
+      match String.index_opt metric '.' with
+      | Some 7 when String.length metric > 8
+                    && String.sub metric 0 8 = "syscall."
+                    && Filename.check_suffix metric ".latency" -> (
+          let name = String.sub metric 8 (String.length metric - 16) in
+          match Kstats.find stats metric with
+          | Some (Kstats.Hist_v h) ->
+              Some
+                ( name,
+                  find_counter stats ("syscall." ^ name ^ ".count"),
+                  h.Kstats.v_p50,
+                  h.Kstats.v_p99 )
+          | _ -> None)
+      | _ -> None)
+    (Kstats.names stats)
+
+let json_of_summary b s =
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"id\":\"%s\",\"boots\":%d,\"elapsed_cycles\":%d,\"utime_cycles\":%d,\
+        \"stime_cycles\":%d,\"crossings\":%d,\"syscalls\":{"
+       s.xid s.boots s.elapsed s.utime s.stime
+       (find_counter s.agg "kernel.crossings"));
+  List.iteri
+    (fun i (name, count, p50, p99) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "\"%s\":{\"count\":%d,\"p50\":%d,\"p99\":%d}" name
+           count p50 p99))
+    (syscall_latencies s.agg);
+  Buffer.add_string b "},\"metrics\":";
+  Buffer.add_string b (Kstats.to_json s.agg);
+  Buffer.add_char b '}'
+
+let write_kstats_json path summaries =
+  let b = Buffer.create 65536 in
+  Buffer.add_string b "{\"experiments\":[";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char b ',';
+      json_of_summary b s)
+    summaries;
+  Buffer.add_string b "]}\n";
+  let oc = open_out path in
+  Buffer.output_buffer oc b;
+  close_out oc
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let want_micro = List.mem "micro" args in
@@ -711,9 +802,27 @@ let () =
     else
       List.filter (fun (id, _) -> List.mem id selected) all_experiments
   in
+  (* every kernel booted by the harness carries an enabled metrics
+     registry; recording is cycle-neutral so reproduced numbers are
+     unchanged (asserted by test_kstats) *)
+  Kstats.default_enabled := true;
+  Core.on_boot := (fun t -> booted := t :: !booted);
   pf "Reproduction of \"Efficient and Safe Execution of User-Level Code in \
       the Kernel\" (Zadok et al., 2005)\n";
   pf "Simulated substrate; see DESIGN.md for the substitution table and \
       EXPERIMENTS.md for analysis.\n";
-  List.iter (fun (_, f) -> f ()) to_run;
-  if want_micro then micro ()
+  let summaries =
+    List.map
+      (fun (id, f) ->
+        booted := [];
+        f ();
+        summarize id (List.rev !booted))
+      to_run
+  in
+  if want_micro then micro ();
+  if summaries <> [] then begin
+    write_kstats_json "BENCH_kstats.json" summaries;
+    pf "\nwrote BENCH_kstats.json (%d experiments: per-boot aggregated \
+        kstats, syscall latency percentiles)\n"
+      (List.length summaries)
+  end

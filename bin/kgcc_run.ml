@@ -36,7 +36,7 @@ let mk_interp () =
   let mem = Ksim.Phys_mem.create ~page_size:4096 in
   let space =
     Ksim.Address_space.create ~name:"kgcc_run" ~mem ~clock
-      ~cost:Ksim.Cost_model.default
+      ~cost:Ksim.Cost_model.default ()
   in
   ( clock,
     Minic.Interp.create ~space ~clock ~cost:Ksim.Cost_model.default

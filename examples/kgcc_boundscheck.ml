@@ -29,7 +29,7 @@ let mk_interp () =
   let clock = Ksim.Sim_clock.create () in
   let mem = Ksim.Phys_mem.create ~page_size:4096 in
   let space =
-    Ksim.Address_space.create ~name:"mod" ~mem ~clock ~cost:Ksim.Cost_model.default
+    Ksim.Address_space.create ~name:"mod" ~mem ~clock ~cost:Ksim.Cost_model.default ()
   in
   (clock, Minic.Interp.create ~space ~clock ~cost:Ksim.Cost_model.default ~base_vpn:16 ~pages:64)
 

@@ -20,6 +20,7 @@ module Vfs = Kvfs.Vfs
 module Vtypes = Kvfs.Vtypes
 module Syscall = Ksyscall.Usyscall
 module Systable = Ksyscall.Systable
+module Stats = Kstats
 
 type fs_choice =
   | Memfs                          (* plain in-memory Ext2 stand-in *)
@@ -40,6 +41,7 @@ type t = {
 
 let kernel t = t.kernel
 let sys t = t.sys
+let stats t = Ksim.Kernel.stats t.kernel
 let kefence t = t.kefence
 let wrapfs t = t.wrapfs
 let journalfs t = t.journalfs
@@ -55,6 +57,10 @@ let o_append = [ Kvfs.Vfs.O_RDWR; Kvfs.Vfs.O_APPEND ]
 exception Sys_error of Kvfs.Vtypes.errno
 
 let ok = function Ok v -> v | Error e -> raise (Sys_error e)
+
+(* Observed by harnesses (e.g. the bench driver) that need a handle on
+   every system booted during a run to aggregate their kstats. *)
+let on_boot : (t -> unit) ref = ref (fun _ -> ())
 
 let boot ?(config = Ksim.Kernel.default_config) ?(fs = Memfs) () =
   let kernel = Ksim.Kernel.create ~config () in
@@ -112,15 +118,19 @@ let boot ?(config = Ksim.Kernel.default_config) ?(fs = Memfs) () =
         Kvfs.Journalfs.ops j
   in
   let sys = Ksyscall.Systable.create ~root_fs kernel in
-  {
-    kernel;
-    sys;
-    kefence = !kefence_ref;
-    wrapfs = !wrapfs_ref;
-    journalfs = !journalfs_ref;
-    kgcc_runtime = !kgcc_ref;
-    dispatcher = None;
-  }
+  let t =
+    {
+      kernel;
+      sys;
+      kefence = !kefence_ref;
+      wrapfs = !wrapfs_ref;
+      journalfs = !journalfs_ref;
+      kgcc_runtime = !kgcc_ref;
+      dispatcher = None;
+    }
+  in
+  !on_boot t;
+  t
 
 (* Attach the event-monitoring stack (dispatcher installed into the
    kernel's log_event indirection). *)
@@ -147,6 +157,12 @@ let trace t =
   let r = Ktrace.Recorder.create () in
   Ktrace.Recorder.attach r t.sys;
   r
+
+(* A periodic kstats snapshot feed into the monitoring event stream. *)
+let stats_feed ?interval t = Kmonitor.Stats_feed.create ?interval t.kernel
+
+(* The /proc-style metrics report for this system. *)
+let pp_stats ppf t = Kstats.pp_report ppf (stats t)
 
 (* Human-readable time report matching what time(1) prints. *)
 let pp_times ppf (times : Ksim.Kernel.times) =

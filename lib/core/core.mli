@@ -19,6 +19,7 @@ module Vfs = Kvfs.Vfs
 module Vtypes = Kvfs.Vtypes
 module Syscall = Ksyscall.Usyscall
 module Systable = Ksyscall.Systable
+module Stats = Kstats
 
 (** The filesystem stack to boot with. *)
 type fs_choice =
@@ -32,6 +33,11 @@ type t
 
 val kernel : t -> Ksim.Kernel.t
 val sys : t -> Ksyscall.Systable.t
+
+(** The kernel-wide metrics registry (counters, gauges, latency
+    histograms).  Enabled at boot when [!Kstats.default_enabled];
+    toggle later with [Kstats.set_enabled]. *)
+val stats : t -> Kstats.t
 
 (** The optional subsystems the chosen stack instantiated. *)
 val kefence : t -> Kefence.t option
@@ -55,6 +61,11 @@ val ok : ('a, Kvfs.Vtypes.errno) result -> 'a
 
 val boot : ?config:Ksim.Kernel.config -> ?fs:fs_choice -> unit -> t
 
+(** Called with every system {!boot} constructs, before it is returned.
+    Harnesses (e.g. the bench driver) hook this to aggregate kstats
+    across the many systems a run boots.  Defaults to a no-op. *)
+val on_boot : (t -> unit) ref
+
 (** Attach the event-monitoring stack (installs a dispatcher into the
     kernel's log_event indirection; [ring] enables the user-space feed). *)
 val enable_monitoring : ?ring:bool -> t -> Kmonitor.Dispatcher.t
@@ -71,6 +82,13 @@ val cosy :
 
 (** Attach an strace-style recorder. *)
 val trace : t -> Ktrace.Recorder.t
+
+(** A periodic kstats snapshot feed into the monitoring event stream
+    (requires {!enable_monitoring} for the events to flow). *)
+val stats_feed : ?interval:int -> t -> Kmonitor.Stats_feed.t
+
+(** Render the /proc-style metrics report for this system. *)
+val pp_stats : Format.formatter -> t -> unit
 
 (** Render elapsed/user/system like time(1). *)
 val pp_times : Format.formatter -> Ksim.Kernel.times -> unit

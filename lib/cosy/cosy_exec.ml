@@ -13,6 +13,12 @@ type t = {
   safety : Cosy_safety.t;
   interp : Minic.Interp.t option;   (* loaded user functions *)
   interp_region : (int * int) option; (* base, len of interp memory *)
+  kstats : Kstats.t;
+  st_submits : Kstats.counter;
+  st_ops : Kstats.counter;
+  st_backedges : Kstats.counter;
+  st_user_calls : Kstats.counter;
+  st_compound_ops : Kstats.hist;
   mutable submits : int;
   mutable ops_executed : int;
   mutable backedges : int;
@@ -40,12 +46,19 @@ let create ?(shared_size = 65536) ?policy ?user_program sys =
         let page_size = Ksim.Kernel.page_size kernel in
         (Some interp, Some (base_vpn * page_size, pages * page_size))
   in
+  let kstats = Ksim.Kernel.stats kernel in
   {
     sys;
-    shared = Shared_buffer.create shared_size;
+    shared = Shared_buffer.create ~stats:kstats shared_size;
     safety = Cosy_safety.create ~policy ~clock ~cost;
     interp;
     interp_region;
+    kstats;
+    st_submits = Kstats.counter kstats "cosy.submits";
+    st_ops = Kstats.counter kstats "cosy.ops_executed";
+    st_backedges = Kstats.counter kstats "cosy.backedges";
+    st_user_calls = Kstats.counter kstats "cosy.user_calls";
+    st_compound_ops = Kstats.histogram kstats "cosy.compound.ops";
     submits = 0;
     ops_executed = 0;
     backedges = 0;
@@ -227,6 +240,7 @@ let do_call_user t slots fname args =
       raise (Exec_error "no user program loaded into the Cosy extension")
   | Some interp, Some (base, len) ->
       t.user_calls <- t.user_calls + 1;
+      Kstats.incr t.kstats t.st_user_calls;
       let mode = Cosy_safety.effective_mode t.safety fname in
       Cosy_safety.charge_call_overhead t.safety mode;
       let space = Minic.Interp.space interp in
@@ -254,6 +268,8 @@ let submit t compound =
   let cost = Ksim.Kernel.cost kernel in
   let clock = Ksim.Kernel.clock kernel in
   t.submits <- t.submits + 1;
+  Kstats.incr t.kstats t.st_submits;
+  let ops_before = t.ops_executed in
   Ksim.Kernel.enter_kernel kernel;
   Ksim.Sim_clock.advance clock cost.Ksim.Cost_model.cosy_submit;
   Cosy_safety.arm t.safety;
@@ -273,6 +289,7 @@ let submit t compound =
       while !running && !pc < Array.length ops do
         let cur = !pc in
         t.ops_executed <- t.ops_executed + 1;
+        Kstats.incr t.kstats t.st_ops;
         Ksim.Sim_clock.advance clock cost.Ksim.Cost_model.cosy_exec_op;
         (match ops.(cur) with
         | Cosy_op.Set { dst; src } ->
@@ -306,6 +323,7 @@ let submit t compound =
         | Cosy_op.Jmp target ->
             if target <= cur then begin
               t.backedges <- t.backedges + 1;
+              Kstats.incr t.kstats t.st_backedges;
               Ksim.Scheduler.checkpoint (Ksim.Kernel.sched kernel);
               Cosy_safety.watchdog_check t.safety
             end;
@@ -314,6 +332,7 @@ let submit t compound =
             if int_arg slots cond = 0 then begin
               if target <= cur then begin
                 t.backedges <- t.backedges + 1;
+                Kstats.incr t.kstats t.st_backedges;
                 Ksim.Scheduler.checkpoint (Ksim.Kernel.sched kernel);
                 Cosy_safety.watchdog_check t.safety
               end;
@@ -337,6 +356,7 @@ let submit t compound =
     | e -> finish_exn e
   in
   Ksim.Kernel.exit_kernel kernel;
+  Kstats.observe t.kstats t.st_compound_ops (t.ops_executed - ops_before);
   result
 
 type stats = {

@@ -5,12 +5,23 @@
 
 type t = {
   data : Bytes.t;
+  kstats : Kstats.t;
+  st_bytes_read : Kstats.counter;
+  st_bytes_written : Kstats.counter;
+  st_high_water : Kstats.gauge;
   mutable high_water : int;    (* bytes actually used, for reporting *)
 }
 
-let create size =
+let create ?(stats = Kstats.create ()) size =
   if size <= 0 then invalid_arg "Shared_buffer.create";
-  { data = Bytes.make size '\000'; high_water = 0 }
+  {
+    data = Bytes.make size '\000';
+    kstats = stats;
+    st_bytes_read = Kstats.counter stats "cosy.shared.bytes_read";
+    st_bytes_written = Kstats.counter stats "cosy.shared.bytes_written";
+    st_high_water = Kstats.gauge stats "cosy.shared.high_water";
+    high_water = 0;
+  }
 
 let size t = Bytes.length t.data
 
@@ -24,10 +35,15 @@ let write t ~off data =
   let len = Bytes.length data in
   check t ~off ~len;
   Bytes.blit data 0 t.data off len;
-  if off + len > t.high_water then t.high_water <- off + len
+  Kstats.add t.kstats t.st_bytes_written len;
+  if off + len > t.high_water then begin
+    t.high_water <- off + len;
+    Kstats.set t.kstats t.st_high_water t.high_water
+  end
 
 let read t ~off ~len =
   check t ~off ~len;
+  Kstats.add t.kstats t.st_bytes_read len;
   Bytes.sub t.data off len
 
 let write_string t ~off s = write t ~off (Bytes.of_string s)

@@ -6,8 +6,11 @@
 
 type t
 
-(** @raise Invalid_argument on non-positive size. *)
-val create : int -> t
+(** [create ?stats size] builds the buffer.  When [stats] is given, the
+    buffer registers [cosy.shared.*] traffic counters and a high-water
+    gauge in it.
+    @raise Invalid_argument on non-positive size. *)
+val create : ?stats:Kstats.t -> int -> t
 
 val size : t -> int
 

@@ -64,6 +64,10 @@ type site_state = {
 
 type t = {
   kernel : Ksim.Kernel.t;
+  kstats : Kstats.t;
+  st_overflows : Kstats.counter;
+  st_guarded : Kstats.counter;
+  st_unguarded : Kstats.counter;
   mutable mode : mode;
   protect : protect;
   dynamic : dynamic_policy option;
@@ -91,6 +95,7 @@ let handler t (fault : Ksim.Fault.t) : Ksim.Address_space.resolution =
     | None -> Ksim.Address_space.Kill (* not one of ours *)
     | Some (buf_addr, buf_size) ->
         t.overflows_detected <- t.overflows_detected + 1;
+        Kstats.incr t.kstats t.st_overflows;
         t.reports <-
           {
             fault_addr = fault.Ksim.Fault.addr;
@@ -128,9 +133,14 @@ let handler t (fault : Ksim.Fault.t) : Ksim.Address_space.resolution =
   end
 
 let create ?(mode = Crash) ?(protect = Overflow) ?dynamic kernel =
+  let kstats = Ksim.Kernel.stats kernel in
   let t =
     {
       kernel;
+      kstats;
+      st_overflows = Kstats.counter kstats "kefence.overflows";
+      st_guarded = Kstats.counter kstats "kefence.guarded_allocs";
+      st_unguarded = Kstats.counter kstats "kefence.unguarded_allocs";
       mode;
       protect;
       dynamic;
@@ -177,11 +187,13 @@ let site_guarded t site =
 let alloc ?site t size =
   if not (site_guarded t site) then begin
     t.unguarded_allocs <- t.unguarded_allocs + 1;
+    Kstats.incr t.kstats t.st_unguarded;
     let addr = Ksim.Kalloc.kmalloc (Ksim.Kernel.alloc t.kernel) size in
     Hashtbl.replace t.unguarded addr ();
     addr
   end
   else begin
+    Kstats.incr t.kstats t.st_guarded;
     let align_end = t.protect = Overflow in
     let area =
       Ksim.Kalloc.vmalloc (Ksim.Kernel.alloc t.kernel) ~guard:true ~align_end

@@ -10,11 +10,13 @@ type t = {
   mutable reads : int;
   mutable empty_polls : int;
   mutable events_delivered : int;
+  mutable drops_reported : int;      (* ring drops already surfaced *)
+  mutable last_read_drops : int;     (* drops reported by the last read *)
 }
 
 let create kernel dispatcher =
   { kernel; ring = Dispatcher.ring dispatcher; reads = 0; empty_polls = 0;
-    events_delivered = 0 }
+    events_delivered = 0; drops_reported = 0; last_read_drops = 0 }
 
 (* One read(2) on the device: returns up to [max] events.  The crossing
    and per-event copy are charged; an empty read additionally counts as a
@@ -26,6 +28,12 @@ let read t ~max =
   (* boundary round trip *)
   Ksim.Sim_clock.advance clock
     (cost.Ksim.Cost_model.syscall_entry + cost.Ksim.Cost_model.syscall_exit);
+  (* like real drivers, each read also reports how many events the ring
+     dropped since the previous read, so the consumer knows its log has
+     holes *)
+  let total_drops = Ring.dropped t.ring in
+  t.last_read_drops <- total_drops - t.drops_reported;
+  t.drops_reported <- total_drops;
   let batch = Ring.pop_batch t.ring ~max in
   (match batch with
   | [] ->
@@ -41,3 +49,5 @@ let pending t = Ring.length t.ring
 let reads t = t.reads
 let empty_polls t = t.empty_polls
 let events_delivered t = t.events_delivered
+let dropped t = Ring.dropped t.ring
+let last_read_drops t = t.last_read_drops

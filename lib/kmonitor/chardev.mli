@@ -20,3 +20,11 @@ val pending : t -> int
 val reads : t -> int
 val empty_polls : t -> int
 val events_delivered : t -> int
+
+(** Events the ring buffer has dropped on overflow so far. *)
+val dropped : t -> int
+
+(** Drops newly reported by the most recent {!read} (i.e. drops that
+    happened since the read before it) — how real drivers tell the
+    consumer its log has holes. *)
+val last_read_drops : t -> int

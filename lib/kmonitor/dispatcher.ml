@@ -9,16 +9,25 @@ type t = {
   kernel : Ksim.Kernel.t;
   mutable callbacks : (string * callback) list;
   ring : Ksim.Instrument.event Ring.t;
+  kstats : Kstats.t;
+  st_events : Kstats.counter;
+  st_ring_pushed : Kstats.counter;
+  st_ring_dropped : Kstats.counter;
   mutable ring_enabled : bool;
   mutable events : int;
   mutable installed : bool;
 }
 
 let create ?(ring_capacity = 8192) kernel =
+  let kstats = Ksim.Kernel.stats kernel in
   {
     kernel;
     callbacks = [];
     ring = Ring.create ring_capacity;
+    kstats;
+    st_events = Kstats.counter kstats "kmonitor.events";
+    st_ring_pushed = Kstats.counter kstats "kmonitor.ring_pushed";
+    st_ring_dropped = Kstats.counter kstats "kmonitor.ring_dropped";
     ring_enabled = false;
     events = 0;
     installed = false;
@@ -32,11 +41,13 @@ let log_event t (ev : Ksim.Instrument.event) =
   Ksim.Sim_clock.advance (Ksim.Kernel.clock t.kernel)
     cost.Ksim.Cost_model.event_dispatch;
   t.events <- t.events + 1;
+  Kstats.incr t.kstats t.st_events;
   List.iter (fun (_, cb) -> cb ev) t.callbacks;
   if t.ring_enabled then begin
     Ksim.Sim_clock.advance (Ksim.Kernel.clock t.kernel)
       cost.Ksim.Cost_model.ring_push;
-    ignore (Ring.push t.ring ev)
+    if Ring.push t.ring ev then Kstats.incr t.kstats t.st_ring_pushed
+    else Kstats.incr t.kstats t.st_ring_dropped
   end
 
 (* Wire the dispatcher into the kernel's instrumentation point. *)

@@ -19,13 +19,20 @@ type t = {
   strategy : strategy;
   mutable queue : Ksim.Instrument.event list;  (* local, oldest first *)
   mutable consumed : int;
+  mutable dropped : int;   (* kernel-side drops observed through reads *)
   sinks : (string, sink) Hashtbl.t;
   batch : int;
 }
 
 let create ?(strategy = Polling) ?(batch = 64) chardev =
-  { chardev; strategy; queue = []; consumed = 0; sinks = Hashtbl.create 4;
-    batch }
+  { chardev; strategy; queue = []; consumed = 0; dropped = 0;
+    sinks = Hashtbl.create 4; batch }
+
+(* Every device read may report kernel-side drops; fold them in. *)
+let do_read t ~max =
+  let batch = Chardev.read t.chardev ~max in
+  t.dropped <- t.dropped + Chardev.last_read_drops t.chardev;
+  batch
 
 let add_sink t ~name sink = Hashtbl.replace t.sinks name sink
 
@@ -43,7 +50,7 @@ let pump t =
         (* the prototype "polls the character device continuously rather
            than using blocking reads": drain until an empty read *)
         let rec spin () =
-          let batch = Chardev.read t.chardev ~max:t.batch in
+          let batch = do_read t ~max:t.batch in
           if batch <> [] then begin
             t.queue <- t.queue @ batch;
             spin ()
@@ -51,7 +58,7 @@ let pump t =
         in
         spin ()
     | Blocking _ ->
-        let batch = Chardev.read t.chardev ~max:t.batch in
+        let batch = do_read t ~max:t.batch in
         t.queue <- t.queue @ batch
   end;
   let deliver ev = Hashtbl.iter (fun _ sink -> sink ev) t.sinks in
@@ -65,7 +72,7 @@ let pump t =
 (* Drain everything still buffered kernel-side. *)
 let drain t =
   let rec go () =
-    let batch = Chardev.read t.chardev ~max:t.batch in
+    let batch = do_read t ~max:t.batch in
     if batch <> [] then begin
       List.iter
         (fun ev ->
@@ -78,3 +85,19 @@ let drain t =
   go ()
 
 let consumed t = t.consumed
+let dropped t = t.dropped
+
+type stats = {
+  consumed : int;
+  dropped : int;
+  reads : int;
+  empty_polls : int;
+}
+
+let stats (t : t) =
+  {
+    consumed = t.consumed;
+    dropped = t.dropped;
+    reads = Chardev.reads t.chardev;
+    empty_polls = Chardev.empty_polls t.chardev;
+  }

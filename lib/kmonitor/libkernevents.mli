@@ -25,3 +25,16 @@ val pump : t -> unit
 val drain : t -> unit
 
 val consumed : t -> int
+
+(** Kernel-side ring drops observed so far through device reads — events
+    this consumer will never see. *)
+val dropped : t -> int
+
+type stats = {
+  consumed : int;     (** events delivered to sinks *)
+  dropped : int;      (** kernel-side drops observed through reads *)
+  reads : int;        (** device reads issued *)
+  empty_polls : int;  (** reads that found nothing *)
+}
+
+val stats : t -> stats

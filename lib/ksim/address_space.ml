@@ -17,12 +17,16 @@ type t = {
   tlb : Tlb.t;
   clock : Sim_clock.t;
   cost : Cost_model.t;
+  stats : Kstats.t;
+  st_tlb_hits : Kstats.counter;
+  st_tlb_misses : Kstats.counter;
+  st_faults : Kstats.counter;
   mutable handlers : handler list;   (* consulted innermost-first *)
   mutable segment : Segment.t;       (* active segment for checked access *)
   mutable faults : int;
 }
 
-let create ~name ~mem ~clock ~cost =
+let create ?(stats = Kstats.create ()) ~name ~mem ~clock ~cost () =
   {
     name;
     page_size = Phys_mem.page_size mem;
@@ -31,6 +35,10 @@ let create ~name ~mem ~clock ~cost =
     tlb = Tlb.create ();
     clock;
     cost;
+    stats;
+    st_tlb_hits = Kstats.counter stats (Printf.sprintf "tlb.%s.hits" name);
+    st_tlb_misses = Kstats.counter stats (Printf.sprintf "tlb.%s.misses" name);
+    st_faults = Kstats.counter stats (Printf.sprintf "fault.%s.count" name);
     handlers = [];
     segment = Segment.flat;
     faults = 0;
@@ -77,6 +85,7 @@ let unmap t ~vpn ~npages =
 
 let dispatch_fault t fault =
   t.faults <- t.faults + 1;
+  Kstats.incr t.stats t.st_faults;
   Sim_clock.advance t.clock t.cost.Cost_model.page_fault;
   let rec try_handlers = function
     | [] -> Kill
@@ -92,8 +101,11 @@ let dispatch_fault t fault =
 (* Translate one page-aligned access; returns the PTE to use. *)
 let rec translate t ~addr ~access ~pc =
   let vpn = vpn_of t addr in
-  if not (Tlb.access t.tlb ~vpn) then
-    Sim_clock.advance t.clock t.cost.Cost_model.tlb_miss;
+  if Tlb.access t.tlb ~vpn then Kstats.incr t.stats t.st_tlb_hits
+  else begin
+    Kstats.incr t.stats t.st_tlb_misses;
+    Sim_clock.advance t.clock t.cost.Cost_model.tlb_miss
+  end;
   match Page_table.lookup t.pt ~vpn with
   | None -> (
       let fault = { Fault.addr; access; reason = Fault.Not_present; pc } in

@@ -18,8 +18,17 @@ type handler = Fault.t -> resolution
 
 type t
 
+(** [stats] receives per-space TLB hit/miss and fault counters (named
+    [tlb.<name>.*] / [fault.<name>.count]); defaults to a disabled
+    registry. *)
 val create :
-  name:string -> mem:Phys_mem.t -> clock:Sim_clock.t -> cost:Cost_model.t -> t
+  ?stats:Kstats.t ->
+  name:string ->
+  mem:Phys_mem.t ->
+  clock:Sim_clock.t ->
+  cost:Cost_model.t ->
+  unit ->
+  t
 
 val name : t -> string
 val page_size : t -> int

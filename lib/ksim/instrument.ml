@@ -27,6 +27,14 @@ let kind_code = function
   | Sem_up -> 8
   | Custom n -> 100 + n
 
+(* Registration table for [Custom] kinds, so subsystem-defined events
+   (e.g. kstats snapshots) print under a meaningful name instead of
+   "custom-N".  Process-global, like the kind space itself. *)
+let custom_names : (int, string) Hashtbl.t = Hashtbl.create 8
+
+let register_custom_name n name = Hashtbl.replace custom_names n name
+let custom_name n = Hashtbl.find_opt custom_names n
+
 let pp_kind ppf k =
   let s =
     match k with
@@ -38,7 +46,10 @@ let pp_kind ppf k =
     | Irq_enable -> "irq-enable"
     | Sem_down -> "sem-down"
     | Sem_up -> "sem-up"
-    | Custom n -> Printf.sprintf "custom-%d" n
+    | Custom n -> (
+        match custom_name n with
+        | Some name -> name
+        | None -> Printf.sprintf "custom-%d" n)
   in
   Fmt.string ppf s
 

@@ -21,6 +21,13 @@ type t = {
   space : Address_space.t;
   clock : Sim_clock.t;
   cost : Cost_model.t;
+  stats : Kstats.t;
+  st_kmallocs : Kstats.counter;
+  st_kfrees : Kstats.counter;
+  st_vmallocs : Kstats.counter;
+  st_vfrees : Kstats.counter;
+  st_alloc_bytes : Kstats.counter;
+  st_pages_live : Kstats.gauge;
   page_size : int;
   (* kmalloc state: a simple bump region refilled page by page. *)
   mutable slab_addr : int;        (* next free byte in the current slab *)
@@ -44,12 +51,19 @@ let kmalloc_limit_pages = 0x8000
 let vmalloc_base_vpn = 0x10000
 let vmalloc_limit_pages = 0x40000
 
-let create ~space ~clock ~cost =
+let create ?(stats = Kstats.create ()) ~space ~clock ~cost () =
   let page_size = Address_space.page_size space in
   {
     space;
     clock;
     cost;
+    stats;
+    st_kmallocs = Kstats.counter stats "kalloc.kmallocs";
+    st_kfrees = Kstats.counter stats "kalloc.kfrees";
+    st_vmallocs = Kstats.counter stats "kalloc.vmallocs";
+    st_vfrees = Kstats.counter stats "kalloc.vfrees";
+    st_alloc_bytes = Kstats.counter stats "kalloc.bytes_requested";
+    st_pages_live = Kstats.gauge stats "kalloc.vm_pages_live";
     page_size;
     slab_addr = 0;
     slab_left = 0;
@@ -74,6 +88,8 @@ let pages_for t size = (size + t.page_size - 1) / t.page_size
 let kmalloc t size =
   if size <= 0 then invalid_arg "kmalloc: size";
   Sim_clock.advance t.clock t.cost.Cost_model.kmalloc_cost;
+  Kstats.incr t.stats t.st_kmallocs;
+  Kstats.add t.stats t.st_alloc_bytes size;
   (* align to 8 bytes like the slab allocator's minimum object size *)
   let size = (size + 7) land lnot 7 in
   if size > t.slab_left then begin
@@ -94,6 +110,7 @@ let kmalloc t size =
 
 let kfree t addr =
   Sim_clock.advance t.clock t.cost.Cost_model.kfree_cost;
+  Kstats.incr t.stats t.st_kfrees;
   match Hashtbl.find_opt t.kmalloc_live addr with
   | None -> invalid_arg "kfree: not a live kmalloc address"
   | Some _ -> Hashtbl.remove t.kmalloc_live addr
@@ -133,6 +150,9 @@ let vmalloc ?(guard = false) ?(align_end = true) t size =
     t.vm_pages_high_water <- t.vm_pages_live;
   t.vm_bytes_requested <- t.vm_bytes_requested + size;
   t.vm_allocs <- t.vm_allocs + 1;
+  Kstats.incr t.stats t.st_vmallocs;
+  Kstats.add t.stats t.st_alloc_bytes size;
+  Kstats.set t.stats t.st_pages_live t.vm_pages_live;
   area
 
 let find_area t addr =
@@ -160,7 +180,9 @@ let vfree t addr =
           Tlb.invalidate (Address_space.tlb t.space) ~vpn:g
       | None -> ());
       Hashtbl.remove t.vm_areas addr;
-      t.vm_pages_live <- t.vm_pages_live - area.npages
+      t.vm_pages_live <- t.vm_pages_live - area.npages;
+      Kstats.incr t.stats t.st_vfrees;
+      Kstats.set t.stats t.st_pages_live t.vm_pages_live
 
 (* --- statistics (E5 reports these like the paper does) ----------------- *)
 

@@ -20,7 +20,15 @@ type area = {
 
 type t
 
-val create : space:Address_space.t -> clock:Sim_clock.t -> cost:Cost_model.t -> t
+(** [stats] receives allocation counters and the live-page gauge;
+    defaults to a disabled registry. *)
+val create :
+  ?stats:Kstats.t ->
+  space:Address_space.t ->
+  clock:Sim_clock.t ->
+  cost:Cost_model.t ->
+  unit ->
+  t
 
 exception Out_of_memory of string
 

@@ -20,6 +20,10 @@ type t = {
   uspace : Address_space.t;    (* (shared) user virtual address space *)
   alloc : Kalloc.t;            (* kernel allocators over kspace *)
   sched : Scheduler.t;
+  kstats : Kstats.t;           (* kernel-wide metrics registry *)
+  st_crossings : Kstats.counter;
+  st_bytes_in : Kstats.counter;
+  st_bytes_out : Kstats.counter;
   mutable mode : mode;
   mutable user_kernel_crossings : int;
   mutable bytes_copied_user_to_kernel : int;
@@ -33,15 +37,20 @@ let user_heap_base_vpn = 0x400
 
 let create ?(config = default_config) () =
   let clock = Sim_clock.create () in
+  let kstats = Kstats.create ~enabled:!Kstats.default_enabled () in
   let mem = Phys_mem.create ~page_size:config.page_size in
   let kspace =
-    Address_space.create ~name:"kernel" ~mem ~clock ~cost:config.cost
+    Address_space.create ~stats:kstats ~name:"kernel" ~mem ~clock
+      ~cost:config.cost ()
   in
   let uspace =
-    Address_space.create ~name:"user" ~mem ~clock ~cost:config.cost
+    Address_space.create ~stats:kstats ~name:"user" ~mem ~clock
+      ~cost:config.cost ()
   in
-  let alloc = Kalloc.create ~space:kspace ~clock ~cost:config.cost in
-  let sched = Scheduler.create ~clock ~cost:config.cost in
+  let alloc =
+    Kalloc.create ~stats:kstats ~space:kspace ~clock ~cost:config.cost ()
+  in
+  let sched = Scheduler.create ~stats:kstats ~clock ~cost:config.cost () in
   let k =
     {
       config;
@@ -51,6 +60,10 @@ let create ?(config = default_config) () =
       uspace;
       alloc;
       sched;
+      kstats;
+      st_crossings = Kstats.counter kstats "kernel.crossings";
+      st_bytes_in = Kstats.counter kstats "kernel.bytes_from_user";
+      st_bytes_out = Kstats.counter kstats "kernel.bytes_to_user";
       mode = User;
       user_kernel_crossings = 0;
       bytes_copied_user_to_kernel = 0;
@@ -69,6 +82,7 @@ let kspace t = t.kspace
 let uspace t = t.uspace
 let alloc t = t.alloc
 let sched t = t.sched
+let stats t = t.kstats
 let now t = Sim_clock.now t.clock
 let current t = Scheduler.current t.sched
 let mode t = t.mode
@@ -81,6 +95,7 @@ let enter_kernel t =
   if t.mode = Kernel_mode then
     raise (Kernel_mode_violation "enter_kernel: already in kernel mode");
   t.user_kernel_crossings <- t.user_kernel_crossings + 1;
+  Kstats.incr t.kstats t.st_crossings;
   t.mode <- Kernel_mode;
   let p = current t in
   (* the trap itself is system time: record entry before charging it *)
@@ -124,6 +139,7 @@ let copy_from_user t ~uaddr ~len =
     raise (Kernel_mode_violation "copy_from_user in user mode");
   Sim_clock.advance t.clock (Cost_model.copy_cost t.config.cost len);
   t.bytes_copied_user_to_kernel <- t.bytes_copied_user_to_kernel + len;
+  Kstats.add t.kstats t.st_bytes_in len;
   Address_space.read_bytes t.uspace ~addr:uaddr ~len
 
 let copy_to_user t ~uaddr src =
@@ -132,6 +148,7 @@ let copy_to_user t ~uaddr src =
   let len = Bytes.length src in
   Sim_clock.advance t.clock (Cost_model.copy_cost t.config.cost len);
   t.bytes_copied_kernel_to_user <- t.bytes_copied_kernel_to_user + len;
+  Kstats.add t.kstats t.st_bytes_out len;
   Address_space.write_bytes t.uspace ~addr:uaddr src
 
 (* Charge-only copy accounting: used by the syscall layer, whose data

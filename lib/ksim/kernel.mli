@@ -35,6 +35,11 @@ val uspace : t -> Address_space.t
 val alloc : t -> Kalloc.t
 val sched : t -> Scheduler.t
 
+(** The kernel-wide metrics registry.  Created enabled when
+    [Kstats.default_enabled] was set at boot; cycle-neutral either
+    way. *)
+val stats : t -> Kstats.t
+
 (** Current virtual time, in cycles. *)
 val now : t -> int
 

@@ -12,6 +12,10 @@
 type t = {
   clock : Sim_clock.t;
   cost : Cost_model.t;
+  stats : Kstats.t;
+  st_switches : Kstats.counter;
+  st_preemptions : Kstats.counter;
+  st_spawns : Kstats.counter;
   mutable procs : Kproc.t list;
   mutable current : Kproc.t option;
   mutable next_pid : int;
@@ -20,10 +24,14 @@ type t = {
   mutable preemptions : int;
 }
 
-let create ~clock ~cost =
+let create ?(stats = Kstats.create ()) ~clock ~cost () =
   {
     clock;
     cost;
+    stats;
+    st_switches = Kstats.counter stats "sched.context_switches";
+    st_preemptions = Kstats.counter stats "sched.preemptions";
+    st_spawns = Kstats.counter stats "sched.spawns";
     procs = [];
     current = None;
     next_pid = 1;
@@ -34,6 +42,7 @@ let create ~clock ~cost =
 
 let spawn t ~name =
   let p = Kproc.create ~pid:t.next_pid ~name in
+  Kstats.incr t.stats t.st_spawns;
   t.next_pid <- t.next_pid + 1;
   t.procs <- t.procs @ [ p ];
   if t.current = None then begin
@@ -51,6 +60,7 @@ let current t =
 let context_switch t =
   Sim_clock.advance t.clock t.cost.Cost_model.context_switch;
   t.context_switches <- t.context_switches + 1;
+  Kstats.incr t.stats t.st_switches;
   t.slice_start <- Sim_clock.now t.clock;
   (* rotate the runqueue *)
   match t.procs with
@@ -75,6 +85,7 @@ let checkpoint t =
   let elapsed = Sim_clock.now t.clock - t.slice_start in
   if elapsed >= t.cost.Cost_model.timeslice then begin
     t.preemptions <- t.preemptions + 1;
+    Kstats.incr t.stats t.st_preemptions;
     (match t.current with
     | Some p -> p.Kproc.kernel_budget_used <- p.Kproc.kernel_budget_used + elapsed
     | None -> ());

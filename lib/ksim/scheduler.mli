@@ -9,7 +9,9 @@
 
 type t
 
-val create : clock:Sim_clock.t -> cost:Cost_model.t -> t
+(** [stats] receives context-switch / preemption / spawn counters;
+    defaults to a disabled registry. *)
+val create : ?stats:Kstats.t -> clock:Sim_clock.t -> cost:Cost_model.t -> unit -> t
 
 (** Create a process and append it to the runqueue; the first process
     spawned becomes current. *)

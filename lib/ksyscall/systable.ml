@@ -20,11 +20,24 @@ type t = {
   mutable tracer : (trace_record -> unit) option;
   counts : (string, int) Hashtbl.t;
   mutable total_syscalls : int;
+  (* kstats handles, lazily registered per syscall name *)
+  st_counters : (string, Kstats.counter) Hashtbl.t;
+  st_hists : (string, Kstats.hist) Hashtbl.t;
+  st_total : Kstats.counter;
 }
 
 let create ?root_fs kernel =
   let vfs = Kvfs.Vfs.create ?root_fs kernel in
-  { kernel; vfs; tracer = None; counts = Hashtbl.create 64; total_syscalls = 0 }
+  {
+    kernel;
+    vfs;
+    tracer = None;
+    counts = Hashtbl.create 64;
+    total_syscalls = 0;
+    st_counters = Hashtbl.create 64;
+    st_hists = Hashtbl.create 64;
+    st_total = Kstats.counter (Ksim.Kernel.stats kernel) "syscall.total";
+  }
 
 let kernel t = t.kernel
 let vfs t = t.vfs
@@ -32,10 +45,44 @@ let vfs t = t.vfs
 let set_tracer t f = t.tracer <- Some f
 let clear_tracer t = t.tracer <- None
 
+(* Handle caches keep the hot path at one Hashtbl probe after the
+   enabled branch; registration happens on a syscall's first use. *)
+let st_counter t name =
+  match Hashtbl.find_opt t.st_counters name with
+  | Some c -> c
+  | None ->
+      let c =
+        Kstats.counter (Ksim.Kernel.stats t.kernel) ("syscall." ^ name ^ ".count")
+      in
+      Hashtbl.replace t.st_counters name c;
+      c
+
+let st_hist t name =
+  match Hashtbl.find_opt t.st_hists name with
+  | Some h -> h
+  | None ->
+      let h =
+        Kstats.histogram (Ksim.Kernel.stats t.kernel)
+          ("syscall." ^ name ^ ".latency")
+      in
+      Hashtbl.replace t.st_hists name h;
+      h
+
+(* Record one completed syscall's wall latency (cycles from user-stub
+   entry to boundary exit) into the per-syscall histogram. *)
+let observe_latency t ~name ~cycles =
+  let stats = Ksim.Kernel.stats t.kernel in
+  if Kstats.is_enabled stats then Kstats.observe stats (st_hist t name) cycles
+
 let record t ~name ~arg ~bytes_in ~bytes_out ~ok =
   t.total_syscalls <- t.total_syscalls + 1;
   Hashtbl.replace t.counts name
     (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts name));
+  let stats = Ksim.Kernel.stats t.kernel in
+  if Kstats.is_enabled stats then begin
+    Kstats.incr stats t.st_total;
+    Kstats.incr stats (st_counter t name)
+  end;
   match t.tracer with
   | None -> ()
   | Some f ->

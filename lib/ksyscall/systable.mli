@@ -32,6 +32,10 @@ val clear_tracer : t -> unit
 val record :
   t -> name:string -> arg:string -> bytes_in:int -> bytes_out:int -> ok:bool -> unit
 
+(** Record one syscall's boundary-to-boundary latency into the
+    per-syscall kstats histogram ([syscall.<name>.latency]). *)
+val observe_latency : t -> name:string -> cycles:int -> unit
+
 (** Invocations of one syscall so far. *)
 val count : t -> string -> int
 

@@ -25,6 +25,7 @@ let path_bytes path = String.length path + 1
    [bytes_out] may depend on the result, so they are functions. *)
 let wrap sys ~name ~arg ~bytes_in ~bytes_out f =
   let k = Systable.kernel sys in
+  let t0 = Ksim.Kernel.now k in
   enter sys;
   let result =
     match f () with
@@ -39,6 +40,7 @@ let wrap sys ~name ~arg ~bytes_in ~bytes_out f =
   Systable.record sys ~name ~arg ~bytes_in:bin ~bytes_out:bout
     ~ok:(match result with Ok _ -> true | Error _ -> false);
   exit sys;
+  Systable.observe_latency sys ~name ~cycles:(Ksim.Kernel.now k - t0);
   result
 
 let some_bytes f = function Ok v -> f v | Error _ -> 0

@@ -9,6 +9,11 @@ type t = {
   cache_blocks : int;
   cache : (int, unit) Hashtbl.t;   (* resident block numbers *)
   arrival : int Queue.t;           (* FIFO eviction order *)
+  kstats : Kstats.t;
+  st_reads : Kstats.counter;
+  st_writes : Kstats.counter;
+  st_cache_hits : Kstats.counter;
+  st_cache_misses : Kstats.counter;
   mutable reads : int;
   mutable writes : int;
   mutable cache_hits : int;
@@ -17,12 +22,18 @@ type t = {
 }
 
 let create ?(block_size = 4096) ?(cache_blocks = 150_000) kernel =
+  let kstats = Ksim.Kernel.stats kernel in
   {
     kernel;
     block_size;
     cache_blocks;
     cache = Hashtbl.create (2 * cache_blocks);
     arrival = Queue.create ();
+    kstats;
+    st_reads = Kstats.counter kstats "blockdev.reads";
+    st_writes = Kstats.counter kstats "blockdev.writes";
+    st_cache_hits = Kstats.counter kstats "blockdev.cache_hits";
+    st_cache_misses = Kstats.counter kstats "blockdev.cache_misses";
     reads = 0;
     writes = 0;
     cache_hits = 0;
@@ -58,9 +69,14 @@ let touch t blk =
 (* Read one block: free on cache hit, seek+transfer on miss. *)
 let read_block t blk =
   t.reads <- t.reads + 1;
-  if Hashtbl.mem t.cache blk then t.cache_hits <- t.cache_hits + 1
+  Kstats.incr t.kstats t.st_reads;
+  if Hashtbl.mem t.cache blk then begin
+    t.cache_hits <- t.cache_hits + 1;
+    Kstats.incr t.kstats t.st_cache_hits
+  end
   else begin
     t.cache_misses <- t.cache_misses + 1;
+    Kstats.incr t.kstats t.st_cache_misses;
     let cost = Ksim.Kernel.cost t.kernel in
     charge t (seek_cost t blk + cost.Ksim.Cost_model.disk_read_block);
     touch t blk
@@ -70,6 +86,7 @@ let read_block t blk =
    fraction of the transfer cost is charged to model the flusher. *)
 let write_block t blk =
   t.writes <- t.writes + 1;
+  Kstats.incr t.kstats t.st_writes;
   let cost = Ksim.Kernel.cost t.kernel in
   charge t (cost.Ksim.Cost_model.disk_write_block / 10);
   touch t blk

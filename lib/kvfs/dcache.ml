@@ -7,15 +7,23 @@
 type t = {
   lock : Ksim.Spinlock.t;
   entries : (int * string, int) Hashtbl.t;
+  kstats : Kstats.t;
+  st_hits : Kstats.counter;
+  st_misses : Kstats.counter;
+  st_invalidations : Kstats.counter;
   mutable hits : int;
   mutable misses : int;
   mutable invalidations : int;
 }
 
-let create () =
+let create ?(stats = Kstats.create ()) () =
   {
     lock = Ksim.Spinlock.create "dcache_lock";
     entries = Hashtbl.create 4096;
+    kstats = stats;
+    st_hits = Kstats.counter stats "dcache.hits";
+    st_misses = Kstats.counter stats "dcache.misses";
+    st_invalidations = Kstats.counter stats "dcache.invalidations";
     hits = 0;
     misses = 0;
     invalidations = 0;
@@ -28,9 +36,11 @@ let lookup t ~dir ~name =
       match Hashtbl.find_opt t.entries (dir, name) with
       | Some ino ->
           t.hits <- t.hits + 1;
+          Kstats.incr t.kstats t.st_hits;
           Some ino
       | None ->
           t.misses <- t.misses + 1;
+          Kstats.incr t.kstats t.st_misses;
           None)
 
 let insert t ~dir ~name ~ino =
@@ -40,6 +50,7 @@ let insert t ~dir ~name ~ino =
 let invalidate t ~dir ~name =
   Ksim.Spinlock.with_lock ~file:"dcache.ml" ~line:42 t.lock (fun () ->
       t.invalidations <- t.invalidations + 1;
+      Kstats.incr t.kstats t.st_invalidations;
       Hashtbl.remove t.entries (dir, name))
 
 let clear t =

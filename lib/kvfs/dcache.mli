@@ -8,7 +8,10 @@
 
 type t
 
-val create : unit -> t
+(** [create ?stats ()] builds an empty cache.  When [stats] is given, the
+    cache registers [dcache.hits]/[dcache.misses]/[dcache.invalidations]
+    counters in it. *)
+val create : ?stats:Kstats.t -> unit -> t
 
 (** The global dcache_lock itself (its instrumentation events carry this
     lock's object id). *)

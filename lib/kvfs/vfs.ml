@@ -30,7 +30,7 @@ let create ?(root_fs : Vtypes.ops option) kernel =
   in
   {
     kernel;
-    dcache = Dcache.create ();
+    dcache = Dcache.create ~stats:(Ksim.Kernel.stats kernel) ();
     mounts = [ { prefix = "/"; fs = root_fs } ];
     files = Hashtbl.create 256;
     next_handle = 1;

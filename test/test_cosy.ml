@@ -392,7 +392,7 @@ let test_cosy_gcc_matches_interp () =
   (* interpreted *)
   let clock = Ksim.Sim_clock.create () in
   let mem = Ksim.Phys_mem.create ~page_size:4096 in
-  let space = Ksim.Address_space.create ~name:"u" ~mem ~clock ~cost:Ksim.Cost_model.zero in
+  let space = Ksim.Address_space.create ~name:"u" ~mem ~clock ~cost:Ksim.Cost_model.zero () in
   let interp = Minic.Interp.create ~space ~clock ~cost:Ksim.Cost_model.zero ~base_vpn:8 ~pages:16 in
   ignore (Minic.Interp.load_program interp program);
   let expected = Minic.Interp.run interp "f" in

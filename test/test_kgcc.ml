@@ -176,7 +176,7 @@ let mk_interp () =
   let clock = Ksim.Sim_clock.create () in
   let mem = Ksim.Phys_mem.create ~page_size:4096 in
   let space =
-    Ksim.Address_space.create ~name:"i" ~mem ~clock ~cost:Ksim.Cost_model.zero
+    Ksim.Address_space.create ~name:"i" ~mem ~clock ~cost:Ksim.Cost_model.zero ()
   in
   ( clock,
     Minic.Interp.create ~space ~clock ~cost:Ksim.Cost_model.zero ~base_vpn:16

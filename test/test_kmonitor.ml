@@ -74,6 +74,33 @@ let test_ring_cross_domain () =
   Alcotest.(check bool) "in order" true
     (List.mapi (fun i v -> i = v) got |> List.for_all Fun.id)
 
+let test_ring_cross_domain_batched () =
+  (* same producer/consumer split, but the consumer drains in batches
+     through pop_batch, which is how Chardev really reads the ring *)
+  let r = Kmonitor.Ring.create 64 in
+  let n = 10_000 in
+  let producer =
+    Domain.spawn (fun () ->
+        let i = ref 0 in
+        while !i < n do
+          if Kmonitor.Ring.push r !i then incr i
+        done)
+  in
+  let received = ref [] in
+  let count = ref 0 in
+  while !count < n do
+    match Kmonitor.Ring.pop_batch r ~max:17 with
+    | [] -> Domain.cpu_relax ()
+    | batch ->
+        List.iter (fun v -> received := v :: !received) batch;
+        count := !count + List.length batch
+  done;
+  Domain.join producer;
+  let got = List.rev !received in
+  Alcotest.(check int) "all received" n (List.length got);
+  Alcotest.(check bool) "in order" true
+    (List.mapi (fun i v -> i = v) got |> List.for_all Fun.id)
+
 let qcheck_ring_sequential =
   QCheck.Test.make ~name:"ring behaves like a bounded FIFO queue" ~count:200
     QCheck.(list (option small_nat))
@@ -195,6 +222,82 @@ let test_libkernevents_drain () =
   Kmonitor.Libkernevents.drain lib;
   Alcotest.(check int) "all consumed" 100 (Kmonitor.Libkernevents.consumed lib);
   Alcotest.(check int) "ring empty" 0 (Kmonitor.Ring.length (Kmonitor.Dispatcher.ring d))
+
+let test_chardev_reports_drops () =
+  (* a tiny ring that overflows: the consumer must learn how many events
+     it lost, per read and in total *)
+  let kernel = Ksim.Kernel.create () in
+  let d = Kmonitor.Dispatcher.create ~ring_capacity:4 kernel in
+  Kmonitor.Dispatcher.enable_ring d;
+  let cd = Kmonitor.Chardev.create kernel d in
+  for i = 0 to 9 do
+    Kmonitor.Dispatcher.log_event d (ev ~obj:i ())
+  done;
+  Alcotest.(check int) "ring dropped" 6 (Kmonitor.Chardev.dropped cd);
+  let batch = Kmonitor.Chardev.read cd ~max:100 in
+  Alcotest.(check int) "kept oldest" 4 (List.length batch);
+  Alcotest.(check int) "drops reported by this read" 6
+    (Kmonitor.Chardev.last_read_drops cd);
+  ignore (Kmonitor.Chardev.read cd ~max:100);
+  Alcotest.(check int) "no new drops" 0 (Kmonitor.Chardev.last_read_drops cd)
+
+let test_libkernevents_drop_stats () =
+  let kernel = Ksim.Kernel.create () in
+  let d = Kmonitor.Dispatcher.create ~ring_capacity:4 kernel in
+  Kmonitor.Dispatcher.enable_ring d;
+  let cd = Kmonitor.Chardev.create kernel d in
+  let lib = Kmonitor.Libkernevents.create cd in
+  for i = 0 to 9 do
+    Kmonitor.Dispatcher.log_event d (ev ~obj:i ())
+  done;
+  Kmonitor.Libkernevents.drain lib;
+  let s = Kmonitor.Libkernevents.stats lib in
+  Alcotest.(check int) "consumed" 4 s.Kmonitor.Libkernevents.consumed;
+  Alcotest.(check int) "dropped" 6 s.Kmonitor.Libkernevents.dropped;
+  Alcotest.(check int) "dropped accessor" 6 (Kmonitor.Libkernevents.dropped lib);
+  Alcotest.(check bool) "reads issued" true (s.Kmonitor.Libkernevents.reads >= 1)
+
+(* --- custom event names -------------------------------------------------- *)
+
+let test_custom_event_names () =
+  Ksim.Instrument.register_custom_name 42 "my-subsystem-event";
+  Alcotest.(check string) "registered name" "my-subsystem-event"
+    (Fmt.str "%a" Ksim.Instrument.pp_kind (Ksim.Instrument.Custom 42));
+  Alcotest.(check string) "unregistered fallback" "custom-41"
+    (Fmt.str "%a" Ksim.Instrument.pp_kind (Ksim.Instrument.Custom 41));
+  Alcotest.(check (option string)) "lookup" (Some "my-subsystem-event")
+    (Ksim.Instrument.custom_name 42)
+
+(* --- stats feed ---------------------------------------------------------- *)
+
+let test_stats_feed () =
+  let kernel = Ksim.Kernel.create () in
+  Kstats.set_enabled (Ksim.Kernel.stats kernel) true;
+  let d = Kmonitor.Dispatcher.create kernel in
+  Kmonitor.Dispatcher.enable_ring d;
+  Kmonitor.Dispatcher.install d;
+  let cd = Kmonitor.Chardev.create kernel d in
+  (* one crossing recorded after enabling, so a reading is non-zero *)
+  Ksim.Kernel.enter_kernel kernel;
+  Ksim.Kernel.exit_kernel kernel;
+  let feed = Kmonitor.Stats_feed.create kernel in
+  Kmonitor.Stats_feed.emit feed;
+  Kmonitor.Dispatcher.uninstall d;
+  Alcotest.(check int) "one snapshot" 1 (Kmonitor.Stats_feed.snapshots feed);
+  let events = Kmonitor.Chardev.read cd ~max:1000 in
+  let metrics = List.filter_map Kmonitor.Stats_feed.decode events in
+  (* one reading per registered metric, carrying the metric's name *)
+  Alcotest.(check int) "one event per metric"
+    (List.length (Kstats.names (Ksim.Kernel.stats kernel)))
+    (List.length metrics);
+  Alcotest.(check bool) "snapshot kind named" true
+    (Fmt.str "%a" Ksim.Instrument.pp_kind
+       (Ksim.Instrument.Custom Kmonitor.Stats_feed.snapshot_kind)
+    = "kstats-snapshot");
+  Alcotest.(check bool) "kernel.crossings captured" true
+    (match List.assoc_opt "kernel.crossings" metrics with
+    | Some v -> v >= 1
+    | None -> false)
 
 (* --- monitors ------------------------------------------------------------ *)
 
@@ -333,6 +436,8 @@ let () =
           Alcotest.test_case "overflow drops" `Quick test_ring_overflow_drops;
           Alcotest.test_case "wraparound" `Quick test_ring_wraparound;
           Alcotest.test_case "cross domain" `Quick test_ring_cross_domain;
+          Alcotest.test_case "cross domain batched" `Quick
+            test_ring_cross_domain_batched;
           QCheck_alcotest.to_alcotest qcheck_ring_sequential;
         ] );
       ( "dispatcher",
@@ -347,6 +452,13 @@ let () =
           Alcotest.test_case "batches" `Quick test_chardev_batches;
           Alcotest.test_case "polling vs blocking" `Quick test_libkernevents_polling_vs_blocking;
           Alcotest.test_case "drain" `Quick test_libkernevents_drain;
+          Alcotest.test_case "drop reporting" `Quick test_chardev_reports_drops;
+          Alcotest.test_case "drop stats" `Quick test_libkernevents_drop_stats;
+        ] );
+      ( "stats-feed",
+        [
+          Alcotest.test_case "custom names" `Quick test_custom_event_names;
+          Alcotest.test_case "snapshot events" `Quick test_stats_feed;
         ] );
       ( "monitors",
         [

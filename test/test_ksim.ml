@@ -5,7 +5,7 @@ let zero = Ksim.Cost_model.zero
 let mk_space ?(page_size = 4096) () =
   let clock = Ksim.Sim_clock.create () in
   let mem = Ksim.Phys_mem.create ~page_size in
-  let space = Ksim.Address_space.create ~name:"t" ~mem ~clock ~cost:zero in
+  let space = Ksim.Address_space.create ~name:"t" ~mem ~clock ~cost:zero () in
   (clock, mem, space)
 
 (* --- clock ------------------------------------------------------------- *)
@@ -154,8 +154,8 @@ let test_tlb () =
 let mk_kalloc () =
   let clock = Ksim.Sim_clock.create () in
   let mem = Ksim.Phys_mem.create ~page_size:4096 in
-  let space = Ksim.Address_space.create ~name:"k" ~mem ~clock ~cost:zero in
-  Ksim.Kalloc.create ~space ~clock ~cost:zero
+  let space = Ksim.Address_space.create ~name:"k" ~mem ~clock ~cost:zero () in
+  Ksim.Kalloc.create ~space ~clock ~cost:zero ()
 
 let test_kmalloc () =
   let ka = mk_kalloc () in
@@ -269,7 +269,7 @@ let test_instrument_events () =
 let test_scheduler_preemption () =
   let clock = Ksim.Sim_clock.create () in
   let cost = { zero with Ksim.Cost_model.timeslice = 100; context_switch = 1 } in
-  let sched = Ksim.Scheduler.create ~clock ~cost in
+  let sched = Ksim.Scheduler.create ~clock ~cost () in
   let p1 = Ksim.Scheduler.spawn sched ~name:"a" in
   let _p2 = Ksim.Scheduler.spawn sched ~name:"b" in
   Alcotest.(check int) "p1 running" p1.Ksim.Kproc.pid

@@ -4,7 +4,7 @@ let mk_interp ?(pages = 64) () =
   let clock = Ksim.Sim_clock.create () in
   let mem = Ksim.Phys_mem.create ~page_size:4096 in
   let space =
-    Ksim.Address_space.create ~name:"i" ~mem ~clock ~cost:Ksim.Cost_model.zero
+    Ksim.Address_space.create ~name:"i" ~mem ~clock ~cost:Ksim.Cost_model.zero ()
   in
   Minic.Interp.create ~space ~clock ~cost:Ksim.Cost_model.zero ~base_vpn:16
     ~pages
@@ -326,7 +326,7 @@ let test_interp_charges_cycles () =
   let clock = Ksim.Sim_clock.create () in
   let mem = Ksim.Phys_mem.create ~page_size:4096 in
   let space =
-    Ksim.Address_space.create ~name:"i" ~mem ~clock ~cost:Ksim.Cost_model.default
+    Ksim.Address_space.create ~name:"i" ~mem ~clock ~cost:Ksim.Cost_model.default ()
   in
   let i =
     Minic.Interp.create ~space ~clock ~cost:Ksim.Cost_model.default ~base_vpn:16
