@@ -8,9 +8,10 @@ build:
 test:
 	dune runtest
 
-# One experiment end to end, including the BENCH_kstats.json artifact.
+# Every experiment end to end at tiny scale (including E12 ring_batch),
+# plus the BENCH_kstats.json artifact.
 bench-smoke:
-	dune exec bench/main.exe -- E1
+	dune exec bench/main.exe -- smoke
 
 check: build test bench-smoke
 

@@ -5,6 +5,7 @@
    Usage:
      dune exec bench/main.exe             # all experiments
      dune exec bench/main.exe -- E1 E6    # a subset
+     dune exec bench/main.exe -- smoke    # everything at tiny scale
      dune exec bench/main.exe -- micro    # Bechamel host-time microbenches
      dune exec bench/main.exe -- all micro
 
@@ -22,6 +23,12 @@ let header id title paper =
 let pct_faster base new_ = 100. *. (1. -. (float_of_int new_ /. float_of_int base))
 let pct_over base new_ = 100. *. ((float_of_int new_ /. float_of_int base) -. 1.)
 let ratio base new_ = float_of_int new_ /. float_of_int (max 1 base)
+
+(* "smoke" runs every experiment at ~1/20 scale so `make check` exercises
+   the whole harness in seconds.  [sc] shrinks iteration counts; sweeps
+   over lists pick a short list explicitly. *)
+let smoke = ref false
+let sc n = if !smoke then max 1 (n / 20) else n
 
 (* ----------------------------------------------------------------- E1 *)
 
@@ -49,7 +56,7 @@ let e1 () =
         (pct_faster p.Ksim.Kernel.elapsed m.Ksim.Kernel.elapsed)
         (pct_faster p.Ksim.Kernel.stime m.Ksim.Kernel.stime)
         (pct_faster p.Ksim.Kernel.utime m.Ksim.Kernel.utime))
-    [ 10; 100; 1_000; 10_000; 100_000 ]
+    (if !smoke then [ 10; 100 ] else [ 10; 100; 1_000; 10_000; 100_000 ])
 
 (* ----------------------------------------------------------------- E2 *)
 
@@ -61,7 +68,7 @@ let e2 () =
   Workloads.Interactive.setup sys;
   let rec_ = Core.trace t in
   (* a longer session than the smoke tests: the paper logged ~15 min *)
-  let cfg = { Workloads.Interactive.default_config with duration_events = 3_000 } in
+  let cfg = { Workloads.Interactive.default_config with duration_events = sc 3_000 } in
   let s = Workloads.Interactive.run ~config:cfg sys in
   let est =
     Ktrace.Savings.estimate
@@ -80,7 +87,10 @@ let e2 () =
   let g = Ktrace.Syscall_graph.of_recorder rec_ in
   pf "  heaviest syscall-graph edges:\n";
   List.iteri
-    (fun i (s, d, w) -> if i < 5 then pf "    %-10s -> %-10s %d\n" s d w)
+    (fun i (s, d, w) ->
+      if i < 5 then
+        pf "    %-10s -> %-10s %d\n" (Ksyscall.Sysno.to_string s)
+          (Ksyscall.Sysno.to_string d) w)
     (Ktrace.Syscall_graph.edges g)
 
 (* ----------------------------------------------------------------- E3 *)
@@ -89,7 +99,8 @@ let e3 () =
   header "E3" "Cosy micro-benchmarks (syscall sequences in one compound)"
     "individual system calls sped up by 40-90% for common CPU-bound \
      user applications";
-  let iterations = 2_000 in
+  let iterations = sc 2_000 in
+  let nsmall = if !smoke then 10 else 100 in
   pf "%-24s %12s %12s %10s\n" "sequence" "plain(s)" "cosy(s)" "speedup";
   let bench name ?(setup = fun _ -> ()) ~plain ~compound () =
     let t1 = Core.boot () in
@@ -176,7 +187,7 @@ let e3 () =
   (* open-read-close of many small files *)
   let many_setup t =
     ignore (Core.Syscall.sys_mkdir (Core.sys t) ~path:"/m");
-    for i = 0 to 99 do
+    for i = 0 to nsmall - 1 do
       ignore
         (Core.ok
            (Core.Syscall.sys_open_write_close (Core.sys t)
@@ -184,9 +195,9 @@ let e3 () =
               ~data:(Bytes.make 256 'x') ~flags:Core.o_create))
     done
   in
-  bench "open-read-close x100" ~setup:many_setup
+  bench (Printf.sprintf "open-read-close x%d" nsmall) ~setup:many_setup
     ~plain:(fun t ->
-      for i = 0 to 99 do
+      for i = 0 to nsmall - 1 do
         let path = Printf.sprintf "/m/f%02d" i in
         let fd = Core.ok (Core.Syscall.sys_open (Core.sys t) ~path ~flags:Core.o_rdonly) in
         ignore (Core.ok (Core.Syscall.sys_read (Core.sys t) ~fd ~len:256));
@@ -195,7 +206,7 @@ let e3 () =
     ~compound:(fun _t ->
       let c = Cosy.Cosy_lib.create () in
       let buf = Cosy.Cosy_lib.alloc_shared c 256 in
-      for i = 0 to 99 do
+      for i = 0 to nsmall - 1 do
         let path = Printf.sprintf "/m/f%02d" i in
         let fd = Cosy.Cosy_lib.syscall c "open" [ Cosy.Cosy_op.Str path; Cosy.Cosy_op.Const 0 ] in
         ignore
@@ -213,13 +224,17 @@ let e4 () =
     "20-80% speedup for CPU-bound applications with minimal code changes \
      (the sendfile precedent the paper cites reports 92-116%)";
   pf "%-24s %12s %12s %10s\n" "application" "plain(s)" "cosy(s)" "speedup";
+  let db_cfg =
+    { Workloads.Database.default_config with records = sc 1_000; lookups = sc 2_000 }
+  in
+  let ws_cfg = { Workloads.Webserver.default_config with requests = sc 500 } in
   let db () =
     let t1 = Core.boot () in
-    Workloads.Database.setup (Core.sys t1);
-    let p = Workloads.Database.run_plain (Core.sys t1) in
+    Workloads.Database.setup ~config:db_cfg (Core.sys t1);
+    let p = Workloads.Database.run_plain ~config:db_cfg (Core.sys t1) in
     let t2 = Core.boot () in
-    Workloads.Database.setup (Core.sys t2);
-    let c, _ = Workloads.Database.run_cosy (Core.sys t2) in
+    Workloads.Database.setup ~config:db_cfg (Core.sys t2);
+    let c, _ = Workloads.Database.run_cosy ~config:db_cfg (Core.sys t2) in
     pf "%-24s %12.6f %12.6f %9.1f%%\n" "database (rand+seq)"
       (sec p.Workloads.Database.times.Ksim.Kernel.elapsed)
       (sec c.Workloads.Database.times.Ksim.Kernel.elapsed)
@@ -228,14 +243,14 @@ let e4 () =
   in
   let ws () =
     let t1 = Core.boot () in
-    Workloads.Webserver.setup (Core.sys t1);
-    let p = Workloads.Webserver.run_plain (Core.sys t1) in
+    Workloads.Webserver.setup ~config:ws_cfg (Core.sys t1);
+    let p = Workloads.Webserver.run_plain ~config:ws_cfg (Core.sys t1) in
     let t2 = Core.boot () in
-    Workloads.Webserver.setup (Core.sys t2);
-    let c, _ = Workloads.Webserver.run_cosy (Core.sys t2) in
+    Workloads.Webserver.setup ~config:ws_cfg (Core.sys t2);
+    let c, _ = Workloads.Webserver.run_cosy ~config:ws_cfg (Core.sys t2) in
     let t3 = Core.boot () in
-    Workloads.Webserver.setup (Core.sys t3);
-    let sf = Workloads.Webserver.run_sendfile (Core.sys t3) in
+    Workloads.Webserver.setup ~config:ws_cfg (Core.sys t3);
+    let sf = Workloads.Webserver.run_sendfile ~config:ws_cfg (Core.sys t3) in
     pf "%-24s %12.6f %12.6f %9.1f%%\n" "web server (cosy)"
       (sec p.Workloads.Webserver.times.Ksim.Kernel.elapsed)
       (sec c.Workloads.Webserver.times.Ksim.Kernel.elapsed)
@@ -253,7 +268,7 @@ let e4 () =
   pf "  record-size sensitivity (database):\n";
   List.iter
     (fun record_size ->
-      let cfg = { Workloads.Database.default_config with record_size; lookups = 1_000 } in
+      let cfg = { Workloads.Database.default_config with record_size; lookups = sc 1_000 } in
       let t1 = Core.boot () in
       Workloads.Database.setup ~config:cfg (Core.sys t1);
       let p = Workloads.Database.run_plain ~config:cfg (Core.sys t1) in
@@ -270,7 +285,7 @@ let e4 () =
 let e5 () =
   header "E5" "Kefence on Wrapfs (Am-utils build)"
     "+1.4% elapsed; max 2,085 outstanding pages; mean allocation 80 bytes";
-  let cfg = { Workloads.Amutils.default_config with source_files = 1_000; prime_objects = false } in
+  let cfg = { Workloads.Amutils.default_config with source_files = sc 1_000; prime_objects = false } in
   let t1 = Core.boot ~fs:Core.Wrapfs_kmalloc () in
   Workloads.Amutils.setup ~config:cfg (Core.sys t1);
   let a = Workloads.Amutils.run ~config:cfg (Core.sys t1) in
@@ -299,7 +314,7 @@ let e6 () =
   header "E6" "event monitoring under PostMark (dcache_lock)"
     "+3.9% dispatcher+ring; +61% polling user logger (no disk); +103% \
      logger writing to disk; system time effectively constant";
-  let cfg = { Workloads.Postmark.default_config with files = 200; transactions = 1_000 } in
+  let cfg = { Workloads.Postmark.default_config with files = sc 200; transactions = sc 1_000 } in
   let run ?(mon = `None) () =
     let t = Core.boot () in
     let sys = Core.sys t in
@@ -351,12 +366,13 @@ let e7 () =
      elapsed x3";
   let am fs =
     let t = Core.boot ~fs () in
-    Workloads.Amutils.setup (Core.sys t);
-    (Workloads.Amutils.run (Core.sys t)).Workloads.Amutils.times
+    let cfg = { Workloads.Amutils.default_config with source_files = sc 200 } in
+    Workloads.Amutils.setup ~config:cfg (Core.sys t);
+    (Workloads.Amutils.run ~config:cfg (Core.sys t)).Workloads.Amutils.times
   in
   let pm fs =
     let t = Core.boot ~fs () in
-    let cfg = { Workloads.Postmark.default_config with files = 200; transactions = 800 } in
+    let cfg = { Workloads.Postmark.default_config with files = sc 200; transactions = sc 800 } in
     (Workloads.Postmark.run ~config:cfg (Core.sys t)).Workloads.Postmark.times
   in
   let show name (g : Ksim.Kernel.times) (k : Ksim.Kernel.times) =
@@ -473,16 +489,18 @@ let e9 () =
     "checks deactivate after executing a sufficient number of times, \
      reclaiming performance for hot paths";
   let hot =
-    {|
+    Printf.sprintf
+      {|
 int main(void) {
   int a[16];
   int i;
   int s = 0;
   for (i = 0; i < 16; i++) a[i] = i;
-  for (i = 0; i < 20000; i++) s = s + a[i % 16];
+  for (i = 0; i < %d; i++) s = s + a[i %% 16];
   return s;
 }
 |}
+      (sc 20_000)
   in
   let run threshold =
     let clock = Ksim.Sim_clock.create () in
@@ -543,7 +561,7 @@ let e10 () =
      segment: no additional runtime overhead; heuristic authentication \
      turns checks off after enough safe runs (§2.3-2.4)";
   let user_program = "int work(int x) { int i; int s = 0; for (i = 0; i < 50; i++) s += x; return s; }" in
-  let calls = 500 in
+  let calls = sc 500 in
   let run ~mode ~trust_after =
     let t = Core.boot () in
     let exec =
@@ -607,28 +625,89 @@ let e11 () =
         }
       in
       let config = { Ksim.Kernel.default_config with cost } in
+      let dcfg =
+        { Workloads.Database.default_config with records = sc 1_000; lookups = sc 2_000 }
+      in
       let db =
         let t1 = Core.boot ~config () in
-        Workloads.Database.setup (Core.sys t1);
-        let p = Workloads.Database.run_plain (Core.sys t1) in
+        Workloads.Database.setup ~config:dcfg (Core.sys t1);
+        let p = Workloads.Database.run_plain ~config:dcfg (Core.sys t1) in
         let t2 = Core.boot ~config () in
-        Workloads.Database.setup (Core.sys t2);
-        let c, _ = Workloads.Database.run_cosy (Core.sys t2) in
+        Workloads.Database.setup ~config:dcfg (Core.sys t2);
+        let c, _ = Workloads.Database.run_cosy ~config:dcfg (Core.sys t2) in
         pct_faster p.Workloads.Database.times.Ksim.Kernel.elapsed
           c.Workloads.Database.times.Ksim.Kernel.elapsed
       in
       let ls =
         let t1 = Core.boot ~config () in
-        Workloads.Lsdir.setup (Core.sys t1) ~dir:"/d" ~n:1000;
+        Workloads.Lsdir.setup (Core.sys t1) ~dir:"/d" ~n:(sc 1_000);
         let p = Workloads.Lsdir.run_plain (Core.sys t1) ~dir:"/d" in
         let t2 = Core.boot ~config () in
-        Workloads.Lsdir.setup (Core.sys t2) ~dir:"/d" ~n:1000;
+        Workloads.Lsdir.setup (Core.sys t2) ~dir:"/d" ~n:(sc 1_000);
         let m = Workloads.Lsdir.run_readdirplus (Core.sys t2) ~dir:"/d" in
         pct_faster p.Workloads.Lsdir.times.Ksim.Kernel.elapsed
           m.Workloads.Lsdir.times.Ksim.Kernel.elapsed
       in
       pf "  %12.2fx %17.1f%% %17.1f%%\n" (float_of_int scale /. 4.) db ls)
-    [ 1; 2; 4; 8; 16 ]
+    (if !smoke then [ 1; 4; 16 ] else [ 1; 2; 4; 8; 16 ])
+
+(* ---------------------------------------------------------------- E12 *)
+
+let e12 () =
+  header "E12" "batched submission ring (kring): crossings vs batch size"
+    "extends §2 consolidation: a batch of N calls costs 2 boundary \
+     crossings (one submit trap, replies reaped from the completion \
+     queue) instead of 2N trap halves — the io_uring shape";
+  let total = sc 256 in
+  let mk_reqs () =
+    Ksyscall.Syscall.Mkdir { path = "/r" }
+    :: List.init (total - 1) (fun i ->
+           Ksyscall.Syscall.Open_write_close
+             {
+               path = Printf.sprintf "/r/f%03d" (i + 1);
+               data = Bytes.make 32 (Char.chr (Char.code 'a' + (i mod 26)));
+               flags = Core.o_create;
+             })
+  in
+  (* synchronous baseline: one trap per call *)
+  let t_sync = Core.boot () in
+  let sync_times, sync_crossings =
+    let k = Core.kernel t_sync in
+    let c0 = Ksim.Kernel.crossings k in
+    let (), tm =
+      Ksim.Kernel.timed k (fun () ->
+          List.iter
+            (fun r -> ignore (Core.Syscall.dispatch (Core.sys t_sync) r))
+            (mk_reqs ()))
+    in
+    (tm, Ksim.Kernel.crossings k - c0)
+  in
+  pf "  %d file ops synchronously: %d crossings, %.6f s\n" total
+    sync_crossings (sec sync_times.Ksim.Kernel.elapsed);
+  pf "  %8s %10s %9s %12s %9s %14s\n" "batch" "crossings" "vs sync"
+    "elapsed(s)" "faster" "saved(kstats)";
+  List.iter
+    (fun batch ->
+      let t = Core.boot () in
+      let k = Core.kernel t in
+      let c0 = Ksim.Kernel.crossings k in
+      let ring = Core.ring ~sq_entries:batch t in
+      let (), tm =
+        Ksim.Kernel.timed k (fun () ->
+            ignore (Kring.run_batch ring (mk_reqs ())))
+      in
+      let crossings = Ksim.Kernel.crossings k - c0 in
+      let saved =
+        match Kstats.find (Core.stats t) "ring.crossings_saved" with
+        | Some (Kstats.Counter_v v) -> v
+        | _ -> 0
+      in
+      pf "  %8d %10d %8.1fx %12.6f %8.1f%% %14d\n" batch crossings
+        (float_of_int sync_crossings /. float_of_int (max 1 crossings))
+        (sec tm.Ksim.Kernel.elapsed)
+        (pct_faster sync_times.Ksim.Kernel.elapsed tm.Ksim.Kernel.elapsed)
+        saved)
+    [ 1; 4; 8; 32; 128 ]
 
 (* ------------------------------------------------- Bechamel microbench *)
 
@@ -698,7 +777,8 @@ let micro () =
 
 let all_experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
-    ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11) ]
+    ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
+    ("E12", e12) ]
 
 (* --- machine-readable kstats output (BENCH_kstats.json) --------------- *)
 
@@ -794,8 +874,14 @@ let write_kstats_json path summaries =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let want_micro = List.mem "micro" args in
+  if List.mem "smoke" args then smoke := true;
   let selected =
-    List.filter (fun a -> a <> "micro" && a <> "all") args
+    List.filter_map
+      (function
+        | "micro" | "all" | "smoke" -> None
+        | "ring_batch" -> Some "E12"
+        | a -> Some a)
+      args
   in
   let to_run =
     if selected = [] then all_experiments

@@ -48,7 +48,10 @@ let main workload top =
   Printf.printf "\n-- weighted syscall graph (top %d edges) --\n" top;
   let g = Ktrace.Syscall_graph.of_recorder recorder in
   List.iteri
-    (fun i (s, d, w) -> if i < top then Printf.printf "  %-12s -> %-12s %8d\n" s d w)
+    (fun i (s, d, w) ->
+      if i < top then
+        Printf.printf "  %-12s -> %-12s %8d\n"
+          (Ksyscall.Sysno.to_string s) (Ksyscall.Sysno.to_string d) w)
     (Ktrace.Syscall_graph.edges g);
 
   Printf.printf "\n-- hottest call sequences --\n";

@@ -20,6 +20,9 @@ module Vfs = Kvfs.Vfs
 module Vtypes = Kvfs.Vtypes
 module Syscall = Ksyscall.Usyscall
 module Systable = Ksyscall.Systable
+module Sysno = Ksyscall.Sysno
+module Req = Ksyscall.Syscall
+module Ring = Kring
 module Stats = Kstats
 
 type fs_choice =
@@ -151,6 +154,10 @@ let disable_monitoring t =
 (* A Cosy kernel extension bound to this system. *)
 let cosy ?shared_size ?policy ?user_program t =
   Cosy.Cosy_exec.create ?shared_size ?policy ?user_program t.sys
+
+(* A batched submission/completion ring bound to this system. *)
+let ring ?sq_entries ?cq_entries ?shared_size ?policy t =
+  Kring.create ?sq_entries ?cq_entries ?shared_size ?policy t.sys
 
 (* Attach an strace-style recorder. *)
 let trace t =

@@ -19,6 +19,9 @@ module Vfs = Kvfs.Vfs
 module Vtypes = Kvfs.Vtypes
 module Syscall = Ksyscall.Usyscall
 module Systable = Ksyscall.Systable
+module Sysno = Ksyscall.Sysno
+module Req = Ksyscall.Syscall
+module Ring = Kring
 module Stats = Kstats
 
 (** The filesystem stack to boot with. *)
@@ -79,6 +82,16 @@ val cosy :
   ?user_program:string ->
   t ->
   Cosy.Cosy_exec.t
+
+(** A batched submission/completion ring bound to this system (costs
+    the one-time setup crossing). *)
+val ring :
+  ?sq_entries:int ->
+  ?cq_entries:int ->
+  ?shared_size:int ->
+  ?policy:Cosy.Cosy_safety.policy ->
+  t ->
+  Kring.t
 
 (** Attach an strace-style recorder. *)
 val trace : t -> Ktrace.Recorder.t

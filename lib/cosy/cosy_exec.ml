@@ -7,6 +7,8 @@
 
 exception Exec_error of string
 
+module Syscall = Ksyscall.Syscall
+
 type t = {
   sys : Ksyscall.Systable.t;
   shared : Shared_buffer.t;
@@ -68,14 +70,6 @@ let create ?(shared_size = 65536) ?policy ?user_program sys =
 let shared t = t.shared
 let safety t = t.safety
 
-let errno_ret = function
-  | Ok v -> v
-  | Error e -> -Kvfs.Vtypes.errno_code e
-
-let errno_unit = function
-  | Ok () -> 0
-  | Error e -> -Kvfs.Vtypes.errno_code e
-
 (* Read a NUL-terminated string argument: immediate or from the shared
    buffer. *)
 let string_arg t slots = function
@@ -109,128 +103,119 @@ let open_flags_of_int v =
   let flags = if v land 4 <> 0 then Kvfs.Vfs.O_TRUNC :: flags else flags in
   if v land 8 <> 0 then Kvfs.Vfs.O_APPEND :: flags else flags
 
-(* Execute one syscall op against the in-kernel service routines. *)
+(* Execute one syscall op: lower the decoded compound operands to a
+   typed [Syscall.req], run it through the same in-kernel service
+   dispatch the synchronous wrappers and the kring use, and collapse the
+   typed reply to the compound's C-style return value.  Input payloads
+   (write/pwrite) are pulled from the shared buffer while building the
+   request; output payloads (read/pread/readdir) are pushed back into it
+   once the reply is in hand. *)
 let do_syscall t slots sysno args =
   let name =
     match Cosy_op.name_of_sysno sysno with
     | Some n -> n
     | None -> raise (Exec_error (Printf.sprintf "bad syscall number %d" sysno))
   in
-  let sys = t.sys in
-  match (name, args) with
-  | "open", [ path; flags ] ->
-      errno_ret
-        (Ksyscall.Sys_file.service_open sys
-           ~path:(string_arg t slots path)
-           ~flags:(open_flags_of_int (int_arg slots flags)))
-  | "close", [ fd ] ->
-      errno_unit (Ksyscall.Sys_file.service_close sys ~fd:(int_arg slots fd))
-  | "read", [ fd; buf; len ] -> (
-      let r =
-        Ksyscall.Sys_file.service_read sys ~fd:(int_arg slots fd)
-          ~len:(int_arg slots len)
-      in
-      match r with
-      | Error e -> -Kvfs.Vtypes.errno_code e
-      | Ok data ->
-          (match buf with
-          | Cosy_op.Shared off -> Shared_buffer.write t.shared ~off data
-          | Cosy_op.Const 0 -> () (* discard *)
-          | _ -> raise (Exec_error "read: buffer must be shared or null"));
-          Bytes.length data)
-  | "write", [ fd; buf; len ] -> (
-      let n = int_arg slots len in
-      let data =
-        match buf with
-        | Cosy_op.Shared off -> Shared_buffer.read t.shared ~off ~len:n
-        | Cosy_op.Str s -> Bytes.of_string s
-        | _ -> raise (Exec_error "write: buffer must be shared or immediate")
-      in
-      match Ksyscall.Sys_file.service_write sys ~fd:(int_arg slots fd) ~data with
-      | Error e -> -Kvfs.Vtypes.errno_code e
-      | Ok n -> n)
-  | "pread", [ fd; buf; len; off ] -> (
-      let r =
-        Ksyscall.Sys_file.service_pread sys ~fd:(int_arg slots fd)
-          ~off:(int_arg slots off) ~len:(int_arg slots len)
-      in
-      match r with
-      | Error e -> -Kvfs.Vtypes.errno_code e
-      | Ok data ->
-          (match buf with
-          | Cosy_op.Shared boff -> Shared_buffer.write t.shared ~off:boff data
-          | Cosy_op.Const 0 -> ()
-          | _ -> raise (Exec_error "pread: buffer must be shared or null"));
-          Bytes.length data)
-  | "pwrite", [ fd; buf; len; off ] -> (
-      let n = int_arg slots len in
-      let data =
-        match buf with
-        | Cosy_op.Shared boff -> Shared_buffer.read t.shared ~off:boff ~len:n
-        | Cosy_op.Str s -> Bytes.of_string s
-        | _ -> raise (Exec_error "pwrite: buffer must be shared or immediate")
-      in
-      match
-        Ksyscall.Sys_file.service_pwrite sys ~fd:(int_arg slots fd)
-          ~off:(int_arg slots off) ~data
-      with
-      | Error e -> -Kvfs.Vtypes.errno_code e
-      | Ok n -> n)
-  | "lseek", [ fd; off; whence ] ->
-      let whence =
-        match int_arg slots whence with
-        | 0 -> Kvfs.Vfs.SEEK_SET
-        | 1 -> Kvfs.Vfs.SEEK_CUR
-        | _ -> Kvfs.Vfs.SEEK_END
-      in
-      errno_ret
-        (Ksyscall.Sys_file.service_lseek sys ~fd:(int_arg slots fd)
-           ~off:(int_arg slots off) ~whence)
-  | "stat", [ path ] -> (
-      match
-        Ksyscall.Sys_file.service_stat sys ~path:(string_arg t slots path)
-      with
-      | Error e -> -Kvfs.Vtypes.errno_code e
-      | Ok st -> st.Kvfs.Vtypes.st_size)
-  | "fstat", [ fd ] -> (
-      match Ksyscall.Sys_file.service_fstat sys ~fd:(int_arg slots fd) with
-      | Error e -> -Kvfs.Vtypes.errno_code e
-      | Ok st -> st.Kvfs.Vtypes.st_size)
-  | "readdir", [ path; buf ] -> (
-      match
-        Ksyscall.Sys_file.service_readdir sys ~path:(string_arg t slots path)
-      with
-      | Error e -> -Kvfs.Vtypes.errno_code e
-      | Ok entries ->
-          (match buf with
-          | Cosy_op.Shared off ->
-              let names =
-                String.concat "\000"
-                  (List.map (fun d -> d.Kvfs.Vtypes.d_name) entries)
-                ^ "\000"
-              in
-              Shared_buffer.write_string t.shared ~off names
-          | Cosy_op.Const 0 -> ()
-          | _ -> raise (Exec_error "readdir: buffer must be shared or null"));
-          List.length entries)
-  | "mkdir", [ path ] ->
-      errno_ret
-        (Ksyscall.Sys_file.service_mkdir sys ~path:(string_arg t slots path))
-  | "unlink", [ path ] ->
-      errno_unit
-        (Ksyscall.Sys_file.service_unlink sys ~path:(string_arg t slots path))
-  | "rename", [ src; dst ] ->
-      errno_unit
-        (Ksyscall.Sys_file.service_rename sys
-           ~src:(string_arg t slots src)
-           ~dst:(string_arg t slots dst))
-  | "fsync", [ fd ] ->
-      errno_unit (Ksyscall.Sys_file.service_fsync sys ~fd:(int_arg slots fd))
-  | "getpid", [] -> Ksyscall.Sys_file.service_getpid sys
-  | _ ->
-      raise
-        (Exec_error (Printf.sprintf "%s: bad argument count (%d)" name
-                       (List.length args)))
+  (* Where an output payload goes: into the shared buffer, or dropped. *)
+  let out_sink what = function
+    | Cosy_op.Shared off -> Some off
+    | Cosy_op.Const 0 -> None (* discard *)
+    | _ -> raise (Exec_error (what ^ ": buffer must be shared or null"))
+  in
+  let in_data what len = function
+    | Cosy_op.Shared off -> Shared_buffer.read t.shared ~off ~len
+    | Cosy_op.Str s -> Bytes.of_string s
+    | _ -> raise (Exec_error (what ^ ": buffer must be shared or immediate"))
+  in
+  let nop_post (_ : Syscall.reply) = () in
+  let req, post =
+    match (name, args) with
+    | "open", [ path; flags ] ->
+        ( Syscall.Open
+            {
+              path = string_arg t slots path;
+              flags = open_flags_of_int (int_arg slots flags);
+            },
+          nop_post )
+    | "close", [ fd ] -> (Syscall.Close { fd = int_arg slots fd }, nop_post)
+    | "read", [ fd; buf; len ] ->
+        let sink = out_sink "read" buf in
+        ( Syscall.Read { fd = int_arg slots fd; len = int_arg slots len },
+          function
+          | Ok (Syscall.R_bytes data) ->
+              Option.iter (fun off -> Shared_buffer.write t.shared ~off data) sink
+          | _ -> () )
+    | "write", [ fd; buf; len ] ->
+        ( Syscall.Write
+            {
+              fd = int_arg slots fd;
+              data = in_data "write" (int_arg slots len) buf;
+            },
+          nop_post )
+    | "pread", [ fd; buf; len; off ] ->
+        let sink = out_sink "pread" buf in
+        ( Syscall.Pread
+            {
+              fd = int_arg slots fd;
+              off = int_arg slots off;
+              len = int_arg slots len;
+            },
+          function
+          | Ok (Syscall.R_bytes data) ->
+              Option.iter (fun boff -> Shared_buffer.write t.shared ~off:boff data) sink
+          | _ -> () )
+    | "pwrite", [ fd; buf; len; off ] ->
+        ( Syscall.Pwrite
+            {
+              fd = int_arg slots fd;
+              off = int_arg slots off;
+              data = in_data "pwrite" (int_arg slots len) buf;
+            },
+          nop_post )
+    | "lseek", [ fd; off; whence ] ->
+        ( Syscall.Lseek
+            {
+              fd = int_arg slots fd;
+              off = int_arg slots off;
+              whence = Syscall.whence_of_int (int_arg slots whence);
+            },
+          nop_post )
+    | "stat", [ path ] ->
+        (Syscall.Stat { path = string_arg t slots path }, nop_post)
+    | "fstat", [ fd ] -> (Syscall.Fstat { fd = int_arg slots fd }, nop_post)
+    | "readdir", [ path; buf ] ->
+        let sink = out_sink "readdir" buf in
+        ( Syscall.Readdir { path = string_arg t slots path },
+          function
+          | Ok (Syscall.R_dirents entries) ->
+              Option.iter
+                (fun off ->
+                  let names =
+                    String.concat "\000"
+                      (List.map (fun d -> d.Kvfs.Vtypes.d_name) entries)
+                    ^ "\000"
+                  in
+                  Shared_buffer.write_string t.shared ~off names)
+                sink
+          | _ -> () )
+    | "mkdir", [ path ] ->
+        (Syscall.Mkdir { path = string_arg t slots path }, nop_post)
+    | "unlink", [ path ] ->
+        (Syscall.Unlink { path = string_arg t slots path }, nop_post)
+    | "rename", [ src; dst ] ->
+        ( Syscall.Rename
+            { src = string_arg t slots src; dst = string_arg t slots dst },
+          nop_post )
+    | "fsync", [ fd ] -> (Syscall.Fsync { fd = int_arg slots fd }, nop_post)
+    | "getpid", [] -> (Syscall.Getpid, nop_post)
+    | _ ->
+        raise
+          (Exec_error (Printf.sprintf "%s: bad argument count (%d)" name
+                         (List.length args)))
+  in
+  let reply = Ksyscall.Usyscall.service t.sys req in
+  post reply;
+  Syscall.reply_to_retval reply
 
 (* Execute a user-supplied function inside the kernel under the active
    protection mode. *)

@@ -1,0 +1,210 @@
+(* io_uring-style batched syscall submission (after AnyCall, and the
+   modern endpoint of the paper's §2 amortization argument).
+
+   User code marshals typed [Syscall.req]s into a submission queue
+   backed by the Cosy shared buffer (no crossing), then one
+   [sys_ring_enter]-style trap drains the whole queue in kernel mode
+   through the same service routines ordinary syscalls use — under the
+   Cosy preemption watchdog, since arbitrary batch lengths keep the CPU
+   in the kernel just like a compound.  Replies accumulate in the
+   completion queue and are reaped from user mode without a crossing.
+
+   Cost shape per batch of N: 1 crossing (plus the one-time ring setup),
+   one copy-in of the packed requests, one copy-out of the packed
+   replies — versus N crossings and N copy round-trips synchronously. *)
+
+module Syscall = Ksyscall.Syscall
+module Sysno = Ksyscall.Sysno
+
+type completion = {
+  seq : int;                  (* submission order, ring-wide *)
+  sysno : Sysno.t;
+  reply : Syscall.reply;
+}
+
+type t = {
+  sys : Ksyscall.Systable.t;
+  shared : Cosy.Shared_buffer.t;      (* SQ backing store *)
+  safety : Cosy.Cosy_safety.t;
+  sq_entries : int;
+  cq_entries : int;
+  sq : (int * int * int) Queue.t;     (* seq, shared offset, wire len *)
+  cq : completion Queue.t;
+  mutable sq_bytes : int;             (* bump pointer into [shared] *)
+  mutable next_seq : int;
+  kstats : Kstats.t;
+  st_submits : Kstats.counter;
+  st_enters : Kstats.counter;
+  st_completions : Kstats.counter;
+  st_sq_full : Kstats.counter;
+  st_crossings_saved : Kstats.counter;
+  st_batch : Kstats.hist;
+}
+
+let create ?(sq_entries = 64) ?cq_entries ?(shared_size = 65536) ?policy sys =
+  if sq_entries <= 0 then invalid_arg "Kring.create: sq_entries must be positive";
+  let kernel = Ksyscall.Systable.kernel sys in
+  let cost = Ksim.Kernel.cost kernel in
+  let policy =
+    match policy with
+    | Some p -> p
+    | None -> Cosy.Cosy_safety.default_policy cost
+  in
+  let kstats = Ksim.Kernel.stats kernel in
+  let t =
+    {
+      sys;
+      shared = Cosy.Shared_buffer.create ~stats:kstats shared_size;
+      safety =
+        Cosy.Cosy_safety.create ~policy ~clock:(Ksim.Kernel.clock kernel) ~cost;
+      sq_entries;
+      cq_entries = (match cq_entries with Some n -> n | None -> 2 * sq_entries);
+      sq = Queue.create ();
+      cq = Queue.create ();
+      sq_bytes = 0;
+      next_seq = 0;
+      kstats;
+      st_submits = Kstats.counter kstats "ring.submits";
+      st_enters = Kstats.counter kstats "ring.enters";
+      st_completions = Kstats.counter kstats "ring.completions";
+      st_sq_full = Kstats.counter kstats "ring.sq_full";
+      st_crossings_saved = Kstats.counter kstats "ring.crossings_saved";
+      st_batch = Kstats.histogram kstats "ring.batch.size";
+    }
+  in
+  (* sys_ring_setup: mapping the rings is one ordinary syscall, the
+     last per-call crossing this ring's user will pay. *)
+  Ksim.Kernel.charge_user kernel cost.Ksim.Cost_model.user_stub;
+  Ksim.Kernel.enter_kernel kernel;
+  Ksim.Kernel.charge_kernel kernel cost.Ksim.Cost_model.cosy_submit;
+  Ksim.Kernel.exit_kernel kernel;
+  t
+
+let sq_depth t = Queue.length t.sq
+let cq_depth t = Queue.length t.cq
+let sq_entries t = t.sq_entries
+let cq_entries t = t.cq_entries
+let shared t = t.shared
+
+(* Queue one request (user mode, no crossing): marshal it into the
+   shared region and append an SQ entry.  Backpressure when either the
+   entry cap or the backing store is exhausted — the caller should
+   [enter] (and [reap]) and retry. *)
+let push t req =
+  if Queue.length t.sq >= t.sq_entries then begin
+    Kstats.incr t.kstats t.st_sq_full;
+    Error `Sq_full
+  end
+  else
+    let wire = Syscall.encode_req req in
+    let len = Bytes.length wire in
+    if t.sq_bytes + len > Cosy.Shared_buffer.size t.shared then begin
+      Kstats.incr t.kstats t.st_sq_full;
+      Error `Sq_full
+    end
+    else begin
+      Cosy.Shared_buffer.write t.shared ~off:t.sq_bytes wire;
+      let seq = t.next_seq in
+      t.next_seq <- seq + 1;
+      Queue.add (seq, t.sq_bytes, len) t.sq;
+      t.sq_bytes <- t.sq_bytes + len;
+      Kstats.incr t.kstats t.st_submits;
+      Ok seq
+    end
+
+(* sys_ring_enter: the single crossing that drains the submission
+   queue.  Each entry is decoded (charged like a compound op), its
+   request bytes charged as the batch's one copy-in, and dispatched
+   through the in-kernel service path — so every op still counts,
+   traces, and lands in the latency histograms.  Replies are packed
+   into the CQ; their payload bytes are charged as one copy-out at the
+   end.  The Cosy watchdog guards the whole stay: on expiry the
+   offender is killed exactly like a runaway compound, though already
+   completed CQ entries survive for reaping.  Returns the number of
+   completions produced. *)
+let enter t =
+  if Queue.is_empty t.sq then 0
+  else begin
+    let kernel = Ksyscall.Systable.kernel t.sys in
+    let cost = Ksim.Kernel.cost kernel in
+    let clock = Ksim.Kernel.clock kernel in
+    Ksim.Kernel.charge_user kernel cost.Ksim.Cost_model.user_stub;
+    Ksim.Kernel.enter_kernel kernel;
+    Ksim.Sim_clock.advance clock cost.Ksim.Cost_model.cosy_submit;
+    Cosy.Cosy_safety.arm t.safety;
+    Kstats.incr t.kstats t.st_enters;
+    let completed = ref 0 in
+    let out_bytes = ref 0 in
+    (try
+       while
+         (not (Queue.is_empty t.sq)) && Queue.length t.cq < t.cq_entries
+       do
+         let seq, off, len = Queue.peek t.sq in
+         Ksim.Sim_clock.advance clock cost.Ksim.Cost_model.cosy_decode_op;
+         (* the batch's copy-in, charged per entry as the kernel pulls it *)
+         Ksim.Kernel.charge_copy_from_user kernel len;
+         let wire = Cosy.Shared_buffer.read t.shared ~off ~len in
+         let req, (_ : int) = Syscall.decode_req wire ~off:0 in
+         let reply = Ksyscall.Usyscall.dispatch_in_kernel t.sys req in
+         ignore (Queue.pop t.sq);
+         Queue.add { seq; sysno = Syscall.sysno_of_req req; reply } t.cq;
+         out_bytes := !out_bytes + Syscall.reply_copy_bytes reply;
+         incr completed;
+         Kstats.incr t.kstats t.st_completions;
+         (* between ops the preemptive kernel gets its chance, exactly
+            like a compound's back-edge *)
+         Ksim.Scheduler.checkpoint (Ksim.Kernel.sched kernel);
+         Cosy.Cosy_safety.watchdog_check t.safety
+       done;
+       if Queue.is_empty t.sq then t.sq_bytes <- 0;
+       if !out_bytes > 0 then Ksim.Kernel.charge_copy_to_user kernel !out_bytes;
+       Ksim.Kernel.exit_kernel kernel
+     with
+    | Cosy.Cosy_safety.Watchdog_expired _ as e ->
+        (* same fate as a runaway compound (§2.3): the offender dies *)
+        let offender = Ksim.Kernel.current kernel in
+        Ksim.Kernel.exit_kernel kernel;
+        Ksim.Scheduler.kill (Ksim.Kernel.sched kernel) offender;
+        raise e
+    | e ->
+        Ksim.Kernel.exit_kernel kernel;
+        raise e);
+    Kstats.observe t.kstats t.st_batch !completed;
+    Kstats.add t.kstats t.st_crossings_saved (max 0 (!completed - 1));
+    !completed
+  end
+
+let reap t = Queue.take_opt t.cq
+
+let reap_all t =
+  let rec go acc =
+    match Queue.take_opt t.cq with
+    | None -> List.rev acc
+    | Some c -> go (c :: acc)
+  in
+  go []
+
+(* Convenience: push everything (entering whenever the SQ fills), then
+   drain and reap — the batched equivalent of running [reqs] through
+   the synchronous dispatcher one by one.  Completions are returned in
+   submission order. *)
+let run_batch t reqs =
+  let acc = ref [] in
+  let drain () =
+    ignore (enter t);
+    acc := List.rev_append (reap_all t) !acc
+  in
+  List.iter
+    (fun req ->
+      let rec retry budget =
+        match push t req with
+        | Ok _ -> ()
+        | Error `Sq_full when budget > 0 ->
+            drain ();
+            retry (budget - 1)
+        | Error `Sq_full -> invalid_arg "Kring.run_batch: request never fits"
+      in
+      retry 2)
+    reqs;
+  drain ();
+  List.sort (fun a b -> compare a.seq b.seq) (List.rev !acc)

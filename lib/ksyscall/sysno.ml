@@ -1,0 +1,114 @@
+(* First-class syscall numbers.  One constructor per system call the
+   simulated kernel offers, including the consolidated calls of §2.2.
+   The numbering of the first fifteen matches the Cosy compound
+   encoding's fixed syscall table, so a compound's integer sysno and a
+   [Sysno.t] agree on the wire. *)
+
+type t =
+  | Open
+  | Close
+  | Read
+  | Write
+  | Pread
+  | Pwrite
+  | Lseek
+  | Stat
+  | Fstat
+  | Readdir
+  | Mkdir
+  | Unlink
+  | Rename
+  | Fsync
+  | Getpid
+  (* consolidated calls (§2.2) *)
+  | Readdirplus
+  | Open_read_close
+  | Open_write_close
+  | Sendfile
+  | Open_fstat
+
+let all =
+  [
+    Open; Close; Read; Write; Pread; Pwrite; Lseek; Stat; Fstat; Readdir;
+    Mkdir; Unlink; Rename; Fsync; Getpid; Readdirplus; Open_read_close;
+    Open_write_close; Sendfile; Open_fstat;
+  ]
+
+let to_int = function
+  | Open -> 0
+  | Close -> 1
+  | Read -> 2
+  | Write -> 3
+  | Pread -> 4
+  | Pwrite -> 5
+  | Lseek -> 6
+  | Stat -> 7
+  | Fstat -> 8
+  | Readdir -> 9
+  | Mkdir -> 10
+  | Unlink -> 11
+  | Rename -> 12
+  | Fsync -> 13
+  | Getpid -> 14
+  | Readdirplus -> 15
+  | Open_read_close -> 16
+  | Open_write_close -> 17
+  | Sendfile -> 18
+  | Open_fstat -> 19
+
+let of_int = function
+  | 0 -> Some Open
+  | 1 -> Some Close
+  | 2 -> Some Read
+  | 3 -> Some Write
+  | 4 -> Some Pread
+  | 5 -> Some Pwrite
+  | 6 -> Some Lseek
+  | 7 -> Some Stat
+  | 8 -> Some Fstat
+  | 9 -> Some Readdir
+  | 10 -> Some Mkdir
+  | 11 -> Some Unlink
+  | 12 -> Some Rename
+  | 13 -> Some Fsync
+  | 14 -> Some Getpid
+  | 15 -> Some Readdirplus
+  | 16 -> Some Open_read_close
+  | 17 -> Some Open_write_close
+  | 18 -> Some Sendfile
+  | 19 -> Some Open_fstat
+  | _ -> None
+
+let to_string = function
+  | Open -> "open"
+  | Close -> "close"
+  | Read -> "read"
+  | Write -> "write"
+  | Pread -> "pread"
+  | Pwrite -> "pwrite"
+  | Lseek -> "lseek"
+  | Stat -> "stat"
+  | Fstat -> "fstat"
+  | Readdir -> "readdir"
+  | Mkdir -> "mkdir"
+  | Unlink -> "unlink"
+  | Rename -> "rename"
+  | Fsync -> "fsync"
+  | Getpid -> "getpid"
+  | Readdirplus -> "readdirplus"
+  | Open_read_close -> "open_read_close"
+  | Open_write_close -> "open_write_close"
+  | Sendfile -> "sendfile"
+  | Open_fstat -> "open_fstat"
+
+let of_string s = List.find_opt (fun t -> to_string t = s) all
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare (to_int a) (to_int b)
+let pp ppf t = Fmt.string ppf (to_string t)
+
+(* True for the §2.2 consolidated calls that replace a syscall sequence. *)
+let is_consolidated = function
+  | Readdirplus | Open_read_close | Open_write_close | Sendfile | Open_fstat ->
+      true
+  | _ -> false

@@ -6,7 +6,7 @@
 
 type trace_record = {
   pid : int;
-  name : string;            (* syscall name *)
+  sysno : Sysno.t;          (* which syscall *)
   arg : string;             (* human-readable principal argument *)
   bytes_in : int;           (* user -> kernel *)
   bytes_out : int;          (* kernel -> user *)
@@ -18,11 +18,11 @@ type t = {
   kernel : Ksim.Kernel.t;
   vfs : Kvfs.Vfs.t;
   mutable tracer : (trace_record -> unit) option;
-  counts : (string, int) Hashtbl.t;
+  counts : (Sysno.t, int) Hashtbl.t;
   mutable total_syscalls : int;
-  (* kstats handles, lazily registered per syscall name *)
-  st_counters : (string, Kstats.counter) Hashtbl.t;
-  st_hists : (string, Kstats.hist) Hashtbl.t;
+  (* kstats handles, lazily registered per syscall *)
+  st_counters : (Sysno.t, Kstats.counter) Hashtbl.t;
+  st_hists : (Sysno.t, Kstats.hist) Hashtbl.t;
   st_total : Kstats.counter;
 }
 
@@ -46,42 +46,44 @@ let set_tracer t f = t.tracer <- Some f
 let clear_tracer t = t.tracer <- None
 
 (* Handle caches keep the hot path at one Hashtbl probe after the
-   enabled branch; registration happens on a syscall's first use. *)
-let st_counter t name =
-  match Hashtbl.find_opt t.st_counters name with
+   enabled branch; registration happens on a syscall's first use.  The
+   kstats metric names keep the historical [syscall.<name>.*] strings. *)
+let st_counter t sysno =
+  match Hashtbl.find_opt t.st_counters sysno with
   | Some c -> c
   | None ->
       let c =
-        Kstats.counter (Ksim.Kernel.stats t.kernel) ("syscall." ^ name ^ ".count")
+        Kstats.counter (Ksim.Kernel.stats t.kernel)
+          ("syscall." ^ Sysno.to_string sysno ^ ".count")
       in
-      Hashtbl.replace t.st_counters name c;
+      Hashtbl.replace t.st_counters sysno c;
       c
 
-let st_hist t name =
-  match Hashtbl.find_opt t.st_hists name with
+let st_hist t sysno =
+  match Hashtbl.find_opt t.st_hists sysno with
   | Some h -> h
   | None ->
       let h =
         Kstats.histogram (Ksim.Kernel.stats t.kernel)
-          ("syscall." ^ name ^ ".latency")
+          ("syscall." ^ Sysno.to_string sysno ^ ".latency")
       in
-      Hashtbl.replace t.st_hists name h;
+      Hashtbl.replace t.st_hists sysno h;
       h
 
 (* Record one completed syscall's wall latency (cycles from user-stub
    entry to boundary exit) into the per-syscall histogram. *)
-let observe_latency t ~name ~cycles =
+let observe_latency t ~sysno ~cycles =
   let stats = Ksim.Kernel.stats t.kernel in
-  if Kstats.is_enabled stats then Kstats.observe stats (st_hist t name) cycles
+  if Kstats.is_enabled stats then Kstats.observe stats (st_hist t sysno) cycles
 
-let record t ~name ~arg ~bytes_in ~bytes_out ~ok =
+let record t ~sysno ~arg ~bytes_in ~bytes_out ~ok =
   t.total_syscalls <- t.total_syscalls + 1;
-  Hashtbl.replace t.counts name
-    (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts name));
+  Hashtbl.replace t.counts sysno
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts sysno));
   let stats = Ksim.Kernel.stats t.kernel in
   if Kstats.is_enabled stats then begin
     Kstats.incr stats t.st_total;
-    Kstats.incr stats (st_counter t name)
+    Kstats.incr stats (st_counter t sysno)
   end;
   match t.tracer with
   | None -> ()
@@ -90,7 +92,7 @@ let record t ~name ~arg ~bytes_in ~bytes_out ~ok =
       f
         {
           pid = p.Ksim.Kproc.pid;
-          name;
+          sysno;
           arg;
           bytes_in;
           bytes_out;
@@ -98,9 +100,9 @@ let record t ~name ~arg ~bytes_in ~bytes_out ~ok =
           timestamp = Ksim.Kernel.now t.kernel;
         }
 
-let count t name = Option.value ~default:0 (Hashtbl.find_opt t.counts name)
+let count t sysno = Option.value ~default:0 (Hashtbl.find_opt t.counts sysno)
 let total_syscalls t = t.total_syscalls
 
 let counts t =
-  Hashtbl.fold (fun name n acc -> (name, n) :: acc) t.counts []
+  Hashtbl.fold (fun sysno n acc -> (sysno, n) :: acc) t.counts []
   |> List.sort (fun (_, a) (_, b) -> compare b a)

@@ -8,7 +8,7 @@
 (** One syscall's trace record, as delivered to an attached tracer. *)
 type trace_record = {
   pid : int;
-  name : string;      (** syscall name *)
+  sysno : Sysno.t;    (** which syscall ({!Sysno.to_string} for display) *)
   arg : string;       (** human-readable principal argument *)
   bytes_in : int;     (** user -> kernel copy volume *)
   bytes_out : int;    (** kernel -> user copy volume *)
@@ -28,18 +28,19 @@ val set_tracer : t -> (trace_record -> unit) -> unit
 
 val clear_tracer : t -> unit
 
-(** Used by the wrappers to account and publish one completed syscall. *)
+(** Used by the dispatcher to account and publish one completed syscall. *)
 val record :
-  t -> name:string -> arg:string -> bytes_in:int -> bytes_out:int -> ok:bool -> unit
+  t -> sysno:Sysno.t -> arg:string -> bytes_in:int -> bytes_out:int ->
+  ok:bool -> unit
 
 (** Record one syscall's boundary-to-boundary latency into the
     per-syscall kstats histogram ([syscall.<name>.latency]). *)
-val observe_latency : t -> name:string -> cycles:int -> unit
+val observe_latency : t -> sysno:Sysno.t -> cycles:int -> unit
 
 (** Invocations of one syscall so far. *)
-val count : t -> string -> int
+val count : t -> Sysno.t -> int
 
 val total_syscalls : t -> int
 
 (** All per-syscall counts, most frequent first. *)
-val counts : t -> (string * int) list
+val counts : t -> (Sysno.t * int) list

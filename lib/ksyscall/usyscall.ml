@@ -1,12 +1,14 @@
-(* User-level syscall wrappers.  Each wrapper crosses the user/kernel
-   boundary (charging entry/exit), copies arguments and results across
-   (charging per-byte costs), bumps the calling process's syscall count,
-   and reports a trace record to any attached tracer.
+(* User-level syscall dispatch.  Every call is a typed [Syscall.req]
+   pushed through one generic [dispatch]: cross the user/kernel boundary
+   (charging entry/exit), run the in-kernel service routine, copy
+   arguments and results across (charging per-byte costs), bump the
+   calling process's syscall count, and report a typed trace record.
+   The per-call functions below are thin builders over [dispatch].
 
    These are the "expensive" calls whose overhead the paper's both
-   techniques — consolidation (§2.2) and Cosy (§2.3) — exist to avoid. *)
-
-open Kvfs
+   techniques — consolidation (§2.2) and Cosy (§2.3) — exist to avoid;
+   the kring subsystem batches many [Syscall.req]s through a single
+   crossing using the same [service] routine. *)
 
 let enter sys =
   let k = Systable.kernel sys in
@@ -19,160 +21,182 @@ let enter sys =
 
 let exit sys = Ksim.Kernel.exit_kernel (Systable.kernel sys)
 
-let path_bytes path = String.length path + 1
+let path_bytes = Syscall.path_bytes
 
-(* Wrap a service invocation with the boundary protocol.  [bytes_in] and
-   [bytes_out] may depend on the result, so they are functions. *)
-let wrap sys ~name ~arg ~bytes_in ~bytes_out f =
+(* The in-kernel half of every syscall: map a typed request to its
+   service routine.  Precondition: kernel mode.  No boundary or copy
+   accounting happens here — [dispatch] (one crossing per call) and
+   Kring.enter (one crossing per batch) layer that on differently. *)
+let service sys (req : Syscall.req) : Syscall.reply =
+  let open Syscall in
+  let ok_int = Result.map (fun n -> R_int n) in
+  let ok_unit = Result.map (fun () -> R_unit) in
+  match req with
+  | Open { path; flags } -> ok_int (Sys_file.service_open sys ~path ~flags)
+  | Close { fd } -> ok_unit (Sys_file.service_close sys ~fd)
+  | Read { fd; len } ->
+      Result.map (fun b -> R_bytes b) (Sys_file.service_read sys ~fd ~len)
+  | Write { fd; data } -> ok_int (Sys_file.service_write sys ~fd ~data)
+  | Pread { fd; off; len } ->
+      Result.map (fun b -> R_bytes b) (Sys_file.service_pread sys ~fd ~off ~len)
+  | Pwrite { fd; off; data } ->
+      ok_int (Sys_file.service_pwrite sys ~fd ~off ~data)
+  | Lseek { fd; off; whence } ->
+      ok_int (Sys_file.service_lseek sys ~fd ~off ~whence)
+  | Stat { path } ->
+      Result.map (fun st -> R_stat st) (Sys_file.service_stat sys ~path)
+  | Fstat { fd } ->
+      Result.map (fun st -> R_stat st) (Sys_file.service_fstat sys ~fd)
+  | Readdir { path } ->
+      Result.map (fun es -> R_dirents es) (Sys_file.service_readdir sys ~path)
+  | Mkdir { path } -> ok_int (Sys_file.service_mkdir sys ~path)
+  | Unlink { path } -> ok_unit (Sys_file.service_unlink sys ~path)
+  | Rename { src; dst } -> ok_unit (Sys_file.service_rename sys ~src ~dst)
+  | Fsync { fd } -> ok_unit (Sys_file.service_fsync sys ~fd)
+  | Getpid -> Ok (R_int (Sys_file.service_getpid sys))
+  | Readdirplus { path } ->
+      Result.map
+        (fun es -> R_dirents_stats es)
+        (Consolidated.service_readdirplus sys ~path)
+  | Open_read_close { path; maxlen } ->
+      Result.map
+        (fun b -> R_bytes b)
+        (Consolidated.service_open_read_close sys ~path ~maxlen)
+  | Open_write_close { path; data; flags } ->
+      ok_int (Consolidated.service_open_write_close sys ~path ~data ~flags)
+  | Sendfile { fd; off; len } ->
+      ok_int (Consolidated.service_sendfile sys ~fd ~off ~len)
+  | Open_fstat { path; flags } ->
+      Result.map
+        (fun (fd, stat) -> R_fd_stat { fd; stat })
+        (Consolidated.service_open_fstat sys ~path ~flags)
+
+(* Run one request that is already on the kernel side of the boundary
+   (a drained ring entry): no crossing, no copy charges — the caller
+   accounts those per batch — but the syscall still counts, traces, and
+   lands in the latency histogram. *)
+let dispatch_in_kernel sys (req : Syscall.req) : Syscall.reply =
   let k = Systable.kernel sys in
+  let sysno = Syscall.sysno_of_req req in
+  let t0 = Ksim.Kernel.now k in
+  (Ksim.Kernel.current k).Ksim.Kproc.syscalls <-
+    (Ksim.Kernel.current k).Ksim.Kproc.syscalls + 1;
+  let reply = service sys req in
+  Systable.record sys ~sysno ~arg:(Syscall.arg_of_req req)
+    ~bytes_in:0 ~bytes_out:0
+    ~ok:(Result.is_ok reply);
+  Systable.observe_latency sys ~sysno ~cycles:(Ksim.Kernel.now k - t0);
+  reply
+
+(* The generic synchronous path: one request, one boundary round trip. *)
+let dispatch sys (req : Syscall.req) : Syscall.reply =
+  let k = Systable.kernel sys in
+  let sysno = Syscall.sysno_of_req req in
   let t0 = Ksim.Kernel.now k in
   enter sys;
-  let result =
-    match f () with
+  let reply =
+    match service sys req with
     | r -> r
     | exception e ->
         exit sys;
         raise e
   in
-  let bin = bytes_in result and bout = bytes_out result in
+  let bin = Syscall.req_copy_bytes req
+  and bout = Syscall.reply_copy_bytes reply in
   if bin > 0 then Ksim.Kernel.charge_copy_from_user k bin;
   if bout > 0 then Ksim.Kernel.charge_copy_to_user k bout;
-  Systable.record sys ~name ~arg ~bytes_in:bin ~bytes_out:bout
-    ~ok:(match result with Ok _ -> true | Error _ -> false);
+  Systable.record sys ~sysno ~arg:(Syscall.arg_of_req req) ~bytes_in:bin
+    ~bytes_out:bout
+    ~ok:(Result.is_ok reply);
   exit sys;
-  Systable.observe_latency sys ~name ~cycles:(Ksim.Kernel.now k - t0);
-  result
+  Systable.observe_latency sys ~sysno ~cycles:(Ksim.Kernel.now k - t0);
+  reply
 
-let some_bytes f = function Ok v -> f v | Error _ -> 0
+(* --- reply extractors --------------------------------------------------- *)
 
-let sys_open sys ~path ~flags =
-  wrap sys ~name:"open" ~arg:path
-    ~bytes_in:(fun _ -> path_bytes path)
-    ~bytes_out:(fun _ -> 0)
-    (fun () -> Sys_file.service_open sys ~path ~flags)
+(* The builders preserve the historical per-call result types; a shape
+   mismatch would mean [service] broke its own contract. *)
+let int_ok = function
+  | Ok (Syscall.R_int n) -> Ok n
+  | Error e -> Error e
+  | Ok _ -> invalid_arg "Usyscall: expected R_int"
 
-let sys_close sys ~fd =
-  wrap sys ~name:"close" ~arg:(string_of_int fd)
-    ~bytes_in:(fun _ -> 0)
-    ~bytes_out:(fun _ -> 0)
-    (fun () -> Sys_file.service_close sys ~fd)
+let unit_ok = function
+  | Ok Syscall.R_unit -> Ok ()
+  | Error e -> Error e
+  | Ok _ -> invalid_arg "Usyscall: expected R_unit"
 
-let sys_read sys ~fd ~len =
-  wrap sys ~name:"read" ~arg:(string_of_int fd)
-    ~bytes_in:(fun _ -> 0)
-    ~bytes_out:(some_bytes Bytes.length)
-    (fun () -> Sys_file.service_read sys ~fd ~len)
+let bytes_ok = function
+  | Ok (Syscall.R_bytes b) -> Ok b
+  | Error e -> Error e
+  | Ok _ -> invalid_arg "Usyscall: expected R_bytes"
 
-let sys_write sys ~fd ~data =
-  wrap sys ~name:"write" ~arg:(string_of_int fd)
-    ~bytes_in:(fun _ -> Bytes.length data)
-    ~bytes_out:(fun _ -> 0)
-    (fun () -> Sys_file.service_write sys ~fd ~data)
+let stat_ok = function
+  | Ok (Syscall.R_stat st) -> Ok st
+  | Error e -> Error e
+  | Ok _ -> invalid_arg "Usyscall: expected R_stat"
+
+let dirents_ok = function
+  | Ok (Syscall.R_dirents es) -> Ok es
+  | Error e -> Error e
+  | Ok _ -> invalid_arg "Usyscall: expected R_dirents"
+
+let dirents_stats_ok = function
+  | Ok (Syscall.R_dirents_stats es) -> Ok es
+  | Error e -> Error e
+  | Ok _ -> invalid_arg "Usyscall: expected R_dirents_stats"
+
+let fd_stat_ok = function
+  | Ok (Syscall.R_fd_stat { fd; stat }) -> Ok (fd, stat)
+  | Error e -> Error e
+  | Ok _ -> invalid_arg "Usyscall: expected R_fd_stat"
+
+(* --- thin per-call builders --------------------------------------------- *)
+
+let sys_open sys ~path ~flags = int_ok (dispatch sys (Syscall.Open { path; flags }))
+let sys_close sys ~fd = unit_ok (dispatch sys (Syscall.Close { fd }))
+let sys_read sys ~fd ~len = bytes_ok (dispatch sys (Syscall.Read { fd; len }))
+let sys_write sys ~fd ~data = int_ok (dispatch sys (Syscall.Write { fd; data }))
 
 let sys_pread sys ~fd ~off ~len =
-  wrap sys ~name:"pread" ~arg:(string_of_int fd)
-    ~bytes_in:(fun _ -> 0)
-    ~bytes_out:(some_bytes Bytes.length)
-    (fun () -> Sys_file.service_pread sys ~fd ~off ~len)
+  bytes_ok (dispatch sys (Syscall.Pread { fd; off; len }))
 
 let sys_pwrite sys ~fd ~off ~data =
-  wrap sys ~name:"pwrite" ~arg:(string_of_int fd)
-    ~bytes_in:(fun _ -> Bytes.length data)
-    ~bytes_out:(fun _ -> 0)
-    (fun () -> Sys_file.service_pwrite sys ~fd ~off ~data)
+  int_ok (dispatch sys (Syscall.Pwrite { fd; off; data }))
 
 let sys_lseek sys ~fd ~off ~whence =
-  wrap sys ~name:"lseek" ~arg:(string_of_int fd)
-    ~bytes_in:(fun _ -> 0)
-    ~bytes_out:(fun _ -> 0)
-    (fun () -> Sys_file.service_lseek sys ~fd ~off ~whence)
+  int_ok (dispatch sys (Syscall.Lseek { fd; off; whence }))
 
-let sys_stat sys ~path =
-  wrap sys ~name:"stat" ~arg:path
-    ~bytes_in:(fun _ -> path_bytes path)
-    ~bytes_out:(some_bytes (fun _ -> Vtypes.stat_wire_size))
-    (fun () -> Sys_file.service_stat sys ~path)
+let sys_stat sys ~path = stat_ok (dispatch sys (Syscall.Stat { path }))
+let sys_fstat sys ~fd = stat_ok (dispatch sys (Syscall.Fstat { fd }))
+let sys_readdir sys ~path = dirents_ok (dispatch sys (Syscall.Readdir { path }))
+let sys_mkdir sys ~path = int_ok (dispatch sys (Syscall.Mkdir { path }))
+let sys_unlink sys ~path = unit_ok (dispatch sys (Syscall.Unlink { path }))
+let sys_rename sys ~src ~dst = unit_ok (dispatch sys (Syscall.Rename { src; dst }))
+let sys_fsync sys ~fd = unit_ok (dispatch sys (Syscall.Fsync { fd }))
 
-let sys_fstat sys ~fd =
-  wrap sys ~name:"fstat" ~arg:(string_of_int fd)
-    ~bytes_in:(fun _ -> 0)
-    ~bytes_out:(some_bytes (fun _ -> Vtypes.stat_wire_size))
-    (fun () -> Sys_file.service_fstat sys ~fd)
-
-let dirents_bytes entries =
-  List.fold_left (fun n d -> n + Vtypes.dirent_wire_size d) 0 entries
-
-let sys_readdir sys ~path =
-  wrap sys ~name:"readdir" ~arg:path
-    ~bytes_in:(fun _ -> path_bytes path)
-    ~bytes_out:(some_bytes dirents_bytes)
-    (fun () -> Sys_file.service_readdir sys ~path)
-
-let sys_mkdir sys ~path =
-  wrap sys ~name:"mkdir" ~arg:path
-    ~bytes_in:(fun _ -> path_bytes path)
-    ~bytes_out:(fun _ -> 0)
-    (fun () -> Sys_file.service_mkdir sys ~path)
-
-let sys_unlink sys ~path =
-  wrap sys ~name:"unlink" ~arg:path
-    ~bytes_in:(fun _ -> path_bytes path)
-    ~bytes_out:(fun _ -> 0)
-    (fun () -> Sys_file.service_unlink sys ~path)
-
-let sys_rename sys ~src ~dst =
-  wrap sys ~name:"rename" ~arg:(src ^ "->" ^ dst)
-    ~bytes_in:(fun _ -> path_bytes src + path_bytes dst)
-    ~bytes_out:(fun _ -> 0)
-    (fun () -> Sys_file.service_rename sys ~src ~dst)
-
-let sys_fsync sys ~fd =
-  wrap sys ~name:"fsync" ~arg:(string_of_int fd)
-    ~bytes_in:(fun _ -> 0)
-    ~bytes_out:(fun _ -> 0)
-    (fun () -> Sys_file.service_fsync sys ~fd)
-
+(* getpid cannot fail; routed through [dispatch] like everything else so
+   it shows up in the latency histograms. *)
 let sys_getpid sys =
-  let k = Systable.kernel sys in
-  enter sys;
-  let pid = Sys_file.service_getpid sys in
-  Systable.record sys ~name:"getpid" ~arg:"" ~bytes_in:0 ~bytes_out:0 ~ok:true;
-  Ksim.Kernel.exit_kernel k;
-  pid
+  match int_ok (dispatch sys Syscall.Getpid) with
+  | Ok pid -> pid
+  | Error _ -> assert false
 
 (* --- consolidated wrappers (E1/E2) ------------------------------------- *)
 
 let sys_readdirplus sys ~path =
-  wrap sys ~name:"readdirplus" ~arg:path
-    ~bytes_in:(fun _ -> path_bytes path)
-    ~bytes_out:
-      (some_bytes
-         (List.fold_left
-            (fun n (d, _st) ->
-              n + Vtypes.dirent_wire_size d + Vtypes.stat_wire_size)
-            0))
-    (fun () -> Consolidated.service_readdirplus sys ~path)
+  dirents_stats_ok (dispatch sys (Syscall.Readdirplus { path }))
 
 let sys_open_read_close sys ~path ~maxlen =
-  wrap sys ~name:"open_read_close" ~arg:path
-    ~bytes_in:(fun _ -> path_bytes path)
-    ~bytes_out:(some_bytes Bytes.length)
-    (fun () -> Consolidated.service_open_read_close sys ~path ~maxlen)
+  bytes_ok (dispatch sys (Syscall.Open_read_close { path; maxlen }))
 
 let sys_open_write_close sys ~path ~data ~flags =
-  wrap sys ~name:"open_write_close" ~arg:path
-    ~bytes_in:(fun _ -> path_bytes path + Bytes.length data)
-    ~bytes_out:(fun _ -> 0)
-    (fun () -> Consolidated.service_open_write_close sys ~path ~data ~flags)
+  int_ok (dispatch sys (Syscall.Open_write_close { path; data; flags }))
 
 let sys_sendfile sys ~fd ~off ~len =
-  wrap sys ~name:"sendfile" ~arg:(string_of_int fd)
-    ~bytes_in:(fun _ -> 0)
-    ~bytes_out:(fun _ -> 0) (* the point: data never crosses the boundary *)
-    (fun () -> Consolidated.service_sendfile sys ~fd ~off ~len)
+  int_ok (dispatch sys (Syscall.Sendfile { fd; off; len }))
 
 let sys_open_fstat sys ~path ~flags =
-  wrap sys ~name:"open_fstat" ~arg:path
-    ~bytes_in:(fun _ -> path_bytes path)
-    ~bytes_out:(some_bytes (fun _ -> Vtypes.stat_wire_size))
-    (fun () -> Consolidated.service_open_fstat sys ~path ~flags)
+  fd_stat_ok (dispatch sys (Syscall.Open_fstat { path; flags }))
+
+let dirents_bytes = Syscall.dirents_bytes

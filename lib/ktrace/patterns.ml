@@ -1,9 +1,11 @@
 (* Frequent-sequence mining over syscall traces: counts every n-gram of
-   syscall names within each process's trace and ranks them.  This is
-   the analysis that surfaced open-read-close, open-write-close,
-   open-fstat and readdir-stat* in the paper. *)
+   syscalls within each process's trace and ranks them.  This is the
+   analysis that surfaced open-read-close, open-write-close, open-fstat
+   and readdir-stat* in the paper. *)
 
-type ngram = string list
+open Ksyscall
+
+type ngram = Sysno.t list
 
 type t = { counts : (ngram, int) Hashtbl.t }
 
@@ -14,8 +16,8 @@ let mine ?(min_len = 2) ?(max_len = 4) recorder =
       (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts key))
   in
   List.iter
-    (fun (_pid, names) ->
-      let arr = Array.of_list names in
+    (fun (_pid, sysnos) ->
+      let arr = Array.of_list sysnos in
       let n = Array.length arr in
       for i = 0 to n - 1 do
         for len = min_len to max_len do
@@ -42,11 +44,11 @@ let top t ~n =
 let readdir_stat_runs recorder ~min_stats =
   let runs = ref [] in
   List.iter
-    (fun (_pid, names) ->
+    (fun (_pid, sysnos) ->
       let rec scan = function
-        | "readdir" :: rest ->
+        | Sysno.Readdir :: rest ->
             let rec count_stats n = function
-              | "stat" :: more -> count_stats (n + 1) more
+              | Sysno.Stat :: more -> count_stats (n + 1) more
               | tail -> (n, tail)
             in
             let n, tail = count_stats 0 rest in
@@ -55,8 +57,8 @@ let readdir_stat_runs recorder ~min_stats =
         | _ :: rest -> scan rest
         | [] -> ()
       in
-      scan names)
+      scan sysnos)
     (Recorder.sequences recorder);
   !runs
 
-let pp_ngram ppf ngram = Fmt.(list ~sep:(any "-") string) ppf ngram
+let pp_ngram ppf ngram = Fmt.(list ~sep:(any "-") Sysno.pp) ppf ngram

@@ -1,9 +1,9 @@
 (** Frequent-sequence mining over syscall traces: counts every n-gram of
-    syscall names within each process's trace and ranks them — the
-    analysis that surfaced open-read-close, open-write-close, open-fstat
-    and readdir-stat* in the paper (§2.2). *)
+    syscalls within each process's trace and ranks them — the analysis
+    that surfaced open-read-close, open-write-close, open-fstat and
+    readdir-stat* in the paper (§2.2). *)
 
-type ngram = string list
+type ngram = Ksyscall.Sysno.t list
 
 type t
 

@@ -28,16 +28,16 @@ let clear t =
   t.records <- [];
   t.count <- 0
 
-(* Per-pid sequences of syscall names, in invocation order. *)
+(* Per-pid sequences of syscall numbers, in invocation order. *)
 let sequences t =
   let by_pid = Hashtbl.create 8 in
   List.iter
     (fun (r : Ksyscall.Systable.trace_record) ->
       let prev = Option.value ~default:[] (Hashtbl.find_opt by_pid r.pid) in
-      Hashtbl.replace by_pid r.pid (r.name :: prev))
+      Hashtbl.replace by_pid r.pid (r.sysno :: prev))
     t.records (* reversed input -> reversed accumulation = in order *)
   |> ignore;
-  Hashtbl.fold (fun pid names acc -> (pid, names) :: acc) by_pid []
+  Hashtbl.fold (fun pid sysnos acc -> (pid, sysnos) :: acc) by_pid []
 
 let total_bytes t =
   List.fold_left

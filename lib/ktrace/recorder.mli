@@ -17,8 +17,8 @@ val records : t -> Ksyscall.Systable.trace_record list
 val count : t -> int
 val clear : t -> unit
 
-(** Per-pid syscall-name sequences, in invocation order. *)
-val sequences : t -> (int * string list) list
+(** Per-pid syscall sequences, in invocation order. *)
+val sequences : t -> (int * Ksyscall.Sysno.t list) list
 
 (** Total (bytes in, bytes out) across the trace. *)
 val total_bytes : t -> int * int

@@ -36,11 +36,12 @@ let collapse_pid (records : Ksyscall.Systable.trace_record list) =
   in
   let rec scan (rs : Ksyscall.Systable.trace_record list) =
     match rs with
-    | ({ name = "readdir"; _ } as rd) :: rest ->
+    | ({ sysno = Ksyscall.Sysno.Readdir; _ } as rd) :: rest ->
         count rd;
         (* a run of stats following a readdir merges into readdirplus *)
         let rec eat n saved = function
-          | ({ Ksyscall.Systable.name = "stat"; _ } as st) :: more ->
+          | ({ Ksyscall.Systable.sysno = Ksyscall.Sysno.Stat; _ } as st)
+            :: more ->
               count st;
               (* the merged call keeps the stat payload (bytes_out) but
                  drops the path-name copy-in and the crossing *)
@@ -53,25 +54,27 @@ let collapse_pid (records : Ksyscall.Systable.trace_record list) =
           bytes_saved := !bytes_saved + saved
         end;
         scan tail
-    | ({ name = "open"; _ } as o)
-      :: ({ name = "read"; _ } as r)
-      :: ({ name = "close"; _ } as c)
+    | ({ sysno = Ksyscall.Sysno.Open; _ } as o)
+      :: ({ sysno = Ksyscall.Sysno.Read; _ } as r)
+      :: ({ sysno = Ksyscall.Sysno.Close; _ } as c)
       :: rest ->
         count o;
         count r;
         count c;
         crossings_saved := !crossings_saved + 2;
         scan rest
-    | ({ name = "open"; _ } as o)
-      :: ({ name = "write"; _ } as w)
-      :: ({ name = "close"; _ } as c)
+    | ({ sysno = Ksyscall.Sysno.Open; _ } as o)
+      :: ({ sysno = Ksyscall.Sysno.Write; _ } as w)
+      :: ({ sysno = Ksyscall.Sysno.Close; _ } as c)
       :: rest ->
         count o;
         count w;
         count c;
         crossings_saved := !crossings_saved + 2;
         scan rest
-    | ({ name = "open"; _ } as o) :: ({ name = "fstat"; _ } as f) :: rest ->
+    | ({ sysno = Ksyscall.Sysno.Open; _ } as o)
+      :: ({ sysno = Ksyscall.Sysno.Fstat; _ } as f)
+      :: rest ->
         count o;
         count f;
         crossings_saved := !crossings_saved + 1;

@@ -1,10 +1,12 @@
 (* The weighted directed syscall graph of §2.2 / Cassyopia: vertices are
-   syscall names, an edge (v1, v2) has weight equal to the number of
-   times v2 directly followed v1 in the same process's trace. *)
+   syscalls, an edge (v1, v2) has weight equal to the number of times v2
+   directly followed v1 in the same process's trace. *)
+
+open Ksyscall
 
 type t = {
-  edges : (string * string, int) Hashtbl.t;
-  vertices : (string, int) Hashtbl.t;   (* name -> total invocations *)
+  edges : (Sysno.t * Sysno.t, int) Hashtbl.t;
+  vertices : (Sysno.t, int) Hashtbl.t;   (* sysno -> total invocations *)
 }
 
 let create () = { edges = Hashtbl.create 256; vertices = Hashtbl.create 64 }
@@ -13,29 +15,29 @@ let bump tbl key =
   Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
 
 let add_transition t ~src ~dst = bump t.edges (src, dst)
-let add_vertex t name = bump t.vertices name
+let add_vertex t sysno = bump t.vertices sysno
 
 (* Build from a recorder: one pass per pid sequence. *)
 let of_recorder recorder =
   let t = create () in
   List.iter
-    (fun (_pid, names) ->
-      List.iter (add_vertex t) names;
+    (fun (_pid, sysnos) ->
+      List.iter (add_vertex t) sysnos;
       let rec pairs = function
         | a :: (b :: _ as rest) ->
             add_transition t ~src:a ~dst:b;
             pairs rest
         | [ _ ] | [] -> ()
       in
-      pairs names)
+      pairs sysnos)
     (Recorder.sequences recorder);
   t
 
 let weight t ~src ~dst =
   Option.value ~default:0 (Hashtbl.find_opt t.edges (src, dst))
 
-let invocations t name =
-  Option.value ~default:0 (Hashtbl.find_opt t.vertices name)
+let invocations t sysno =
+  Option.value ~default:0 (Hashtbl.find_opt t.vertices sysno)
 
 let edges t =
   Hashtbl.fold (fun (s, d) w acc -> (s, d, w) :: acc) t.edges []
@@ -46,7 +48,7 @@ let edges t =
 let heavy_paths t ~length ~top =
   let next_of src =
     Hashtbl.fold
-      (fun (s, d) w acc -> if s = src then (d, w) :: acc else acc)
+      (fun (s, d) w acc -> if Sysno.equal s src then (d, w) :: acc else acc)
       t.edges []
     |> List.sort (fun (_, a) (_, b) -> compare b a)
   in
@@ -75,5 +77,5 @@ let heavy_paths t ~length ~top =
 
 let pp ppf t =
   List.iter
-    (fun (s, d, w) -> Fmt.pf ppf "%s -> %s : %d@\n" s d w)
+    (fun (s, d, w) -> Fmt.pf ppf "%a -> %a : %d@\n" Sysno.pp s Sysno.pp d w)
     (edges t)

@@ -1,27 +1,28 @@
 (** The weighted directed syscall graph of §2.2 (after Cassyopia):
-    vertices are syscall names; edge [(v1, v2)] weighs how many times
-    [v2] directly followed [v1] in the same process's trace.  "Paths with
+    vertices are syscalls; edge [(v1, v2)] weighs how many times [v2]
+    directly followed [v1] in the same process's trace.  "Paths with
     large weights are likely to be good candidates for consolidation." *)
 
 type t
 
 val create : unit -> t
-val add_transition : t -> src:string -> dst:string -> unit
-val add_vertex : t -> string -> unit
+val add_transition : t -> src:Ksyscall.Sysno.t -> dst:Ksyscall.Sysno.t -> unit
+val add_vertex : t -> Ksyscall.Sysno.t -> unit
 
 (** Build the graph from a recorded trace. *)
 val of_recorder : Recorder.t -> t
 
-val weight : t -> src:string -> dst:string -> int
+val weight : t -> src:Ksyscall.Sysno.t -> dst:Ksyscall.Sysno.t -> int
 
 (** Total invocations of one syscall. *)
-val invocations : t -> string -> int
+val invocations : t -> Ksyscall.Sysno.t -> int
 
 (** All edges, heaviest first. *)
-val edges : t -> (string * string * int) list
+val edges : t -> (Ksyscall.Sysno.t * Ksyscall.Sysno.t * int) list
 
 (** Greedy heaviest paths of [length] vertices: the consolidation
     candidates.  Each path carries its bottleneck weight. *)
-val heavy_paths : t -> length:int -> top:int -> (string list * int) list
+val heavy_paths :
+  t -> length:int -> top:int -> (Ksyscall.Sysno.t list * int) list
 
 val pp : Format.formatter -> t -> unit

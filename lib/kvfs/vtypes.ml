@@ -45,6 +45,14 @@ let errno_code = function
   | ENAMETOOLONG -> 36
   | EROFS -> 30
 
+let all_errnos =
+  [
+    ENOENT; EEXIST; ENOTDIR; EISDIR; EBADF; EINVAL; ENOTEMPTY; ENOSPC; EFAULT;
+    ENAMETOOLONG; EROFS;
+  ]
+
+let errno_of_code n = List.find_opt (fun e -> errno_code e = n) all_errnos
+
 type kind = Regular | Directory
 
 let pp_kind ppf = function

@@ -63,7 +63,8 @@ let test_getpid_and_counts () =
   Alcotest.(check int) "init pid" 1 pid;
   let p = Ksim.Kernel.current kernel in
   Alcotest.(check bool) "syscall counted" true (p.Ksim.Kproc.syscalls >= 1);
-  Alcotest.(check int) "table count" 1 (Ksyscall.Systable.count sys "getpid")
+  Alcotest.(check int) "table count" 1
+    (Ksyscall.Systable.count sys Ksyscall.Sysno.Getpid)
 
 let test_readdirplus_equivalence () =
   let _, sys = mk_sys () in
@@ -190,8 +191,131 @@ let test_tracer () =
   ignore (ok (Ksyscall.Usyscall.sys_mkdir sys ~path:"/t"));
   Ksyscall.Systable.clear_tracer sys;
   ignore (ok (Ksyscall.Usyscall.sys_stat sys ~path:"/t"));
-  let names = List.rev_map (fun r -> r.Ksyscall.Systable.name) !seen in
+  let names =
+    List.rev_map
+      (fun r -> Ksyscall.Sysno.to_string r.Ksyscall.Systable.sysno)
+      !seen
+  in
   Alcotest.(check (list string)) "traced while attached" [ "getpid"; "mkdir" ] names
+
+(* --- typed descriptor wire codec ---------------------------------------- *)
+
+let roundtrip req =
+  let wire = Ksyscall.Syscall.encode_req req in
+  let req', consumed = Ksyscall.Syscall.decode_req wire ~off:0 in
+  req' = req && consumed = Bytes.length wire
+
+(* One handcrafted example per syscall number, so every decoder arm is
+   exercised deterministically. *)
+let test_req_roundtrip_all_sysnos () =
+  let open Ksyscall.Syscall in
+  let examples =
+    [
+      Open { path = "/etc/motd"; flags = [ Kvfs.Vfs.O_RDONLY ] };
+      Close { fd = 7 };
+      Read { fd = 3; len = 4096 };
+      Write { fd = 4; data = Bytes.of_string "payload\000with\255bytes" };
+      Pread { fd = 5; off = 123; len = 17 };
+      Pwrite { fd = 5; off = 0; data = Bytes.empty };
+      Lseek { fd = 9; off = 1 lsl 40; whence = Kvfs.Vfs.SEEK_END };
+      Stat { path = "/" };
+      Fstat { fd = 0 };
+      Readdir { path = "/usr/share" };
+      Mkdir { path = "/tmp/x" };
+      Unlink { path = "/tmp/x/y" };
+      Rename { src = "/a"; dst = "/b" };
+      Fsync { fd = 11 };
+      Getpid;
+      Readdirplus { path = "/home" };
+      Open_read_close { path = "/cfg"; maxlen = 65536 };
+      Open_write_close
+        {
+          path = "/out";
+          data = Bytes.of_string "x";
+          flags = [ Kvfs.Vfs.O_RDWR; Kvfs.Vfs.O_CREAT; Kvfs.Vfs.O_TRUNC ];
+        };
+      Sendfile { fd = 6; off = 8192; len = 1 lsl 20 };
+      Open_fstat { path = "/lib"; flags = [ Kvfs.Vfs.O_RDONLY ] };
+    ]
+  in
+  (* the examples must cover the whole syscall table *)
+  Alcotest.(check int) "covers every sysno"
+    (List.length Ksyscall.Sysno.all)
+    (List.length
+       (List.sort_uniq compare (List.map sysno_of_req examples)));
+  List.iter
+    (fun req ->
+      Alcotest.(check bool)
+        (Fmt.str "roundtrip %a" pp_req req)
+        true (roundtrip req))
+    examples
+
+let gen_req =
+  let open QCheck.Gen in
+  let lc = map Char.chr (int_range 97 122) in
+  let gen_path = map (fun s -> "/" ^ s) (string_size ~gen:lc (int_range 0 12)) in
+  let gen_fd = int_range 0 1024 in
+  let gen_len = int_range 0 1_000_000 in
+  let gen_off = int_range 0 1_000_000 in
+  let gen_data =
+    map Bytes.of_string
+      (string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 64))
+  in
+  (* canonical flag lists only: the wire carries a bitmask, so a
+     non-canonical ordering cannot survive; [flags_of_int] is the
+     canonical form *)
+  let gen_flags =
+    map2
+      (fun mode mods -> Ksyscall.Syscall.flags_of_int (mode lor (mods lsl 2)))
+      (int_range 0 2) (int_range 0 7)
+  in
+  let gen_whence =
+    oneofl [ Kvfs.Vfs.SEEK_SET; Kvfs.Vfs.SEEK_CUR; Kvfs.Vfs.SEEK_END ]
+  in
+  let open Ksyscall.Syscall in
+  oneofl Ksyscall.Sysno.all >>= function
+  | Ksyscall.Sysno.Open ->
+      map2 (fun path flags -> Open { path; flags }) gen_path gen_flags
+  | Ksyscall.Sysno.Close -> map (fun fd -> Close { fd }) gen_fd
+  | Ksyscall.Sysno.Read ->
+      map2 (fun fd len -> Read { fd; len }) gen_fd gen_len
+  | Ksyscall.Sysno.Write ->
+      map2 (fun fd data -> Write { fd; data }) gen_fd gen_data
+  | Ksyscall.Sysno.Pread ->
+      map3 (fun fd off len -> Pread { fd; off; len }) gen_fd gen_off gen_len
+  | Ksyscall.Sysno.Pwrite ->
+      map3 (fun fd off data -> Pwrite { fd; off; data }) gen_fd gen_off gen_data
+  | Ksyscall.Sysno.Lseek ->
+      map3 (fun fd off whence -> Lseek { fd; off; whence }) gen_fd gen_off
+        gen_whence
+  | Ksyscall.Sysno.Stat -> map (fun path -> Stat { path }) gen_path
+  | Ksyscall.Sysno.Fstat -> map (fun fd -> Fstat { fd }) gen_fd
+  | Ksyscall.Sysno.Readdir -> map (fun path -> Readdir { path }) gen_path
+  | Ksyscall.Sysno.Mkdir -> map (fun path -> Mkdir { path }) gen_path
+  | Ksyscall.Sysno.Unlink -> map (fun path -> Unlink { path }) gen_path
+  | Ksyscall.Sysno.Rename ->
+      map2 (fun src dst -> Rename { src; dst }) gen_path gen_path
+  | Ksyscall.Sysno.Fsync -> map (fun fd -> Fsync { fd }) gen_fd
+  | Ksyscall.Sysno.Getpid -> return Getpid
+  | Ksyscall.Sysno.Readdirplus ->
+      map (fun path -> Readdirplus { path }) gen_path
+  | Ksyscall.Sysno.Open_read_close ->
+      map2 (fun path maxlen -> Open_read_close { path; maxlen }) gen_path gen_len
+  | Ksyscall.Sysno.Open_write_close ->
+      map3
+        (fun path data flags -> Open_write_close { path; data; flags })
+        gen_path gen_data gen_flags
+  | Ksyscall.Sysno.Sendfile ->
+      map3 (fun fd off len -> Sendfile { fd; off; len }) gen_fd gen_off gen_len
+  | Ksyscall.Sysno.Open_fstat ->
+      map2 (fun path flags -> Open_fstat { path; flags }) gen_path gen_flags
+
+let qcheck_req_roundtrip =
+  QCheck.Test.make ~name:"req -> wire -> req" ~count:1000
+    (QCheck.make
+       ~print:(fun r -> Fmt.str "%a" Ksyscall.Syscall.pp_req r)
+       gen_req)
+    roundtrip
 
 let () =
   Alcotest.run "ksyscall"
@@ -214,5 +338,11 @@ let () =
           Alcotest.test_case "open_read_close" `Quick test_open_read_close;
           Alcotest.test_case "open_fstat" `Quick test_open_fstat;
           Alcotest.test_case "sendfile" `Quick test_sendfile;
+        ] );
+      ( "descriptors",
+        [
+          Alcotest.test_case "wire roundtrip, all sysnos" `Quick
+            test_req_roundtrip_all_sysnos;
+          QCheck_alcotest.to_alcotest qcheck_req_roundtrip;
         ] );
     ]

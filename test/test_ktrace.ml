@@ -36,7 +36,9 @@ let test_recorder () =
   Alcotest.(check int) "two records" 2 (Ktrace.Recorder.count rec_);
   let records = Ktrace.Recorder.records rec_ in
   Alcotest.(check (list string)) "order preserved" [ "getpid"; "mkdir" ]
-    (List.map (fun r -> r.Ksyscall.Systable.name) records);
+    (List.map
+       (fun r -> Ksyscall.Sysno.to_string r.Ksyscall.Systable.sysno)
+       records);
   Alcotest.(check bool) "timestamps monotone" true
     (match records with
     | [ a; b ] -> a.Ksyscall.Systable.timestamp <= b.Ksyscall.Systable.timestamp
@@ -51,15 +53,19 @@ let test_graph () =
   do_ls sys "/d";
   let g = Ktrace.Syscall_graph.of_recorder rec_ in
   Alcotest.(check int) "readdir->stat edge" 1
-    (Ktrace.Syscall_graph.weight g ~src:"readdir" ~dst:"stat");
+    (Ktrace.Syscall_graph.weight g ~src:Ksyscall.Sysno.Readdir
+       ~dst:Ksyscall.Sysno.Stat);
   Alcotest.(check int) "stat->stat edges" 2
-    (Ktrace.Syscall_graph.weight g ~src:"stat" ~dst:"stat");
+    (Ktrace.Syscall_graph.weight g ~src:Ksyscall.Sysno.Stat
+       ~dst:Ksyscall.Sysno.Stat);
   Alcotest.(check int) "stat invocations" 3
-    (Ktrace.Syscall_graph.invocations g "stat");
+    (Ktrace.Syscall_graph.invocations g Ksyscall.Sysno.Stat);
   (* heavy paths surface the readdir-stat chain *)
   let paths = Ktrace.Syscall_graph.heavy_paths g ~length:2 ~top:5 in
   Alcotest.(check bool) "stat-stat is a heavy path" true
-    (List.exists (fun (p, _) -> p = [ "stat"; "stat" ]) paths)
+    (List.exists
+       (fun (p, _) -> p = [ Ksyscall.Sysno.Stat; Ksyscall.Sysno.Stat ])
+       paths)
 
 let test_patterns () =
   let _, sys, rec_ = mk_traced () in
@@ -74,13 +80,17 @@ let test_patterns () =
   do_ls sys "/d";
   let mined = Ktrace.Patterns.mine rec_ in
   Alcotest.(check int) "open-read-close count" 3
-    (Ktrace.Patterns.count mined [ "open"; "read"; "close" ]);
+    (Ktrace.Patterns.count mined
+       [ Ksyscall.Sysno.Open; Ksyscall.Sysno.Read; Ksyscall.Sysno.Close ]);
   let runs = Ktrace.Patterns.readdir_stat_runs rec_ ~min_stats:2 in
   Alcotest.(check (list int)) "one readdir followed by 4 stats" [ 4 ] runs;
   (* top patterns include the triple *)
   let top = Ktrace.Patterns.top mined ~n:50 in
   Alcotest.(check bool) "orc in top" true
-    (List.exists (fun (p, _) -> p = [ "open"; "read"; "close" ]) top)
+    (List.exists
+       (fun (p, _) ->
+         p = [ Ksyscall.Sysno.Open; Ksyscall.Sysno.Read; Ksyscall.Sysno.Close ])
+       top)
 
 let test_savings () =
   let _, sys, rec_ = mk_traced () in
