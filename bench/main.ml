@@ -30,6 +30,18 @@ let ratio base new_ = float_of_int new_ /. float_of_int (max 1 base)
 let smoke = ref false
 let sc n = if !smoke then max 1 (n / 20) else n
 
+(* Experiments can attach structured result rows (e.g. E13's per-ncpus
+   sweep) that land in BENCH_kstats.json under their "rows" key. *)
+let extra_rows : (string, string list ref) Hashtbl.t = Hashtbl.create 4
+
+let add_row xid json =
+  match Hashtbl.find_opt extra_rows xid with
+  | Some r -> r := json :: !r
+  | None -> Hashtbl.add extra_rows xid (ref [ json ])
+
+let find_counter stats name =
+  match Kstats.find stats name with Some (Kstats.Counter_v v) -> v | _ -> 0
+
 (* ----------------------------------------------------------------- E1 *)
 
 let e1 () =
@@ -321,12 +333,12 @@ let e6 () =
     match mon with
     | `None ->
         let s = Workloads.Postmark.run ~config:cfg sys in
-        (s.Workloads.Postmark.times, 0, 0)
+        (t, s.Workloads.Postmark.times, 0, 0)
     | `Ring ->
         let d = Core.enable_monitoring t in
         let s = Workloads.Postmark.run ~config:cfg sys in
         Core.disable_monitoring t;
-        (s.Workloads.Postmark.times, Kmonitor.Dispatcher.events d, 0)
+        (t, s.Workloads.Postmark.times, Kmonitor.Dispatcher.events d, 0)
     | `Logger write_to_disk ->
         let d = Core.enable_monitoring t in
         let cd = Kmonitor.Chardev.create (Core.kernel t) d in
@@ -336,13 +348,13 @@ let e6 () =
         let s = Workloads.Postmark.run ~config:cfg sys in
         Kmonitor.Disk_logger.drain lg;
         Core.disable_monitoring t;
-        (s.Workloads.Postmark.times, Kmonitor.Dispatcher.events d,
+        (t, s.Workloads.Postmark.times, Kmonitor.Dispatcher.events d,
          Kmonitor.Disk_logger.records_written lg)
   in
-  let base, _, _ = run () in
-  let ring, ev_ring, _ = run ~mon:`Ring () in
-  let nolog, _, _ = run ~mon:(`Logger false) () in
-  let wlog, _, logged = run ~mon:(`Logger true) () in
+  let tb, base, _, _ = run () in
+  let _, ring, ev_ring, _ = run ~mon:`Ring () in
+  let _, nolog, _, _ = run ~mon:(`Logger false) () in
+  let _, wlog, _, logged = run ~mon:(`Logger true) () in
   let line name (t : Ksim.Kernel.times) extra =
     pf "  %-28s elapsed %9.4f s (%+6.1f%%)  system %9.4f s%s\n" name
       (sec t.Ksim.Kernel.elapsed)
@@ -356,7 +368,15 @@ let e6 () =
   let rate =
     float_of_int ev_ring /. 2. /. sec ring.Ksim.Kernel.elapsed
   in
-  pf "  dcache_lock rate: %.0f acquisitions/s of simulated time (paper: 8,805/s)\n" rate
+  pf "  dcache_lock rate: %.0f acquisitions/s of simulated time (paper: 8,805/s)\n" rate;
+  let st = Core.stats tb in
+  let hits = find_counter st "blockdev.cache_hits" in
+  let misses = find_counter st "blockdev.cache_misses" in
+  pf "  block cache: %d hits / %d misses (%.1f%% hit rate), %d evictions \
+      (second-chance)\n"
+    hits misses
+    (100. *. float_of_int hits /. float_of_int (max 1 (hits + misses)))
+    (find_counter st "blockdev.evictions")
 
 (* ----------------------------------------------------------------- E7 *)
 
@@ -385,7 +405,31 @@ let e7 () =
       (pct_over g.Ksim.Kernel.elapsed k.Ksim.Kernel.elapsed)
   in
   show "am-utils compile" (am Core.Journalfs) (am Core.Journalfs_kgcc);
-  show "postmark" (pm Core.Journalfs) (pm Core.Journalfs_kgcc)
+  show "postmark" (pm Core.Journalfs) (pm Core.Journalfs_kgcc);
+  (* block-cache eviction policy, at a cache small enough to thrash (the
+     memfs default of ~150k blocks never evicts at bench scale): a hot
+     set re-read every iteration interleaved with a one-touch scan.
+     FIFO ages the hot blocks out; second-chance spares them. *)
+  let evict_probe policy =
+    let t = Core.boot () in
+    let bd = Kvfs.Block_dev.create ~cache_blocks:64 ~policy (Core.kernel t) in
+    for i = 0 to sc 4_000 - 1 do
+      for h = 0 to 7 do Kvfs.Block_dev.read_block bd h done;
+      Kvfs.Block_dev.read_block bd (1_000 + i)
+    done;
+    Kvfs.Block_dev.stats bd
+  in
+  let hit_rate (st : Kvfs.Block_dev.stats) =
+    100. *. float_of_int st.Kvfs.Block_dev.hits
+    /. float_of_int (max 1 (st.Kvfs.Block_dev.hits + st.Kvfs.Block_dev.misses))
+  in
+  let f = evict_probe Kvfs.Block_dev.Fifo in
+  let s = evict_probe Kvfs.Block_dev.Second_chance in
+  pf "  block-cache eviction (64-block cache, hot set + scan): FIFO %.1f%% \
+      hit rate, second-chance %.1f%% (%+.1f pts), evictions %d -> %d\n"
+    (hit_rate f) (hit_rate s)
+    (hit_rate s -. hit_rate f)
+    f.Kvfs.Block_dev.evictions s.Kvfs.Block_dev.evictions
 
 (* ----------------------------------------------------------------- E8 *)
 
@@ -709,6 +753,91 @@ let e12 () =
         saved)
     [ 1; 4; 8; 32; 128 ]
 
+(* ---------------------------------------------------------------- E13 *)
+
+let e13 () =
+  header "E13" "SMP scalability: global dcache_lock vs sharded dcache"
+    "no direct number — the paper's monitored dcache_lock (8,805 acq/s, \
+     E6) is the canonical contended hot spot; claim under test is the \
+     scaling shape once the global lock is split";
+  (* a dcache-bound serving workload: small documents of heterogeneous
+     size, so path lookups dominate and concurrent instances cannot
+     phase-lock around the global dcache_lock (see Webserver.config) *)
+  let cfg =
+    { Workloads.Webserver.default_config with
+      requests = max 50 (sc 300);
+      doc_size = 8_192;
+      doc_size_spread = 4_096 }
+  in
+  let sweep = [ 1; 2; 4; 8 ] in
+  let modes = [ ("global", 1); ("sharded", 64) ] in
+  pf "  %5s %-8s %8s %12s %11s %10s %10s %12s\n" "ncpus" "dcache" "steps"
+    "makespan(s)" "steps/s" "lock acq" "contended" "spin cycles";
+  let results = Hashtbl.create 8 in
+  List.iter
+    (fun ncpus ->
+      List.iter
+        (fun (mode, shards) ->
+          let t = Core.boot ~ncpus ~dcache_shards:shards () in
+          let insts =
+            Workloads.Smp.webserver_instances ~config:cfg (Core.sys t) ncpus
+          in
+          let r = Workloads.Smp.run (Core.sys t) insts in
+          let tput =
+            float_of_int r.Workloads.Smp.steps /. sec r.Workloads.Smp.makespan
+          in
+          Hashtbl.replace results (ncpus, mode) (r, tput);
+          pf "  %5d %-8s %8d %12.4f %11.0f %10d %9.2f%% %12d\n" ncpus mode
+            r.Workloads.Smp.steps
+            (sec r.Workloads.Smp.makespan)
+            tput r.Workloads.Smp.lock_acquisitions
+            (100.
+            *. float_of_int r.Workloads.Smp.contended
+            /. float_of_int (max 1 r.Workloads.Smp.lock_acquisitions))
+            r.Workloads.Smp.spin_cycles;
+          add_row "E13"
+            (Printf.sprintf
+               "{\"ncpus\":%d,\"dcache\":\"%s\",\"steps\":%d,\
+                \"makespan_cycles\":%d,\"lock_acquisitions\":%d,\
+                \"contended\":%d,\"spin_cycles\":%d}"
+               ncpus mode r.Workloads.Smp.steps r.Workloads.Smp.makespan
+               r.Workloads.Smp.lock_acquisitions r.Workloads.Smp.contended
+               r.Workloads.Smp.spin_cycles))
+        modes)
+    sweep;
+  let tput n m = snd (Hashtbl.find results (n, m)) in
+  pf "  speedup vs 1 cpu: ";
+  List.iter
+    (fun (mode, _) ->
+      pf " %s" mode;
+      List.iter (fun n -> pf " %d:%.2fx" n (tput n mode /. tput 1 mode)) sweep)
+    modes;
+  pf "\n";
+  pf "  sharded vs global at 8 cpus: %.2fx throughput\n"
+    (tput 8 "sharded" /. tput 8 "global");
+  let r1, _ = Hashtbl.find results (1, "global") in
+  pf "  contended acquisitions at 1 cpu: %d (expect 0: no remote holder \
+      can exist)\n"
+    r1.Workloads.Smp.contended;
+  (* the monitoring story: E6's contention monitor pointed at this
+     workload sees the global dcache_lock as the hottest lock *)
+  let t = Core.boot ~ncpus:4 ~dcache_shards:1 () in
+  let d = Core.enable_monitoring t in
+  let mons = Kmonitor.Monitors.register_standard d in
+  let insts = Workloads.Smp.webserver_instances ~config:cfg (Core.sys t) 4 in
+  ignore (Workloads.Smp.run (Core.sys t) insts);
+  Core.disable_monitoring t;
+  let cn = mons.Kmonitor.Monitors.contention in
+  pf "  monitored run (4 cpus, global lock): %d contended events seen, %d \
+      spin cycles attributed\n"
+    cn.Kmonitor.Monitors.cn_events cn.Kmonitor.Monitors.cn_spin_cycles;
+  (match Kmonitor.Monitors.hottest_locks cn with
+  | (obj, hits, spin) :: _ ->
+      pf "  hottest lock: obj=%d with %d contended acquisitions, %d spin \
+          cycles\n"
+        obj hits spin
+  | [] -> pf "  hottest lock: none (no contention observed)\n")
+
 (* ------------------------------------------------- Bechamel microbench *)
 
 let micro () =
@@ -778,7 +907,7 @@ let micro () =
 let all_experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
-    ("E12", e12) ]
+    ("E12", e12); ("E13", e13) ]
 
 (* --- machine-readable kstats output (BENCH_kstats.json) --------------- *)
 
@@ -817,9 +946,6 @@ let summarize xid boots =
     agg;
   }
 
-let find_counter stats name =
-  match Kstats.find stats name with Some (Kstats.Counter_v v) -> v | _ -> 0
-
 (* Per-syscall [(name, count, p50, p99)], from the merged registry. *)
 let syscall_latencies stats =
   List.filter_map
@@ -856,6 +982,16 @@ let json_of_summary b s =
     (syscall_latencies s.agg);
   Buffer.add_string b "},\"metrics\":";
   Buffer.add_string b (Kstats.to_json s.agg);
+  (match Hashtbl.find_opt extra_rows s.xid with
+  | Some rows ->
+      Buffer.add_string b ",\"rows\":[";
+      List.iteri
+        (fun i r ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b r)
+        (List.rev !rows);
+      Buffer.add_char b ']'
+  | None -> ());
   Buffer.add_char b '}'
 
 let write_kstats_json path summaries =

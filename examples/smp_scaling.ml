@@ -1,0 +1,35 @@
+(* Run K web-server instances across N simulated CPUs and watch the
+   global dcache_lock become the bottleneck — then shard it away.
+   A compact version of experiment E13 (bench/main.exe -- E13).
+
+     dune exec examples/smp_scaling.exe
+*)
+
+let () =
+  Kstats.default_enabled := true;
+  (* small documents of heterogeneous size: path lookups dominate, so
+     the dcache lock carries real load *)
+  let cfg =
+    { Workloads.Webserver.default_config with
+      requests = 200;
+      doc_size = 8_192;
+      doc_size_spread = 4_096 }
+  in
+  let run ~ncpus ~shards =
+    let t = Core.boot ~ncpus ~dcache_shards:shards () in
+    let insts = Workloads.Smp.webserver_instances ~config:cfg (Core.sys t) ncpus in
+    let r = Workloads.Smp.run (Core.sys t) insts in
+    Printf.printf
+      "ncpus=%d shards=%-2d steps=%4d makespan=%9d cyc  tput=%8.0f req/s  \
+       acq=%5d contended=%5d spin=%9d\n"
+      ncpus shards r.Workloads.Smp.steps r.Workloads.Smp.makespan
+      (float_of_int r.Workloads.Smp.steps
+      /. Ksim.Sim_clock.cycles_to_seconds r.Workloads.Smp.makespan)
+      r.Workloads.Smp.lock_acquisitions r.Workloads.Smp.contended
+      r.Workloads.Smp.spin_cycles
+  in
+  List.iter
+    (fun ncpus ->
+      run ~ncpus ~shards:1;
+      run ~ncpus ~shards:64)
+    [ 1; 2; 4; 8 ]

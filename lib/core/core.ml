@@ -65,7 +65,13 @@ let ok = function Ok v -> v | Error e -> raise (Sys_error e)
    every system booted during a run to aggregate their kstats. *)
 let on_boot : (t -> unit) ref = ref (fun _ -> ())
 
-let boot ?(config = Ksim.Kernel.default_config) ?(fs = Memfs) () =
+let boot ?(config = Ksim.Kernel.default_config) ?ncpus ?dcache_shards
+    ?(fs = Memfs) () =
+  let config =
+    match ncpus with
+    | None -> config
+    | Some n -> { config with Ksim.Kernel.ncpus = n }
+  in
   let kernel = Ksim.Kernel.create ~config () in
   let kefence_ref = ref None in
   let wrapfs_ref = ref None in
@@ -120,7 +126,7 @@ let boot ?(config = Ksim.Kernel.default_config) ?(fs = Memfs) () =
         journalfs_ref := Some j;
         Kvfs.Journalfs.ops j
   in
-  let sys = Ksyscall.Systable.create ~root_fs kernel in
+  let sys = Ksyscall.Systable.create ~root_fs ?dcache_shards kernel in
   let t =
     {
       kernel;

@@ -62,7 +62,12 @@ exception Sys_error of Kvfs.Vtypes.errno
 (** Unwrap a syscall result.  @raise Sys_error on errno. *)
 val ok : ('a, Kvfs.Vtypes.errno) result -> 'a
 
-val boot : ?config:Ksim.Kernel.config -> ?fs:fs_choice -> unit -> t
+(** [ncpus] overrides the config's simulated CPU count; [dcache_shards]
+    selects the dentry-cache locking mode (1 = global [dcache_lock],
+    more = per-shard locks with lockless reads; see {!Kvfs.Dcache}). *)
+val boot :
+  ?config:Ksim.Kernel.config -> ?ncpus:int -> ?dcache_shards:int ->
+  ?fs:fs_choice -> unit -> t
 
 (** Called with every system {!boot} constructs, before it is returned.
     Harnesses (e.g. the bench driver) hook this to aggregate kstats

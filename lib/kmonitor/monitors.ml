@@ -97,6 +97,41 @@ let spinlock_callback m (ev : Ksim.Instrument.event) =
 let spinlocks_still_held m =
   Hashtbl.fold (fun obj site acc -> (obj, site) :: acc) m.sl_held []
 
+(* --- lock contention monitor -------------------------------------------- *)
+
+(* Watches [Contended] events (emitted when an acquirer found the lock
+   held on another CPU).  This is not an invariant check but the paper's
+   performance-monitoring use of the same stream: find the hot locks.
+   The event's value carries the spin cycles charged. *)
+
+type contention_monitor = {
+  cn_state : (int, int * int) Hashtbl.t;  (* obj -> (contended, spin cycles) *)
+  mutable cn_events : int;
+  mutable cn_spin_cycles : int;
+}
+
+let contention_monitor () =
+  { cn_state = Hashtbl.create 32; cn_events = 0; cn_spin_cycles = 0 }
+
+let contention_callback m (ev : Ksim.Instrument.event) =
+  match ev.Ksim.Instrument.kind with
+  | Ksim.Instrument.Contended ->
+      m.cn_events <- m.cn_events + 1;
+      m.cn_spin_cycles <- m.cn_spin_cycles + ev.Ksim.Instrument.value;
+      let hits, spin =
+        match Hashtbl.find_opt m.cn_state ev.Ksim.Instrument.obj with
+        | Some (h, s) -> (h, s)
+        | None -> (0, 0)
+      in
+      Hashtbl.replace m.cn_state ev.Ksim.Instrument.obj
+        (hits + 1, spin + ev.Ksim.Instrument.value)
+  | _ -> ()
+
+(* Locks by contended-acquisition count, hottest first. *)
+let hottest_locks m =
+  Hashtbl.fold (fun obj (h, s) acc -> (obj, h, s) :: acc) m.cn_state []
+  |> List.sort (fun (_, h1, _) (_, h2, _) -> compare h2 h1)
+
 (* --- interrupt balance monitor ------------------------------------------ *)
 
 type irq_monitor = {
@@ -127,21 +162,25 @@ let irq_callback m (ev : Ksim.Instrument.event) =
       else m.irq_depth <- m.irq_depth - 1
   | _ -> ()
 
-(* Convenience: register the three standard monitors on a dispatcher. *)
+(* Convenience: register the standard monitors on a dispatcher. *)
 type standard = {
   refcounts : refcount_monitor;
   spinlocks : spinlock_monitor;
   irqs : irq_monitor;
+  contention : contention_monitor;
 }
 
 let register_standard dispatcher =
   let refcounts = refcount_monitor () in
   let spinlocks = spinlock_monitor () in
   let irqs = irq_monitor () in
+  let contention = contention_monitor () in
   Dispatcher.register dispatcher ~name:"refcounts" (refcount_callback refcounts);
   Dispatcher.register dispatcher ~name:"spinlocks" (spinlock_callback spinlocks);
   Dispatcher.register dispatcher ~name:"irqs" (irq_callback irqs);
-  { refcounts; spinlocks; irqs }
+  Dispatcher.register dispatcher ~name:"contention"
+    (contention_callback contention);
+  { refcounts; spinlocks; irqs; contention }
 
 let all_violations s =
   s.refcounts.rc_violations @ s.spinlocks.sl_violations @ s.irqs.irq_violations

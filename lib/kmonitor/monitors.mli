@@ -40,6 +40,26 @@ val spinlock_monitor : unit -> spinlock_monitor
 val spinlock_callback : spinlock_monitor -> Ksim.Instrument.event -> unit
 val spinlocks_still_held : spinlock_monitor -> (int * (string * int)) list
 
+(** {2 Lock contention}
+
+    Not an invariant check but the paper's performance-monitoring use of
+    the same event stream: count [Contended] events (whose value carries
+    the spin cycles charged) per lock to find the hot ones. *)
+
+type contention_monitor = {
+  cn_state : (int, int * int) Hashtbl.t;
+      (** obj -> (contended acquisitions, spin cycles) *)
+  mutable cn_events : int;
+  mutable cn_spin_cycles : int;
+}
+
+val contention_monitor : unit -> contention_monitor
+val contention_callback : contention_monitor -> Ksim.Instrument.event -> unit
+
+(** Locks by contended-acquisition count, hottest first:
+    [(obj, contended, spin cycles)]. *)
+val hottest_locks : contention_monitor -> (int * int * int) list
+
 (** {2 Interrupt balance} *)
 
 type irq_monitor = {
@@ -57,9 +77,10 @@ type standard = {
   refcounts : refcount_monitor;
   spinlocks : spinlock_monitor;
   irqs : irq_monitor;
+  contention : contention_monitor;
 }
 
-(** Register the three standard monitors on a dispatcher. *)
+(** Register the standard monitors on a dispatcher. *)
 val register_standard : Dispatcher.t -> standard
 
 val all_violations : standard -> violation list

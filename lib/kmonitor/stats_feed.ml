@@ -42,7 +42,7 @@ let emit t =
       | Some view ->
           Ksim.Instrument.emit ~obj:i ~value:(scalar_of_view view)
             ~kind:(Ksim.Instrument.Custom snapshot_kind)
-            ~file:name ~line:t.snapshots)
+            ~file:name ~line:t.snapshots ())
     (Kstats.names stats)
 
 (* Called from wherever is convenient (timer tick, syscall exit, bench

@@ -44,6 +44,12 @@ type t = {
   disk_read_block : int;
   disk_write_block : int;
   log_write_per_event : int; (* writing one event record to the log disk *)
+  (* SMP / lock contention *)
+  spin_cap : int;            (* max cycles spent spinning before blocking *)
+  cacheline_bounce : int;    (* pulling a contended lock's line cross-CPU *)
+  lock_hold : int;           (* nominal critical-section length under a
+                                kernel spinlock; charged while the lock is
+                                held on SMP so hold windows have width *)
   (* scheduling *)
   timeslice : int;           (* preemption quantum *)
   max_kernel_cycles : int;   (* Cosy watchdog budget *)
@@ -82,6 +88,9 @@ let default =
     disk_read_block = 200_000;
     disk_write_block = 220_000;
     log_write_per_event = 15_000;
+    spin_cap = 20_000;          (* ~a couple of syscall round trips *)
+    cacheline_bounce = 240;     (* cross-CPU MESI transfer of a hot line *)
+    lock_hold = 5_000;          (* hash walk + bucket update under the lock *)
     timeslice = 1_000_000;
     max_kernel_cycles = 500_000_000;
   }
@@ -121,6 +130,9 @@ let zero =
     disk_read_block = 0;
     disk_write_block = 0;
     log_write_per_event = 0;
+    spin_cap = 0;
+    cacheline_bounce = 0;
+    lock_hold = 0;
     timeslice = max_int;
     max_kernel_cycles = max_int;
   }

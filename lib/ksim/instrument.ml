@@ -8,6 +8,7 @@
 type kind =
   | Lock
   | Unlock
+  | Contended
   | Ref_inc
   | Ref_dec
   | Irq_disable
@@ -25,6 +26,7 @@ let kind_code = function
   | Irq_enable -> 6
   | Sem_down -> 7
   | Sem_up -> 8
+  | Contended -> 9
   | Custom n -> 100 + n
 
 (* Registration table for [Custom] kinds, so subsystem-defined events
@@ -40,6 +42,7 @@ let pp_kind ppf k =
     match k with
     | Lock -> "lock"
     | Unlock -> "unlock"
+    | Contended -> "contended"
     | Ref_inc -> "ref-inc"
     | Ref_dec -> "ref-dec"
     | Irq_disable -> "irq-disable"
@@ -54,18 +57,20 @@ let pp_kind ppf k =
   Fmt.string ppf s
 
 (* Mirrors the paper's per-event record: an object reference, an event
-   type, and the source file/line that triggered it. *)
+   type, the source file/line that triggered it, and the process on whose
+   behalf it fired (0 = interrupt/unattributed context). *)
 type event = {
   obj : int;          (* identity of the affected kernel object *)
   value : int;        (* current value, e.g. refcount after the event *)
   kind : kind;
   file : string;
   line : int;
+  pid : int;          (* acting process, 0 when unattributed *)
 }
 
 let pp_event ppf e =
-  Fmt.pf ppf "obj=%d %a value=%d (%s:%d)" e.obj pp_kind e.kind e.value e.file
-    e.line
+  Fmt.pf ppf "obj=%d %a value=%d pid=%d (%s:%d)" e.obj pp_kind e.kind e.value
+    e.pid e.file e.line
 
 (* Default: instrumentation compiled out — events vanish at the cost of a
    single indirect call, as in an uninstrumented kernel. *)
@@ -73,5 +78,5 @@ let log : (event -> unit) ref = ref (fun _ -> ())
 
 let enabled = ref false
 
-let emit ~obj ~value ~kind ~file ~line =
-  if !enabled then !log { obj; value; kind; file; line }
+let emit ?(pid = 0) ~obj ~value ~kind ~file ~line () =
+  if !enabled then !log { obj; value; kind; file; line; pid }

@@ -6,9 +6,12 @@ type config = {
   page_size : int;
   cost : Cost_model.t;
   phys_frames_hint : int;
+  ncpus : int;
 }
 
-let default_config = { page_size = 4096; cost = Cost_model.default; phys_frames_hint = 1024 }
+let default_config =
+  { page_size = 4096; cost = Cost_model.default; phys_frames_hint = 1024;
+    ncpus = 1 }
 
 type mode = User | Kernel_mode
 
@@ -50,7 +53,10 @@ let create ?(config = default_config) () =
   let alloc =
     Kalloc.create ~stats:kstats ~space:kspace ~clock ~cost:config.cost ()
   in
-  let sched = Scheduler.create ~stats:kstats ~clock ~cost:config.cost () in
+  let sched =
+    Scheduler.create ~stats:kstats ~ncpus:config.ncpus ~clock ~cost:config.cost
+      ()
+  in
   let k =
     {
       config;
@@ -86,6 +92,15 @@ let stats t = t.kstats
 let now t = Sim_clock.now t.clock
 let current t = Scheduler.current t.sched
 let mode t = t.mode
+
+(* Wiring for contention-aware spinlocks (see Spinlock.ctx). *)
+let lock_ctx t =
+  {
+    Spinlock.sched = t.sched;
+    clock = t.clock;
+    cost = t.config.cost;
+    stats = t.kstats;
+  }
 
 (* --- user/kernel boundary -------------------------------------------- *)
 
@@ -175,7 +190,7 @@ let bytes_to_user t = t.bytes_copied_kernel_to_user
 let irq_disable ?(file = "<unknown>") ?(line = 0) t =
   t.irq_depth <- t.irq_depth + 1;
   Instrument.emit ~obj:0 ~value:t.irq_depth ~kind:Instrument.Irq_disable ~file
-    ~line
+    ~line ()
 
 exception Irq_unbalanced
 
@@ -183,7 +198,7 @@ let irq_enable ?(file = "<unknown>") ?(line = 0) t =
   if t.irq_depth = 0 then raise Irq_unbalanced;
   t.irq_depth <- t.irq_depth - 1;
   Instrument.emit ~obj:0 ~value:t.irq_depth ~kind:Instrument.Irq_enable ~file
-    ~line
+    ~line ()
 
 let irq_depth t = t.irq_depth
 

@@ -12,6 +12,7 @@ type config = {
   page_size : int;
   cost : Cost_model.t;
   phys_frames_hint : int;
+  ncpus : int;  (** simulated CPUs; 1 in [default_config] *)
 }
 
 val default_config : config
@@ -47,6 +48,10 @@ val now : t -> int
 val current : t -> Kproc.t
 
 val mode : t -> mode
+
+(** Scheduler/clock/cost wiring that makes a {!Spinlock} created from it
+    contention-aware and feeds its [lock.*] kstats. *)
+val lock_ctx : t -> Spinlock.ctx
 
 exception Kernel_mode_violation of string
 

@@ -13,6 +13,7 @@ let pp_state ppf s =
 type t = {
   pid : int;
   name : string;
+  mutable cpu : int;                (* simulated CPU this process runs on *)
   mutable state : state;
   mutable utime : int;              (* cycles spent in user mode *)
   mutable stime : int;              (* cycles spent in kernel mode *)
@@ -26,10 +27,11 @@ type t = {
   mutable cwd : string;
 }
 
-let create ~pid ~name =
+let create ?(cpu = 0) ~pid ~name () =
   {
     pid;
     name;
+    cpu;
     state = Ready;
     utime = 0;
     stime = 0;

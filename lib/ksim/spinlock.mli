@@ -1,19 +1,42 @@
-(** Spinlock with instrumentation hooks.
+(** Spinlock with instrumentation hooks and an SMP contention model.
 
-    The simulation is single-threaded, so a contended lock indicates a
-    locking bug rather than a wait: recursive acquisition and unlocking a
-    free lock raise {!Deadlock}.  Every acquire/release emits an
-    {!Ksim.Instrument.event}, which is how experiment E6 counts
-    [dcache_lock] acquisitions. *)
+    Execution is serialized, so a recursive acquisition or unlocking a
+    free lock still indicates a locking bug and raises {!Deadlock}.
+    When a lock is created with a {!ctx}, contention is derived from the
+    scheduler's per-CPU local clocks: each critical section charges
+    [Cost_model.lock_hold] cycles and records its hold window in
+    parallel time; an acquirer on a different CPU whose local time lands
+    inside another CPU's window waits for that hold's release (chaining
+    through convoys), charged as spin cycles up to [Cost_model.spin_cap]
+    and as a blocking context switch beyond, plus a cacheline bounce for
+    the cross-CPU ownership migration.  At ncpus=1 no contention cost is
+    ever charged, preserving single-CPU runs bit-for-bit.
+
+    Every acquire/release emits an {!Ksim.Instrument.event}, which is
+    how experiment E6 counts [dcache_lock] acquisitions; contended
+    acquisitions additionally emit a [Contended] event whose value is
+    the spin cycles charged. *)
+
+(** Scheduler/clock/cost wiring that makes a lock contention-aware and
+    feeds its [lock.<name>.*] kstats (acquisitions, contended,
+    spin_cycles).  Obtain one via [Kernel.lock_ctx]. *)
+type ctx = {
+  sched : Scheduler.t;
+  clock : Sim_clock.t;
+  cost : Cost_model.t;
+  stats : Kstats.t;
+}
 
 type t
 
-val create : string -> t
+(** Without [ctx] the lock is purely functional bookkeeping (no
+    contention model, no kstats) — the pre-SMP behaviour. *)
+val create : ?ctx:ctx -> string -> t
 
 exception Deadlock of string
 
 (** Acquire.  [file]/[line] flow into the instrumentation event; [pid]
-    identifies the holder for recursion detection.
+    identifies the holder for recursion detection and event attribution.
     @raise Deadlock on recursive acquisition by the same [pid]. *)
 val lock : ?file:string -> ?line:int -> ?pid:int -> t -> unit
 
@@ -27,6 +50,12 @@ val is_locked : t -> bool
 
 (** Total acquisitions over the lock's lifetime. *)
 val acquisitions : t -> int
+
+(** Acquisitions that found the lock held on another CPU. *)
+val contended : t -> int
+
+(** Total cycles spent spinning on this lock. *)
+val spin_cycles : t -> int
 
 (** Instrumentation identity of this lock (the [obj] field of its events). *)
 val id : t -> int

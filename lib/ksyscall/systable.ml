@@ -26,8 +26,8 @@ type t = {
   st_total : Kstats.counter;
 }
 
-let create ?root_fs kernel =
-  let vfs = Kvfs.Vfs.create ?root_fs kernel in
+let create ?root_fs ?dcache_shards kernel =
+  let vfs = Kvfs.Vfs.create ?root_fs ?dcache_shards kernel in
   {
     kernel;
     vfs;

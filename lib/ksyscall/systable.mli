@@ -18,7 +18,8 @@ type trace_record = {
 
 type t
 
-val create : ?root_fs:Kvfs.Vtypes.ops -> Ksim.Kernel.t -> t
+val create :
+  ?root_fs:Kvfs.Vtypes.ops -> ?dcache_shards:int -> Ksim.Kernel.t -> t
 
 val kernel : t -> Ksim.Kernel.t
 val vfs : t -> Kvfs.Vfs.t

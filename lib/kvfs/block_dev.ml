@@ -1,32 +1,40 @@
 (* Simulated block device with a buffer cache.  Filesystems charge disk
    costs through here; the cache means repeated access to hot metadata is
    cheap, which is what makes PostMark metadata-rate-bound rather than
-   seek-bound in E6/E7. *)
+   seek-bound in E6/E7.
+
+   Eviction is second-chance (clock): each resident block carries a
+   reference bit, set on every hit.  The evictor walks the arrival queue;
+   a block with its bit set is spared (bit cleared, re-queued) and the
+   first block with a clear bit is evicted.  Hot blocks therefore survive
+   a scan that would flush a plain FIFO. *)
+
+type policy = Fifo | Second_chance
 
 type t = {
   kernel : Ksim.Kernel.t;
   block_size : int;
   cache_blocks : int;
-  cache : (int, unit) Hashtbl.t;   (* resident block numbers *)
-  arrival : int Queue.t;           (* FIFO eviction order *)
+  policy : policy;
+  cache : (int, bool ref) Hashtbl.t;  (* resident -> reference bit *)
+  arrival : int Queue.t;              (* clock hand order *)
   kstats : Kstats.t;
   st_reads : Kstats.counter;
   st_writes : Kstats.counter;
   st_cache_hits : Kstats.counter;
   st_cache_misses : Kstats.counter;
-  mutable reads : int;
-  mutable writes : int;
-  mutable cache_hits : int;
-  mutable cache_misses : int;
-  mutable last_block : int;        (* for seek-distance modelling *)
+  st_evictions : Kstats.counter;
+  mutable last_block : int;           (* for seek-distance modelling *)
 }
 
-let create ?(block_size = 4096) ?(cache_blocks = 150_000) kernel =
+let create ?(block_size = 4096) ?(cache_blocks = 150_000)
+    ?(policy = Second_chance) kernel =
   let kstats = Ksim.Kernel.stats kernel in
   {
     kernel;
     block_size;
     cache_blocks;
+    policy;
     cache = Hashtbl.create (2 * cache_blocks);
     arrival = Queue.create ();
     kstats;
@@ -34,10 +42,7 @@ let create ?(block_size = 4096) ?(cache_blocks = 150_000) kernel =
     st_writes = Kstats.counter kstats "blockdev.writes";
     st_cache_hits = Kstats.counter kstats "blockdev.cache_hits";
     st_cache_misses = Kstats.counter kstats "blockdev.cache_misses";
-    reads = 0;
-    writes = 0;
-    cache_hits = 0;
-    cache_misses = 0;
+    st_evictions = Kstats.counter kstats "blockdev.evictions";
     last_block = 0;
   }
 
@@ -55,43 +60,70 @@ let seek_cost t blk =
   else if distance <= 8 then cost.Ksim.Cost_model.disk_seek / 100
   else cost.Ksim.Cost_model.disk_seek
 
+let evict_one t =
+  let rec hand () =
+    match Queue.take_opt t.arrival with
+    | None -> ()
+    | Some candidate -> (
+        match Hashtbl.find_opt t.cache candidate with
+        | None -> hand ()  (* stale queue entry *)
+        | Some refbit ->
+            if t.policy = Second_chance && !refbit then begin
+              refbit := false;
+              Queue.push candidate t.arrival;
+              hand ()
+            end
+            else begin
+              Hashtbl.remove t.cache candidate;
+              Kstats.incr t.kstats t.st_evictions
+            end)
+  in
+  hand ()
+
 let touch t blk =
-  if not (Hashtbl.mem t.cache blk) then begin
-    Hashtbl.replace t.cache blk ();
-    Queue.push blk t.arrival;
-    (* FIFO eviction: O(1), close enough to the page cache's clock *)
-    if Hashtbl.length t.cache > t.cache_blocks then
-      match Queue.take_opt t.arrival with
-      | Some victim -> Hashtbl.remove t.cache victim
-      | None -> ()
-  end
+  match Hashtbl.find_opt t.cache blk with
+  | Some refbit -> refbit := true
+  | None ->
+      Hashtbl.replace t.cache blk (ref false);
+      Queue.push blk t.arrival;
+      if Hashtbl.length t.cache > t.cache_blocks then evict_one t
 
 (* Read one block: free on cache hit, seek+transfer on miss. *)
 let read_block t blk =
-  t.reads <- t.reads + 1;
   Kstats.incr t.kstats t.st_reads;
-  if Hashtbl.mem t.cache blk then begin
-    t.cache_hits <- t.cache_hits + 1;
-    Kstats.incr t.kstats t.st_cache_hits
-  end
-  else begin
-    t.cache_misses <- t.cache_misses + 1;
-    Kstats.incr t.kstats t.st_cache_misses;
-    let cost = Ksim.Kernel.cost t.kernel in
-    charge t (seek_cost t blk + cost.Ksim.Cost_model.disk_read_block);
-    touch t blk
-  end
+  match Hashtbl.find_opt t.cache blk with
+  | Some refbit ->
+      refbit := true;
+      Kstats.incr t.kstats t.st_cache_hits
+  | None ->
+      Kstats.incr t.kstats t.st_cache_misses;
+      let cost = Ksim.Kernel.cost t.kernel in
+      charge t (seek_cost t blk + cost.Ksim.Cost_model.disk_read_block);
+      touch t blk
 
 (* Write one block: write-back model — the block enters the cache and a
    fraction of the transfer cost is charged to model the flusher. *)
 let write_block t blk =
-  t.writes <- t.writes + 1;
   Kstats.incr t.kstats t.st_writes;
   let cost = Ksim.Kernel.cost t.kernel in
   charge t (cost.Ksim.Cost_model.disk_write_block / 10);
   touch t blk
 
-type stats = { reads : int; writes : int; hits : int; misses : int }
+type stats = {
+  reads : int;
+  writes : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
 
+(* Derived entirely from the kstats counters, so the two reporting paths
+   can never disagree. *)
 let stats (t : t) =
-  { reads = t.reads; writes = t.writes; hits = t.cache_hits; misses = t.cache_misses }
+  {
+    reads = Kstats.counter_value t.st_reads;
+    writes = Kstats.counter_value t.st_writes;
+    hits = Kstats.counter_value t.st_cache_hits;
+    misses = Kstats.counter_value t.st_cache_misses;
+    evictions = Kstats.counter_value t.st_evictions;
+  }

@@ -6,18 +6,35 @@
     miss with a seek (full cost for far seeks, discounted for
     sequential); writes are write-back with an amortized flusher charge.
     All disk time is charged as I/O wait: it counts toward elapsed time
-    but not system time. *)
+    but not system time.
+
+    Eviction is second-chance (clock) by default: a reference bit set on
+    every hit spares hot blocks one trip of the hand, so a sequential
+    scan no longer flushes the working set the way plain FIFO does.
+    [Fifo] remains available for comparison (experiment E7 reports the
+    hit-rate delta). *)
 
 type t
 
+type policy = Fifo | Second_chance
+
 (** [cache_blocks] defaults to ~150k blocks (≈600 MB, the page cache of
-    the paper's 884 MB testbed). *)
-val create : ?block_size:int -> ?cache_blocks:int -> Ksim.Kernel.t -> t
+    the paper's 884 MB testbed); [policy] defaults to [Second_chance]. *)
+val create :
+  ?block_size:int -> ?cache_blocks:int -> ?policy:policy -> Ksim.Kernel.t -> t
 
 val block_size : t -> int
 val read_block : t -> int -> unit
 val write_block : t -> int -> unit
 
-type stats = { reads : int; writes : int; hits : int; misses : int }
+type stats = {
+  reads : int;
+  writes : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
 
+(** Derived from the [blockdev.*] kstats counters, so the two reporting
+    paths can never disagree. *)
 val stats : t -> stats

@@ -22,7 +22,7 @@ type t = {
   mutable path_components_resolved : int;
 }
 
-let create ?(root_fs : Vtypes.ops option) kernel =
+let create ?(root_fs : Vtypes.ops option) ?(dcache_shards = 1) kernel =
   let root_fs =
     match root_fs with
     | Some fs -> fs
@@ -30,7 +30,9 @@ let create ?(root_fs : Vtypes.ops option) kernel =
   in
   {
     kernel;
-    dcache = Dcache.create ~stats:(Ksim.Kernel.stats kernel) ();
+    dcache =
+      Dcache.create ~stats:(Ksim.Kernel.stats kernel)
+        ~ctx:(Ksim.Kernel.lock_ctx kernel) ~shards:dcache_shards ();
     mounts = [ { prefix = "/"; fs = root_fs } ];
     files = Hashtbl.create 256;
     next_handle = 1;
@@ -40,6 +42,9 @@ let create ?(root_fs : Vtypes.ops option) kernel =
 
 let dcache t = t.dcache
 
+(* Attribute dcache lock events to the process driving the operation. *)
+let cur_pid t = (Ksim.Kernel.current t.kernel).Ksim.Kproc.pid
+
 let mount t ~prefix ~fs =
   if prefix = "" || prefix.[0] <> '/' then invalid_arg "Vfs.mount: prefix";
   t.mounts <- { prefix; fs } :: t.mounts;
@@ -48,7 +53,7 @@ let mount t ~prefix ~fs =
     List.sort
       (fun a b -> compare (String.length b.prefix) (String.length a.prefix))
       t.mounts;
-  Dcache.clear t.dcache
+  Dcache.clear ~pid:(cur_pid t) t.dcache
 
 let umount t ~prefix =
   match List.find_opt (fun m -> m.prefix = prefix) t.mounts with
@@ -56,7 +61,7 @@ let umount t ~prefix =
   | Some m ->
       m.fs.Vtypes.destroy_private ();
       t.mounts <- List.filter (fun m' -> m' != m) t.mounts;
-      Dcache.clear t.dcache;
+      Dcache.clear ~pid:(cur_pid t) t.dcache;
       Ok ()
 
 let split_path path =
@@ -89,13 +94,13 @@ let walk t (fs : Vtypes.ops) rel =
     | [] -> Ok dir
     | name :: rest -> (
         t.path_components_resolved <- t.path_components_resolved + 1;
-        match Dcache.lookup t.dcache ~dir ~name with
+        match Dcache.lookup ~pid:(cur_pid t) t.dcache ~dir ~name with
         | Some ino -> go ino rest
         | None -> (
             match fs.Vtypes.lookup ~dir name with
             | Error e -> Error e
             | Ok ino ->
-                Dcache.insert t.dcache ~dir ~name ~ino;
+                Dcache.insert ~pid:(cur_pid t) t.dcache ~dir ~name ~ino;
                 go ino rest))
   in
   go fs.Vtypes.root (split_path rel)
@@ -120,13 +125,13 @@ let resolve_parent t path =
           let rec go dir = function
             | [] -> Ok dir
             | c :: rest -> (
-                match Dcache.lookup t.dcache ~dir ~name:c with
+                match Dcache.lookup ~pid:(cur_pid t) t.dcache ~dir ~name:c with
                 | Some ino -> go ino rest
                 | None -> (
                     match fs.Vtypes.lookup ~dir c with
                     | Error e -> Error e
                     | Ok ino ->
-                        Dcache.insert t.dcache ~dir ~name:c ~ino;
+                        Dcache.insert ~pid:(cur_pid t) t.dcache ~dir ~name:c ~ino;
                         go ino rest))
           in
           match go fs.Vtypes.root parent_components with
@@ -150,7 +155,7 @@ let open_file t path flags =
             match fs.Vtypes.create ~dir ~name Vtypes.Regular with
             | Error e -> Error e
             | Ok ino ->
-                Dcache.insert t.dcache ~dir ~name ~ino;
+                Dcache.insert ~pid:(cur_pid t) t.dcache ~dir ~name ~ino;
                 Ok (fs, ino)))
     | Error e -> Error e
   in
@@ -266,7 +271,7 @@ let mkdir t path =
       match fs.Vtypes.create ~dir ~name Vtypes.Directory with
       | Error e -> Error e
       | Ok ino ->
-          Dcache.insert t.dcache ~dir ~name ~ino;
+          Dcache.insert ~pid:(cur_pid t) t.dcache ~dir ~name ~ino;
           Ok ino)
 
 let unlink t path =
@@ -276,7 +281,7 @@ let unlink t path =
       match fs.Vtypes.unlink ~dir ~name with
       | Error e -> Error e
       | Ok () ->
-          Dcache.invalidate t.dcache ~dir ~name;
+          Dcache.invalidate ~pid:(cur_pid t) t.dcache ~dir ~name;
           Ok ())
 
 let rename t ~src ~dst =
@@ -288,8 +293,8 @@ let rename t ~src ~dst =
         match fs1.Vtypes.rename ~src_dir:sdir ~src:sname ~dst_dir:ddir ~dst:dname with
         | Error e -> Error e
         | Ok () ->
-            Dcache.invalidate t.dcache ~dir:sdir ~name:sname;
-            Dcache.invalidate t.dcache ~dir:ddir ~name:dname;
+            Dcache.invalidate ~pid:(cur_pid t) t.dcache ~dir:sdir ~name:sname;
+            Dcache.invalidate ~pid:(cur_pid t) t.dcache ~dir:ddir ~name:dname;
             Ok ()
       end
 

@@ -4,9 +4,11 @@
 
 type t
 
-(** [create ?root_fs kernel]; the root filesystem defaults to a fresh
-    memfs. *)
-val create : ?root_fs:Vtypes.ops -> Ksim.Kernel.t -> t
+(** [create ?root_fs ?dcache_shards kernel]; the root filesystem
+    defaults to a fresh memfs.  [dcache_shards] selects the dentry-cache
+    locking mode: 1 (default) is the global [dcache_lock]; more shards
+    enable per-shard locks with lockless reads (see {!Dcache}). *)
+val create : ?root_fs:Vtypes.ops -> ?dcache_shards:int -> Ksim.Kernel.t -> t
 
 val dcache : t -> Dcache.t
 

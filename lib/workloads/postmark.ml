@@ -2,7 +2,12 @@
    the paper for E6 and E7.  Create an initial pool of files with sizes
    uniform in [min_size, max_size]; run [transactions] transactions, each
    pairing a create-or-delete with a read-or-append; then delete the
-   remaining pool. *)
+   remaining pool.
+
+   The benchmark is factored as a stepper ([make] / [step]) so the SMP
+   driver can interleave several instances one operation at a time across
+   simulated CPUs; [run] drives a single instance to completion and is
+   operation-for-operation identical to the original monolithic loop. *)
 
 type config = {
   files : int;
@@ -36,6 +41,27 @@ type stats = {
   times : Ksim.Kernel.times;
 }
 
+type phase =
+  | Pool of int          (* initial creates remaining *)
+  | Trans of int         (* transactions remaining *)
+  | Cleanup of int list  (* ids left to delete, sorted *)
+  | Finished
+
+type t = {
+  sys : Ksyscall.Systable.t;
+  cfg : config;
+  rng : Wutil.rng;
+  live : (int, unit) Hashtbl.t;
+  mutable next_id : int;
+  mutable phase : phase;
+  mutable created : int;
+  mutable deleted : int;
+  mutable read : int;
+  mutable appended : int;
+  mutable data_read : int;
+  mutable data_written : int;
+}
+
 let file_name cfg i = Printf.sprintf "%s/pm%06d" cfg.dir i
 
 let create_file sys cfg rng i =
@@ -50,94 +76,128 @@ let create_file sys cfg rng i =
   ignore (Wutil.ok (Ksyscall.Usyscall.sys_close sys ~fd));
   written
 
-let run ?(config = default_config) sys =
-  let cfg = config in
-  let kernel = Ksyscall.Systable.kernel sys in
-  let rng = Wutil.rng cfg.seed in
-  ignore (Ksyscall.Usyscall.sys_mkdir sys ~path:cfg.dir);
-  let live = Hashtbl.create cfg.files in
-  let next_id = ref 0 in
-  let created = ref 0
-  and deleted = ref 0
-  and read = ref 0
-  and appended = ref 0
-  and data_read = ref 0
-  and data_written = ref 0 in
-  let pick_live () =
-    (* deterministic pick: nth of the current live set *)
-    let n = Hashtbl.length live in
-    if n = 0 then None
-    else begin
-      let k = Wutil.rand_int rng n in
-      let i = ref 0 in
-      let found = ref None in
-      Hashtbl.iter
-        (fun id () ->
-          if !i = k && !found = None then found := Some id;
-          incr i)
-        live;
-      !found
-    end
-  in
-  let create_one () =
-    let id = !next_id in
-    incr next_id;
-    data_written := !data_written + create_file sys cfg rng id;
-    Hashtbl.replace live id ();
-    incr created
-  in
-  let delete_one id =
-    ignore (Wutil.ok (Ksyscall.Usyscall.sys_unlink sys ~path:(file_name cfg id)));
-    Hashtbl.remove live id;
-    incr deleted
-  in
-  let read_one id =
-    let path = file_name cfg id in
-    let fd = Wutil.ok (Ksyscall.Usyscall.sys_open sys ~path ~flags:[ Kvfs.Vfs.O_RDONLY ]) in
-    let st = Wutil.ok (Ksyscall.Usyscall.sys_fstat sys ~fd) in
-    let data =
-      Wutil.ok (Ksyscall.Usyscall.sys_read sys ~fd ~len:st.Kvfs.Vtypes.st_size)
-    in
-    data_read := !data_read + Bytes.length data;
-    ignore (Wutil.ok (Ksyscall.Usyscall.sys_close sys ~fd));
-    incr read
-  in
-  let append_one id =
-    let path = file_name cfg id in
-    let fd =
-      Wutil.ok (Ksyscall.Usyscall.sys_open sys ~path ~flags:[ Kvfs.Vfs.O_RDWR; Kvfs.Vfs.O_APPEND ])
-    in
-    let n = Wutil.rand_range rng cfg.min_size (max cfg.min_size (cfg.max_size / 4)) in
-    data_written :=
-      !data_written + Wutil.ok (Ksyscall.Usyscall.sys_write sys ~fd ~data:(Wutil.payload n));
-    ignore (Wutil.ok (Ksyscall.Usyscall.sys_close sys ~fd));
-    incr appended
-  in
-  let body () =
-    (* phase 1: initial pool *)
-    for _ = 1 to cfg.files do
-      create_one ()
-    done;
-    (* phase 2: transactions *)
-    for _ = 1 to cfg.transactions do
-      (if Wutil.rand_bool rng then create_one ()
-       else match pick_live () with Some id -> delete_one id | None -> create_one ());
-      (match pick_live () with
-      | Some id -> if Wutil.rand_bool rng then read_one id else append_one id
-      | None -> ());
-      cfg.pump ()
-    done;
-    (* phase 3: delete the remainder *)
-    let remaining = Hashtbl.fold (fun id () acc -> id :: acc) live [] in
-    List.iter delete_one (List.sort compare remaining)
-  in
-  let (), times = Ksim.Kernel.timed kernel body in
+(* Creates the working directory (untimed, as before the refactor). *)
+let make ?(config = default_config) sys =
+  ignore (Ksyscall.Usyscall.sys_mkdir sys ~path:config.dir);
   {
-    created = !created;
-    deleted = !deleted;
-    read = !read;
-    appended = !appended;
-    data_read = !data_read;
-    data_written = !data_written;
+    sys;
+    cfg = config;
+    rng = Wutil.rng config.seed;
+    live = Hashtbl.create config.files;
+    next_id = 0;
+    phase = (if config.files > 0 then Pool config.files
+             else Trans config.transactions);
+    created = 0;
+    deleted = 0;
+    read = 0;
+    appended = 0;
+    data_read = 0;
+    data_written = 0;
+  }
+
+let pick_live t =
+  (* deterministic pick: nth of the current live set *)
+  let n = Hashtbl.length t.live in
+  if n = 0 then None
+  else begin
+    let k = Wutil.rand_int t.rng n in
+    let i = ref 0 in
+    let found = ref None in
+    Hashtbl.iter
+      (fun id () ->
+        if !i = k && !found = None then found := Some id;
+        incr i)
+      t.live;
+    !found
+  end
+
+let create_one t =
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  t.data_written <- t.data_written + create_file t.sys t.cfg t.rng id;
+  Hashtbl.replace t.live id ();
+  t.created <- t.created + 1
+
+let delete_one t id =
+  ignore (Wutil.ok (Ksyscall.Usyscall.sys_unlink t.sys ~path:(file_name t.cfg id)));
+  Hashtbl.remove t.live id;
+  t.deleted <- t.deleted + 1
+
+let read_one t id =
+  let path = file_name t.cfg id in
+  let fd = Wutil.ok (Ksyscall.Usyscall.sys_open t.sys ~path ~flags:[ Kvfs.Vfs.O_RDONLY ]) in
+  let st = Wutil.ok (Ksyscall.Usyscall.sys_fstat t.sys ~fd) in
+  let data =
+    Wutil.ok (Ksyscall.Usyscall.sys_read t.sys ~fd ~len:st.Kvfs.Vtypes.st_size)
+  in
+  t.data_read <- t.data_read + Bytes.length data;
+  ignore (Wutil.ok (Ksyscall.Usyscall.sys_close t.sys ~fd));
+  t.read <- t.read + 1
+
+let append_one t id =
+  let path = file_name t.cfg id in
+  let fd =
+    Wutil.ok (Ksyscall.Usyscall.sys_open t.sys ~path ~flags:[ Kvfs.Vfs.O_RDWR; Kvfs.Vfs.O_APPEND ])
+  in
+  let cfg = t.cfg in
+  let n = Wutil.rand_range t.rng cfg.min_size (max cfg.min_size (cfg.max_size / 4)) in
+  t.data_written <-
+    t.data_written + Wutil.ok (Ksyscall.Usyscall.sys_write t.sys ~fd ~data:(Wutil.payload n));
+  ignore (Wutil.ok (Ksyscall.Usyscall.sys_close t.sys ~fd));
+  t.appended <- t.appended + 1
+
+let enter_cleanup t =
+  let remaining = Hashtbl.fold (fun id () acc -> id :: acc) t.live [] in
+  match List.sort compare remaining with
+  | [] -> Finished
+  | ids -> Cleanup ids
+
+(* One operation of the benchmark: an initial-pool create, a full
+   transaction, or one cleanup delete.  Returns false once finished. *)
+let step t =
+  match t.phase with
+  | Finished -> false
+  | Pool k ->
+      create_one t;
+      t.phase <-
+        (if k > 1 then Pool (k - 1)
+         else if t.cfg.transactions > 0 then Trans t.cfg.transactions
+         else enter_cleanup t);
+      true
+  | Trans k ->
+      (if Wutil.rand_bool t.rng then create_one t
+       else match pick_live t with Some id -> delete_one t id | None -> create_one t);
+      (match pick_live t with
+      | Some id -> if Wutil.rand_bool t.rng then read_one t id else append_one t id
+      | None -> ());
+      t.cfg.pump ();
+      t.phase <- (if k > 1 then Trans (k - 1) else enter_cleanup t);
+      true
+  | Cleanup [] ->
+      t.phase <- Finished;
+      false
+  | Cleanup (id :: rest) ->
+      delete_one t id;
+      t.phase <- (if rest = [] then Finished else Cleanup rest);
+      true
+
+let finished t = t.phase = Finished
+
+let stats_of t times =
+  {
+    created = t.created;
+    deleted = t.deleted;
+    read = t.read;
+    appended = t.appended;
+    data_read = t.data_read;
+    data_written = t.data_written;
     times;
   }
+
+let run ?(config = default_config) sys =
+  let kernel = Ksyscall.Systable.kernel sys in
+  let t = make ~config sys in
+  let (), times =
+    Ksim.Kernel.timed kernel (fun () -> while step t do () done)
+  in
+  stats_of t times

@@ -7,13 +7,27 @@
 type config = {
   documents : int;
   doc_size : int;
+  doc_size_spread : int;
+      (* when nonzero, document sizes are drawn (deterministically from
+         [seed]) from [doc_size - spread, doc_size + spread] instead of
+         being uniform.  Real document trees are heterogeneous; uniform
+         sizes make every request cost identical, which lets concurrent
+         server instances phase-lock around a contended dcache lock and
+         understates contention in the SMP experiment (E13). *)
   requests : int;
   seed : int;
   dir : string;
 }
 
 let default_config =
-  { documents = 50; doc_size = 16_384; requests = 500; seed = 3; dir = "/www" }
+  {
+    documents = 50;
+    doc_size = 16_384;
+    doc_size_spread = 0;
+    requests = 500;
+    seed = 3;
+    dir = "/www";
+  }
 
 type stats = {
   served : int;
@@ -25,36 +39,70 @@ let doc_name cfg i = Printf.sprintf "%s/doc%04d.html" cfg.dir i
 
 let setup ?(config = default_config) sys =
   let cfg = config in
+  let sizes = Wutil.rng cfg.seed in
+  let doc_len _i =
+    if cfg.doc_size_spread = 0 then cfg.doc_size
+    else
+      max 1
+        (cfg.doc_size - cfg.doc_size_spread
+        + Wutil.rand_int sizes ((2 * cfg.doc_size_spread) + 1))
+  in
   ignore (Ksyscall.Usyscall.sys_mkdir sys ~path:cfg.dir);
   for i = 0 to cfg.documents - 1 do
     ignore
       (Wutil.ok
          (Ksyscall.Usyscall.sys_open_write_close sys ~path:(doc_name cfg i)
-            ~data:(Wutil.payload cfg.doc_size)
+            ~data:(Wutil.payload (doc_len i))
             ~flags:[ Kvfs.Vfs.O_RDWR; Kvfs.Vfs.O_CREAT ]))
   done
 
+(* Stepper over the plain-serving loop, one request per [step], so the
+   SMP driver can interleave several server instances across CPUs. *)
+type t = {
+  sys : Ksyscall.Systable.t;
+  cfg : config;
+  rng : Wutil.rng;
+  mutable remaining : int;
+  mutable served : int;
+  mutable bytes : int;
+}
+
+let make_plain ?(config = default_config) sys =
+  {
+    sys;
+    cfg = config;
+    rng = Wutil.rng config.seed;
+    remaining = config.requests;
+    served = 0;
+    bytes = 0;
+  }
+
+let step_plain t =
+  if t.remaining = 0 then false
+  else begin
+    let cfg = t.cfg in
+    let kernel = Ksyscall.Systable.kernel t.sys in
+    let path = doc_name cfg (Wutil.rand_int t.rng cfg.documents) in
+    let fd = Wutil.ok (Ksyscall.Usyscall.sys_open t.sys ~path ~flags:[ Kvfs.Vfs.O_RDONLY ]) in
+    let data = Wutil.ok (Ksyscall.Usyscall.sys_read t.sys ~fd ~len:max_int) in
+    ignore (Wutil.ok (Ksyscall.Usyscall.sys_close t.sys ~fd));
+    (* "send": the payload crosses back into the kernel for the NIC *)
+    Ksim.Kernel.enter_kernel kernel;
+    Ksim.Kernel.charge_copy_from_user kernel (Bytes.length data);
+    Ksim.Kernel.exit_kernel kernel;
+    t.served <- t.served + 1;
+    t.bytes <- t.bytes + Bytes.length data;
+    t.remaining <- t.remaining - 1;
+    true
+  end
+
 let run_plain ?(config = default_config) sys =
-  let cfg = config in
   let kernel = Ksyscall.Systable.kernel sys in
-  let rng = Wutil.rng cfg.seed in
-  let served = ref 0 and bytes = ref 0 in
-  let body () =
-    for _ = 1 to cfg.requests do
-      let path = doc_name cfg (Wutil.rand_int rng cfg.documents) in
-      let fd = Wutil.ok (Ksyscall.Usyscall.sys_open sys ~path ~flags:[ Kvfs.Vfs.O_RDONLY ]) in
-      let data = Wutil.ok (Ksyscall.Usyscall.sys_read sys ~fd ~len:max_int) in
-      ignore (Wutil.ok (Ksyscall.Usyscall.sys_close sys ~fd));
-      (* "send": the payload crosses back into the kernel for the NIC *)
-      Ksim.Kernel.enter_kernel kernel;
-      Ksim.Kernel.charge_copy_from_user kernel (Bytes.length data);
-      Ksim.Kernel.exit_kernel kernel;
-      served := !served + 1;
-      bytes := !bytes + Bytes.length data
-    done
+  let t = make_plain ~config sys in
+  let (), times =
+    Ksim.Kernel.timed kernel (fun () -> while step_plain t do () done)
   in
-  let (), times = Ksim.Kernel.timed kernel body in
-  { served = !served; bytes_served = !bytes; times }
+  { served = t.served; bytes_served = t.bytes; times }
 
 (* the sendfile syscall itself: open + sendfile + close per request. *)
 let run_sendfile ?(config = default_config) sys =

@@ -4,8 +4,8 @@
    logger. *)
 
 let ev ?(obj = 1) ?(value = 0) ?(kind = Ksim.Instrument.Lock) ?(file = "f")
-    ?(line = 0) () =
-  { Ksim.Instrument.obj; value; kind; file; line }
+    ?(line = 0) ?(pid = 0) () =
+  { Ksim.Instrument.obj; value; kind; file; line; pid }
 
 (* --- ring buffer ------------------------------------------------------- *)
 
@@ -329,6 +329,26 @@ let test_spinlock_monitor () =
   Alcotest.(check bool) "still held at end" true
     (List.mem_assoc 2 (Kmonitor.Monitors.spinlocks_still_held m))
 
+let test_contention_monitor () =
+  let m = Kmonitor.Monitors.contention_monitor () in
+  let cb = Kmonitor.Monitors.contention_callback m in
+  (* Contended events carry the spin cycles charged as their value *)
+  cb (ev ~obj:7 ~value:1_500 ~kind:Ksim.Instrument.Contended ());
+  cb (ev ~obj:7 ~value:500 ~kind:Ksim.Instrument.Contended ());
+  cb (ev ~obj:9 ~value:100 ~kind:Ksim.Instrument.Contended ());
+  (* uncontended traffic is not counted *)
+  cb (ev ~obj:7 ~kind:Ksim.Instrument.Lock ());
+  cb (ev ~obj:7 ~kind:Ksim.Instrument.Unlock ());
+  Alcotest.(check int) "events" 3 m.Kmonitor.Monitors.cn_events;
+  Alcotest.(check int) "total spin" 2_100 m.Kmonitor.Monitors.cn_spin_cycles;
+  match Kmonitor.Monitors.hottest_locks m with
+  | (obj, hits, spin) :: rest ->
+      Alcotest.(check int) "hottest is 7" 7 obj;
+      Alcotest.(check int) "two contentions" 2 hits;
+      Alcotest.(check int) "its spin" 2_000 spin;
+      Alcotest.(check int) "one more lock" 1 (List.length rest)
+  | [] -> Alcotest.fail "no hot locks"
+
 let test_irq_monitor () =
   let m = Kmonitor.Monitors.irq_monitor () in
   let cb = Kmonitor.Monitors.irq_callback m in
@@ -465,6 +485,7 @@ let () =
           Alcotest.test_case "refcount" `Quick test_refcount_monitor;
           Alcotest.test_case "spinlock" `Quick test_spinlock_monitor;
           Alcotest.test_case "irq" `Quick test_irq_monitor;
+          Alcotest.test_case "contention" `Quick test_contention_monitor;
           Alcotest.test_case "end to end" `Quick test_standard_monitors_end_to_end;
         ] );
       ( "mfilter",

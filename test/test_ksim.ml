@@ -280,6 +280,127 @@ let test_scheduler_preemption () =
   Alcotest.(check bool) "switched away" true
     ((Ksim.Scheduler.current sched).Ksim.Kproc.pid <> p1.Ksim.Kproc.pid)
 
+let test_smp_placement_and_clocks () =
+  let clock = Ksim.Sim_clock.create () in
+  let sched = Ksim.Scheduler.create ~clock ~cost:zero ~ncpus:2 () in
+  (* least-loaded placement spreads processes across the CPUs *)
+  let procs = List.init 4 (fun i -> Ksim.Scheduler.spawn sched ~name:(Printf.sprintf "p%d" i)) in
+  let on_cpu c =
+    List.length (List.filter (fun p -> p.Ksim.Kproc.cpu = c) procs)
+  in
+  Alcotest.(check int) "two on cpu0" 2 (on_cpu 0);
+  Alcotest.(check int) "two on cpu1" 2 (on_cpu 1);
+  (* run_on credits the global-clock delta to that CPU's local clock *)
+  Ksim.Scheduler.run_on sched ~cpu:0 (fun () -> Ksim.Sim_clock.advance clock 100);
+  Ksim.Scheduler.run_on sched ~cpu:1 (fun () -> Ksim.Sim_clock.advance clock 250);
+  Ksim.Scheduler.run_on sched ~cpu:0 (fun () -> Ksim.Sim_clock.advance clock 50);
+  Alcotest.(check int) "cpu0 time" 150 (Ksim.Scheduler.cpu_time sched 0);
+  Alcotest.(check int) "cpu1 time" 250 (Ksim.Scheduler.cpu_time sched 1);
+  Alcotest.(check int) "makespan is busiest cpu" 250 (Ksim.Scheduler.makespan sched);
+  (* local_now tracks the active CPU mid-slice *)
+  Ksim.Scheduler.run_on sched ~cpu:0 (fun () ->
+      Ksim.Sim_clock.advance clock 30;
+      Alcotest.(check int) "local_now mid-slice" 180 (Ksim.Scheduler.local_now sched))
+
+let test_smp_timeslice_per_cpu () =
+  let clock = Ksim.Sim_clock.create () in
+  let cost = { zero with Ksim.Cost_model.timeslice = 100; context_switch = 1 } in
+  let sched = Ksim.Scheduler.create ~clock ~cost ~ncpus:2 () in
+  let a = Ksim.Scheduler.spawn ~cpu:0 sched ~name:"a" in
+  let _b = Ksim.Scheduler.spawn ~cpu:0 sched ~name:"b" in
+  let _c = Ksim.Scheduler.spawn ~cpu:1 sched ~name:"c" in
+  (* burn a timeslice on cpu0: its runqueue rotates a -> b *)
+  Ksim.Scheduler.run_on sched ~cpu:0 (fun () ->
+      Ksim.Sim_clock.advance clock 150;
+      Ksim.Scheduler.checkpoint sched;
+      Alcotest.(check bool) "cpu0 rotated" true
+        ((Ksim.Scheduler.current sched).Ksim.Kproc.pid <> a.Ksim.Kproc.pid));
+  Alcotest.(check int) "one preemption" 1 (Ksim.Scheduler.preemptions sched);
+  (* cpu1's lone process is unaffected: nothing to rotate to *)
+  Ksim.Scheduler.run_on sched ~cpu:1 (fun () ->
+      Ksim.Sim_clock.advance clock 150;
+      Ksim.Scheduler.checkpoint sched;
+      Alcotest.(check string) "cpu1 keeps c" "c"
+        (Ksim.Scheduler.current sched).Ksim.Kproc.name)
+
+let test_kill_last_respawns_init () =
+  let clock = Ksim.Sim_clock.create () in
+  let sched = Ksim.Scheduler.create ~clock ~cost:zero () in
+  let p = Ksim.Scheduler.spawn sched ~name:"only" in
+  Alcotest.(check int) "one process" 1 (Ksim.Scheduler.process_count sched);
+  Ksim.Scheduler.kill sched p;
+  (* the machine always runs something *)
+  Alcotest.(check int) "respawned" 1 (Ksim.Scheduler.process_count sched);
+  Alcotest.(check string) "it is init" "init"
+    (Ksim.Scheduler.current sched).Ksim.Kproc.name
+
+let mk_lock_ctx ?(ncpus = 2) () =
+  let clock = Ksim.Sim_clock.create () in
+  let cost =
+    { zero with
+      Ksim.Cost_model.lock_hold = 1_000;
+      spin_cap = 10_000;
+      cacheline_bounce = 0 }
+  in
+  let sched = Ksim.Scheduler.create ~clock ~cost ~ncpus () in
+  (clock, sched, { Ksim.Spinlock.sched; clock; cost; stats = Kstats.create () })
+
+let test_spinlock_smp_contention () =
+  let clock, sched, ctx = mk_lock_ctx () in
+  let l = Ksim.Spinlock.create ~ctx "dl" in
+  (* cpu0 holds the lock over [100, 1100) in parallel time *)
+  Ksim.Scheduler.run_on sched ~cpu:0 (fun () ->
+      Ksim.Sim_clock.advance clock 100;
+      Ksim.Spinlock.lock l;
+      Ksim.Spinlock.unlock l);
+  (* cpu1 arrives at local time 500 — inside cpu0's hold window *)
+  Ksim.Scheduler.run_on sched ~cpu:1 (fun () ->
+      Ksim.Sim_clock.advance clock 500;
+      Ksim.Spinlock.lock l;
+      Ksim.Spinlock.unlock l);
+  Alcotest.(check int) "contended" 1 (Ksim.Spinlock.contended l);
+  (* waited out the remainder of cpu0's hold: 1100 - 500 *)
+  Alcotest.(check int) "spin cycles" 600 (Ksim.Spinlock.spin_cycles l);
+  (* cpu1's clock advanced past cpu0's release plus its own hold *)
+  Alcotest.(check int) "cpu1 local time" 2100 (Ksim.Scheduler.cpu_time sched 1);
+  (* a later arrival on cpu0 after everything drained is uncontended *)
+  Ksim.Scheduler.run_on sched ~cpu:0 (fun () ->
+      Ksim.Sim_clock.advance clock 5_000;
+      Ksim.Spinlock.lock l;
+      Ksim.Spinlock.unlock l);
+  Alcotest.(check int) "still one contention" 1 (Ksim.Spinlock.contended l)
+
+let test_spinlock_lagging_cpu_owes_nothing () =
+  let clock, sched, ctx = mk_lock_ctx () in
+  let l = Ksim.Spinlock.create ~ctx "dl" in
+  (* cpu0 races far ahead (say, past a long disk wait) and takes the
+     lock late in parallel time *)
+  Ksim.Scheduler.run_on sched ~cpu:0 (fun () ->
+      Ksim.Sim_clock.advance clock 1_000_000;
+      Ksim.Spinlock.lock l;
+      Ksim.Spinlock.unlock l);
+  (* cpu1 arrives much earlier in wall time: the lock was free then *)
+  Ksim.Scheduler.run_on sched ~cpu:1 (fun () ->
+      Ksim.Sim_clock.advance clock 100;
+      Ksim.Spinlock.lock l;
+      Ksim.Spinlock.unlock l);
+  Alcotest.(check int) "no contention" 0 (Ksim.Spinlock.contended l);
+  Alcotest.(check int) "no spin" 0 (Ksim.Spinlock.spin_cycles l)
+
+let test_spinlock_uniprocessor_inert () =
+  let clock, sched, ctx = mk_lock_ctx ~ncpus:1 () in
+  let l = Ksim.Spinlock.create ~ctx "dl" in
+  Ksim.Scheduler.run_on sched ~cpu:0 (fun () ->
+      Ksim.Sim_clock.advance clock 100;
+      Ksim.Spinlock.lock l;
+      Ksim.Spinlock.unlock l;
+      Ksim.Spinlock.lock l;
+      Ksim.Spinlock.unlock l);
+  Alcotest.(check int) "no contention" 0 (Ksim.Spinlock.contended l);
+  (* no lock_hold charge either: the clock saw only our own advance *)
+  Alcotest.(check int) "no hold charge" 100 (Ksim.Sim_clock.now clock);
+  Alcotest.(check int) "acquisitions counted" 2 (Ksim.Spinlock.acquisitions l)
+
 let test_kernel_boundary () =
   let k = Ksim.Kernel.create () in
   Alcotest.(check bool) "user mode" true (Ksim.Kernel.mode k = Ksim.Kernel.User);
@@ -413,6 +534,15 @@ let () =
           Alcotest.test_case "refcount" `Quick test_refcount;
           Alcotest.test_case "semaphore" `Quick test_semaphore;
           Alcotest.test_case "instrument events" `Quick test_instrument_events;
+        ] );
+      ( "smp",
+        [
+          Alcotest.test_case "placement+clocks" `Quick test_smp_placement_and_clocks;
+          Alcotest.test_case "timeslice per cpu" `Quick test_smp_timeslice_per_cpu;
+          Alcotest.test_case "kill last respawns init" `Quick test_kill_last_respawns_init;
+          Alcotest.test_case "spinlock contention" `Quick test_spinlock_smp_contention;
+          Alcotest.test_case "lagging cpu free" `Quick test_spinlock_lagging_cpu_owes_nothing;
+          Alcotest.test_case "uniprocessor inert" `Quick test_spinlock_uniprocessor_inert;
         ] );
       ( "kernel",
         [

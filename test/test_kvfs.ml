@@ -4,7 +4,11 @@
 let zero_config =
   { Ksim.Kernel.default_config with cost = Ksim.Cost_model.zero }
 
-let mk_kernel () = Ksim.Kernel.create ~config:zero_config ()
+(* Enable the registry: Dcache/Block_dev stats are derived from kstats. *)
+let mk_kernel () =
+  let kernel = Ksim.Kernel.create ~config:zero_config () in
+  Kstats.set_enabled (Ksim.Kernel.stats kernel) true;
+  kernel
 
 let errno = Alcotest.testable Kvfs.Vtypes.pp_errno ( = )
 
@@ -80,6 +84,7 @@ let test_memfs_readdir_order () =
 
 let test_block_dev_cache () =
   let kernel = Ksim.Kernel.create () in
+  Kstats.set_enabled (Ksim.Kernel.stats kernel) true;
   let dev = Kvfs.Block_dev.create ~cache_blocks:8 kernel in
   let t0 = Ksim.Kernel.now kernel in
   Kvfs.Block_dev.read_block dev 5;
@@ -106,6 +111,65 @@ let test_dcache () =
   Alcotest.(check int) "hits" 1 s.Kvfs.Dcache.hits;
   Alcotest.(check int) "misses" 2 s.Kvfs.Dcache.misses;
   Alcotest.(check bool) "lock was taken" true (s.Kvfs.Dcache.lock_acquisitions >= 4)
+
+let test_block_dev_second_chance () =
+  (* hot set + one-pass scan: second-chance keeps the referenced hot
+     blocks; FIFO evicts whatever is oldest, hot or not *)
+  let run policy =
+    let kernel = mk_kernel () in
+    let dev = Kvfs.Block_dev.create ~cache_blocks:8 ~policy kernel in
+    for b = 0 to 3 do Kvfs.Block_dev.read_block dev b done;
+    for round = 1 to 4 do
+      for b = 0 to 3 do Kvfs.Block_dev.read_block dev b done;
+      (* scan blocks the cache has no room to keep *)
+      for s = 0 to 3 do Kvfs.Block_dev.read_block dev (100 + (4 * round) + s) done
+    done;
+    Kvfs.Block_dev.stats dev
+  in
+  let fifo = run Kvfs.Block_dev.Fifo in
+  let sc = run Kvfs.Block_dev.Second_chance in
+  Alcotest.(check bool) "second chance hits more" true
+    (sc.Kvfs.Block_dev.hits > fifo.Kvfs.Block_dev.hits);
+  Alcotest.(check bool) "second chance evicts no more" true
+    (sc.Kvfs.Block_dev.evictions <= fifo.Kvfs.Block_dev.evictions);
+  Alcotest.(check bool) "evictions happened" true (fifo.Kvfs.Block_dev.evictions > 0)
+
+let test_dcache_sharded () =
+  let d = Kvfs.Dcache.create ~shards:8 () in
+  Alcotest.(check int) "shards" 8 (Kvfs.Dcache.nshards d);
+  (* enough entries to land in every shard *)
+  for i = 0 to 199 do
+    Kvfs.Dcache.insert d ~dir:(i mod 7) ~name:(Printf.sprintf "f%d" i) ~ino:i
+  done;
+  for i = 0 to 199 do
+    Alcotest.(check (option int)) "sharded hit" (Some i)
+      (Kvfs.Dcache.lookup d ~dir:(i mod 7) ~name:(Printf.sprintf "f%d" i))
+  done;
+  Kvfs.Dcache.invalidate d ~dir:3 ~name:"f3";
+  Alcotest.(check (option int)) "invalidated" None
+    (Kvfs.Dcache.lookup d ~dir:3 ~name:"f3");
+  Alcotest.(check (option int)) "others survive" (Some 10)
+    (Kvfs.Dcache.lookup d ~dir:3 ~name:"f10");
+  Kvfs.Dcache.clear d;
+  Alcotest.(check (option int)) "cleared" None
+    (Kvfs.Dcache.lookup d ~dir:0 ~name:"f0")
+
+let test_dcache_sharded_lockless_reads () =
+  let d = Kvfs.Dcache.create ~shards:8 () in
+  Kvfs.Dcache.insert d ~dir:1 ~name:"x" ~ino:42;
+  let writes = Kvfs.Dcache.acquisitions d in
+  Alcotest.(check bool) "insert took a bucket lock" true (writes > 0);
+  for _ = 1 to 50 do
+    ignore (Kvfs.Dcache.lookup d ~dir:1 ~name:"x")
+  done;
+  (* seqcount fast path: sharded-mode lookups take no lock at all *)
+  Alcotest.(check int) "reads are lockless" writes (Kvfs.Dcache.acquisitions d);
+  (* the global-lock compat mode does lock its reads *)
+  let g = Kvfs.Dcache.create ~shards:1 () in
+  Kvfs.Dcache.insert g ~dir:1 ~name:"x" ~ino:42;
+  let w = Kvfs.Dcache.acquisitions g in
+  ignore (Kvfs.Dcache.lookup g ~dir:1 ~name:"x");
+  Alcotest.(check int) "global mode locks reads" (w + 1) (Kvfs.Dcache.acquisitions g)
 
 (* --- vfs -------------------------------------------------------------------- *)
 
@@ -292,8 +356,17 @@ let () =
           Alcotest.test_case "unlink/rename" `Quick test_memfs_unlink_rename;
           Alcotest.test_case "readdir order" `Quick test_memfs_readdir_order;
         ] );
-      ("block-dev", [ Alcotest.test_case "cache" `Quick test_block_dev_cache ]);
-      ("dcache", [ Alcotest.test_case "basic" `Quick test_dcache ]);
+      ( "block-dev",
+        [
+          Alcotest.test_case "cache" `Quick test_block_dev_cache;
+          Alcotest.test_case "second chance" `Quick test_block_dev_second_chance;
+        ] );
+      ( "dcache",
+        [
+          Alcotest.test_case "basic" `Quick test_dcache;
+          Alcotest.test_case "sharded" `Quick test_dcache_sharded;
+          Alcotest.test_case "lockless reads" `Quick test_dcache_sharded_lockless_reads;
+        ] );
       ( "vfs",
         [
           Alcotest.test_case "paths" `Quick test_vfs_paths;

@@ -215,6 +215,54 @@ let test_watchdog_protects_runaway_compound () =
     Alcotest.(check bool) "kernel usable afterwards" true
       (Core.Syscall.sys_getpid (Core.sys t) >= 0)
 
+let smp_cfg =
+  { Workloads.Webserver.default_config with
+    documents = 20;
+    requests = 40;
+    doc_size = 4_096;
+    doc_size_spread = 2_048 }
+
+let smp_run ~ncpus ~shards =
+  let t = Core.boot ~ncpus ~dcache_shards:shards () in
+  let insts = Workloads.Smp.webserver_instances ~config:smp_cfg (Core.sys t) ncpus in
+  Workloads.Smp.run (Core.sys t) insts
+
+let test_smp_driver_completes () =
+  let r = smp_run ~ncpus:4 ~shards:1 in
+  Alcotest.(check int) "all requests served" (4 * 40) r.Workloads.Smp.steps;
+  Alcotest.(check int) "one instance per cpu" 4 r.Workloads.Smp.instances;
+  Array.iter
+    (fun c -> Alcotest.(check bool) "every cpu worked" true (c > 0))
+    r.Workloads.Smp.cpu_cycles;
+  Alcotest.(check bool) "makespan is busiest cpu" true
+    (r.Workloads.Smp.makespan = Array.fold_left max 0 r.Workloads.Smp.cpu_cycles)
+
+let test_smp_contention_profile () =
+  (* global lock under SMP contends; one CPU or sharding does not *)
+  let multi = smp_run ~ncpus:4 ~shards:1 in
+  Alcotest.(check bool) "global lock contended" true (multi.Workloads.Smp.contended > 0);
+  Alcotest.(check bool) "spin cycles charged" true (multi.Workloads.Smp.spin_cycles > 0);
+  let single = smp_run ~ncpus:1 ~shards:1 in
+  Alcotest.(check int) "no remote holder at 1 cpu" 0 single.Workloads.Smp.contended;
+  let sharded = smp_run ~ncpus:4 ~shards:64 in
+  Alcotest.(check int) "sharded reads lockless" 0 sharded.Workloads.Smp.contended;
+  Alcotest.(check bool) "sharding beats the global lock" true
+    (sharded.Workloads.Smp.makespan < multi.Workloads.Smp.makespan)
+
+let test_smp_postmark_contends () =
+  let cfg = { pm_small with Workloads.Postmark.transactions = 200 } in
+  let t = Core.boot ~ncpus:4 ~dcache_shards:1 () in
+  let insts = Workloads.Smp.postmark_instances ~config:cfg (Core.sys t) 4 in
+  let r = Workloads.Smp.run (Core.sys t) insts in
+  Alcotest.(check bool) "postmark contends the global dcache_lock" true
+    (r.Workloads.Smp.contended > 0)
+
+let test_smp_deterministic () =
+  let a = smp_run ~ncpus:4 ~shards:1 in
+  let b = smp_run ~ncpus:4 ~shards:1 in
+  Alcotest.(check int) "same makespan" a.Workloads.Smp.makespan b.Workloads.Smp.makespan;
+  Alcotest.(check int) "same contention" a.Workloads.Smp.contended b.Workloads.Smp.contended
+
 let () =
   Alcotest.run "workloads"
     [
@@ -238,5 +286,12 @@ let () =
           Alcotest.test_case "E7 kgcc contrast" `Quick test_kgcc_journalfs_overhead_direction;
           Alcotest.test_case "E6 monitoring order" `Quick test_monitoring_overhead_ordering;
           Alcotest.test_case "watchdog" `Quick test_watchdog_protects_runaway_compound;
+        ] );
+      ( "smp",
+        [
+          Alcotest.test_case "driver completes" `Quick test_smp_driver_completes;
+          Alcotest.test_case "contention profile" `Quick test_smp_contention_profile;
+          Alcotest.test_case "postmark contends" `Quick test_smp_postmark_contends;
+          Alcotest.test_case "deterministic" `Quick test_smp_deterministic;
         ] );
     ]
