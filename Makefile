@@ -1,4 +1,4 @@
-.PHONY: all build test bench-smoke check clean
+.PHONY: all build test bench-smoke bench-e14 check clean
 
 all: build
 
@@ -12,6 +12,11 @@ test:
 # plus the BENCH_kstats.json artifact.
 bench-smoke:
 	dune exec bench/main.exe -- smoke
+
+# The C10K serving experiment at full scale: 100/1k/10k connections,
+# four serving variants, 1 and 4 CPUs.  Takes a few minutes.
+bench-e14:
+	dune exec bench/main.exe -- E14
 
 check: build test bench-smoke
 

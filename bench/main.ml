@@ -838,6 +838,122 @@ let e13 () =
         obj hits spin
   | [] -> pf "  hottest lock: none (no contention observed)\n")
 
+(* ----------------------------------------------------------------- E14 *)
+
+let e14 () =
+  header "E14" "C10K serving over knet: crossings and copies per data path"
+    "no direct number — §2.2 (consolidation) and §2.3 (shared buffers / \
+     zero-copy) applied to a socket workload; claim under test is that \
+     sendfile and ring batching beat naive read+send on both boundary \
+     crossings and copied bytes, at byte-identical response streams";
+  let variants =
+    [ Workloads.Webserver.Net_naive; Workloads.Webserver.Net_consolidated;
+      Workloads.Webserver.Net_sendfile; Workloads.Webserver.Net_ring ]
+  in
+  let conn_counts = if !smoke then [ sc 200; sc 2_000 ] else [ 100; 1_000; 10_000 ] in
+  let cpu_counts = [ 1; 4 ] in
+  pf "  %5s %6s %-13s %7s %6s %10s %12s %9s %9s %9s\n" "ncpus" "conns"
+    "variant" "served" "drops" "crossings" "copied(B)" "sent(KB)" "p50(us)"
+    "p99(us)";
+  (* (ncpus, conns, variant) -> (crossings, copied, digest) *)
+  let results = Hashtbl.create 32 in
+  List.iter
+    (fun ncpus ->
+      List.iter
+        (fun conns ->
+          List.iter
+            (fun v ->
+              let t = Core.boot ~ncpus () in
+              let sys = Core.sys t in
+              let kernel = Core.kernel t in
+              let config =
+                { Workloads.Webserver.net_default_config with
+                  variant = v;
+                  conns = max 1 (conns / ncpus) }
+              in
+              let c0 = Ksim.Kernel.crossings kernel in
+              let fu0 = Ksim.Kernel.bytes_from_user kernel in
+              let tu0 = Ksim.Kernel.bytes_to_user kernel in
+              let served, sent, completed, digest =
+                if ncpus = 1 then begin
+                  Workloads.Webserver.net_setup ~config sys;
+                  let r = Workloads.Webserver.run_net ~config sys in
+                  ( r.Workloads.Webserver.n_served,
+                    r.Workloads.Webserver.n_sent,
+                    r.Workloads.Webserver.n_completed,
+                    r.Workloads.Webserver.n_digest )
+                end
+                else begin
+                  (* one listener per CPU, same total client population *)
+                  let insts =
+                    Workloads.Smp.webserver_net_instances ~config sys ncpus
+                  in
+                  ignore (Workloads.Smp.run sys insts);
+                  let knet = Core.net t in
+                  let completed = ref 0 in
+                  for i = 0 to ncpus - 1 do
+                    completed :=
+                      !completed
+                      + Knet.Traffic.completed knet
+                          ~port:(config.Workloads.Webserver.port + i)
+                  done;
+                  (0, 0, !completed, "-")
+                end
+              in
+              let stats = Core.stats t in
+              let crossings = Ksim.Kernel.crossings kernel - c0 in
+              let copied =
+                Ksim.Kernel.bytes_from_user kernel - fu0
+                + (Ksim.Kernel.bytes_to_user kernel - tu0)
+              in
+              let sent =
+                if ncpus = 1 then sent else find_counter stats "net.bytes_out"
+              in
+              let served =
+                if ncpus = 1 then served
+                else find_counter stats "net.accepts" (* proxy: conns served *)
+              in
+              let drops = find_counter stats "net.backlog_drops" in
+              let p50, p99 =
+                match Kstats.find stats "net.request.latency" with
+                | Some (Kstats.Hist_v h) -> (h.Kstats.v_p50, h.Kstats.v_p99)
+                | _ -> (0, 0)
+              in
+              Hashtbl.replace results
+                (ncpus, conns, Workloads.Webserver.net_variant_name v)
+                (crossings, copied, digest);
+              pf "  %5d %6d %-13s %7d %6d %10d %12d %9.0f %9.1f %9.1f\n" ncpus
+                conns
+                (Workloads.Webserver.net_variant_name v)
+                served drops crossings copied
+                (float_of_int sent /. 1024.)
+                (sec p50 *. 1e6) (sec p99 *. 1e6);
+              add_row "E14"
+                (Printf.sprintf
+                   "{\"ncpus\":%d,\"conns\":%d,\"variant\":\"%s\",\
+                    \"served\":%d,\"completed\":%d,\"drops\":%d,\
+                    \"crossings\":%d,\"copied_bytes\":%d,\"sent_bytes\":%d,\
+                    \"latency_p50_cycles\":%d,\"latency_p99_cycles\":%d,\
+                    \"digest\":\"%s\"}"
+                   ncpus conns
+                   (Workloads.Webserver.net_variant_name v)
+                   served completed drops crossings copied sent p50 p99 digest))
+            variants)
+        conn_counts)
+    cpu_counts;
+  (* the paper's claims, at the largest population on one CPU *)
+  let top = List.fold_left max 0 conn_counts in
+  let get name = Hashtbl.find results (1, top, name) in
+  let nx, nb, nd = get "naive" in
+  List.iter
+    (fun name ->
+      let x, b, d = get name in
+      pf "  %-13s vs naive at %d conns: %.2fx crossings, %.2fx copied \
+          bytes, digests %s\n"
+        name top (ratio nx x) (ratio nb b)
+        (if d = nd then "equal" else "DIFFER"))
+    [ "consolidated"; "sendfile"; "ring" ]
+
 (* ------------------------------------------------- Bechamel microbench *)
 
 let micro () =
@@ -907,7 +1023,7 @@ let micro () =
 let all_experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
-    ("E12", e12); ("E13", e13) ]
+    ("E12", e12); ("E13", e13); ("E14", e14) ]
 
 (* --- machine-readable kstats output (BENCH_kstats.json) --------------- *)
 

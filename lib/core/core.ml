@@ -24,6 +24,7 @@ module Sysno = Ksyscall.Sysno
 module Req = Ksyscall.Syscall
 module Ring = Kring
 module Stats = Kstats
+module Net = Knet
 
 type fs_choice =
   | Memfs                          (* plain in-memory Ext2 stand-in *)
@@ -45,6 +46,7 @@ type t = {
 let kernel t = t.kernel
 let sys t = t.sys
 let stats t = Ksim.Kernel.stats t.kernel
+let net t = Ksyscall.Systable.net t.sys
 let kefence t = t.kefence
 let wrapfs t = t.wrapfs
 let journalfs t = t.journalfs

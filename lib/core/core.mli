@@ -23,6 +23,7 @@ module Sysno = Ksyscall.Sysno
 module Req = Ksyscall.Syscall
 module Ring = Kring
 module Stats = Kstats
+module Net = Knet
 
 (** The filesystem stack to boot with. *)
 type fs_choice =
@@ -41,6 +42,9 @@ val sys : t -> Ksyscall.Systable.t
     histograms).  Enabled at boot when [!Kstats.default_enabled];
     toggle later with [Kstats.set_enabled]. *)
 val stats : t -> Kstats.t
+
+(** The simulated socket stack booted alongside the VFS (see {!Knet}). *)
+val net : t -> Knet.t
 
 (** The optional subsystems the chosen stack instantiated. *)
 val kefence : t -> Kefence.t option

@@ -132,6 +132,36 @@ let hottest_locks m =
   Hashtbl.fold (fun obj (h, s) acc -> (obj, h, s) :: acc) m.cn_state []
   |> List.sort (fun (_, h1, _) (_, h2, _) -> compare h2 h1)
 
+(* --- network backpressure monitor --------------------------------------- *)
+
+(* Watches knet's backlog-overflow events (Custom kind 10, registered as
+   "net-backlog-drop"; the numeric value is a cross-library convention
+   like Stats_feed's snapshot kind 9).  The event's obj is the listening
+   port, its value the listener's running drop count — so the monitor can
+   name the hottest listening socket without a kernel-side scan. *)
+
+let net_backlog_drop_kind = 10
+
+type net_monitor = {
+  nm_state : (int, int) Hashtbl.t;   (* port -> drops observed *)
+  mutable nm_events : int;
+}
+
+let net_monitor () = { nm_state = Hashtbl.create 8; nm_events = 0 }
+
+let net_callback m (ev : Ksim.Instrument.event) =
+  match ev.Ksim.Instrument.kind with
+  | Ksim.Instrument.Custom k when k = net_backlog_drop_kind ->
+      m.nm_events <- m.nm_events + 1;
+      Hashtbl.replace m.nm_state ev.Ksim.Instrument.obj ev.Ksim.Instrument.value
+  | _ -> ()
+
+(* Listening ports by drop count, hottest first. *)
+let hottest_listeners m =
+  Hashtbl.fold (fun port drops acc -> (port, drops) :: acc) m.nm_state []
+  |> List.sort (fun (p1, d1) (p2, d2) ->
+         if d1 <> d2 then compare d2 d1 else compare p1 p2)
+
 (* --- interrupt balance monitor ------------------------------------------ *)
 
 type irq_monitor = {
@@ -168,6 +198,7 @@ type standard = {
   spinlocks : spinlock_monitor;
   irqs : irq_monitor;
   contention : contention_monitor;
+  net : net_monitor;
 }
 
 let register_standard dispatcher =
@@ -175,12 +206,14 @@ let register_standard dispatcher =
   let spinlocks = spinlock_monitor () in
   let irqs = irq_monitor () in
   let contention = contention_monitor () in
+  let net = net_monitor () in
   Dispatcher.register dispatcher ~name:"refcounts" (refcount_callback refcounts);
   Dispatcher.register dispatcher ~name:"spinlocks" (spinlock_callback spinlocks);
   Dispatcher.register dispatcher ~name:"irqs" (irq_callback irqs);
   Dispatcher.register dispatcher ~name:"contention"
     (contention_callback contention);
-  { refcounts; spinlocks; irqs; contention }
+  Dispatcher.register dispatcher ~name:"net" (net_callback net);
+  { refcounts; spinlocks; irqs; contention; net }
 
 let all_violations s =
   s.refcounts.rc_violations @ s.spinlocks.sl_violations @ s.irqs.irq_violations

@@ -60,6 +60,26 @@ val contention_callback : contention_monitor -> Ksim.Instrument.event -> unit
     [(obj, contended, spin cycles)]. *)
 val hottest_locks : contention_monitor -> (int * int * int) list
 
+(** {2 Network backpressure}
+
+    Watches knet's backlog-overflow events ([Custom] kind
+    [net_backlog_drop_kind], registered as ["net-backlog-drop"]): the
+    event's obj is the listening port, its value the listener's running
+    drop count. *)
+
+val net_backlog_drop_kind : int
+
+type net_monitor = {
+  nm_state : (int, int) Hashtbl.t;  (** port -> drops observed *)
+  mutable nm_events : int;
+}
+
+val net_monitor : unit -> net_monitor
+val net_callback : net_monitor -> Ksim.Instrument.event -> unit
+
+(** Listening ports by observed drop count, hottest first. *)
+val hottest_listeners : net_monitor -> (int * int) list
+
 (** {2 Interrupt balance} *)
 
 type irq_monitor = {
@@ -78,6 +98,7 @@ type standard = {
   spinlocks : spinlock_monitor;
   irqs : irq_monitor;
   contention : contention_monitor;
+  net : net_monitor;
 }
 
 (** Register the standard monitors on a dispatcher. *)

@@ -44,6 +44,9 @@ type t = {
   disk_read_block : int;
   disk_write_block : int;
   log_write_per_event : int; (* writing one event record to the log disk *)
+  (* networking (knet) *)
+  net_op : int;              (* in-kernel CPU per socket-table operation *)
+  wire_latency : int;        (* one-way client<->server propagation delay *)
   (* SMP / lock contention *)
   spin_cap : int;            (* max cycles spent spinning before blocking *)
   cacheline_bounce : int;    (* pulling a contended lock's line cross-CPU *)
@@ -88,6 +91,8 @@ let default =
     disk_read_block = 200_000;
     disk_write_block = 220_000;
     log_write_per_event = 15_000;
+    net_op = 600;               (* socket-table walk + queue bookkeeping *)
+    wire_latency = 80_000;      (* ~30 us one-way on a 2005 LAN at 2.8 GHz *)
     spin_cap = 20_000;          (* ~a couple of syscall round trips *)
     cacheline_bounce = 240;     (* cross-CPU MESI transfer of a hot line *)
     lock_hold = 5_000;          (* hash walk + bucket update under the lock *)
@@ -130,6 +135,8 @@ let zero =
     disk_read_block = 0;
     disk_write_block = 0;
     log_write_per_event = 0;
+    net_op = 0;
+    wire_latency = 0;
     spin_cap = 0;
     cacheline_bounce = 0;
     lock_hold = 0;

@@ -33,7 +33,13 @@ let service_close sys ~fd =
   let p = Ksim.Kernel.current (Systable.kernel sys) in
   match Ksim.Kproc.release_fd p fd with
   | None -> fd_err
-  | Some handle -> Vfs.close (Systable.vfs sys) handle
+  | Some handle ->
+      (* fds above [Knet.handle_base] are sockets, not VFS files *)
+      if handle >= Knet.handle_base then begin
+        Knet.close (Systable.net sys) ~sock:(handle - Knet.handle_base);
+        Ok ()
+      end
+      else Vfs.close (Systable.vfs sys) handle
 
 let service_read sys ~fd ~len =
   check_kernel_mode sys;

@@ -36,6 +36,19 @@ type req =
   | Open_write_close of { path : string; data : Bytes.t; flags : Vfs.open_flag list }
   | Sendfile of { fd : int; off : int; len : int }
   | Open_fstat of { path : string; flags : Vfs.open_flag list }
+  (* knet sockets; [sock] and [ep] are fds from the caller's table *)
+  | Socket
+  | Bind of { sock : int; port : int }
+  | Listen of { sock : int; backlog : int }
+  | Accept of { sock : int }
+  | Recv of { sock : int; len : int }
+  | Send of { sock : int; data : Bytes.t }
+  | Epoll_create
+  | Epoll_ctl of { ep : int; sock : int; add : bool; mask : int; cookie : int }
+  | Epoll_wait of { ep : int; max : int }
+  | Accept_recv of { sock : int; len : int }
+  | Recv_send of { sock : int; len : int; data : Bytes.t }
+  | Sendfile_sock of { sock : int; fd : int; off : int; len : int }
 
 type ok_reply =
   | R_unit
@@ -45,6 +58,9 @@ type ok_reply =
   | R_dirents of Vtypes.dirent list
   | R_dirents_stats of (Vtypes.dirent * Vtypes.stat) list
   | R_fd_stat of { fd : int; stat : Vtypes.stat }
+  | R_ready of (int * int) list  (** epoll_wait: (cookie, readiness mask) *)
+  | R_fd_bytes of { fd : int; data : Bytes.t }  (** accept_recv *)
+  | R_int_bytes of { n : int; data : Bytes.t }  (** recv_send: sent, received *)
 
 type reply = (ok_reply, Vtypes.errno) result
 
@@ -69,6 +85,18 @@ let sysno_of_req : req -> Sysno.t = function
   | Open_write_close _ -> Sysno.Open_write_close
   | Sendfile _ -> Sysno.Sendfile
   | Open_fstat _ -> Sysno.Open_fstat
+  | Socket -> Sysno.Socket
+  | Bind _ -> Sysno.Bind
+  | Listen _ -> Sysno.Listen
+  | Accept _ -> Sysno.Accept
+  | Recv _ -> Sysno.Recv
+  | Send _ -> Sysno.Send
+  | Epoll_create -> Sysno.Epoll_create
+  | Epoll_ctl _ -> Sysno.Epoll_ctl
+  | Epoll_wait _ -> Sysno.Epoll_wait
+  | Accept_recv _ -> Sysno.Accept_recv
+  | Recv_send _ -> Sysno.Recv_send
+  | Sendfile_sock _ -> Sysno.Sendfile_sock
 
 (* Human-readable principal argument, matching the strings the old
    per-call wrappers put in trace records. *)
@@ -84,7 +112,12 @@ let arg_of_req = function
   | Sendfile { fd; _ } ->
       string_of_int fd
   | Rename { src; dst } -> src ^ "->" ^ dst
-  | Getpid -> ""
+  | Getpid | Socket | Epoll_create -> ""
+  | Bind { sock; _ } | Listen { sock; _ } | Accept { sock }
+  | Recv { sock; _ } | Send { sock; _ } | Accept_recv { sock; _ }
+  | Recv_send { sock; _ } | Sendfile_sock { sock; _ } ->
+      string_of_int sock
+  | Epoll_ctl { ep; _ } | Epoll_wait { ep; _ } -> string_of_int ep
 
 (* --- boundary copy-volume accounting ----------------------------------- *)
 
@@ -108,8 +141,11 @@ let req_copy_bytes = function
   | Write { data; _ } | Pwrite { data; _ } -> Bytes.length data
   | Open_write_close { path; data; _ } -> path_bytes path + Bytes.length data
   | Rename { src; dst } -> path_bytes src + path_bytes dst
+  | Send { data; _ } | Recv_send { data; _ } -> Bytes.length data
   | Close _ | Read _ | Pread _ | Lseek _ | Fstat _ | Fsync _ | Getpid
-  | Sendfile _ ->
+  | Sendfile _ | Socket | Bind _ | Listen _ | Accept _ | Recv _
+  | Epoll_create | Epoll_ctl _ | Epoll_wait _ | Accept_recv _
+  | Sendfile_sock _ ->
       0
 
 (* Bytes copied kernel -> user when the reply lands.  Shape-driven: a
@@ -124,7 +160,11 @@ let reply_copy_bytes = function
       | R_stat _ -> Vtypes.stat_wire_size
       | R_dirents entries -> dirents_bytes entries
       | R_dirents_stats entries -> dirents_stats_bytes entries
-      | R_fd_stat _ -> Vtypes.stat_wire_size)
+      | R_fd_stat _ -> Vtypes.stat_wire_size
+      (* one epoll_event (cookie + mask) is two 8-byte wire ints *)
+      | R_ready ready -> 16 * List.length ready
+      | R_fd_bytes { data; _ } -> Bytes.length data
+      | R_int_bytes { data; _ } -> Bytes.length data)
 
 (* --- the Cosy/kring C-style return-value convention -------------------- *)
 
@@ -140,6 +180,9 @@ let reply_to_retval : reply -> int = function
   | Ok (R_dirents entries) -> List.length entries
   | Ok (R_dirents_stats entries) -> List.length entries
   | Ok (R_fd_stat { fd; _ }) -> fd
+  | Ok (R_ready ready) -> List.length ready
+  | Ok (R_fd_bytes { fd; _ }) -> fd
+  | Ok (R_int_bytes { n; _ }) -> n
 
 (* Lift a C-style return value back into a (payload-free) reply.  The
    inverse of [reply_to_retval] up to payload erasure: negative values
@@ -214,6 +257,14 @@ let req_wire_size = function
       1 + str_wire path + bytes_wire data + int_wire
   | Sendfile _ -> 1 + (3 * int_wire)
   | Open_fstat { path; _ } -> 1 + str_wire path + int_wire
+  | Socket | Epoll_create -> 1
+  | Bind _ | Listen _ | Recv _ | Accept_recv _ | Epoll_wait _ ->
+      1 + (2 * int_wire)
+  | Accept _ -> 1 + int_wire
+  | Send { data; _ } -> 1 + int_wire + bytes_wire data
+  | Epoll_ctl _ -> 1 + (5 * int_wire)
+  | Recv_send { data; _ } -> 1 + (2 * int_wire) + bytes_wire data
+  | Sendfile_sock _ -> 1 + (4 * int_wire)
 
 (* Little serialization cursor over a Bytes.t. *)
 let put_int buf off n =
@@ -275,6 +326,22 @@ let encode_req req =
         put_int buf (put_int buf (put_int buf off fd) o) len
     | Open_fstat { path; flags } ->
         put_int buf (put_str buf off path) (flags_to_int flags)
+    | Socket | Epoll_create -> off
+    | Bind { sock; port } -> put_int buf (put_int buf off sock) port
+    | Listen { sock; backlog } -> put_int buf (put_int buf off sock) backlog
+    | Accept { sock } -> put_int buf off sock
+    | Recv { sock; len } -> put_int buf (put_int buf off sock) len
+    | Send { sock; data } -> put_bytes buf (put_int buf off sock) data
+    | Epoll_ctl { ep; sock; add; mask; cookie } ->
+        let off = put_int buf (put_int buf off ep) sock in
+        let off = put_int buf off (if add then 1 else 0) in
+        put_int buf (put_int buf off mask) cookie
+    | Epoll_wait { ep; max } -> put_int buf (put_int buf off ep) max
+    | Accept_recv { sock; len } -> put_int buf (put_int buf off sock) len
+    | Recv_send { sock; len; data } ->
+        put_bytes buf (put_int buf (put_int buf off sock) len) data
+    | Sendfile_sock { sock; fd; off = o; len } ->
+        put_int buf (put_int buf (put_int buf (put_int buf off sock) fd) o) len
   in
   buf
 
@@ -363,6 +430,53 @@ let decode_req buf ~off =
       let path, off = get_str buf off in
       let fl, off = get_int buf off in
       (Open_fstat { path; flags = flags_of_int fl }, off)
+  | Sysno.Socket -> (Socket, off)
+  | Sysno.Epoll_create -> (Epoll_create, off)
+  | Sysno.Bind ->
+      let sock, off = get_int buf off in
+      let port, off = get_int buf off in
+      (Bind { sock; port }, off)
+  | Sysno.Listen ->
+      let sock, off = get_int buf off in
+      let backlog, off = get_int buf off in
+      (Listen { sock; backlog }, off)
+  | Sysno.Accept ->
+      let sock, off = get_int buf off in
+      (Accept { sock }, off)
+  | Sysno.Recv ->
+      let sock, off = get_int buf off in
+      let len, off = get_int buf off in
+      (Recv { sock; len }, off)
+  | Sysno.Send ->
+      let sock, off = get_int buf off in
+      let data, off = get_bytes buf off in
+      (Send { sock; data }, off)
+  | Sysno.Epoll_ctl ->
+      let ep, off = get_int buf off in
+      let sock, off = get_int buf off in
+      let add, off = get_int buf off in
+      let mask, off = get_int buf off in
+      let cookie, off = get_int buf off in
+      (Epoll_ctl { ep; sock; add = add <> 0; mask; cookie }, off)
+  | Sysno.Epoll_wait ->
+      let ep, off = get_int buf off in
+      let max, off = get_int buf off in
+      (Epoll_wait { ep; max }, off)
+  | Sysno.Accept_recv ->
+      let sock, off = get_int buf off in
+      let len, off = get_int buf off in
+      (Accept_recv { sock; len }, off)
+  | Sysno.Recv_send ->
+      let sock, off = get_int buf off in
+      let len, off = get_int buf off in
+      let data, off = get_bytes buf off in
+      (Recv_send { sock; len; data }, off)
+  | Sysno.Sendfile_sock ->
+      let sock, off = get_int buf off in
+      let fd, off = get_int buf off in
+      let o, off = get_int buf off in
+      let len, off = get_int buf off in
+      (Sendfile_sock { sock; fd; off = o; len }, off)
 
 let pp_req ppf req =
   let a = arg_of_req req in

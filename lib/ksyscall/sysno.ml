@@ -26,12 +26,28 @@ type t =
   | Open_write_close
   | Sendfile
   | Open_fstat
+  (* knet sockets *)
+  | Socket
+  | Bind
+  | Listen
+  | Accept
+  | Recv
+  | Send
+  | Epoll_create
+  | Epoll_ctl
+  | Epoll_wait
+  (* consolidated / zero-copy network calls (§2.2, §2.3) *)
+  | Accept_recv
+  | Recv_send
+  | Sendfile_sock
 
 let all =
   [
     Open; Close; Read; Write; Pread; Pwrite; Lseek; Stat; Fstat; Readdir;
     Mkdir; Unlink; Rename; Fsync; Getpid; Readdirplus; Open_read_close;
-    Open_write_close; Sendfile; Open_fstat;
+    Open_write_close; Sendfile; Open_fstat; Socket; Bind; Listen; Accept;
+    Recv; Send; Epoll_create; Epoll_ctl; Epoll_wait; Accept_recv; Recv_send;
+    Sendfile_sock;
   ]
 
 let to_int = function
@@ -55,6 +71,18 @@ let to_int = function
   | Open_write_close -> 17
   | Sendfile -> 18
   | Open_fstat -> 19
+  | Socket -> 20
+  | Bind -> 21
+  | Listen -> 22
+  | Accept -> 23
+  | Recv -> 24
+  | Send -> 25
+  | Epoll_create -> 26
+  | Epoll_ctl -> 27
+  | Epoll_wait -> 28
+  | Accept_recv -> 29
+  | Recv_send -> 30
+  | Sendfile_sock -> 31
 
 let of_int = function
   | 0 -> Some Open
@@ -77,6 +105,18 @@ let of_int = function
   | 17 -> Some Open_write_close
   | 18 -> Some Sendfile
   | 19 -> Some Open_fstat
+  | 20 -> Some Socket
+  | 21 -> Some Bind
+  | 22 -> Some Listen
+  | 23 -> Some Accept
+  | 24 -> Some Recv
+  | 25 -> Some Send
+  | 26 -> Some Epoll_create
+  | 27 -> Some Epoll_ctl
+  | 28 -> Some Epoll_wait
+  | 29 -> Some Accept_recv
+  | 30 -> Some Recv_send
+  | 31 -> Some Sendfile_sock
   | _ -> None
 
 let to_string = function
@@ -100,6 +140,18 @@ let to_string = function
   | Open_write_close -> "open_write_close"
   | Sendfile -> "sendfile"
   | Open_fstat -> "open_fstat"
+  | Socket -> "socket"
+  | Bind -> "bind"
+  | Listen -> "listen"
+  | Accept -> "accept"
+  | Recv -> "recv"
+  | Send -> "send"
+  | Epoll_create -> "epoll_create"
+  | Epoll_ctl -> "epoll_ctl"
+  | Epoll_wait -> "epoll_wait"
+  | Accept_recv -> "accept_recv"
+  | Recv_send -> "recv_send"
+  | Sendfile_sock -> "sendfile_sock"
 
 let of_string s = List.find_opt (fun t -> to_string t = s) all
 
@@ -109,6 +161,7 @@ let pp ppf t = Fmt.string ppf (to_string t)
 
 (* True for the §2.2 consolidated calls that replace a syscall sequence. *)
 let is_consolidated = function
-  | Readdirplus | Open_read_close | Open_write_close | Sendfile | Open_fstat ->
+  | Readdirplus | Open_read_close | Open_write_close | Sendfile | Open_fstat
+  | Accept_recv | Recv_send | Sendfile_sock ->
       true
   | _ -> false

@@ -17,6 +17,7 @@ type trace_record = {
 type t = {
   kernel : Ksim.Kernel.t;
   vfs : Kvfs.Vfs.t;
+  net : Knet.t;
   mutable tracer : (trace_record -> unit) option;
   counts : (Sysno.t, int) Hashtbl.t;
   mutable total_syscalls : int;
@@ -31,6 +32,7 @@ let create ?root_fs ?dcache_shards kernel =
   {
     kernel;
     vfs;
+    net = Knet.create kernel;
     tracer = None;
     counts = Hashtbl.create 64;
     total_syscalls = 0;
@@ -41,6 +43,7 @@ let create ?root_fs ?dcache_shards kernel =
 
 let kernel t = t.kernel
 let vfs t = t.vfs
+let net t = t.net
 
 let set_tracer t f = t.tracer <- Some f
 let clear_tracer t = t.tracer <- None

@@ -24,6 +24,9 @@ val create :
 val kernel : t -> Ksim.Kernel.t
 val vfs : t -> Kvfs.Vfs.t
 
+(** The simulated socket stack booted alongside the VFS. *)
+val net : t -> Knet.t
+
 (** Install/remove the (single) tracer. *)
 val set_tracer : t -> (trace_record -> unit) -> unit
 

@@ -70,6 +70,31 @@ let service sys (req : Syscall.req) : Syscall.reply =
       Result.map
         (fun (fd, stat) -> R_fd_stat { fd; stat })
         (Consolidated.service_open_fstat sys ~path ~flags)
+  | Socket -> Ok (R_int (Sys_net.service_socket sys))
+  | Bind { sock; port } -> ok_unit (Sys_net.service_bind sys ~sock ~port)
+  | Listen { sock; backlog } ->
+      ok_unit (Sys_net.service_listen sys ~sock ~backlog)
+  | Accept { sock } -> ok_int (Sys_net.service_accept sys ~sock)
+  | Recv { sock; len } ->
+      Result.map (fun b -> R_bytes b) (Sys_net.service_recv sys ~sock ~len)
+  | Send { sock; data } -> ok_int (Sys_net.service_send sys ~sock ~data)
+  | Epoll_create -> Ok (R_int (Sys_net.service_epoll_create sys))
+  | Epoll_ctl { ep; sock; add; mask; cookie } ->
+      ok_unit (Sys_net.service_epoll_ctl sys ~ep ~sock ~add ~mask ~cookie)
+  | Epoll_wait { ep; max } ->
+      Result.map
+        (fun ready -> R_ready ready)
+        (Sys_net.service_epoll_wait sys ~ep ~max)
+  | Accept_recv { sock; len } ->
+      Result.map
+        (fun (fd, data) -> R_fd_bytes { fd; data })
+        (Sys_net.service_accept_recv sys ~sock ~len)
+  | Recv_send { sock; len; data } ->
+      Result.map
+        (fun (n, received) -> R_int_bytes { n; data = received })
+        (Sys_net.service_recv_send sys ~sock ~len ~data)
+  | Sendfile_sock { sock; fd; off; len } ->
+      ok_int (Sys_net.service_sendfile_sock sys ~sock ~fd ~off ~len)
 
 (* Run one request that is already on the kernel side of the boundary
    (a drained ring entry): no crossing, no copy charges — the caller
@@ -151,6 +176,21 @@ let fd_stat_ok = function
   | Error e -> Error e
   | Ok _ -> invalid_arg "Usyscall: expected R_fd_stat"
 
+let ready_ok = function
+  | Ok (Syscall.R_ready r) -> Ok r
+  | Error e -> Error e
+  | Ok _ -> invalid_arg "Usyscall: expected R_ready"
+
+let fd_bytes_ok = function
+  | Ok (Syscall.R_fd_bytes { fd; data }) -> Ok (fd, data)
+  | Error e -> Error e
+  | Ok _ -> invalid_arg "Usyscall: expected R_fd_bytes"
+
+let int_bytes_ok = function
+  | Ok (Syscall.R_int_bytes { n; data }) -> Ok (n, data)
+  | Error e -> Error e
+  | Ok _ -> invalid_arg "Usyscall: expected R_int_bytes"
+
 (* --- thin per-call builders --------------------------------------------- *)
 
 let sys_open sys ~path ~flags = int_ok (dispatch sys (Syscall.Open { path; flags }))
@@ -198,5 +238,41 @@ let sys_sendfile sys ~fd ~off ~len =
 
 let sys_open_fstat sys ~path ~flags =
   fd_stat_ok (dispatch sys (Syscall.Open_fstat { path; flags }))
+
+(* --- socket wrappers (knet) --------------------------------------------- *)
+
+let sys_socket sys =
+  match int_ok (dispatch sys Syscall.Socket) with
+  | Ok fd -> fd
+  | Error _ -> assert false
+
+let sys_bind sys ~sock ~port = unit_ok (dispatch sys (Syscall.Bind { sock; port }))
+
+let sys_listen sys ~sock ~backlog =
+  unit_ok (dispatch sys (Syscall.Listen { sock; backlog }))
+
+let sys_accept sys ~sock = int_ok (dispatch sys (Syscall.Accept { sock }))
+let sys_recv sys ~sock ~len = bytes_ok (dispatch sys (Syscall.Recv { sock; len }))
+let sys_send sys ~sock ~data = int_ok (dispatch sys (Syscall.Send { sock; data }))
+
+let sys_epoll_create sys =
+  match int_ok (dispatch sys Syscall.Epoll_create) with
+  | Ok fd -> fd
+  | Error _ -> assert false
+
+let sys_epoll_ctl sys ~ep ~sock ~add ~mask ~cookie =
+  unit_ok (dispatch sys (Syscall.Epoll_ctl { ep; sock; add; mask; cookie }))
+
+let sys_epoll_wait sys ~ep ~max =
+  ready_ok (dispatch sys (Syscall.Epoll_wait { ep; max }))
+
+let sys_accept_recv sys ~sock ~len =
+  fd_bytes_ok (dispatch sys (Syscall.Accept_recv { sock; len }))
+
+let sys_recv_send sys ~sock ~len ~data =
+  int_bytes_ok (dispatch sys (Syscall.Recv_send { sock; len; data }))
+
+let sys_sendfile_sock sys ~sock ~fd ~off ~len =
+  int_ok (dispatch sys (Syscall.Sendfile_sock { sock; fd; off; len }))
 
 let dirents_bytes = Syscall.dirents_bytes

@@ -14,6 +14,9 @@ type errno =
   | EFAULT
   | ENAMETOOLONG
   | EROFS
+  | EAGAIN        (* operation would block (empty recvq, full sendq...) *)
+  | ENOTSOCK      (* socket operation on a non-socket descriptor *)
+  | EADDRINUSE    (* bind to a port another listener owns *)
 
 let errno_to_string = function
   | ENOENT -> "ENOENT"
@@ -27,6 +30,9 @@ let errno_to_string = function
   | EFAULT -> "EFAULT"
   | ENAMETOOLONG -> "ENAMETOOLONG"
   | EROFS -> "EROFS"
+  | EAGAIN -> "EAGAIN"
+  | ENOTSOCK -> "ENOTSOCK"
+  | EADDRINUSE -> "EADDRINUSE"
 
 let pp_errno ppf e = Fmt.string ppf (errno_to_string e)
 
@@ -44,11 +50,14 @@ let errno_code = function
   | EFAULT -> 14
   | ENAMETOOLONG -> 36
   | EROFS -> 30
+  | EAGAIN -> 11
+  | ENOTSOCK -> 88
+  | EADDRINUSE -> 98
 
 let all_errnos =
   [
     ENOENT; EEXIST; ENOTDIR; EISDIR; EBADF; EINVAL; ENOTEMPTY; ENOSPC; EFAULT;
-    ENAMETOOLONG; EROFS;
+    ENAMETOOLONG; EROFS; EAGAIN; ENOTSOCK; EADDRINUSE;
   ]
 
 let errno_of_code n = List.find_opt (fun e -> errno_code e = n) all_errnos

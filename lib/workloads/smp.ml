@@ -49,6 +49,30 @@ let postmark_instances ?config sys k =
 let webserver_instances ?config sys k =
   List.init k (webserver_instance ?config sys)
 
+(* knet serving (E14): each instance is its own listener on its own
+   port with its own document tree and client population, but all share
+   the one socket stack and event heap — so their epoll waits and wire
+   activity interleave across CPUs. *)
+let webserver_net_instance ?(config = Webserver.net_default_config) sys i =
+  let config =
+    {
+      config with
+      Webserver.port = config.Webserver.port + i;
+      docs =
+        {
+          config.Webserver.docs with
+          Webserver.dir = Printf.sprintf "%s%d" config.Webserver.docs.Webserver.dir i;
+          seed = config.Webserver.docs.Webserver.seed + i;
+        };
+    }
+  in
+  Webserver.net_setup ~config sys;
+  let t = Webserver.net_make ~config sys in
+  { name = Printf.sprintf "webnet%d" i; step = (fun () -> Webserver.net_step t) }
+
+let webserver_net_instances ?config sys k =
+  List.init k (webserver_net_instance ?config sys)
+
 let run sys instances =
   let kernel = Ksyscall.Systable.kernel sys in
   let sched = Ksim.Kernel.sched kernel in

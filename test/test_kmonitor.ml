@@ -359,6 +359,45 @@ let test_irq_monitor () =
   Alcotest.(check int) "unbalanced flagged" 1
     (List.length m.Kmonitor.Monitors.irq_violations)
 
+let test_net_monitor () =
+  let m = Kmonitor.Monitors.net_monitor () in
+  let cb = Kmonitor.Monitors.net_callback m in
+  let kind = Ksim.Instrument.Custom Kmonitor.Monitors.net_backlog_drop_kind in
+  (* the event's value carries the listener's running total: replace,
+     don't accumulate *)
+  cb (ev ~obj:80 ~value:1 ~kind ());
+  cb (ev ~obj:80 ~value:2 ~kind ());
+  cb (ev ~obj:8080 ~value:1 ~kind ());
+  (* other custom kinds are not ours *)
+  cb (ev ~obj:99 ~value:7 ~kind:(Ksim.Instrument.Custom 11) ());
+  Alcotest.(check int) "events" 3 m.Kmonitor.Monitors.nm_events;
+  (match Kmonitor.Monitors.hottest_listeners m with
+  | (port, drops) :: _ ->
+      Alcotest.(check int) "hottest port" 80 port;
+      Alcotest.(check int) "its drops" 2 drops
+  | [] -> Alcotest.fail "no listeners seen");
+  (* live: a real backlog overflow flows from knet through the
+     dispatcher and the monitor names the hot listening socket *)
+  let kernel = Ksim.Kernel.create () in
+  let d = Kmonitor.Dispatcher.create kernel in
+  let std = Kmonitor.Monitors.register_standard d in
+  Kmonitor.Dispatcher.install d;
+  let net = Knet.create kernel in
+  let s = Knet.socket net in
+  ignore (Knet.bind net ~sock:s ~port:80);
+  ignore (Knet.listen net ~sock:s ~backlog:1);
+  ignore (Knet.inject_connect net ~port:80);
+  ignore (Knet.inject_connect net ~port:80);
+  ignore (Knet.inject_connect net ~port:80);
+  Kmonitor.Dispatcher.uninstall d;
+  Alcotest.(check (list (pair int int)))
+    "monitor names the hot listener" [ (80, 2) ]
+    (Kmonitor.Monitors.hottest_listeners std.Kmonitor.Monitors.net);
+  Alcotest.(check bool) "drop kind registered by name" true
+    (Fmt.str "%a" Ksim.Instrument.pp_kind
+       (Ksim.Instrument.Custom Knet.backlog_drop_kind)
+    = "net-backlog-drop")
+
 let test_standard_monitors_end_to_end () =
   let kernel = Ksim.Kernel.create () in
   let d = Kmonitor.Dispatcher.create kernel in
@@ -486,6 +525,7 @@ let () =
           Alcotest.test_case "spinlock" `Quick test_spinlock_monitor;
           Alcotest.test_case "irq" `Quick test_irq_monitor;
           Alcotest.test_case "contention" `Quick test_contention_monitor;
+          Alcotest.test_case "net backpressure" `Quick test_net_monitor;
           Alcotest.test_case "end to end" `Quick test_standard_monitors_end_to_end;
         ] );
       ( "mfilter",

@@ -215,6 +215,65 @@ let test_watchdog_protects_runaway_compound () =
     Alcotest.(check bool) "kernel usable afterwards" true
       (Core.Syscall.sys_getpid (Core.sys t) >= 0)
 
+(* --- knet serving (E14) ------------------------------------------------- *)
+
+let net_small variant =
+  { Workloads.Webserver.net_default_config with
+    Workloads.Webserver.variant; conns = 24; requests_per_conn = 2 }
+
+let net_run variant =
+  let t = Core.boot () in
+  let config = net_small variant in
+  Workloads.Webserver.net_setup ~config (Core.sys t);
+  let k = Core.kernel t in
+  let x0 = Ksim.Kernel.crossings k in
+  let c0 = Ksim.Kernel.bytes_to_user k + Ksim.Kernel.bytes_from_user k in
+  let s = Workloads.Webserver.run_net ~config (Core.sys t) in
+  ( s,
+    Ksim.Kernel.crossings k - x0,
+    Ksim.Kernel.bytes_to_user k + Ksim.Kernel.bytes_from_user k - c0 )
+
+let test_net_variants_equivalent () =
+  (* E14's core claim: all four serving loops deliver byte-identical
+     response streams, and the consolidated/sendfile/ring variants pay
+     for them with fewer crossings or fewer copied bytes *)
+  let naive, nx, ncopy = net_run Workloads.Webserver.Net_naive in
+  let cons, cx, _ = net_run Workloads.Webserver.Net_consolidated in
+  let sf, _, sfcopy = net_run Workloads.Webserver.Net_sendfile in
+  let ring, rx, rcopy = net_run Workloads.Webserver.Net_ring in
+  Alcotest.(check int) "all conns completed" 24 naive.Workloads.Webserver.n_completed;
+  List.iter
+    (fun (name, s) ->
+      Alcotest.(check string) (name ^ ": same bytes on the wire")
+        naive.Workloads.Webserver.n_digest s.Workloads.Webserver.n_digest;
+      Alcotest.(check int) (name ^ ": same completions")
+        naive.Workloads.Webserver.n_completed s.Workloads.Webserver.n_completed)
+    [ ("consolidated", cons); ("sendfile", sf); ("ring", ring) ];
+  Alcotest.(check bool) "consolidated crosses less" true (cx < nx);
+  Alcotest.(check bool) "ring crosses least" true (rx < cx);
+  Alcotest.(check bool) "sendfile copies less" true (sfcopy < ncopy);
+  Alcotest.(check bool) "ring copies less" true (rcopy < ncopy)
+
+let test_net_smp_completes () =
+  let t = Core.boot ~ncpus:2 () in
+  let config =
+    { (net_small Workloads.Webserver.Net_sendfile) with
+      Workloads.Webserver.conns = 12 }
+  in
+  let insts = Workloads.Smp.webserver_net_instances ~config (Core.sys t) 2 in
+  let r = Workloads.Smp.run (Core.sys t) insts in
+  Alcotest.(check int) "two instances" 2 r.Workloads.Smp.instances;
+  Array.iter
+    (fun c -> Alcotest.(check bool) "every cpu worked" true (c > 0))
+    r.Workloads.Smp.cpu_cycles;
+  let knet = Core.net t in
+  for i = 0 to 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "port %d clients all served" (80 + i))
+      12
+      (Knet.Traffic.completed knet ~port:(80 + i))
+  done
+
 let smp_cfg =
   { Workloads.Webserver.default_config with
     documents = 20;
@@ -286,6 +345,11 @@ let () =
           Alcotest.test_case "E7 kgcc contrast" `Quick test_kgcc_journalfs_overhead_direction;
           Alcotest.test_case "E6 monitoring order" `Quick test_monitoring_overhead_ordering;
           Alcotest.test_case "watchdog" `Quick test_watchdog_protects_runaway_compound;
+        ] );
+      ( "knet",
+        [
+          Alcotest.test_case "E14 variants equivalent" `Quick test_net_variants_equivalent;
+          Alcotest.test_case "E14 smp completes" `Quick test_net_smp_completes;
         ] );
       ( "smp",
         [
