@@ -1,4 +1,4 @@
-.PHONY: all build test bench-smoke bench-e14 check clean
+.PHONY: all build test bench-smoke bench-e14 bench-e15 kperf-smoke check clean
 
 all: build
 
@@ -18,8 +18,22 @@ bench-smoke:
 bench-e14:
 	dune exec bench/main.exe -- E14
 
-check: build test bench-smoke
+# Tracing overhead on the C10K webserver at full scale: all four serving
+# variants with the kperf tracer on vs off, plus BENCH_kperf.json.
+bench-e15:
+	dune exec bench/main.exe -- E15
+
+# Record a traced run, export it, and re-derive the folded/top views
+# from the exported JSON — exercises the whole tracer pipeline on a
+# tiny workload.
+kperf-smoke:
+	dune exec bin/kperf_tool.exe -- record -w lsdir -o /tmp/kperf_smoke.json
+	dune exec bin/kperf_tool.exe -- fold /tmp/kperf_smoke.json > /dev/null
+	dune exec bin/kperf_tool.exe -- top /tmp/kperf_smoke.json
+	rm -f /tmp/kperf_smoke.json
+
+check: build test bench-smoke kperf-smoke
 
 clean:
 	dune clean
-	rm -f BENCH_kstats.json
+	rm -f BENCH_kstats.json BENCH_kperf.json

@@ -954,6 +954,88 @@ let e14 () =
         (if d = nd then "equal" else "DIFFER"))
     [ "consolidated"; "sendfile"; "ring" ]
 
+(* --------------------------------------------------- E15: kperf tracing *)
+
+(* Tracing overhead on the E14 webserver: the same (variant, conns) cell
+   is run three times — twice with the tracer disabled (proving disabled
+   tracing costs zero cycles: both runs are bit-for-bit identical) and
+   once with it enabled, where every stored record charges
+   [trace_emit] cycles.  The claim under test is the kstats contract
+   extended to tracing: disabled = free, enabled = under 2% of cycles
+   even at 10k connections.  The traced run's span profile is the
+   "where did the cycles go" answer E15 exists to produce. *)
+let e15 () =
+  header "E15" "kperf tracing overhead on the C10K webserver"
+    "no direct number — §3 argues kernel-resident monitoring must be \
+     cheap enough to leave on; claim under test is that full span \
+     tracing of the 10k-connection sweep costs <2% cycles enabled and \
+     exactly 0 disabled";
+  let variants =
+    [ Workloads.Webserver.Net_naive; Workloads.Webserver.Net_consolidated;
+      Workloads.Webserver.Net_sendfile; Workloads.Webserver.Net_ring ]
+  in
+  let conns = sc 10_000 in
+  let run_cell v ~trace =
+    let t = Core.boot ~trace () in
+    let sys = Core.sys t in
+    let config =
+      { Workloads.Webserver.net_default_config with variant = v; conns }
+    in
+    Workloads.Webserver.net_setup ~config sys;
+    ignore (Workloads.Webserver.run_net ~config sys);
+    (Ksim.Kernel.now (Core.kernel t), Core.perf t)
+  in
+  pf "  %-13s %6s %14s %14s %9s %10s %8s\n" "variant" "conns" "cycles(off)"
+    "cycles(on)" "overhead" "events" "drops";
+  let kperf_rows = ref [] in
+  let top_tables = ref [] in
+  List.iter
+    (fun v ->
+      let name = Workloads.Webserver.net_variant_name v in
+      let off1, _ = run_cell v ~trace:false in
+      let off2, _ = run_cell v ~trace:false in
+      if off1 <> off2 then
+        pf "  !! %s: untraced runs differ (%d vs %d) — determinism broken\n"
+          name off1 off2;
+      let on, perf = run_cell v ~trace:true in
+      let overhead = pct_over off1 on in
+      let events = Core.Perf.emitted perf in
+      let drops = Core.Perf.drops perf + Core.Perf.overwritten perf in
+      pf "  %-13s %6d %14d %14d %8.3f%% %10d %8d\n" name conns off1 on
+        overhead events drops;
+      top_tables := (name, Core.Perf.top ~n:5 perf) :: !top_tables;
+      let row =
+        Printf.sprintf
+          "{\"variant\":\"%s\",\"conns\":%d,\"cycles_off\":%d,\
+           \"cycles_off_repeat\":%d,\"cycles_on\":%d,\"overhead_pct\":%.4f,\
+           \"events\":%d,\"ring_lost\":%d}"
+          name conns off1 off2 on overhead events drops
+      in
+      kperf_rows := row :: !kperf_rows;
+      add_row "E15" row)
+    variants;
+  (* the self-profile of the naive variant: where its cycles went *)
+  (match List.assoc_opt "naive" !top_tables with
+  | Some rows ->
+      pf "\n  naive variant, top spans by self cycles:\n";
+      List.iter
+        (fun r ->
+          pf "    %-32s %8d calls %14d self-cy %5.1f%%\n" r.Core.Perf.p_label
+            r.Core.Perf.p_count r.Core.Perf.p_self (100. *. r.Core.Perf.p_share))
+        rows
+  | None -> ());
+  (* machine-readable tracing-overhead summary *)
+  let oc = open_out "BENCH_kperf.json" in
+  output_string oc "{\"experiment\":\"E15\",\"rows\":[";
+  List.iteri
+    (fun i row ->
+      if i > 0 then output_string oc ",";
+      output_string oc row)
+    (List.rev !kperf_rows);
+  output_string oc "]}\n";
+  close_out oc;
+  pf "\n  wrote BENCH_kperf.json\n"
+
 (* ------------------------------------------------- Bechamel microbench *)
 
 let micro () =
@@ -1023,7 +1105,7 @@ let micro () =
 let all_experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
-    ("E12", e12); ("E13", e13); ("E14", e14) ]
+    ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15) ]
 
 (* --- machine-readable kstats output (BENCH_kstats.json) --------------- *)
 

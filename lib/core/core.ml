@@ -25,6 +25,7 @@ module Req = Ksyscall.Syscall
 module Ring = Kring
 module Stats = Kstats
 module Net = Knet
+module Perf = Kperf
 
 type fs_choice =
   | Memfs                          (* plain in-memory Ext2 stand-in *)
@@ -46,6 +47,7 @@ type t = {
 let kernel t = t.kernel
 let sys t = t.sys
 let stats t = Ksim.Kernel.stats t.kernel
+let perf t = Ksim.Kernel.perf t.kernel
 let net t = Ksyscall.Systable.net t.sys
 let kefence t = t.kefence
 let wrapfs t = t.wrapfs
@@ -67,7 +69,7 @@ let ok = function Ok v -> v | Error e -> raise (Sys_error e)
    every system booted during a run to aggregate their kstats. *)
 let on_boot : (t -> unit) ref = ref (fun _ -> ())
 
-let boot ?(config = Ksim.Kernel.default_config) ?ncpus ?dcache_shards
+let boot ?(config = Ksim.Kernel.default_config) ?ncpus ?dcache_shards ?trace
     ?(fs = Memfs) () =
   let config =
     match ncpus with
@@ -75,6 +77,10 @@ let boot ?(config = Ksim.Kernel.default_config) ?ncpus ?dcache_shards
     | Some n -> { config with Ksim.Kernel.ncpus = n }
   in
   let kernel = Ksim.Kernel.create ~config () in
+  (* ?trace overrides the boot-time default for this system only *)
+  (match trace with
+  | Some on -> Kperf.set_enabled (Ksim.Kernel.perf kernel) on
+  | None -> ());
   let kefence_ref = ref None in
   let wrapfs_ref = ref None in
   let journalfs_ref = ref None in
@@ -175,6 +181,12 @@ let trace t =
 
 (* A periodic kstats snapshot feed into the monitoring event stream. *)
 let stats_feed ?interval t = Kmonitor.Stats_feed.create ?interval t.kernel
+
+(* Mirror kperf span begin/end into the monitoring event stream. *)
+let perf_feed t =
+  let b = Kmonitor.Perf_bridge.create t.kernel in
+  Kmonitor.Perf_bridge.attach b;
+  b
 
 (* The /proc-style metrics report for this system. *)
 let pp_stats ppf t = Kstats.pp_report ppf (stats t)

@@ -24,6 +24,7 @@ module Req = Ksyscall.Syscall
 module Ring = Kring
 module Stats = Kstats
 module Net = Knet
+module Perf = Kperf
 
 (** The filesystem stack to boot with. *)
 type fs_choice =
@@ -42,6 +43,12 @@ val sys : t -> Ksyscall.Systable.t
     histograms).  Enabled at boot when [!Kstats.default_enabled];
     toggle later with [Kstats.set_enabled]. *)
 val stats : t -> Kstats.t
+
+(** The kperf tracer: per-CPU trace rings and causal spans.  Enabled at
+    boot when [!Kperf.default_enabled] (or via {!boot}'s [?trace]);
+    toggle later with [Kperf.set_enabled].  Disabled, every tracepoint
+    is a single branch and the simulated clock is untouched. *)
+val perf : t -> Kperf.t
 
 (** The simulated socket stack booted alongside the VFS (see {!Knet}). *)
 val net : t -> Knet.t
@@ -68,10 +75,12 @@ val ok : ('a, Kvfs.Vtypes.errno) result -> 'a
 
 (** [ncpus] overrides the config's simulated CPU count; [dcache_shards]
     selects the dentry-cache locking mode (1 = global [dcache_lock],
-    more = per-shard locks with lockless reads; see {!Kvfs.Dcache}). *)
+    more = per-shard locks with lockless reads; see {!Kvfs.Dcache}).
+    [trace] forces the kperf tracer on or off for this system,
+    overriding [!Kperf.default_enabled]. *)
 val boot :
   ?config:Ksim.Kernel.config -> ?ncpus:int -> ?dcache_shards:int ->
-  ?fs:fs_choice -> unit -> t
+  ?trace:bool -> ?fs:fs_choice -> unit -> t
 
 (** Called with every system {!boot} constructs, before it is returned.
     Harnesses (e.g. the bench driver) hook this to aggregate kstats
@@ -108,6 +117,11 @@ val trace : t -> Ktrace.Recorder.t
 (** A periodic kstats snapshot feed into the monitoring event stream
     (requires {!enable_monitoring} for the events to flow). *)
 val stats_feed : ?interval:int -> t -> Kmonitor.Stats_feed.t
+
+(** Mirror kperf span begin/end events into the monitoring event stream
+    as Custom instrument events (requires {!enable_monitoring} for them
+    to reach the ring; see {!Kmonitor.Perf_bridge}). *)
+val perf_feed : t -> Kmonitor.Perf_bridge.t
 
 (** Render the /proc-style metrics report for this system. *)
 val pp_stats : Format.formatter -> t -> unit

@@ -213,7 +213,17 @@ let do_syscall t slots sysno args =
           (Exec_error (Printf.sprintf "%s: bad argument count (%d)" name
                          (List.length args)))
   in
-  let reply = Ksyscall.Usyscall.service t.sys req in
+  let perf = Ksim.Kernel.perf (Ksyscall.Systable.kernel t.sys) in
+  let span = Kperf.span_begin perf ~cat:"cosy" ~name:("sys." ^ name) () in
+  let reply =
+    match Ksyscall.Usyscall.service t.sys req with
+    | r ->
+        Kperf.span_end perf span;
+        r
+    | exception e ->
+        Kperf.span_end perf span;
+        raise e
+  in
   post reply;
   Syscall.reply_to_retval reply
 
@@ -252,14 +262,19 @@ let submit t compound =
   let kernel = Ksyscall.Systable.kernel t.sys in
   let cost = Ksim.Kernel.cost kernel in
   let clock = Ksim.Kernel.clock kernel in
+  let perf = Ksim.Kernel.perf kernel in
+  let pid = (Ksim.Kernel.current kernel).Ksim.Kproc.pid in
   t.submits <- t.submits + 1;
   Kstats.incr t.kstats t.st_submits;
   let ops_before = t.ops_executed in
+  (* one span per compound; the per-op "cosy:sys.*" spans nest under it *)
+  let span = Kperf.span_begin perf ~pid ~cat:"cosy" ~name:"submit" () in
   Ksim.Kernel.enter_kernel kernel;
   Ksim.Sim_clock.advance clock cost.Ksim.Cost_model.cosy_submit;
   Cosy_safety.arm t.safety;
   let finish_exn e =
     Ksim.Kernel.exit_kernel kernel;
+    Kperf.span_end perf ~pid span;
     raise e
   in
   let result =
@@ -337,11 +352,13 @@ let submit t compound =
         let offender = Ksim.Kernel.current kernel in
         Ksim.Kernel.exit_kernel kernel;
         Ksim.Scheduler.kill (Ksim.Kernel.sched kernel) offender;
+        Kperf.span_end perf ~pid span;
         raise e
     | e -> finish_exn e
   in
   Ksim.Kernel.exit_kernel kernel;
   Kstats.observe t.kstats t.st_compound_ops (t.ops_executed - ops_before);
+  Kperf.span_end perf ~pid ~arg:(t.ops_executed - ops_before) span;
   result
 
 type stats = {

@@ -23,7 +23,7 @@ let create ?(ring_capacity = 8192) kernel =
   {
     kernel;
     callbacks = [];
-    ring = Ring.create ring_capacity;
+    ring = Ring.create ~name:"dispatcher" ~stats:kstats ring_capacity;
     kstats;
     st_events = Kstats.counter kstats "kmonitor.events";
     st_ring_pushed = Kstats.counter kstats "kmonitor.ring_pushed";

@@ -1,0 +1,67 @@
+(* Bridge from the kperf tracer into the Figure-1 monitoring pipeline:
+   span begin/end events are mirrored as Instrument.Custom events, so a
+   user-space monitor polling the character device sees trace activity
+   interleaved with the lock/irq/syscall events it already consumes —
+   without the tracer itself depending on kmonitor (kperf sits below
+   ksim in the library graph; the mirroring runs through kperf's sink
+   hook instead).
+
+   Instants are deliberately not mirrored: they exist for flamegraph
+   annotation and would double every context switch in the event
+   stream.  Each mirrored event also dispatches through log_event, so
+   the usual event_dispatch/ring_push costs apply — the bridge is for
+   watching the tracer, not for free. *)
+
+let span_begin_kind = 11
+let span_end_kind = 12
+
+let () =
+  Ksim.Instrument.register_custom_name span_begin_kind "kperf-span-begin";
+  Ksim.Instrument.register_custom_name span_end_kind "kperf-span-end"
+
+type t = {
+  perf : Kperf.t;
+  kstats : Kstats.t;
+  st_mirrored : Kstats.counter;
+  mutable mirrored : int;
+  mutable attached : bool;
+}
+
+let create kernel =
+  let kstats = Ksim.Kernel.stats kernel in
+  {
+    perf = Ksim.Kernel.perf kernel;
+    kstats;
+    st_mirrored = Kstats.counter kstats "kmonitor.perf_bridge.mirrored";
+    mirrored = 0;
+    attached = false;
+  }
+
+let mirror t (ev : Kperf.event) =
+  let kind =
+    match ev.Kperf.ev_kind with
+    | Kperf.Begin | Kperf.Async_begin -> Some span_begin_kind
+    | Kperf.End | Kperf.Async_end -> Some span_end_kind
+    | Kperf.Instant -> None
+  in
+  match kind with
+  | None -> ()
+  | Some k ->
+      t.mirrored <- t.mirrored + 1;
+      Kstats.incr t.kstats t.st_mirrored;
+      Ksim.Instrument.emit ~pid:ev.Kperf.ev_pid ~obj:ev.Kperf.ev_id
+        ~value:ev.Kperf.ev_arg ~kind:(Ksim.Instrument.Custom k)
+        ~file:(ev.Kperf.ev_cat ^ ":" ^ ev.Kperf.ev_name)
+        ~line:ev.Kperf.ev_cpu ()
+
+let attach t =
+  Kperf.set_sink t.perf (Some (mirror t));
+  t.attached <- true
+
+let detach t =
+  if t.attached then begin
+    Kperf.set_sink t.perf None;
+    t.attached <- false
+  end
+
+let mirrored t = t.mirrored

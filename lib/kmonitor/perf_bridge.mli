@@ -1,0 +1,30 @@
+(** Bridge from the kperf tracer into the kmonitor event pipeline.
+
+    While attached, every kperf span begin/end (synchronous and async)
+    is mirrored as an {!Ksim.Instrument.Custom} event — kind 11
+    ("kperf-span-begin") or 12 ("kperf-span-end") — carrying the span id
+    as [obj], the span's numeric argument as [value], ["cat:name"] as
+    [file] and the emitting CPU as [line].  A user-space monitor polling
+    the character device therefore sees trace activity interleaved with
+    the lock/irq events it already consumes.  Instants are not mirrored
+    (they would double every context switch in the event stream).
+
+    Mirrored events are counted in [kmonitor.perf_bridge.mirrored] and
+    pay the normal dispatch costs. *)
+
+type t
+
+val span_begin_kind : int
+val span_end_kind : int
+
+(** Uses the kernel's own tracer and kstats registry. *)
+val create : Ksim.Kernel.t -> t
+
+(** Install the bridge as the tracer's sink (replacing any other). *)
+val attach : t -> unit
+
+(** Remove the sink; idempotent. *)
+val detach : t -> unit
+
+(** Events mirrored so far. *)
+val mirrored : t -> int

@@ -16,16 +16,27 @@ type 'a t = {
   head : int Atomic.t;          (* next slot to consume *)
   tail : int Atomic.t;          (* next slot to fill *)
   dropped : int Atomic.t;       (* producer-side overflow count *)
+  st_dropped : (Kstats.t * Kstats.counter) option;
 }
 
-let create capacity =
+let create ?name ?stats capacity =
   if capacity <= 0 then invalid_arg "Ring.create: capacity";
+  (* a named ring surfaces its drops as kmonitor.ring.<name>.dropped, so
+     a registry dump attributes overflow to the ring that overflowed
+     rather than one anonymous global total *)
+  let st_dropped =
+    match (name, stats) with
+    | Some n, Some s ->
+        Some (s, Kstats.counter s (Printf.sprintf "kmonitor.ring.%s.dropped" n))
+    | _ -> None
+  in
   {
     slots = Array.make capacity None;
     capacity;
     head = Atomic.make 0;
     tail = Atomic.make 0;
     dropped = Atomic.make 0;
+    st_dropped;
   }
 
 let capacity t = t.capacity
@@ -44,6 +55,9 @@ let push t v =
   let hd = Atomic.get t.head in
   if tl - hd >= t.capacity then begin
     Atomic.incr t.dropped;
+    (match t.st_dropped with
+    | Some (stats, c) -> Kstats.incr stats c
+    | None -> ());
     false
   end
   else begin

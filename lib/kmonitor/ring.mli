@@ -11,8 +11,12 @@
 
 type 'a t
 
-(** @raise Invalid_argument if capacity is not positive. *)
-val create : int -> 'a t
+(** [create ?name ?stats capacity] builds an empty ring.  When both
+    [name] and [stats] are given the ring registers a
+    [kmonitor.ring.<name>.dropped] counter and counts its overflow there
+    too, so drops are attributable per ring in a registry dump.
+    @raise Invalid_argument if capacity is not positive. *)
+val create : ?name:string -> ?stats:Kstats.t -> int -> 'a t
 
 val capacity : 'a t -> int
 val length : 'a t -> int

@@ -118,6 +118,7 @@ type client = {
   mutable cl_hdr_got : int;
   mutable cl_body_left : int;
   cl_sent_at : int Queue.t;          (* client-side send instants, FIFO *)
+  cl_span : int Queue.t;             (* kperf async span ids, same FIFO *)
   cl_resp : Buffer.t;                (* raw response stream until digest *)
   mutable cl_finished : bool;
 }
@@ -241,12 +242,22 @@ let port_state t port = Hashtbl.find_opt t.traffic port
 
 let schedule_request t cl ~req ~send_at =
   Queue.push send_at cl.cl_sent_at;
+  (* a request outlives any single syscall — send, kernel-side service,
+     drain, client rx can each happen in different kernel stays — so it
+     is an *async* span, keyed by id on its own Perfetto track *)
+  Queue.push
+    (Kperf.async_begin (Kernel.perf t.kn) ~arg:cl.cl_port ~cat:"net"
+       ~name:"request" ())
+    cl.cl_span;
   push_ev t (send_at + wire t) (Ev_deliver { cl; data = cl.cl_req_of req })
 
 let response_done t cl =
   cl.cl_done <- cl.cl_done + 1;
   (match Queue.take_opt cl.cl_sent_at with
   | Some sent -> Kstats.observe t.stats t.st_latency (now t - sent)
+  | None -> ());
+  (match Queue.take_opt cl.cl_span with
+  | Some span -> Kperf.async_end (Kernel.perf t.kn) ~arg:cl.cl_port span
   | None -> ());
   (match port_state t cl.cl_port with
   | Some ps -> ps.ps_responses <- ps.ps_responses + 1
@@ -315,6 +326,8 @@ let connect_attempt t ~port ~client =
             Instrument.emit ~obj:port ~value:l.l_drops
               ~kind:(Instrument.Custom backlog_drop_kind) ~file:"knet.ml"
               ~line:0 ();
+            Kperf.instant (Kernel.perf t.kn) ~arg:port ~cat:"net"
+              ~name:"backlog_drop" ();
             C_drop lid
           end
           else begin
@@ -495,6 +508,8 @@ let accept t ~sock =
           | Some (S_conn c) -> c.cn_accepted <- true
           | _ -> ());
           Kstats.incr t.stats t.st_accepts;
+          Kperf.instant (Kernel.perf t.kn) ~arg:id ~cat:"net" ~name:"accept"
+            ();
           Ok id
       | None -> Error V.EAGAIN)
   | Some (S_new _) | Some (S_conn _) -> Error V.EINVAL
@@ -743,6 +758,7 @@ module Traffic = struct
           cl_hdr_got = 0;
           cl_body_left = 0;
           cl_sent_at = Queue.create ();
+          cl_span = Queue.create ();
           cl_resp = Buffer.create 256;
           cl_finished = false;
         }

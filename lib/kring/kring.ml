@@ -128,6 +128,16 @@ let enter t =
     let kernel = Ksyscall.Systable.kernel t.sys in
     let cost = Ksim.Kernel.cost kernel in
     let clock = Ksim.Kernel.clock kernel in
+    let perf = Ksim.Kernel.perf kernel in
+    let pid = (Ksim.Kernel.current kernel).Ksim.Kproc.pid in
+    (* one span for the whole kernel stay; the per-request syscall spans
+       dispatched below nest under it, which is what makes a kring batch
+       legible in a flamegraph: one wide "ring:enter" frame fanning out
+       into its drained syscalls *)
+    let span =
+      Kperf.span_begin perf ~pid ~arg:(Queue.length t.sq) ~cat:"ring"
+        ~name:"enter" ()
+    in
     Ksim.Kernel.charge_user kernel cost.Ksim.Cost_model.user_stub;
     Ksim.Kernel.enter_kernel kernel;
     Ksim.Sim_clock.advance clock cost.Ksim.Cost_model.cosy_submit;
@@ -165,12 +175,15 @@ let enter t =
         let offender = Ksim.Kernel.current kernel in
         Ksim.Kernel.exit_kernel kernel;
         Ksim.Scheduler.kill (Ksim.Kernel.sched kernel) offender;
+        Kperf.span_end perf ~pid ~arg:!completed span;
         raise e
     | e ->
         Ksim.Kernel.exit_kernel kernel;
+        Kperf.span_end perf ~pid ~arg:!completed span;
         raise e);
     Kstats.observe t.kstats t.st_batch !completed;
     Kstats.add t.kstats t.st_crossings_saved (max 0 (!completed - 1));
+    Kperf.span_end perf ~pid ~arg:!completed span;
     !completed
   end
 

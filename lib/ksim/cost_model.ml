@@ -37,6 +37,7 @@ type t = {
   (* event monitoring *)
   event_dispatch : int;
   ring_push : int;
+  trace_emit : int;          (* storing one kperf trace record *)
   chardev_poll : int;        (* one empty poll of the character device *)
   chardev_copy_per_event : int;
   (* storage *)
@@ -85,6 +86,7 @@ let default =
     splay_rotate = 16;
     event_dispatch = 940;
     ring_push = 300;
+    trace_emit = 2;             (* a compiled-in tracepoint: a few stores *)
     chardev_poll = 235_000;
     chardev_copy_per_event = 30;
     disk_seek = 14_000_000;     (* ~8 ms on a 7200rpm IDE disk *)
@@ -129,6 +131,7 @@ let zero =
     splay_rotate = 0;
     event_dispatch = 0;
     ring_push = 0;
+    trace_emit = 0;
     chardev_poll = 0;
     chardev_copy_per_event = 0;
     disk_seek = 0;

@@ -24,6 +24,7 @@ type t = {
   alloc : Kalloc.t;            (* kernel allocators over kspace *)
   sched : Scheduler.t;
   kstats : Kstats.t;           (* kernel-wide metrics registry *)
+  perf : Kperf.t;              (* trace rings + causal spans *)
   st_crossings : Kstats.counter;
   st_bytes_in : Kstats.counter;
   st_bytes_out : Kstats.counter;
@@ -57,6 +58,21 @@ let create ?(config = default_config) () =
     Scheduler.create ~stats:kstats ~ncpus:config.ncpus ~clock ~cost:config.cost
       ()
   in
+  (* The tracer sits below ksim in the library graph, so the kernel wires
+     it up with closures: timestamps off the simulated clock, the active
+     CPU off the scheduler, and a per-event charge off the cost model.
+     Disabled (the default) it never runs any of them, keeping traced and
+     untraced runs bit-for-bit identical. *)
+  let perf =
+    Kperf.create ~enabled:!Kperf.default_enabled ~ncpus:config.ncpus
+      ~stats:kstats
+      ~now:(fun () -> Sim_clock.now clock)
+      ~cpu:(fun () -> Scheduler.active_cpu sched)
+      ~charge:(fun () ->
+        Sim_clock.advance clock config.cost.Cost_model.trace_emit)
+      ()
+  in
+  Scheduler.set_perf sched perf;
   let k =
     {
       config;
@@ -67,6 +83,7 @@ let create ?(config = default_config) () =
       alloc;
       sched;
       kstats;
+      perf;
       st_crossings = Kstats.counter kstats "kernel.crossings";
       st_bytes_in = Kstats.counter kstats "kernel.bytes_from_user";
       st_bytes_out = Kstats.counter kstats "kernel.bytes_to_user";
@@ -89,6 +106,7 @@ let uspace t = t.uspace
 let alloc t = t.alloc
 let sched t = t.sched
 let stats t = t.kstats
+let perf t = t.perf
 let now t = Sim_clock.now t.clock
 let current t = Scheduler.current t.sched
 let mode t = t.mode

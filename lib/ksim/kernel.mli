@@ -41,6 +41,14 @@ val sched : t -> Scheduler.t
     way. *)
 val stats : t -> Kstats.t
 
+(** The kperf tracer: per-CPU trace rings and causal spans.  Created
+    enabled when [Kperf.default_enabled] was set at boot; while disabled
+    every emit is a single branch and the simulated clock is never
+    touched, so untraced runs are bit-for-bit identical to pre-kperf
+    runs.  While enabled each stored record charges
+    [Cost_model.trace_emit] cycles. *)
+val perf : t -> Kperf.t
+
 (** Current virtual time, in cycles. *)
 val now : t -> int
 

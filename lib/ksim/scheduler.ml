@@ -37,6 +37,7 @@ type t = {
   mutable next_pid : int;
   mutable context_switches : int;
   mutable preemptions : int;
+  mutable perf : Kperf.t option;      (* tracer, wired by Kernel.create *)
 }
 
 let create ?(stats = Kstats.create ()) ?(ncpus = 1) ~clock ~cost () =
@@ -58,10 +59,12 @@ let create ?(stats = Kstats.create ()) ?(ncpus = 1) ~clock ~cost () =
     next_pid = 1;
     context_switches = 0;
     preemptions = 0;
+    perf = None;
   }
 
 let ncpus t = t.ncpus
 let active_cpu t = t.active_cpu
+let set_perf t p = t.perf <- Some p
 
 (* Least-loaded CPU (lowest index on ties), so spawns without an explicit
    placement spread round-robin across an idle machine. *)
@@ -116,6 +119,15 @@ let context_switch t =
   Sim_clock.advance t.clock t.cost.Cost_model.context_switch;
   t.context_switches <- t.context_switches + 1;
   Kstats.incr t.stats t.st_switches;
+  (* trace the switch, attributed to the outgoing process and parented
+     to whatever span the CPU was inside (a ring drain, a lock wait) *)
+  (match t.perf with
+  | Some perf ->
+      let pid =
+        match t.currents.(cpu) with Some p -> p.Kproc.pid | None -> 0
+      in
+      Kperf.instant perf ~pid ~arg:cpu ~cat:"sched" ~name:"context_switch" ()
+  | None -> ());
   t.slice_start.(cpu) <- Sim_clock.now t.clock;
   (* rotate this CPU's runqueue *)
   match t.queues.(cpu) with

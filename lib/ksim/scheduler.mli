@@ -30,6 +30,11 @@ val ncpus : t -> int
     (0 outside any {!run_on}). *)
 val active_cpu : t -> int
 
+(** Wire the kperf tracer so context switches emit trace instants
+    (called by [Kernel.create]; emission is a no-op while the tracer is
+    disabled). *)
+val set_perf : t -> Kperf.t -> unit
+
 (** Create a process and append it to a runqueue; the first process on a
     CPU becomes that CPU's current.  Without [cpu] the least-loaded CPU
     is chosen. *)

@@ -55,6 +55,7 @@ type t = {
   id : int;
   name : string;
   ctx : ctx option;
+  perf : Kperf.t option;         (* contention-wait spans, if wired *)
   counters : (Kstats.t * counters) option;
   mutable locked : bool;
   mutable holder : int;          (* pid, or -1 *)
@@ -73,7 +74,7 @@ let ring_slots = function
   | None -> 1
   | Some c -> max 8 (2 * Scheduler.ncpus c.sched)
 
-let create ?ctx name =
+let create ?ctx ?perf name =
   incr next_id;
   let counters =
     match ctx with
@@ -94,6 +95,7 @@ let create ?ctx name =
     id = !next_id;
     name;
     ctx;
+    perf;
     counters;
     locked = false;
     holder = -1;
@@ -152,6 +154,15 @@ let lock ?(file = "<unknown>") ?(line = 0) ?(pid = 0) t =
         if !release > arrival then begin
           let needed = !release - arrival in
           let spin = min needed c.cost.Cost_model.spin_cap in
+          (* the wait is a traced span: its duration is the convoy's
+             cost, its parent whatever operation hit the lock *)
+          let span =
+            match t.perf with
+            | Some perf ->
+                Kperf.span_begin perf ~pid ~arg:spin ~cat:"lock" ~name:t.name
+                  ()
+            | None -> 0
+          in
           Sim_clock.advance c.clock spin;
           t.contended <- t.contended + 1;
           t.spin_cycles <- t.spin_cycles + spin;
@@ -165,7 +176,10 @@ let lock ?(file = "<unknown>") ?(line = 0) ?(pid = 0) t =
           if needed > spin then begin
             Scheduler.context_switch c.sched;
             Sim_clock.advance c.clock (needed - spin)
-          end
+          end;
+          match t.perf with
+          | Some perf -> Kperf.span_end perf ~pid ~arg:needed span
+          | None -> ()
         end;
         (* ownership migrates cross-CPU: pull the lock's cacheline *)
         if t.last_cpu >= 0 && t.last_cpu <> cpu then

@@ -30,8 +30,11 @@ type ctx = {
 type t
 
 (** Without [ctx] the lock is purely functional bookkeeping (no
-    contention model, no kstats) — the pre-SMP behaviour. *)
-val create : ?ctx:ctx -> string -> t
+    contention model, no kstats) — the pre-SMP behaviour.  With [perf]
+    each contended wait additionally emits a kperf span (cat ["lock"],
+    name the lock's name, arg the spin cycles) so convoys appear in
+    flamegraphs and Perfetto traces. *)
+val create : ?ctx:ctx -> ?perf:Kperf.t -> string -> t
 
 exception Deadlock of string
 

@@ -104,6 +104,11 @@ let dispatch_in_kernel sys (req : Syscall.req) : Syscall.reply =
   let k = Systable.kernel sys in
   let sysno = Syscall.sysno_of_req req in
   let t0 = Ksim.Kernel.now k in
+  let perf = Ksim.Kernel.perf k in
+  let pid = (Ksim.Kernel.current k).Ksim.Kproc.pid in
+  let span =
+    Kperf.span_begin perf ~pid ~cat:"syscall" ~name:(Sysno.to_string sysno) ()
+  in
   (Ksim.Kernel.current k).Ksim.Kproc.syscalls <-
     (Ksim.Kernel.current k).Ksim.Kproc.syscalls + 1;
   let reply = service sys req in
@@ -111,6 +116,7 @@ let dispatch_in_kernel sys (req : Syscall.req) : Syscall.reply =
     ~bytes_in:0 ~bytes_out:0
     ~ok:(Result.is_ok reply);
   Systable.observe_latency sys ~sysno ~cycles:(Ksim.Kernel.now k - t0);
+  Kperf.span_end perf ~pid span;
   reply
 
 (* The generic synchronous path: one request, one boundary round trip. *)
@@ -118,12 +124,21 @@ let dispatch sys (req : Syscall.req) : Syscall.reply =
   let k = Systable.kernel sys in
   let sysno = Syscall.sysno_of_req req in
   let t0 = Ksim.Kernel.now k in
+  let perf = Ksim.Kernel.perf k in
+  let pid = (Ksim.Kernel.current k).Ksim.Kproc.pid in
+  (* the span covers the whole round trip, entry trap to exit, so its
+     self time in a flamegraph is exactly the boundary-crossing tax the
+     paper's techniques exist to amortize *)
+  let span =
+    Kperf.span_begin perf ~pid ~cat:"syscall" ~name:(Sysno.to_string sysno) ()
+  in
   enter sys;
   let reply =
     match service sys req with
     | r -> r
     | exception e ->
         exit sys;
+        Kperf.span_end perf ~pid span;
         raise e
   in
   let bin = Syscall.req_copy_bytes req
@@ -135,6 +150,7 @@ let dispatch sys (req : Syscall.req) : Syscall.reply =
     ~ok:(Result.is_ok reply);
   exit sys;
   Systable.observe_latency sys ~sysno ~cycles:(Ksim.Kernel.now k - t0);
+  Kperf.span_end perf ~pid span;
   reply
 
 (* --- reply extractors --------------------------------------------------- *)

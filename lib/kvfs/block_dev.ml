@@ -98,7 +98,12 @@ let read_block t blk =
   | None ->
       Kstats.incr t.kstats t.st_cache_misses;
       let cost = Ksim.Kernel.cost t.kernel in
+      let perf = Ksim.Kernel.perf t.kernel in
+      let span =
+        Kperf.span_begin perf ~arg:blk ~cat:"io" ~name:"blockdev.read" ()
+      in
       charge t (seek_cost t blk + cost.Ksim.Cost_model.disk_read_block);
+      Kperf.span_end perf ~arg:blk span;
       touch t blk
 
 (* Write one block: write-back model — the block enters the cache and a
@@ -106,7 +111,12 @@ let read_block t blk =
 let write_block t blk =
   Kstats.incr t.kstats t.st_writes;
   let cost = Ksim.Kernel.cost t.kernel in
+  let perf = Ksim.Kernel.perf t.kernel in
+  let span =
+    Kperf.span_begin perf ~arg:blk ~cat:"io" ~name:"blockdev.write" ()
+  in
   charge t (cost.Ksim.Cost_model.disk_write_block / 10);
+  Kperf.span_end perf ~arg:blk span;
   touch t blk
 
 type stats = {

@@ -22,18 +22,20 @@ type shard = {
 type t = {
   shards : shard array;
   kstats : Kstats.t;
+  perf : Kperf.t option;
   st_hits : Kstats.counter;
   st_misses : Kstats.counter;
   st_invalidations : Kstats.counter;
 }
 
-let create ?(stats = Kstats.create ~enabled:true ()) ?ctx ?(shards = 1) () =
+let create ?(stats = Kstats.create ~enabled:true ()) ?ctx ?perf ?(shards = 1)
+    () =
   if shards < 1 then invalid_arg "Dcache.create: shards";
   let mk_shard _ =
     {
       (* all shard locks share the name, so their lock.dcache_lock.*
          kstats aggregate into the same counters *)
-      lock = Ksim.Spinlock.create ?ctx "dcache_lock";
+      lock = Ksim.Spinlock.create ?ctx ?perf "dcache_lock";
       entries = Hashtbl.create (max 64 (4096 / shards));
       seq = 0;
     }
@@ -41,6 +43,7 @@ let create ?(stats = Kstats.create ~enabled:true ()) ?ctx ?(shards = 1) () =
   {
     shards = Array.init shards mk_shard;
     kstats = stats;
+    perf;
     st_hits = Kstats.counter stats "dcache.hits";
     st_misses = Kstats.counter stats "dcache.misses";
     st_invalidations = Kstats.counter stats "dcache.invalidations";
@@ -57,7 +60,14 @@ let shard_of t ~dir ~name =
 
 let record_result t found =
   if found then Kstats.incr t.kstats t.st_hits
-  else Kstats.incr t.kstats t.st_misses
+  else begin
+    Kstats.incr t.kstats t.st_misses;
+    (* misses are the interesting rarity in a flamegraph: each one means
+       a directory scan follows *)
+    match t.perf with
+    | Some perf -> Kperf.instant perf ~cat:"vfs" ~name:"dcache.miss" ()
+    | None -> ()
+  end
 
 let locked_lookup ?pid t s ~dir ~name =
   Ksim.Spinlock.with_lock ~file:__FILE__ ~line:__LINE__ ?pid s.lock (fun () ->

@@ -16,9 +16,13 @@ type t
 (** [create ?stats ?ctx ?shards ()] builds an empty cache.  The cache
     registers [dcache.hits]/[dcache.misses]/[dcache.invalidations]
     counters in [stats] (default: a fresh enabled registry).  [ctx]
-    makes the shard locks contention-aware (see {!Ksim.Spinlock.ctx}).
-    [shards] defaults to 1, the global-lock mode. *)
-val create : ?stats:Kstats.t -> ?ctx:Ksim.Spinlock.ctx -> ?shards:int -> unit -> t
+    makes the shard locks contention-aware (see {!Ksim.Spinlock.ctx});
+    [perf] additionally traces each miss as a kperf instant and each
+    contended shard-lock wait as a span.  [shards] defaults to 1, the
+    global-lock mode. *)
+val create :
+  ?stats:Kstats.t -> ?ctx:Ksim.Spinlock.ctx -> ?perf:Kperf.t -> ?shards:int ->
+  unit -> t
 
 val nshards : t -> int
 

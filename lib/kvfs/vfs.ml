@@ -32,7 +32,8 @@ let create ?(root_fs : Vtypes.ops option) ?(dcache_shards = 1) kernel =
     kernel;
     dcache =
       Dcache.create ~stats:(Ksim.Kernel.stats kernel)
-        ~ctx:(Ksim.Kernel.lock_ctx kernel) ~shards:dcache_shards ();
+        ~ctx:(Ksim.Kernel.lock_ctx kernel) ~perf:(Ksim.Kernel.perf kernel)
+        ~shards:dcache_shards ();
     mounts = [ { prefix = "/"; fs = root_fs } ];
     files = Hashtbl.create 256;
     next_handle = 1;
