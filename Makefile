@@ -1,4 +1,4 @@
-.PHONY: all build test bench-smoke bench-e14 bench-e15 kperf-smoke check clean
+.PHONY: all build test bench-smoke bench-e14 bench-e15 bench-e16 kperf-smoke kverify-smoke check clean
 
 all: build
 
@@ -23,6 +23,12 @@ bench-e14:
 bench-e15:
 	dune exec bench/main.exe -- E15
 
+# Syscall-flow integrity + static admission at full scale: SFI gate
+# overhead on the four E14 serving variants, then verified-vs-watchdog
+# admission speedups on ring batches and a Cosy counted loop.
+bench-e16:
+	dune exec bench/main.exe -- E16
+
 # Record a traced run, export it, and re-derive the folded/top views
 # from the exported JSON — exercises the whole tracer pipeline on a
 # tiny workload.
@@ -32,7 +38,16 @@ kperf-smoke:
 	dune exec bin/kperf_tool.exe -- top /tmp/kperf_smoke.json
 	rm -f /tmp/kperf_smoke.json
 
-check: build test bench-smoke kperf-smoke
+# Learn a workload's syscall-flow automaton, verify a clean re-run is
+# violation-free, and confirm a different workload trips the gate —
+# exercises the whole kverify learn/enforce pipeline.
+kverify-smoke:
+	dune exec bin/kverify_tool.exe -- learn -w lsdir -o /tmp/lsdir.sfi
+	dune exec bin/kverify_tool.exe -- check /tmp/lsdir.sfi -w lsdir
+	! dune exec bin/kverify_tool.exe -- check /tmp/lsdir.sfi -w postmark > /dev/null
+	rm -f /tmp/lsdir.sfi
+
+check: build test bench-smoke kperf-smoke kverify-smoke
 
 clean:
 	dune clean

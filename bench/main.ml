@@ -53,12 +53,12 @@ let e1 () =
   List.iter
     (fun n ->
       let plain =
-        let t = Core.boot () in
+        let t = Core.boot_with Core.Config.default in
         Workloads.Lsdir.setup (Core.sys t) ~dir:"/big" ~n;
         Workloads.Lsdir.run_plain (Core.sys t) ~dir:"/big"
       in
       let merged =
-        let t = Core.boot () in
+        let t = Core.boot_with Core.Config.default in
         Workloads.Lsdir.setup (Core.sys t) ~dir:"/big" ~n;
         Workloads.Lsdir.run_readdirplus (Core.sys t) ~dir:"/big"
       in
@@ -75,7 +75,7 @@ let e1 () =
 let e2 () =
   header "E2" "interactive-workload savings estimate"
     "171,975 -> 17,251 syscalls; 51,807,520 -> 32,250,041 bytes; ~28.15 s/hour";
-  let t = Core.boot () in
+  let t = Core.boot_with Core.Config.default in
   let sys = Core.sys t in
   Workloads.Interactive.setup sys;
   let rec_ = Core.trace t in
@@ -115,10 +115,10 @@ let e3 () =
   let nsmall = if !smoke then 10 else 100 in
   pf "%-24s %12s %12s %10s\n" "sequence" "plain(s)" "cosy(s)" "speedup";
   let bench name ?(setup = fun _ -> ()) ~plain ~compound () =
-    let t1 = Core.boot () in
+    let t1 = Core.boot_with Core.Config.default in
     setup t1;
     let (), p = Ksim.Kernel.timed (Core.kernel t1) (fun () -> plain t1) in
-    let t2 = Core.boot () in
+    let t2 = Core.boot_with Core.Config.default in
     setup t2;
     let exec = Core.cosy t2 in
     let (), c =
@@ -241,10 +241,10 @@ let e4 () =
   in
   let ws_cfg = { Workloads.Webserver.default_config with requests = sc 500 } in
   let db () =
-    let t1 = Core.boot () in
+    let t1 = Core.boot_with Core.Config.default in
     Workloads.Database.setup ~config:db_cfg (Core.sys t1);
     let p = Workloads.Database.run_plain ~config:db_cfg (Core.sys t1) in
-    let t2 = Core.boot () in
+    let t2 = Core.boot_with Core.Config.default in
     Workloads.Database.setup ~config:db_cfg (Core.sys t2);
     let c, _ = Workloads.Database.run_cosy ~config:db_cfg (Core.sys t2) in
     pf "%-24s %12.6f %12.6f %9.1f%%\n" "database (rand+seq)"
@@ -254,13 +254,13 @@ let e4 () =
          c.Workloads.Database.times.Ksim.Kernel.elapsed)
   in
   let ws () =
-    let t1 = Core.boot () in
+    let t1 = Core.boot_with Core.Config.default in
     Workloads.Webserver.setup ~config:ws_cfg (Core.sys t1);
     let p = Workloads.Webserver.run_plain ~config:ws_cfg (Core.sys t1) in
-    let t2 = Core.boot () in
+    let t2 = Core.boot_with Core.Config.default in
     Workloads.Webserver.setup ~config:ws_cfg (Core.sys t2);
     let c, _ = Workloads.Webserver.run_cosy ~config:ws_cfg (Core.sys t2) in
-    let t3 = Core.boot () in
+    let t3 = Core.boot_with Core.Config.default in
     Workloads.Webserver.setup ~config:ws_cfg (Core.sys t3);
     let sf = Workloads.Webserver.run_sendfile ~config:ws_cfg (Core.sys t3) in
     pf "%-24s %12.6f %12.6f %9.1f%%\n" "web server (cosy)"
@@ -281,10 +281,10 @@ let e4 () =
   List.iter
     (fun record_size ->
       let cfg = { Workloads.Database.default_config with record_size; lookups = sc 1_000 } in
-      let t1 = Core.boot () in
+      let t1 = Core.boot_with Core.Config.default in
       Workloads.Database.setup ~config:cfg (Core.sys t1);
       let p = Workloads.Database.run_plain ~config:cfg (Core.sys t1) in
-      let t2 = Core.boot () in
+      let t2 = Core.boot_with Core.Config.default in
       Workloads.Database.setup ~config:cfg (Core.sys t2);
       let c, _ = Workloads.Database.run_cosy ~config:cfg (Core.sys t2) in
       pf "    %6d B records: %5.1f%% faster\n" record_size
@@ -298,10 +298,10 @@ let e5 () =
   header "E5" "Kefence on Wrapfs (Am-utils build)"
     "+1.4% elapsed; max 2,085 outstanding pages; mean allocation 80 bytes";
   let cfg = { Workloads.Amutils.default_config with source_files = sc 1_000; prime_objects = false } in
-  let t1 = Core.boot ~fs:Core.Wrapfs_kmalloc () in
+  let t1 = Core.boot_with { Core.Config.default with fs = Core.Wrapfs_kmalloc } in
   Workloads.Amutils.setup ~config:cfg (Core.sys t1);
   let a = Workloads.Amutils.run ~config:cfg (Core.sys t1) in
-  let t2 = Core.boot ~fs:(Core.Wrapfs_kefence Kefence.Crash) () in
+  let t2 = Core.boot_with { Core.Config.default with fs = Core.Wrapfs_kefence Kefence.Crash } in
   Workloads.Amutils.setup ~config:cfg (Core.sys t2);
   let b = Workloads.Amutils.run ~config:cfg (Core.sys t2) in
   pf "  vanilla wrapfs (kmalloc) : %.4f s elapsed\n" (sec a.Workloads.Amutils.times.Ksim.Kernel.elapsed);
@@ -328,7 +328,7 @@ let e6 () =
      logger writing to disk; system time effectively constant";
   let cfg = { Workloads.Postmark.default_config with files = sc 200; transactions = sc 1_000 } in
   let run ?(mon = `None) () =
-    let t = Core.boot () in
+    let t = Core.boot_with Core.Config.default in
     let sys = Core.sys t in
     match mon with
     | `None ->
@@ -385,13 +385,13 @@ let e7 () =
     "Am-utils compile: system +33%, elapsed +20%.  PostMark: system x14, \
      elapsed x3";
   let am fs =
-    let t = Core.boot ~fs () in
+    let t = Core.boot_with { Core.Config.default with fs } in
     let cfg = { Workloads.Amutils.default_config with source_files = sc 200 } in
     Workloads.Amutils.setup ~config:cfg (Core.sys t);
     (Workloads.Amutils.run ~config:cfg (Core.sys t)).Workloads.Amutils.times
   in
   let pm fs =
-    let t = Core.boot ~fs () in
+    let t = Core.boot_with { Core.Config.default with fs } in
     let cfg = { Workloads.Postmark.default_config with files = sc 200; transactions = sc 800 } in
     (Workloads.Postmark.run ~config:cfg (Core.sys t)).Workloads.Postmark.times
   in
@@ -411,7 +411,7 @@ let e7 () =
      set re-read every iteration interleaved with a one-touch scan.
      FIFO ages the hot blocks out; second-chance spares them. *)
   let evict_probe policy =
-    let t = Core.boot () in
+    let t = Core.boot_with Core.Config.default in
     let bd = Kvfs.Block_dev.create ~cache_blocks:64 ~policy (Core.kernel t) in
     for i = 0 to sc 4_000 - 1 do
       for h = 0 to 7 do Kvfs.Block_dev.read_block bd h done;
@@ -607,7 +607,7 @@ let e10 () =
   let user_program = "int work(int x) { int i; int s = 0; for (i = 0; i < 50; i++) s += x; return s; }" in
   let calls = sc 500 in
   let run ~mode ~trust_after =
-    let t = Core.boot () in
+    let t = Core.boot_with Core.Config.default in
     let exec =
       Core.cosy
         ~policy:{ Cosy.Cosy_safety.mode; watchdog_budget = max_int; trust_after }
@@ -673,20 +673,20 @@ let e11 () =
         { Workloads.Database.default_config with records = sc 1_000; lookups = sc 2_000 }
       in
       let db =
-        let t1 = Core.boot ~config () in
+        let t1 = Core.boot_with { Core.Config.default with kernel = config } in
         Workloads.Database.setup ~config:dcfg (Core.sys t1);
         let p = Workloads.Database.run_plain ~config:dcfg (Core.sys t1) in
-        let t2 = Core.boot ~config () in
+        let t2 = Core.boot_with { Core.Config.default with kernel = config } in
         Workloads.Database.setup ~config:dcfg (Core.sys t2);
         let c, _ = Workloads.Database.run_cosy ~config:dcfg (Core.sys t2) in
         pct_faster p.Workloads.Database.times.Ksim.Kernel.elapsed
           c.Workloads.Database.times.Ksim.Kernel.elapsed
       in
       let ls =
-        let t1 = Core.boot ~config () in
+        let t1 = Core.boot_with { Core.Config.default with kernel = config } in
         Workloads.Lsdir.setup (Core.sys t1) ~dir:"/d" ~n:(sc 1_000);
         let p = Workloads.Lsdir.run_plain (Core.sys t1) ~dir:"/d" in
-        let t2 = Core.boot ~config () in
+        let t2 = Core.boot_with { Core.Config.default with kernel = config } in
         Workloads.Lsdir.setup (Core.sys t2) ~dir:"/d" ~n:(sc 1_000);
         let m = Workloads.Lsdir.run_readdirplus (Core.sys t2) ~dir:"/d" in
         pct_faster p.Workloads.Lsdir.times.Ksim.Kernel.elapsed
@@ -714,7 +714,7 @@ let e12 () =
              })
   in
   (* synchronous baseline: one trap per call *)
-  let t_sync = Core.boot () in
+  let t_sync = Core.boot_with Core.Config.default in
   let sync_times, sync_crossings =
     let k = Core.kernel t_sync in
     let c0 = Ksim.Kernel.crossings k in
@@ -732,7 +732,7 @@ let e12 () =
     "elapsed(s)" "faster" "saved(kstats)";
   List.iter
     (fun batch ->
-      let t = Core.boot () in
+      let t = Core.boot_with Core.Config.default in
       let k = Core.kernel t in
       let c0 = Ksim.Kernel.crossings k in
       let ring = Core.ring ~sq_entries:batch t in
@@ -778,7 +778,7 @@ let e13 () =
     (fun ncpus ->
       List.iter
         (fun (mode, shards) ->
-          let t = Core.boot ~ncpus ~dcache_shards:shards () in
+          let t = Core.boot_with { Core.Config.default with ncpus = Some ncpus; dcache_shards = Some shards } in
           let insts =
             Workloads.Smp.webserver_instances ~config:cfg (Core.sys t) ncpus
           in
@@ -821,7 +821,7 @@ let e13 () =
     r1.Workloads.Smp.contended;
   (* the monitoring story: E6's contention monitor pointed at this
      workload sees the global dcache_lock as the hottest lock *)
-  let t = Core.boot ~ncpus:4 ~dcache_shards:1 () in
+  let t = Core.boot_with { Core.Config.default with ncpus = Some 4; dcache_shards = Some 1 } in
   let d = Core.enable_monitoring t in
   let mons = Kmonitor.Monitors.register_standard d in
   let insts = Workloads.Smp.webserver_instances ~config:cfg (Core.sys t) 4 in
@@ -863,7 +863,7 @@ let e14 () =
         (fun conns ->
           List.iter
             (fun v ->
-              let t = Core.boot ~ncpus () in
+              let t = Core.boot_with { Core.Config.default with ncpus = Some ncpus } in
               let sys = Core.sys t in
               let kernel = Core.kernel t in
               let config =
@@ -976,7 +976,7 @@ let e15 () =
   in
   let conns = sc 10_000 in
   let run_cell v ~trace =
-    let t = Core.boot ~trace () in
+    let t = Core.boot_with { Core.Config.default with trace = Some trace } in
     let sys = Core.sys t in
     let config =
       { Workloads.Webserver.net_default_config with variant = v; conns }
@@ -1035,6 +1035,173 @@ let e15 () =
   output_string oc "]}\n";
   close_out oc;
   pf "\n  wrote BENCH_kperf.json\n"
+
+(* ------------------------------------------ E16: kverify admission *)
+
+(* Two claims, one per half of the kverify subsystem.
+   (1) The syscall-flow-integrity gate — an automaton learned from a
+   recorded run of the same workload, consulted at every dispatch — costs
+   under 2% of cycles on the full E14 webserver sweep, and a booted-but-
+   empty verifier (gate installed, no automaton) is cycle-identical to no
+   verifier at all, extending the kstats/kperf "disabled = free"
+   contract to admission control.
+   (2) Static admission pays: a kring batch or Cosy compound that the
+   checker proves well-formed runs with the per-entry decode + copy-in
+   replaced by a parse-in-place probe and the watchdog elided, which
+   beats the dynamic path by >=1.2x once per-entry boundary work (not
+   filesystem service time) dominates. *)
+let e16 () =
+  header "E16" "kverify: SFI gate overhead and verified-admission speedup"
+    "no direct number — §2.3 bounds untrusted kernel stays dynamically \
+     (watchdog); claims under test: a statically checked flow automaton \
+     costs <2% on the C10K sweep, disabled admission is cycle-identical, \
+     and verified batches/compounds beat the watchdog path by >=1.2x";
+  (* --- part 1: SFI gate overhead on the E14 webserver variants ------- *)
+  let variants =
+    [ Workloads.Webserver.Net_naive; Workloads.Webserver.Net_consolidated;
+      Workloads.Webserver.Net_sendfile; Workloads.Webserver.Net_ring ]
+  in
+  let conns = sc 10_000 in
+  let run_cell v ~verify ~automaton =
+    let t = Core.boot_with { Core.Config.default with verify } in
+    (match (automaton, Core.kverify t) with
+    | Some a, Some kv -> Core.Verify.set_automaton kv (Some a)
+    | _ -> ());
+    let sys = Core.sys t in
+    let config =
+      { Workloads.Webserver.net_default_config with variant = v; conns }
+    in
+    Workloads.Webserver.net_setup ~config sys;
+    ignore (Workloads.Webserver.run_net ~config sys);
+    (Ksim.Kernel.now (Core.kernel t), Core.kverify t)
+  in
+  pf "  %-13s %6s %14s %14s %9s %10s %6s\n" "variant" "conns" "cycles(off)"
+    "cycles(sfi)" "overhead" "checked" "viol";
+  List.iter
+    (fun v ->
+      let name = Workloads.Webserver.net_variant_name v in
+      (* learn the automaton from a recorded run of the same workload *)
+      let automaton =
+        let t = Core.boot_with Core.Config.default in
+        let rec_ = Core.trace t in
+        let config =
+          { Workloads.Webserver.net_default_config with variant = v; conns }
+        in
+        Workloads.Webserver.net_setup ~config (Core.sys t);
+        ignore (Workloads.Webserver.run_net ~config (Core.sys t));
+        Core.Verify.learn rec_
+      in
+      let off, _ = run_cell v ~verify:None ~automaton:None in
+      (* gate installed but no automaton set: must be cycle-identical *)
+      let off_armed, _ =
+        run_cell v ~verify:(Some Core.Verify.Log) ~automaton:None
+      in
+      if off <> off_armed then
+        pf "  !! %s: empty verifier not free (%d vs %d cycles)\n" name off
+          off_armed;
+      let on, kv =
+        run_cell v ~verify:(Some Core.Verify.Log) ~automaton:(Some automaton)
+      in
+      let kv = Option.get kv in
+      let checked = Core.Verify.checked kv in
+      let viol = Core.Verify.violations kv in
+      let overhead = pct_over off on in
+      pf "  %-13s %6d %14d %14d %8.3f%% %10d %6d\n" name conns off on overhead
+        checked viol;
+      add_row "E16"
+        (Printf.sprintf
+           "{\"section\":\"sfi\",\"variant\":\"%s\",\"conns\":%d,\
+            \"cycles_off\":%d,\"cycles_armed_empty\":%d,\"cycles_on\":%d,\
+            \"overhead_pct\":%.4f,\"checked\":%d,\"violations\":%d}"
+           name conns off off_armed on overhead checked viol))
+    variants;
+  (* --- part 2: verified admission vs the dynamic watchdog path ------- *)
+  let file_reqs total =
+    Ksyscall.Syscall.Mkdir { path = "/r" }
+    :: List.init (total - 1) (fun i ->
+           Ksyscall.Syscall.Open_write_close
+             {
+               path = Printf.sprintf "/r/f%03d" (i + 1);
+               data = Bytes.make 32 'a';
+               flags = Core.o_create;
+             })
+  in
+  let getpid_reqs total = List.init total (fun _ -> Ksyscall.Syscall.Getpid) in
+  let ring_cell reqs ~verify =
+    let t = Core.boot_with { Core.Config.default with verify } in
+    let ring = Core.ring ~sq_entries:128 t in
+    let (), tm =
+      Ksim.Kernel.timed (Core.kernel t) (fun () ->
+          ignore (Kring.run_batch ring reqs))
+    in
+    (tm.Ksim.Kernel.elapsed, Kring.watchdog_elisions ring)
+  in
+  (* a Cosy compound shaped like Cosy-GCC's counted loops: getpid in a
+     provably bounded loop, the boundary-dominated case §2.3 targets *)
+  let getpid_compound iters =
+    let i = 0 and c = 1 and r = 2 and tmp = 3 in
+    Cosy.Compound.encode ~slot_count:4
+      [
+        Cosy.Cosy_op.Set { dst = i; src = Cosy.Cosy_op.Const 0 };
+        Cosy.Cosy_op.Arith
+          {
+            dst = c;
+            op = Cosy.Cosy_op.Alt;
+            a = Cosy.Cosy_op.Slot i;
+            b = Cosy.Cosy_op.Const iters;
+          };
+        Cosy.Cosy_op.Jz { cond = Cosy.Cosy_op.Slot c; target = 7 };
+        Cosy.Cosy_op.Syscall { dst = r; sysno = 14 (* getpid *); args = [] };
+        Cosy.Cosy_op.Arith
+          {
+            dst = tmp;
+            op = Cosy.Cosy_op.Aadd;
+            a = Cosy.Cosy_op.Slot i;
+            b = Cosy.Cosy_op.Const 1;
+          };
+        Cosy.Cosy_op.Set { dst = i; src = Cosy.Cosy_op.Slot tmp };
+        Cosy.Cosy_op.Jmp 1;
+        Cosy.Cosy_op.Halt;
+      ]
+  in
+  let cosy_cell iters ~verify =
+    let t = Core.boot_with { Core.Config.default with verify } in
+    let cx = Core.cosy t in
+    let compound = getpid_compound iters in
+    let (), tm =
+      Ksim.Kernel.timed (Core.kernel t) (fun () ->
+          ignore (Cosy.Cosy_exec.submit cx compound))
+    in
+    (tm.Ksim.Kernel.elapsed, Cosy.Cosy_exec.watchdog_elisions cx)
+  in
+  pf "\n  %-26s %14s %14s %9s %8s\n" "workload" "watchdog(cy)" "verified(cy)"
+    "speedup" "admitted";
+  let part2 name cell =
+    let base, _ = cell ~verify:None in
+    let fast, admitted = cell ~verify:(Some Core.Verify.Log) in
+    pf "  %-26s %14d %14d %8.2fx %8d\n" name base fast
+      (float_of_int base /. float_of_int (max 1 fast))
+      admitted;
+    add_row "E16"
+      (Printf.sprintf
+         "{\"section\":\"admission\",\"workload\":\"%s\",\
+          \"cycles_watchdog\":%d,\"cycles_verified\":%d,\"speedup\":%.4f,\
+          \"admitted\":%d}"
+         name base fast
+         (float_of_int base /. float_of_int (max 1 fast))
+         admitted)
+  in
+  let nring = sc 256 in
+  part2
+    (Printf.sprintf "ring %d file ops" nring)
+    (fun ~verify -> ring_cell (file_reqs nring) ~verify);
+  part2
+    (Printf.sprintf "ring %d getpid" nring)
+    (fun ~verify -> ring_cell (getpid_reqs nring) ~verify);
+  let iters = sc 2_000 in
+  part2
+    (Printf.sprintf "cosy getpid loop x%d" iters)
+    (fun ~verify -> cosy_cell iters ~verify)
 
 (* ------------------------------------------------- Bechamel microbench *)
 
@@ -1105,7 +1272,7 @@ let micro () =
 let all_experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
-    ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15) ]
+    ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16) ]
 
 (* --- machine-readable kstats output (BENCH_kstats.json) --------------- *)
 

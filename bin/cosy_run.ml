@@ -97,7 +97,7 @@ let main file fname =
   in
   (* setup shared by both runs *)
   let prepare () =
-    let t = Core.boot () in
+    let t = Core.boot_with Core.Config.default in
     ignore (Core.Syscall.sys_mkdir (Core.sys t) ~path:"/demo");
     ignore
       (Core.Syscall.sys_open_write_close (Core.sys t) ~path:"/demo/data"

@@ -62,7 +62,7 @@ let write_out out data =
 (* --- record ----------------------------------------------------------- *)
 
 let record workload fs ncpus format out n =
-  let t = Core.boot ~ncpus ~trace:true ~fs:(fs_of_string fs) () in
+  let t = Core.boot_with { Core.Config.default with ncpus = Some ncpus; trace = Some true; fs = fs_of_string fs } in
   run_workload workload (Core.sys t);
   let perf = Core.perf t in
   (match format with

@@ -53,7 +53,7 @@ let main workload fs json =
   (* flip the boot-time default so every subsystem registers into an
      enabled registry from the first cycle *)
   Core.Stats.default_enabled := true;
-  let t = Core.boot ~fs:(fs_of_string fs) () in
+  let t = Core.boot_with { Core.Config.default with fs = fs_of_string fs } in
   run_workload workload (Core.sys t);
   let stats = Core.stats t in
   if json then print_string (Core.Stats.to_json stats)

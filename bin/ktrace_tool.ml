@@ -37,7 +37,7 @@ let run_workload name sys t =
         (String.concat ", " workloads)
 
 let main workload top =
-  let t = Core.boot () in
+  let t = Core.boot_with Core.Config.default in
   let sys = Core.sys t in
   let recorder = Core.trace t in
   let duration = run_workload workload sys t in

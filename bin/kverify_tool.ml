@@ -1,0 +1,141 @@
+(* kverify_tool: learn a workload's syscall-flow automaton and check
+   runs against it.
+
+   Usage:
+     dune exec bin/kverify_tool.exe -- learn -w postmark -o postmark.sfi
+     dune exec bin/kverify_tool.exe -- check postmark.sfi -w postmark
+     dune exec bin/kverify_tool.exe -- check postmark.sfi -w lsdir --policy deny
+
+   [learn] boots a system with an strace-style recorder attached, runs
+   the named workload, compiles the recorded syscall digraph into an SFI
+   automaton, and writes its textual form.  [check] loads an automaton,
+   installs it as the dispatch gate under the chosen policy, re-runs a
+   workload, and reports dispatches checked vs violations — exit status
+   1 when any violation fired, so it scripts like a test. *)
+
+open Cmdliner
+
+let workloads = [ "interactive"; "postmark"; "amutils"; "lsdir"; "webserver" ]
+
+let run_workload name sys =
+  match name with
+  | "interactive" ->
+      Workloads.Interactive.setup sys;
+      ignore
+        (Workloads.Interactive.run
+           ~config:
+             { Workloads.Interactive.default_config with duration_events = 500 }
+           sys)
+  | "postmark" ->
+      let cfg =
+        { Workloads.Postmark.default_config with files = 100; transactions = 400 }
+      in
+      ignore (Workloads.Postmark.run ~config:cfg sys)
+  | "amutils" ->
+      let cfg = { Workloads.Amutils.default_config with source_files = 60 } in
+      Workloads.Amutils.setup ~config:cfg sys;
+      ignore (Workloads.Amutils.run ~config:cfg sys)
+  | "lsdir" ->
+      Workloads.Lsdir.setup sys ~dir:"/d" ~n:200;
+      ignore (Workloads.Lsdir.run_plain sys ~dir:"/d")
+  | "webserver" ->
+      Workloads.Webserver.setup sys;
+      ignore (Workloads.Webserver.run_plain sys)
+  | other ->
+      Fmt.failwith "unknown workload %s (expected one of %s)" other
+        (String.concat ", " workloads)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+(* --- learn ------------------------------------------------------------- *)
+
+let learn workload out =
+  let t = Core.boot_with Core.Config.default in
+  let rec_ = Core.trace t in
+  run_workload workload (Core.sys t);
+  let a = Core.Verify.learn rec_ in
+  let text = Core.Verify.Sfi.to_string a in
+  (match out with
+  | None -> print_string text
+  | Some path ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc;
+      Fmt.epr "wrote %s@." path);
+  Fmt.epr "learned %d syscalls, %d transitions from %s@."
+    (List.length (Core.Verify.Sfi.members a))
+    (List.length (Core.Verify.Sfi.transitions a))
+    workload
+
+(* --- check ------------------------------------------------------------- *)
+
+let policy_of_string = function
+  | "kill" -> Core.Verify.Kill
+  | "deny" -> Core.Verify.Deny
+  | "log" -> Core.Verify.Log
+  | other -> Fmt.failwith "unknown policy %s (expected kill, deny, log)" other
+
+let check file workload policy =
+  let a =
+    try Core.Verify.Sfi.of_string (read_file file)
+    with Core.Verify.Sfi.Parse_error msg ->
+      Fmt.failwith "%s: not an sfi automaton: %s" file msg
+  in
+  let t =
+    Core.boot_with
+      { Core.Config.default with verify = Some (policy_of_string policy) }
+  in
+  let kv = Option.get (Core.kverify t) in
+  Core.Verify.set_automaton kv (Some a);
+  (try run_workload workload (Core.sys t)
+   with Core.Verify.Flow_violation { pid; sysno } ->
+     Fmt.pr "flow violation: pid %d killed attempting %s@." pid
+       (Core.Sysno.to_string sysno));
+  Fmt.pr "%s against %s: %d dispatches checked, %d violations@." workload file
+    (Core.Verify.checked kv) (Core.Verify.violations kv);
+  if Core.Verify.violations kv > 0 then exit 1
+
+(* --- cmdliner wiring --------------------------------------------------- *)
+
+let workload_arg =
+  let doc = "Workload to run: " ^ String.concat ", " workloads in
+  Arg.(value & opt string "postmark" & info [ "w"; "workload" ] ~doc)
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "out" ] ~doc:"Output file (default: stdout)")
+
+let policy_arg =
+  Arg.(
+    value & opt string "log"
+    & info [ "policy" ] ~doc:"Violation policy: kill, deny, log")
+
+let file_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"AUTOMATON.sfi")
+
+let learn_cmd =
+  Cmd.v
+    (Cmd.info "learn"
+       ~doc:"Record a workload and emit its syscall-flow automaton")
+    Term.(const learn $ workload_arg $ out_arg)
+
+let check_cmd =
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Enforce a learned automaton over a workload run")
+    Term.(const check $ file_arg $ workload_arg $ policy_arg)
+
+let cmd =
+  Cmd.group
+    (Cmd.info "kverify_tool"
+       ~doc:"Learn and enforce syscall-flow automatons for simulated workloads")
+    [ learn_cmd; check_cmd ]
+
+let () = exit (Cmd.eval cmd)

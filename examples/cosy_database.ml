@@ -28,7 +28,7 @@ int scan_index(void) {
 |}
 
 let () =
-  let t = Core.boot () in
+  let t = Core.boot_with Core.Config.default in
   let sys = Core.sys t in
   (* create the index file *)
   ignore (Core.ok (Core.Syscall.sys_mkdir sys ~path:"/db"));
@@ -60,7 +60,7 @@ let () =
     (Fmt.str "%a" Core.pp_times times);
 
   (* the same loop with plain syscalls, for comparison *)
-  let t2 = Core.boot () in
+  let t2 = Core.boot_with Core.Config.default in
   let sys2 = Core.sys t2 in
   ignore (Core.ok (Core.Syscall.sys_mkdir sys2 ~path:"/db"));
   ignore

@@ -9,7 +9,7 @@
 
 let attempt_with mode =
   Printf.printf "\n--- Kefence mode: %s ---\n" (Fmt.str "%a" Kefence.pp_mode mode);
-  let t = Core.boot ~fs:(Core.Wrapfs_kefence mode) () in
+  let t = Core.boot_with { Core.Config.default with fs = Core.Wrapfs_kefence mode } in
   (* plant the bug: every temporary name buffer is overrun by 64 bytes,
      which lands on the guardian page right after the buffer *)
   (match Core.wrapfs t with
@@ -37,7 +37,7 @@ let () =
   attempt_with Kefence.Auto_map_rw;
   (* clean module: no reports, modest overhead *)
   Printf.printf "\n--- clean module under Kefence ---\n";
-  let t = Core.boot ~fs:(Core.Wrapfs_kefence Kefence.Crash) () in
+  let t = Core.boot_with { Core.Config.default with fs = Core.Wrapfs_kefence Kefence.Crash } in
   Workloads.Lsdir.setup (Core.sys t) ~dir:"/d" ~n:200;
   ignore (Workloads.Lsdir.run_plain (Core.sys t) ~dir:"/d");
   (match Core.kefence t with

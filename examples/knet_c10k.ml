@@ -43,7 +43,7 @@ let rec send_all sys net ~sock data =
     match Core.Syscall.sys_send sys ~sock ~data with
     | Ok n when n = Bytes.length data -> ()
     | Ok n -> send_all sys net ~sock (Bytes.sub data n (Bytes.length data - n))
-    | Error Kvfs.Vtypes.EAGAIN ->
+    | Error Kvfs.Vtypes.ENOBUFS ->
         ignore (Knet.step net);
         send_all sys net ~sock data
     | Error e -> failwith (Fmt.str "send: %a" Kvfs.Vtypes.pp_errno e)
@@ -53,7 +53,7 @@ let rec sendfile_all sys net ~sock ~fd ~off ~len =
     match Core.Syscall.sys_sendfile_sock sys ~sock ~fd ~off ~len with
     | Ok n when n = len -> ()
     | Ok n -> sendfile_all sys net ~sock ~fd ~off:(off + n) ~len:(len - n)
-    | Error Kvfs.Vtypes.EAGAIN ->
+    | Error Kvfs.Vtypes.ENOBUFS ->
         ignore (Knet.step net);
         sendfile_all sys net ~sock ~fd ~off ~len
     | Error e -> failwith (Fmt.str "sendfile: %a" Kvfs.Vtypes.pp_errno e)
@@ -98,7 +98,7 @@ let respond mode sys net ~sock line =
       ignore (Core.Syscall.sys_close sys ~fd)
 
 let serve mode =
-  let t = Core.boot () in
+  let t = Core.boot_with Core.Config.default in
   let sys = Core.sys t in
   let net = Core.net t in
   setup_docs sys;

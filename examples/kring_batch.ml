@@ -42,12 +42,12 @@ let () =
   let reqs = mk_reqs nops in
 
   (* synchronous: every call is its own kernel crossing *)
-  let t1 = Core.boot () in
+  let t1 = Core.boot_with Core.Config.default in
   List.iter (fun r -> ignore (Core.Syscall.dispatch (Core.sys t1) r)) reqs;
   let sync_crossings = crossings t1 in
 
   (* ring: push 32 at a time, one enter per batch *)
-  let t2 = Core.boot () in
+  let t2 = Core.boot_with Core.Config.default in
   let ring = Core.ring ~sq_entries:batch t2 in
   let completions = Core.Ring.run_batch ring reqs in
   let ring_crossings = crossings t2 in

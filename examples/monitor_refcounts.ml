@@ -6,7 +6,7 @@
    Run with:  dune exec examples/monitor_refcounts.exe *)
 
 let () =
-  let t = Core.boot () in
+  let t = Core.boot_with Core.Config.default in
   let dispatcher = Core.enable_monitoring t in
   let monitors = Kmonitor.Monitors.register_standard dispatcher in
 

@@ -5,7 +5,7 @@
 
 let () =
   (* Boot a kernel with the default memfs root filesystem. *)
-  let t = Core.boot () in
+  let t = Core.boot_with Core.Config.default in
   let sys = Core.sys t in
 
   (* Ordinary POSIX-flavoured syscalls.  Each one crosses the simulated

@@ -7,12 +7,12 @@ let () =
   let n = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 1_000 in
 
   (* Plain ls -l *)
-  let t1 = Core.boot () in
+  let t1 = Core.boot_with Core.Config.default in
   Workloads.Lsdir.setup (Core.sys t1) ~dir:"/dir" ~n;
   let plain = Workloads.Lsdir.run_plain (Core.sys t1) ~dir:"/dir" in
 
   (* readdirplus ls -l *)
-  let t2 = Core.boot () in
+  let t2 = Core.boot_with Core.Config.default in
   Workloads.Lsdir.setup (Core.sys t2) ~dir:"/dir" ~n;
   let merged = Workloads.Lsdir.run_readdirplus (Core.sys t2) ~dir:"/dir" in
 
@@ -30,7 +30,7 @@ let () =
   Printf.printf "  => %.1f%% faster elapsed (paper: 60.6-63.8%%)\n" faster;
 
   (* Mining a real trace for consolidation candidates, like §2.2 *)
-  let t3 = Core.boot () in
+  let t3 = Core.boot_with Core.Config.default in
   Workloads.Lsdir.setup (Core.sys t3) ~dir:"/dir" ~n:50;
   let recorder = Core.trace t3 in
   ignore (Workloads.Lsdir.run_plain (Core.sys t3) ~dir:"/dir");

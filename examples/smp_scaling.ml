@@ -16,7 +16,7 @@ let () =
       doc_size_spread = 4_096 }
   in
   let run ~ncpus ~shards =
-    let t = Core.boot ~ncpus ~dcache_shards:shards () in
+    let t = Core.boot_with { Core.Config.default with ncpus = Some ncpus; dcache_shards = Some shards } in
     let insts = Workloads.Smp.webserver_instances ~config:cfg (Core.sys t) ncpus in
     let r = Workloads.Smp.run (Core.sys t) insts in
     Printf.printf

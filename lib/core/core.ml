@@ -6,7 +6,7 @@
 
    Typical use:
 
-     let t = Core.boot () in
+     let t = Core.boot_with Core.Config.default in
      let fd = Core.ok (Core.Syscall.sys_open (Core.sys t) ~path:"/x"
                          ~flags:Core.o_create) in
      ...
@@ -26,6 +26,7 @@ module Ring = Kring
 module Stats = Kstats
 module Net = Knet
 module Perf = Kperf
+module Verify = Kverify
 
 type fs_choice =
   | Memfs                          (* plain in-memory Ext2 stand-in *)
@@ -34,6 +35,37 @@ type fs_choice =
   | Journalfs                      (* journaling Reiserfs stand-in *)
   | Journalfs_kgcc                 (* ... compiled with KGCC (E7) *)
 
+(* One record holding everything [boot] can vary, replacing the pile of
+   optional labels the facade accreted.  [Config.default] is a bootable
+   baseline; callers override fields with record-update syntax:
+
+     Core.boot_with { Core.Config.default with fs = Journalfs; ncpus = Some 4 }
+*)
+module Config = struct
+  type t = {
+    kernel : Ksim.Kernel.config;   (* simulated-hardware shape *)
+    ncpus : int option;            (* overrides [kernel.ncpus] when set *)
+    dcache_shards : int option;    (* dentry-cache locking mode *)
+    trace : bool option;           (* force kperf on/off for this system *)
+    fs : fs_choice;
+    verify : Kverify.policy option;
+        (* [Some p] boots with a kverify instance installed as the
+           dispatch gate under policy [p]; [None] (default) keeps
+           kverify entirely off the path — zero cost, bit-for-bit
+           identical execution *)
+  }
+
+  let default =
+    {
+      kernel = Ksim.Kernel.default_config;
+      ncpus = None;
+      dcache_shards = None;
+      trace = None;
+      fs = Memfs;
+      verify = None;
+    }
+end
+
 type t = {
   kernel : Ksim.Kernel.t;
   sys : Ksyscall.Systable.t;
@@ -41,6 +73,7 @@ type t = {
   wrapfs : Kvfs.Wrapfs.t option;
   journalfs : Kvfs.Journalfs.t option;
   kgcc_runtime : Kgcc.Kgcc_runtime.t option;
+  kverify : Kverify.t option;
   mutable dispatcher : Kmonitor.Dispatcher.t option;
 }
 
@@ -53,6 +86,7 @@ let kefence t = t.kefence
 let wrapfs t = t.wrapfs
 let journalfs t = t.journalfs
 let kgcc_runtime t = t.kgcc_runtime
+let kverify t = t.kverify
 let dispatcher t = t.dispatcher
 
 (* Common flag sets *)
@@ -69,16 +103,15 @@ let ok = function Ok v -> v | Error e -> raise (Sys_error e)
    every system booted during a run to aggregate their kstats. *)
 let on_boot : (t -> unit) ref = ref (fun _ -> ())
 
-let boot ?(config = Ksim.Kernel.default_config) ?ncpus ?dcache_shards ?trace
-    ?(fs = Memfs) () =
+let boot_with (cfg : Config.t) =
   let config =
-    match ncpus with
-    | None -> config
-    | Some n -> { config with Ksim.Kernel.ncpus = n }
+    match cfg.ncpus with
+    | None -> cfg.kernel
+    | Some n -> { cfg.kernel with Ksim.Kernel.ncpus = n }
   in
   let kernel = Ksim.Kernel.create ~config () in
   (* ?trace overrides the boot-time default for this system only *)
-  (match trace with
+  (match cfg.trace with
   | Some on -> Kperf.set_enabled (Ksim.Kernel.perf kernel) on
   | None -> ());
   let kefence_ref = ref None in
@@ -86,7 +119,7 @@ let boot ?(config = Ksim.Kernel.default_config) ?ncpus ?dcache_shards ?trace
   let journalfs_ref = ref None in
   let kgcc_ref = ref None in
   let root_fs =
-    match fs with
+    match cfg.fs with
     | Memfs -> Kvfs.Memfs.ops (Kvfs.Memfs.create kernel)
     | Wrapfs_kmalloc ->
         let lower = Kvfs.Memfs.ops (Kvfs.Memfs.create kernel) in
@@ -134,7 +167,20 @@ let boot ?(config = Ksim.Kernel.default_config) ?ncpus ?dcache_shards ?trace
         journalfs_ref := Some j;
         Kvfs.Journalfs.ops j
   in
-  let sys = Ksyscall.Systable.create ~root_fs ?dcache_shards kernel in
+  let sys =
+    Ksyscall.Systable.create ~root_fs ?dcache_shards:cfg.dcache_shards kernel
+  in
+  (* kverify gate last, so it sees dispatches from the first user op; an
+     automaton still has to be set ([Kverify.set_automaton]) before the
+     gate enforces anything *)
+  let kv =
+    match cfg.verify with
+    | None -> None
+    | Some policy ->
+        let kv = Kverify.create ~policy kernel in
+        Kverify.install kv sys;
+        Some kv
+  in
   let t =
     {
       kernel;
@@ -143,11 +189,19 @@ let boot ?(config = Ksim.Kernel.default_config) ?ncpus ?dcache_shards ?trace
       wrapfs = !wrapfs_ref;
       journalfs = !journalfs_ref;
       kgcc_runtime = !kgcc_ref;
+      kverify = kv;
       dispatcher = None;
     }
   in
   !on_boot t;
   t
+
+(* Deprecated label-pile form, kept as a thin shim over {!boot_with} for
+   existing callers; prefer [boot_with { Config.default with ... }]. *)
+let boot ?(config = Ksim.Kernel.default_config) ?ncpus ?dcache_shards ?trace
+    ?(fs = Memfs) ?verify () =
+  boot_with
+    { Config.kernel = config; ncpus; dcache_shards; trace; fs; verify }
 
 (* Attach the event-monitoring stack (dispatcher installed into the
    kernel's log_event indirection). *)
@@ -165,13 +219,24 @@ let disable_monitoring t =
       t.dispatcher <- None
   | None -> ()
 
-(* A Cosy kernel extension bound to this system. *)
+(* A Cosy kernel extension bound to this system.  On a verifying system
+   the kverify admission checker attaches automatically, so verified
+   compounds run watchdog-elided. *)
 let cosy ?shared_size ?policy ?user_program t =
-  Cosy.Cosy_exec.create ?shared_size ?policy ?user_program t.sys
+  let cx = Cosy.Cosy_exec.create ?shared_size ?policy ?user_program t.sys in
+  (match t.kverify with
+  | Some kv -> Kverify.attach_cosy kv cx
+  | None -> ());
+  cx
 
-(* A batched submission/completion ring bound to this system. *)
+(* A batched submission/completion ring bound to this system; same
+   automatic admission wiring as {!cosy}. *)
 let ring ?sq_entries ?cq_entries ?shared_size ?policy t =
-  Kring.create ?sq_entries ?cq_entries ?shared_size ?policy t.sys
+  let r = Kring.create ?sq_entries ?cq_entries ?shared_size ?policy t.sys in
+  (match t.kverify with
+  | Some kv -> Kring.set_verifier r (Some (Kverify.ring_verifier kv))
+  | None -> ());
+  r
 
 (* Attach an strace-style recorder. *)
 let trace t =

@@ -7,7 +7,7 @@
     does not cover.
 
     {[
-      let t = Core.boot () in
+      let t = Core.boot_with Core.Config.default in
       let fd = Core.ok (Core.Syscall.sys_open (Core.sys t) ~path:"/x"
                           ~flags:Core.o_create) in
       ...
@@ -25,6 +25,7 @@ module Ring = Kring
 module Stats = Kstats
 module Net = Knet
 module Perf = Kperf
+module Verify = Kverify
 
 (** The filesystem stack to boot with. *)
 type fs_choice =
@@ -33,6 +34,35 @@ type fs_choice =
   | Wrapfs_kefence of Kefence.mode  (** wrapfs over guarded vmalloc (E5) *)
   | Journalfs                       (** journaling Reiserfs stand-in *)
   | Journalfs_kgcc                  (** ... compiled with KGCC (E7) *)
+
+(** Everything {!boot_with} can vary, as one record.  Override fields of
+    {!Config.default} with record-update syntax:
+
+    {[
+      Core.boot_with
+        { Core.Config.default with fs = Journalfs; ncpus = Some 4 }
+    ]} *)
+module Config : sig
+  type t = {
+    kernel : Ksim.Kernel.config;  (** simulated-hardware shape *)
+    ncpus : int option;  (** overrides [kernel.ncpus] when set *)
+    dcache_shards : int option;
+        (** dentry-cache locking: 1 = global [dcache_lock], more =
+            per-shard locks with lockless reads (see {!Kvfs.Dcache}) *)
+    trace : bool option;
+        (** force the kperf tracer on/off for this system, overriding
+            [!Kperf.default_enabled] *)
+    fs : fs_choice;
+    verify : Kverify.policy option;
+        (** [Some p]: boot with a {!Kverify.t} installed as the dispatch
+            gate under policy [p] (set an automaton to start enforcing)
+            and auto-attach admission checkers to {!cosy} and {!ring}
+            instances.  [None] (default): kverify entirely absent —
+            zero cost, bit-for-bit identical execution. *)
+  }
+
+  val default : t
+end
 
 type t
 
@@ -59,6 +89,10 @@ val kefence : t -> Kefence.t option
 val wrapfs : t -> Kvfs.Wrapfs.t option
 val journalfs : t -> Kvfs.Journalfs.t option
 val kgcc_runtime : t -> Kgcc.Kgcc_runtime.t option
+
+(** The kverify instance, when booted with [verify = Some _]. *)
+val kverify : t -> Kverify.t option
+
 val dispatcher : t -> Kmonitor.Dispatcher.t option
 
 (** Common open-flag sets. *)
@@ -73,14 +107,17 @@ exception Sys_error of Kvfs.Vtypes.errno
 (** Unwrap a syscall result.  @raise Sys_error on errno. *)
 val ok : ('a, Kvfs.Vtypes.errno) result -> 'a
 
-(** [ncpus] overrides the config's simulated CPU count; [dcache_shards]
-    selects the dentry-cache locking mode (1 = global [dcache_lock],
-    more = per-shard locks with lockless reads; see {!Kvfs.Dcache}).
-    [trace] forces the kperf tracer on or off for this system,
-    overriding [!Kperf.default_enabled]. *)
+(** Boot a system from a {!Config.t}.  This is the primary entry
+    point; {!boot} is a label-based shim over it. *)
+val boot_with : Config.t -> t
+
+(** @deprecated Label-pile form of {!boot_with}, kept for existing
+    callers; each label maps to the {!Config.t} field of the same name
+    ([config] is [Config.kernel]).  Prefer
+    [boot_with { Config.default with ... }]. *)
 val boot :
   ?config:Ksim.Kernel.config -> ?ncpus:int -> ?dcache_shards:int ->
-  ?trace:bool -> ?fs:fs_choice -> unit -> t
+  ?trace:bool -> ?fs:fs_choice -> ?verify:Kverify.policy -> unit -> t
 
 (** Called with every system {!boot} constructs, before it is returned.
     Harnesses (e.g. the bench driver) hook this to aggregate kstats

@@ -25,6 +25,12 @@ type t = {
   mutable ops_executed : int;
   mutable backedges : int;
   mutable user_calls : int;
+  (* kverify admission: when set, each submitted compound is statically
+     checked before execution; compounds that verify run with the
+     watchdog elided on the cheaper per-op cost.  [None] (the default)
+     is today's dynamic-only safety, bit-for-bit. *)
+  mutable verifier : (Compound.t -> bool) option;
+  mutable watchdog_elisions : int;
 }
 
 let create ?(shared_size = 65536) ?policy ?user_program sys =
@@ -65,10 +71,14 @@ let create ?(shared_size = 65536) ?policy ?user_program sys =
     ops_executed = 0;
     backedges = 0;
     user_calls = 0;
+    verifier = None;
+    watchdog_elisions = 0;
   }
 
 let shared t = t.shared
 let safety t = t.safety
+let set_verifier t v = t.verifier <- v
+let watchdog_elisions t = t.watchdog_elisions
 
 (* Read a NUL-terminated string argument: immediate or from the shared
    buffer. *)
@@ -216,7 +226,7 @@ let do_syscall t slots sysno args =
   let perf = Ksim.Kernel.perf (Ksyscall.Systable.kernel t.sys) in
   let span = Kperf.span_begin perf ~cat:"cosy" ~name:("sys." ^ name) () in
   let reply =
-    match Ksyscall.Usyscall.service t.sys req with
+    match Ksyscall.Usyscall.invoke ~origin:Ksyscall.Usyscall.Compound t.sys req with
     | r ->
         Kperf.span_end perf span;
         r
@@ -272,6 +282,22 @@ let submit t compound =
   Ksim.Kernel.enter_kernel kernel;
   Ksim.Sim_clock.advance clock cost.Ksim.Cost_model.cosy_submit;
   Cosy_safety.arm t.safety;
+  (* kverify admission: statically check the compound before running a
+     single op.  A verified compound executes on the cheaper per-op cost
+     with the watchdog elided; anything else (including every compound
+     when no verifier is installed) takes today's dynamic path. *)
+  let verified =
+    match t.verifier with
+    | None -> false
+    | Some v ->
+        let ok = v compound in
+        if ok then t.watchdog_elisions <- t.watchdog_elisions + 1;
+        ok
+  in
+  let per_op_cost =
+    if verified then cost.Ksim.Cost_model.cosy_exec_op_verified
+    else cost.Ksim.Cost_model.cosy_exec_op
+  in
   let finish_exn e =
     Ksim.Kernel.exit_kernel kernel;
     Kperf.span_end perf ~pid span;
@@ -290,7 +316,7 @@ let submit t compound =
         let cur = !pc in
         t.ops_executed <- t.ops_executed + 1;
         Kstats.incr t.kstats t.st_ops;
-        Ksim.Sim_clock.advance clock cost.Ksim.Cost_model.cosy_exec_op;
+        Ksim.Sim_clock.advance clock per_op_cost;
         (match ops.(cur) with
         | Cosy_op.Set { dst; src } ->
             slots.(dst) <- int_arg slots src;
@@ -325,7 +351,9 @@ let submit t compound =
               t.backedges <- t.backedges + 1;
               Kstats.incr t.kstats t.st_backedges;
               Ksim.Scheduler.checkpoint (Ksim.Kernel.sched kernel);
-              Cosy_safety.watchdog_check t.safety
+              (* verified compounds proved their loops bounded at
+                 admission; the preemption checkpoint above still runs *)
+              if not verified then Cosy_safety.watchdog_check t.safety
             end;
             pc := target
         | Cosy_op.Jz { cond; target } ->
@@ -334,7 +362,7 @@ let submit t compound =
                 t.backedges <- t.backedges + 1;
                 Kstats.incr t.kstats t.st_backedges;
                 Ksim.Scheduler.checkpoint (Ksim.Kernel.sched kernel);
-                Cosy_safety.watchdog_check t.safety
+                if not verified then Cosy_safety.watchdog_check t.safety
               end;
               pc := target
             end
@@ -346,9 +374,11 @@ let submit t compound =
       done;
       slots
     with
-    | Cosy_safety.Watchdog_expired _ as e ->
-        (* the watchdog terminates the offending process (2.3); account
-           the boundary exit first, then kill *)
+    | (Cosy_safety.Watchdog_expired _ | Ksyscall.Usyscall.Flow_violation _)
+      as e ->
+        (* the watchdog — or the syscall-flow gate under the Kill policy
+           — terminates the offending process (§2.3); account the
+           boundary exit first, then kill *)
         let offender = Ksim.Kernel.current kernel in
         Ksim.Kernel.exit_kernel kernel;
         Ksim.Scheduler.kill (Ksim.Kernel.sched kernel) offender;

@@ -27,10 +27,25 @@ val shared : t -> Shared_buffer.t
 
 val safety : t -> Cosy_safety.t
 
+(** Install/remove the kverify admission checker.  With a verifier set,
+    every submitted compound is statically checked inside the kernel
+    stay before execution: compounds that verify run on the cheaper
+    [cosy_exec_op_verified] cost with the back-edge watchdog elided
+    (their loops were proven bounded at admission — the preemption
+    checkpoint still runs); compounds that don't verify fall back to
+    today's watchdog path bit-for-bit.  [None] (the default) disables
+    admission entirely. *)
+val set_verifier : t -> (Compound.t -> bool) option -> unit
+
+(** Compounds admitted on the watchdog-elided path so far. *)
+val watchdog_elisions : t -> int
+
 (** Execute a compound; returns the final register file.
     @raise Exec_error on malformed compounds,
     @raise Cosy_safety.Watchdog_expired when the kernel-time budget is
     exhausted (the offending process is killed first),
+    @raise Ksyscall.Usyscall.Flow_violation when the syscall-flow gate
+    kills the offender mid-compound (same cleanup as the watchdog),
     @raise Ksim.Fault.Fault when an isolated user function escapes its
     segment.  Kernel mode is always exited before raising. *)
 val submit : t -> Compound.t -> int array

@@ -357,6 +357,15 @@ let inject_connect t ~port =
   | C_ok (_, id) -> Some id
   | C_drop _ | C_refused -> None
 
+(* Errno-carrying variant: the two rejection paths are distinct — a SYN
+   dropped by a full backlog looks like a timeout to the client, while a
+   port nobody listens on is actively refused. *)
+let inject_connect_result t ~port =
+  match connect_attempt t ~port ~client:None with
+  | C_ok (_, id) -> Ok id
+  | C_drop _ -> Error V.ETIMEDOUT
+  | C_refused -> Error V.ECONNREFUSED
+
 let deliver_bytes t c s pos len =
   let space = t.rcvbuf - Bq.length c.cn_recv in
   let n = min space len in
@@ -548,7 +557,9 @@ let append_out t c data =
   let n = min space len in
   if n = 0 && len > 0 then begin
     Kstats.incr t.stats t.st_sendq_full;
-    Error V.EAGAIN
+    (* a completely full send queue is its own condition (ENOBUFS),
+       distinct from the would-block EAGAIN of an empty recv queue *)
+    Error V.ENOBUFS
   end
   else begin
     if n < len then Kstats.incr t.stats t.st_sendq_full;

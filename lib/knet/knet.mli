@@ -56,8 +56,9 @@ val accept : t -> sock:int -> (int, Kvfs.Vtypes.errno) result
     bytes yet. *)
 val recv : t -> sock:int -> len:int -> (Bytes.t, Kvfs.Vtypes.errno) result
 
-(** Queue bytes toward the peer; returns how many fit ([EAGAIN] if the
-    send buffer is completely full — counted in [net.sendq_full]). *)
+(** Queue bytes toward the peer; returns how many fit ([ENOBUFS] if the
+    send buffer is completely full — counted in [net.sendq_full].
+    Distinct from the would-block [EAGAIN] of {!recv}/{!accept}). *)
 val send : t -> sock:int -> data:Bytes.t -> (int, Kvfs.Vtypes.errno) result
 
 (** Free bytes in the send buffer (0 for a full queue). *)
@@ -100,6 +101,11 @@ val epoll_wait :
     [Instrument.Custom backlog_drop_kind] event naming the port). *)
 
 val inject_connect : t -> port:int -> int option
+
+(** Like {!inject_connect} but with the rejection reason: [ETIMEDOUT]
+    when the backlog dropped the SYN (the client times out), and
+    [ECONNREFUSED] when no listener owns the port. *)
+val inject_connect_result : t -> port:int -> (int, Kvfs.Vtypes.errno) result
 
 (** Returns how many bytes fit in the receive buffer. *)
 val inject_bytes : t -> sock:int -> string -> int

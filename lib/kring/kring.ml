@@ -32,6 +32,12 @@ type t = {
   cq : completion Queue.t;
   mutable sq_bytes : int;             (* bump pointer into [shared] *)
   mutable next_seq : int;
+  (* kverify admission: when set, each batch's decoded requests are
+     statically checked before execution; batches that verify drain on
+     the cheap parse-in-place path (no per-entry copy_from_user, no
+     watchdog).  [None] (the default) is today's path, bit-for-bit. *)
+  mutable verifier : (Syscall.req list -> bool) option;
+  mutable watchdog_elisions : int;
   kstats : Kstats.t;
   st_submits : Kstats.counter;
   st_enters : Kstats.counter;
@@ -63,6 +69,8 @@ let create ?(sq_entries = 64) ?cq_entries ?(shared_size = 65536) ?policy sys =
       cq = Queue.create ();
       sq_bytes = 0;
       next_seq = 0;
+      verifier = None;
+      watchdog_elisions = 0;
       kstats;
       st_submits = Kstats.counter kstats "ring.submits";
       st_enters = Kstats.counter kstats "ring.enters";
@@ -85,6 +93,8 @@ let cq_depth t = Queue.length t.cq
 let sq_entries t = t.sq_entries
 let cq_entries t = t.cq_entries
 let shared t = t.shared
+let set_verifier t v = t.verifier <- v
+let watchdog_elisions t = t.watchdog_elisions
 
 (* Queue one request (user mode, no crossing): marshal it into the
    shared region and append an SQ entry.  Backpressure when either the
@@ -142,6 +152,33 @@ let enter t =
     Ksim.Kernel.enter_kernel kernel;
     Ksim.Sim_clock.advance clock cost.Ksim.Cost_model.cosy_submit;
     Cosy.Cosy_safety.arm t.safety;
+    (* kverify admission: statically check the queued requests before
+       the first one executes.  The verifier charges its own per-entry
+       admission cost; a batch that verifies drains parse-in-place from
+       the sealed SQ region — no per-entry copy_from_user, the cheap
+       [ring_verified_op] instead of a decode, and the watchdog elided
+       (a straight-line batch of validated requests cannot run away).
+       Any batch the verifier rejects — or that fails to decode at
+       admission — falls back to today's watchdog path bit-for-bit. *)
+    let verified =
+      match t.verifier with
+      | None -> false
+      | Some v ->
+          let ok =
+            match
+              Queue.fold
+                (fun acc (_, off, len) ->
+                  let wire = Cosy.Shared_buffer.read t.shared ~off ~len in
+                  let req, (_ : int) = Syscall.decode_req wire ~off:0 in
+                  req :: acc)
+                [] t.sq
+            with
+            | reqs -> v (List.rev reqs)
+            | exception _ -> false
+          in
+          if ok then t.watchdog_elisions <- t.watchdog_elisions + 1;
+          ok
+    in
     Kstats.incr t.kstats t.st_enters;
     let completed = ref 0 in
     let out_bytes = ref 0 in
@@ -150,12 +187,20 @@ let enter t =
          (not (Queue.is_empty t.sq)) && Queue.length t.cq < t.cq_entries
        do
          let seq, off, len = Queue.peek t.sq in
-         Ksim.Sim_clock.advance clock cost.Ksim.Cost_model.cosy_decode_op;
-         (* the batch's copy-in, charged per entry as the kernel pulls it *)
-         Ksim.Kernel.charge_copy_from_user kernel len;
+         if verified then
+           Ksim.Sim_clock.advance clock cost.Ksim.Cost_model.ring_verified_op
+         else begin
+           Ksim.Sim_clock.advance clock cost.Ksim.Cost_model.cosy_decode_op;
+           (* the batch's copy-in, charged per entry as the kernel pulls
+              it; the verified path reads the pre-validated shared region
+              in place instead *)
+           Ksim.Kernel.charge_copy_from_user kernel len
+         end;
          let wire = Cosy.Shared_buffer.read t.shared ~off ~len in
          let req, (_ : int) = Syscall.decode_req wire ~off:0 in
-         let reply = Ksyscall.Usyscall.dispatch_in_kernel t.sys req in
+         let reply =
+           Ksyscall.Usyscall.invoke ~origin:Ksyscall.Usyscall.Ring t.sys req
+         in
          ignore (Queue.pop t.sq);
          Queue.add { seq; sysno = Syscall.sysno_of_req req; reply } t.cq;
          out_bytes := !out_bytes + Syscall.reply_copy_bytes reply;
@@ -164,14 +209,16 @@ let enter t =
          (* between ops the preemptive kernel gets its chance, exactly
             like a compound's back-edge *)
          Ksim.Scheduler.checkpoint (Ksim.Kernel.sched kernel);
-         Cosy.Cosy_safety.watchdog_check t.safety
+         if not verified then Cosy.Cosy_safety.watchdog_check t.safety
        done;
        if Queue.is_empty t.sq then t.sq_bytes <- 0;
        if !out_bytes > 0 then Ksim.Kernel.charge_copy_to_user kernel !out_bytes;
        Ksim.Kernel.exit_kernel kernel
      with
-    | Cosy.Cosy_safety.Watchdog_expired _ as e ->
-        (* same fate as a runaway compound (§2.3): the offender dies *)
+    | (Cosy.Cosy_safety.Watchdog_expired _
+      | Ksyscall.Usyscall.Flow_violation _) as e ->
+        (* same fate as a runaway compound (§2.3): the offender dies —
+           whether the watchdog fired or the syscall-flow gate killed *)
         let offender = Ksim.Kernel.current kernel in
         Ksim.Kernel.exit_kernel kernel;
         Ksim.Scheduler.kill (Ksim.Kernel.sched kernel) offender;

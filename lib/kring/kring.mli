@@ -55,6 +55,18 @@ val reap_all : t -> completion list
     reap: completions for every request, in submission order. *)
 val run_batch : t -> Ksyscall.Syscall.req list -> completion list
 
+(** Install/remove the kverify admission checker.  With a verifier set,
+    {!enter} statically checks the queued requests before executing any
+    of them: a batch that verifies drains on the cheap parse-in-place
+    path (no per-entry copy_from_user, [ring_verified_op] instead of a
+    decode, watchdog elided — preemption checkpoints still run); a batch
+    that doesn't falls back to today's watchdog path bit-for-bit.
+    [None] (the default) disables admission entirely. *)
+val set_verifier : t -> (Ksyscall.Syscall.req list -> bool) option -> unit
+
+(** Batches admitted on the watchdog-elided path so far. *)
+val watchdog_elisions : t -> int
+
 val sq_depth : t -> int
 val cq_depth : t -> int
 val sq_entries : t -> int

@@ -32,7 +32,16 @@ type t = {
   cosy_decode_op : int;      (* decoding one compound operation *)
   cosy_exec_op : int;        (* interpreting one decoded operation *)
   cosy_submit : int;         (* submitting a compound (one boundary trip) *)
+  cosy_exec_op_verified : int; (* interpreting one op of a *verified*
+                                  compound: no per-op watchdog overhead *)
   bounds_check : int;        (* one KGCC bounds check (splay hit) *)
+  (* kverify static admission (ISSUE 7) *)
+  sfi_check : int;           (* one syscall-flow automaton transition *)
+  verify_admit_op : int;     (* statically checking one op/entry at
+                                admission, before execution starts *)
+  ring_verified_op : int;    (* consuming one pre-verified ring entry:
+                                parse-in-place of the sealed SQ region,
+                                no per-entry copy_from_user or watchdog *)
   splay_rotate : int;        (* extra cost per splay rotation *)
   (* event monitoring *)
   event_dispatch : int;
@@ -82,7 +91,11 @@ let default =
     cosy_decode_op = 40;
     cosy_exec_op = 60;
     cosy_submit = 1_100;
+    cosy_exec_op_verified = 25;
     bounds_check = 820;
+    sfi_check = 20;             (* table probe + one bitmask test *)
+    verify_admit_op = 30;
+    ring_verified_op = 12;
     splay_rotate = 16;
     event_dispatch = 940;
     ring_push = 300;
@@ -127,7 +140,11 @@ let zero =
     cosy_decode_op = 0;
     cosy_exec_op = 0;
     cosy_submit = 0;
+    cosy_exec_op_verified = 0;
     bounds_check = 0;
+    sfi_check = 0;
+    verify_admit_op = 0;
+    ring_verified_op = 0;
     splay_rotate = 0;
     event_dispatch = 0;
     ring_push = 0;

@@ -14,11 +14,23 @@ type trace_record = {
   timestamp : int;          (* virtual cycles at completion *)
 }
 
+(* What the admission gate (kverify's syscall-flow automaton) decided
+   about one dispatch.  [Gate_kill] means the caller must terminate the
+   offending process, watchdog-style. *)
+type gate_decision =
+  | Gate_allow
+  | Gate_deny of Kvfs.Vtypes.errno
+  | Gate_kill
+
+type gate = pid:int -> sysno:Sysno.t -> gate_decision
+
 type t = {
   kernel : Ksim.Kernel.t;
   vfs : Kvfs.Vfs.t;
   net : Knet.t;
   mutable tracer : (trace_record -> unit) option;
+  (* the (single) dispatch-admission hook; [None] costs one branch *)
+  mutable gate : gate option;
   counts : (Sysno.t, int) Hashtbl.t;
   mutable total_syscalls : int;
   (* kstats handles, lazily registered per syscall *)
@@ -34,6 +46,7 @@ let create ?root_fs ?dcache_shards kernel =
     vfs;
     net = Knet.create kernel;
     tracer = None;
+    gate = None;
     counts = Hashtbl.create 64;
     total_syscalls = 0;
     st_counters = Hashtbl.create 64;
@@ -47,6 +60,10 @@ let net t = t.net
 
 let set_tracer t f = t.tracer <- Some f
 let clear_tracer t = t.tracer <- None
+
+let set_gate t g = t.gate <- Some g
+let clear_gate t = t.gate <- None
+let gate t = t.gate
 
 (* Handle caches keep the hot path at one Hashtbl probe after the
    enabled branch; registration happens on a syscall's first use.  The

@@ -32,6 +32,25 @@ val set_tracer : t -> (trace_record -> unit) -> unit
 
 val clear_tracer : t -> unit
 
+(** What the dispatch-admission gate decided about one syscall.
+    [Gate_kill] obliges the dispatcher to terminate the offending
+    process exactly like a watchdog expiry. *)
+type gate_decision =
+  | Gate_allow
+  | Gate_deny of Kvfs.Vtypes.errno
+  | Gate_kill
+
+type gate = pid:int -> sysno:Sysno.t -> gate_decision
+
+(** Install/remove the (single) dispatch-admission gate ({!Usyscall}
+    consults it on every [invoke], whatever the entry path).  Kverify's
+    syscall-flow automaton installs itself here; with no gate installed
+    the check is one [None] branch and zero cycles. *)
+val set_gate : t -> gate -> unit
+
+val clear_gate : t -> unit
+val gate : t -> gate option
+
 (** Used by the dispatcher to account and publish one completed syscall. *)
 val record :
   t -> sysno:Sysno.t -> arg:string -> bytes_in:int -> bytes_out:int ->

@@ -1,9 +1,21 @@
 (* User-level syscall dispatch.  Every call is a typed [Syscall.req]
-   pushed through one generic [dispatch]: cross the user/kernel boundary
-   (charging entry/exit), run the in-kernel service routine, copy
-   arguments and results across (charging per-byte costs), bump the
-   calling process's syscall count, and report a typed trace record.
-   The per-call functions below are thin builders over [dispatch].
+   pushed through one generic [invoke]: the single choke point all four
+   entry paths funnel through —
+
+     Plain     the synchronous wrappers below: cross the boundary
+               (charging entry/exit), run the in-kernel service routine,
+               copy arguments and results across (charging per-byte
+               costs), bump the syscall count, report a trace record;
+     Ring      a drained kring entry: already in kernel mode, no
+               crossing or copy charges (the batch pays those), but the
+               call still counts, traces and lands in the histograms;
+     Compound  a Cosy op: bare service dispatch, the compound's own
+               bookkeeping wraps it.
+
+   Interposition (kverify's syscall-flow gate) therefore happens in
+   exactly one place, whichever way a request reaches the kernel.  The
+   per-call functions below are thin builders over [invoke]; [dispatch]
+   and [dispatch_in_kernel] survive as aliases so callers don't churn.
 
    These are the "expensive" calls whose overhead the paper's both
    techniques — consolidation (§2.2) and Cosy (§2.3) — exist to avoid;
@@ -96,62 +108,130 @@ let service sys (req : Syscall.req) : Syscall.reply =
   | Sendfile_sock { sock; fd; off; len } ->
       ok_int (Sys_net.service_sendfile_sock sys ~sock ~fd ~off ~len)
 
-(* Run one request that is already on the kernel side of the boundary
-   (a drained ring entry): no crossing, no copy charges — the caller
-   accounts those per batch — but the syscall still counts, traces, and
-   lands in the latency histogram. *)
-let dispatch_in_kernel sys (req : Syscall.req) : Syscall.reply =
-  let k = Systable.kernel sys in
-  let sysno = Syscall.sysno_of_req req in
-  let t0 = Ksim.Kernel.now k in
-  let perf = Ksim.Kernel.perf k in
-  let pid = (Ksim.Kernel.current k).Ksim.Kproc.pid in
-  let span =
-    Kperf.span_begin perf ~pid ~cat:"syscall" ~name:(Sysno.to_string sysno) ()
-  in
-  (Ksim.Kernel.current k).Ksim.Kproc.syscalls <-
-    (Ksim.Kernel.current k).Ksim.Kproc.syscalls + 1;
-  let reply = service sys req in
-  Systable.record sys ~sysno ~arg:(Syscall.arg_of_req req)
-    ~bytes_in:0 ~bytes_out:0
-    ~ok:(Result.is_ok reply);
-  Systable.observe_latency sys ~sysno ~cycles:(Ksim.Kernel.now k - t0);
-  Kperf.span_end perf ~pid span;
-  reply
+(* How a request reached the dispatcher; decides which boundary/copy
+   protocol [invoke] layers around [service]. *)
+type origin =
+  | Plain       (* synchronous wrapper: full boundary round trip *)
+  | Ring        (* drained kring entry: already in kernel mode *)
+  | Compound    (* Cosy op: bare service, compound does the accounting *)
 
-(* The generic synchronous path: one request, one boundary round trip. *)
-let dispatch sys (req : Syscall.req) : Syscall.reply =
-  let k = Systable.kernel sys in
-  let sysno = Syscall.sysno_of_req req in
-  let t0 = Ksim.Kernel.now k in
-  let perf = Ksim.Kernel.perf k in
-  let pid = (Ksim.Kernel.current k).Ksim.Kproc.pid in
-  (* the span covers the whole round trip, entry trap to exit, so its
-     self time in a flamegraph is exactly the boundary-crossing tax the
-     paper's techniques exist to amortize *)
-  let span =
-    Kperf.span_begin perf ~pid ~cat:"syscall" ~name:(Sysno.to_string sysno) ()
-  in
-  enter sys;
-  let reply =
-    match service sys req with
-    | r -> r
-    | exception e ->
-        exit sys;
-        Kperf.span_end perf ~pid span;
-        raise e
-  in
-  let bin = Syscall.req_copy_bytes req
-  and bout = Syscall.reply_copy_bytes reply in
-  if bin > 0 then Ksim.Kernel.charge_copy_from_user k bin;
-  if bout > 0 then Ksim.Kernel.charge_copy_to_user k bout;
-  Systable.record sys ~sysno ~arg:(Syscall.arg_of_req req) ~bytes_in:bin
-    ~bytes_out:bout
-    ~ok:(Result.is_ok reply);
-  exit sys;
-  Systable.observe_latency sys ~sysno ~cycles:(Ksim.Kernel.now k - t0);
-  Kperf.span_end perf ~pid span;
-  reply
+(* Raised when the admission gate returns [Gate_kill]: the syscall-flow
+   automaton saw a forbidden transition under the Kill policy.  On the
+   Plain path the offender is already dead when this escapes; kring and
+   Cosy catch it and kill the offender themselves, watchdog-style. *)
+exception Flow_violation of { pid : int; sysno : Sysno.t }
+
+(* Consult the admission gate (if any).  Precondition: kernel mode, so
+   any cycles the gate charges land as system time.  The [None] branch
+   is the entire cost of a disabled verifier. *)
+let gate_decide sys sysno =
+  match Systable.gate sys with
+  | None -> Systable.Gate_allow
+  | Some g ->
+      let k = Systable.kernel sys in
+      g ~pid:(Ksim.Kernel.current k).Ksim.Kproc.pid ~sysno
+
+(* The single dispatch choke point. *)
+let invoke ?(origin = Plain) sys (req : Syscall.req) : Syscall.reply =
+  match origin with
+  | Compound -> (
+      (* the compound already crossed; per-op spans/accounting are the
+         caller's.  Only the gate interposes before the service routine. *)
+      let sysno = Syscall.sysno_of_req req in
+      match gate_decide sys sysno with
+      | Systable.Gate_allow -> service sys req
+      | Systable.Gate_deny e -> Error e
+      | Systable.Gate_kill ->
+          let k = Systable.kernel sys in
+          raise
+            (Flow_violation
+               { pid = (Ksim.Kernel.current k).Ksim.Kproc.pid; sysno }))
+  | Ring ->
+      (* a drained ring entry: no crossing, no copy charges — the batch
+         accounts those — but the syscall still counts, traces, and
+         lands in the latency histogram *)
+      let k = Systable.kernel sys in
+      let sysno = Syscall.sysno_of_req req in
+      let t0 = Ksim.Kernel.now k in
+      let perf = Ksim.Kernel.perf k in
+      let pid = (Ksim.Kernel.current k).Ksim.Kproc.pid in
+      let span =
+        Kperf.span_begin perf ~pid ~cat:"syscall"
+          ~name:(Sysno.to_string sysno) ()
+      in
+      (Ksim.Kernel.current k).Ksim.Kproc.syscalls <-
+        (Ksim.Kernel.current k).Ksim.Kproc.syscalls + 1;
+      let reply =
+        match gate_decide sys sysno with
+        | Systable.Gate_allow -> service sys req
+        | Systable.Gate_deny e -> Error e
+        | Systable.Gate_kill ->
+            (* the ring's enter loop owns the kernel stay; let it unwind
+               exactly like a watchdog expiry *)
+            Kperf.span_end perf ~pid span;
+            raise (Flow_violation { pid; sysno })
+      in
+      Systable.record sys ~sysno ~arg:(Syscall.arg_of_req req)
+        ~bytes_in:0 ~bytes_out:0
+        ~ok:(Result.is_ok reply);
+      Systable.observe_latency sys ~sysno ~cycles:(Ksim.Kernel.now k - t0);
+      Kperf.span_end perf ~pid span;
+      reply
+  | Plain ->
+      (* the generic synchronous path: one request, one round trip *)
+      let k = Systable.kernel sys in
+      let sysno = Syscall.sysno_of_req req in
+      let t0 = Ksim.Kernel.now k in
+      let perf = Ksim.Kernel.perf k in
+      let pid = (Ksim.Kernel.current k).Ksim.Kproc.pid in
+      (* the span covers the whole round trip, entry trap to exit, so its
+         self time in a flamegraph is exactly the boundary-crossing tax
+         the paper's techniques exist to amortize *)
+      let span =
+        Kperf.span_begin perf ~pid ~cat:"syscall"
+          ~name:(Sysno.to_string sysno) ()
+      in
+      enter sys;
+      let denied =
+        match gate_decide sys sysno with
+        | Systable.Gate_allow -> None
+        | Systable.Gate_deny e -> Some e
+        | Systable.Gate_kill ->
+            (* account the boundary exit, then kill — the same order the
+               Cosy watchdog uses *)
+            let offender = Ksim.Kernel.current k in
+            exit sys;
+            Ksim.Scheduler.kill (Ksim.Kernel.sched k) offender;
+            Kperf.span_end perf ~pid span;
+            raise (Flow_violation { pid; sysno })
+      in
+      let reply =
+        match denied with
+        | Some e -> Error e   (* rejected before argument copy-in *)
+        | None -> (
+            match service sys req with
+            | r -> r
+            | exception e ->
+                exit sys;
+                Kperf.span_end perf ~pid span;
+                raise e)
+      in
+      let bin =
+        match denied with Some _ -> 0 | None -> Syscall.req_copy_bytes req
+      and bout = Syscall.reply_copy_bytes reply in
+      if bin > 0 then Ksim.Kernel.charge_copy_from_user k bin;
+      if bout > 0 then Ksim.Kernel.charge_copy_to_user k bout;
+      Systable.record sys ~sysno ~arg:(Syscall.arg_of_req req) ~bytes_in:bin
+        ~bytes_out:bout
+        ~ok:(Result.is_ok reply);
+      exit sys;
+      Systable.observe_latency sys ~sysno ~cycles:(Ksim.Kernel.now k - t0);
+      Kperf.span_end perf ~pid span;
+      reply
+
+(* Historical entry points, now thin aliases over the choke point. *)
+let dispatch sys req = invoke ~origin:Plain sys req
+let dispatch_in_kernel sys req = invoke ~origin:Ring sys req
 
 (* --- reply extractors --------------------------------------------------- *)
 

@@ -43,6 +43,10 @@ let edges t =
   Hashtbl.fold (fun (s, d) w acc -> (s, d, w) :: acc) t.edges []
   |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
 
+let vertices t =
+  Hashtbl.fold (fun s n acc -> (s, n) :: acc) t.vertices []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
 (* Heaviest paths of the given length: greedy extension from each heavy
    edge, the heuristic the paper uses to pick consolidation candidates. *)
 let heavy_paths t ~length ~top =

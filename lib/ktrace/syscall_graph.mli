@@ -20,6 +20,9 @@ val invocations : t -> Ksyscall.Sysno.t -> int
 (** All edges, heaviest first. *)
 val edges : t -> (Ksyscall.Sysno.t * Ksyscall.Sysno.t * int) list
 
+(** All vertices with their invocation counts, most invoked first. *)
+val vertices : t -> (Ksyscall.Sysno.t * int) list
+
 (** Greedy heaviest paths of [length] vertices: the consolidation
     candidates.  Each path carries its bottleneck weight. *)
 val heavy_paths :

@@ -1,0 +1,22 @@
+(** Static admission checker for compounds and ring batches.
+
+    Verifies, before execution, that a program cannot misbehave on
+    shape: opcodes decode, syscall arguments match their {!Ksyscall.Sysno}
+    descriptors, shared-buffer references stay in bounds, and every loop
+    back-edge follows the provably-bounded counted-loop idiom Cosy-GCC
+    emits.  A [Verified] program runs with the dynamic watchdog elided;
+    a [Rejected] one falls back bit-for-bit to the dynamic path. *)
+
+type verdict =
+  | Verified of { ops : int }  (** statically checked ops/requests *)
+  | Rejected of string         (** why the analysis could not prove it *)
+
+val is_verified : verdict -> bool
+
+(** Verify an encoded Cosy compound against the shared buffer it will
+    run over ([shared_size] bytes). *)
+val verify_compound : shared_size:int -> Cosy.Compound.t -> verdict
+
+(** Verify a decoded kring batch.  Batches are straight-line, so this is
+    per-request descriptor shape checking. *)
+val verify_reqs : Ksyscall.Syscall.req list -> verdict

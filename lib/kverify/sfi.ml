@@ -1,0 +1,104 @@
+(* Syscall-flow integrity (after SFIP, Canella et al. 2022): a recorded
+   syscall digraph compiled into a transition automaton over Sysno
+   integers.  A state is "the last syscall this process made"; the
+   automaton answers, in one array probe and one bit test, whether the
+   next syscall is a transition the recorded program ever takes.
+
+   Sysno integers are < 63, so each state's successor set is one OCaml
+   int used as a bitmask — the whole automaton is an int array, which is
+   what makes the per-dispatch check cheap enough to charge at
+   [Cost_model.sfi_check] (a table probe plus a bit test). *)
+
+module Sysno = Ksyscall.Sysno
+
+let n_states = List.length Sysno.all
+
+let () = assert (n_states <= 62)
+
+type t = {
+  allowed : int array;   (* successor bitmask, indexed by Sysno.to_int *)
+  members : int;         (* bitmask: sysnos the program uses at all *)
+}
+
+let bit sysno = 1 lsl Sysno.to_int sysno
+let test mask sysno = mask land bit sysno <> 0
+
+let of_edges ?(vertices = []) edges =
+  let allowed = Array.make n_states 0 in
+  let members = ref 0 in
+  List.iter (fun v -> members := !members lor bit v) vertices;
+  List.iter
+    (fun (src, dst) ->
+      allowed.(Sysno.to_int src) <- allowed.(Sysno.to_int src) lor bit dst;
+      members := !members lor bit src lor bit dst)
+    edges;
+  { allowed; members = !members }
+
+let of_graph g =
+  of_edges
+    ~vertices:(List.map fst (Ktrace.Syscall_graph.vertices g))
+    (List.map (fun (s, d, _) -> (s, d)) (Ktrace.Syscall_graph.edges g))
+
+(* A process's first syscall has no predecessor: any syscall the program
+   uses at all is a valid start state.  After that, only recorded
+   transitions pass. *)
+let permits t ~prev sysno =
+  match prev with
+  | None -> test t.members sysno
+  | Some p -> test t.allowed.(Sysno.to_int p) sysno
+
+let transitions t =
+  let acc = ref [] in
+  for s = n_states - 1 downto 0 do
+    match Sysno.of_int s with
+    | None -> ()
+    | Some src ->
+        List.iter
+          (fun dst ->
+            if test t.allowed.(s) dst then acc := (src, dst) :: !acc)
+          Sysno.all
+  done;
+  !acc
+
+let members t = List.filter (test t.members) Sysno.all
+
+(* Textual persistence, for [kverify_tool learn]/[check]: one "v <name>"
+   line per member, one "e <src> <dst>" line per transition. *)
+let to_string t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "# kverify sfi v1\n";
+  List.iter
+    (fun v -> Buffer.add_string b ("v " ^ Sysno.to_string v ^ "\n"))
+    (members t);
+  List.iter
+    (fun (s, d) ->
+      Buffer.add_string b
+        ("e " ^ Sysno.to_string s ^ " " ^ Sysno.to_string d ^ "\n"))
+    (transitions t);
+  Buffer.contents b
+
+exception Parse_error of string
+
+let of_string s =
+  let vertices = ref [] and edges = ref [] in
+  let sysno name =
+    match Sysno.of_string name with
+    | Some v -> v
+    | None -> raise (Parse_error ("unknown syscall " ^ name))
+  in
+  String.split_on_char '\n' s
+  |> List.iteri (fun i line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then ()
+         else
+           match String.split_on_char ' ' line with
+           | [ "v"; v ] -> vertices := sysno v :: !vertices
+           | [ "e"; src; dst ] -> edges := (sysno src, sysno dst) :: !edges
+           | _ ->
+               raise (Parse_error (Printf.sprintf "line %d: %S" (i + 1) line)));
+  of_edges ~vertices:!vertices !edges
+
+let pp ppf t =
+  List.iter
+    (fun (s, d) -> Fmt.pf ppf "%a -> %a@\n" Sysno.pp s Sysno.pp d)
+    (transitions t)

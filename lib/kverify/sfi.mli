@@ -1,0 +1,41 @@
+(** Syscall-flow integrity automaton (after SFIP, Canella et al. 2022).
+
+    A recorded {!Ktrace.Syscall_graph} compiles into a per-process
+    transition automaton over syscall numbers: state = the last syscall
+    the process made, and [permits] answers in one array probe and one
+    bit test whether the next syscall is a transition the recorded
+    program ever takes.  {!Kverify} installs it as the dispatch gate. *)
+
+type t
+
+(** Compile a recorded syscall digraph (vertices become valid start
+    states, edges become transitions). *)
+val of_graph : Ktrace.Syscall_graph.t -> t
+
+(** Build from explicit transitions.  [vertices] adds extra valid start
+    states beyond the edges' endpoints. *)
+val of_edges :
+  ?vertices:Ksyscall.Sysno.t list ->
+  (Ksyscall.Sysno.t * Ksyscall.Sysno.t) list ->
+  t
+
+(** [permits t ~prev sysno]: is [sysno] allowed after [prev]?  [None]
+    (the process's first syscall) permits any syscall the program uses
+    at all. *)
+val permits : t -> prev:Ksyscall.Sysno.t option -> Ksyscall.Sysno.t -> bool
+
+(** All transitions, source-ordered. *)
+val transitions : t -> (Ksyscall.Sysno.t * Ksyscall.Sysno.t) list
+
+(** All syscalls the automaton considers part of the program. *)
+val members : t -> Ksyscall.Sysno.t list
+
+(** Textual persistence for [kverify_tool learn]/[check]. *)
+val to_string : t -> string
+
+exception Parse_error of string
+
+(** @raise Parse_error on malformed input. *)
+val of_string : string -> t
+
+val pp : Format.formatter -> t -> unit

@@ -3,6 +3,7 @@
    wrapfs by delegation, journalfs by journaling over memfs). *)
 
 type errno =
+  | EPERM         (* rejected by an admission policy (kverify SFI deny) *)
   | ENOENT
   | EEXIST
   | ENOTDIR
@@ -14,11 +15,15 @@ type errno =
   | EFAULT
   | ENAMETOOLONG
   | EROFS
-  | EAGAIN        (* operation would block (empty recvq, full sendq...) *)
+  | EAGAIN        (* operation would block (empty recvq, empty backlog) *)
   | ENOTSOCK      (* socket operation on a non-socket descriptor *)
   | EADDRINUSE    (* bind to a port another listener owns *)
+  | ENOBUFS       (* send queue completely full (distinct from EAGAIN) *)
+  | ETIMEDOUT     (* connect SYN dropped by a full accept backlog *)
+  | ECONNREFUSED  (* connect to a port with no listener *)
 
 let errno_to_string = function
+  | EPERM -> "EPERM"
   | ENOENT -> "ENOENT"
   | EEXIST -> "EEXIST"
   | ENOTDIR -> "ENOTDIR"
@@ -33,12 +38,16 @@ let errno_to_string = function
   | EAGAIN -> "EAGAIN"
   | ENOTSOCK -> "ENOTSOCK"
   | EADDRINUSE -> "EADDRINUSE"
+  | ENOBUFS -> "ENOBUFS"
+  | ETIMEDOUT -> "ETIMEDOUT"
+  | ECONNREFUSED -> "ECONNREFUSED"
 
 let pp_errno ppf e = Fmt.string ppf (errno_to_string e)
 
 (* Linux-compatible numeric errno codes, used by the Cosy kernel
    extension's C-style return convention (negative errno on failure). *)
 let errno_code = function
+  | EPERM -> 1
   | ENOENT -> 2
   | EEXIST -> 17
   | ENOTDIR -> 20
@@ -53,13 +62,25 @@ let errno_code = function
   | EAGAIN -> 11
   | ENOTSOCK -> 88
   | EADDRINUSE -> 98
+  | ENOBUFS -> 105
+  | ETIMEDOUT -> 110
+  | ECONNREFUSED -> 111
 
 let all_errnos =
   [
-    ENOENT; EEXIST; ENOTDIR; EISDIR; EBADF; EINVAL; ENOTEMPTY; ENOSPC; EFAULT;
-    ENAMETOOLONG; EROFS; EAGAIN; ENOTSOCK; EADDRINUSE;
+    EPERM; ENOENT; EEXIST; ENOTDIR; EISDIR; EBADF; EINVAL; ENOTEMPTY; ENOSPC;
+    EFAULT; ENAMETOOLONG; EROFS; EAGAIN; ENOTSOCK; EADDRINUSE; ENOBUFS;
+    ETIMEDOUT; ECONNREFUSED;
   ]
 
+(* Every rejection path maps to its own documented errno — a failed
+   lookup on a genuinely unknown code is the caller's bug, not a shared
+   catch-all:
+     EPERM         kverify admission denial (SFI policy [Deny])
+     EAGAIN        would-block only: empty recvq / empty accept backlog
+     ENOBUFS       send queue completely full
+     ETIMEDOUT     connect SYN dropped by a full accept backlog
+     ECONNREFUSED  connect to a port nobody listens on *)
 let errno_of_code n = List.find_opt (fun e -> errno_code e = n) all_errnos
 
 type kind = Regular | Directory

@@ -436,7 +436,7 @@ let rec net_flush t cs =
           t.nsent <- t.nsent + n;
           cs.nc_pending <- Pbytes (Bytes.sub b n (Bytes.length b - n)) :: rest;
           net_set_out t cs true
-      | Error Kvfs.Vtypes.EAGAIN -> net_set_out t cs true
+      | Error Kvfs.Vtypes.ENOBUFS -> net_set_out t cs true
       | Error e -> net_fail e)
   | Pfile pf :: rest -> (
       match
@@ -450,7 +450,7 @@ let rec net_flush t cs =
           pf.pf_left <- pf.pf_left - n;
           if pf.pf_left = 0 then cs.nc_pending <- rest;
           net_flush t cs
-      | Error Kvfs.Vtypes.EAGAIN -> net_set_out t cs true
+      | Error Kvfs.Vtypes.ENOBUFS -> net_set_out t cs true
       | Error e -> net_fail e)
 
 let net_add_conn t fd =
@@ -609,7 +609,7 @@ let net_step_ring t ring events =
                 false
               end
               else n = 0
-          | _, Error Kvfs.Vtypes.EAGAIN -> true
+          | _, Error Kvfs.Vtypes.ENOBUFS -> true
           | _, Error e -> net_fail e
           | _, Ok _ -> assert false
         in

@@ -2,7 +2,7 @@
    attach/detach helpers. *)
 
 let test_boot_memfs () =
-  let t = Core.boot () in
+  let t = Core.boot_with Core.Config.default in
   let sys = Core.sys t in
   let fd = Core.ok (Core.Syscall.sys_open sys ~path:"/hello" ~flags:Core.o_create) in
   ignore (Core.ok (Core.Syscall.sys_write sys ~fd ~data:(Bytes.of_string "world")));
@@ -24,7 +24,7 @@ let test_boot_each_fs () =
   in
   List.iter
     (fun (name, fs) ->
-      let t = Core.boot ~fs () in
+      let t = Core.boot_with { Core.Config.default with fs } in
       let sys = Core.sys t in
       let fd =
         Core.ok (Core.Syscall.sys_open sys ~path:"/f" ~flags:Core.o_create)
@@ -37,16 +37,16 @@ let test_boot_each_fs () =
     stacks
 
 let test_boot_flags_expose_subsystems () =
-  let t = Core.boot ~fs:(Core.Wrapfs_kefence Kefence.Log_only) () in
+  let t = Core.boot_with { Core.Config.default with fs = Core.Wrapfs_kefence Kefence.Log_only } in
   (match Core.kefence t with
   | Some kf -> Alcotest.(check bool) "mode respected" true (Kefence.mode kf = Kefence.Log_only)
   | None -> Alcotest.fail "kefence expected");
   Alcotest.(check bool) "wrapfs exposed" true (Core.wrapfs t <> None);
-  let t2 = Core.boot ~fs:Core.Journalfs_kgcc () in
+  let t2 = Core.boot_with { Core.Config.default with fs = Core.Journalfs_kgcc } in
   Alcotest.(check bool) "kgcc runtime exposed" true (Core.kgcc_runtime t2 <> None)
 
 let test_monitoring_lifecycle () =
-  let t = Core.boot () in
+  let t = Core.boot_with Core.Config.default in
   Alcotest.(check bool) "off initially" true (Core.dispatcher t = None);
   let d = Core.enable_monitoring t in
   let l = Ksim.Spinlock.create "probe" in
@@ -59,13 +59,13 @@ let test_monitoring_lifecycle () =
   Alcotest.(check int) "events stop" 2 (Kmonitor.Dispatcher.events d)
 
 let test_trace_helper () =
-  let t = Core.boot () in
+  let t = Core.boot_with Core.Config.default in
   let r = Core.trace t in
   ignore (Core.Syscall.sys_getpid (Core.sys t));
   Alcotest.(check int) "recorded" 1 (Ktrace.Recorder.count r)
 
 let test_cosy_helper () =
-  let t = Core.boot () in
+  let t = Core.boot_with Core.Config.default in
   let exec = Core.cosy t in
   let c = Cosy.Cosy_lib.create () in
   let r = Cosy.Cosy_lib.syscall c "getpid" [] in
@@ -73,7 +73,7 @@ let test_cosy_helper () =
   Alcotest.(check int) "getpid via compound" 1 slots.(r)
 
 let test_sys_error_exception () =
-  let t = Core.boot () in
+  let t = Core.boot_with Core.Config.default in
   try
     ignore (Core.ok (Core.Syscall.sys_stat (Core.sys t) ~path:"/absent"));
     Alcotest.fail "expected Sys_error"
@@ -84,7 +84,7 @@ let test_custom_cost_model () =
   let config =
     { Ksim.Kernel.default_config with cost = Ksim.Cost_model.zero }
   in
-  let t = Core.boot ~config () in
+  let t = Core.boot_with { Core.Config.default with kernel = config } in
   ignore (Core.Syscall.sys_getpid (Core.sys t));
   Alcotest.(check int) "free under zero model" 0 (Ksim.Kernel.now (Core.kernel t))
 

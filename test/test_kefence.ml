@@ -128,7 +128,7 @@ let test_non_kefence_faults_pass_through () =
       (f.Ksim.Fault.reason = Ksim.Fault.Not_present)
 
 let test_wrapfs_with_kefence_catches_injected_bug () =
-  let t = Core.boot ~fs:(Core.Wrapfs_kefence Kefence.Crash) () in
+  let t = Core.boot_with { Core.Config.default with fs = Core.Wrapfs_kefence Kefence.Crash } in
   (match Core.wrapfs t with
   | Some w -> Kvfs.Wrapfs.inject_overflow w 4200
   | None -> Alcotest.fail "no wrapfs");
@@ -145,7 +145,7 @@ let test_wrapfs_with_kefence_catches_injected_bug () =
 
 let test_wrapfs_with_kefence_clean_run () =
   (* with no injected bug, a full workload triggers zero reports *)
-  let t = Core.boot ~fs:(Core.Wrapfs_kefence Kefence.Crash) () in
+  let t = Core.boot_with { Core.Config.default with fs = Core.Wrapfs_kefence Kefence.Crash } in
   let sys = Core.sys t in
   Workloads.Lsdir.setup sys ~dir:"/d" ~n:50;
   ignore (Workloads.Lsdir.run_plain sys ~dir:"/d");

@@ -89,7 +89,7 @@ let test_bounded_sendq () =
   | Ok n -> Alcotest.failf "partial send took %d, want 8" n
   | Error e -> Alcotest.failf "send: %s" (Kvfs.Vtypes.errno_to_string e));
   Alcotest.(check (result int errno))
-    "full queue would block" (Error Kvfs.Vtypes.EAGAIN)
+    "full queue would block" (Error Kvfs.Vtypes.ENOBUFS)
     (Knet.send net ~sock:conn ~data:(Bytes.of_string "y"));
   Alcotest.(check bool) "sendq_full counted" true
     (find_counter (Ksim.Kernel.stats kernel) "net.sendq_full" >= 1);
@@ -143,7 +143,7 @@ let test_epoll_level_triggered () =
   | Ok _ | Error _ -> Alcotest.fail "want HUP readiness")
 
 let test_epoll_wait_blocks_until_traffic () =
-  let t = Core.boot () in
+  let t = Core.boot_with Core.Config.default in
   Kstats.set_enabled (Core.stats t) true;
   let kernel = Core.kernel t in
   let net = Core.net t in
@@ -174,7 +174,7 @@ let sock_id sys fd =
   | _ -> Alcotest.fail "fd is not a socket"
 
 let test_syscall_fd_mapping () =
-  let t = Core.boot () in
+  let t = Core.boot_with Core.Config.default in
   let sys = Core.sys t in
   let net = Core.net t in
   let s = Core.Syscall.sys_socket sys in
@@ -201,7 +201,7 @@ let test_syscall_fd_mapping () =
     (Core.Syscall.sys_recv sys ~sock:conn ~len:64)
 
 let test_close_releases_socket () =
-  let t = Core.boot () in
+  let t = Core.boot_with Core.Config.default in
   let sys = Core.sys t in
   let net = Core.net t in
   let s = Core.Syscall.sys_socket sys in
@@ -220,7 +220,7 @@ let test_close_releases_socket () =
     (Knet.inject_connect net ~port:80)
 
 let test_sendfile_sock_zero_copy () =
-  let t = Core.boot () in
+  let t = Core.boot_with Core.Config.default in
   Kstats.set_enabled (Core.stats t) true;
   let sys = Core.sys t in
   let net = Core.net t in
@@ -255,7 +255,7 @@ let test_sendfile_sock_zero_copy () =
 (* --- determinism --------------------------------------------------------- *)
 
 let serve_once variant =
-  let t = Core.boot () in
+  let t = Core.boot_with Core.Config.default in
   let sys = Core.sys t in
   let kernel = Core.kernel t in
   let config =

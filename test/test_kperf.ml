@@ -100,7 +100,7 @@ let test_kring_batch_parenting () =
   Kperf.default_enabled := true;
   Fun.protect ~finally:(fun () -> Kperf.default_enabled := false)
   @@ fun () ->
-  let t = Core.boot () in
+  let t = Core.boot_with Core.Config.default in
   let ring = Core.ring t in
   let reqs =
     [
@@ -155,7 +155,7 @@ let traced_postmark () =
   Kperf.default_enabled := true;
   Fun.protect ~finally:(fun () -> Kperf.default_enabled := false)
   @@ fun () ->
-  let t = Core.boot () in
+  let t = Core.boot_with Core.Config.default in
   let cfg =
     { Workloads.Postmark.default_config with files = 20; transactions = 60 }
   in
@@ -174,7 +174,7 @@ let test_determinism () =
 (* Tracing disabled must not move the simulated clock by one cycle. *)
 let test_disabled_is_free () =
   let run ~trace =
-    let t = Core.boot ~trace () in
+    let t = Core.boot_with { Core.Config.default with trace = Some trace } in
     let cfg =
       { Workloads.Postmark.default_config with files = 20; transactions = 60 }
     in
@@ -247,7 +247,7 @@ let test_perf_bridge () =
   Kperf.default_enabled := true;
   Fun.protect ~finally:(fun () -> Kperf.default_enabled := false)
   @@ fun () ->
-  let t = Core.boot () in
+  let t = Core.boot_with Core.Config.default in
   let d = Core.enable_monitoring t in
   let bridge = Core.perf_feed t in
   let seen = ref 0 in

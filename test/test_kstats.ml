@@ -155,9 +155,9 @@ let run_workload t =
 let test_cycle_neutral () =
   let saved = !Kstats.default_enabled in
   Kstats.default_enabled := false;
-  let off = run_workload (Core.boot ()) in
+  let off = run_workload (Core.boot_with Core.Config.default) in
   Kstats.default_enabled := true;
-  let t_on = Core.boot () in
+  let t_on = Core.boot_with Core.Config.default in
   let on = run_workload t_on in
   Kstats.default_enabled := saved;
   Alcotest.(check int) "identical cycle trajectory" off on;

@@ -18,7 +18,7 @@ let ws_small =
   { Workloads.Webserver.default_config with documents = 10; requests = 50; doc_size = 4096 }
 
 let test_postmark_runs_and_balances () =
-  let t = Core.boot () in
+  let t = Core.boot_with Core.Config.default in
   let s = Workloads.Postmark.run ~config:pm_small (Core.sys t) in
   Alcotest.(check bool) "created >= files" true
     (s.Workloads.Postmark.created >= pm_small.Workloads.Postmark.files);
@@ -32,7 +32,7 @@ let test_postmark_runs_and_balances () =
 
 let test_postmark_deterministic () =
   let run () =
-    let t = Core.boot () in
+    let t = Core.boot_with Core.Config.default in
     let s = Workloads.Postmark.run ~config:pm_small (Core.sys t) in
     (s.Workloads.Postmark.created, s.Workloads.Postmark.data_written,
      s.Workloads.Postmark.times.Ksim.Kernel.elapsed)
@@ -40,7 +40,7 @@ let test_postmark_deterministic () =
   Alcotest.(check bool) "bit-for-bit repeatable" true (run () = run ())
 
 let test_amutils_user_dominated () =
-  let t = Core.boot () in
+  let t = Core.boot_with Core.Config.default in
   Workloads.Amutils.setup ~config:am_small (Core.sys t);
   let s = Workloads.Amutils.run ~config:am_small (Core.sys t) in
   Alcotest.(check int) "all compiled" 30 s.Workloads.Amutils.compiled;
@@ -50,10 +50,10 @@ let test_amutils_user_dominated () =
      > s.Workloads.Amutils.times.Ksim.Kernel.stime)
 
 let test_database_plain_vs_cosy_same_io () =
-  let t1 = Core.boot () in
+  let t1 = Core.boot_with Core.Config.default in
   Workloads.Database.setup ~config:db_small (Core.sys t1);
   let p = Workloads.Database.run_plain ~config:db_small (Core.sys t1) in
-  let t2 = Core.boot () in
+  let t2 = Core.boot_with Core.Config.default in
   Workloads.Database.setup ~config:db_small (Core.sys t2);
   let c, cosy_stats = Workloads.Database.run_cosy ~config:db_small (Core.sys t2) in
   Alcotest.(check int) "same reads" p.Workloads.Database.reads c.Workloads.Database.reads;
@@ -65,10 +65,10 @@ let test_database_plain_vs_cosy_same_io () =
      < p.Workloads.Database.times.Ksim.Kernel.elapsed)
 
 let test_webserver_plain_vs_cosy () =
-  let t1 = Core.boot () in
+  let t1 = Core.boot_with Core.Config.default in
   Workloads.Webserver.setup ~config:ws_small (Core.sys t1);
   let p = Workloads.Webserver.run_plain ~config:ws_small (Core.sys t1) in
-  let t2 = Core.boot () in
+  let t2 = Core.boot_with Core.Config.default in
   Workloads.Webserver.setup ~config:ws_small (Core.sys t2);
   let c, _ = Workloads.Webserver.run_cosy ~config:ws_small (Core.sys t2) in
   Alcotest.(check int) "same bytes served" p.Workloads.Webserver.bytes_served
@@ -78,10 +78,10 @@ let test_webserver_plain_vs_cosy () =
      < p.Workloads.Webserver.times.Ksim.Kernel.elapsed)
 
 let test_webserver_sendfile () =
-  let t1 = Core.boot () in
+  let t1 = Core.boot_with Core.Config.default in
   Workloads.Webserver.setup ~config:ws_small (Core.sys t1);
   let p = Workloads.Webserver.run_plain ~config:ws_small (Core.sys t1) in
-  let t2 = Core.boot () in
+  let t2 = Core.boot_with Core.Config.default in
   Workloads.Webserver.setup ~config:ws_small (Core.sys t2);
   let sf = Workloads.Webserver.run_sendfile ~config:ws_small (Core.sys t2) in
   Alcotest.(check int) "same bytes" p.Workloads.Webserver.bytes_served
@@ -91,10 +91,10 @@ let test_webserver_sendfile () =
      < p.Workloads.Webserver.times.Ksim.Kernel.elapsed)
 
 let test_lsdir_equivalence_and_direction () =
-  let t1 = Core.boot () in
+  let t1 = Core.boot_with Core.Config.default in
   Workloads.Lsdir.setup (Core.sys t1) ~dir:"/d" ~n:100;
   let p = Workloads.Lsdir.run_plain (Core.sys t1) ~dir:"/d" in
-  let t2 = Core.boot () in
+  let t2 = Core.boot_with Core.Config.default in
   Workloads.Lsdir.setup (Core.sys t2) ~dir:"/d" ~n:100;
   let r = Workloads.Lsdir.run_readdirplus (Core.sys t2) ~dir:"/d" in
   Alcotest.(check int) "same entries" p.Workloads.Lsdir.entries r.Workloads.Lsdir.entries;
@@ -105,7 +105,7 @@ let test_lsdir_equivalence_and_direction () =
      < p.Workloads.Lsdir.times.Ksim.Kernel.elapsed)
 
 let test_interactive_trace_mines_patterns () =
-  let t = Core.boot () in
+  let t = Core.boot_with Core.Config.default in
   let sys = Core.sys t in
   Workloads.Interactive.setup sys;
   let rec_ = Core.trace t in
@@ -123,10 +123,10 @@ let test_interactive_trace_mines_patterns () =
 
 let test_kefence_overhead_small () =
   (* E5's direction: instrumented wrapfs is slower, but only slightly *)
-  let t1 = Core.boot ~fs:Core.Wrapfs_kmalloc () in
+  let t1 = Core.boot_with { Core.Config.default with fs = Core.Wrapfs_kmalloc } in
   Workloads.Amutils.setup ~config:am_small_full (Core.sys t1);
   let a = Workloads.Amutils.run ~config:am_small_full (Core.sys t1) in
-  let t2 = Core.boot ~fs:(Core.Wrapfs_kefence Kefence.Crash) () in
+  let t2 = Core.boot_with { Core.Config.default with fs = Core.Wrapfs_kefence Kefence.Crash } in
   Workloads.Amutils.setup ~config:am_small_full (Core.sys t2);
   let b = Workloads.Amutils.run ~config:am_small_full (Core.sys t2) in
   let ratio =
@@ -143,11 +143,11 @@ let test_kgcc_journalfs_overhead_direction () =
   (* E7's direction at test scale: KGCC costs system time, and PostMark
      suffers far more than the compile workload *)
   let pm fs =
-    let t = Core.boot ~fs () in
+    let t = Core.boot_with { Core.Config.default with fs } in
     (Workloads.Postmark.run ~config:pm_small (Core.sys t)).Workloads.Postmark.times
   in
   let am fs =
-    let t = Core.boot ~fs () in
+    let t = Core.boot_with { Core.Config.default with fs } in
     Workloads.Amutils.setup ~config:am_small (Core.sys t);
     (Workloads.Amutils.run ~config:am_small (Core.sys t)).Workloads.Amutils.times
   in
@@ -164,18 +164,18 @@ let test_monitoring_overhead_ordering () =
   (* E6's ordering: plain < dispatcher+ring < polling logger < disk logger *)
   let cfg = { pm_small with transactions = 150 } in
   let base =
-    let t = Core.boot () in
+    let t = Core.boot_with Core.Config.default in
     (Workloads.Postmark.run ~config:cfg (Core.sys t)).Workloads.Postmark.times.Ksim.Kernel.elapsed
   in
   let ring =
-    let t = Core.boot () in
+    let t = Core.boot_with Core.Config.default in
     ignore (Core.enable_monitoring t);
     let e = (Workloads.Postmark.run ~config:cfg (Core.sys t)).Workloads.Postmark.times.Ksim.Kernel.elapsed in
     Core.disable_monitoring t;
     e
   in
   let logger write_to_disk =
-    let t = Core.boot () in
+    let t = Core.boot_with Core.Config.default in
     let d = Core.enable_monitoring t in
     let cd = Kmonitor.Chardev.create (Core.kernel t) d in
     let lib = Kmonitor.Libkernevents.create cd in
@@ -193,7 +193,7 @@ let test_monitoring_overhead_ordering () =
 
 let test_watchdog_protects_runaway_compound () =
   (* a hostile compound cannot hang the simulated kernel *)
-  let t = Core.boot () in
+  let t = Core.boot_with Core.Config.default in
   let exec =
     Core.cosy
       ~policy:
@@ -222,7 +222,7 @@ let net_small variant =
     Workloads.Webserver.variant; conns = 24; requests_per_conn = 2 }
 
 let net_run variant =
-  let t = Core.boot () in
+  let t = Core.boot_with Core.Config.default in
   let config = net_small variant in
   Workloads.Webserver.net_setup ~config (Core.sys t);
   let k = Core.kernel t in
@@ -255,7 +255,7 @@ let test_net_variants_equivalent () =
   Alcotest.(check bool) "ring copies less" true (rcopy < ncopy)
 
 let test_net_smp_completes () =
-  let t = Core.boot ~ncpus:2 () in
+  let t = Core.boot_with { Core.Config.default with ncpus = Some 2 } in
   let config =
     { (net_small Workloads.Webserver.Net_sendfile) with
       Workloads.Webserver.conns = 12 }
@@ -282,7 +282,7 @@ let smp_cfg =
     doc_size_spread = 2_048 }
 
 let smp_run ~ncpus ~shards =
-  let t = Core.boot ~ncpus ~dcache_shards:shards () in
+  let t = Core.boot_with { Core.Config.default with ncpus = Some ncpus; dcache_shards = Some shards } in
   let insts = Workloads.Smp.webserver_instances ~config:smp_cfg (Core.sys t) ncpus in
   Workloads.Smp.run (Core.sys t) insts
 
@@ -310,7 +310,7 @@ let test_smp_contention_profile () =
 
 let test_smp_postmark_contends () =
   let cfg = { pm_small with Workloads.Postmark.transactions = 200 } in
-  let t = Core.boot ~ncpus:4 ~dcache_shards:1 () in
+  let t = Core.boot_with { Core.Config.default with ncpus = Some 4; dcache_shards = Some 1 } in
   let insts = Workloads.Smp.postmark_instances ~config:cfg (Core.sys t) 4 in
   let r = Workloads.Smp.run (Core.sys t) insts in
   Alcotest.(check bool) "postmark contends the global dcache_lock" true
