@@ -1,0 +1,28 @@
+module Op = Cosy.Cosy_op
+
+(* loop: 0: c(slot2) := i(slot0) < 5
+         1: jz c -> 7      (exit guard)
+         2: jmp 5          (forward jump SKIPPING the counter update)
+         3: t(slot1) := i + 1
+         4: i := t
+         5: jmp 0          (back-edge)
+         6: halt  (dead)
+         7: halt *)
+let ops =
+  [
+    Op.Arith { dst = 2; op = Op.Alt; a = Op.Slot 0; b = Op.Const 5 };
+    Op.Jz { cond = Op.Slot 2; target = 7 };
+    Op.Jmp 5;
+    Op.Arith { dst = 1; op = Op.Aadd; a = Op.Slot 0; b = Op.Const 1 };
+    Op.Set { dst = 0; src = Op.Slot 1 };
+    Op.Jmp 0;
+    Op.Halt;
+    Op.Halt;
+  ]
+
+let () =
+  let c = Cosy.Compound.encode ~slot_count:4 ops in
+  match Kverify.Checker.verify_compound ~shared_size:4096 c with
+  | Kverify.Checker.Verified { ops } ->
+      Printf.printf "VERIFIED (%d ops) -- unsound: loop never terminates at runtime\n" ops
+  | Kverify.Checker.Rejected m -> Printf.printf "REJECTED: %s\n" m
