@@ -1,4 +1,4 @@
-.PHONY: all build test bench-smoke bench-e14 bench-e15 bench-e16 kperf-smoke kverify-smoke check clean
+.PHONY: all build test bench-smoke bench-e14 bench-e15 bench-e16 bench-e17 kperf-smoke kverify-smoke kopt-smoke check clean
 
 all: build
 
@@ -29,6 +29,13 @@ bench-e15:
 bench-e16:
 	dune exec bench/main.exe -- E16
 
+# The kopt optimizer at full scale: counted-loop speedup over verified
+# execution, compiled-program cache amortization, the detached-optimizer
+# cycle-identity check, and the webserver sweep optimizer off vs on
+# (copied-byte reduction on the ring variant, digest equality).
+bench-e17:
+	dune exec bench/main.exe -- E17
+
 # Record a traced run, export it, and re-derive the folded/top views
 # from the exported JSON — exercises the whole tracer pipeline on a
 # tiny workload.
@@ -47,7 +54,17 @@ kverify-smoke:
 	! dune exec bin/kverify_tool.exe -- check /tmp/lsdir.sfi -w postmark > /dev/null
 	rm -f /tmp/lsdir.sfi
 
-check: build test bench-smoke kperf-smoke kverify-smoke
+# Round-trip every kopt demo compound through the optimizer printer:
+# encode to disk, re-read, verify, and show the optimized plan —
+# exercises the checker/compiler/pretty-printer pipeline end to end.
+kopt-smoke:
+	dune exec bin/kverify_tool.exe -- opt --demo loop -o /tmp/kopt_loop.cosy
+	dune exec bin/kverify_tool.exe -- opt /tmp/kopt_loop.cosy > /dev/null
+	dune exec bin/kverify_tool.exe -- opt --demo coalesce > /dev/null
+	dune exec bin/kverify_tool.exe -- opt --demo fuse > /dev/null
+	rm -f /tmp/kopt_loop.cosy
+
+check: build test bench-smoke kperf-smoke kverify-smoke kopt-smoke
 
 clean:
 	dune clean

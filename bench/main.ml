@@ -1036,6 +1036,35 @@ let e15 () =
   close_out oc;
   pf "\n  wrote BENCH_kperf.json\n"
 
+(* a Cosy compound shaped like Cosy-GCC's counted loops: getpid in a
+   provably bounded loop, the boundary-dominated case §2.3 targets;
+   shared by E16 (verified admission) and E17 (kopt optimization) *)
+let getpid_compound iters =
+  let i = 0 and c = 1 and r = 2 and tmp = 3 in
+  Cosy.Compound.encode ~slot_count:4
+    [
+      Cosy.Cosy_op.Set { dst = i; src = Cosy.Cosy_op.Const 0 };
+      Cosy.Cosy_op.Arith
+        {
+          dst = c;
+          op = Cosy.Cosy_op.Alt;
+          a = Cosy.Cosy_op.Slot i;
+          b = Cosy.Cosy_op.Const iters;
+        };
+      Cosy.Cosy_op.Jz { cond = Cosy.Cosy_op.Slot c; target = 7 };
+      Cosy.Cosy_op.Syscall { dst = r; sysno = 14 (* getpid *); args = [] };
+      Cosy.Cosy_op.Arith
+        {
+          dst = tmp;
+          op = Cosy.Cosy_op.Aadd;
+          a = Cosy.Cosy_op.Slot i;
+          b = Cosy.Cosy_op.Const 1;
+        };
+      Cosy.Cosy_op.Set { dst = i; src = Cosy.Cosy_op.Slot tmp };
+      Cosy.Cosy_op.Jmp 1;
+      Cosy.Cosy_op.Halt;
+    ]
+
 (* ------------------------------------------ E16: kverify admission *)
 
 (* Two claims, one per half of the kverify subsystem.
@@ -1136,34 +1165,6 @@ let e16 () =
     in
     (tm.Ksim.Kernel.elapsed, Kring.watchdog_elisions ring)
   in
-  (* a Cosy compound shaped like Cosy-GCC's counted loops: getpid in a
-     provably bounded loop, the boundary-dominated case §2.3 targets *)
-  let getpid_compound iters =
-    let i = 0 and c = 1 and r = 2 and tmp = 3 in
-    Cosy.Compound.encode ~slot_count:4
-      [
-        Cosy.Cosy_op.Set { dst = i; src = Cosy.Cosy_op.Const 0 };
-        Cosy.Cosy_op.Arith
-          {
-            dst = c;
-            op = Cosy.Cosy_op.Alt;
-            a = Cosy.Cosy_op.Slot i;
-            b = Cosy.Cosy_op.Const iters;
-          };
-        Cosy.Cosy_op.Jz { cond = Cosy.Cosy_op.Slot c; target = 7 };
-        Cosy.Cosy_op.Syscall { dst = r; sysno = 14 (* getpid *); args = [] };
-        Cosy.Cosy_op.Arith
-          {
-            dst = tmp;
-            op = Cosy.Cosy_op.Aadd;
-            a = Cosy.Cosy_op.Slot i;
-            b = Cosy.Cosy_op.Const 1;
-          };
-        Cosy.Cosy_op.Set { dst = i; src = Cosy.Cosy_op.Slot tmp };
-        Cosy.Cosy_op.Jmp 1;
-        Cosy.Cosy_op.Halt;
-      ]
-  in
   let cosy_cell iters ~verify =
     let t = Core.boot_with { Core.Config.default with verify } in
     let cx = Core.cosy t in
@@ -1202,6 +1203,245 @@ let e16 () =
   part2
     (Printf.sprintf "cosy getpid loop x%d" iters)
     (fun ~verify -> cosy_cell iters ~verify)
+
+(* --------------------------------------------- E17: kopt optimization *)
+
+(* The optimizer's claim, building on E16's verified admission: once
+   kverify admits a program, compiling it — fd resolutions cached,
+   contiguous copies coalesced, read->write pairs fused, counted-loop
+   bodies hoisted — beats already-verified execution by >=1.3x on the
+   boundary-dominated counted loop, and the per-process compiled-program
+   cache makes repeat submissions cheaper still (decode + admission +
+   compile all skipped).  Execution must stay observably identical:
+   same result slots, same file bytes, same response digests — and a
+   detached optimizer must be cycle-identical to no optimizer at all. *)
+let e17 () =
+  header "E17" "kopt: optimizing verified compounds + compiled-program cache"
+    "no direct number — extends §2.3's statically checked execution; \
+     claims under test: optimized counted loops beat verified execution \
+     by >=1.3x, cache hits skip decode+admission+compile, the ring \
+     webserver moves fewer copied bytes, and digests stay identical";
+  let verify_cfg =
+    { Core.Config.default with verify = Some Core.Verify.Log; optimize = false }
+  in
+  let opt_cfg = { verify_cfg with optimize = true } in
+  (* --- part 1a: the counted getpid loop, verified vs optimized ------- *)
+  let iters = sc 2_000 in
+  let loop_cell ?(detach = false) cfg =
+    let t = Core.boot_with cfg in
+    let cx = Core.cosy t in
+    if detach then Cosy.Cosy_exec.set_optimizer cx None;
+    let compound = getpid_compound iters in
+    let slots, tm =
+      Ksim.Kernel.timed (Core.kernel t) (fun () ->
+          Cosy.Cosy_exec.submit cx compound)
+    in
+    (tm.Ksim.Kernel.elapsed, slots)
+  in
+  let base_cy, base_slots = loop_cell verify_cfg in
+  let opt_cy, opt_slots = loop_cell opt_cfg in
+  if base_slots <> opt_slots then
+    pf "  !! optimized loop result slots differ from verified execution\n";
+  let speedup = float_of_int base_cy /. float_of_int (max 1 opt_cy) in
+  pf "  %-26s %14s %14s %9s\n" "workload" "verified(cy)" "optimized(cy)"
+    "speedup";
+  pf "  %-26s %14d %14d %8.2fx%s\n"
+    (Printf.sprintf "cosy getpid loop x%d" iters)
+    base_cy opt_cy speedup
+    (if speedup < 1.3 then "  !! below 1.3x target" else "");
+  add_row "E17"
+    (Printf.sprintf
+       "{\"section\":\"loop\",\"iters\":%d,\"cycles_verified\":%d,\
+        \"cycles_optimized\":%d,\"speedup\":%.4f,\"slots_equal\":%b}"
+       iters base_cy opt_cy speedup (base_slots = opt_slots));
+  (* a detached optimizer must leave the dynamic watchdog path untouched:
+     boot with kopt, unhook it, and demand cycle-identity with a system
+     that never had it (the optimize:false regression guard) *)
+  let dyn_cy, dyn_slots = loop_cell Core.Config.default in
+  let det_cy, det_slots =
+    loop_cell ~detach:true { Core.Config.default with optimize = true }
+  in
+  if dyn_cy <> det_cy || dyn_slots <> det_slots then
+    pf "  !! detached optimizer not free (%d vs %d cycles)\n" dyn_cy det_cy
+  else pf "  detached-optimizer identity: %d cycles both ways\n" dyn_cy;
+  add_row "E17"
+    (Printf.sprintf
+       "{\"section\":\"identity\",\"cycles_dynamic\":%d,\
+        \"cycles_detached\":%d,\"identical\":%b}"
+       dyn_cy det_cy
+       (dyn_cy = det_cy && dyn_slots = det_slots));
+  (* --- part 1b: coalesce + fuse on a file splice compound ------------ *)
+  (* open src+dst, two contiguous 1K reads (coalesce into one bulk
+     read), a 512B read->write pair on the same range (fuse into a
+     splice), closes: both rewrite families in one verified compound *)
+  let splice_compound =
+    let sysno name = Option.get (Cosy.Cosy_op.sysno_of_name name) in
+    Cosy.Compound.encode ~slot_count:8
+      [
+        Cosy.Cosy_op.Syscall
+          { dst = 0; sysno = sysno "open";
+            args = [ Cosy.Cosy_op.Str "/src"; Cosy.Cosy_op.Const 0 ] };
+        Cosy.Cosy_op.Syscall
+          { dst = 1; sysno = sysno "open";
+            args = [ Cosy.Cosy_op.Str "/dst"; Cosy.Cosy_op.Const 3 ] };
+        Cosy.Cosy_op.Syscall
+          { dst = 2; sysno = sysno "read";
+            args =
+              [ Cosy.Cosy_op.Slot 0; Cosy.Cosy_op.Shared 0;
+                Cosy.Cosy_op.Const 1024 ] };
+        Cosy.Cosy_op.Syscall
+          { dst = 3; sysno = sysno "read";
+            args =
+              [ Cosy.Cosy_op.Slot 0; Cosy.Cosy_op.Shared 1024;
+                Cosy.Cosy_op.Const 1024 ] };
+        Cosy.Cosy_op.Syscall
+          { dst = 4; sysno = sysno "read";
+            args =
+              [ Cosy.Cosy_op.Slot 0; Cosy.Cosy_op.Shared 2048;
+                Cosy.Cosy_op.Const 512 ] };
+        Cosy.Cosy_op.Syscall
+          { dst = 5; sysno = sysno "write";
+            args =
+              [ Cosy.Cosy_op.Slot 1; Cosy.Cosy_op.Shared 2048;
+                Cosy.Cosy_op.Const 512 ] };
+        Cosy.Cosy_op.Syscall
+          { dst = 6; sysno = sysno "close"; args = [ Cosy.Cosy_op.Slot 0 ] };
+        Cosy.Cosy_op.Syscall
+          { dst = 7; sysno = sysno "close"; args = [ Cosy.Cosy_op.Slot 1 ] };
+        Cosy.Cosy_op.Halt;
+      ]
+  in
+  let nsubmit = sc 200 in
+  let splice_cell cfg =
+    let t = Core.boot_with cfg in
+    let sys = Core.sys t in
+    let fd = Core.ok (Core.Syscall.sys_open sys ~path:"/src" ~flags:Core.o_create) in
+    ignore (Core.ok (Core.Syscall.sys_write sys ~fd ~data:(Bytes.init 4096 (fun i -> Char.chr (i land 0xff)))));
+    Core.ok (Core.Syscall.sys_close sys ~fd);
+    let cx = Core.cosy t in
+    let slots, tm =
+      Ksim.Kernel.timed (Core.kernel t) (fun () ->
+          let last = ref [||] in
+          for _ = 1 to nsubmit do
+            last := Cosy.Cosy_exec.submit cx splice_compound
+          done;
+          !last)
+    in
+    let dst =
+      Core.ok
+        (Core.Syscall.sys_open_read_close sys ~path:"/dst" ~maxlen:8192)
+    in
+    (tm.Ksim.Kernel.elapsed, slots, Digest.to_hex (Digest.bytes dst), Core.kopt t)
+  in
+  let sbase_cy, sbase_slots, sbase_dig, _ = splice_cell verify_cfg in
+  let sopt_cy, sopt_slots, sopt_dig, kopt = splice_cell opt_cfg in
+  if sbase_slots <> sopt_slots || sbase_dig <> sopt_dig then
+    pf "  !! splice compound diverged (slots or /dst bytes differ)\n";
+  let sspeed = float_of_int sbase_cy /. float_of_int (max 1 sopt_cy) in
+  pf "  %-26s %14d %14d %8.2fx\n"
+    (Printf.sprintf "cosy splice x%d" nsubmit)
+    sbase_cy sopt_cy sspeed;
+  let ko = Option.get kopt in
+  pf "  cache: %d hits %d misses %d compiles; fd cache: %d resolved %d reused\n"
+    (Core.Opt.hits ko) (Core.Opt.misses ko) (Core.Opt.compiles ko)
+    (Core.Opt.fd_resolved ko) (Core.Opt.fd_reused ko);
+  add_row "E17"
+    (Printf.sprintf
+       "{\"section\":\"splice\",\"submissions\":%d,\"cycles_verified\":%d,\
+        \"cycles_optimized\":%d,\"speedup\":%.4f,\"digest_equal\":%b,\
+        \"cache_hits\":%d,\"cache_misses\":%d,\"compiles\":%d,\
+        \"fd_resolved\":%d,\"fd_reused\":%d}"
+       nsubmit sbase_cy sopt_cy sspeed
+       (sbase_slots = sopt_slots && sbase_dig = sopt_dig)
+       (Core.Opt.hits ko) (Core.Opt.misses ko) (Core.Opt.compiles ko)
+       (Core.Opt.fd_resolved ko) (Core.Opt.fd_reused ko));
+  (* --- part 1c: cache amortization on one compound ------------------- *)
+  let t = Core.boot_with opt_cfg in
+  let cx = Core.cosy t in
+  let cache_compound = getpid_compound (sc 200) in
+  let submit_cy () =
+    let _, tm =
+      Ksim.Kernel.timed (Core.kernel t) (fun () ->
+          ignore (Cosy.Cosy_exec.submit cx cache_compound))
+    in
+    tm.Ksim.Kernel.elapsed
+  in
+  let first = submit_cy () in
+  let reps = 9 in
+  let steady =
+    let total = ref 0 in
+    for _ = 1 to reps do total := !total + submit_cy () done;
+    !total / reps
+  in
+  let ko = Option.get (Core.kopt t) in
+  pf "  cache amortization: first submit %d cy, steady %d cy (%.2fx); \
+      %d hits %d misses %d compiles\n"
+    first steady
+    (float_of_int first /. float_of_int (max 1 steady))
+    (Core.Opt.hits ko) (Core.Opt.misses ko) (Core.Opt.compiles ko);
+  if Core.Opt.compiles ko <> 1 || Core.Opt.hits ko <> reps then
+    pf "  !! cache did not amortize (expected 1 compile, %d hits)\n" reps;
+  add_row "E17"
+    (Printf.sprintf
+       "{\"section\":\"cache\",\"first_cycles\":%d,\"steady_cycles\":%d,\
+        \"hits\":%d,\"misses\":%d,\"compiles\":%d}"
+       first steady (Core.Opt.hits ko) (Core.Opt.misses ko)
+       (Core.Opt.compiles ko));
+  (* --- part 2: the E14 webserver sweep, optimizer off vs on ---------- *)
+  let variants =
+    [ Workloads.Webserver.Net_naive; Workloads.Webserver.Net_consolidated;
+      Workloads.Webserver.Net_sendfile; Workloads.Webserver.Net_ring ]
+  in
+  let conns = sc 10_000 in
+  let net_cell v cfg =
+    let t = Core.boot_with cfg in
+    let sys = Core.sys t in
+    let kernel = Core.kernel t in
+    let config =
+      { Workloads.Webserver.net_default_config with
+        variant = v;
+        conns;
+        (* route the Net_ring submission ring through Core.ring so the
+           booted system's admission/optimization wiring attaches *)
+        make_ring = Some (fun _ -> Core.ring t) }
+    in
+    Workloads.Webserver.net_setup ~config sys;
+    let r = Workloads.Webserver.run_net ~config sys in
+    let copied =
+      Ksim.Kernel.bytes_from_user kernel + Ksim.Kernel.bytes_to_user kernel
+    in
+    ( Ksim.Kernel.now kernel,
+      copied,
+      r.Workloads.Webserver.n_digest,
+      Core.stats t )
+  in
+  pf "\n  %-13s %6s %13s %13s %7s %11s %11s %6s\n" "variant" "conns"
+    "cycles(off)" "cycles(opt)" "ratio" "copied(off)" "copied(opt)" "dig";
+  List.iter
+    (fun v ->
+      let name = Workloads.Webserver.net_variant_name v in
+      let off_cy, off_copied, off_dig, _ = net_cell v verify_cfg in
+      let on_cy, on_copied, on_dig, stats = net_cell v opt_cfg in
+      let fused = find_counter stats "ring.opt.fused_pairs" in
+      let cq_saved = find_counter stats "ring.opt.cq_bytes_saved" in
+      let r = float_of_int off_cy /. float_of_int (max 1 on_cy) in
+      pf "  %-13s %6d %13d %13d %6.2fx %11d %11d %6s%s\n" name conns off_cy
+        on_cy r off_copied on_copied
+        (if off_dig = on_dig then "ok" else "FAIL")
+        (if cq_saved > 0 || fused > 0 then
+           Printf.sprintf "  (%d fused, %d B cq-coalesced)" fused cq_saved
+         else "");
+      if off_dig <> on_dig then
+        pf "  !! %s: optimized responses diverge from baseline\n" name;
+      add_row "E17"
+        (Printf.sprintf
+           "{\"section\":\"net\",\"variant\":\"%s\",\"conns\":%d,\
+            \"cycles_off\":%d,\"cycles_opt\":%d,\"ratio\":%.4f,\
+            \"copied_off\":%d,\"copied_opt\":%d,\"digest_equal\":%b,\
+            \"fused_pairs\":%d,\"cq_bytes_saved\":%d}"
+           name conns off_cy on_cy r off_copied on_copied (off_dig = on_dig)
+           fused cq_saved))
+    variants
 
 (* ------------------------------------------------- Bechamel microbench *)
 
@@ -1272,7 +1512,8 @@ let micro () =
 let all_experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
-    ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16) ]
+    ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
+    ("E17", e17) ]
 
 (* --- machine-readable kstats output (BENCH_kstats.json) --------------- *)
 

@@ -27,6 +27,7 @@ module Stats = Kstats
 module Net = Knet
 module Perf = Kperf
 module Verify = Kverify
+module Opt = Kopt
 
 type fs_choice =
   | Memfs                          (* plain in-memory Ext2 stand-in *)
@@ -53,6 +54,14 @@ module Config = struct
            dispatch gate under policy [p]; [None] (default) keeps
            kverify entirely off the path — zero cost, bit-for-bit
            identical execution *)
+    optimize : bool;
+        (* [true] boots with a kopt optimizer that {!cosy} and {!ring}
+           attach instead of the plain kverify admission: admitted
+           programs compile into cached specialized plans.  Implies a
+           kverify instance (created with policy [Log] and no gate
+           installed when [verify] is [None] — armed-empty admission is
+           cycle-identical to plain admission).  [false] (default)
+           keeps kopt entirely off the path. *)
   }
 
   let default =
@@ -63,6 +72,7 @@ module Config = struct
       trace = None;
       fs = Memfs;
       verify = None;
+      optimize = false;
     }
 end
 
@@ -74,6 +84,7 @@ type t = {
   journalfs : Kvfs.Journalfs.t option;
   kgcc_runtime : Kgcc.Kgcc_runtime.t option;
   kverify : Kverify.t option;
+  kopt : Kopt.t option;
   mutable dispatcher : Kmonitor.Dispatcher.t option;
 }
 
@@ -87,6 +98,7 @@ let wrapfs t = t.wrapfs
 let journalfs t = t.journalfs
 let kgcc_runtime t = t.kgcc_runtime
 let kverify t = t.kverify
+let kopt t = t.kopt
 let dispatcher t = t.dispatcher
 
 (* Common flag sets *)
@@ -181,6 +193,20 @@ let boot_with (cfg : Config.t) =
         Kverify.install kv sys;
         Some kv
   in
+  (* kopt needs a kverify instance to run admission through; when the
+     config asks for optimization without verification, create one under
+     the observe-only policy and leave the gate uninstalled — admission
+     charges are identical either way *)
+  let kopt =
+    if not cfg.optimize then None
+    else
+      let kv =
+        match kv with
+        | Some kv -> kv
+        | None -> Kverify.create ~policy:Kverify.Log kernel
+      in
+      Some (Kopt.create kv sys)
+  in
   let t =
     {
       kernel;
@@ -190,6 +216,7 @@ let boot_with (cfg : Config.t) =
       journalfs = !journalfs_ref;
       kgcc_runtime = !kgcc_ref;
       kverify = kv;
+      kopt;
       dispatcher = None;
     }
   in
@@ -201,7 +228,15 @@ let boot_with (cfg : Config.t) =
 let boot ?(config = Ksim.Kernel.default_config) ?ncpus ?dcache_shards ?trace
     ?(fs = Memfs) ?verify () =
   boot_with
-    { Config.kernel = config; ncpus; dcache_shards; trace; fs; verify }
+    {
+      Config.kernel = config;
+      ncpus;
+      dcache_shards;
+      trace;
+      fs;
+      verify;
+      optimize = false;
+    }
 
 (* Attach the event-monitoring stack (dispatcher installed into the
    kernel's log_event indirection). *)
@@ -224,18 +259,22 @@ let disable_monitoring t =
    compounds run watchdog-elided. *)
 let cosy ?shared_size ?policy ?user_program t =
   let cx = Cosy.Cosy_exec.create ?shared_size ?policy ?user_program t.sys in
-  (match t.kverify with
-  | Some kv -> Kverify.attach_cosy kv cx
-  | None -> ());
+  (* the optimizer subsumes plain admission (it runs kverify itself);
+     attaching both would charge admission twice per compound *)
+  (match (t.kopt, t.kverify) with
+  | Some ko, _ -> Kopt.attach ko cx
+  | None, Some kv -> Kverify.attach_cosy kv cx
+  | None, None -> ());
   cx
 
 (* A batched submission/completion ring bound to this system; same
    automatic admission wiring as {!cosy}. *)
 let ring ?sq_entries ?cq_entries ?shared_size ?policy t =
   let r = Kring.create ?sq_entries ?cq_entries ?shared_size ?policy t.sys in
-  (match t.kverify with
-  | Some kv -> Kring.set_verifier r (Some (Kverify.ring_verifier kv))
-  | None -> ());
+  (match (t.kopt, t.kverify) with
+  | Some ko, _ -> Kopt.attach_ring ko r
+  | None, Some kv -> Kring.set_verifier r (Some (Kverify.ring_verifier kv))
+  | None, None -> ());
   r
 
 (* Attach an strace-style recorder. *)

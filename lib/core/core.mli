@@ -26,6 +26,7 @@ module Stats = Kstats
 module Net = Knet
 module Perf = Kperf
 module Verify = Kverify
+module Opt = Kopt
 
 (** The filesystem stack to boot with. *)
 type fs_choice =
@@ -59,6 +60,15 @@ module Config : sig
             and auto-attach admission checkers to {!cosy} and {!ring}
             instances.  [None] (default): kverify entirely absent —
             zero cost, bit-for-bit identical execution. *)
+    optimize : bool;
+        (** [true]: boot with a {!Kopt.t} that {!cosy} and {!ring}
+            attach instead of plain kverify admission — admitted
+            programs compile into cached specialized plans (observably
+            identical execution, cheaper accounting).  Implies a
+            kverify instance: when [verify] is [None] one is created
+            under the [Log] policy with no dispatch gate installed,
+            which is cycle-identical to plain admission.  [false]
+            (default): kopt entirely absent. *)
   }
 
   val default : t
@@ -90,8 +100,12 @@ val wrapfs : t -> Kvfs.Wrapfs.t option
 val journalfs : t -> Kvfs.Journalfs.t option
 val kgcc_runtime : t -> Kgcc.Kgcc_runtime.t option
 
-(** The kverify instance, when booted with [verify = Some _]. *)
+(** The kverify instance, when booted with [verify = Some _] (or
+    implied by [optimize = true]). *)
 val kverify : t -> Kverify.t option
+
+(** The kopt optimizer, when booted with [optimize = true]. *)
+val kopt : t -> Kopt.t option
 
 val dispatcher : t -> Kmonitor.Dispatcher.t option
 
@@ -118,6 +132,7 @@ val boot_with : Config.t -> t
 val boot :
   ?config:Ksim.Kernel.config -> ?ncpus:int -> ?dcache_shards:int ->
   ?trace:bool -> ?fs:fs_choice -> ?verify:Kverify.policy -> unit -> t
+[@@alert deprecated "use Core.boot_with { Config.default with ... }"]
 
 (** Called with every system {!boot} constructs, before it is returned.
     Harnesses (e.g. the bench driver) hook this to aggregate kstats

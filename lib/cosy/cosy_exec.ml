@@ -31,6 +31,14 @@ type t = {
      is today's dynamic-only safety, bit-for-bit. *)
   mutable verifier : (Compound.t -> bool) option;
   mutable watchdog_elisions : int;
+  (* kopt: when set, each submitted compound is offered to the optimizer
+     before the interpreter runs.  [Some run] means the compound was
+     admitted and compiled (or found in the compiled-program cache): the
+     thunk executes the specialized plan — observably identical results,
+     cheaper accounting — and returns (slots, ops executed, back-edges).
+     [None] falls back to the dynamic path below. *)
+  mutable optimizer :
+    (Compound.t -> (unit -> int array * int * int) option) option;
 }
 
 let create ?(shared_size = 65536) ?policy ?user_program sys =
@@ -73,11 +81,13 @@ let create ?(shared_size = 65536) ?policy ?user_program sys =
     user_calls = 0;
     verifier = None;
     watchdog_elisions = 0;
+    optimizer = None;
   }
 
 let shared t = t.shared
 let safety t = t.safety
 let set_verifier t v = t.verifier <- v
+let set_optimizer t o = t.optimizer <- o
 let watchdog_elisions t = t.watchdog_elisions
 
 (* Read a NUL-terminated string argument: immediate or from the shared
@@ -282,14 +292,23 @@ let submit t compound =
   Ksim.Kernel.enter_kernel kernel;
   Ksim.Sim_clock.advance clock cost.Ksim.Cost_model.cosy_submit;
   Cosy_safety.arm t.safety;
+  (* kopt: an installed optimizer subsumes plain admission — it consults
+     kverify itself (charging identical admission costs), compiles the
+     admitted compound into a specialized program (or pulls it from the
+     per-process cache), and hands back an execution thunk.  [None]
+     (rejected, or analysis produced nothing usable) falls back to the
+     dynamic path below exactly as a rejected compound would. *)
+  let optimized =
+    match t.optimizer with None -> None | Some o -> o compound
+  in
   (* kverify admission: statically check the compound before running a
      single op.  A verified compound executes on the cheaper per-op cost
      with the watchdog elided; anything else (including every compound
      when no verifier is installed) takes today's dynamic path. *)
   let verified =
-    match t.verifier with
-    | None -> false
-    | Some v ->
+    match (optimized, t.verifier) with
+    | Some _, _ | None, None -> false
+    | None, Some v ->
         let ok = v compound in
         if ok then t.watchdog_elisions <- t.watchdog_elisions + 1;
         ok
@@ -305,6 +324,18 @@ let submit t compound =
   in
   let result =
     try
+      match optimized with
+      | Some run ->
+          (* the compiled program was admitted: like the verified path,
+             its loops are proven bounded, so the watchdog is elided *)
+          t.watchdog_elisions <- t.watchdog_elisions + 1;
+          let slots, ops_run, backedges = run () in
+          t.ops_executed <- t.ops_executed + ops_run;
+          Kstats.add t.kstats t.st_ops ops_run;
+          t.backedges <- t.backedges + backedges;
+          Kstats.add t.kstats t.st_backedges backedges;
+          slots
+      | None ->
       let ops, slot_count =
         Compound.decode ~clock ~per_op:cost.Ksim.Cost_model.cosy_decode_op
           compound
@@ -390,6 +421,11 @@ let submit t compound =
   Kstats.observe t.kstats t.st_compound_ops (t.ops_executed - ops_before);
   Kperf.span_end perf ~pid ~arg:(t.ops_executed - ops_before) span;
   result
+
+(* Exported for the kopt plan executor, which replays the same lowering
+   (typed request, service dispatch, reply deposit, kperf span) for the
+   syscall ops it does not rewrite. *)
+let exec_syscall = do_syscall
 
 type stats = {
   submits : int;

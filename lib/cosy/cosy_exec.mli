@@ -37,8 +37,33 @@ val safety : t -> Cosy_safety.t
     admission entirely. *)
 val set_verifier : t -> (Compound.t -> bool) option -> unit
 
+(** Install/remove the kopt optimizer.  Consulted before the verifier on
+    every submit (inside the kernel stay, after the safety watchdog is
+    armed): [Some run] means the compound was admitted and compiled (or
+    found in the per-process compiled-program cache) — the thunk
+    executes the specialized program and returns the final register
+    file plus the logical op and back-edge counts it performed, which
+    [submit] folds into the extension's counters.  [None] from the
+    optimizer falls back to the plain verifier/dynamic path bit-for-bit.
+    An installed optimizer subsumes the verifier: admission charges are
+    paid inside the optimizer instead. *)
+val set_optimizer :
+  t -> (Compound.t -> (unit -> int array * int * int) option) option -> unit
+
 (** Compounds admitted on the watchdog-elided path so far. *)
 val watchdog_elisions : t -> int
+
+(** {1 Interpreter internals exposed for the kopt plan executor} *)
+
+(** Resolve an integer operand against the register file.
+    @raise Exec_error on out-of-range slots or string immediates. *)
+val int_arg : int array -> Cosy_op.arg -> int
+
+(** [exec_syscall t slots sysno args] lowers one syscall op to a typed
+    request, dispatches it through the same in-kernel service path
+    [submit] uses (gate, service routine, kperf span, shared-buffer
+    deposit), and returns the C-style return value. *)
+val exec_syscall : t -> int array -> int -> Cosy_op.arg list -> int
 
 (** Execute a compound; returns the final register file.
     @raise Exec_error on malformed compounds,

@@ -1,0 +1,247 @@
+(* Compiling an admitted compound into a specialized program.
+
+   The compiler runs after kverify's checker has proven the compound
+   well-shaped and its loops bounded; it is a purely syntactic pass over
+   the decoded ops that rewrites what it can prove equivalent and leaves
+   everything else as-is:
+
+   - {b copy coalescing}: two adjacent reads (or preads, or writes) on
+     the same fd over contiguous shared-buffer ranges become one bulk
+     transfer.  Sound because sequential-position semantics make the
+     merged transfer touch exactly the bytes the pair would, and the
+     split return values reconstruct the pair's results for any short
+     read/EOF outcome.
+   - {b op fusion}: a read immediately followed by a write of the same
+     shared region with the same length becomes one splice-style
+     dispatch (the data never conceptually leaves the kernel).
+   - {b loop-invariant hoisting}: inside spans the checker proved to be
+     counted loops, the per-iteration decode/bounds checks are hoisted
+     to a one-time preamble, so body ops run at the cheaper hoisted
+     rate.
+
+   Rewrites are refused whenever equivalence is not syntactically
+   evident: non-contiguous or overlapping ranges, fd operands that
+   differ or depend on the first op's result, non-constant lengths, or
+   a jump landing between the two halves of a pair.  Execution lives in
+   {!Kopt}; instructions stay indexed by original op position so the
+   compound's jumps need no relocation. *)
+
+module Op = Cosy.Cosy_op
+
+type group_kind = G_read | G_pread | G_write
+
+type instr =
+  | I_op of Op.op  (* unchanged: executes exactly like the interpreter *)
+  | I_coalesce of {
+      kind : group_kind;
+      dst_a : int;
+      dst_b : int;
+      fd : Op.arg;  (* syntactically identical in both halves *)
+      off : int;    (* shared offset of the merged range *)
+      len_a : int;
+      len_b : int;
+      foff : int;   (* pread only: file offset of the merged range *)
+    }
+  | I_fuse of {
+      dst_r : int;
+      dst_w : int;
+      fd_r : Op.arg;
+      fd_w : Op.arg;
+      off : int;
+      len : int;
+    }
+  | I_skip  (* second half of a pair; unreachable by construction *)
+
+type t = {
+  instrs : instr array;
+  hoisted : bool array;  (* op index lies inside a proven counted loop *)
+  n_loops : int;
+  slot_count : int;
+  op_count : int;
+  coalesced_pairs : int;
+  coalesced_bytes : int;
+  fused_pairs : int;
+  hoisted_ops : int;
+}
+
+let name_of sysno = Option.value ~default:"?" (Op.name_of_sysno sysno)
+
+(* Does [arg] read the given slot?  Used to refuse pairing when the
+   second op depends on the first one's result. *)
+let arg_uses_slot s = function Op.Slot k -> k = s | _ -> false
+
+(* Jump targets: an op index some Jmp/Jz lands on must stay addressable,
+   so it can never be the buried second half of a pair. *)
+let jump_targets ops =
+  let tgts = Hashtbl.create 8 in
+  Array.iter
+    (function
+      | Op.Jmp target -> Hashtbl.replace tgts target ()
+      | Op.Jz { target; _ } -> Hashtbl.replace tgts target ()
+      | _ -> ())
+    ops;
+  tgts
+
+(* Try to pair ops[i] and ops[i+1].  All conditions are syntactic; any
+   doubt means no rewrite. *)
+let pair_rewrite ~shared_size ops i =
+  match (ops.(i), ops.(i + 1)) with
+  | ( Op.Syscall { dst = dst_a; sysno = s1; args = args_a },
+      Op.Syscall { dst = dst_b; sysno = s2; args = args_b } ) -> (
+      let indep fd = not (arg_uses_slot dst_a fd) in
+      match (name_of s1, args_a, name_of s2, args_b) with
+      (* read fd, shared+o1, n1 ; read fd, shared+o1+n1, n2 *)
+      | ( "read",
+          [ fd1; Op.Shared o1; Op.Const n1 ],
+          "read",
+          [ fd2; Op.Shared o2; Op.Const n2 ] )
+        when fd1 = fd2 && indep fd2 && n1 >= 0 && n2 >= 0 && o1 >= 0
+             && o2 = o1 + n1
+             && o1 + n1 + n2 <= shared_size ->
+          Some
+            (I_coalesce
+               {
+                 kind = G_read;
+                 dst_a;
+                 dst_b;
+                 fd = fd1;
+                 off = o1;
+                 len_a = n1;
+                 len_b = n2;
+                 foff = 0;
+               })
+      (* pread: ranges must be contiguous in the shared buffer AND in
+         the file *)
+      | ( "pread",
+          [ fd1; Op.Shared o1; Op.Const n1; Op.Const f1 ],
+          "pread",
+          [ fd2; Op.Shared o2; Op.Const n2; Op.Const f2 ] )
+        when fd1 = fd2 && indep fd2 && n1 >= 0 && n2 >= 0 && o1 >= 0
+             && f1 >= 0
+             && o2 = o1 + n1
+             && f2 = f1 + n1
+             && o1 + n1 + n2 <= shared_size ->
+          Some
+            (I_coalesce
+               {
+                 kind = G_pread;
+                 dst_a;
+                 dst_b;
+                 fd = fd1;
+                 off = o1;
+                 len_a = n1;
+                 len_b = n2;
+                 foff = f1;
+               })
+      | ( "write",
+          [ fd1; Op.Shared o1; Op.Const n1 ],
+          "write",
+          [ fd2; Op.Shared o2; Op.Const n2 ] )
+        when fd1 = fd2 && indep fd2 && n1 >= 0 && n2 >= 0 && o1 >= 0
+             && o2 = o1 + n1
+             && o1 + n1 + n2 <= shared_size ->
+          Some
+            (I_coalesce
+               {
+                 kind = G_write;
+                 dst_a;
+                 dst_b;
+                 fd = fd1;
+                 off = o1;
+                 len_a = n1;
+                 len_b = n2;
+                 foff = 0;
+               })
+      (* read fd_r, shared+o, n ; write fd_w, shared+o, n — splice *)
+      | ( "read",
+          [ fd_r; Op.Shared o1; Op.Const n1 ],
+          "write",
+          [ fd_w; Op.Shared o2; Op.Const n2 ] )
+        when o1 = o2 && n1 = n2 && n1 >= 0 && o1 >= 0 && indep fd_w
+             && o1 + n1 <= shared_size ->
+          Some (I_fuse { dst_r = dst_a; dst_w = dst_b; fd_r; fd_w; off = o1; len = n1 })
+      | _ -> None)
+  | _ -> None
+
+let compile ~shared_size ~(loops : Kverify.Checker.loop list) ops ~slot_count =
+  let n = Array.length ops in
+  let instrs = Array.make n I_skip in
+  let hoisted = Array.make n false in
+  List.iter
+    (fun { Kverify.Checker.l_head; l_back; _ } ->
+      for i = l_head to min l_back (n - 1) do
+        hoisted.(i) <- true
+      done)
+    loops;
+  let tgts = jump_targets ops in
+  let coalesced_pairs = ref 0 in
+  let coalesced_bytes = ref 0 in
+  let fused_pairs = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    let cur = !i in
+    let paired =
+      if cur + 1 < n && not (Hashtbl.mem tgts (cur + 1)) then
+        pair_rewrite ~shared_size ops cur
+      else None
+    in
+    (match paired with
+    | Some (I_coalesce c as ins) ->
+        instrs.(cur) <- ins;
+        instrs.(cur + 1) <- I_skip;
+        incr coalesced_pairs;
+        coalesced_bytes := !coalesced_bytes + c.len_a + c.len_b;
+        i := cur + 2
+    | Some (I_fuse _ as ins) ->
+        instrs.(cur) <- ins;
+        instrs.(cur + 1) <- I_skip;
+        incr fused_pairs;
+        i := cur + 2
+    | Some (I_op _ | I_skip) | None ->
+        instrs.(cur) <- I_op ops.(cur);
+        i := cur + 1)
+  done;
+  let hoisted_ops = Array.fold_left (fun a h -> if h then a + 1 else a) 0 hoisted in
+  {
+    instrs;
+    hoisted;
+    n_loops = List.length loops;
+    slot_count;
+    op_count = n;
+    coalesced_pairs = !coalesced_pairs;
+    coalesced_bytes = !coalesced_bytes;
+    fused_pairs = !fused_pairs;
+    hoisted_ops;
+  }
+
+(* --- pretty-printing (kverify_tool opt) --------------------------------- *)
+
+let pp_kind ppf = function
+  | G_read -> Fmt.string ppf "read"
+  | G_pread -> Fmt.string ppf "pread"
+  | G_write -> Fmt.string ppf "write"
+
+let pp_instr ppf = function
+  | I_op op -> Op.pp_op ppf op
+  | I_coalesce { kind; dst_a; dst_b; fd; off; len_a; len_b; foff } ->
+      Fmt.pf ppf "r%d,r%d := bulk_%a(%a, shared+%d, %d+%d%t)" dst_a dst_b
+        pp_kind kind Op.pp_arg fd off len_a len_b (fun ppf ->
+          if kind = G_pread then Fmt.pf ppf ", @%d" foff)
+  | I_fuse { dst_r; dst_w; fd_r; fd_w; off; len } ->
+      Fmt.pf ppf "r%d,r%d := splice(%a -> %a, shared+%d, %d)" dst_r dst_w
+        Op.pp_arg fd_r Op.pp_arg fd_w off len
+  | I_skip -> Fmt.string ppf "(merged into previous)"
+
+let pp ppf t =
+  Fmt.pf ppf "ops: %d -> %d instructions@." t.op_count
+    (t.op_count - t.coalesced_pairs - t.fused_pairs);
+  Fmt.pf ppf
+    "coalesced pairs: %d (%d bytes), fused pairs: %d, counted loops: %d \
+     (%d ops hoisted)@."
+    t.coalesced_pairs t.coalesced_bytes t.fused_pairs t.n_loops t.hoisted_ops;
+  Array.iteri
+    (fun i ins ->
+      Fmt.pf ppf "  %3d%s %a@." i
+        (if t.hoisted.(i) then "*" else " ")
+        pp_instr ins)
+    t.instrs

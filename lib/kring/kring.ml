@@ -22,6 +22,19 @@ type completion = {
   reply : Syscall.reply;
 }
 
+(* What the kopt optimizer decides about an admitted batch.
+   [fuse_next.(i)] marks batch position [i] as the first half of a
+   splice-style pair (recv→send on one socket): both entries drain
+   under a single [kopt_fused_op] dispatch charge instead of two
+   [ring_verified_op]s.  [coalesce_cq] treats the completion region as
+   shared-mapped (it lives in the same zero-copy buffer as the SQ), so
+   the batch-end reply copy-out is elided; the saved bytes land in
+   [ring.opt.cq_bytes_saved] instead of the copy counters. *)
+type plan = {
+  fuse_next : bool array;
+  coalesce_cq : bool;
+}
+
 type t = {
   sys : Ksyscall.Systable.t;
   shared : Cosy.Shared_buffer.t;      (* SQ backing store *)
@@ -38,12 +51,20 @@ type t = {
      watchdog).  [None] (the default) is today's path, bit-for-bit. *)
   mutable verifier : (Syscall.req list -> bool) option;
   mutable watchdog_elisions : int;
+  (* kopt: when set, takes precedence over [verifier] — the optimizer
+     runs admission itself (charging identically) and returns the batch
+     plan, or [None] to fall back to the dynamic path. *)
+  mutable optimizer : (Syscall.req list -> plan option) option;
+  mutable opt_fused : int;
+  mutable opt_cq_saved : int;
   kstats : Kstats.t;
   st_submits : Kstats.counter;
   st_enters : Kstats.counter;
   st_completions : Kstats.counter;
   st_sq_full : Kstats.counter;
   st_crossings_saved : Kstats.counter;
+  st_opt_fused : Kstats.counter;
+  st_opt_cq_saved : Kstats.counter;
   st_batch : Kstats.hist;
 }
 
@@ -71,12 +92,17 @@ let create ?(sq_entries = 64) ?cq_entries ?(shared_size = 65536) ?policy sys =
       next_seq = 0;
       verifier = None;
       watchdog_elisions = 0;
+      optimizer = None;
+      opt_fused = 0;
+      opt_cq_saved = 0;
       kstats;
       st_submits = Kstats.counter kstats "ring.submits";
       st_enters = Kstats.counter kstats "ring.enters";
       st_completions = Kstats.counter kstats "ring.completions";
       st_sq_full = Kstats.counter kstats "ring.sq_full";
       st_crossings_saved = Kstats.counter kstats "ring.crossings_saved";
+      st_opt_fused = Kstats.counter kstats "ring.opt.fused_pairs";
+      st_opt_cq_saved = Kstats.counter kstats "ring.opt.cq_bytes_saved";
       st_batch = Kstats.histogram kstats "ring.batch.size";
     }
   in
@@ -94,7 +120,10 @@ let sq_entries t = t.sq_entries
 let cq_entries t = t.cq_entries
 let shared t = t.shared
 let set_verifier t v = t.verifier <- v
+let set_optimizer t o = t.optimizer <- o
 let watchdog_elisions t = t.watchdog_elisions
+let fused_pairs t = t.opt_fused
+let cq_bytes_saved t = t.opt_cq_saved
 
 (* Queue one request (user mode, no crossing): marshal it into the
    shared region and append an SQ entry.  Backpressure when either the
@@ -160,59 +189,113 @@ let enter t =
        (a straight-line batch of validated requests cannot run away).
        Any batch the verifier rejects — or that fails to decode at
        admission — falls back to today's watchdog path bit-for-bit. *)
+    let decoded =
+      if t.verifier = None && t.optimizer = None then None
+      else
+        match
+          Queue.fold
+            (fun acc (_, off, len) ->
+              let wire = Cosy.Shared_buffer.read t.shared ~off ~len in
+              let req, (_ : int) = Syscall.decode_req wire ~off:0 in
+              req :: acc)
+            [] t.sq
+        with
+        | reqs -> Some (List.rev reqs)
+        | exception _ -> None
+    in
+    (* kopt: the optimizer subsumes plain admission (it consults kverify
+       itself, with identical charges) and additionally plans fused
+       recv→send pairs and completion-region coalescing. *)
+    let batch_plan =
+      match (t.optimizer, decoded) with
+      | Some o, Some reqs -> o reqs
+      | _ -> None
+    in
     let verified =
-      match t.verifier with
-      | None -> false
-      | Some v ->
-          let ok =
-            match
-              Queue.fold
-                (fun acc (_, off, len) ->
-                  let wire = Cosy.Shared_buffer.read t.shared ~off ~len in
-                  let req, (_ : int) = Syscall.decode_req wire ~off:0 in
-                  req :: acc)
-                [] t.sq
-            with
-            | reqs -> v (List.rev reqs)
-            | exception _ -> false
-          in
-          if ok then t.watchdog_elisions <- t.watchdog_elisions + 1;
-          ok
+      match batch_plan with
+      | Some _ ->
+          t.watchdog_elisions <- t.watchdog_elisions + 1;
+          true
+      | None -> (
+          match (t.verifier, decoded) with
+          | Some v, Some reqs ->
+              let ok = v reqs in
+              if ok then t.watchdog_elisions <- t.watchdog_elisions + 1;
+              ok
+          | _ -> false)
     in
     Kstats.incr t.kstats t.st_enters;
     let completed = ref 0 in
     let out_bytes = ref 0 in
+    let pos = ref 0 in
+    (* decode + dispatch + complete one SQ entry, sans per-entry cost
+       charges (the caller picked plain vs fused pricing) *)
+    let dispatch_one () =
+      let seq, off, len = Queue.peek t.sq in
+      let wire = Cosy.Shared_buffer.read t.shared ~off ~len in
+      let req, (_ : int) = Syscall.decode_req wire ~off:0 in
+      let reply =
+        Ksyscall.Usyscall.invoke ~origin:Ksyscall.Usyscall.Ring t.sys req
+      in
+      ignore (Queue.pop t.sq);
+      Queue.add { seq; sysno = Syscall.sysno_of_req req; reply } t.cq;
+      out_bytes := !out_bytes + Syscall.reply_copy_bytes reply;
+      incr completed;
+      incr pos;
+      Kstats.incr t.kstats t.st_completions;
+      (* between ops the preemptive kernel gets its chance, exactly
+         like a compound's back-edge *)
+      Ksim.Scheduler.checkpoint (Ksim.Kernel.sched kernel)
+    in
     (try
        while
          (not (Queue.is_empty t.sq)) && Queue.length t.cq < t.cq_entries
        do
-         let seq, off, len = Queue.peek t.sq in
-         if verified then
-           Ksim.Sim_clock.advance clock cost.Ksim.Cost_model.ring_verified_op
-         else begin
-           Ksim.Sim_clock.advance clock cost.Ksim.Cost_model.cosy_decode_op;
-           (* the batch's copy-in, charged per entry as the kernel pulls
-              it; the verified path reads the pre-validated shared region
-              in place instead *)
-           Ksim.Kernel.charge_copy_from_user kernel len
-         end;
-         let wire = Cosy.Shared_buffer.read t.shared ~off ~len in
-         let req, (_ : int) = Syscall.decode_req wire ~off:0 in
-         let reply =
-           Ksyscall.Usyscall.invoke ~origin:Ksyscall.Usyscall.Ring t.sys req
+         let fused =
+           match batch_plan with
+           | Some p ->
+               !pos < Array.length p.fuse_next
+               && p.fuse_next.(!pos)
+               && Queue.length t.sq >= 2
+               && t.cq_entries - Queue.length t.cq >= 2
+           | None -> false
          in
-         ignore (Queue.pop t.sq);
-         Queue.add { seq; sysno = Syscall.sysno_of_req req; reply } t.cq;
-         out_bytes := !out_bytes + Syscall.reply_copy_bytes reply;
-         incr completed;
-         Kstats.incr t.kstats t.st_completions;
-         (* between ops the preemptive kernel gets its chance, exactly
-            like a compound's back-edge *)
-         Ksim.Scheduler.checkpoint (Ksim.Kernel.sched kernel);
-         if not verified then Cosy.Cosy_safety.watchdog_check t.safety
+         if fused then begin
+           (* splice-style pair: one dispatch charge covers both halves *)
+           Ksim.Sim_clock.advance clock cost.Ksim.Cost_model.kopt_fused_op;
+           t.opt_fused <- t.opt_fused + 1;
+           Kstats.incr t.kstats t.st_opt_fused;
+           dispatch_one ();
+           dispatch_one ()
+         end
+         else begin
+           let _, _, len = Queue.peek t.sq in
+           if verified then
+             Ksim.Sim_clock.advance clock cost.Ksim.Cost_model.ring_verified_op
+           else begin
+             Ksim.Sim_clock.advance clock cost.Ksim.Cost_model.cosy_decode_op;
+             (* the batch's copy-in, charged per entry as the kernel pulls
+                it; the verified path reads the pre-validated shared region
+                in place instead *)
+             Ksim.Kernel.charge_copy_from_user kernel len
+           end;
+           dispatch_one ();
+           if not verified then Cosy.Cosy_safety.watchdog_check t.safety
+         end
        done;
        if Queue.is_empty t.sq then t.sq_bytes <- 0;
-       if !out_bytes > 0 then Ksim.Kernel.charge_copy_to_user kernel !out_bytes;
+       (match batch_plan with
+       | Some p when p.coalesce_cq ->
+           (* completions stay in the shared-mapped region: no copy-out,
+              only accounting of what the unoptimized path would have
+              copied *)
+           if !out_bytes > 0 then begin
+             t.opt_cq_saved <- t.opt_cq_saved + !out_bytes;
+             Kstats.add t.kstats t.st_opt_cq_saved !out_bytes
+           end
+       | _ ->
+           if !out_bytes > 0 then
+             Ksim.Kernel.charge_copy_to_user kernel !out_bytes);
        Ksim.Kernel.exit_kernel kernel
      with
     | (Cosy.Cosy_safety.Watchdog_expired _

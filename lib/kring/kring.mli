@@ -64,8 +64,35 @@ val run_batch : t -> Ksyscall.Syscall.req list -> completion list
     [None] (the default) disables admission entirely. *)
 val set_verifier : t -> (Ksyscall.Syscall.req list -> bool) option -> unit
 
+(** The kopt optimizer's decision about an admitted batch. *)
+type plan = {
+  fuse_next : bool array;
+      (** [fuse_next.(i)]: batch position [i] starts a splice-style pair
+          (recv→send on one socket) — both entries drain under a single
+          [kopt_fused_op] dispatch charge instead of two
+          [ring_verified_op]s.  Replies, completions, and per-request
+          trace records are unchanged. *)
+  coalesce_cq : bool;
+      (** treat the completion region as shared-mapped: elide the
+          batch-end reply copy-out; saved bytes land in
+          [ring.opt.cq_bytes_saved] instead of the copy counters. *)
+}
+
+(** Install/remove the kopt batch optimizer.  Takes precedence over the
+    verifier: the optimizer runs admission itself (with identical
+    charges) and returns the batch {!plan}, or [None] to fall back to
+    the plain (verifier/dynamic) path bit-for-bit. *)
+val set_optimizer :
+  t -> (Ksyscall.Syscall.req list -> plan option) option -> unit
+
 (** Batches admitted on the watchdog-elided path so far. *)
 val watchdog_elisions : t -> int
+
+(** Fused recv→send pairs drained so far. *)
+val fused_pairs : t -> int
+
+(** Reply bytes whose copy-out was elided by CQ coalescing. *)
+val cq_bytes_saved : t -> int
 
 val sq_depth : t -> int
 val cq_depth : t -> int

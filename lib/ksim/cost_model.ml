@@ -42,6 +42,22 @@ type t = {
   ring_verified_op : int;    (* consuming one pre-verified ring entry:
                                 parse-in-place of the sealed SQ region,
                                 no per-entry copy_from_user or watchdog *)
+  (* kopt: compiling and running admitted programs (ISSUE 8) *)
+  kopt_compile_op : int;     (* specializing one admitted op into the
+                                compiled plan (includes its decode) *)
+  kopt_cache_probe : int;    (* one structural-hash probe of the
+                                per-process compiled-program cache *)
+  kopt_exec_op : int;        (* dispatching one compiled op: operands
+                                were pre-decoded and shape-checked at
+                                compile time *)
+  kopt_exec_op_hoisted : int;(* one compiled op inside a proven counted
+                                loop: bounds/shape checks hoisted out *)
+  kopt_fd_resolve : int;     (* first resolution of an fd operand per
+                                execution; later uses hit the handle
+                                cache for free *)
+  kopt_fused_op : int;       (* dispatching one fused op pair (read->
+                                write / recv->send) as a single splice *)
+  kopt_loop_hoist : int;     (* per-loop pre-execution hoist check *)
   splay_rotate : int;        (* extra cost per splay rotation *)
   (* event monitoring *)
   event_dispatch : int;
@@ -96,6 +112,13 @@ let default =
     sfi_check = 20;             (* table probe + one bitmask test *)
     verify_admit_op = 30;
     ring_verified_op = 12;
+    kopt_compile_op = 70;       (* decode + specialize, amortized by cache *)
+    kopt_cache_probe = 45;      (* hash of the compound bytes + table probe *)
+    kopt_exec_op = 12;
+    kopt_exec_op_hoisted = 6;
+    kopt_fd_resolve = 10;
+    kopt_fused_op = 15;
+    kopt_loop_hoist = 60;
     splay_rotate = 16;
     event_dispatch = 940;
     ring_push = 300;
@@ -145,6 +168,13 @@ let zero =
     sfi_check = 0;
     verify_admit_op = 0;
     ring_verified_op = 0;
+    kopt_compile_op = 0;
+    kopt_cache_probe = 0;
+    kopt_exec_op = 0;
+    kopt_exec_op_hoisted = 0;
+    kopt_fd_resolve = 0;
+    kopt_fused_op = 0;
+    kopt_loop_hoist = 0;
     splay_rotate = 0;
     event_dispatch = 0;
     ring_push = 0;

@@ -27,8 +27,20 @@ module Syscall = Ksyscall.Syscall
 module Cosy_op = Cosy.Cosy_op
 module Compound = Cosy.Compound
 
+(* One proven counted loop: the analysis facts the kopt optimizer needs
+   to hoist the per-iteration bounds/shape checks out of the body.  Op
+   indices are inclusive; the loop body is ops[head..back]. *)
+type loop = {
+  l_head : int;     (* loop head: target of the back-edge *)
+  l_guard : int;    (* the guard Jz with the forward exit *)
+  l_back : int;     (* the back-edge jump itself *)
+  l_counter : int;  (* the monotone counter slot *)
+}
+
 type verdict =
-  | Verified of { ops : int }   (* ops statically checked at admission *)
+  | Verified of { ops : int; loops : loop list }
+      (* ops statically checked at admission, plus every back-edge's
+         proven counted loop *)
   | Rejected of string
 
 let is_verified = function Verified _ -> true | Rejected _ -> false
@@ -231,7 +243,7 @@ let backedge_bounded ops ~tpos ~j =
                            update" j i
                       else begin
                         ignore d;
-                        Ok ()
+                        Ok { l_head = tpos; l_guard = g; l_back = j; l_counter = i }
                       end))))
 
 (* --- compound verification --------------------------------------------- *)
@@ -239,8 +251,13 @@ let backedge_bounded ops ~tpos ~j =
 let verify_ops ~shared_size ~slot_count (ops : Cosy_op.op array) =
   let n = Array.length ops in
   let result = ref (Ok ()) in
+  let loops = ref [] in
   let fail m = if Result.is_ok !result then result := Error m in
   let check = function Ok () -> () | Error m -> fail m in
+  let check_backedge = function
+    | Ok loop -> loops := loop :: !loops
+    | Error m -> fail m
+  in
   Array.iteri
     (fun idx op ->
       let target_ok t = t >= 0 && t <= n in
@@ -301,7 +318,7 @@ let verify_ops ~shared_size ~slot_count (ops : Cosy_op.op array) =
           if not (target_ok target) then
             fail (Printf.sprintf "op %d: jump to %d out of range" idx target)
           else if target <= idx then
-            check (backedge_bounded ops ~tpos:target ~j:idx)
+            check_backedge (backedge_bounded ops ~tpos:target ~j:idx)
       | Cosy_op.Jz { cond; target } ->
           check
             (check_arg ~shared_size ~slot_count
@@ -310,7 +327,7 @@ let verify_ops ~shared_size ~slot_count (ops : Cosy_op.op array) =
           if not (target_ok target) then
             fail (Printf.sprintf "op %d: jump to %d out of range" idx target)
           else if target <= idx then
-            check (backedge_bounded ops ~tpos:target ~j:idx)
+            check_backedge (backedge_bounded ops ~tpos:target ~j:idx)
       | Cosy_op.Call_user { fname; _ } ->
           (* arbitrary user code: not statically verifiable, keep the
              watchdog *)
@@ -318,7 +335,7 @@ let verify_ops ~shared_size ~slot_count (ops : Cosy_op.op array) =
       | Cosy_op.Halt -> ())
     ops;
   match !result with
-  | Ok () -> Verified { ops = n }
+  | Ok () -> Verified { ops = n; loops = List.rev !loops }
   | Error m -> Rejected m
 
 let verify_compound ~shared_size compound =
@@ -391,7 +408,7 @@ let req_shape_ok (req : Syscall.req) =
 let verify_reqs reqs =
   let n = List.length reqs in
   let rec go = function
-    | [] -> Verified { ops = n }
+    | [] -> Verified { ops = n; loops = [] }
     | r :: rest -> (
         match req_shape_ok r with
         | Ok () -> go rest

@@ -7,8 +7,20 @@
     emits.  A [Verified] program runs with the dynamic watchdog elided;
     a [Rejected] one falls back bit-for-bit to the dynamic path. *)
 
+(** One proven counted loop (op indices inclusive; the body is
+    [ops.(l_head) .. ops.(l_back)]).  These are the analysis facts the
+    kopt optimizer consumes to hoist per-iteration bounds/shape checks
+    out of the body, which the back-edge proof makes sound. *)
+type loop = {
+  l_head : int;     (** loop head: target of the back-edge *)
+  l_guard : int;    (** the guard [Jz] with the forward exit *)
+  l_back : int;     (** the back-edge jump itself *)
+  l_counter : int;  (** the monotone counter slot *)
+}
+
 type verdict =
-  | Verified of { ops : int }  (** statically checked ops/requests *)
+  | Verified of { ops : int; loops : loop list }
+      (** statically checked ops/requests + proven counted loops *)
   | Rejected of string         (** why the analysis could not prove it *)
 
 val is_verified : verdict -> bool

@@ -118,21 +118,27 @@ let admitted t ~ops =
   Kstats.incr (Kernel.stats t.kernel) t.s_elided
 
 (* One admission pass costs [verify_admit_op] per op — charged whether or
-   not the program verifies (the checker read every op either way). *)
-let compound_verifier t ~shared_size compound =
+   not the program verifies (the checker read every op either way).  The
+   verdict form returns the checker's analysis facts, which kopt needs
+   to compile the admitted program; the bool form is what plain
+   (non-optimizing) admission installs. *)
+let compound_verdict t ~shared_size compound =
   match Checker.verify_compound ~shared_size compound with
-  | Checker.Verified { ops } ->
+  | Checker.Verified { ops; _ } as v ->
       admitted t ~ops;
-      true
-  | Checker.Rejected _ ->
+      v
+  | Checker.Rejected _ as v ->
       Ksim.Sim_clock.advance (Kernel.clock t.kernel)
         (compound.Cosy.Compound.op_count
         * (Kernel.cost t.kernel).Ksim.Cost_model.verify_admit_op);
-      false
+      v
+
+let compound_verifier t ~shared_size compound =
+  Checker.is_verified (compound_verdict t ~shared_size compound)
 
 let ring_verifier t reqs =
   match Checker.verify_reqs reqs with
-  | Checker.Verified { ops } ->
+  | Checker.Verified { ops; _ } ->
       admitted t ~ops;
       true
   | Checker.Rejected _ ->

@@ -71,6 +71,13 @@ val ring_verifier : t -> Ksyscall.Syscall.req list -> bool
     {!attach_cosy} installs). *)
 val compound_verifier : t -> shared_size:int -> Cosy.Compound.t -> bool
 
+(** Like {!compound_verifier} (same admission charges and counters) but
+    returning the full {!Checker.verdict}, whose [Verified] payload
+    carries the analysis facts (proven counted loops) the kopt
+    optimizer compiles against. *)
+val compound_verdict :
+  t -> shared_size:int -> Cosy.Compound.t -> Checker.verdict
+
 (** {1 Counters} (mirrored in kstats when the registry is enabled) *)
 
 val checked : t -> int

@@ -199,6 +199,10 @@ type net_config = {
   spacing : int;             (* client inter-arrival gap, cycles *)
   think : int;               (* client think time between requests *)
   start : int;               (* cycles before the first connection *)
+  make_ring : (Ksyscall.Systable.t -> Kring.t) option;
+      (* Net_ring only: how to build the submission ring.  Harnesses
+         that want admission/optimization attached (Core.ring wiring)
+         pass their own factory; [None] keeps the plain default. *)
 }
 
 let net_default_config =
@@ -216,6 +220,7 @@ let net_default_config =
     spacing = 2_000;
     think = 1_000;
     start = 1_000;
+    make_ring = None;
   }
 
 let net_setup ?(config = net_default_config) sys = setup ~config:config.docs sys
@@ -315,7 +320,12 @@ let net_init t =
             (fd, st.Kvfs.Vtypes.st_size))
   | Net_naive | Net_consolidated -> ());
   (match cfg.variant with
-  | Net_ring -> t.nring <- Some (Kring.create sys)
+  | Net_ring ->
+      t.nring <-
+        Some
+          (match cfg.make_ring with
+          | Some make -> make sys
+          | None -> Kring.create sys)
   | Net_naive | Net_consolidated | Net_sendfile -> ());
   Knet.Traffic.install
     (Ksyscall.Systable.net sys)
