@@ -1,4 +1,4 @@
-.PHONY: all build test bench-smoke bench-e14 bench-e15 bench-e16 bench-e17 kperf-smoke kverify-smoke kopt-smoke check clean
+.PHONY: all build test bench-smoke bench-e14 bench-e15 bench-e16 bench-e17 bench-e18 kperf-smoke kverify-smoke kopt-smoke kfault-smoke check clean
 
 all: build
 
@@ -36,6 +36,12 @@ bench-e16:
 bench-e17:
 	dune exec bench/main.exe -- E17
 
+# The resilience experiment at full scale: the four E14 serving variants
+# under injected wire-drop faults at 1-in-64 / 1-in-16 / 1-in-4, with and
+# without load shedding, plus BENCH_kfault.json.
+bench-e18:
+	dune exec bench/main.exe -- E18
+
 # Record a traced run, export it, and re-derive the folded/top views
 # from the exported JSON — exercises the whole tracer pipeline on a
 # tiny workload.
@@ -64,8 +70,18 @@ kopt-smoke:
 	dune exec bin/kverify_tool.exe -- opt --demo fuse > /dev/null
 	rm -f /tmp/kopt_loop.cosy
 
-check: build test bench-smoke kperf-smoke kverify-smoke kopt-smoke
+# List every fault site with its fault-free occurrence count, run one
+# representative recovery plan, and sweep a capped (site, occurrence)
+# grid asserting zero invariant violations — exercises the whole kfault
+# engine/recovery/sweep pipeline.  Compare a faulty run's counters
+# against a clean run with `kstats_tool diff` (see DESIGN.md #14).
+kfault-smoke:
+	dune exec bin/kfault_tool.exe -- list-sites
+	dune exec bin/kfault_tool.exe -- run-plan syscall.eintr=once:1 net.wire_drop=nth:16
+	dune exec bin/kfault_tool.exe -- sweep --max-per-site 2
+
+check: build test bench-smoke kperf-smoke kverify-smoke kopt-smoke kfault-smoke
 
 clean:
 	dune clean
-	rm -f BENCH_kstats.json BENCH_kperf.json
+	rm -f BENCH_kstats.json BENCH_kperf.json BENCH_kfault.json

@@ -1,0 +1,158 @@
+(* kfault_tool: drive the deterministic fault-injection engine over the
+   standard resilience workload.
+
+   Usage:
+     dune exec bin/kfault_tool.exe -- list-sites
+     dune exec bin/kfault_tool.exe -- run-plan 'kalloc.kmalloc=once:3'
+     dune exec bin/kfault_tool.exe -- run-plan 'net.wire_drop=nth:16' \
+                                               'syscall.eintr=prob:5000:42'
+     dune exec bin/kfault_tool.exe -- sweep
+     dune exec bin/kfault_tool.exe -- sweep --max-per-site 8 -v
+
+   [list-sites] runs the workload once in counting mode and prints every
+   registered site with how often it was reached.  [run-plan] arms the
+   given plans (SITE=nth:N | once:K | prob:PPM:SEED | window:LO:HI) and
+   reports the run: payload digest, simulated cycles, clean failures,
+   per-site occurrence/fire counts.  [sweep] is the systematic FATE-style
+   exploration — one fresh boot per reachable (site, occurrence) —
+   classifying every run against the fault-free baseline.  run-plan and
+   sweep exit 1 when any invariant is violated, so they script like
+   tests. *)
+
+open Cmdliner
+
+let pp_counts counts =
+  Fmt.pr "%-28s %12s %8s@." "site" "occurrences" "fires";
+  List.iter
+    (fun (name, occ, fires) -> Fmt.pr "%-28s %12d %8d@." name occ fires)
+    counts
+
+let pp_run (r : Resilience.run_result) =
+  Fmt.pr "cycles  %d@." r.r_cycles;
+  Fmt.pr "digest  %s@." r.r_digest;
+  Fmt.pr "killed  %d@." r.r_killed;
+  (match r.r_errs with
+  | [] -> Fmt.pr "errors  (none)@."
+  | errs -> Fmt.pr "errors  %s@." (String.concat " " errs));
+  match r.r_escaped with
+  | None -> ()
+  | Some m -> Fmt.pr "ESCAPED %s@." m
+
+let list_sites () =
+  let r = Resilience.run () in
+  pp_counts r.Resilience.r_counts;
+  (match r.Resilience.r_escaped with
+  | None -> 0
+  | Some m ->
+      Fmt.epr "workload escaped fault-free: %s@." m;
+      1)
+
+let run_plan specs =
+  match
+    List.fold_left
+      (fun acc spec ->
+        match (acc, Kfault.plan_of_spec spec) with
+        | Error e, _ -> Error e
+        | Ok plans, Ok p -> Ok (p :: plans)
+        | Ok _, Error e -> Error e)
+      (Ok []) specs
+  with
+  | Error e ->
+      Fmt.epr "%s@." e;
+      2
+  | Ok plans ->
+      let plans = List.rev plans in
+      let r = Resilience.run ~plans () in
+      pp_run r;
+      Fmt.pr "@.";
+      pp_counts r.Resilience.r_counts;
+      (* a plan that never even reached its site is almost always a
+         typo'd name; surface it *)
+      List.iter
+        (fun (p : Kfault.plan) ->
+          match
+            List.find_opt (fun (n, _, _) -> n = p.site) r.Resilience.r_counts
+          with
+          | Some (_, occ, _) when occ > 0 -> ()
+          | _ -> Fmt.epr "warning: site %s was never reached@." p.site)
+        plans;
+      (match r.Resilience.r_escaped with None -> 0 | Some _ -> 1)
+
+let sweep max_per_site verbose =
+  let max_per_site = if max_per_site <= 0 then None else Some max_per_site in
+  let progress =
+    if verbose then fun idx total site k ->
+      Fmt.pr "[%3d/%3d] %s occurrence %d@." (idx + 1) total site k
+    else fun _ _ _ _ -> ()
+  in
+  let s = Resilience.sweep ?max_per_site ~progress () in
+  (match s.Resilience.baseline.Resilience.r_escaped with
+  | Some m -> Fmt.epr "baseline escaped fault-free: %s@." m
+  | None -> ());
+  let identical, degraded =
+    List.fold_left
+      (fun (i, d) (row : Resilience.sweep_row) ->
+        match row.Resilience.sw_outcome with
+        | Resilience.Identical -> (i + 1, d)
+        | Resilience.Degraded -> (i, d + 1)
+        | Resilience.Violation -> (i, d))
+      (0, 0) s.Resilience.rows
+  in
+  List.iter
+    (fun (row : Resilience.sweep_row) ->
+      if verbose || row.Resilience.sw_outcome = Resilience.Violation then
+        Fmt.pr "%-28s occ %4d  %-10s %s%s@." row.Resilience.sw_site
+          row.Resilience.sw_occurrence
+          (Resilience.outcome_to_string row.Resilience.sw_outcome)
+          (String.concat " " row.Resilience.sw_errs)
+          (if row.Resilience.sw_detail = "" then ""
+           else " [" ^ row.Resilience.sw_detail ^ "]"))
+    s.Resilience.rows;
+  Fmt.pr "sweep: %d points over %d reached sites — %d identical, %d degraded, %d violations@."
+    (List.length s.Resilience.rows)
+    (List.length
+       (List.filter (fun (_, occ, _) -> occ > 0)
+          s.Resilience.baseline.Resilience.r_counts))
+    identical degraded s.Resilience.violations;
+  if s.Resilience.violations > 0
+     || s.Resilience.baseline.Resilience.r_escaped <> None
+  then 1
+  else 0
+
+let list_cmd =
+  Cmd.v
+    (Cmd.info "list-sites"
+       ~doc:"Run the workload in counting mode and print site reach")
+    Term.(const list_sites $ const ())
+
+let specs_arg =
+  Arg.(non_empty & pos_all string [] & info [] ~docv:"SITE=TRIGGER")
+
+let run_cmd =
+  Cmd.v
+    (Cmd.info "run-plan"
+       ~doc:"Run the workload under the given fault plans")
+    Term.(const run_plan $ specs_arg)
+
+let max_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "max-per-site" ]
+        ~doc:"Cap the sweep to N evenly spaced occurrences per site (0 = all)")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every sweep row")
+
+let sweep_cmd =
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Systematic sweep: one run per reachable (site, occurrence)")
+    Term.(const sweep $ max_arg $ verbose_arg)
+
+let cmd =
+  Cmd.group
+    (Cmd.info "kfault_tool"
+       ~doc:"Deterministic fault injection over the resilience workload")
+    [ list_cmd; run_cmd; sweep_cmd ]
+
+let () = exit (Cmd.eval' cmd)

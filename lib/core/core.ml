@@ -28,6 +28,7 @@ module Net = Knet
 module Perf = Kperf
 module Verify = Kverify
 module Opt = Kopt
+module Fault = Kfault
 
 type fs_choice =
   | Memfs                          (* plain in-memory Ext2 stand-in *)
@@ -92,6 +93,7 @@ let kernel t = t.kernel
 let sys t = t.sys
 let stats t = Ksim.Kernel.stats t.kernel
 let perf t = Ksim.Kernel.perf t.kernel
+let fault t = Ksim.Kernel.fault t.kernel
 let net t = Ksyscall.Systable.net t.sys
 let kefence t = t.kefence
 let wrapfs t = t.wrapfs
@@ -223,21 +225,6 @@ let boot_with (cfg : Config.t) =
   !on_boot t;
   t
 
-(* Deprecated label-pile form, kept as a thin shim over {!boot_with} for
-   existing callers; prefer [boot_with { Config.default with ... }]. *)
-let boot ?(config = Ksim.Kernel.default_config) ?ncpus ?dcache_shards ?trace
-    ?(fs = Memfs) ?verify () =
-  boot_with
-    {
-      Config.kernel = config;
-      ncpus;
-      dcache_shards;
-      trace;
-      fs;
-      verify;
-      optimize = false;
-    }
-
 (* Attach the event-monitoring stack (dispatcher installed into the
    kernel's log_event indirection). *)
 let enable_monitoring ?(ring = true) t =
@@ -291,6 +278,12 @@ let perf_feed t =
   let b = Kmonitor.Perf_bridge.create t.kernel in
   Kmonitor.Perf_bridge.attach b;
   b
+
+(* Mirror kfault fires into the monitoring event stream. *)
+let fault_feed t =
+  let f = Kmonitor.Fault_feed.create t.kernel in
+  Kmonitor.Fault_feed.attach f;
+  f
 
 (* The /proc-style metrics report for this system. *)
 let pp_stats ppf t = Kstats.pp_report ppf (stats t)

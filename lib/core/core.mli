@@ -27,6 +27,7 @@ module Net = Knet
 module Perf = Kperf
 module Verify = Kverify
 module Opt = Kopt
+module Fault = Kfault
 
 (** The filesystem stack to boot with. *)
 type fs_choice =
@@ -85,10 +86,16 @@ val sys : t -> Ksyscall.Systable.t
 val stats : t -> Kstats.t
 
 (** The kperf tracer: per-CPU trace rings and causal spans.  Enabled at
-    boot when [!Kperf.default_enabled] (or via {!boot}'s [?trace]);
+    boot when [!Kperf.default_enabled] (or via [Config.trace]);
     toggle later with [Kperf.set_enabled].  Disabled, every tracepoint
     is a single branch and the simulated clock is untouched. *)
 val perf : t -> Kperf.t
+
+(** The kernel's fault-injection engine (see {!Kfault}).  Disarmed by
+    default: every instrumented site is a single branch and execution
+    is bit-for-bit identical to a kernel without kfault.  Arm sites
+    with [Kfault.arm (Core.fault t) plans]. *)
+val fault : t -> Kfault.t
 
 (** The simulated socket stack booted alongside the VFS (see {!Knet}). *)
 val net : t -> Knet.t
@@ -121,20 +128,12 @@ exception Sys_error of Kvfs.Vtypes.errno
 (** Unwrap a syscall result.  @raise Sys_error on errno. *)
 val ok : ('a, Kvfs.Vtypes.errno) result -> 'a
 
-(** Boot a system from a {!Config.t}.  This is the primary entry
-    point; {!boot} is a label-based shim over it. *)
+(** Boot a system from a {!Config.t}.  This is the single entry point:
+    build a config with record-update syntax over {!Config.default} and
+    pass it here.  Everything a boot can vary is a {!Config.t} field. *)
 val boot_with : Config.t -> t
 
-(** @deprecated Label-pile form of {!boot_with}, kept for existing
-    callers; each label maps to the {!Config.t} field of the same name
-    ([config] is [Config.kernel]).  Prefer
-    [boot_with { Config.default with ... }]. *)
-val boot :
-  ?config:Ksim.Kernel.config -> ?ncpus:int -> ?dcache_shards:int ->
-  ?trace:bool -> ?fs:fs_choice -> ?verify:Kverify.policy -> unit -> t
-[@@alert deprecated "use Core.boot_with { Config.default with ... }"]
-
-(** Called with every system {!boot} constructs, before it is returned.
+(** Called with every system {!boot_with} constructs, before it is returned.
     Harnesses (e.g. the bench driver) hook this to aggregate kstats
     across the many systems a run boots.  Defaults to a no-op. *)
 val on_boot : (t -> unit) ref
@@ -174,6 +173,11 @@ val stats_feed : ?interval:int -> t -> Kmonitor.Stats_feed.t
     as Custom instrument events (requires {!enable_monitoring} for them
     to reach the ring; see {!Kmonitor.Perf_bridge}). *)
 val perf_feed : t -> Kmonitor.Perf_bridge.t
+
+(** Mirror kfault fires into the monitoring event stream as Custom
+    instrument events (requires {!enable_monitoring} for them to reach
+    the ring; see {!Kmonitor.Fault_feed}). *)
+val fault_feed : t -> Kmonitor.Fault_feed.t
 
 (** Render the /proc-style metrics report for this system. *)
 val pp_stats : Format.formatter -> t -> unit

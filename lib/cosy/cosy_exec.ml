@@ -66,7 +66,9 @@ let create ?(shared_size = 65536) ?policy ?user_program sys =
   {
     sys;
     shared = Shared_buffer.create ~stats:kstats shared_size;
-    safety = Cosy_safety.create ~policy ~clock ~cost;
+    safety =
+      Cosy_safety.create ~fault:(Ksim.Kernel.fault kernel) ~policy ~clock ~cost
+        ();
     interp;
     interp_region;
     kstats;

@@ -49,9 +49,10 @@ type t = {
   safe_runs : (string, int) Hashtbl.t;  (* user fn -> clean completions *)
   mutable watchdog_kills : int;
   mutable segment_loads : int;
+  fault : (Kfault.t * Kfault.site) option;  (* cosy.watchdog_early *)
 }
 
-let create ~policy ~clock ~cost =
+let create ?fault ~policy ~clock ~cost () =
   {
     policy;
     clock;
@@ -60,6 +61,8 @@ let create ~policy ~clock ~cost =
     safe_runs = Hashtbl.create 8;
     watchdog_kills = 0;
     segment_loads = 0;
+    fault =
+      Option.map (fun kf -> (kf, Kfault.register kf "cosy.watchdog_early")) fault;
   }
 
 let arm t = t.entry_cycles <- Ksim.Sim_clock.now t.clock
@@ -70,7 +73,15 @@ let arm t = t.entry_cycles <- Ksim.Sim_clock.now t.clock
    Cosy process inside the kernel every time it is scheduled out". *)
 let watchdog_check t =
   let used = Ksim.Sim_clock.now t.clock - t.entry_cycles in
-  if used > t.policy.watchdog_budget then begin
+  (* injected early expiry: the timer interrupt fired spuriously while
+     the compound was still under budget — same kill path, same
+     cleanup, which is exactly what the sweep needs to exercise *)
+  let early =
+    match t.fault with
+    | Some (kf, site) -> Kfault.fire kf site
+    | None -> false
+  in
+  if used > t.policy.watchdog_budget || early then begin
     t.watchdog_kills <- t.watchdog_kills + 1;
     raise (Watchdog_expired { used; budget = t.policy.watchdog_budget })
   end

@@ -25,7 +25,17 @@ exception Watchdog_expired of { used : int; budget : int }
 
 type t
 
-val create : policy:policy -> clock:Ksim.Sim_clock.t -> cost:Ksim.Cost_model.t -> t
+(** [fault] wires the kfault engine and registers the
+    [cosy.watchdog_early] site: an armed plan makes {!watchdog_check}
+    raise {!Watchdog_expired} while still under budget, exercising the
+    kill/cleanup path on demand. *)
+val create :
+  ?fault:Kfault.t ->
+  policy:policy ->
+  clock:Ksim.Sim_clock.t ->
+  cost:Ksim.Cost_model.t ->
+  unit ->
+  t
 
 (** Start the watchdog window (at compound submit). *)
 val arm : t -> unit

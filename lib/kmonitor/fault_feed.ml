@@ -1,0 +1,54 @@
+(* Feed injected faults into the Figure-1 monitoring pipeline: every
+   kfault fire is mirrored as an Instrument.Custom event, so a
+   user-space monitor polling the character device sees the injections
+   interleaved with the lock/irq/syscall events whose anomalies they
+   cause.  Like the perf bridge, the mirroring runs through the
+   engine's sink hook — kfault sits below ksim in the library graph
+   and cannot see kmonitor.
+
+   The event's [file] carries the site name, [value] the occurrence
+   index at which the site fired. *)
+
+let fault_kind = 14
+let () = Ksim.Instrument.register_custom_name fault_kind "kfault-inject"
+
+type t = {
+  fault : Kfault.t;
+  kernel : Ksim.Kernel.t;
+  kstats : Kstats.t;
+  st_mirrored : Kstats.counter;
+  mutable mirrored : int;
+  mutable attached : bool;
+}
+
+let create kernel =
+  let kstats = Ksim.Kernel.stats kernel in
+  {
+    fault = Ksim.Kernel.fault kernel;
+    kernel;
+    kstats;
+    st_mirrored = Kstats.counter kstats "kmonitor.fault_feed.mirrored";
+    mirrored = 0;
+    attached = false;
+  }
+
+let mirror t ~name ~occurrence =
+  t.mirrored <- t.mirrored + 1;
+  Kstats.incr t.kstats t.st_mirrored;
+  Ksim.Instrument.emit
+    ~pid:(Ksim.Kernel.current t.kernel).Ksim.Kproc.pid
+    ~obj:0 ~value:occurrence
+    ~kind:(Ksim.Instrument.Custom fault_kind)
+    ~file:("kfault:" ^ name) ~line:0 ()
+
+let attach t =
+  Kfault.set_sink t.fault (Some (mirror t));
+  t.attached <- true
+
+let detach t =
+  if t.attached then begin
+    Kfault.set_sink t.fault None;
+    t.attached <- false
+  end
+
+let mirrored t = t.mirrored

@@ -1,0 +1,28 @@
+(** Feed injected faults into the kmonitor event pipeline.
+
+    While attached, every kfault fire is mirrored as an
+    {!Ksim.Instrument.Custom} event — kind 14 ("kfault-inject") —
+    carrying ["kfault:<site>"] as [file], the occurrence index at which
+    the site fired as [value], and the current pid.  A user-space
+    monitor polling the character device therefore sees the injections
+    interleaved with the anomalies they cause (backlog drops, watchdog
+    kills, latency spikes).
+
+    Mirrored events are counted in [kmonitor.fault_feed.mirrored] and
+    pay the normal dispatch costs. *)
+
+type t
+
+val fault_kind : int
+
+(** Uses the kernel's own fault engine and kstats registry. *)
+val create : Ksim.Kernel.t -> t
+
+(** Install the feed as the engine's sink (replacing any other). *)
+val attach : t -> unit
+
+(** Remove the sink; idempotent. *)
+val detach : t -> unit
+
+(** Fires mirrored so far. *)
+val mirrored : t -> int

@@ -121,6 +121,11 @@ type client = {
   cl_span : int Queue.t;             (* kperf async span ids, same FIFO *)
   cl_resp : Buffer.t;                (* raw response stream until digest *)
   mutable cl_finished : bool;
+  mutable cl_fails : int;            (* consecutive failures, drives backoff *)
+  mutable cl_txq : string list;      (* unacked tx data, strict FIFO: a
+                                        retransmitted frame keeps its place
+                                        at the head, so later pipelined
+                                        frames cannot overtake it *)
 }
 
 type conn = {
@@ -152,7 +157,9 @@ type ep = { ep_interest : (int, int * int) Hashtbl.t (* sock -> mask, cookie *) 
 
 type ev =
   | Ev_connect of client
-  | Ev_deliver of { cl : client; data : string }
+  | Ev_deliver of client
+      (* a delivery tick: the payload lives in [cl_txq], not the event,
+         so per-connection byte order survives retransmit delays *)
   | Ev_drain of int
 
 type port_state = {
@@ -160,6 +167,7 @@ type port_state = {
   mutable ps_completed : int;
   mutable ps_responses : int;
   mutable ps_drops : int;
+  mutable ps_retrans : int;          (* wire frames lost and re-sent *)
   ps_digests : string array;         (* per-connection, arrival order *)
 }
 
@@ -189,6 +197,12 @@ type t = {
   st_sendfile_bytes : Kstats.counter;
   st_stage_hw : Kstats.gauge;
   st_latency : Kstats.hist;
+  st_redials : Kstats.counter;
+  st_retransmits : Kstats.counter;
+  st_backoff_cycles : Kstats.counter;
+  fault : Kfault.t;
+  site_wire_drop : Kfault.site;
+  site_recv_short : Kfault.site;
 }
 
 let create ?(rcvbuf = 16 * 1024) ?(sndbuf = 32 * 1024) kn =
@@ -218,6 +232,12 @@ let create ?(rcvbuf = 16 * 1024) ?(sndbuf = 32 * 1024) kn =
     st_sendfile_bytes = Kstats.counter stats "net.sendfile.bytes";
     st_stage_hw = Kstats.gauge stats "net.sendfile.stage_high_water";
     st_latency = Kstats.histogram stats "net.request.latency";
+    st_redials = Kstats.counter stats "retry.net_redials";
+    st_retransmits = Kstats.counter stats "retry.net_retransmits";
+    st_backoff_cycles = Kstats.counter stats "retry.net_backoff_cycles";
+    fault = Kernel.fault kn;
+    site_wire_drop = Kfault.register (Kernel.fault kn) "net.wire_drop";
+    site_recv_short = Kfault.register (Kernel.fault kn) "net.recv_short";
   }
 
 let kernel t = t.kn
@@ -249,7 +269,8 @@ let schedule_request t cl ~req ~send_at =
     (Kperf.async_begin (Kernel.perf t.kn) ~arg:cl.cl_port ~cat:"net"
        ~name:"request" ())
     cl.cl_span;
-  push_ev t (send_at + wire t) (Ev_deliver { cl; data = cl.cl_req_of req })
+  cl.cl_txq <- cl.cl_txq @ [ cl.cl_req_of req ];
+  push_ev t (send_at + wire t) (Ev_deliver cl)
 
 let response_done t cl =
   cl.cl_done <- cl.cl_done + 1;
@@ -389,11 +410,24 @@ let inject_fin t ~sock =
 
 (* ---------- event processing ---------- *)
 
+(* Exponential backoff for a client's consecutive failures: the first
+   retry keeps the historical 4*wire delay, each further consecutive
+   failure doubles it (capped at 32*wire), and any success resets the
+   streak.  The extra wait is pure simulated elapsed time — the client
+   is asleep, not burning CPU — counted in retry.net_backoff_cycles. *)
+let backoff_delay t cl =
+  let base = 4 * wire t in
+  let d = base * (1 lsl min cl.cl_fails 3) in
+  if d > base then Kstats.add t.stats t.st_backoff_cycles (d - base);
+  cl.cl_fails <- cl.cl_fails + 1;
+  d
+
 (* Returns the sock ids whose readiness the event may have changed. *)
 let process_event t = function
   | Ev_connect cl -> (
       match connect_attempt t ~port:cl.cl_port ~client:(Some cl) with
       | C_ok (lid, id) ->
+          cl.cl_fails <- 0;
           cl.cl_conn <- id;
           let burst = min cl.cl_pipeline cl.cl_total in
           for k = 0 to burst - 1 do
@@ -404,21 +438,42 @@ let process_event t = function
           [ lid; id ]
       | C_drop lid ->
           (* client backs off and redials *)
-          push_ev t (now t + (4 * wire t)) (Ev_connect cl);
+          Kstats.incr t.stats t.st_redials;
+          push_ev t (now t + backoff_delay t cl) (Ev_connect cl);
           [ lid ]
       | C_refused ->
-          push_ev t (now t + (4 * wire t)) (Ev_connect cl);
+          Kstats.incr t.stats t.st_redials;
+          push_ev t (now t + backoff_delay t cl) (Ev_connect cl);
           [])
-  | Ev_deliver { cl; data } -> (
-      match Hashtbl.find_opt t.socks cl.cl_conn with
-      | Some (S_conn c) when not c.cn_closed ->
-          let len = String.length data in
-          let n = deliver_bytes t c data 0 len in
-          if n < len then
-            push_ev t
-              (now t + (max 1 (wire t / 4)))
-              (Ev_deliver { cl; data = String.sub data n (len - n) });
-          [ c.cn_id ]
+  | Ev_deliver cl -> (
+      match (Hashtbl.find_opt t.socks cl.cl_conn, cl.cl_txq) with
+      | Some (S_conn c), data :: rest when not c.cn_closed ->
+          if Kfault.fire t.fault t.site_wire_drop then begin
+            (* the frame vanishes on the wire; the client's retransmit
+               timer re-sends the whole payload after a backoff.  The
+               data stays at the head of the tx queue, so pipelined
+               frames behind it wait their turn, as TCP's sequence
+               numbers would make them *)
+            Kstats.incr t.stats t.st_retransmits;
+            (match port_state t cl.cl_port with
+            | Some ps -> ps.ps_retrans <- ps.ps_retrans + 1
+            | None -> ());
+            Kperf.instant (Kernel.perf t.kn) ~arg:cl.cl_port ~cat:"retry"
+              ~name:"net.retransmit" ();
+            push_ev t (now t + backoff_delay t cl) (Ev_deliver cl);
+            [ c.cn_id ]
+          end
+          else begin
+            cl.cl_fails <- 0;
+            let len = String.length data in
+            let n = deliver_bytes t c data 0 len in
+            if n < len then begin
+              cl.cl_txq <- String.sub data n (len - n) :: rest;
+              push_ev t (now t + (max 1 (wire t / 4))) (Ev_deliver cl)
+            end
+            else cl.cl_txq <- rest;
+            [ c.cn_id ]
+          end
       | _ -> [])
   | Ev_drain id -> (
       match Hashtbl.find_opt t.socks id with
@@ -538,7 +593,17 @@ let recv t ~sock ~len =
       let avail = Bq.length c.cn_recv in
       if avail = 0 then
         if c.cn_peer_closed then Ok Bytes.empty else Error V.EAGAIN
-      else Ok (Bq.take c.cn_recv (min (max 0 len) avail))
+      else begin
+        let want = min (max 0 len) avail in
+        (* injected short read: the NIC handed over only part of the
+           queued bytes; callers loop on recv, so streams stay intact *)
+        let want =
+          if want > 1 && Kfault.fire t.fault t.site_recv_short then
+            (want + 1) / 2
+          else want
+        in
+        Ok (Bq.take c.cn_recv want)
+      end
 
 let schedule_drain t c =
   if (not c.cn_drain_scheduled) && Bq.length c.cn_send > 0 then begin
@@ -749,6 +814,7 @@ module Traffic = struct
         ps_completed = 0;
         ps_responses = 0;
         ps_drops = 0;
+        ps_retrans = 0;
         ps_digests = Array.make spec.conns "";
       }
     in
@@ -770,8 +836,10 @@ module Traffic = struct
           cl_body_left = 0;
           cl_sent_at = Queue.create ();
           cl_span = Queue.create ();
+          cl_txq = [];
           cl_resp = Buffer.create 256;
           cl_finished = false;
+          cl_fails = 0;
         }
       in
       push_ev t (now t + spec.start + (i * spec.spacing)) (Ev_connect cl)
@@ -785,6 +853,9 @@ module Traffic = struct
 
   let drops t ~port =
     match port_state t port with Some ps -> ps.ps_drops | None -> 0
+
+  let retransmits t ~port =
+    match port_state t port with Some ps -> ps.ps_retrans | None -> 0
 
   let digest t ~port =
     match port_state t port with

@@ -149,6 +149,10 @@ module Traffic : sig
 
   val drops : t -> port:int -> int
 
+  (** Wire frames lost to injected faults and re-sent after backoff —
+      the congestion signal a server's load-shedding can watch. *)
+  val retransmits : t -> port:int -> int
+
   (** Digest over every connection's full response byte stream, in
       connection-arrival order — equal iff two runs served byte-identical
       streams. *)

@@ -44,6 +44,9 @@ type t = {
   s_hits : Kstats.counter;
   s_misses : Kstats.counter;
   s_compiles : Kstats.counter;
+  s_invalidations : Kstats.counter;
+  fault : Kfault.t;
+  site_invalidate : Kfault.site;
 }
 
 let create ?(cache_capacity = 64) kv sys =
@@ -67,6 +70,9 @@ let create ?(cache_capacity = 64) kv sys =
     s_hits = Kstats.counter kstats "kopt.cache.hits";
     s_misses = Kstats.counter kstats "kopt.cache.misses";
     s_compiles = Kstats.counter kstats "kopt.cache.compiles";
+    s_invalidations = Kstats.counter kstats "kopt.cache.invalidations";
+    fault = Kernel.fault kernel;
+    site_invalidate = Kfault.register (Kernel.fault kernel) "kopt.cache_invalidate";
   }
 
 let hits t = t.hits
@@ -84,7 +90,19 @@ let try_plan t ~shared_size compound =
   Ksim.Sim_clock.advance clock cost.Ksim.Cost_model.kopt_cache_probe;
   let pid = (Kernel.current t.kernel).Ksim.Kproc.pid in
   let key = (pid, Digest.string (Bytes.to_string compound.Cosy.Compound.buf)) in
-  match Hashtbl.find_opt t.cache key with
+  (* injected cache invalidation: the entry is dropped at the moment of
+     the probe (as if the process's cache had been flushed), turning the
+     hit into a miss — the compound recompiles, observably identical *)
+  let probe = Hashtbl.find_opt t.cache key in
+  let probe =
+    match probe with
+    | Some _ when Kfault.fire t.fault t.site_invalidate ->
+        Hashtbl.remove t.cache key;
+        Kstats.incr t.kstats t.s_invalidations;
+        None
+    | p -> p
+  in
+  match probe with
   | Some plan ->
       t.hits <- t.hits + 1;
       Kstats.incr t.kstats t.s_hits;

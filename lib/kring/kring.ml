@@ -65,7 +65,10 @@ type t = {
   st_crossings_saved : Kstats.counter;
   st_opt_fused : Kstats.counter;
   st_opt_cq_saved : Kstats.counter;
+  st_partial : Kstats.counter;
   st_batch : Kstats.hist;
+  fault : Kfault.t;
+  site_partial : Kfault.site;
 }
 
 let create ?(sq_entries = 64) ?cq_entries ?(shared_size = 65536) ?policy sys =
@@ -83,7 +86,8 @@ let create ?(sq_entries = 64) ?cq_entries ?(shared_size = 65536) ?policy sys =
       sys;
       shared = Cosy.Shared_buffer.create ~stats:kstats shared_size;
       safety =
-        Cosy.Cosy_safety.create ~policy ~clock:(Ksim.Kernel.clock kernel) ~cost;
+        Cosy.Cosy_safety.create ~fault:(Ksim.Kernel.fault kernel) ~policy
+          ~clock:(Ksim.Kernel.clock kernel) ~cost ();
       sq_entries;
       cq_entries = (match cq_entries with Some n -> n | None -> 2 * sq_entries);
       sq = Queue.create ();
@@ -103,7 +107,10 @@ let create ?(sq_entries = 64) ?cq_entries ?(shared_size = 65536) ?policy sys =
       st_crossings_saved = Kstats.counter kstats "ring.crossings_saved";
       st_opt_fused = Kstats.counter kstats "ring.opt.fused_pairs";
       st_opt_cq_saved = Kstats.counter kstats "ring.opt.cq_bytes_saved";
+      st_partial = Kstats.counter kstats "ring.partial";
       st_batch = Kstats.histogram kstats "ring.batch.size";
+      fault = Ksim.Kernel.fault kernel;
+      site_partial = Kfault.register (Ksim.Kernel.fault kernel) "ring.partial_enter";
     }
   in
   (* sys_ring_setup: mapping the rings is one ordinary syscall, the
@@ -247,10 +254,30 @@ let enter t =
          like a compound's back-edge *)
       Ksim.Scheduler.checkpoint (Ksim.Kernel.sched kernel)
     in
+    (* Any way a batch stops before draining its SQ — watchdog kill,
+       flow-violation kill, or an injected partial completion — counts
+       in ring.partial and leaves a kperf instant whose arg names the
+       index of the first op that did not complete. *)
+    let note_partial () =
+      Kstats.incr t.kstats t.st_partial;
+      Kperf.instant perf ~pid ~arg:!pos ~cat:"ring" ~name:"partial" ()
+    in
+    let stop_partial = ref false in
     (try
        while
-         (not (Queue.is_empty t.sq)) && Queue.length t.cq < t.cq_entries
+         (not !stop_partial)
+         && (not (Queue.is_empty t.sq))
+         && Queue.length t.cq < t.cq_entries
        do
+         (* injected partial enter: the kernel stay is cut short after
+            at least one completion (a zero-progress cut would make the
+            caller's drain loop spin); the epilogue below runs normally
+            and the SQ remainder survives for the next enter *)
+         if !completed > 0 && Kfault.fire t.fault t.site_partial then begin
+           note_partial ();
+           stop_partial := true
+         end
+         else begin
          let fused =
            match batch_plan with
            | Some p ->
@@ -282,6 +309,7 @@ let enter t =
            dispatch_one ();
            if not verified then Cosy.Cosy_safety.watchdog_check t.safety
          end
+         end
        done;
        if Queue.is_empty t.sq then t.sq_bytes <- 0;
        (match batch_plan with
@@ -302,6 +330,7 @@ let enter t =
       | Ksyscall.Usyscall.Flow_violation _) as e ->
         (* same fate as a runaway compound (§2.3): the offender dies —
            whether the watchdog fired or the syscall-flow gate killed *)
+        note_partial ();
         let offender = Ksim.Kernel.current kernel in
         Ksim.Kernel.exit_kernel kernel;
         Ksim.Scheduler.kill (Ksim.Kernel.sched kernel) offender;
@@ -333,8 +362,14 @@ let reap_all t =
    submission order. *)
 let run_batch t reqs =
   let acc = ref [] in
+  (* loop until the SQ is drained: a partial enter (CQ filled up, or an
+     injected kfault cut) leaves a remainder that the next enter picks
+     up, so one logical drain may take several kernel stays *)
   let drain () =
-    ignore (enter t);
+    while sq_depth t > 0 do
+      ignore (enter t);
+      acc := List.rev_append (reap_all t) !acc
+    done;
     acc := List.rev_append (reap_all t) !acc
   in
   List.iter

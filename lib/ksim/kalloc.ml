@@ -43,6 +43,9 @@ type t = {
   mutable vm_pages_high_water : int;
   mutable vm_bytes_requested : int;
   mutable vm_allocs : int;
+  (* fault injection: the kernel wires the engine right after boot (the
+     engine needs the kstats registry that Kernel.create also owns) *)
+  mutable fault : (Kfault.t * Kfault.site * Kfault.site) option;
 }
 
 (* Virtual layout of the simulated kernel address space, in pages. *)
@@ -77,7 +80,12 @@ let create ?(stats = Kstats.create ()) ~space ~clock ~cost () =
     vm_pages_high_water = 0;
     vm_bytes_requested = 0;
     vm_allocs = 0;
+    fault = None;
   }
+
+let set_fault t kf =
+  t.fault <-
+    Some (kf, Kfault.register kf "kalloc.kmalloc", Kfault.register kf "kalloc.vmalloc")
 
 exception Out_of_memory of string
 
@@ -90,6 +98,10 @@ let kmalloc t size =
   Sim_clock.advance t.clock t.cost.Cost_model.kmalloc_cost;
   Kstats.incr t.stats t.st_kmallocs;
   Kstats.add t.stats t.st_alloc_bytes size;
+  (match t.fault with
+  | Some (kf, km, _) when Kfault.fire kf km ->
+      raise (Out_of_memory "kmalloc: injected failure (kfault)")
+  | _ -> ());
   (* align to 8 bytes like the slab allocator's minimum object size *)
   let size = (size + 7) land lnot 7 in
   if size > t.slab_left then begin
@@ -124,6 +136,10 @@ let kfree t addr =
 let vmalloc ?(guard = false) ?(align_end = true) t size =
   if size <= 0 then invalid_arg "vmalloc: size";
   Sim_clock.advance t.clock t.cost.Cost_model.vmalloc_cost;
+  (match t.fault with
+  | Some (kf, _, vm) when Kfault.fire kf vm ->
+      raise (Out_of_memory "vmalloc: injected failure (kfault)")
+  | _ -> ());
   let npages = pages_for t size in
   let total = npages + (if guard then 1 else 0) in
   if t.vm_next_vpn + total + 1 > t.vm_end_vpn then

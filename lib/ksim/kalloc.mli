@@ -32,8 +32,15 @@ val create :
 
 exception Out_of_memory of string
 
+(** Wire the fault-injection engine: registers the [kalloc.kmalloc] and
+    [kalloc.vmalloc] sites (an armed plan makes the corresponding
+    allocator raise {!Out_of_memory} as if the region were exhausted).
+    The kernel calls this once at boot. *)
+val set_fault : t -> Kfault.t -> unit
+
 (** Slab allocation; 8-byte aligned.  @raise Invalid_argument on
-    non-positive size, {!Out_of_memory} when the region is exhausted. *)
+    non-positive size, {!Out_of_memory} when the region is exhausted
+    (or a kfault plan fires). *)
 val kmalloc : t -> int -> int
 
 (** @raise Invalid_argument if the address is not a live kmalloc. *)

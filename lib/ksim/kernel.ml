@@ -25,6 +25,7 @@ type t = {
   sched : Scheduler.t;
   kstats : Kstats.t;           (* kernel-wide metrics registry *)
   perf : Kperf.t;              (* trace rings + causal spans *)
+  fault : Kfault.t;            (* deterministic fault injection *)
   st_crossings : Kstats.counter;
   st_bytes_in : Kstats.counter;
   st_bytes_out : Kstats.counter;
@@ -73,6 +74,16 @@ let create ?(config = default_config) () =
       ()
   in
   Scheduler.set_perf sched perf;
+  (* Like the tracer, the fault engine sits below ksim and gets the
+     clock as a closure.  Disarmed (always, until a harness arms a
+     plan) every site probe is one branch and nothing else runs. *)
+  let fault =
+    Kfault.create ~enabled:!Kfault.default_enabled ~stats:kstats
+      ~now:(fun () -> Sim_clock.now clock)
+      ()
+  in
+  Kfault.set_perf fault (Some perf);
+  Kalloc.set_fault alloc fault;
   let k =
     {
       config;
@@ -84,6 +95,7 @@ let create ?(config = default_config) () =
       sched;
       kstats;
       perf;
+      fault;
       st_crossings = Kstats.counter kstats "kernel.crossings";
       st_bytes_in = Kstats.counter kstats "kernel.bytes_from_user";
       st_bytes_out = Kstats.counter kstats "kernel.bytes_to_user";
@@ -107,6 +119,7 @@ let alloc t = t.alloc
 let sched t = t.sched
 let stats t = t.kstats
 let perf t = t.perf
+let fault t = t.fault
 let now t = Sim_clock.now t.clock
 let current t = Scheduler.current t.sched
 let mode t = t.mode

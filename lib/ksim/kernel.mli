@@ -49,6 +49,12 @@ val stats : t -> Kstats.t
     [Cost_model.trace_emit] cycles. *)
 val perf : t -> Kperf.t
 
+(** The deterministic fault-injection engine.  Every kernel carries
+    one; until a harness arms a plan ([Kfault.arm]) each registered
+    fault site costs a single branch and the run is bit-for-bit
+    identical to a kernel built without kfault. *)
+val fault : t -> Kfault.t
+
 (** Current virtual time, in cycles. *)
 val now : t -> int
 

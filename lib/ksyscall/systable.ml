@@ -37,6 +37,12 @@ type t = {
   st_counters : (Sysno.t, Kstats.counter) Hashtbl.t;
   st_hists : (Sysno.t, Kstats.hist) Hashtbl.t;
   st_total : Kstats.counter;
+  (* boundary fault sites + the EINTR-restart retry counter *)
+  fault : Kfault.t;
+  site_eintr : Kfault.site;
+  site_eagain : Kfault.site;
+  st_eintr_restarts : Kstats.counter;
+  st_eagain_injected : Kstats.counter;
 }
 
 let create ?root_fs ?dcache_shards kernel =
@@ -52,9 +58,26 @@ let create ?root_fs ?dcache_shards kernel =
     st_counters = Hashtbl.create 64;
     st_hists = Hashtbl.create 64;
     st_total = Kstats.counter (Ksim.Kernel.stats kernel) "syscall.total";
+    fault = Ksim.Kernel.fault kernel;
+    site_eintr = Kfault.register (Ksim.Kernel.fault kernel) "syscall.eintr";
+    site_eagain = Kfault.register (Ksim.Kernel.fault kernel) "syscall.eagain";
+    st_eintr_restarts =
+      Kstats.counter (Ksim.Kernel.stats kernel) "retry.eintr_restarts";
+    st_eagain_injected =
+      Kstats.counter (Ksim.Kernel.stats kernel) "retry.eagain_injected";
   }
 
 let kernel t = t.kernel
+let fault t = t.fault
+let eintr_site t = t.site_eintr
+let eagain_site t = t.site_eagain
+
+let count_eintr_restart t =
+  Kstats.incr (Ksim.Kernel.stats t.kernel) t.st_eintr_restarts
+
+let count_eagain_injected t =
+  Kstats.incr (Ksim.Kernel.stats t.kernel) t.st_eagain_injected
+
 let vfs t = t.vfs
 let net t = t.net
 

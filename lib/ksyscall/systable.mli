@@ -24,6 +24,16 @@ val create :
 val kernel : t -> Ksim.Kernel.t
 val vfs : t -> Kvfs.Vfs.t
 
+(** Boundary fault sites ([syscall.eintr], [syscall.eagain]) consulted
+    by [Usyscall.invoke]'s plain dispatch path, plus the retry
+    counters its restart logic feeds. *)
+val fault : t -> Kfault.t
+
+val eintr_site : t -> Kfault.site
+val eagain_site : t -> Kfault.site
+val count_eintr_restart : t -> unit
+val count_eagain_injected : t -> unit
+
 (** The simulated socket stack booted alongside the VFS. *)
 val net : t -> Knet.t
 

@@ -205,6 +205,47 @@ let invoke ?(origin = Plain) sys (req : Syscall.req) : Syscall.reply =
             Kperf.span_end perf ~pid span;
             raise (Flow_violation { pid; sysno })
       in
+      (* Injected boundary faults, consulted once the gate has allowed
+         the request but before any work happens.
+
+         EINTR restart: a signal lands during the entry path; like
+         ERESTARTSYS, the kernel returns to user mode and the libc stub
+         transparently re-issues the call — a full exit/enter round
+         trip charged per restart (retry.eintr_restarts).  A plan
+         hammering the site eventually exhausts the restart budget and
+         the interruption surfaces as a clean [Error EINTR].
+
+         Spurious EAGAIN: the wakeup raced the readiness check.  Only
+         injected on [Recv]/[Accept] — the calls whose contract already
+         includes would-block — so callers' existing retry loops absorb
+         it (retry.eagain_injected). *)
+      let denied =
+        match denied with
+        | Some _ -> denied
+        | None ->
+            let fa = Systable.fault sys in
+            let rec restart n =
+              if not (Kfault.fire fa (Systable.eintr_site sys)) then None
+              else begin
+                Systable.count_eintr_restart sys;
+                Kperf.instant perf ~pid ~cat:"retry" ~name:"eintr_restart" ();
+                exit sys;
+                enter sys;
+                if n + 1 >= 8 then Some Kvfs.Vtypes.EINTR
+                else restart (n + 1)
+              end
+            in
+            let eintr = restart 0 in
+            if eintr <> None then eintr
+            else begin
+              match req with
+              | Syscall.Recv _ | Syscall.Accept _
+                when Kfault.fire fa (Systable.eagain_site sys) ->
+                  Systable.count_eagain_injected sys;
+                  Some Kvfs.Vtypes.EAGAIN
+              | _ -> None
+            end
+      in
       let reply =
         match denied with
         | Some e -> Error e   (* rejected before argument copy-in *)

@@ -24,8 +24,17 @@ type t = {
   st_cache_hits : Kstats.counter;
   st_cache_misses : Kstats.counter;
   st_evictions : Kstats.counter;
+  st_rereads : Kstats.counter;        (* short transfers retried *)
+  fault : Kfault.t;
+  site_eio : Kfault.site;
+  site_short : Kfault.site;
   mutable last_block : int;           (* for seek-distance modelling *)
 }
+
+(* An uncorrectable read error on the given block: the driver gave up
+   after its own retries.  Filesystems translate this to EIO at the ops
+   boundary (see Fs_guard) so user land sees a clean errno. *)
+exception Io_error of int
 
 let create ?(block_size = 4096) ?(cache_blocks = 150_000)
     ?(policy = Second_chance) kernel =
@@ -43,6 +52,11 @@ let create ?(block_size = 4096) ?(cache_blocks = 150_000)
     st_cache_hits = Kstats.counter kstats "blockdev.cache_hits";
     st_cache_misses = Kstats.counter kstats "blockdev.cache_misses";
     st_evictions = Kstats.counter kstats "blockdev.evictions";
+    st_rereads = Kstats.counter kstats "retry.blockdev_rereads";
+    fault = Ksim.Kernel.fault kernel;
+    site_eio = Kfault.register (Ksim.Kernel.fault kernel) "blockdev.read_eio";
+    site_short =
+      Kfault.register (Ksim.Kernel.fault kernel) "blockdev.read_short";
     last_block = 0;
   }
 
@@ -102,7 +116,21 @@ let read_block t blk =
       let span =
         Kperf.span_begin perf ~arg:blk ~cat:"io" ~name:"blockdev.read" ()
       in
-      charge t (seek_cost t blk + cost.Ksim.Cost_model.disk_read_block);
+      charge t (seek_cost t blk);
+      (* injected short transfer: the driver re-issues the read, so the
+         block costs an extra partial transfer but no error escapes *)
+      if Kfault.fire t.fault t.site_short then begin
+        charge t (cost.Ksim.Cost_model.disk_read_block / 2);
+        Kstats.incr t.kstats t.st_rereads;
+        Kperf.instant perf ~arg:blk ~cat:"retry" ~name:"blockdev.reread" ()
+      end;
+      (* injected hard failure: the driver's retries are exhausted *)
+      if Kfault.fire t.fault t.site_eio then begin
+        charge t cost.Ksim.Cost_model.disk_read_block;
+        Kperf.span_end perf ~arg:blk span;
+        raise (Io_error blk)
+      end;
+      charge t cost.Ksim.Cost_model.disk_read_block;
       Kperf.span_end perf ~arg:blk span;
       touch t blk
 

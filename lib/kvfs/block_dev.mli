@@ -18,6 +18,15 @@ type t
 
 type policy = Fifo | Second_chance
 
+(** An uncorrectable read error on the given block, raised when the
+    kfault site [blockdev.read_eio] fires: the simulated driver's own
+    retries are exhausted.  [Fs_guard] translates it to [EIO] at the
+    VFS boundary.  The sibling site [blockdev.read_short] is
+    self-recovering — the transfer is re-issued at the cost of an extra
+    partial read (counted in [retry.blockdev_rereads]) and no error
+    escapes. *)
+exception Io_error of int
+
 (** [cache_blocks] defaults to ~150k blocks (≈600 MB, the page cache of
     the paper's 884 MB testbed); [policy] defaults to [Second_chance]. *)
 val create :

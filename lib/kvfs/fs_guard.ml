@@ -1,0 +1,37 @@
+(* Exception-to-errno boundary for filesystem operations.
+
+   Kernel-internal failures surface as OCaml exceptions (an exhausted —
+   or kfault-injected — allocator raises [Kalloc.Out_of_memory], a bad
+   sector raises [Block_dev.Io_error]).  Real kernels translate these
+   to errnos at the VFS boundary rather than letting them unwind into
+   user land; [ops] does the same for an entire [Vtypes.ops] record, so
+   the VFS can wrap every mounted filesystem once and injected faults
+   always reach the syscall layer as clean [Error ENOMEM] / [Error EIO]
+   results. *)
+
+let errno_of_exn = function
+  | Ksim.Kalloc.Out_of_memory _ -> Some Vtypes.ENOMEM
+  | Block_dev.Io_error _ -> Some Vtypes.EIO
+  | _ -> None
+
+let guard f =
+  try f () with
+  | e -> (
+      match errno_of_exn e with Some errno -> Error errno | None -> raise e)
+
+let ops (o : Vtypes.ops) =
+  {
+    o with
+    Vtypes.lookup = (fun ~dir name -> guard (fun () -> o.Vtypes.lookup ~dir name));
+    create = (fun ~dir ~name kind -> guard (fun () -> o.Vtypes.create ~dir ~name kind));
+    unlink = (fun ~dir ~name -> guard (fun () -> o.Vtypes.unlink ~dir ~name));
+    readdir = (fun ~dir -> guard (fun () -> o.Vtypes.readdir ~dir));
+    getattr = (fun ~ino -> guard (fun () -> o.Vtypes.getattr ~ino));
+    read = (fun ~ino ~off ~len -> guard (fun () -> o.Vtypes.read ~ino ~off ~len));
+    write = (fun ~ino ~off ~data -> guard (fun () -> o.Vtypes.write ~ino ~off ~data));
+    truncate = (fun ~ino ~size -> guard (fun () -> o.Vtypes.truncate ~ino ~size));
+    rename =
+      (fun ~src_dir ~src ~dst_dir ~dst ->
+        guard (fun () -> o.Vtypes.rename ~src_dir ~src ~dst_dir ~dst));
+    fsync = (fun ~ino -> guard (fun () -> o.Vtypes.fsync ~ino));
+  }

@@ -28,6 +28,9 @@ let create ?(root_fs : Vtypes.ops option) ?(dcache_shards = 1) kernel =
     | Some fs -> fs
     | None -> Memfs.ops (Memfs.create kernel)
   in
+  (* every mounted fs gets the exception-to-errno boundary, so injected
+     kernel failures (kfault ENOMEM/EIO) surface as clean errnos *)
+  let root_fs = Fs_guard.ops root_fs in
   {
     kernel;
     dcache =
@@ -48,7 +51,7 @@ let cur_pid t = (Ksim.Kernel.current t.kernel).Ksim.Kproc.pid
 
 let mount t ~prefix ~fs =
   if prefix = "" || prefix.[0] <> '/' then invalid_arg "Vfs.mount: prefix";
-  t.mounts <- { prefix; fs } :: t.mounts;
+  t.mounts <- { prefix; fs = Fs_guard.ops fs } :: t.mounts;
   (* keep longest prefixes first so resolution picks the innermost mount *)
   t.mounts <-
     List.sort

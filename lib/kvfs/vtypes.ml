@@ -15,6 +15,9 @@ type errno =
   | EFAULT
   | ENAMETOOLONG
   | EROFS
+  | EINTR         (* syscall interrupted before any work (kfault EINTR) *)
+  | EIO           (* block device read failure (kfault blockdev.read_eio) *)
+  | ENOMEM        (* kernel allocation failure (kfault kalloc sites) *)
   | EAGAIN        (* operation would block (empty recvq, empty backlog) *)
   | ENOTSOCK      (* socket operation on a non-socket descriptor *)
   | EADDRINUSE    (* bind to a port another listener owns *)
@@ -35,6 +38,9 @@ let errno_to_string = function
   | EFAULT -> "EFAULT"
   | ENAMETOOLONG -> "ENAMETOOLONG"
   | EROFS -> "EROFS"
+  | EINTR -> "EINTR"
+  | EIO -> "EIO"
+  | ENOMEM -> "ENOMEM"
   | EAGAIN -> "EAGAIN"
   | ENOTSOCK -> "ENOTSOCK"
   | EADDRINUSE -> "EADDRINUSE"
@@ -59,6 +65,9 @@ let errno_code = function
   | EFAULT -> 14
   | ENAMETOOLONG -> 36
   | EROFS -> 30
+  | EINTR -> 4
+  | EIO -> 5
+  | ENOMEM -> 12
   | EAGAIN -> 11
   | ENOTSOCK -> 88
   | EADDRINUSE -> 98
@@ -69,14 +78,18 @@ let errno_code = function
 let all_errnos =
   [
     EPERM; ENOENT; EEXIST; ENOTDIR; EISDIR; EBADF; EINVAL; ENOTEMPTY; ENOSPC;
-    EFAULT; ENAMETOOLONG; EROFS; EAGAIN; ENOTSOCK; EADDRINUSE; ENOBUFS;
-    ETIMEDOUT; ECONNREFUSED;
+    EFAULT; ENAMETOOLONG; EROFS; EINTR; EIO; ENOMEM; EAGAIN; ENOTSOCK;
+    EADDRINUSE; ENOBUFS; ETIMEDOUT; ECONNREFUSED;
   ]
 
 (* Every rejection path maps to its own documented errno — a failed
    lookup on a genuinely unknown code is the caller's bug, not a shared
    catch-all:
      EPERM         kverify admission denial (SFI policy [Deny])
+     EINTR         kfault-injected interrupt that exhausted the kernel's
+                   transparent restart budget (see Usyscall)
+     EIO           injected block-device read failure (kfault)
+     ENOMEM        injected kalloc exhaustion surfacing to user land
      EAGAIN        would-block only: empty recvq / empty accept backlog
      ENOBUFS       send queue completely full
      ETIMEDOUT     connect SYN dropped by a full accept backlog

@@ -1,0 +1,69 @@
+(** The systematic resilience sweep (FATE-style).
+
+    One standard workload — file tree, direct vmalloc, optimized and
+    plain Cosy compounds, a submission ring, the knet webserver — boots
+    a fresh system and reaches every fault site kfault registers.  The
+    sweep runs it once in counting mode to learn how often each site is
+    reached, then once per (site, occurrence) under a {!Kfault.One_shot}
+    plan, classifying each run against the fault-free baseline:
+
+    - {e Identical}: payload digest matches the baseline and no error
+      surfaced — the fault was absorbed transparently (a reread block,
+      a retransmitted frame, a restarted syscall).
+    - {e Degraded}: the run failed {e cleanly} — every surfaced error
+      is a typed errno (or a watchdog kill), nothing escaped.
+    - {e Violation}: an unexpected exception escaped the workload, or
+      the payload silently changed with no error surfaced.
+
+    A correct kernel sweeps with zero violations; [bin/kfault_tool.exe
+    sweep] exits nonzero otherwise. *)
+
+(** One run of the standard workload. *)
+type run_result = {
+  r_cycles : int;  (** simulated clock at the end of the run *)
+  r_digest : string;  (** hex digest over every payload byte observed *)
+  r_errs : string list;
+      (** clean failures, in order, as ["phase:ERRNO"] strings *)
+  r_killed : int;  (** watchdog / flow-gate kills (clean by definition) *)
+  r_escaped : string option;  (** exception that escaped a phase — a violation *)
+  r_counts : (string * int * int) list;
+      (** per-site (name, occurrences, fires) from the engine *)
+  r_stats : string;  (** rendered kstats report, for identity checks *)
+}
+
+(** Run the standard workload on a fresh system under [plans]
+    (default: empty = counting mode).  Never raises: anything a phase
+    throws beyond clean errnos/kills lands in [r_escaped]. *)
+val run : ?plans:Kfault.plan list -> unit -> run_result
+
+type outcome = Identical | Degraded | Violation
+
+val outcome_to_string : outcome -> string
+
+(** [classify ~baseline r] applies the sweep invariants. *)
+val classify : baseline:run_result -> run_result -> outcome * string
+
+type sweep_row = {
+  sw_site : string;
+  sw_occurrence : int;
+  sw_outcome : outcome;
+  sw_errs : string list;
+  sw_detail : string;  (** escaped exception / mismatch explanation *)
+}
+
+type sweep_result = {
+  baseline : run_result;
+  rows : sweep_row list;
+  violations : int;
+}
+
+(** Run the whole sweep: baseline in counting mode, then one run per
+    (site, occurrence) point — every occurrence of every reached site,
+    or an evenly spaced sample of [max_per_site] per site.  [progress]
+    is called before each injection run with (index, total, site,
+    occurrence). *)
+val sweep :
+  ?max_per_site:int ->
+  ?progress:(int -> int -> string -> int -> unit) ->
+  unit ->
+  sweep_result

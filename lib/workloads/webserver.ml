@@ -203,6 +203,15 @@ type net_config = {
       (* Net_ring only: how to build the submission ring.  Harnesses
          that want admission/optimization attached (Core.ring wiring)
          pass their own factory; [None] keeps the plain default. *)
+  shed : bool;
+      (* graceful load shedding: when the accept backlog overflows (a
+         drop burst, e.g. under injected wire faults the retransmit
+         storm keeps connections alive longer), serve the next few
+         requests as header-only empty-body responses instead of the
+         document — cheap enough to drain the backlog before more
+         arrivals are refused.  Off by default: with [shed = false] the
+         response stream is byte-identical to a server without the
+         feature. *)
 }
 
 let net_default_config =
@@ -221,6 +230,7 @@ let net_default_config =
     think = 1_000;
     start = 1_000;
     make_ring = None;
+    shed = false;
   }
 
 let net_setup ?(config = net_default_config) sys = setup ~config:config.docs sys
@@ -268,6 +278,10 @@ type net_t = {
   mutable ninit : bool;
   mutable nserved : int;          (* responses generated *)
   mutable nsent : int;            (* bytes queued into socket send buffers *)
+  mutable nshed : int;            (* header-only responses served *)
+  mutable ndrops_seen : int;      (* backlog drops already accounted *)
+  mutable nshed_budget : int;     (* responses left to shed this burst *)
+  mutable nshed_counter : Kstats.counter option;  (* web.shed_responses *)
 }
 
 type net_stats = {
@@ -275,6 +289,7 @@ type net_stats = {
   n_sent : int;
   n_completed : int;   (* connections fully served, client's view *)
   n_drops : int;       (* accept-backlog overflows *)
+  n_shed : int;        (* header-only responses under load shedding *)
   n_digest : string;   (* client-side digest of every response stream *)
   n_times : Ksim.Kernel.times;
 }
@@ -291,6 +306,10 @@ let net_make ?(config = net_default_config) sys =
     ninit = false;
     nserved = 0;
     nsent = 0;
+    nshed = 0;
+    ndrops_seen = 0;
+    nshed_budget = 0;
+    nshed_counter = None;
   }
 
 (* Lazy init on the first [net_step] so the fds land in the stepping
@@ -341,6 +360,12 @@ let net_init t =
         (fun ~conn ~req ->
           Printf.sprintf "GET %d\n" (net_doc_index cfg ~conn ~req));
     };
+  if cfg.shed then
+    t.nshed_counter <-
+      Some
+        (Kstats.counter
+           (Ksim.Kernel.stats (Ksyscall.Systable.kernel sys))
+           "web.shed_responses");
   t.ninit <- true
 
 let net_fail e =
@@ -370,10 +395,41 @@ let net_parse_doc line =
   | None ->
       raise (Wutil.Workload_error ("webserver/net: bad request " ^ line))
 
+(* Load shedding: each accept-backlog drop beyond what we have already
+   accounted buys a small budget of header-only responses.  Shedding a
+   request skips the whole file side (no open/read/sendfile) and sends
+   an 8-byte empty-body frame, so the event loop gets back to accepting
+   before the backlog refills. *)
+let net_check_shed t =
+  if t.ncfg.shed then begin
+    let net = Ksyscall.Systable.net t.nsys in
+    (* both congestion signals the NIC exposes: connections refused at
+       the backlog, and wire frames lost and retransmitted *)
+    let drops =
+      Knet.Traffic.drops net ~port:t.ncfg.port
+      + Knet.Traffic.retransmits net ~port:t.ncfg.port
+    in
+    if drops > t.ndrops_seen then begin
+      t.nshed_budget <- t.nshed_budget + (4 * (drops - t.ndrops_seen));
+      t.ndrops_seen <- drops
+    end
+  end;
+  t.nshed_budget > 0
+
 (* Produce one response's pending items.  This is where the variants
    differ on the file side of the request. *)
 let net_queue_response t cs idx =
   let sys = t.nsys in
+  if net_check_shed t then begin
+    t.nshed_budget <- t.nshed_budget - 1;
+    t.nshed <- t.nshed + 1;
+    (match t.nshed_counter with
+    | Some c -> Kstats.incr (Ksim.Kernel.stats (Ksyscall.Systable.kernel sys)) c
+    | None -> ());
+    cs.nc_pending <- cs.nc_pending @ [ Pbytes (net_header 0) ];
+    t.nserved <- t.nserved + 1
+  end
+  else begin
   (match t.ncfg.variant with
   | Net_naive ->
       let path = doc_name t.ncfg.docs idx in
@@ -399,7 +455,8 @@ let net_queue_response t cs idx =
         cs.nc_pending
         @ [ Pbytes (net_header size);
             Pfile { pf_fd = fd; pf_off = 0; pf_left = size } ]);
-  t.nserved <- t.nserved + 1
+    t.nserved <- t.nserved + 1
+  end
 
 (* Feed received bytes to the request parser; empty bytes from a plain
    recv mean end-of-stream. *)
@@ -693,6 +750,7 @@ let run_net ?(config = net_default_config) sys =
     n_sent = t.nsent;
     n_completed = Knet.Traffic.completed knet ~port:config.port;
     n_drops = Knet.Traffic.drops knet ~port:config.port;
+    n_shed = t.nshed;
     n_digest = Knet.Traffic.digest knet ~port:config.port;
     n_times = times;
   }
