@@ -1,4 +1,4 @@
-.PHONY: all build test bench-smoke bench-e14 bench-e15 bench-e16 bench-e17 bench-e18 kperf-smoke kverify-smoke kopt-smoke kfault-smoke check clean
+.PHONY: all build test bench-smoke bench-e14 bench-e15 bench-e16 bench-e17 bench-e18 bench-e19 kperf-smoke kverify-smoke kopt-smoke kfault-smoke kcrash-smoke check clean
 
 all: build
 
@@ -42,6 +42,12 @@ bench-e17:
 bench-e18:
 	dune exec bench/main.exe -- E18
 
+# The crash experiment at full scale: recovery time vs journal length,
+# oops-containment overhead (cycle-identical when quiet), the durable
+# WAL cost, and a sampled crash-point sweep, plus BENCH_kcrash.json.
+bench-e19:
+	dune exec bench/main.exe -- E19
+
 # Record a traced run, export it, and re-derive the folded/top views
 # from the exported JSON — exercises the whole tracer pipeline on a
 # tiny workload.
@@ -80,8 +86,17 @@ kfault-smoke:
 	dune exec bin/kfault_tool.exe -- run-plan syscall.eintr=once:1 net.wire_drop=nth:16
 	dune exec bin/kfault_tool.exe -- sweep --max-per-site 2
 
-check: build test bench-smoke kperf-smoke kverify-smoke kopt-smoke kfault-smoke
+# Inject a power loss at a capped set of durable-write boundaries and
+# assert every one recovers Consistent or Recovered (exit 1 on any
+# corruption), then crash one point verbosely and replay it through
+# reboot + fsck — exercises the whole kcrash containment/recovery
+# pipeline.
+kcrash-smoke:
+	dune exec bin/kcrash_tool.exe -- sweep --max-per-site 2
+	dune exec bin/kcrash_tool.exe -- crash-at 100
+
+check: build test bench-smoke kperf-smoke kverify-smoke kopt-smoke kfault-smoke kcrash-smoke
 
 clean:
 	dune clean
-	rm -f BENCH_kstats.json BENCH_kperf.json BENCH_kfault.json
+	rm -f BENCH_kstats.json BENCH_kperf.json BENCH_kfault.json BENCH_kcrash.json

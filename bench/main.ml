@@ -1564,6 +1564,168 @@ let e18 () =
   close_out oc;
   pf "\n  wrote BENCH_kfault.json\n"
 
+(* ----------------------------------------------------------------- E19 *)
+
+let e19 () =
+  header "E19" "kcrash: crash-consistent recovery + oops-containment overhead"
+    "no direct number — §4 (isolation and recovery) taken to its end \
+     state: a crashing extension must not take the kernel with it, and \
+     a power loss at any durable-write boundary must recover to a \
+     consistent filesystem; claims under test are zero-corruption \
+     across the crash-point sweep, recovery time linear in journal \
+     length, and containment machinery under a 2% cycle budget \
+     (measured: disarmed it is cycle-identical)";
+  let kcrash_rows = ref [] in
+  let row xid json =
+    kcrash_rows := json :: !kcrash_rows;
+    add_row xid json
+  in
+
+  (* --- recovery time vs. journal length: N create+write ops, power
+     loss, reboot from the image alone.  The whole history replays on
+     mount, so recovery cost should scale linearly with the WAL. *)
+  let crash_cfg =
+    {
+      Core.Config.default with
+      Core.Config.fs = Core.Journalfs;
+      crash = Some Core.Crash.default_config;
+    }
+  in
+  (* mount cost of an empty system, to isolate the replay itself *)
+  let fresh = Core.boot_with crash_cfg in
+  let mount_cy = Ksim.Kernel.now (Core.kernel fresh) in
+  pf "  %8s %12s %12s %14s %12s\n" "ops" "wal-records" "replayed"
+    "recovery(cyc)" "cyc/record";
+  List.iter
+    (fun n ->
+      let t = Core.boot_with crash_cfg in
+      let sys = Core.sys t in
+      ignore (Core.ok (Core.Syscall.sys_mkdir sys ~path:"/r"));
+      for i = 0 to n - 1 do
+        ignore
+          (Core.ok
+             (Core.Syscall.sys_open_write_close sys
+                ~path:(Printf.sprintf "/r/f%04d" i)
+                ~data:(Bytes.make (64 + (i mod 191)) 'r')
+                ~flags:Core.o_create))
+      done;
+      let t2 = Core.reboot t in
+      let recovery_cy = Ksim.Kernel.now (Core.kernel t2) - mount_cy in
+      let info =
+        match Core.journalfs t2 with
+        | Some j -> Kvfs.Journalfs.last_recover j
+        | None -> None
+      in
+      let scanned, replayed =
+        match info with
+        | Some i ->
+            (i.Kvfs.Journalfs.rec_scanned, i.Kvfs.Journalfs.rec_replayed)
+        | None -> (0, 0)
+      in
+      let fsck_errs =
+        match Core.journalfs t2 with
+        | Some j -> List.length (Kvfs.Journalfs.fsck j)
+        | None -> 1
+      in
+      if fsck_errs > 0 then pf "  !! %d ops: fsck errors after recovery\n" n;
+      pf "  %8d %12d %12d %14d %12.1f\n" n scanned replayed recovery_cy
+        (float_of_int recovery_cy /. float_of_int (max 1 scanned));
+      row "E19"
+        (Printf.sprintf
+           "{\"cell\":\"recovery\",\"ops\":%d,\"wal_records\":%d,\
+            \"replayed\":%d,\"recovery_cycles\":%d,\"fsck_errors\":%d}"
+           n scanned replayed recovery_cy fsck_errs))
+    (if !smoke then [ 10; 40 ] else [ 25; 100; 400; 1_600 ]);
+
+  (* --- containment overhead: the full resilience workload on a plain
+     system vs. one with the oops reaper installed (journal kept
+     non-durable so only the containment machinery differs).  Quiet,
+     the reaper is a never-taken hook: the budget is <2%, the
+     expectation is cycle-identical, kstats dump included. *)
+  let plain_cfg =
+    { Core.Config.default with Core.Config.fs = Core.Journalfs; optimize = true }
+  in
+  let contained_cfg =
+    {
+      plain_cfg with
+      Core.Config.crash =
+        Some { Core.Crash.contain = true; durable = false };
+    }
+  in
+  let r_plain, _ = Resilience.run_with ~config:plain_cfg () in
+  let r_cont, _ = Resilience.run_with ~config:contained_cfg () in
+  let overhead =
+    pct_over r_plain.Resilience.r_cycles r_cont.Resilience.r_cycles
+  in
+  let identical =
+    r_plain.Resilience.r_cycles = r_cont.Resilience.r_cycles
+    && r_plain.Resilience.r_digest = r_cont.Resilience.r_digest
+    && r_plain.Resilience.r_stats = r_cont.Resilience.r_stats
+  in
+  pf "  containment: plain %d cyc, contained %d cyc — %+.4f%% (%s)\n"
+    r_plain.Resilience.r_cycles r_cont.Resilience.r_cycles overhead
+    (if identical then "cycle-identical, kstats equal"
+     else "NOT identical");
+  if (not identical) || abs_float overhead >= 2.0 then
+    pf "  !! containment broke the disarmed-identity / 2%% budget\n";
+  row "E19"
+    (Printf.sprintf
+       "{\"cell\":\"containment\",\"plain_cycles\":%d,\
+        \"contained_cycles\":%d,\"overhead_pct\":%.4f,\"identical\":%b}"
+       r_plain.Resilience.r_cycles r_cont.Resilience.r_cycles overhead
+       identical);
+
+  (* --- durable-journal cost, for the record: the same workload with
+     write-ahead logging on (this one is allowed to cost cycles). *)
+  let r_wal, _ = Resilience.run_with ~config:Resilience.crash_config () in
+  pf "  durable WAL: %d cyc — %+.2f%% over plain\n"
+    r_wal.Resilience.r_cycles
+    (pct_over r_plain.Resilience.r_cycles r_wal.Resilience.r_cycles);
+  row "E19"
+    (Printf.sprintf
+       "{\"cell\":\"wal_cost\",\"plain_cycles\":%d,\"wal_cycles\":%d,\
+        \"overhead_pct\":%.4f}"
+       r_plain.Resilience.r_cycles r_wal.Resilience.r_cycles
+       (pct_over r_plain.Resilience.r_cycles r_wal.Resilience.r_cycles));
+
+  (* --- the crash-point sweep, sampled: power loss at evenly spaced
+     durable writes, reboot, classify.  Zero corrupt is the claim. *)
+  let s = Resilience.crash_sweep ~max_per_site:(sc 40) () in
+  let consistent, recovered =
+    List.fold_left
+      (fun (c, r) (cr : Resilience.crash_row) ->
+        match cr.Resilience.cr_class with
+        | Resilience.Consistent -> (c + 1, r)
+        | Resilience.Recovered -> (c, r + 1)
+        | Resilience.Corrupt -> (c, r))
+      (0, 0) s.Resilience.cs_rows
+  in
+  pf
+    "  crash sweep: %d/%d durable writes probed — %d consistent, %d \
+     recovered, %d corrupt\n"
+    (List.length s.Resilience.cs_rows)
+    s.Resilience.cs_points consistent recovered s.Resilience.cs_corrupt;
+  if s.Resilience.cs_corrupt > 0 then
+    pf "  !! corruption survived the journal\n";
+  row "E19"
+    (Printf.sprintf
+       "{\"cell\":\"crash_sweep\",\"reachable_points\":%d,\"probed\":%d,\
+        \"consistent\":%d,\"recovered\":%d,\"corrupt\":%d}"
+       s.Resilience.cs_points
+       (List.length s.Resilience.cs_rows)
+       consistent recovered s.Resilience.cs_corrupt);
+
+  let oc = open_out "BENCH_kcrash.json" in
+  output_string oc "{\"experiment\":\"E19\",\"rows\":[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then output_string oc ",";
+      output_string oc r)
+    (List.rev !kcrash_rows);
+  output_string oc "]}\n";
+  close_out oc;
+  pf "\n  wrote BENCH_kcrash.json\n"
+
 (* ------------------------------------------------- Bechamel microbench *)
 
 let micro () =
@@ -1634,7 +1796,7 @@ let all_experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
-    ("E17", e17); ("E18", e18) ]
+    ("E17", e17); ("E18", e18); ("E19", e19) ]
 
 (* --- machine-readable kstats output (BENCH_kstats.json) --------------- *)
 

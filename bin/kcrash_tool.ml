@@ -1,0 +1,208 @@
+(* kcrash_tool: drive the crash-point sweep and single crash/reboot
+   probes over the durable resilience workload.
+
+   Usage:
+     dune exec bin/kcrash_tool.exe -- sweep
+     dune exec bin/kcrash_tool.exe -- sweep --max-per-site 8 -v
+     dune exec bin/kcrash_tool.exe -- sweep --json BENCH_crash.json
+     dune exec bin/kcrash_tool.exe -- crash-at 42
+
+   [sweep] is the systematic power-loss exploration: the standard
+   workload runs on a durable journalfs system once in counting mode to
+   learn how many durable-write boundaries it crosses, then once per
+   (sampled) boundary with the blockdev.crash_point site armed One_shot
+   — power dies mid-write, the tool reboots from the persistent image
+   alone and classifies the survivor Consistent / Recovered / Corrupt.
+   Exits 1 on any Corrupt point, so it scripts like a test.
+
+   [crash-at N] runs a single crash at the Nth durable write and prints
+   the full recovery record (replayed/skipped/torn counts, fsck
+   verdict) plus any contained-oops reports from the dying run. *)
+
+open Cmdliner
+
+let write_metrics_json path ~id metrics =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"experiments\":[{\"id\":";
+  Buffer.add_string b (Printf.sprintf "%S" id);
+  Buffer.add_string b ",\"metrics\":{";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "%S:{\"type\":\"counter\",\"value\":%d}" name v))
+    metrics;
+  Buffer.add_string b "}}]}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc
+
+let sweep max_per_site verbose json =
+  let max_per_site = if max_per_site <= 0 then None else Some max_per_site in
+  let progress =
+    if verbose then fun idx total k ->
+      Fmt.pr "[%3d/%3d] crash at durable write %d@." (idx + 1) total k
+    else fun _ _ _ -> ()
+  in
+  let s = Resilience.crash_sweep ?max_per_site ~progress () in
+  let consistent, recovered =
+    List.fold_left
+      (fun (c, r) (row : Resilience.crash_row) ->
+        match row.Resilience.cr_class with
+        | Resilience.Consistent -> (c + 1, r)
+        | Resilience.Recovered -> (c, r + 1)
+        | Resilience.Corrupt -> (c, r))
+      (0, 0) s.Resilience.cs_rows
+  in
+  List.iter
+    (fun (row : Resilience.crash_row) ->
+      if verbose || row.Resilience.cr_class = Resilience.Corrupt then begin
+        Fmt.pr "write %5d  %-10s replayed %4d torn %d%s@."
+          row.Resilience.cr_occurrence
+          (Resilience.crash_class_to_string row.Resilience.cr_class)
+          row.Resilience.cr_replayed row.Resilience.cr_torn
+          (if row.Resilience.cr_detail = "" then ""
+           else " [" ^ row.Resilience.cr_detail ^ "]");
+        List.iter
+          (fun e -> Fmt.pr "    fsck: %s@." e)
+          row.Resilience.cr_fsck_errs
+      end)
+    s.Resilience.cs_rows;
+  Fmt.pr
+    "crash sweep: %d points over %d durable writes — %d consistent, %d \
+     recovered, %d corrupt@."
+    (List.length s.Resilience.cs_rows)
+    s.Resilience.cs_points consistent recovered s.Resilience.cs_corrupt;
+  (match json with
+  | None -> ()
+  | Some path ->
+      write_metrics_json path ~id:"kcrash_sweep"
+        [
+          ("reachable_points", s.Resilience.cs_points);
+          ("points", List.length s.Resilience.cs_rows);
+          ("consistent", consistent);
+          ("recovered", recovered);
+          ("corrupt", s.Resilience.cs_corrupt);
+        ];
+      Fmt.pr "wrote %s@." path);
+  if s.Resilience.cs_corrupt > 0 then 1 else 0
+
+let crash_at k =
+  if k <= 0 then begin
+    Fmt.epr "crash-at: CYCLE must be >= 1@.";
+    2
+  end
+  else begin
+    let r, t =
+      Resilience.run_with ~config:Resilience.crash_config
+        ~plans:
+          [
+            {
+              Kfault.site = Resilience.crash_site;
+              trigger = Kfault.One_shot k;
+            };
+          ]
+        ()
+    in
+    Fmt.pr "run: %d cycles, %d clean errors, %d kills@." r.Resilience.r_cycles
+      (List.length r.Resilience.r_errs)
+      r.Resilience.r_killed;
+    (match Core.kcrash t with
+    | Some kc ->
+        List.iter
+          (fun rep -> Fmt.pr "  %a@." Kcrash.pp_oops_report rep)
+          (Kcrash.reports kc)
+    | None -> ());
+    match r.Resilience.r_escaped with
+    | Some m when m = Resilience.power_loss_marker ->
+        Fmt.pr "power lost at durable write %d; rebooting from image@." k;
+        let t2 = Core.reboot t in
+        (match Core.journalfs t2 with
+        | Some j ->
+            (match Kvfs.Journalfs.last_recover j with
+            | Some info ->
+                Fmt.pr
+                  "recovery: scanned %d, replayed %d, skipped %d, aborted \
+                   %d, torn %d@."
+                  info.Kvfs.Journalfs.rec_scanned
+                  info.Kvfs.Journalfs.rec_replayed
+                  info.Kvfs.Journalfs.rec_skipped
+                  info.Kvfs.Journalfs.rec_aborted
+                  info.Kvfs.Journalfs.rec_torn;
+                List.iter
+                  (fun e -> Fmt.pr "  replay error: %s@." e)
+                  info.Kvfs.Journalfs.rec_errors
+            | None -> Fmt.pr "recovery: no replay ran@.");
+            let errs = Kvfs.Journalfs.fsck j in
+            if errs = [] then begin
+              Fmt.pr "fsck: clean@.";
+              0
+            end
+            else begin
+              List.iter (fun e -> Fmt.pr "fsck: %s@." e) errs;
+              1
+            end
+        | None ->
+            Fmt.epr "reboot lost the journalfs@.";
+            1)
+    | Some m ->
+        Fmt.epr "workload escaped before the crash point: %s@." m;
+        1
+    | None ->
+        Fmt.epr
+          "crash point %d never fired (only %d durable writes reached)@." k
+          (match
+             List.find_opt
+               (fun (n, _, _) -> n = Resilience.crash_site)
+               r.Resilience.r_counts
+           with
+          | Some (_, occ, _) -> occ
+          | None -> 0);
+        1
+  end
+
+let max_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "max-per-site" ]
+        ~doc:
+          "Cap the sweep to N evenly spaced durable writes (0 = every one)")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every sweep row")
+
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "Write the sweep tallies to $(docv) in the BENCH_kstats.json \
+           shape, diffable with kstats_tool diff")
+
+let sweep_cmd =
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Systematic crash-point sweep: one power loss + reboot per \
+          durable write")
+    Term.(const sweep $ max_arg $ verbose_arg $ json_arg)
+
+let occ_arg =
+  Arg.(required & pos 0 (some int) None & info [] ~docv:"N")
+
+let crash_at_cmd =
+  Cmd.v
+    (Cmd.info "crash-at"
+       ~doc:
+         "Crash at the Nth durable write, reboot from the image, print \
+          the recovery record")
+    Term.(const crash_at $ occ_arg)
+
+let cmd =
+  Cmd.group
+    (Cmd.info "kcrash_tool"
+       ~doc:"Oops containment and crash-consistent recovery probes")
+    [ sweep_cmd; crash_at_cmd ]
+
+let () = exit (Cmd.eval' cmd)

@@ -78,7 +78,26 @@ let run_plan specs =
         plans;
       (match r.Resilience.r_escaped with None -> 0 | Some _ -> 1)
 
-let sweep max_per_site verbose =
+(* Emit sweep tallies in the BENCH_kstats.json shape ("experiments" →
+   "metrics" → typed values), so two sweeps diff with
+   [kstats_tool diff old.json new.json]. *)
+let write_metrics_json path ~id metrics =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"experiments\":[{\"id\":";
+  Buffer.add_string b (Printf.sprintf "%S" id);
+  Buffer.add_string b ",\"metrics\":{";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "%S:{\"type\":\"counter\",\"value\":%d}" name v))
+    metrics;
+  Buffer.add_string b "}}]}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc
+
+let sweep max_per_site verbose json =
   let max_per_site = if max_per_site <= 0 then None else Some max_per_site in
   let progress =
     if verbose then fun idx total site k ->
@@ -114,6 +133,42 @@ let sweep max_per_site verbose =
        (List.filter (fun (_, occ, _) -> occ > 0)
           s.Resilience.baseline.Resilience.r_counts))
     identical degraded s.Resilience.violations;
+  (match json with
+  | None -> ()
+  | Some path ->
+      (* global tallies first, then per-site outcome counters *)
+      let per_site = Hashtbl.create 16 in
+      List.iter
+        (fun (row : Resilience.sweep_row) ->
+          let site = row.Resilience.sw_site in
+          let i, d, v =
+            try Hashtbl.find per_site site with Not_found -> (0, 0, 0)
+          in
+          Hashtbl.replace per_site site
+            (match row.Resilience.sw_outcome with
+            | Resilience.Identical -> (i + 1, d, v)
+            | Resilience.Degraded -> (i, d + 1, v)
+            | Resilience.Violation -> (i, d, v + 1)))
+        s.Resilience.rows;
+      let site_metrics =
+        Hashtbl.fold
+          (fun site (i, d, v) acc ->
+            (site ^ ".identical", i)
+            :: (site ^ ".degraded", d)
+            :: (site ^ ".violations", v)
+            :: acc)
+          per_site []
+        |> List.sort compare
+      in
+      write_metrics_json path ~id:"kfault_sweep"
+        ([
+           ("points", List.length s.Resilience.rows);
+           ("identical", identical);
+           ("degraded", degraded);
+           ("violations", s.Resilience.violations);
+         ]
+        @ site_metrics);
+      Fmt.pr "wrote %s@." path);
   if s.Resilience.violations > 0
      || s.Resilience.baseline.Resilience.r_escaped <> None
   then 1
@@ -143,11 +198,20 @@ let max_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every sweep row")
 
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "Write the sweep tallies to $(docv) in the BENCH_kstats.json \
+           shape, diffable with kstats_tool diff")
+
 let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Systematic sweep: one run per reachable (site, occurrence)")
-    Term.(const sweep $ max_arg $ verbose_arg)
+    Term.(const sweep $ max_arg $ verbose_arg $ json_arg)
 
 let cmd =
   Cmd.group

@@ -29,6 +29,7 @@ module Perf = Kperf
 module Verify = Kverify
 module Opt = Kopt
 module Fault = Kfault
+module Crash = Kcrash
 
 type fs_choice =
   | Memfs                          (* plain in-memory Ext2 stand-in *)
@@ -63,6 +64,14 @@ module Config = struct
            installed when [verify] is [None] — armed-empty admission is
            cycle-identical to plain admission).  [false] (default)
            keeps kopt entirely off the path. *)
+    crash : Kcrash.config option;
+        (* [Some c] boots with a kcrash instance: [c.contain] installs
+           the oops reaper at the kill sites, [c.durable] puts
+           journalfs (when [fs] is a Journalfs flavor) in write-ahead
+           mode with replay-on-mount.  [None] (default) keeps kcrash
+           entirely absent — the kill sites fall back to plain
+           [Scheduler.kill] and the journal stays headers-only,
+           bit-for-bit the previous behavior. *)
   }
 
   let default =
@@ -74,10 +83,12 @@ module Config = struct
       fs = Memfs;
       verify = None;
       optimize = false;
+      crash = None;
     }
 end
 
 type t = {
+  cfg : Config.t;
   kernel : Ksim.Kernel.t;
   sys : Ksyscall.Systable.t;
   kefence : Kefence.t option;
@@ -86,6 +97,7 @@ type t = {
   kgcc_runtime : Kgcc.Kgcc_runtime.t option;
   kverify : Kverify.t option;
   kopt : Kopt.t option;
+  kcrash : Kcrash.t option;
   mutable dispatcher : Kmonitor.Dispatcher.t option;
 }
 
@@ -101,7 +113,9 @@ let journalfs t = t.journalfs
 let kgcc_runtime t = t.kgcc_runtime
 let kverify t = t.kverify
 let kopt t = t.kopt
+let kcrash t = t.kcrash
 let dispatcher t = t.dispatcher
+let config t = t.cfg
 
 (* Common flag sets *)
 let o_rdonly = [ Kvfs.Vfs.O_RDONLY ]
@@ -117,7 +131,7 @@ let ok = function Ok v -> v | Error e -> raise (Sys_error e)
    every system booted during a run to aggregate their kstats. *)
 let on_boot : (t -> unit) ref = ref (fun _ -> ())
 
-let boot_with (cfg : Config.t) =
+let boot_with ?image (cfg : Config.t) =
   let config =
     match cfg.ncpus with
     | None -> cfg.kernel
@@ -132,6 +146,11 @@ let boot_with (cfg : Config.t) =
   let wrapfs_ref = ref None in
   let journalfs_ref = ref None in
   let kgcc_ref = ref None in
+  (* durable journalling is kcrash's call: without a crash config the
+     journal stays headers-only, byte-identical to previous revisions *)
+  let durable =
+    match cfg.crash with Some c -> c.Kcrash.durable | None -> false
+  in
   let root_fs =
     match cfg.fs with
     | Memfs -> Kvfs.Memfs.ops (Kvfs.Memfs.create kernel)
@@ -159,7 +178,7 @@ let boot_with (cfg : Config.t) =
         wrapfs_ref := Some w;
         Kvfs.Wrapfs.ops w
     | Journalfs ->
-        let j = Kvfs.Journalfs.create kernel in
+        let j = Kvfs.Journalfs.create ~durable ?image kernel in
         journalfs_ref := Some j;
         Kvfs.Journalfs.ops j
     | Journalfs_kgcc ->
@@ -176,7 +195,7 @@ let boot_with (cfg : Config.t) =
         let j =
           Kvfs.Journalfs.create ~transform:Kgcc.Compile.transform
             ~attach:(Kgcc.Kgcc_runtime.attach runtime)
-            kernel
+            ~durable ?image kernel
         in
         journalfs_ref := Some j;
         Kvfs.Journalfs.ops j
@@ -209,8 +228,24 @@ let boot_with (cfg : Config.t) =
       in
       Some (Kopt.create kv sys)
   in
+  (* kcrash: oops containment at the kill sites, plus Kefence
+     bookkeeping teardown so no guardian PTE outlives its owner *)
+  let kc =
+    match cfg.crash with
+    | None -> None
+    | Some c ->
+        let kc = Kcrash.create kernel sys in
+        if c.Kcrash.contain then begin
+          Kcrash.install kc;
+          match !kefence_ref with
+          | Some kf -> Kcrash.attach_kefence kc kf
+          | None -> ()
+        end;
+        Some kc
+  in
   let t =
     {
+      cfg;
       kernel;
       sys;
       kefence = !kefence_ref;
@@ -219,11 +254,36 @@ let boot_with (cfg : Config.t) =
       kgcc_runtime = !kgcc_ref;
       kverify = kv;
       kopt;
+      kcrash = kc;
       dispatcher = None;
     }
   in
+  (* account the replay a durable mount just ran — but only when
+     rebuilding from a survivor image: a fresh mount's empty replay is
+     not a recovery *)
+  (match (image, kc, !journalfs_ref) with
+  | Some _, Some kc, Some j -> (
+      match Kvfs.Journalfs.last_recover j with
+      | Some info -> Kcrash.note_recovery kc info
+      | None -> ())
+  | _ -> ());
   !on_boot t;
   t
+
+(* The persistent payload store behind this system's journalfs — what a
+   power-loss survivor gets to rebuild from.  [None] unless the system
+   booted a Journalfs flavor. *)
+let image t =
+  Option.map
+    (fun j -> Kvfs.Block_dev.image (Kvfs.Journalfs.dev j))
+    t.journalfs
+
+(* Crash-consistent reboot: boot a fresh system from this one's config
+   and persistent image alone.  Everything volatile (processes, page
+   cache, heap, in-flight state) is gone, exactly as after power loss;
+   a durable journalfs replays its WAL on mount and the new system's
+   kcrash accounts for the recovery. *)
+let reboot t = boot_with ?image:(image t) t.cfg
 
 (* Attach the event-monitoring stack (dispatcher installed into the
    kernel's log_event indirection). *)
@@ -262,6 +322,10 @@ let ring ?sq_entries ?cq_entries ?shared_size ?policy t =
   | Some ko, _ -> Kopt.attach_ring ko r
   | None, Some kv -> Kring.set_verifier r (Some (Kverify.ring_verifier kv))
   | None, None -> ());
+  (* a contained oops discards the dying process's in-flight batches *)
+  (match t.kcrash with
+  | Some kc -> Kcrash.add_reaper kc (fun ~pid:_ -> Kring.discard_pending r)
+  | None -> ());
   r
 
 (* Attach an strace-style recorder. *)
@@ -284,6 +348,16 @@ let fault_feed t =
   let f = Kmonitor.Fault_feed.create t.kernel in
   Kmonitor.Fault_feed.attach f;
   f
+
+(* Mirror kcrash events (oops/power-loss/recovery) into the monitoring
+   event stream; [None] when the system booted without a crash config. *)
+let crash_feed t =
+  Option.map
+    (fun kc ->
+      let f = Kmonitor.Crash_feed.create t.kernel kc in
+      Kmonitor.Crash_feed.attach f;
+      f)
+    t.kcrash
 
 (* The /proc-style metrics report for this system. *)
 let pp_stats ppf t = Kstats.pp_report ppf (stats t)

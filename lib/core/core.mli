@@ -28,6 +28,7 @@ module Perf = Kperf
 module Verify = Kverify
 module Opt = Kopt
 module Fault = Kfault
+module Crash = Kcrash
 
 (** The filesystem stack to boot with. *)
 type fs_choice =
@@ -70,6 +71,20 @@ module Config : sig
             under the [Log] policy with no dispatch gate installed,
             which is cycle-identical to plain admission.  [false]
             (default): kopt entirely absent. *)
+    crash : Kcrash.config option;
+        (** [Some c]: boot with a {!Kcrash.t}.  [c.contain] installs the
+            oops reaper at the kill sites (the kverify [Kill] policy,
+            the Cosy and kring watchdogs, kernel-mode memory faults), so
+            a crashing process is destroyed with everything it held —
+            fds, heap, locks, in-flight ring state — reaped, and every
+            other process untouched.  [c.durable] puts journalfs (when
+            [fs] is a Journalfs flavor) in write-ahead mode: mutating
+            ops log intent/commit records to the persistent device
+            image, and a mount from a survivor image replays them (see
+            {!reboot}).  [None] (default): kcrash entirely absent — the
+            kill sites fall back to plain [Scheduler.kill] and the
+            journal stays headers-only, bit-for-bit the previous
+            behavior, kstats included. *)
   }
 
   val default : t
@@ -114,7 +129,13 @@ val kverify : t -> Kverify.t option
 (** The kopt optimizer, when booted with [optimize = true]. *)
 val kopt : t -> Kopt.t option
 
+(** The kcrash instance, when booted with [crash = Some _]. *)
+val kcrash : t -> Kcrash.t option
+
 val dispatcher : t -> Kmonitor.Dispatcher.t option
+
+(** The config this system was booted from (what {!reboot} reuses). *)
+val config : t -> Config.t
 
 (** Common open-flag sets. *)
 val o_rdonly : Kvfs.Vfs.open_flag list
@@ -130,8 +151,25 @@ val ok : ('a, Kvfs.Vtypes.errno) result -> 'a
 
 (** Boot a system from a {!Config.t}.  This is the single entry point:
     build a config with record-update syntax over {!Config.default} and
-    pass it here.  Everything a boot can vary is a {!Config.t} field. *)
-val boot_with : Config.t -> t
+    pass it here.  Everything a boot can vary is a {!Config.t} field.
+
+    [?image] seeds the block device with a persistent payload store
+    from a previous system (see {!image}); a durable journalfs then
+    replays its write-ahead log before serving anything, and the new
+    system's kcrash (if any) accounts for the recovery. *)
+val boot_with : ?image:Kvfs.Block_dev.image -> Config.t -> t
+
+(** The persistent payload store behind this system's journalfs — what
+    a power-loss survivor gets to rebuild from.  A deep copy: later
+    writes to the running system do not retroactively change it.
+    [None] unless the system booted a Journalfs flavor. *)
+val image : t -> Kvfs.Block_dev.image option
+
+(** Crash-consistent reboot: boot a fresh system from this one's config
+    and persistent {!image} alone.  Everything volatile — processes,
+    page cache, heap, locks, in-flight ring state — is gone, exactly as
+    after a power loss; a durable journalfs replays its WAL on mount. *)
+val reboot : t -> t
 
 (** Called with every system {!boot_with} constructs, before it is returned.
     Harnesses (e.g. the bench driver) hook this to aggregate kstats
@@ -178,6 +216,11 @@ val perf_feed : t -> Kmonitor.Perf_bridge.t
     instrument events (requires {!enable_monitoring} for them to reach
     the ring; see {!Kmonitor.Fault_feed}). *)
 val fault_feed : t -> Kmonitor.Fault_feed.t
+
+(** Mirror kcrash events (contained oops, power loss, recovery) into
+    the monitoring event stream (see {!Kmonitor.Crash_feed}).  [None]
+    when the system booted without a crash config. *)
+val crash_feed : t -> Kmonitor.Crash_feed.t option
 
 (** Render the /proc-style metrics report for this system. *)
 val pp_stats : Format.formatter -> t -> unit

@@ -414,7 +414,11 @@ let submit t compound =
            boundary exit first, then kill *)
         let offender = Ksim.Kernel.current kernel in
         Ksim.Kernel.exit_kernel kernel;
-        Ksim.Scheduler.kill (Ksim.Kernel.sched kernel) offender;
+        Ksim.Kernel.reap kernel offender
+          ~reason:
+            (match e with
+            | Cosy_safety.Watchdog_expired _ -> "cosy-watchdog"
+            | _ -> "flow-gate");
         Kperf.span_end perf ~pid span;
         raise e
     | e -> finish_exn e

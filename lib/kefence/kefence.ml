@@ -220,6 +220,24 @@ let free t addr =
         Hashtbl.remove t.buffers addr;
         Ksim.Kalloc.vfree (Ksim.Kernel.alloc t.kernel) addr
 
+(* Drop the bookkeeping for a buffer whose memory someone else already
+   freed — the kcrash oops path reaps a dying module's vmalloc areas
+   (guardian PTEs included) through Kalloc.reap_pid, then calls this so
+   the guardian/buffer tables don't point at unmapped pages.  Returns
+   whether the address was ours. *)
+let forget t addr =
+  if Hashtbl.mem t.unguarded addr then begin
+    Hashtbl.remove t.unguarded addr;
+    true
+  end
+  else
+    match Hashtbl.find_opt t.buffers addr with
+    | None -> false
+    | Some g ->
+        Hashtbl.remove t.guardians g;
+        Hashtbl.remove t.buffers addr;
+        true
+
 (* Re-arm a call site after an overflow was attributed to it: its
    allocations are guarded again from now on. *)
 let distrust_site t site =

@@ -59,6 +59,12 @@ val alloc : ?site:string -> t -> int -> int
     @raise Invalid_argument on unknown addresses. *)
 val free : t -> int -> unit
 
+(** Drop the bookkeeping for a buffer whose memory was already freed by
+    someone else — kcrash reaps a dying module's vmalloc areas (guardian
+    PTEs included) through [Kalloc.reap_pid] and then calls this.
+    Returns whether the address was a kefence buffer. *)
+val forget : t -> int -> bool
+
 (** Mark an allocation site as overflow-prone: guarded again from now on. *)
 val distrust_site : t -> string -> unit
 

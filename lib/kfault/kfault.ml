@@ -179,7 +179,7 @@ let occurrences _t s = s.s_occ
 let fires _t s = s.s_fires
 let counts t = List.map (fun s -> (s.s_name, s.s_occ, s.s_fires)) (sites t)
 
-(* Plan specs: SITE=nth:N | prob:PPM:SEED | window:LO:HI | once:K *)
+(* Plan specs: SITE=nth:N | prob:PPM:SEED | window:LO:HI | once:K | at:C *)
 
 let trigger_of_string str =
   let bad () = Error (Printf.sprintf "bad trigger %S" str) in
@@ -199,6 +199,13 @@ let trigger_of_string str =
       | Some lo, Some hi when lo >= 0 && hi > lo ->
           Ok (Cycle_window { lo; hi })
       | _ -> bad ())
+  (* crash_at: fire at the first probe at or after cycle C — an
+     open-ended window, so a power-loss cannot be dodged by a probe
+     landing a cycle late *)
+  | [ "at"; c ] -> (
+      match int c with
+      | Some c when c >= 0 -> Ok (Cycle_window { lo = c; hi = max_int })
+      | _ -> bad ())
   | _ -> bad ()
 
 let plan_of_spec spec =
@@ -215,6 +222,7 @@ let pp_trigger ppf = function
   | Every_nth n -> Fmt.pf ppf "nth:%d" n
   | One_shot k -> Fmt.pf ppf "once:%d" k
   | Prob { ppm; seed } -> Fmt.pf ppf "prob:%d:%d" ppm seed
+  | Cycle_window { lo; hi } when hi = max_int -> Fmt.pf ppf "at:%d" lo
   | Cycle_window { lo; hi } -> Fmt.pf ppf "window:%d:%d" lo hi
 
 let pp_plan ppf p = Fmt.pf ppf "%s=%a" p.site pp_trigger p.trigger

@@ -126,7 +126,8 @@ val counts : t -> (string * int * int) list
 
     The textual form used by [kfault_tool] and the bench driver:
     [SITE=nth:N], [SITE=prob:PPM:SEED], [SITE=window:LO:HI],
-    [SITE=once:K]. *)
+    [SITE=once:K], and [SITE=at:C] (fire at the first probe at or after
+    cycle [C] — the crash_at trigger, an open-ended window). *)
 
 val trigger_of_string : string -> (trigger, string) result
 val plan_of_spec : string -> (plan, string) result

@@ -1,0 +1,68 @@
+(* Feed kcrash events into the Figure-1 monitoring pipeline: every
+   contained oops, power loss, and journal recovery is mirrored as an
+   Instrument.Custom event, so a user-space monitor polling the
+   character device sees crashes interleaved with the lock/irq/syscall
+   events they truncate.  Same shape as Fault_feed: the mirroring runs
+   through kcrash's sink hook — kcrash cannot see kmonitor.
+
+   Oops events carry the dying pid and the reap total in [value];
+   power-loss events carry the torn-record count; recovery events the
+   replayed-record count.  [file] carries a "kcrash:<reason>" tag. *)
+
+let oops_kind = 15
+let power_loss_kind = 16
+let recovery_kind = 17
+
+let () =
+  Ksim.Instrument.register_custom_name oops_kind "kcrash-oops";
+  Ksim.Instrument.register_custom_name power_loss_kind "kcrash-power-loss";
+  Ksim.Instrument.register_custom_name recovery_kind "kcrash-recovery"
+
+type t = {
+  crash : Kcrash.t;
+  kstats : Kstats.t;
+  st_mirrored : Kstats.counter;
+  mutable mirrored : int;
+  mutable attached : bool;
+}
+
+let create kernel crash =
+  let kstats = Ksim.Kernel.stats kernel in
+  {
+    crash;
+    kstats;
+    st_mirrored = Kstats.counter kstats "kmonitor.crash_feed.mirrored";
+    mirrored = 0;
+    attached = false;
+  }
+
+let mirror t (ev : Kcrash.event) =
+  t.mirrored <- t.mirrored + 1;
+  Kstats.incr t.kstats t.st_mirrored;
+  let pid, kind, value, tag =
+    match ev with
+    | Kcrash.E_oops r ->
+        ( r.Kcrash.o_pid,
+          oops_kind,
+          r.Kcrash.o_fds + r.Kcrash.o_kmallocs + r.Kcrash.o_vmallocs
+          + r.Kcrash.o_locks + r.Kcrash.o_ring,
+          "kcrash:" ^ r.Kcrash.o_reason )
+    | Kcrash.E_power_loss { torn; _ } ->
+        (0, power_loss_kind, torn, "kcrash:power-loss")
+    | Kcrash.E_recovery { replayed; _ } ->
+        (0, recovery_kind, replayed, "kcrash:recovery")
+  in
+  Ksim.Instrument.emit ~pid ~obj:0 ~value
+    ~kind:(Ksim.Instrument.Custom kind) ~file:tag ~line:0 ()
+
+let attach t =
+  Kcrash.set_sink t.crash (Some (mirror t));
+  t.attached <- true
+
+let detach t =
+  if t.attached then begin
+    Kcrash.set_sink t.crash None;
+    t.attached <- false
+  end
+
+let mirrored t = t.mirrored

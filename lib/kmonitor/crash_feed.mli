@@ -1,0 +1,32 @@
+(** Mirror kcrash events into the monitoring pipeline.
+
+    Every contained oops, power loss, and journal recovery is mirrored
+    as an {!Ksim.Instrument.Custom} event — kinds 15 ("kcrash-oops"),
+    16 ("kcrash-power-loss") and 17 ("kcrash-recovery") — so a
+    user-space monitor polling the character device sees crashes
+    interleaved with the events they truncate.  Same shape as
+    {!Fault_feed}: mirroring runs through kcrash's sink hook, since
+    kcrash sits below kmonitor in the library graph.
+
+    Oops events carry the dying pid and the total objects reaped in
+    [value]; power-loss events the torn-record count; recovery events
+    the replayed-record count.  The event [file] carries a
+    ["kcrash:<reason>"] tag.  Mirrors are counted in
+    [kmonitor.crash_feed.mirrored]. *)
+
+type t
+
+val oops_kind : int
+val power_loss_kind : int
+val recovery_kind : int
+
+val create : Ksim.Kernel.t -> Kcrash.t -> t
+
+(** Install the mirror as kcrash's event sink. *)
+val attach : t -> unit
+
+(** Disconnect (idempotent). *)
+val detach : t -> unit
+
+(** Events mirrored so far. *)
+val mirrored : t -> int

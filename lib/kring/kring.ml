@@ -123,6 +123,17 @@ let create ?(sq_entries = 64) ?cq_entries ?(shared_size = 65536) ?policy sys =
 
 let sq_depth t = Queue.length t.sq
 let cq_depth t = Queue.length t.cq
+
+(* Crash containment: drop everything still queued in the submission and
+   completion rings — a dying process's in-flight batch state.  Returns
+   how many entries were discarded.  Host-level bookkeeping only: no
+   cycles, no kstats. *)
+let discard_pending t =
+  let n = Queue.length t.sq + Queue.length t.cq in
+  Queue.clear t.sq;
+  Queue.clear t.cq;
+  t.sq_bytes <- 0;
+  n
 let sq_entries t = t.sq_entries
 let cq_entries t = t.cq_entries
 let shared t = t.shared
@@ -333,7 +344,11 @@ let enter t =
         note_partial ();
         let offender = Ksim.Kernel.current kernel in
         Ksim.Kernel.exit_kernel kernel;
-        Ksim.Scheduler.kill (Ksim.Kernel.sched kernel) offender;
+        Ksim.Kernel.reap kernel offender
+          ~reason:
+            (match e with
+            | Cosy.Cosy_safety.Watchdog_expired _ -> "ring-watchdog"
+            | _ -> "flow-gate");
         Kperf.span_end perf ~pid ~arg:!completed span;
         raise e
     | e ->

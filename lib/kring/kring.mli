@@ -96,6 +96,11 @@ val cq_bytes_saved : t -> int
 
 val sq_depth : t -> int
 val cq_depth : t -> int
+
+(** Crash containment: drop everything still queued in both rings (a
+    dying process's in-flight batch state); returns the number of
+    entries discarded.  Host-level bookkeeping only — no cycles. *)
+val discard_pending : t -> int
 val sq_entries : t -> int
 val cq_entries : t -> int
 val shared : t -> Cosy.Shared_buffer.t

@@ -35,10 +35,15 @@ type t = {
   mutable slab_next_vpn : int;    (* next vpn in the kmalloc region *)
   slab_end_vpn : int;
   kmalloc_live : (int, int) Hashtbl.t; (* addr -> size *)
+  km_owner : (int, int) Hashtbl.t;     (* addr -> owning pid (containment) *)
   (* vmalloc state *)
   mutable vm_next_vpn : int;
   vm_end_vpn : int;
   vm_areas : (int, area) Hashtbl.t;    (* the paper's vfree hash table *)
+  vm_owner : (int, int) Hashtbl.t;     (* addr -> owning pid (containment) *)
+  (* who owns fresh allocations; the kernel wires this to the scheduler's
+     current pid after boot *)
+  mutable pid_source : (unit -> int) option;
   mutable vm_pages_live : int;
   mutable vm_pages_high_water : int;
   mutable vm_bytes_requested : int;
@@ -73,9 +78,12 @@ let create ?(stats = Kstats.create ()) ~space ~clock ~cost () =
     slab_next_vpn = kmalloc_base_vpn;
     slab_end_vpn = kmalloc_base_vpn + kmalloc_limit_pages;
     kmalloc_live = Hashtbl.create 512;
+    km_owner = Hashtbl.create 512;
     vm_next_vpn = vmalloc_base_vpn;
     vm_end_vpn = vmalloc_base_vpn + vmalloc_limit_pages;
     vm_areas = Hashtbl.create 512;
+    vm_owner = Hashtbl.create 512;
+    pid_source = None;
     vm_pages_live = 0;
     vm_pages_high_water = 0;
     vm_bytes_requested = 0;
@@ -86,6 +94,13 @@ let create ?(stats = Kstats.create ()) ~space ~clock ~cost () =
 let set_fault t kf =
   t.fault <-
     Some (kf, Kfault.register kf "kalloc.kmalloc", Kfault.register kf "kalloc.vmalloc")
+
+let set_pid_source t f = t.pid_source <- f
+
+let note_owner t owners addr =
+  match t.pid_source with
+  | Some f -> Hashtbl.replace owners addr (f ())
+  | None -> ()
 
 exception Out_of_memory of string
 
@@ -118,6 +133,7 @@ let kmalloc t size =
   t.slab_addr <- t.slab_addr + size;
   t.slab_left <- t.slab_left - size;
   Hashtbl.replace t.kmalloc_live addr size;
+  note_owner t t.km_owner addr;
   addr
 
 let kfree t addr =
@@ -125,7 +141,9 @@ let kfree t addr =
   Kstats.incr t.stats t.st_kfrees;
   match Hashtbl.find_opt t.kmalloc_live addr with
   | None -> invalid_arg "kfree: not a live kmalloc address"
-  | Some _ -> Hashtbl.remove t.kmalloc_live addr
+  | Some _ ->
+      Hashtbl.remove t.kmalloc_live addr;
+      Hashtbl.remove t.km_owner addr
 
 (* --- vmalloc ---------------------------------------------------------- *)
 
@@ -161,6 +179,7 @@ let vmalloc ?(guard = false) ?(align_end = true) t size =
   in
   let area = { addr; size; npages; guardian_vpn; align_end } in
   Hashtbl.replace t.vm_areas addr area;
+  note_owner t t.vm_owner addr;
   t.vm_pages_live <- t.vm_pages_live + npages;
   if t.vm_pages_live > t.vm_pages_high_water then
     t.vm_pages_high_water <- t.vm_pages_live;
@@ -196,9 +215,39 @@ let vfree t addr =
           Tlb.invalidate (Address_space.tlb t.space) ~vpn:g
       | None -> ());
       Hashtbl.remove t.vm_areas addr;
+      Hashtbl.remove t.vm_owner addr;
       t.vm_pages_live <- t.vm_pages_live - area.npages;
       Kstats.incr t.stats t.st_vfrees;
       Kstats.set t.stats t.st_pages_live t.vm_pages_live
+
+(* --- crash containment ------------------------------------------------- *)
+
+type reap = {
+  reaped_kmallocs : int;
+  reaped_vmallocs : int;
+  reaped_vm_addrs : int list;  (* freed vmalloc addresses, ascending *)
+}
+
+(* Free everything a dying process still owns, through the normal kfree/
+   vfree paths (normal charges, PTE unmaps and TLB shootdowns included).
+   Addresses are processed in ascending order for determinism. *)
+let reap_pid t pid =
+  let owned owners live =
+    Hashtbl.fold
+      (fun addr owner acc ->
+        if owner = pid && Hashtbl.mem live addr then addr :: acc else acc)
+      owners []
+    |> List.sort compare
+  in
+  let kms = owned t.km_owner t.kmalloc_live in
+  List.iter (fun addr -> kfree t addr) kms;
+  let vms = owned t.vm_owner t.vm_areas in
+  List.iter (fun addr -> vfree t addr) vms;
+  {
+    reaped_kmallocs = List.length kms;
+    reaped_vmallocs = List.length vms;
+    reaped_vm_addrs = vms;
+  }
 
 (* --- statistics (E5 reports these like the paper does) ----------------- *)
 

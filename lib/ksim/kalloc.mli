@@ -38,6 +38,11 @@ exception Out_of_memory of string
     The kernel calls this once at boot. *)
 val set_fault : t -> Kfault.t -> unit
 
+(** Wire the owner of fresh allocations (the scheduler's current pid);
+    crash containment uses it to find what a dying process holds.  The
+    kernel calls this once at boot; [None] disables ownership tracking. *)
+val set_pid_source : t -> (unit -> int) option -> unit
+
 (** Slab allocation; 8-byte aligned.  @raise Invalid_argument on
     non-positive size, {!Out_of_memory} when the region is exhausted
     (or a kfault plan fires). *)
@@ -68,3 +73,16 @@ type stats = {
 
 val stats : t -> stats
 val kmalloc_live_count : t -> int
+
+(** What {!reap_pid} freed. *)
+type reap = {
+  reaped_kmallocs : int;
+  reaped_vmallocs : int;
+  reaped_vm_addrs : int list;  (** freed vmalloc addresses, ascending *)
+}
+
+(** Crash containment: free every live kmalloc and vmalloc owned by
+    [pid] (per {!set_pid_source} attribution), through the normal
+    kfree/vfree paths — normal charges, guardian-PTE unmaps and TLB
+    shootdowns included.  Ascending address order, for determinism. *)
+val reap_pid : t -> int -> reap

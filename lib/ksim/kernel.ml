@@ -29,6 +29,10 @@ type t = {
   st_crossings : Kstats.counter;
   st_bytes_in : Kstats.counter;
   st_bytes_out : Kstats.counter;
+  lockctx : Spinlock.ctx;      (* shared, so all locks enrol in one registry *)
+  (* crash containment hook: when installed (kcrash), kill sites reap the
+     offender's resources instead of just marking it dead *)
+  mutable reaper : (Kproc.t -> reason:string -> unit) option;
   mutable mode : mode;
   mutable user_kernel_crossings : int;
   mutable bytes_copied_user_to_kernel : int;
@@ -99,6 +103,15 @@ let create ?(config = default_config) () =
       st_crossings = Kstats.counter kstats "kernel.crossings";
       st_bytes_in = Kstats.counter kstats "kernel.bytes_from_user";
       st_bytes_out = Kstats.counter kstats "kernel.bytes_to_user";
+      lockctx =
+        {
+          Spinlock.sched;
+          clock;
+          cost = config.cost;
+          stats = kstats;
+          registry = Spinlock.new_registry ();
+        };
+      reaper = None;
       mode = User;
       user_kernel_crossings = 0;
       bytes_copied_user_to_kernel = 0;
@@ -108,6 +121,8 @@ let create ?(config = default_config) () =
     }
   in
   ignore (Scheduler.spawn sched ~name:"init");
+  Kalloc.set_pid_source alloc
+    (Some (fun () -> (Scheduler.current sched).Kproc.pid));
   k
 
 let clock t = t.clock
@@ -124,14 +139,39 @@ let now t = Sim_clock.now t.clock
 let current t = Scheduler.current t.sched
 let mode t = t.mode
 
-(* Wiring for contention-aware spinlocks (see Spinlock.ctx). *)
-let lock_ctx t =
-  {
-    Spinlock.sched = t.sched;
-    clock = t.clock;
-    cost = t.config.cost;
-    stats = t.kstats;
-  }
+(* Wiring for contention-aware spinlocks (see Spinlock.ctx).  One shared
+   ctx, so every lock created through it enrols in the same registry and
+   crash containment can find them all. *)
+let lock_ctx t = t.lockctx
+
+(* Every contention-aware lock in the machine, in creation order. *)
+let locks t = Spinlock.registered t.lockctx.Spinlock.registry
+
+(* --- oops containment -------------------------------------------------- *)
+
+(* A kernel fault that was contained: only [pid] died.  Raised to the
+   caller of the syscall in place of the fault itself, so harnesses can
+   count it as a clean kill rather than an escape. *)
+exception Oops of { pid : int; reason : string }
+
+let set_reaper t f = t.reaper <- f
+let has_reaper t = t.reaper <> None
+
+(* Kill [p], reaping what it held if a reaper (kcrash) is installed;
+   without one this is exactly the legacy [Scheduler.kill]. *)
+let reap t p ~reason =
+  match t.reaper with
+  | Some f -> f p ~reason
+  | None -> Scheduler.kill t.sched p
+
+(* Crash unwinding: drop straight back to user mode without charging the
+   normal exit path — the kernel stay this closes belongs to a process
+   that is being destroyed, not returning. *)
+let force_user_mode t =
+  if t.mode = Kernel_mode then begin
+    t.mode <- User;
+    (current t).Kproc.kernel_entry <- None
+  end
 
 (* --- user/kernel boundary -------------------------------------------- *)
 

@@ -64,8 +64,37 @@ val current : t -> Kproc.t
 val mode : t -> mode
 
 (** Scheduler/clock/cost wiring that makes a {!Spinlock} created from it
-    contention-aware and feeds its [lock.*] kstats. *)
+    contention-aware and feeds its [lock.*] kstats.  One shared ctx per
+    kernel: every lock created through it enrols in the same registry,
+    which {!locks} (and crash containment) scans. *)
 val lock_ctx : t -> Spinlock.ctx
+
+(** Every contention-aware lock created via {!lock_ctx}, in creation
+    order. *)
+val locks : t -> Spinlock.t list
+
+(** A kernel fault that was contained: only [pid] died.  The syscall
+    layer raises this to its caller in place of the fault itself when a
+    reaper is installed, so harnesses can count a clean kill rather than
+    an escaped crash. *)
+exception Oops of { pid : int; reason : string }
+
+(** Install the crash-containment hook (kcrash's oops path).  When set,
+    {!reap} routes through it; when [None] (the default) {!reap} is
+    exactly [Scheduler.kill] — same code path as before kcrash
+    existed. *)
+val set_reaper : t -> (Kproc.t -> reason:string -> unit) option -> unit
+
+val has_reaper : t -> bool
+
+(** Kill a process at a kernel kill site (flow-gate, watchdog, contained
+    fault), reaping what it held if a reaper is installed. *)
+val reap : t -> Kproc.t -> reason:string -> unit
+
+(** Crash unwinding: if in kernel mode, return to user mode without
+    charging the exit path — the stay belongs to a process being
+    destroyed, not returning.  No-op in user mode. *)
+val force_user_mode : t -> unit
 
 exception Kernel_mode_violation of string
 

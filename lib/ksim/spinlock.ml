@@ -32,13 +32,6 @@
    (E6) counts acquisitions; contended acquisitions additionally emit a
    [Contended] event carrying the spin cycles as its value. *)
 
-type ctx = {
-  sched : Scheduler.t;
-  clock : Sim_clock.t;
-  cost : Cost_model.t;
-  stats : Kstats.t;
-}
-
 type counters = {
   st_acquisitions : Kstats.counter;
   st_contended : Kstats.counter;
@@ -51,7 +44,19 @@ type window = {
   mutable w_to : int;
 }
 
-type t = {
+type ctx = {
+  sched : Scheduler.t;
+  clock : Sim_clock.t;
+  cost : Cost_model.t;
+  stats : Kstats.t;
+  registry : registry;
+}
+
+(* Every lock created under a ctx enrols here, so crash containment can
+   find the locks a dying process still holds. *)
+and registry = { mutable regd : t list }
+
+and t = {
   id : int;
   name : string;
   ctx : ctx option;
@@ -61,6 +66,7 @@ type t = {
   mutable holder : int;          (* pid, or -1 *)
   mutable holder_cpu : int;      (* CPU of the current holder, or -1 *)
   mutable last_cpu : int;        (* CPU of the last release, or -1 *)
+  mutable poisoned : bool;       (* force-released after an oops *)
   windows : window array;        (* ring of recent hold windows *)
   mutable w_next : int;
   mutable acquisitions : int;
@@ -69,6 +75,8 @@ type t = {
 }
 
 let next_id = ref 0
+let new_registry () = { regd = [] }
+let registered r = List.rev r.regd
 
 let ring_slots = function
   | None -> 1
@@ -91,24 +99,31 @@ let create ?ctx ?perf name =
               st_spin = counter "spin_cycles";
             } )
   in
-  {
-    id = !next_id;
-    name;
-    ctx;
-    perf;
-    counters;
-    locked = false;
-    holder = -1;
-    holder_cpu = -1;
-    last_cpu = -1;
-    windows =
-      Array.init (ring_slots ctx) (fun _ ->
-          { w_cpu = -1; w_from = 0; w_to = 0 });
-    w_next = 0;
-    acquisitions = 0;
-    contended = 0;
-    spin_cycles = 0;
-  }
+  let t =
+    {
+      id = !next_id;
+      name;
+      ctx;
+      perf;
+      counters;
+      locked = false;
+      holder = -1;
+      holder_cpu = -1;
+      last_cpu = -1;
+      poisoned = false;
+      windows =
+        Array.init (ring_slots ctx) (fun _ ->
+            { w_cpu = -1; w_from = 0; w_to = 0 });
+      w_next = 0;
+      acquisitions = 0;
+      contended = 0;
+      spin_cycles = 0;
+    }
+  in
+  (match ctx with
+  | Some c -> c.registry.regd <- t :: c.registry.regd
+  | None -> ());
+  t
 
 exception Deadlock of string
 
@@ -228,7 +243,32 @@ let with_lock ?file ?line ?pid t f =
       unlock ?file ?line t;
       raise e
 
+(* Crash containment: a dying process cannot unlock what it holds, so
+   the oops path rips the lock away.  The lock is marked poisoned (the
+   critical section it protected may be half-done) and a Contended-style
+   event with value -1 marks the forced release in the instrument
+   stream, followed by the normal Unlock so event counts stay paired. *)
+let force_release ?(file = "<unknown>") ?(line = 0) t =
+  if not t.locked then false
+  else begin
+    let pid = t.holder in
+    t.poisoned <- true;
+    t.locked <- false;
+    t.holder <- -1;
+    t.holder_cpu <- -1;
+    (match t.counters with
+    | Some (stats, k) -> Kstats.incr stats k.st_contended
+    | None -> ());
+    Instrument.emit ~pid ~obj:t.id ~value:(-1) ~kind:Instrument.Contended
+      ~file ~line ();
+    Instrument.emit ~pid ~obj:t.id ~value:0 ~kind:Instrument.Unlock ~file
+      ~line ();
+    true
+  end
+
 let is_locked t = t.locked
+let holder t = t.holder
+let poisoned t = t.poisoned
 let acquisitions t = t.acquisitions
 let contended t = t.contended
 let spin_cycles t = t.spin_cycles

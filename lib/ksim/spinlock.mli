@@ -17,6 +17,11 @@
     acquisitions additionally emit a [Contended] event whose value is
     the spin cycles charged. *)
 
+(** Enrolment of every lock created under a {!ctx}; crash containment
+    scans it for locks a dying process still holds.  Create with
+    {!new_registry}. *)
+type registry
+
 (** Scheduler/clock/cost wiring that makes a lock contention-aware and
     feeds its [lock.<name>.*] kstats (acquisitions, contended,
     spin_cycles).  Obtain one via [Kernel.lock_ctx]. *)
@@ -25,9 +30,15 @@ type ctx = {
   clock : Sim_clock.t;
   cost : Cost_model.t;
   stats : Kstats.t;
+  registry : registry;
 }
 
 type t
+
+val new_registry : unit -> registry
+
+(** Every lock enrolled in the registry, in creation order. *)
+val registered : registry -> t list
 
 (** Without [ctx] the lock is purely functional bookkeeping (no
     contention model, no kstats) — the pre-SMP behaviour.  With [perf]
@@ -49,7 +60,20 @@ val unlock : ?file:string -> ?line:int -> t -> unit
 (** [with_lock t f] runs [f] under the lock, releasing on exception. *)
 val with_lock : ?file:string -> ?line:int -> ?pid:int -> t -> (unit -> 'a) -> 'a
 
+(** Crash containment: rip the lock out of a dying holder's hands.  If
+    held, marks the lock {!poisoned} (its critical section may be
+    half-done), resets it to free, emits a [Contended] event with value
+    [-1] followed by the normal [Unlock], bumps [lock.<name>.contended],
+    and returns [true]; returns [false] if the lock was free. *)
+val force_release : ?file:string -> ?line:int -> t -> bool
+
 val is_locked : t -> bool
+
+(** The pid currently holding the lock, or -1. *)
+val holder : t -> int
+
+(** True once the lock has been {!force_release}d. *)
+val poisoned : t -> bool
 
 (** Total acquisitions over the lock's lifetime. *)
 val acquisitions : t -> int

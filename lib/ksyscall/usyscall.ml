@@ -198,10 +198,12 @@ let invoke ?(origin = Plain) sys (req : Syscall.req) : Syscall.reply =
         | Systable.Gate_deny e -> Some e
         | Systable.Gate_kill ->
             (* account the boundary exit, then kill — the same order the
-               Cosy watchdog uses *)
+               Cosy watchdog uses.  Kernel.reap is Scheduler.kill unless
+               a kcrash reaper is installed, in which case the
+               offender's resources are reaped too. *)
             let offender = Ksim.Kernel.current k in
             exit sys;
-            Ksim.Scheduler.kill (Ksim.Kernel.sched k) offender;
+            Ksim.Kernel.reap k offender ~reason:"flow-gate";
             Kperf.span_end perf ~pid span;
             raise (Flow_violation { pid; sysno })
       in
@@ -252,10 +254,21 @@ let invoke ?(origin = Plain) sys (req : Syscall.req) : Syscall.reply =
         | None -> (
             match service sys req with
             | r -> r
-            | exception e ->
+            | exception e -> (
                 exit sys;
                 Kperf.span_end perf ~pid span;
-                raise e)
+                match e with
+                | Ksim.Fault.Fault _ when Ksim.Kernel.has_reaper k ->
+                    (* oops containment: a kernel-mode memory fault that
+                       would have been a panic kills and reaps only the
+                       offender; the caller sees a contained Oops
+                       instead of the raw fault *)
+                    let offender = Ksim.Kernel.current k in
+                    Ksim.Kernel.reap k offender
+                      ~reason:
+                        (Printf.sprintf "fault in %s" (Sysno.to_string sysno));
+                    raise (Ksim.Kernel.Oops { pid; reason = "memory fault" })
+                | _ -> raise e))
       in
       let bin =
         match denied with Some _ -> 0 | None -> Syscall.req_copy_bytes req

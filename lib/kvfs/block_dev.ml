@@ -11,6 +11,11 @@
 
 type policy = Fifo | Second_chance
 
+(* The persistent face of the device: block number -> payload bytes.
+   Everything else in the simulator is volatile; after a power loss this
+   table is the only state a reboot may consult. *)
+type image = (int, Bytes.t) Hashtbl.t
+
 type t = {
   kernel : Ksim.Kernel.t;
   block_size : int;
@@ -28,6 +33,8 @@ type t = {
   fault : Kfault.t;
   site_eio : Kfault.site;
   site_short : Kfault.site;
+  site_crash : Kfault.site;
+  image : image;                      (* durable payloads (journalfs WAL) *)
   mutable last_block : int;           (* for seek-distance modelling *)
 }
 
@@ -36,8 +43,14 @@ type t = {
    boundary (see Fs_guard) so user land sees a clean errno. *)
 exception Io_error of int
 
+(* Power failed at a durable-write boundary: the write in flight — and
+   every volatile structure in the machine — is lost.  Nothing catches
+   this below the run harness; recovery happens on the next boot, from
+   the image alone. *)
+exception Power_loss
+
 let create ?(block_size = 4096) ?(cache_blocks = 150_000)
-    ?(policy = Second_chance) kernel =
+    ?(policy = Second_chance) ?image kernel =
   let kstats = Ksim.Kernel.stats kernel in
   {
     kernel;
@@ -57,6 +70,9 @@ let create ?(block_size = 4096) ?(cache_blocks = 150_000)
     site_eio = Kfault.register (Ksim.Kernel.fault kernel) "blockdev.read_eio";
     site_short =
       Kfault.register (Ksim.Kernel.fault kernel) "blockdev.read_short";
+    site_crash =
+      Kfault.register (Ksim.Kernel.fault kernel) "blockdev.crash_point";
+    image = (match image with Some i -> i | None -> Hashtbl.create 256);
     last_block = 0;
   }
 
@@ -146,6 +162,36 @@ let write_block t blk =
   charge t (cost.Ksim.Cost_model.disk_write_block / 10);
   Kperf.span_end perf ~arg:blk span;
   touch t blk
+
+(* Durable writes carry their payload into the image; this is the only
+   path whose effect survives a Power_loss.  The crash point is probed
+   *before* the payload lands, so a fire models power failing with the
+   write still in the drive's volatile write cache — the lost-write
+   window journaling must tolerate. *)
+let write_block_data t blk data =
+  if Kfault.fire t.fault t.site_crash then raise Power_loss;
+  write_block t blk;
+  (* a payload longer than one block occupies the following slots too *)
+  for i = 1 to (max 1 (String.length data) - 1) / t.block_size do
+    write_block t (blk + i)
+  done;
+  Hashtbl.replace t.image blk (Bytes.of_string data)
+
+let read_block_data t blk =
+  match Hashtbl.find_opt t.image blk with
+  | None -> None
+  | Some data ->
+      read_block t blk;
+      for i = 1 to (max 1 (Bytes.length data) - 1) / t.block_size do
+        read_block t (blk + i)
+      done;
+      Some (Bytes.to_string data)
+
+(* Deep-copy snapshot: what a reboot is allowed to start from. *)
+let image t : image =
+  let copy = Hashtbl.create (max 16 (Hashtbl.length t.image)) in
+  Hashtbl.iter (fun blk data -> Hashtbl.replace copy blk (Bytes.copy data)) t.image;
+  copy
 
 type stats = {
   reads : int;

@@ -27,14 +27,42 @@ type policy = Fifo | Second_chance
     escapes. *)
 exception Io_error of int
 
+(** Power failed at a durable-write boundary (the kfault site
+    [blockdev.crash_point] fired): the write in flight and all volatile
+    state are lost.  Nothing below the run harness catches this;
+    recovery happens on the next boot from the {!image} alone. *)
+exception Power_loss
+
+(** The persistent face of the device: block number -> payload, the only
+    state that survives {!Power_loss}.  Obtain one with {!image}, hand it
+    to [create ?image] to boot from it. *)
+type image
+
 (** [cache_blocks] defaults to ~150k blocks (≈600 MB, the page cache of
-    the paper's 884 MB testbed); [policy] defaults to [Second_chance]. *)
+    the paper's 884 MB testbed); [policy] defaults to [Second_chance].
+    [image] seeds the persistent payload store (reboot-from-disk). *)
 val create :
-  ?block_size:int -> ?cache_blocks:int -> ?policy:policy -> Ksim.Kernel.t -> t
+  ?block_size:int -> ?cache_blocks:int -> ?policy:policy -> ?image:image ->
+  Ksim.Kernel.t -> t
 
 val block_size : t -> int
 val read_block : t -> int -> unit
 val write_block : t -> int -> unit
+
+(** [write_block_data t blk data] is {!write_block} (once per spanned
+    block) plus durability: the payload enters the image.  Probes the
+    [blockdev.crash_point] fault site {e before} persisting, so a fired
+    point raises {!Power_loss} with the payload still lost — the
+    lost-write window write-ahead journaling must tolerate. *)
+val write_block_data : t -> int -> string -> unit
+
+(** Read a durable payload back ({!read_block} charges per spanned
+    block); [None] if the image holds nothing at [blk]. *)
+val read_block_data : t -> int -> string option
+
+(** Deep-copy snapshot of the persistent image — what a reboot may
+    start from. *)
+val image : t -> image
 
 type stats = {
   reads : int;

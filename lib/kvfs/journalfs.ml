@@ -55,6 +55,16 @@ int jfs_bitmap_find(char *bitmap, int nbytes) {
 }
 |}
 
+(* Outcome of a replay-on-mount pass over the write-ahead log. *)
+type recover_info = {
+  rec_scanned : int;      (* WAL records read from the image *)
+  rec_replayed : int;     (* committed intents applied *)
+  rec_skipped : int;      (* intents already applied (idempotent re-replay) *)
+  rec_aborted : int;      (* intents whose operation failed (abort record) *)
+  rec_torn : int;         (* trailing intents with neither verdict: discarded *)
+  rec_errors : string list; (* malformed records / replay failures *)
+}
+
 type t = {
   kernel : Ksim.Kernel.t;
   inner : Memfs.t;
@@ -65,10 +75,230 @@ type t = {
   bitmap_buf : int;
   bitmap_bytes : int;
   data_journal : bool;           (* checksum data heads too (non-default) *)
+  durable : bool;                (* write-ahead log in the device image *)
   mutable journal_seq : int;
   mutable checksum_acc : int;    (* running, so the work can't be elided *)
   mutable hot_calls : int;
+  mutable op_seq : int;          (* write-ahead intent numbering *)
+  mutable j_cursor : int;        (* next free WAL slot (relative to base) *)
+  mutable applied_seq : int;     (* highest intent applied to the inner fs *)
+  mutable last_recover : recover_info option;
 }
+
+(* --- Write-ahead log (durable mode) ------------------------------------ *)
+
+(* WAL records live in the device image from this slot up, one record
+   per slot (spilling into following slots when the payload outgrows a
+   block).  Each mutating operation writes an intent record carrying
+   enough to redo it, applies the operation, then writes a commit (Ok)
+   or abort (Error) verdict.  Replay applies committed intents only, in
+   order; a trailing intent with no verdict is the torn tail a power
+   loss legitimately produces, and is discarded. *)
+let journal_base = 1_000_000
+
+type jop =
+  | J_create of { dir : int; name : string; kind : Vtypes.kind }
+  | J_unlink of { dir : int; name : string }
+  | J_write of { ino : int; off : int; len : int; data : string option }
+  | J_truncate of { ino : int; size : int }
+  | J_rename of { src_dir : int; src : string; dst_dir : int; dst : string }
+
+(* Length-prefixed field encoding, so names and data may contain any
+   byte.  Ints are decimal followed by ':'. *)
+let encode_op op =
+  let b = Buffer.create 64 in
+  let int n =
+    Buffer.add_string b (string_of_int n);
+    Buffer.add_char b ':'
+  in
+  let str s =
+    int (String.length s);
+    Buffer.add_string b s
+  in
+  (match op with
+  | J_create { dir; name; kind } ->
+      Buffer.add_char b 'C';
+      int dir;
+      int (match kind with Vtypes.Regular -> 0 | Vtypes.Directory -> 1);
+      str name
+  | J_unlink { dir; name } ->
+      Buffer.add_char b 'U';
+      int dir;
+      str name
+  | J_write { ino; off; len; data } ->
+      Buffer.add_char b 'W';
+      int ino;
+      int off;
+      int len;
+      (match data with
+      | None -> int 0
+      | Some d ->
+          int 1;
+          str d)
+  | J_truncate { ino; size } ->
+      Buffer.add_char b 'T';
+      int ino;
+      int size
+  | J_rename { src_dir; src; dst_dir; dst } ->
+      Buffer.add_char b 'R';
+      int src_dir;
+      str src;
+      int dst_dir;
+      str dst);
+  Buffer.contents b
+
+exception Bad_record of string
+
+let decode_op s =
+  let pos = ref 1 in
+  let int () =
+    match String.index_from_opt s !pos ':' with
+    | None -> raise (Bad_record s)
+    | Some j ->
+        let v =
+          try int_of_string (String.sub s !pos (j - !pos))
+          with _ -> raise (Bad_record s)
+        in
+        pos := j + 1;
+        v
+  in
+  let str () =
+    let n = int () in
+    if n < 0 || !pos + n > String.length s then raise (Bad_record s);
+    let v = String.sub s !pos n in
+    pos := !pos + n;
+    v
+  in
+  if String.length s < 2 then raise (Bad_record s);
+  match s.[0] with
+  | 'C' ->
+      let dir = int () in
+      let kind = if int () = 1 then Vtypes.Directory else Vtypes.Regular in
+      J_create { dir; name = str (); kind }
+  | 'U' ->
+      let dir = int () in
+      J_unlink { dir; name = str () }
+  | 'W' ->
+      let ino = int () in
+      let off = int () in
+      let len = int () in
+      let data = if int () = 1 then Some (str ()) else None in
+      J_write { ino; off; len; data }
+  | 'T' ->
+      let ino = int () in
+      J_truncate { ino; size = int () }
+  | 'R' ->
+      let src_dir = int () in
+      let src = str () in
+      let dst_dir = int () in
+      J_rename { src_dir; src; dst_dir; dst = str () }
+  | _ -> raise (Bad_record s)
+
+(* Redo one committed intent against the inner filesystem.  A
+   metadata-only journal replays writes as zeros of the right length:
+   extents and sizes are recovered, contents are not — the observable
+   difference [data_journal] exists to close. *)
+let apply_op t op =
+  match op with
+  | J_create { dir; name; kind } ->
+      Result.map
+        (fun (_ : int) -> ())
+        (Memfs.create_node t.inner ~dir ~name kind)
+  | J_unlink { dir; name } -> Memfs.unlink t.inner ~dir ~name
+  | J_write { ino; off; len; data } ->
+      let data =
+        match data with
+        | Some d -> Bytes.of_string d
+        | None -> Bytes.make len '\000'
+      in
+      Result.map (fun (_ : int) -> ()) (Memfs.write t.inner ~ino ~off ~data)
+  | J_truncate { ino; size } -> Memfs.truncate t.inner ~ino ~size
+  | J_rename { src_dir; src; dst_dir; dst } ->
+      Memfs.rename t.inner ~src_dir ~src ~dst_dir ~dst
+
+(* Replay the WAL against the inner filesystem.  Idempotent: intents at
+   or below [applied_seq] are skipped, so replaying twice equals
+   replaying once.  Tolerant of a torn tail: an intent with no commit or
+   abort record is counted and discarded, never applied. *)
+let replay t =
+  let dev = Memfs.dev t.inner in
+  let bs = Memfs.block_size t.inner in
+  let rec scan slot acc =
+    match Block_dev.read_block_data dev (journal_base + slot) with
+    | None -> (slot, List.rev acc)
+    | Some s -> scan (slot + 1 + ((max 1 (String.length s) - 1) / bs)) (s :: acc)
+  in
+  let cursor, raw = scan 0 [] in
+  t.j_cursor <- max t.j_cursor cursor;
+  t.journal_seq <- max t.journal_seq (List.length raw);
+  let errors = ref [] in
+  let parse s =
+    if String.length s < 2 || s.[1] <> ':' then None
+    else
+      let rest = String.sub s 2 (String.length s - 2) in
+      match s.[0] with
+      | 'I' -> (
+          match String.index_opt rest ':' with
+          | None -> None
+          | Some j -> (
+              match int_of_string_opt (String.sub rest 0 j) with
+              | None -> None
+              | Some seq ->
+                  Some
+                    (`Intent
+                       ( seq,
+                         String.sub rest (j + 1) (String.length rest - j - 1) ))))
+      | 'K' -> Option.map (fun s -> `Commit s) (int_of_string_opt rest)
+      | 'A' -> Option.map (fun s -> `Abort s) (int_of_string_opt rest)
+      | _ -> None
+  in
+  let intents = ref [] in
+  let committed = Hashtbl.create 64 in
+  let aborted = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      match parse s with
+      | Some (`Intent (seq, body)) -> intents := (seq, body) :: !intents
+      | Some (`Commit seq) -> Hashtbl.replace committed seq ()
+      | Some (`Abort seq) -> Hashtbl.replace aborted seq ()
+      | None -> errors := Printf.sprintf "malformed record %S" s :: !errors)
+    raw;
+  let intents = List.rev !intents in
+  t.op_seq <- List.fold_left (fun m (s, _) -> max m s) t.op_seq intents;
+  let replayed = ref 0 and skipped = ref 0 and torn = ref 0 and ab = ref 0 in
+  List.iter
+    (fun (seq, body) ->
+      if Hashtbl.mem aborted seq then incr ab
+      else if not (Hashtbl.mem committed seq) then incr torn
+      else if seq <= t.applied_seq then incr skipped
+      else begin
+        (match decode_op body with
+        | exception Bad_record r ->
+            errors :=
+              Printf.sprintf "intent %d undecodable: %S" seq r :: !errors
+        | op -> (
+            match apply_op t op with
+            | Ok () -> incr replayed
+            | Error e ->
+                errors :=
+                  Printf.sprintf "intent %d replay failed: %s" seq
+                    (Vtypes.errno_to_string e)
+                  :: !errors));
+        t.applied_seq <- max t.applied_seq seq
+      end)
+    intents;
+  let info =
+    {
+      rec_scanned = List.length raw;
+      rec_replayed = !replayed;
+      rec_skipped = !skipped;
+      rec_aborted = !ab;
+      rec_torn = !torn;
+      rec_errors = List.rev !errors;
+    }
+  in
+  t.last_recover <- Some info;
+  info
 
 (* [transform] is the "compiler": identity models GCC, the KGCC
    instrumentation pass models KGCC.  [interp_pages] bounds the module's
@@ -79,9 +309,9 @@ type t = {
    every allocation. *)
 let create ?(transform = fun (p : Minic.Ast.program) -> p)
     ?(attach = fun (_ : Minic.Interp.t) -> ())
-    ?(data_journal = false)
+    ?(data_journal = false) ?(durable = false) ?image
     ?(interp_base_vpn = 0x60000) ?(interp_pages = 256) kernel =
-  let inner = Memfs.create kernel in
+  let inner = Memfs.create ?image kernel in
   let interp =
     Minic.Interp.create
       ~space:(Ksim.Kernel.kspace kernel)
@@ -107,10 +337,20 @@ let create ?(transform = fun (p : Minic.Ast.program) -> p)
     bitmap_buf;
     bitmap_bytes;
     data_journal;
+    durable;
     journal_seq = 0;
     checksum_acc = 0;
     hot_calls = 0;
+    op_seq = 0;
+    j_cursor = 0;
+    applied_seq = 0;
+    last_recover = None;
   }
+  |> fun t ->
+  (* replay-on-mount: a durable journalfs rebuilds the inner filesystem
+     from whatever WAL the image holds before serving anything *)
+  if durable then ignore (replay t);
+  t
 
 let interp t = t.interp
 
@@ -153,6 +393,37 @@ let journal_data t data =
     let sum = hot t "jfs_checksum" [ t.work_buf; len ] in
     t.checksum_acc <- (t.checksum_acc + sum) land 0xffffff
   end
+
+(* Durable-mode journal write: same mini-C head checksum as the legacy
+   path, but the record lands in the device image via the durable write
+   path — the only writes that survive a power loss, and the writes the
+   [blockdev.crash_point] sweep probes. *)
+let write_wal t s =
+  t.journal_seq <- t.journal_seq + 1;
+  let len = min (min (String.length s) 16) t.work_buf_size in
+  stage_bytes t ~addr:t.work_buf (Bytes.of_string (String.sub s 0 len));
+  let sum = hot t "jfs_checksum" [ t.work_buf; len ] in
+  t.checksum_acc <- (t.checksum_acc + sum) land 0xffffff;
+  let bs = Memfs.block_size t.inner in
+  let slot = t.j_cursor in
+  t.j_cursor <- t.j_cursor + 1 + ((max 1 (String.length s) - 1) / bs);
+  Block_dev.write_block_data (Memfs.dev t.inner) (journal_base + slot) s
+
+(* Write-ahead wrapper: intent, operation, verdict. *)
+let journaled : type a.
+    t -> jop -> (unit -> (a, Vtypes.errno) result) -> (a, Vtypes.errno) result
+    =
+ fun t op thunk ->
+  t.op_seq <- t.op_seq + 1;
+  let seq = t.op_seq in
+  write_wal t (Printf.sprintf "I:%d:%s" seq (encode_op op));
+  let r = thunk () in
+  (match r with
+  | Ok _ ->
+      write_wal t (Printf.sprintf "K:%d" seq);
+      t.applied_seq <- max t.applied_seq seq
+  | Error _ -> write_wal t (Printf.sprintf "A:%d" seq));
+  r
 
 (* Directory lookup via the mini-C entry scanner: stage the names of the
    directory into the work buffer as fixed-size records. *)
@@ -202,13 +473,25 @@ let ops t =
       (fun ~dir ~name kind ->
         scan_lookup t ~dir name;
         alloc_block t;
-        journal_record t ~kind:"create" ~payload:name;
-        Memfs.create_node inner ~dir ~name kind);
+        if t.durable then
+          journaled t
+            (J_create { dir; name; kind })
+            (fun () -> Memfs.create_node inner ~dir ~name kind)
+        else begin
+          journal_record t ~kind:"create" ~payload:name;
+          Memfs.create_node inner ~dir ~name kind
+        end);
     unlink =
       (fun ~dir ~name ->
         scan_lookup t ~dir name;
-        journal_record t ~kind:"unlink" ~payload:name;
-        Memfs.unlink inner ~dir ~name);
+        if t.durable then
+          journaled t
+            (J_unlink { dir; name })
+            (fun () -> Memfs.unlink inner ~dir ~name)
+        else begin
+          journal_record t ~kind:"unlink" ~payload:name;
+          Memfs.unlink inner ~dir ~name
+        end);
     readdir = (fun ~dir -> Memfs.readdir inner ~dir);
     getattr = (fun ~ino -> Memfs.getattr inner ~ino);
     read = (fun ~ino ~off ~len -> Memfs.read inner ~ino ~off ~len);
@@ -216,18 +499,44 @@ let ops t =
       (fun ~ino ~off ~data ->
         if t.data_journal then journal_data t data;
         (if Bytes.length data > 0 then alloc_block t);
-        journal_record t ~kind:"write"
-          ~payload:(Printf.sprintf "%d+%d" off (Bytes.length data));
-        Memfs.write inner ~ino ~off ~data);
+        if t.durable then
+          journaled t
+            (J_write
+               {
+                 ino;
+                 off;
+                 len = Bytes.length data;
+                 data =
+                   (if t.data_journal then Some (Bytes.to_string data)
+                    else None);
+               })
+            (fun () -> Memfs.write inner ~ino ~off ~data)
+        else begin
+          journal_record t ~kind:"write"
+            ~payload:(Printf.sprintf "%d+%d" off (Bytes.length data));
+          Memfs.write inner ~ino ~off ~data
+        end);
     truncate =
       (fun ~ino ~size ->
-        journal_record t ~kind:"truncate" ~payload:(string_of_int size);
-        Memfs.truncate inner ~ino ~size);
+        if t.durable then
+          journaled t
+            (J_truncate { ino; size })
+            (fun () -> Memfs.truncate inner ~ino ~size)
+        else begin
+          journal_record t ~kind:"truncate" ~payload:(string_of_int size);
+          Memfs.truncate inner ~ino ~size
+        end);
     rename =
       (fun ~src_dir ~src ~dst_dir ~dst ->
         scan_lookup t ~dir:src_dir src;
-        journal_record t ~kind:"rename" ~payload:(src ^ "->" ^ dst);
-        Memfs.rename inner ~src_dir ~src ~dst_dir ~dst);
+        if t.durable then
+          journaled t
+            (J_rename { src_dir; src; dst_dir; dst })
+            (fun () -> Memfs.rename inner ~src_dir ~src ~dst_dir ~dst)
+        else begin
+          journal_record t ~kind:"rename" ~payload:(src ^ "->" ^ dst);
+          Memfs.rename inner ~src_dir ~src ~dst_dir ~dst
+        end);
     fsync = (fun ~ino -> Memfs.fsync inner ~ino);
     destroy_private = (fun () -> ());
   }
@@ -246,3 +555,9 @@ let stats t =
     interp_steps = Minic.Interp.steps t.interp;
     checksum_acc = t.checksum_acc;
   }
+
+let inner t = t.inner
+let dev t = Memfs.dev t.inner
+let durable t = t.durable
+let last_recover t = t.last_recover
+let fsck t = Memfs.fsck t.inner

@@ -36,12 +36,17 @@ type t = {
   mutable next_ino : int;
   mutable next_block : int;        (* naive block placement cursor *)
   block_of_ino : (int * int, int) Hashtbl.t; (* (ino, file block) -> disk block *)
+  (* allocation accounting, checked by fsck: which disk blocks are in
+     use, and which data blocks each live inode owns (file blocks only;
+     metadata blocks are keyed by pseudo-ino and never freed) *)
+  bitmap : (int, unit) Hashtbl.t;
+  blocks_of : (int, (int * int) list ref) Hashtbl.t; (* ino -> (fblock, blk) *)
 }
 
 let root_ino = 1
 
-let create kernel =
-  let dev = Block_dev.create kernel in
+let create ?image kernel =
+  let dev = Block_dev.create ?image kernel in
   let t =
     {
       kernel;
@@ -50,6 +55,8 @@ let create kernel =
       next_ino = root_ino + 1;
       next_block = 64;
       block_of_ino = Hashtbl.create 4096;
+      bitmap = Hashtbl.create 4096;
+      blocks_of = Hashtbl.create 1024;
     }
   in
   Hashtbl.replace t.inodes root_ino
@@ -80,6 +87,12 @@ let disk_block t ino fblock =
       let b = t.next_block in
       t.next_block <- t.next_block + 1;
       Hashtbl.replace t.block_of_ino (ino, fblock) b;
+      Hashtbl.replace t.bitmap b ();
+      if fblock >= 0 then begin
+        match Hashtbl.find_opt t.blocks_of ino with
+        | Some l -> l := (fblock, b) :: !l
+        | None -> Hashtbl.replace t.blocks_of ino (ref [ (fblock, b) ])
+      end;
       b
 
 let charge_data_io t ~ino ~off ~len ~write =
@@ -135,6 +148,20 @@ let new_inode t kind =
   in
   Hashtbl.replace t.inodes ino inode;
   inode
+
+(* Return a dead inode's data blocks to the allocator's books.  The
+   metadata block (pseudo-ino, fblock -1) is shared by 32 inodes and
+   stays allocated. *)
+let free_inode_blocks t ino =
+  match Hashtbl.find_opt t.blocks_of ino with
+  | None -> ()
+  | Some l ->
+      List.iter
+        (fun (fblock, b) ->
+          Hashtbl.remove t.block_of_ino (ino, fblock);
+          Hashtbl.remove t.bitmap b)
+        !l;
+      Hashtbl.remove t.blocks_of ino
 
 let as_dir t ino =
   match find t ino with
@@ -192,7 +219,10 @@ let unlink t ~dir ~name =
                 if inode.nlink <= (match inode.kind with
                                    | Vtypes.Directory -> 1
                                    | Vtypes.Regular -> 0)
-                then Hashtbl.remove t.inodes ino;
+                then begin
+                  Hashtbl.remove t.inodes ino;
+                  free_inode_blocks t ino
+                end;
                 Block_dev.write_block t.dev (disk_block t (dir lsr 5) (-1));
                 Ok ()
               end))
@@ -285,6 +315,14 @@ let rename t ~src_dir ~src ~dst_dir ~dst =
             else begin
               dir_remove sd src;
               dir_add dd dst ino;
+              (* a directory moving between parents carries its ".."
+                 link with it *)
+              (if src_dir <> dst_dir then
+                 match find t ino with
+                 | Some i when i.kind = Vtypes.Directory ->
+                     sd.nlink <- sd.nlink - 1;
+                     dd.nlink <- dd.nlink + 1
+                 | _ -> ());
               sd.mtime <- Ksim.Kernel.now t.kernel;
               dd.mtime <- sd.mtime;
               Block_dev.write_block t.dev (disk_block t (src_dir lsr 5) (-1));
@@ -322,3 +360,90 @@ let ops t =
   }
 
 let inode_count t = Hashtbl.length t.inodes
+
+(* --- fsck -------------------------------------------------------------- *)
+
+(* Full-filesystem invariant check, e2fsck-style: tree reachability,
+   dentry integrity, link counts, block-map injectivity, and bitmap
+   agreement.  Returns human-readable complaints; [] means clean.
+   Charges a metadata read per directory walked, like a real fsck pass
+   over the inode table. *)
+let fsck t =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let seen = Hashtbl.create 64 in (* reachable inos *)
+  let refs = Hashtbl.create 64 in (* ino -> incoming dentry count *)
+  let bump ino =
+    Hashtbl.replace refs ino
+      (1 + Option.value ~default:0 (Hashtbl.find_opt refs ino))
+  in
+  let rec walk dir_ino =
+    if Hashtbl.mem seen dir_ino then
+      err "cycle: directory %d reached twice" dir_ino
+    else begin
+      Hashtbl.replace seen dir_ino ();
+      match find t dir_ino with
+      | None -> err "walk: directory inode %d missing" dir_ino
+      | Some d ->
+          charge_cpu t;
+          charge_meta_io t ~ino:dir_ino;
+          let subdirs = ref 0 in
+          List.iter
+            (fun (name, ino) ->
+              bump ino;
+              match find t ino with
+              | None -> err "dangling dentry %d/%s -> %d" dir_ino name ino
+              | Some i ->
+                  if i.kind = Vtypes.Directory then begin
+                    incr subdirs;
+                    walk ino
+                  end
+                  else Hashtbl.replace seen ino ())
+            (dir_entries d);
+          if d.nlink <> 2 + !subdirs then
+            err "dir %d: nlink %d, expected %d" dir_ino d.nlink (2 + !subdirs)
+    end
+  in
+  walk root_ino;
+  let inos =
+    Hashtbl.fold (fun ino _ acc -> ino :: acc) t.inodes [] |> List.sort compare
+  in
+  List.iter
+    (fun ino ->
+      let i = Hashtbl.find t.inodes ino in
+      if not (Hashtbl.mem seen ino) then err "orphan inode %d (unreachable)" ino;
+      if i.kind = Vtypes.Regular then begin
+        let r = Option.value ~default:0 (Hashtbl.find_opt refs ino) in
+        if i.nlink <> r then err "file %d: nlink %d but %d dentries" ino i.nlink r
+      end;
+      if i.size > Bytes.length i.data then
+        err "file %d: size %d exceeds buffer %d" ino i.size (Bytes.length i.data))
+    inos;
+  (* block accounting: no block mapped twice, every mapped block marked
+     allocated, every allocated block mapped, no block owned by a dead
+     inode (metadata pseudo-inos, fblock -1, are exempt) *)
+  let owner = Hashtbl.create 64 in
+  let mappings =
+    Hashtbl.fold (fun k b acc -> (k, b) :: acc) t.block_of_ino []
+    |> List.sort compare
+  in
+  List.iter
+    (fun ((ino, fblock), b) ->
+      (match Hashtbl.find_opt owner b with
+      | Some (ino', fblock') ->
+          err "block %d shared by (%d,%d) and (%d,%d)" b ino' fblock' ino fblock
+      | None -> Hashtbl.replace owner b (ino, fblock));
+      if not (Hashtbl.mem t.bitmap b) then
+        err "block %d mapped by (%d,%d) but free in bitmap" b ino fblock;
+      if fblock >= 0 && not (Hashtbl.mem t.inodes ino) then
+        err "leaked block %d: owning inode %d is gone" b ino)
+    mappings;
+  let marked =
+    Hashtbl.fold (fun b () acc -> b :: acc) t.bitmap [] |> List.sort compare
+  in
+  List.iter
+    (fun b ->
+      if not (Hashtbl.mem owner b) then
+        err "bitmap marks block %d but nothing maps it" b)
+    marked;
+  List.rev !errs

@@ -8,7 +8,10 @@
 type t
 
 val root_ino : int
-val create : Ksim.Kernel.t -> t
+
+(** [image] seeds the block device's persistent store (see
+    {!Block_dev.image}); relevant when journalfs mounts with replay. *)
+val create : ?image:Block_dev.image -> Ksim.Kernel.t -> t
 val block_size : t -> int
 val dev : t -> Block_dev.t
 
@@ -32,3 +35,11 @@ val rename :
 
 val fsync : t -> ino:int -> (unit, Vtypes.errno) result
 val inode_count : t -> int
+
+(** Full-filesystem invariant check, e2fsck-style: every inode reachable
+    from the root, no dangling dentries, directory and file link counts
+    correct, no disk block mapped twice, block bitmap in exact agreement
+    with the block map, and no blocks owned by dead inodes.  Returns
+    human-readable complaints; [[]] means clean.  Charges a metadata
+    read per directory, like a real fsck pass over the inode table. *)
+val fsck : t -> string list

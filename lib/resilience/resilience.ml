@@ -80,11 +80,26 @@ let net_config =
     pipeline = 2;
   }
 
-let run ?(plans = []) () =
-  let t =
-    Core.boot_with
-      { Core.Config.default with fs = Core.Wrapfs_kmalloc; optimize = true }
-  in
+let default_run_config =
+  { Core.Config.default with Core.Config.fs = Core.Wrapfs_kmalloc; optimize = true }
+
+(* The crash-sweep system: durable journalfs (WAL + replay-on-mount)
+   with oops containment installed. *)
+let crash_config =
+  {
+    Core.Config.default with
+    Core.Config.fs = Core.Journalfs;
+    optimize = true;
+    crash = Some Kcrash.default_config;
+  }
+
+(* Marker recorded in [r_escaped] when the armed crash point fires: the
+   machine died at a durable-write boundary; remaining phases are
+   skipped, exactly as power loss would skip them. *)
+let power_loss_marker = "POWER_LOSS"
+
+let run_with ?(plans = []) ?(config = default_run_config) () =
+  let t = Core.boot_with config in
   (* kstats registries boot disabled; the report and the retry.*
      counters are part of the run's observable record, so turn them on *)
   Kstats.set_enabled (Core.stats t) true;
@@ -117,6 +132,12 @@ let run ?(plans = []) () =
         | Ksyscall.Usyscall.Flow_violation _ ->
             incr killed;
             note name "FLOWKILL"
+        | Ksim.Kernel.Oops _ ->
+            (* contained kernel-mode fault: the offender died, its
+               resources were reaped, everyone else is untouched *)
+            incr killed;
+            note name "OOPS"
+        | Kvfs.Block_dev.Power_loss -> escaped := Some power_loss_marker
         | Workloads.Wutil.Workload_error m ->
             (* the workload harness surfaces clean errnos as exceptions;
                the errno text is in the message *)
@@ -254,15 +275,18 @@ let run ?(plans = []) () =
       add_int r.Workloads.Webserver.n_served;
       add_int r.Workloads.Webserver.n_completed);
 
-  {
-    r_cycles = Ksim.Kernel.now kernel;
-    r_digest = Digest.to_hex (Digest.string (Buffer.contents buf));
-    r_errs = List.rev !errs;
-    r_killed = !killed;
-    r_escaped = !escaped;
-    r_counts = Kfault.counts fault;
-    r_stats = Fmt.str "%a" Kstats.pp_report (Core.stats t);
-  }
+  ( {
+      r_cycles = Ksim.Kernel.now kernel;
+      r_digest = Digest.to_hex (Digest.string (Buffer.contents buf));
+      r_errs = List.rev !errs;
+      r_killed = !killed;
+      r_escaped = !escaped;
+      r_counts = Kfault.counts fault;
+      r_stats = Fmt.str "%a" Kstats.pp_report (Core.stats t);
+    },
+    t )
+
+let run ?plans () = fst (run_with ?plans ())
 
 type outcome = Identical | Degraded | Violation
 
@@ -320,3 +344,131 @@ let sweep ?max_per_site ?(progress = fun _ _ _ _ -> ()) () =
     List.length (List.filter (fun r -> r.sw_outcome = Violation) rows)
   in
   { baseline; rows; violations }
+
+(* --- The crash-point sweep ------------------------------------------- *)
+
+let crash_site = "blockdev.crash_point"
+
+type crash_class = Consistent | Recovered | Corrupt
+
+let crash_class_to_string = function
+  | Consistent -> "consistent"
+  | Recovered -> "recovered"
+  | Corrupt -> "CORRUPT"
+
+type crash_row = {
+  cr_occurrence : int;
+  cr_class : crash_class;
+  cr_replayed : int;
+  cr_torn : int;
+  cr_fsck_errs : string list;
+  cr_detail : string;
+}
+
+type crash_sweep_result = {
+  cs_points : int;
+  cs_rows : crash_row list;
+  cs_corrupt : int;
+}
+
+(* One crash point: run the workload on a durable system until the
+   armed [blockdev.crash_point] fires (power dies mid-durable-write),
+   reboot from the persistent image alone, and judge the survivor:
+
+   - fsck must come back clean (bitmap vs. reachability, link counts,
+     no shared blocks);
+   - a second replay must be a no-op (idempotence);
+   - only then: [Recovered] if the replay discarded a torn tail,
+     [Consistent] if the log was whole. *)
+let crash_point (_site, k) =
+  let r, t =
+    run_with ~config:crash_config
+      ~plans:[ { Kfault.site = crash_site; trigger = Kfault.One_shot k } ]
+      ()
+  in
+  if r.r_escaped <> Some power_loss_marker then
+    {
+      cr_occurrence = k;
+      cr_class = Corrupt;
+      cr_replayed = 0;
+      cr_torn = 0;
+      cr_fsck_errs = [];
+      cr_detail =
+        (match r.r_escaped with
+        | Some m -> "crash point eclipsed by: " ^ m
+        | None -> "crash point never fired");
+    }
+  else
+    let t2 = Core.reboot t in
+    match Core.journalfs t2 with
+    | None ->
+        {
+          cr_occurrence = k;
+          cr_class = Corrupt;
+          cr_replayed = 0;
+          cr_torn = 0;
+          cr_fsck_errs = [];
+          cr_detail = "reboot lost the journalfs";
+        }
+    | Some j ->
+        let info =
+          match Kvfs.Journalfs.last_recover j with
+          | Some i -> i
+          | None ->
+              {
+                Kvfs.Journalfs.rec_scanned = 0;
+                rec_replayed = 0;
+                rec_skipped = 0;
+                rec_aborted = 0;
+                rec_torn = 0;
+                rec_errors = [ "no replay ran on mount" ];
+              }
+        in
+        let fsck_errs = Kvfs.Journalfs.fsck j in
+        let again = Kvfs.Journalfs.replay j in
+        let idempotent =
+          again.Kvfs.Journalfs.rec_replayed = 0
+          && again.Kvfs.Journalfs.rec_errors = []
+        in
+        let cls, detail =
+          if fsck_errs <> [] then (Corrupt, "fsck failed")
+          else if info.Kvfs.Journalfs.rec_errors <> [] then
+            (Corrupt, String.concat "; " info.Kvfs.Journalfs.rec_errors)
+          else if not idempotent then (Corrupt, "replay not idempotent")
+          else if info.Kvfs.Journalfs.rec_torn > 0 then
+            (Recovered, "torn tail discarded")
+          else (Consistent, "")
+        in
+        {
+          cr_occurrence = k;
+          cr_class = cls;
+          cr_replayed = info.Kvfs.Journalfs.rec_replayed;
+          cr_torn = info.Kvfs.Journalfs.rec_torn;
+          cr_fsck_errs = fsck_errs;
+          cr_detail = detail;
+        }
+
+let crash_sweep ?max_per_site ?(progress = fun _ _ _ -> ()) () =
+  (* counting mode: how many durable-write boundaries does the workload
+     cross?  Each is one reachable crash point. *)
+  let baseline, _ = run_with ~config:crash_config () in
+  let occ =
+    match
+      List.find_opt (fun (name, _, _) -> name = crash_site) baseline.r_counts
+    with
+    | Some (_, occ, _) -> occ
+    | None -> 0
+  in
+  let points = Kfault.sweep_points ?max_per_site [ (crash_site, occ) ] in
+  let total = List.length points in
+  let rows =
+    List.mapi
+      (fun idx (site, k) ->
+        progress idx total k;
+        crash_point (site, k))
+      points
+  in
+  let corrupt =
+    List.length (List.filter (fun r -> r.cr_class = Corrupt) rows)
+  in
+  { cs_points = occ; cs_rows = rows; cs_corrupt = corrupt }

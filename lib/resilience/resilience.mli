@@ -36,6 +36,23 @@ type run_result = {
     throws beyond clean errnos/kills lands in [r_escaped]. *)
 val run : ?plans:Kfault.plan list -> unit -> run_result
 
+(** {!run} with an explicit boot config, returning the booted system
+    too (for reboot-from-image probes and containment-overhead
+    comparisons).  [config] defaults to the standard sweep system
+    (wrapfs-kmalloc, optimizer on). *)
+val run_with :
+  ?plans:Kfault.plan list ->
+  ?config:Core.Config.t ->
+  unit ->
+  run_result * Core.t
+
+(** The boot config the crash sweep uses: durable journalfs (write-ahead
+    logging, replay-on-mount) with kcrash oops containment installed. *)
+val crash_config : Core.Config.t
+
+(** Recorded in [r_escaped] when the armed crash point kills the run. *)
+val power_loss_marker : string
+
 type outcome = Identical | Degraded | Violation
 
 val outcome_to_string : outcome -> string
@@ -67,3 +84,52 @@ val sweep :
   ?progress:(int -> int -> string -> int -> unit) ->
   unit ->
   sweep_result
+
+(** {1 The crash-point sweep (E19)}
+
+    Power loss, systematically: the standard workload runs on the
+    {!crash_config} system with the [blockdev.crash_point] kfault site
+    armed [One_shot] at every durable-write boundary the workload
+    crosses — one run per crash point, as the fault sweep does for
+    fault points.  When the point fires, the machine dies mid-write
+    ([Power_loss]); the sweep reboots from the persistent device image
+    alone and judges the survivor:
+
+    - {e Consistent}: fsck clean, replay idempotent, whole log — every
+      committed operation survived, nothing needed discarding.
+    - {e Recovered}: fsck clean, replay idempotent, and the replay
+      discarded a torn tail (an intent with neither commit nor abort) —
+      the crash landed inside an operation, which atomically vanished.
+    - {e Corrupt}: fsck errors, replay errors, or a second replay that
+      is not a no-op.  A correct journal never produces one. *)
+
+(** The kfault site the sweep arms ([blockdev.crash_point]). *)
+val crash_site : string
+
+type crash_class = Consistent | Recovered | Corrupt
+
+val crash_class_to_string : crash_class -> string
+
+type crash_row = {
+  cr_occurrence : int;  (** which durable write died *)
+  cr_class : crash_class;
+  cr_replayed : int;  (** committed intents the recovery applied *)
+  cr_torn : int;  (** torn records the recovery discarded *)
+  cr_fsck_errs : string list;
+  cr_detail : string;
+}
+
+type crash_sweep_result = {
+  cs_points : int;  (** reachable crash points (counting-mode occurrences) *)
+  cs_rows : crash_row list;
+  cs_corrupt : int;
+}
+
+(** Run the whole crash sweep: one counting run, then one
+    crash-and-reboot per (sampled) crash point.  [progress] is called
+    before each point with (index, total, occurrence). *)
+val crash_sweep :
+  ?max_per_site:int ->
+  ?progress:(int -> int -> int -> unit) ->
+  unit ->
+  crash_sweep_result

@@ -343,7 +343,15 @@ let mk_lock_ctx ?(ncpus = 2) () =
       cacheline_bounce = 0 }
   in
   let sched = Ksim.Scheduler.create ~clock ~cost ~ncpus () in
-  (clock, sched, { Ksim.Spinlock.sched; clock; cost; stats = Kstats.create () })
+  ( clock,
+    sched,
+    {
+      Ksim.Spinlock.sched;
+      clock;
+      cost;
+      stats = Kstats.create ();
+      registry = Ksim.Spinlock.new_registry ();
+    } )
 
 let test_spinlock_smp_contention () =
   let clock, sched, ctx = mk_lock_ctx () in
